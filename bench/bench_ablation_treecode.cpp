@@ -1,0 +1,140 @@
+// Ablation: the treecode's accuracy/cost knobs.
+//
+//  1. Opening angle theta — the fundamental treecode tradeoff: force
+//     error vs interaction count (the paper runs production at
+//     theta ~ 0.6 where "force errors are exceeded by ... time
+//     integration error and discretization error").
+//  2. Leaf bucket size — cell-opening overhead vs direct-sum work.
+//  3. Karp vs libm reciprocal square root in the full treecode (not just
+//     the micro-kernel of Table 5).
+#include <cmath>
+#include <iostream>
+
+#include "hot/tree.hpp"
+#include "nbody/ic.hpp"
+#include "nbody/integrator.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+struct Sample {
+  double rms_error;
+  double flops_per_body;
+  double seconds;
+};
+
+Sample run_once(const std::vector<ss::nbody::Body>& bodies, double theta,
+                std::uint32_t bucket, ss::gravity::RsqrtMethod method,
+                const std::vector<ss::gravity::Accel>& exact) {
+  const auto src = ss::nbody::sources_of(bodies);
+  ss::hot::Tree tree(src, ss::hot::TreeConfig{bucket});
+  ss::hot::TraverseStats st;
+  ss::support::WallTimer timer;
+  const auto acc = tree.accelerate_all(theta, 1e-6, method, &st);
+  Sample s;
+  s.seconds = timer.seconds();
+  s.flops_per_body = static_cast<double>(st.flops()) / bodies.size();
+  double err = 0.0;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const auto orig = tree.original_index()[i];
+    const double rel = (acc[i].a - exact[orig].a).norm() /
+                       (exact[orig].a.norm() + 1e-30);
+    err += rel * rel;
+  }
+  s.rms_error = std::sqrt(err / acc.size());
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using ss::support::Table;
+
+  std::cout << "Treecode ablations (8192-body cold sphere)\n\n";
+
+  ss::support::Rng rng(3);
+  const auto bodies = ss::nbody::cold_sphere(8192, rng);
+  std::vector<ss::gravity::Accel> exact;
+  ss::nbody::direct_forces(bodies, 1e-6, ss::gravity::RsqrtMethod::libm,
+                           exact);
+
+  {
+    Table t("opening angle theta (bucket 16, libm)");
+    t.header({"theta", "rms force error", "kflop/body", "host ms"});
+    for (double theta : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
+      const auto s = run_once(bodies, theta, 16,
+                              ss::gravity::RsqrtMethod::libm, exact);
+      t.row({Table::fixed(theta, 1), Table::num(s.rms_error, 2),
+             Table::fixed(s.flops_per_body / 1000.0, 1),
+             Table::fixed(s.seconds * 1000.0, 0)});
+    }
+    std::cout << t << "\n";
+  }
+
+  {
+    Table t("leaf bucket size (theta 0.6, libm)");
+    t.header({"bucket", "cells", "kflop/body", "host ms"});
+    for (std::uint32_t bucket : {1u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      const auto src = ss::nbody::sources_of(bodies);
+      ss::hot::Tree tree(src, ss::hot::TreeConfig{bucket});
+      const auto s = run_once(bodies, 0.6, bucket,
+                              ss::gravity::RsqrtMethod::libm, exact);
+      t.row({std::to_string(bucket), std::to_string(tree.cell_count()),
+             Table::fixed(s.flops_per_body / 1000.0, 1),
+             Table::fixed(s.seconds * 1000.0, 0)});
+    }
+    std::cout << t << "\n";
+  }
+
+  {
+    Table t("per-body walk vs group walk (theta 0.6, bucket 16)");
+    t.header({"walk", "rms force error", "kflop/body", "host ms"});
+    const auto src = ss::nbody::sources_of(bodies);
+    ss::hot::Tree tree(src, ss::hot::TreeConfig{16});
+    for (int grouped = 0; grouped < 2; ++grouped) {
+      ss::hot::TraverseStats st;
+      ss::support::WallTimer timer;
+      const auto acc =
+          grouped ? tree.accelerate_group_all(0.6, 1e-6,
+                                              ss::gravity::RsqrtMethod::libm,
+                                              &st)
+                  : tree.accelerate_all(0.6, 1e-6,
+                                        ss::gravity::RsqrtMethod::libm, &st);
+      const double ms = timer.seconds() * 1000.0;
+      double err = 0.0;
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        const auto orig = tree.original_index()[i];
+        const double rel = (acc[i].a - exact[orig].a).norm() /
+                           (exact[orig].a.norm() + 1e-30);
+        err += rel * rel;
+      }
+      t.row({grouped ? "group (shared interaction lists)" : "per body",
+             Table::num(std::sqrt(err / acc.size()), 2),
+             Table::fixed(static_cast<double>(st.flops()) / bodies.size() /
+                              1000.0,
+                          1),
+             Table::fixed(ms, 0)});
+    }
+    std::cout << t << "\n";
+  }
+
+  {
+    Table t("rsqrt method in the full traversal (theta 0.6, bucket 16)");
+    t.header({"method", "rms force error", "host ms"});
+    for (auto [name, m] : {std::pair{"libm", ss::gravity::RsqrtMethod::libm},
+                           {"karp", ss::gravity::RsqrtMethod::karp}}) {
+      const auto s = run_once(bodies, 0.6, 16, m, exact);
+      t.row({name, Table::num(s.rms_error, 2),
+             Table::fixed(s.seconds * 1000.0, 0)});
+    }
+    std::cout << t;
+  }
+
+  std::cout << "\nReading: error falls steeply with theta while cost rises;\n"
+               "theta ~ 0.6 (the production choice) gives ~1e-3 rms error.\n"
+               "Small buckets explode the cell count, large ones degenerate\n"
+               "toward direct summation; 16-32 is the sweet spot.\n";
+  return 0;
+}

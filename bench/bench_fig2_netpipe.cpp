@@ -1,0 +1,57 @@
+// Reproduces Fig 2: NetPIPE bandwidth vs message size for plain TCP and
+// four MPI libraries on the Space Simulator's gigabit fabric, and the
+// quoted small-message latencies (79/83/87 us).
+#include <cstdio>
+#include <iostream>
+
+#include "simnet/profile.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using ss::simnet::all_profiles;
+  using ss::support::Table;
+
+  std::cout << "Fig 2 reproduction: bandwidth (Mbit/s) vs message size,\n"
+               "per message-passing library (model of NetPIPE on the\n"
+               "3c996B-T / Foundry fabric).\n\n";
+
+  Table t("Fig 2: NetPIPE bandwidth vs message size");
+  std::vector<std::string> head = {"bytes"};
+  for (const auto& p : all_profiles()) head.push_back(p.name);
+  t.header(head);
+
+  for (std::size_t b = 1; b <= (8u << 20); b *= 4) {
+    std::vector<std::string> row = {std::to_string(b)};
+    for (const auto& p : all_profiles()) {
+      row.push_back(Table::fixed(p.netpipe_mbits(b), 1));
+    }
+    t.row(row);
+  }
+  std::cout << t << "\n";
+
+  Table lat("Fig 2: small-message latency (microseconds)");
+  lat.header({"library", "model (us)", "paper (us)"});
+  lat.row({"tcp", Table::fixed(ss::simnet::tcp().transfer_seconds(1) * 1e6, 1),
+           "79"});
+  lat.row({"lam-6.5.9",
+           Table::fixed(ss::simnet::lam().transfer_seconds(1) * 1e6, 1), "83"});
+  lat.row({"mpich-1.2.5",
+           Table::fixed(ss::simnet::mpich_125().transfer_seconds(1) * 1e6, 1),
+           "87"});
+  lat.row({"mpich2-0.92",
+           Table::fixed(ss::simnet::mpich2_092().transfer_seconds(1) * 1e6, 1),
+           "87"});
+  std::cout << lat << "\n";
+
+  Table peak("Fig 2: large-message plateau (Mbit/s, 8 MB messages)");
+  peak.header({"library", "model", "paper"});
+  for (const auto& p : all_profiles()) {
+    std::string paper = "-";
+    if (p.name == "tcp") paper = "779";
+    peak.row({p.name, Table::fixed(p.netpipe_mbits(8u << 20), 1), paper});
+  }
+  std::cout << peak;
+  std::cout << "\nShape checks: tcp highest; mpich-1.2.5 visibly below\n"
+               "mpich2-0.92 at large sizes; LAM -O above plain LAM.\n";
+  return 0;
+}

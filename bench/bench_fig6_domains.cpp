@@ -1,0 +1,83 @@
+// Reproduces Fig 6: the self-similar Morton curve used for load balancing
+// (left panel) and the adaptive tree over a centrally condensed particle
+// set (right panel) — rendered as ASCII, plus the quantitative properties
+// the figure illustrates: contiguous, compact processor domains and an
+// adaptive cell-size distribution.
+#include <iostream>
+#include <vector>
+
+#include "hot/decomp.hpp"
+#include "hot/tree.hpp"
+#include "nbody/ic.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using ss::support::Table;
+
+  std::cout << "Fig 6 reproduction: Morton-curve domains and adaptive "
+               "tree\n\n";
+
+  // Left panel: the order-4 Morton curve in 2-D (projected from our 3-D
+  // keys by fixing z), split into 4 contiguous domains.
+  {
+    const int side = 16;
+    std::vector<std::string> grid(side, std::string(side, ' '));
+    std::vector<std::pair<ss::morton::Key, std::pair<int, int>>> cells;
+    for (int x = 0; x < side; ++x) {
+      for (int y = 0; y < side; ++y) {
+        const auto k = ss::morton::key_from_lattice(
+            static_cast<std::uint32_t>(x) << 17,
+            static_cast<std::uint32_t>(y) << 17, 0);
+        cells.push_back({k, {x, y}});
+      }
+    }
+    std::sort(cells.begin(), cells.end());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto [x, y] = cells[i].second;
+      grid[static_cast<std::size_t>(side - 1 - y)][static_cast<std::size_t>(
+          x)] = static_cast<char>('0' + (4 * i) / cells.size());
+    }
+    std::cout << "Morton order split into 4 processor domains "
+                 "(digits = owner):\n";
+    for (const auto& row : grid) std::cout << "  " << row << "\n";
+    std::cout << "\n";
+  }
+
+  // Right panel: tree statistics over a centrally condensed distribution.
+  ss::support::Rng rng(66);
+  std::vector<ss::hot::Source> bodies;
+  for (int i = 0; i < 20000; ++i) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    const double r = std::pow(rng.uniform(), 3.0);  // strongly condensed
+    bodies.push_back({{x * r, y * r, z * r}, 1.0 / 20000});
+  }
+  ss::hot::Tree tree(bodies, ss::hot::TreeConfig{8});
+
+  std::vector<int> cells_per_level(22, 0);
+  int max_level = 0;
+  for (std::uint32_t i = 0; i < tree.cell_count(); ++i) {
+    const int lev = ss::morton::level(tree.cell(i).key);
+    ++cells_per_level[static_cast<std::size_t>(lev)];
+    max_level = std::max(max_level, lev);
+  }
+  Table t("adaptive tree over a centrally condensed set (20k bodies)");
+  t.header({"level", "cells", "note"});
+  for (int l = 0; l <= max_level; ++l) {
+    std::string note;
+    if (l == 0) note = "root";
+    if (cells_per_level[static_cast<std::size_t>(l)] ==
+        *std::max_element(cells_per_level.begin(), cells_per_level.end())) {
+      note = "deepest refinement follows the density peak";
+    }
+    t.row({std::to_string(l),
+           std::to_string(cells_per_level[static_cast<std::size_t>(l)]),
+           note});
+  }
+  std::cout << t;
+  std::cout << "\ntotal cells: " << tree.cell_count() << " for "
+            << bodies.size()
+            << " bodies; depth adapts to the central condensation, the\n"
+               "property the Fig 6 right panel illustrates.\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Reproduces Fig 8 / Sec 4.4: rotating core collapse with SPH +
+// flux-limited-diffusion neutrino transport.
+//
+// The paper's figure shows the specific angular momentum distribution in
+// a slice across the core 40 ms after bounce: the bulk of the angular
+// momentum lies along the equator, and the 15-degree polar cone carries
+// two orders of magnitude less. We run the real (scaled-down) collapse:
+// a rotating unstable core with a stiffened nuclear EOS collapses,
+// bounces when the center passes nuclear density, and the angular
+// momentum distribution is measured just after bounce.
+#include <cmath>
+#include <iostream>
+
+#include <mutex>
+
+#include "sph/collapse.hpp"
+#include "sph/eos.hpp"
+#include "sph/parallel.hpp"
+#include "sph/sph.hpp"
+#include "support/flops.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "vmpi/comm.hpp"
+
+int main() {
+  using namespace ss::sph;
+  using ss::support::Table;
+
+  std::cout << "Fig 8 / Sec 4.4 reproduction: rotating core collapse\n\n";
+
+  ss::support::Rng rng(8);
+  CollapseConfig ccfg;
+  ccfg.particles = 2500;
+  ccfg.omega_fraction = 0.25;
+  ccfg.thermal_fraction = 0.02;
+  auto parts = rotating_core(ccfg, rng);
+  const auto eos = make_collapse_eos(1.0, 1.0, 0.25, 20.0);
+
+  SphConfig cfg;
+  cfg.fld.emissivity = 0.3;    // neutrino cooling lets the collapse proceed
+  cfg.fld.u_threshold = 0.05;
+  cfg.fld.opacity = 50.0;
+  SphSim sim(parts, [eos](double rho, double u) { return eos(rho, u); },
+             cfg);
+
+  const double l0 = sim.total_angular_momentum().z;
+
+  Table evo("collapse history");
+  evo.header({"t", "dt", "rho_max", "rho_max/rho_0", "nu energy", "phase"});
+  const double rho0 = 3.0 / (4.0 * M_PI);
+  double rho_peak = 0.0;
+  bool bounced = false;
+  int steps_after_bounce = 0;
+  ss::support::WallTimer timer;
+  double e_nu_total = 0.0;
+  for (int s = 0; s < 400 && steps_after_bounce < 12; ++s) {
+    const auto d = sim.step();
+    e_nu_total = 0.0;
+    for (const auto& p : sim.particles()) e_nu_total += p.mass * p.e_nu;
+    if (d.max_rho > rho_peak) {
+      rho_peak = d.max_rho;
+    } else if (!bounced && d.max_rho < 0.92 * rho_peak &&
+               rho_peak > 20.0 * rho0) {
+      bounced = true;  // the core rebounded off the stiff branch
+    }
+    if (bounced) ++steps_after_bounce;
+    if (s % 25 == 0 || (bounced && steps_after_bounce <= 2)) {
+      evo.row({Table::fixed(sim.time(), 3), Table::num(d.dt, 2),
+               Table::fixed(d.max_rho, 1),
+               Table::fixed(d.max_rho / rho0, 0), Table::num(e_nu_total, 2),
+               bounced ? "post-bounce" : "infall"});
+    }
+  }
+  std::cout << evo;
+  std::cout << "\npeak density " << Table::fixed(rho_peak / rho0, 0)
+            << "x initial; bounce " << (bounced ? "occurred" : "NOT reached")
+            << "; run took " << Table::fixed(timer.seconds(), 1) << " s\n\n";
+
+  // Fig 8's observable: the angular-momentum distribution after bounce.
+  Table prof("specific angular momentum vs polar angle (post-bounce)");
+  prof.header({"theta from pole (deg)", "<|j_z|> (code units)",
+               "relative to equator"});
+  const auto bins = angular_momentum_profile(sim.particles(), 6);
+  const double j_eq = bins.back().specific_j;
+  for (const auto& b : bins) {
+    prof.row({Table::fixed(b.theta_center * 180.0 / M_PI, 0),
+              Table::num(b.specific_j, 3),
+              Table::num(j_eq > 0 ? b.specific_j / j_eq : 0.0, 2)});
+  }
+  std::cout << prof;
+
+  const double ratio = equator_to_pole_ratio(sim.particles(), 15.0);
+  const double l1 = sim.total_angular_momentum().z;
+  std::cout << "\nequator/polar-cone specific angular momentum ratio: "
+            << Table::fixed(ratio, 0)
+            << "  (paper: ~2 orders of magnitude)\n"
+            << "total J_z conservation through collapse: "
+            << Table::fixed(l1 / l0, 4) << " of initial\n"
+            << "neutrino energy radiated: " << Table::num(e_nu_total, 3)
+            << " code units (FLD transport active)\n";
+
+  // Sec 4.4's performance note: "for our 1 million particle simulations
+  // on 128 processors, per processor performance is about 1/2 that of the
+  // ASCI Q system". The distributed SPH on the virtual Space Simulator at
+  // ~1k particles/processor shows the per-processor rate and the
+  // ghost-exchange overhead behind that kind of factor.
+  {
+    const int procs = 16;
+    const int per_proc = 1024;
+    auto model = ss::vmpi::make_space_simulator_model(
+        ss::simnet::lam_homogeneous(), 623.9e6);
+    ss::vmpi::Runtime rt(procs, model);
+    double vtime = 0.0, flops = 0.0;
+    std::mutex mu;
+    rt.run([&](ss::vmpi::Comm& c) {
+      ss::support::Rng prng(static_cast<std::uint64_t>(100 + c.rank()));
+      CollapseConfig pc;
+      pc.particles = per_proc;
+      pc.omega_fraction = 0.2;
+      auto mine = rotating_core(pc, prng);
+      const auto peos = make_collapse_eos(1.0, 1.0, 0.5, 50.0);
+      SphConfig scfg;
+      scfg.self_gravity = false;
+      const double t0 = c.barrier_max_time();
+      std::uint64_t pairs = 0;
+      for (int s = 0; s < 3; ++s) {
+        ParallelSphStats st;
+        mine = parallel_sph_step(
+            c, std::move(mine),
+            [peos](double rho, double u) { return peos(rho, u); }, scfg,
+            &st);
+        pairs += st.diag.pair_count;
+      }
+      const double t1 = c.barrier_max_time();
+      const double f = c.allreduce_sum(
+          2.0 * static_cast<double>(pairs) *
+          static_cast<double>(ss::support::flop_cost::sph_pair));
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        vtime = t1 - t0;
+        flops = f;
+      }
+    });
+    const double mflops_per_proc = flops / vtime / procs / 1e6;
+    std::cout << "\nvirtual-cluster SPH (" << procs << " procs, " << per_proc
+              << " particles/proc): " << Table::fixed(mflops_per_proc, 0)
+              << " Mflop/s per processor = "
+              << Table::fixed(mflops_per_proc / 623.9, 2)
+              << " of the treecode rate\n"
+              << "(the paper's 'about 1/2 of ASCI Q per processor' reflects\n"
+              << "the same ghost-exchange overhead at small "
+                 "particles-per-processor)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Sec 2.1: the cluster's hardware failure history.
+//
+// Component failure rates are calibrated from the paper's counts; the
+// Monte Carlo shows the spread a 294-node cluster owner should expect,
+// and the survival model quantifies why multi-day runs complete.
+#include <iostream>
+
+#include "hw/reliability.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ss::hw;
+  using ss::support::Table;
+
+  std::cout << "Sec 2.1 reproduction: failure statistics, 294 nodes, "
+               "9 months\n\n";
+
+  const auto comps = space_simulator_components();
+  const auto exp = expected_failures(comps, 294, 9.0);
+
+  // Monte Carlo distribution.
+  ss::support::Rng rng(21);
+  std::vector<ss::support::RunningStat> inst(comps.size()), oper(comps.size());
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto f = simulate_failures(comps, 294, 9.0, rng);
+    for (std::size_t c = 0; c < comps.size(); ++c) {
+      inst[c].add(static_cast<double>(f.install[c]));
+      oper[c].add(static_cast<double>(f.operational[c]));
+    }
+  }
+
+  Table t("failures by component (paper vs model, 2000 Monte Carlo runs)");
+  t.header({"component", "install paper", "install E[model]",
+            "install MC mean+-sd", "9-month paper", "9-month E[model]",
+            "9-month MC mean+-sd"});
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    t.row({comps[c].name, std::to_string(comps[c].paper_install_failures),
+           std::to_string(exp.install[c]),
+           Table::fixed(inst[c].mean(), 1) + "+-" +
+               Table::fixed(inst[c].stddev(), 1),
+           std::to_string(comps[c].paper_nine_month_failures),
+           std::to_string(exp.operational[c]),
+           Table::fixed(oper[c].mean(), 1) + "+-" +
+               Table::fixed(oper[c].stddev(), 1)});
+  }
+  std::cout << t << "\n";
+
+  Table s("no-failure survival probability of the full cluster");
+  s.header({"run length", "P(no component failure)"});
+  for (double hours : {1.0, 24.0, 24.0 * 7, 24.0 * 30}) {
+    s.row({Table::fixed(hours, 0) + " h",
+           Table::fixed(cluster_survival_probability(comps, 294, hours), 3)});
+  }
+  std::cout << s;
+  std::cout << "\nReading: disks dominate (16 of 23 operational failures),\n"
+               "matching the paper's 'most common failure has been with\n"
+               "disk drives'; the fanless heat-pipe CPUs never fail.\n";
+  return 0;
+}

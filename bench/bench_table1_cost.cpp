@@ -1,0 +1,73 @@
+// Reproduces Table 1 (Space Simulator BOM), Table 7 (Loki BOM), the
+// Fig 3 / Sec 3.3 price-performance milestone ($1/Mflops broken), the
+// Sec 3.5 SPECfp price/performance, and the Sec 5 Moore's-law analysis.
+#include <iostream>
+
+#include "hw/bom.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void print_bom(const ss::hw::BillOfMaterials& bom) {
+  using ss::support::Table;
+  Table t(bom.name());
+  t.header({"Qty", "Price", "Ext.", "Description"});
+  for (const auto& i : bom.items()) {
+    t.row({i.qty > 0 ? Table::fixed(i.qty, 0) : "",
+           i.unit_price > 0 ? Table::fixed(i.unit_price, 0) : "",
+           Table::fixed(i.extended, 0), i.description});
+  }
+  t.row({"Total", "", Table::fixed(bom.total(), 0),
+         "$" + Table::fixed(bom.per_node(), 0) + " per node"});
+  std::cout << t << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss::hw;
+  using ss::support::Table;
+
+  std::cout << "Tables 1 & 7 reproduction: cluster bills of materials\n\n";
+  print_bom(space_simulator_bom());
+  print_bom(loki_bom());
+
+  PricePerformance pp;
+  Table t("Fig 3 / Sec 3.3 & 3.5: price/performance milestones");
+  t.header({"metric", "model", "paper"});
+  t.row({"Linpack Oct 2002 (Gflop/s, 288 procs)", "665.1", "665.1"});
+  t.row({"Linpack Apr 2003 (Gflop/s, 288 procs)", "757.1", "757.1"});
+  t.row({"$ per Linpack Mflop/s (2003)",
+         Table::fixed(pp.dollars_per_linpack_mflops(), 3), "0.639"});
+  t.row({"$ per Linpack Gflop/s",
+         Table::fixed(pp.dollars_per_linpack_mflops() * 1000.0, 0), "639"});
+  t.row({"node cost w/o network ($)",
+         Table::fixed(pp.node_cost_without_network(), 0), "888"});
+  t.row({"$ per SPECfp2000", Table::fixed(pp.dollars_per_specfp(), 2),
+         "1.20"});
+  std::cout << t << "\n";
+
+  Table m("Sec 5: Moore's-law comparison over the six Loki->SS years");
+  m.header({"quantity", "improvement vs Moore (x)", "paper's reading"});
+  m.row({"treecode Gflop/s per $",
+         Table::fixed(moores_law_ratio(1.28, loki_bom().total(), 179.7,
+                                       space_simulator_bom().total(), 6.0),
+                      2),
+         "~1 (matches Moore)"});
+  m.row({"NPB BT Mop/s per node-$",
+         Table::fixed(moores_law_ratio(355, 3211, 4480, 1646, 6.0), 2),
+         "+25% over Moore"});
+  m.row({"NPB LU Mop/s per node-$",
+         Table::fixed(moores_law_ratio(428, 3211, 6640, 1646, 6.0), 2),
+         "~2x over Moore"});
+  m.row({"NPB MG Mop/s per node-$",
+         Table::fixed(moores_law_ratio(296, 3211, 4592, 1646, 6.0), 2),
+         "~2x over Moore"});
+  for (const auto& c : component_trends()) {
+    m.row({c.component + " price (" + c.unit + ")",
+           Table::fixed(c.loki_price_per_unit / c.ss_price_per_unit / 16.0, 2),
+           c.component == "disk" ? "7x beyond Moore" : "2x beyond Moore"});
+  }
+  std::cout << m;
+  return 0;
+}

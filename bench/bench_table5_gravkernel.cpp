@@ -1,0 +1,102 @@
+// Reproduces Table 5: Mflop/s of the gravitational micro-kernel with the
+// math-library sqrt vs Karp's reciprocal-sqrt decomposition.
+//
+// The eleven historical processors are reported from their published
+// profiles; the host machine is *measured* by running the real kernels,
+// giving a 12th row — the same experiment on today's hardware.
+#include <iostream>
+#include <vector>
+
+#include "gravity/batch.hpp"
+#include "gravity/kernels.hpp"
+#include "nodemodel/processors.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace ss::gravity;
+
+/// Mflop/s of the interaction kernel at 38 flops/interaction (the paper's
+/// accounting), best of `trials`.
+template <RsqrtMethod M>
+double measure_mflops(std::span<const Source> sources, int repeats) {
+  const Vec3 target{0.01, 0.02, 0.03};
+  double best = 0.0;
+  volatile double sink = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    ss::support::WallTimer timer;
+    Accel acc;
+    for (int r = 0; r < repeats; ++r) {
+      acc += interact<M>(target, sources, 1e-6);
+    }
+    const double secs = timer.seconds();
+    sink = sink + acc.phi;  // defeat dead-code elimination
+    const double flops = static_cast<double>(kFlopsPerInteraction) *
+                         static_cast<double>(sources.size()) * repeats;
+    best = std::max(best, flops / secs / 1e6);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using ss::support::Table;
+
+  std::cout << "Table 5 reproduction: gravity micro-kernel Mflop/s\n"
+               "(historical rows from published profiles; host row "
+               "measured live)\n\n";
+
+  // Live measurement on this machine.
+  ss::support::Rng rng(5);
+  std::vector<Source> src;
+  for (int i = 0; i < 4096; ++i) {
+    src.push_back({{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                   rng.uniform(0.5, 1.5)});
+  }
+  const double host_libm = measure_mflops<RsqrtMethod::libm>(src, 200);
+  const double host_karp = measure_mflops<RsqrtMethod::karp>(src, 200);
+
+  Table t("Table 5: gravitational micro-kernel");
+  t.header({"Processor", "libm (Mflop/s)", "Karp (Mflop/s)", "Karp/libm"});
+  for (const auto& p : ss::nodemodel::table5_processors()) {
+    t.row({p.name, Table::fixed(p.libm_mflops, 1),
+           Table::fixed(p.karp_mflops, 1),
+           Table::fixed(p.karp_mflops / p.libm_mflops, 2)});
+  }
+  t.row({"this host (measured)", Table::fixed(host_libm, 1),
+         Table::fixed(host_karp, 1), Table::fixed(host_karp / host_libm, 2)});
+
+  // The paper's Sec 5 coda: "by hand coding our inner loop with SSE
+  // instructions, we hope to reach 2x" — the SoA batched kernel is the
+  // portable version of that experiment, measured here on the host.
+  {
+    const auto soa = ss::gravity::SourcesSoA::from(src);
+    const Vec3 target{0.01, 0.02, 0.03};
+    std::vector<Vec3> targets(64, target);
+    std::vector<Accel> out(targets.size());
+    double best = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      ss::support::WallTimer timer;
+      for (int r = 0; r < 10; ++r) {
+        ss::gravity::interact_batch(targets, soa, 1e-6, out);
+      }
+      const double flops = static_cast<double>(kFlopsPerInteraction) *
+                           static_cast<double>(src.size()) * targets.size() *
+                           10;
+      best = std::max(best, flops / timer.seconds() / 1e6);
+    }
+    t.row({"this host (SoA batched)", Table::fixed(best, 1), "-",
+           Table::fixed(best / host_libm, 2) + " vs libm"});
+  }
+  std::cout << t;
+
+  std::cout << "\nShape check vs paper: Karp's adds-and-multiplies rsqrt wins\n"
+               "on every processor except the 2.2 GHz P4/gcc, where hardware\n"
+               "sqrt throughput had caught up; the icc-compiled P4 row shows\n"
+               "the SSE/SSE2 speedup the paper attributes to the Intel\n"
+               "compiler (1170 vs 779 Mflop/s libm).\n";
+  return 0;
+}

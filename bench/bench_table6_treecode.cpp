@@ -1,0 +1,121 @@
+// Reproduces Table 6: historical performance of the hashed oct-tree code
+// on the "standard simulation problem" — a spherical particle distribution
+// representing the early evolution of a cosmological simulation.
+//
+// Two parts:
+//  1. The real distributed treecode runs the cold-sphere problem on the
+//     virtual cluster at increasing bodies-per-processor, measuring the
+//     communication share of virtual time. The share falls like
+//     (N/P)^(-1/3) (locally-essential-tree surface over volume); we fit
+//     that law and extrapolate to the production regime (~470k bodies
+//     per processor in the paper's 134M-particle runs).
+//  2. The Space Simulator's Table 6 entry is then *predicted* from its
+//     measured gravity-kernel rate (Table 5: 779.3 Mflop/s with gcc) times
+//     the extrapolated parallel efficiency and a tree-build overhead, and
+//     compared against the paper's 179.7 Gflop/s. The other machines'
+//     rows are reproduced from their published per-processor rates (which
+//     already embed each machine's own network losses).
+#include <cmath>
+#include <iostream>
+#include <mutex>
+
+#include "hot/parallel.hpp"
+#include "nbody/ic.hpp"
+#include "nodemodel/processors.hpp"
+#include "support/table.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+/// Communication share of virtual time for the real treecode at the given
+/// scale on the modeled Space Simulator fabric.
+double measure_comm_fraction(int procs, int bodies_per_proc) {
+  auto model = ss::vmpi::make_space_simulator_model(
+      ss::simnet::lam_homogeneous(),
+      ss::nodemodel::SpaceSimulatorNode::gravity_libm_mflops * 1e6);
+  ss::vmpi::Runtime rt(procs, model);
+  double frac = 0.0;
+  std::mutex mu;
+  rt.run([&](ss::vmpi::Comm& c) {
+    ss::support::Rng rng(static_cast<std::uint64_t>(600 + c.rank()));
+    auto bodies = ss::nbody::cold_sphere(bodies_per_proc, rng);
+    auto sources = ss::nbody::sources_of(bodies);
+    ss::hot::ParallelConfig cfg;
+    cfg.theta = 0.6;
+    cfg.eps2 = 1e-6;
+    auto res = parallel_gravity(c, sources, {}, cfg);
+    const double flops = c.allreduce_sum(
+        static_cast<double>(res.stats.traverse.flops()));
+    const double t_total = c.barrier_max_time();
+    const double t_compute =
+        flops / procs /
+        (ss::nodemodel::SpaceSimulatorNode::gravity_libm_mflops * 1e6);
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      frac = std::max(0.0, 1.0 - t_compute / std::max(t_total, 1e-30));
+    }
+  });
+  return frac;
+}
+
+}  // namespace
+
+int main() {
+  using ss::support::Table;
+
+  std::cout << "Table 6 reproduction: treecode on the standard cold-sphere "
+               "problem\n\n";
+
+  // Part 1: measured communication share vs scale on the virtual cluster.
+  const int procs = 16;
+  Table s("real distributed runs (16 virtual processors)");
+  s.header({"bodies/proc", "comm share of vtime", "share * (N/P)^(1/3)"});
+  double coeff = 0.0;
+  for (int bpp : {256, 1024, 4096}) {
+    const double f = measure_comm_fraction(procs, bpp);
+    const double c = f * std::cbrt(static_cast<double>(bpp));
+    s.row({std::to_string(bpp), Table::fixed(f, 3), Table::fixed(c, 2)});
+    coeff = c;  // use the largest measured size for the extrapolation
+  }
+  std::cout << s << "\n";
+
+  // Part 2: predict the Space Simulator's Table 6 row.
+  const double production_bpp = 134e6 / 288.0;
+  const double comm_extrap = coeff / std::cbrt(production_bpp);
+  const double build_overhead = 0.90;  // decomposition + tree build share
+  const double predicted_mflops_per_proc =
+      ss::nodemodel::SpaceSimulatorNode::gravity_libm_mflops *
+      (1.0 - comm_extrap) * build_overhead;
+  const double predicted_gflops = 288.0 * predicted_mflops_per_proc / 1000.0;
+
+  std::cout << "extrapolated comm share at " << Table::fixed(production_bpp, 0)
+            << " bodies/proc: " << Table::fixed(100.0 * comm_extrap, 1)
+            << "%\n\n";
+
+  Table t("Table 6: treecode performance by machine");
+  t.header({"Year", "Machine", "Procs", "Gflop/s (paper)", "Mflops/proc",
+            "model"});
+  for (const auto& m : ss::nodemodel::table6_machines()) {
+    std::string model_cell = Table::fixed(
+        m.procs * m.mflops_per_proc / 1000.0, 2);  // published-rate identity
+    if (m.machine == "Space Simulator") {
+      model_cell = Table::fixed(predicted_gflops, 1) + " (predicted)";
+    }
+    t.row({std::to_string(m.year), m.machine, std::to_string(m.procs),
+           Table::fixed(m.gflops, 2), Table::fixed(m.mflops_per_proc, 1),
+           model_cell});
+  }
+  std::cout << t;
+
+  std::cout << "\nPrediction check: kernel rate 779.3 Mflop/s (Table 5, gcc)\n"
+               "x parallel efficiency x build overhead = "
+            << Table::fixed(predicted_mflops_per_proc, 1)
+            << " Mflops/proc vs the paper's measured 623.9 ("
+            << Table::fixed(predicted_mflops_per_proc / 623.9, 2)
+            << "x).\nKey shape: the full 288-proc SS (~180 Gflop/s) matches "
+               "256 procs of\nASCI Q ("
+            << Table::fixed(2793.0 * 256 / 3600, 0)
+            << " Gflop/s) and beats the 256-proc SP-3 by 3x, at a tenth\n"
+               "of the price.\n";
+  return 0;
+}

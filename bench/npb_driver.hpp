@@ -1,0 +1,55 @@
+// Shared driver for the NPB reproduction benches: runs one modeled NPB
+// kernel on a simulated Space Simulator of the given size and returns the
+// performance record.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "npb/cg.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+#include "npb/pseudo.hpp"
+#include "simnet/profile.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb_driver {
+
+inline ss::npb::Result run_modeled(const std::string& name,
+                                   ss::npb::Class klass, int procs) {
+  using namespace ss::npb;
+  // LAM 6.5.9 -O was the production MPI for the paper's NPB numbers.
+  auto model =
+      ss::vmpi::make_space_simulator_model(ss::simnet::lam_homogeneous());
+  ss::vmpi::Runtime rt(procs, model);
+  Result out;
+  std::mutex mu;
+  rt.run([&](ss::vmpi::Comm& c) {
+    Result r;
+    if (name == "BT") {
+      r = run_pseudo_modeled(c, PseudoApp::BT, klass);
+    } else if (name == "SP") {
+      r = run_pseudo_modeled(c, PseudoApp::SP, klass);
+    } else if (name == "LU") {
+      r = run_pseudo_modeled(c, PseudoApp::LU, klass);
+    } else if (name == "MG") {
+      r = run_mg_modeled(c, klass);
+    } else if (name == "CG") {
+      r = run_cg_modeled(c, klass);
+    } else if (name == "FT") {
+      r = run_ft_modeled(c, klass);
+    } else if (name == "IS") {
+      r = run_is_modeled(c, klass);
+    } else {
+      throw std::invalid_argument("unknown NPB kernel: " + name);
+    }
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      out = r;
+    }
+  });
+  return out;
+}
+
+}  // namespace ss::npb_driver

@@ -1,0 +1,101 @@
+// Galactic dynamics example (paper Sec 4.1: "modules to solve problems in
+// galactic dynamics"): two disk galaxies — exponential stellar disks in
+// Plummer dark halos — on a bound orbit, evolved with the treecode.
+//
+//   $ ./galaxy_collision [disk_particles_per_galaxy] [steps]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "nbody/galaxy.hpp"
+#include "nbody/ic.hpp"
+#include "nbody/integrator.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ss::nbody;
+  using ss::support::Table;
+  using ss::support::Vec3;
+
+  GalaxyConfig gcfg;
+  gcfg.disk_particles = argc > 1 ? std::atoi(argv[1]) : 1200;
+  gcfg.halo_particles = 2 * gcfg.disk_particles;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 160;
+
+  std::cout << "disk-galaxy collision: 2 x (" << gcfg.disk_particles
+            << " disk + " << gcfg.halo_particles << " halo) particles\n\n";
+
+  ss::support::Rng rng(1969);
+  auto g1 = make_galaxy(gcfg, rng);
+  auto g2 = make_galaxy(gcfg, rng);
+
+  // Report the initial rotation curve of galaxy 1 against the analytic
+  // enclosed-mass expectation.
+  Table rc("initial rotation curve (galaxy 1)");
+  rc.header({"R", "v_phi measured", "v_circ analytic"});
+  for (const auto& [r, v] : rotation_curve(g1, gcfg.disk_particles, 8, 1.0)) {
+    rc.row({Table::fixed(r, 2), Table::fixed(v, 3),
+            Table::fixed(circular_velocity(gcfg, r), 3)});
+  }
+  std::cout << rc << "\n";
+
+  // Put the pair on a bound orbit; tilt the second disk 45 degrees.
+  for (auto& b : g2) {
+    const double c = std::cos(M_PI / 4), s = std::sin(M_PI / 4);
+    b.pos = {b.pos.x, c * b.pos.y - s * b.pos.z, s * b.pos.y + c * b.pos.z};
+    b.vel = {b.vel.x, c * b.vel.y - s * b.vel.z, s * b.vel.y + c * b.vel.z};
+  }
+  for (auto& b : g1) {
+    b.pos += Vec3{-1.5, 0.0, 0.0};
+    b.vel += Vec3{0.1, -0.25, 0.0};
+  }
+  for (auto& b : g2) {
+    b.pos += Vec3{1.5, 0.0, 0.0};
+    b.vel += Vec3{-0.1, 0.25, 0.0};
+  }
+  std::vector<Body> all(g1);
+  all.insert(all.end(), g2.begin(), g2.end());
+  const int n1 = static_cast<int>(g1.size());
+
+  TreeForceConfig cfg;
+  cfg.theta = 0.7;
+  cfg.eps2 = 1e-3;
+  Leapfrog sim(all, [&](const std::vector<Body>& b,
+                        std::vector<ss::gravity::Accel>& acc) {
+    tree_forces(b, cfg, acc);
+  });
+
+  auto separation = [&] {
+    Vec3 c1, c2;
+    for (int i = 0; i < n1; ++i) c1 += sim.bodies()[static_cast<std::size_t>(i)].pos;
+    for (std::size_t i = static_cast<std::size_t>(n1); i < sim.bodies().size(); ++i) {
+      c2 += sim.bodies()[i].pos;
+    }
+    return (c1 / n1 - c2 / (static_cast<double>(sim.bodies().size()) - n1))
+        .norm();
+  };
+
+  Table t("merger history");
+  t.header({"t", "separation", "E_total", "|L|"});
+  const double e0 = sim.current_energies().total();
+  double min_sep = separation();
+  for (int s = 0; s <= steps; ++s) {
+    if (s > 0) sim.step(0.04);
+    min_sep = std::min(min_sep, separation());
+    if (s % std::max(steps / 8, 1) == 0) {
+      t.row({Table::fixed(sim.time(), 2), Table::fixed(separation(), 2),
+             Table::fixed(sim.current_energies().total(), 4),
+             Table::fixed(total_angular_momentum(sim.bodies()).norm(), 3)});
+    }
+  }
+  std::cout << t;
+  std::cout << "\nclosest approach: " << Table::fixed(min_sep, 2)
+            << "; energy drift "
+            << Table::fixed(100.0 *
+                                std::abs(sim.current_energies().total() - e0) /
+                                std::abs(e0),
+                            2)
+            << "% over " << steps << " steps\n";
+  return 0;
+}

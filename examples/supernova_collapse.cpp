@@ -1,0 +1,70 @@
+// Supernova example: rotating core collapse with SPH and flux-limited-
+// diffusion neutrino transport — paper Sec 4.4 at laptop scale.
+//
+//   $ ./supernova_collapse [particles] [omega_fraction]
+//
+// Watch the core collapse onto the stiffened nuclear equation of state,
+// bounce, and develop the equator-concentrated angular momentum
+// distribution of Fig 8.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "sph/collapse.hpp"
+#include "sph/eos.hpp"
+#include "sph/sph.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ss::sph;
+  using ss::support::Table;
+
+  CollapseConfig ccfg;
+  ccfg.particles = argc > 1 ? std::atoi(argv[1]) : 1500;
+  ccfg.omega_fraction = argc > 2 ? std::atof(argv[2]) : 0.25;
+  ccfg.thermal_fraction = 0.02;
+
+  std::cout << "rotating core collapse: " << ccfg.particles
+            << " SPH particles, Omega = " << ccfg.omega_fraction
+            << " of Keplerian\n\n";
+
+  ss::support::Rng rng(42);
+  auto parts = rotating_core(ccfg, rng);
+  const auto eos = make_collapse_eos(1.0, 1.0, 0.25, 20.0);
+
+  SphConfig cfg;
+  cfg.fld.emissivity = 0.3;
+  cfg.fld.u_threshold = 0.05;
+  cfg.fld.opacity = 50.0;
+  SphSim sim(parts, [eos](double rho, double u) { return eos(rho, u); },
+             cfg);
+
+  Table t("evolution");
+  t.header({"step", "t", "rho_max", "J_z", "E_nu", "equator/pole j"});
+  const double rho0 = 3.0 / (4.0 * M_PI);
+  for (int s = 0; s <= 150; ++s) {
+    const auto d = s > 0 ? sim.step() : StepDiagnostics{};
+    if (s % 25 == 0) {
+      double e_nu = 0.0;
+      for (const auto& p : sim.particles()) e_nu += p.mass * p.e_nu;
+      t.row({std::to_string(s), Table::fixed(sim.time(), 3),
+             Table::fixed(d.max_rho / rho0, 0) + " rho_0",
+             Table::fixed(sim.total_angular_momentum().z, 4),
+             Table::num(e_nu, 2),
+             Table::fixed(equator_to_pole_ratio(sim.particles(), 15.0), 1)});
+    }
+  }
+  std::cout << t << "\n";
+
+  Table prof("angular momentum by polar angle (Fig 8 analysis)");
+  prof.header({"theta (deg)", "<|j_z|>"});
+  for (const auto& b : angular_momentum_profile(sim.particles(), 6)) {
+    prof.row({Table::fixed(b.theta_center * 180.0 / M_PI, 0),
+              Table::num(b.specific_j, 3)});
+  }
+  std::cout << prof;
+  std::cout << "\nThe angular momentum stays on the equator as the core\n"
+               "spins up — the Fig 8 distribution.\n";
+  return 0;
+}

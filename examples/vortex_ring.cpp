@@ -1,0 +1,52 @@
+// Vortex-method example (paper Sec 4.1 / ref [9]): a vortex ring
+// discretized into circulation-carrying particles translates under its
+// self-induced Biot-Savart velocity, evaluated through the same hashed
+// oct-tree that powers the gravity solver.
+//
+//   $ ./vortex_ring [particles] [steps]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "support/table.hpp"
+#include "vortex/biot_savart.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ss::vortex;
+  using ss::support::Table;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 10;
+  const double gamma = 1.0, radius = 1.0;
+
+  TreeBiotSavartConfig cfg;
+  cfg.smoothing = 0.08;  // regularization core
+
+  std::cout << "vortex ring: Gamma = " << gamma << ", R = " << radius
+            << ", " << n << " particles, core " << cfg.smoothing << "\n\n";
+
+  auto ring = vortex_ring(gamma, radius, n);
+
+  Table t("self-induced translation");
+  t.header({"t", "<z>", "<R>", "U measured", "U Kelvin (thin core)"});
+  const double dt = 0.2;
+  double z_prev = 0.0;
+  for (int s = 0; s <= steps; ++s) {
+    double z = 0.0, r = 0.0;
+    for (const auto& p : ring) {
+      z += p.pos.z / ring.size();
+      r += std::hypot(p.pos.x, p.pos.y) / ring.size();
+    }
+    t.row({Table::fixed(s * dt, 1), Table::fixed(z, 4), Table::fixed(r, 4),
+           s == 0 ? "-" : Table::fixed((z - z_prev) / dt, 3),
+           Table::fixed(ring_translation_speed(gamma, radius, cfg.smoothing),
+                        3)});
+    z_prev = z;
+    if (s < steps) advect(ring, dt, 4, cfg);
+  }
+  std::cout << t;
+  std::cout << "\nThe ring translates along its axis at a steady speed of\n"
+               "the Kelvin order while keeping its radius — the classic\n"
+               "validation of a vortex particle method.\n";
+  return 0;
+}

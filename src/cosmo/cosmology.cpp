@@ -1,0 +1,58 @@
+#include "cosmo/cosmology.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ss::cosmo {
+
+double Cosmology::hubble(double a) const {
+  const double omega_k = 1.0 - omega_m - omega_lambda;
+  return std::sqrt(omega_m / (a * a * a) + omega_k / (a * a) + omega_lambda);
+}
+
+double Cosmology::growth(double a) const {
+  if (omega_lambda == 0.0 && omega_m == 1.0) return a;  // EdS exactly
+  auto integrand = [&](double x) {
+    const double hx = hubble(x);
+    return 1.0 / (x * x * x * hx * hx * hx);
+  };
+  auto growth_raw = [&](double aa) {
+    // Simpson quadrature of the growth integral from ~0 to aa.
+    const int steps = 512;
+    const double lo = 1e-6, hi = aa;
+    const double h = (hi - lo) / steps;
+    double acc = integrand(lo) + integrand(hi);
+    for (int i = 1; i < steps; ++i) {
+      acc += integrand(lo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+    }
+    return hubble(aa) * acc * h / 3.0;
+  };
+  return growth_raw(a) / growth_raw(1.0);
+}
+
+double Cosmology::growth_rate(double a) const {
+  if (omega_lambda == 0.0 && omega_m == 1.0) return 1.0;
+  const double h = 1e-4 * a;
+  const double d0 = growth(a - h), d1 = growth(a + h);
+  return a * (d1 - d0) / (2.0 * h) / growth(a);
+}
+
+double Cosmology::mean_density() const {
+  // rho_crit = 3 H0^2 / (8 pi G) with H0 = G = 1.
+  return omega_m * 3.0 / (8.0 * std::numbers::pi);
+}
+
+double Cosmology::time_of(double a) const {
+  // t = int_0^a da' / (a' H(a')).
+  const int steps = 2048;
+  const double lo = 1e-8;
+  const double h = (a - lo) / steps;
+  auto f = [&](double x) { return 1.0 / (x * hubble(x)); };
+  double acc = f(lo) + f(a);
+  for (int i = 1; i < steps; ++i) {
+    acc += f(lo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace ss::cosmo

@@ -1,0 +1,38 @@
+// Homogeneous background cosmology: the Friedmann expansion rate and the
+// linear growth factor that normalizes the Zel'dovich initial conditions
+// and validates the N-body growth (paper Sec 4.3).
+//
+// Internal unit system: H0 = 1, G = 1, box length = 1 comoving unit. The
+// critical density is then 3/(8 pi).
+#pragma once
+
+namespace ss::cosmo {
+
+struct Cosmology {
+  double omega_m = 1.0;       ///< Matter density parameter.
+  double omega_lambda = 0.0;  ///< Cosmological constant.
+
+  /// Hubble rate H(a) in units of H0 (flat; curvature from closure).
+  double hubble(double a) const;
+
+  /// Linear growth factor D(a), normalized so D(1) = 1. For
+  /// Einstein-de Sitter this is exactly a; in general the standard
+  /// integral D ~ H(a) * int da' / (a' H(a'))^3.
+  double growth(double a) const;
+
+  /// Growth rate f = dlnD/dlna (1 for EdS; ~omega_m(a)^0.55 otherwise).
+  double growth_rate(double a) const;
+
+  /// Mean comoving matter density with G = 1, H0 = 1.
+  double mean_density() const;
+
+  /// Cosmic time (units of 1/H0) since a=0, by quadrature.
+  double time_of(double a) const;
+};
+
+/// The Einstein-de Sitter model used by the reproduction's tests.
+inline Cosmology einstein_de_sitter() { return {1.0, 0.0}; }
+/// A 2003-vintage LambdaCDM concordance model.
+inline Cosmology lcdm_2003() { return {0.3, 0.7}; }
+
+}  // namespace ss::cosmo

@@ -1,0 +1,108 @@
+#include "cosmo/ewald.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ss::cosmo {
+
+using support::Vec3;
+
+Vec3 ewald_force(const Vec3& d, const EwaldConfig& cfg) {
+  const double alpha = cfg.alpha;
+  const double two_pi = 2.0 * std::numbers::pi;
+  Vec3 f;
+
+  // Real-space: erfc-screened Newtonian forces of the image lattice.
+  for (int nx = -cfg.real_cut; nx <= cfg.real_cut; ++nx) {
+    for (int ny = -cfg.real_cut; ny <= cfg.real_cut; ++ny) {
+      for (int nz = -cfg.real_cut; nz <= cfg.real_cut; ++nz) {
+        const Vec3 r{d.x + nx, d.y + ny, d.z + nz};
+        const double rr = r.norm();
+        if (rr < 1e-12) continue;  // the self-image contributes no force
+        const double ar = alpha * rr;
+        const double screen =
+            std::erfc(ar) +
+            (2.0 * ar / std::sqrt(std::numbers::pi)) * std::exp(-ar * ar);
+        f -= (screen / (rr * rr * rr)) * r;
+      }
+    }
+  }
+
+  // Reciprocal-space: F_k = -(4 pi / k^2) exp(-k^2 / 4 alpha^2) k sin(k.d)
+  // (unit box volume).
+  for (int hx = -cfg.k_cut; hx <= cfg.k_cut; ++hx) {
+    for (int hy = -cfg.k_cut; hy <= cfg.k_cut; ++hy) {
+      for (int hz = -cfg.k_cut; hz <= cfg.k_cut; ++hz) {
+        if (hx == 0 && hy == 0 && hz == 0) continue;
+        const Vec3 k{two_pi * hx, two_pi * hy, two_pi * hz};
+        const double k2 = k.norm2();
+        const double coef = 4.0 * std::numbers::pi / k2 *
+                            std::exp(-k2 / (4.0 * alpha * alpha));
+        f -= coef * std::sin(k.dot(d)) * k;
+      }
+    }
+  }
+  return f;
+}
+
+Vec3 nearest_images_force(const Vec3& d, double softening2) {
+  Vec3 f;
+  for (int nx = -1; nx <= 1; ++nx) {
+    for (int ny = -1; ny <= 1; ++ny) {
+      for (int nz = -1; nz <= 1; ++nz) {
+        const Vec3 r{d.x + nx, d.y + ny, d.z + nz};
+        const double r2 = r.norm2() + softening2;
+        if (r2 < 1e-24) continue;
+        f -= (1.0 / (r2 * std::sqrt(r2))) * r;
+      }
+    }
+  }
+  return f;
+}
+
+EwaldCorrection::EwaldCorrection(int grid, const EwaldConfig& cfg)
+    : grid_(grid),
+      table_(static_cast<std::size_t>(grid + 1) * (grid + 1) * (grid + 1)) {
+  for (int i = 0; i <= grid_; ++i) {
+    for (int j = 0; j <= grid_; ++j) {
+      for (int k = 0; k <= grid_; ++k) {
+        const Vec3 d{1.0 * i / grid_, 1.0 * j / grid_, 1.0 * k / grid_};
+        table_[(static_cast<std::size_t>(i) * (grid_ + 1) + j) * (grid_ + 1) +
+               k] = ewald_force(d, cfg) - nearest_images_force(d);
+      }
+    }
+  }
+}
+
+Vec3 EwaldCorrection::operator()(const Vec3& d) const {
+  // Odd reflection per axis over the tabulated octant [0, 1]^3.
+  const double x = std::clamp(d.x, -1.0, 1.0);
+  const double y = std::clamp(d.y, -1.0, 1.0);
+  const double z = std::clamp(d.z, -1.0, 1.0);
+  const double sx = x < 0 ? -1.0 : 1.0;
+  const double sy = y < 0 ? -1.0 : 1.0;
+  const double sz = z < 0 ? -1.0 : 1.0;
+  const double ax = std::abs(x) * grid_;  // in table cells
+  const double ay = std::abs(y) * grid_;
+  const double az = std::abs(z) * grid_;
+  const int i = std::min(static_cast<int>(ax), grid_ - 1);
+  const int j = std::min(static_cast<int>(ay), grid_ - 1);
+  const int k = std::min(static_cast<int>(az), grid_ - 1);
+  const double tx = ax - i, ty = ay - j, tz = az - k;
+
+  Vec3 out;
+  for (int di = 0; di < 2; ++di) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int dk = 0; dk < 2; ++dk) {
+        const double w = (di ? tx : 1.0 - tx) * (dj ? ty : 1.0 - ty) *
+                         (dk ? tz : 1.0 - tz);
+        out += w * at(i + di, j + dj, k + dk);
+      }
+    }
+  }
+  // Odd symmetry: flipping an axis flips that force component.
+  return {sx * out.x, sy * out.y, sz * out.z};
+}
+
+}  // namespace ss::cosmo

@@ -1,0 +1,64 @@
+// Ewald summation for gravity in the periodic unit box.
+//
+// The 27-image truncation used by the basic tree engine misses the
+// conditionally convergent tail of the image sum; production periodic
+// treecodes (Hernquist, Bouchet & Suto 1991 and descendants) split the
+// periodic force of a point mass into a short-range erfc-screened real
+// sum and a rapidly converging reciprocal-space sum, and tabulate the
+// difference from the plain Newtonian force once per run.
+//
+// Conventions: unit box, G = 1, unit source mass at the origin with the
+// uniform neutralizing background implied by periodicity. The force is
+// the gravitational acceleration F = -grad phi (pointing toward the
+// mass at small separations: F(d) ~ -d/|d|^3).
+#pragma once
+
+#include <vector>
+
+#include "support/vec3.hpp"
+
+namespace ss::cosmo {
+
+struct EwaldConfig {
+  double alpha = 2.0;  ///< Splitting parameter (box units).
+  int real_cut = 4;    ///< Real-space images per dimension: [-cut, cut].
+  int k_cut = 7;       ///< Reciprocal vectors per dimension.
+};
+
+/// Exact (to the cutoffs) periodic force of a unit mass at the origin,
+/// evaluated at displacement d from the mass. The result is independent
+/// of `alpha` — the property the tests exploit.
+support::Vec3 ewald_force(const support::Vec3& d, const EwaldConfig& cfg = {});
+
+/// Tabulated correction: ewald_force(d) minus the Newtonian forces of the
+/// 27 fixed images n in {-1,0,1}^3. NOTE: unlike the minimum-image
+/// correction of PM-tree codes, this function is *not* periodic (the
+/// 27-image sum is not), but it is smooth and odd over the full displacement
+/// range d in (-1, 1)^3 that box-interior positions produce, which is the
+/// domain tabulated here (odd reflection halves each axis).
+class EwaldCorrection {
+ public:
+  explicit EwaldCorrection(int grid = 16, const EwaldConfig& cfg = {});
+
+  /// Correction force at displacement d, components in [-1, 1] (clamped).
+  support::Vec3 operator()(const support::Vec3& d) const;
+
+  int grid() const { return grid_; }
+
+ private:
+  support::Vec3 at(int i, int j, int k) const {
+    return table_[(static_cast<std::size_t>(i) * (grid_ + 1) + j) *
+                      (grid_ + 1) +
+                  k];
+  }
+
+  int grid_;
+  std::vector<support::Vec3> table_;  ///< Over [0, 1]^3, (grid+1)^3 nodes.
+};
+
+/// Newtonian force sum of the 27 nearest periodic images of a unit mass
+/// at the origin (the part the tree engine computes itself).
+support::Vec3 nearest_images_force(const support::Vec3& d,
+                                   double softening2 = 0.0);
+
+}  // namespace ss::cosmo

@@ -1,0 +1,131 @@
+#include "cosmo/fof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hot/tree.hpp"
+
+namespace ss::cosmo {
+
+namespace {
+
+/// Union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Halo> friends_of_friends(const std::vector<nbody::Body>& bodies,
+                                     const FofConfig& cfg) {
+  const auto n = bodies.size();
+  if (n == 0) return {};
+  const double mean_sep = 1.0 / std::cbrt(static_cast<double>(n));
+  const double link = cfg.linking_b * mean_sep;
+
+  // Tree over the (optionally replicated) positions for range queries.
+  // For the periodic case, replicate bodies within `link` of a face so
+  // cross-boundary friendships are found; ghosts map back to their source.
+  std::vector<hot::Source> pts;
+  std::vector<std::uint32_t> owner;
+  pts.reserve(n);
+  owner.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({bodies[i].pos, 1.0});
+    owner.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (cfg.periodic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& p = bodies[i].pos;
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dz = -1; dz <= 1; ++dz) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const support::Vec3 q{p.x + dx, p.y + dy, p.z + dz};
+            // Keep a ghost only if it lies within `link` of the box.
+            if (q.x > -link && q.x < 1.0 + link && q.y > -link &&
+                q.y < 1.0 + link && q.z > -link && q.z < 1.0 + link) {
+              pts.push_back({q, 1.0});
+              owner.push_back(static_cast<std::uint32_t>(i));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  hot::Tree tree(pts, hot::TreeConfig{16});
+  const auto& perm = tree.original_index();
+
+  UnionFind uf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto t : tree.neighbors_within(bodies[i].pos, link)) {
+      const std::uint32_t j = owner[perm[t]];
+      if (j != i) uf.unite(static_cast<std::uint32_t>(i), j);
+    }
+  }
+
+  // Collect components.
+  std::vector<std::vector<std::uint32_t>> groups(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups[uf.find(static_cast<std::uint32_t>(i))].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<Halo> halos;
+  for (auto& g : groups) {
+    if (static_cast<int>(g.size()) < cfg.min_members) continue;
+    Halo h;
+    h.members = std::move(g);
+    // Center of mass with periodic unwrapping relative to the first member.
+    const support::Vec3 ref = bodies[h.members.front()].pos;
+    support::Vec3 com, vel;
+    for (auto idx : h.members) {
+      const auto& b = bodies[idx];
+      support::Vec3 d = b.pos - ref;
+      if (cfg.periodic) {
+        for (double* c : {&d.x, &d.y, &d.z}) {
+          if (*c > 0.5) *c -= 1.0;
+          if (*c < -0.5) *c += 1.0;
+        }
+      }
+      com += b.mass * d;
+      vel += b.mass * b.vel;
+      h.mass += b.mass;
+    }
+    com = ref + com / h.mass;
+    if (cfg.periodic) {
+      com = {com.x - std::floor(com.x), com.y - std::floor(com.y),
+             com.z - std::floor(com.z)};
+    }
+    h.center = com;
+    h.velocity = vel / h.mass;
+    halos.push_back(std::move(h));
+  }
+  std::sort(halos.begin(), halos.end(),
+            [](const Halo& a, const Halo& b) { return a.mass > b.mass; });
+  return halos;
+}
+
+}  // namespace ss::cosmo

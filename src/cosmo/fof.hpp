@@ -1,0 +1,35 @@
+// Friends-of-friends halo finder — the standard tool for turning the
+// paper's dark-matter simulations into halo catalogs ("examine the
+// sub-structure of dark matter halos", Sec 4.3).
+//
+// Two particles are friends when closer than b times the mean
+// interparticle separation; halos are the connected components. Neighbor
+// queries run through the hashed oct-tree; components through union-find.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbody/ic.hpp"
+
+namespace ss::cosmo {
+
+struct FofConfig {
+  double linking_b = 0.2;   ///< In units of the mean separation.
+  int min_members = 10;     ///< Smaller groups are discarded.
+  bool periodic = false;    ///< Unit-box periodic wrapping of distances.
+};
+
+struct Halo {
+  std::vector<std::uint32_t> members;  ///< Indices into the input array.
+  double mass = 0.0;
+  support::Vec3 center;  ///< Center of mass.
+  support::Vec3 velocity;
+};
+
+/// Find halos among `bodies` (assumed to live in the unit box when
+/// periodic). Returned halos are sorted by descending mass.
+std::vector<Halo> friends_of_friends(const std::vector<nbody::Body>& bodies,
+                                     const FofConfig& cfg = {});
+
+}  // namespace ss::cosmo

@@ -1,0 +1,147 @@
+#include "cosmo/measure.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+#include "hot/tree.hpp"
+
+namespace ss::cosmo {
+
+std::vector<double> cic_density(const std::vector<nbody::Body>& bodies,
+                                int n) {
+  std::vector<double> rho(static_cast<std::size_t>(n) * n * n, 0.0);
+  auto add = [&](int i, int j, int k, double w) {
+    i = (i % n + n) % n;
+    j = (j % n + n) % n;
+    k = (k % n + n) % n;
+    rho[(static_cast<std::size_t>(i) * n + j) * n + k] += w;
+  };
+  double total_mass = 0.0;
+  for (const auto& b : bodies) total_mass += b.mass;
+  for (const auto& b : bodies) {
+    // Cell-centered CIC: the particle spreads over the 8 nearest centers.
+    const double x = b.pos.x * n - 0.5;
+    const double y = b.pos.y * n - 0.5;
+    const double z = b.pos.z * n - 0.5;
+    const int i = static_cast<int>(std::floor(x));
+    const int j = static_cast<int>(std::floor(y));
+    const int k = static_cast<int>(std::floor(z));
+    const double fx = x - i, fy = y - j, fz = z - k;
+    for (int di = 0; di < 2; ++di) {
+      for (int dj = 0; dj < 2; ++dj) {
+        for (int dk = 0; dk < 2; ++dk) {
+          const double w = (di ? fx : 1.0 - fx) * (dj ? fy : 1.0 - fy) *
+                           (dk ? fz : 1.0 - fz);
+          add(i + di, j + dj, k + dk, w * b.mass);
+        }
+      }
+    }
+  }
+  const double mean = total_mass / static_cast<double>(rho.size());
+  for (auto& v : rho) v = v / mean - 1.0;
+  return rho;
+}
+
+std::vector<PowerBin> power_spectrum(const std::vector<nbody::Body>& bodies,
+                                     int grid) {
+  const auto delta = cic_density(bodies, grid);
+  fft::Grid3 g(grid);
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    g.flat()[i] = {delta[i], 0.0};
+  }
+  fft::fft3(g, false);
+
+  auto freq = [&](int i) { return i <= grid / 2 ? i : i - grid; };
+  const int nbins = grid / 2;
+  std::vector<PowerBin> bins(static_cast<std::size_t>(nbins));
+  const double n6 = std::pow(static_cast<double>(grid), 6.0);
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      for (int k = 0; k < grid; ++k) {
+        const double m = std::sqrt(
+            static_cast<double>(freq(i)) * freq(i) +
+            static_cast<double>(freq(j)) * freq(j) +
+            static_cast<double>(freq(k)) * freq(k));
+        const int bin = static_cast<int>(std::floor(m + 0.5)) - 1;
+        if (bin < 0 || bin >= nbins) continue;
+        auto& b = bins[static_cast<std::size_t>(bin)];
+        b.power += std::norm(g.at(i, j, k)) / n6;
+        b.k_code += 2.0 * std::numbers::pi * m;
+        ++b.modes;
+      }
+    }
+  }
+  for (auto& b : bins) {
+    if (b.modes > 0) {
+      b.power /= b.modes;
+      b.k_code /= b.modes;
+    }
+  }
+  return bins;
+}
+
+std::vector<CorrelationBin> correlation_function(
+    const std::vector<nbody::Body>& bodies, double r_max, int bins) {
+  const auto n = bodies.size();
+  std::vector<CorrelationBin> out(static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<std::size_t>(b)].r_center = (b + 0.5) * r_max / bins;
+  }
+  if (n < 2) return out;
+
+  // Replicate near-face bodies so periodic pairs are counted (r_max must
+  // stay below half the box).
+  std::vector<hot::Source> pts;
+  for (const auto& b : bodies) pts.push_back({b.pos, 1.0});
+  const std::size_t n_real = pts.size();
+  for (std::size_t i = 0; i < n_real; ++i) {
+    const auto p = pts[i].pos;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const support::Vec3 q{p.x + dx, p.y + dy, p.z + dz};
+          if (q.x > -r_max && q.x < 1.0 + r_max && q.y > -r_max &&
+              q.y < 1.0 + r_max && q.z > -r_max && q.z < 1.0 + r_max) {
+            pts.push_back({q, 1.0});
+          }
+        }
+      }
+    }
+  }
+  hot::Tree tree(pts, hot::TreeConfig{16});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto t : tree.neighbors_within(bodies[i].pos, r_max)) {
+      const auto& q = tree.bodies()[t].pos;
+      const double r = (q - bodies[i].pos).norm();
+      if (r <= 0.0) continue;  // self (and exact duplicates)
+      const int b = std::min(static_cast<int>(r / r_max * bins), bins - 1);
+      ++out[static_cast<std::size_t>(b)].pairs;  // ordered pairs
+    }
+  }
+
+  // Random expectation for ordered pairs in a periodic box of volume 1:
+  // RR_bin = N * (N-1) * shell_volume.
+  for (int b = 0; b < bins; ++b) {
+    const double r0 = b * r_max / bins;
+    const double r1 = (b + 1) * r_max / bins;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r1 * r1 * r1 - r0 * r0 * r0);
+    const double rr = static_cast<double>(n) *
+                      static_cast<double>(n - 1) * shell;
+    auto& bin = out[static_cast<std::size_t>(b)];
+    bin.xi = rr > 0.0 ? static_cast<double>(bin.pairs) / rr - 1.0 : 0.0;
+  }
+  return out;
+}
+
+double sigma_delta(const std::vector<nbody::Body>& bodies, int grid) {
+  const auto delta = cic_density(bodies, grid);
+  double acc = 0.0;
+  for (double v : delta) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(delta.size()));
+}
+
+}  // namespace ss::cosmo

@@ -1,0 +1,49 @@
+#include "cosmo/power.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ss::cosmo {
+
+double PowerSpectrum::transfer_bbks(double q) {
+  if (q <= 0.0) return 1.0;
+  const double l = std::log(1.0 + 2.34 * q) / (2.34 * q);
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  return l * std::pow(poly, -0.25);
+}
+
+double PowerSpectrum::operator()(double k_hmpc) const {
+  if (k_hmpc <= 0.0) return 0.0;
+  const double t = transfer_bbks(k_hmpc / gamma);
+  return amplitude * std::pow(k_hmpc, n_s) * t * t;
+}
+
+double PowerSpectrum::sigma_tophat(double r) const {
+  // sigma^2 = 1/(2 pi^2) int k^2 P(k) W(kr)^2 dk, W the top-hat window.
+  auto window = [](double x) {
+    if (x < 1e-4) return 1.0 - x * x / 10.0;
+    return 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+  };
+  // Log-spaced Simpson quadrature.
+  const int steps = 2048;
+  const double lk0 = std::log(1e-4), lk1 = std::log(1e3);
+  const double h = (lk1 - lk0) / steps;
+  double acc = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double k = std::exp(lk0 + i * h);
+    const double w = window(k * r);
+    const double f = k * k * k * (*this)(k)*w * w;  // extra k: dk = k dlnk
+    acc += f * (i == 0 || i == steps ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0));
+  }
+  const double integral = acc * h / 3.0;
+  return std::sqrt(integral / (2.0 * std::numbers::pi * std::numbers::pi));
+}
+
+void PowerSpectrum::normalize() {
+  amplitude = 1.0;
+  const double s = sigma_tophat(8.0);
+  amplitude = sigma8 * sigma8 / (s * s);
+}
+
+}  // namespace ss::cosmo

@@ -1,0 +1,31 @@
+// Linear matter power spectrum: a scale-invariant primordial spectrum
+// shaped by the BBKS (Bardeen, Bond, Kaiser & Szalay 1986) cold-dark-
+// matter transfer function and normalized by sigma8 — the standard
+// ingredient list for 2003-era cosmological initial conditions.
+#pragma once
+
+namespace ss::cosmo {
+
+struct PowerSpectrum {
+  double n_s = 1.0;      ///< Primordial spectral index.
+  double gamma = 0.21;   ///< Shape parameter (Omega_m h for CDM).
+  double sigma8 = 0.9;   ///< Normalization in 8 Mpc/h spheres.
+  double box_mpch = 125.0;  ///< Box size in Mpc/h (the Fig 7 run's scale);
+                            ///< maps code k (units of 2 pi / box) to Mpc/h.
+  double amplitude = 0.0;   ///< Set by normalize(); P(k) prefactor.
+
+  /// BBKS transfer function; k in h/Mpc.
+  static double transfer_bbks(double k_over_gamma);
+
+  /// Dimensioned linear power P(k), k in h/Mpc, after normalize().
+  double operator()(double k_hmpc) const;
+
+  /// Compute `amplitude` so that the rms overdensity in 8 Mpc/h top-hat
+  /// spheres equals sigma8.
+  void normalize();
+
+  /// rms top-hat overdensity at radius r (Mpc/h) with current amplitude.
+  double sigma_tophat(double r_mpch) const;
+};
+
+}  // namespace ss::cosmo

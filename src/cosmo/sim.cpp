@@ -1,0 +1,261 @@
+#include "cosmo/sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "cosmo/ewald.hpp"
+#include "cosmo/measure.hpp"
+#include "fft/fft.hpp"
+
+namespace ss::cosmo {
+
+using support::Vec3;
+
+CosmoSim::CosmoSim(Cosmology cosmo, std::vector<nbody::Body> bodies,
+                   double a_start, SimConfig cfg)
+    : cosmo_(cosmo), bodies_(std::move(bodies)), a_(a_start), cfg_(cfg) {}
+
+std::vector<Vec3> CosmoSim::forces() const {
+  return cfg_.engine == ForceEngine::pm ? forces_pm() : forces_tree();
+}
+
+namespace {
+
+/// Coarse mass aggregates for applying the Ewald correction at monopole
+/// level: the cells at (or above, for shallow leaves) the given level.
+struct CoarseCell {
+  Vec3 com;
+  double mass;
+};
+
+void collect_coarse(const hot::Tree& tree, std::uint32_t idx, int level,
+                    std::vector<CoarseCell>& out) {
+  const hot::Cell& c = tree.cell(idx);
+  if (c.count == 0) return;
+  if (c.leaf || morton::level(c.key) >= level) {
+    out.push_back({c.mom.com, c.mom.mass});
+    return;
+  }
+  for (int o = 0; o < 8; ++o) {
+    if (c.children[o] >= 0) {
+      collect_coarse(tree, static_cast<std::uint32_t>(c.children[o]), level,
+                     out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Vec3> CosmoSim::forces_pm() const {
+  const int n = cfg_.pm_grid;
+  const double two_pi = 2.0 * std::numbers::pi;
+  // Poisson: phi_k = -(4 pi G rho_mean / a) delta_k / k^2
+  //                = -(3/2) (omega_m / a) delta_k / k^2   (H0 = G = 1).
+  const auto delta = cic_density(bodies_, n);
+  fft::Grid3 g(n);
+  for (std::size_t i = 0; i < delta.size(); ++i) g.flat()[i] = {delta[i], 0};
+  fft::fft3(g, false);
+
+  auto freq = [&](int i) { return i <= n / 2 ? i : i - n; };
+  fft::Grid3 acc[3] = {fft::Grid3(n), fft::Grid3(n), fft::Grid3(n)};
+  const double pref = 1.5 * cosmo_.omega_m / a_;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        const double kx = two_pi * freq(i);
+        const double ky = two_pi * freq(j);
+        const double kz = two_pi * freq(k);
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        if (k2 == 0.0) continue;
+        // accel_k = -i k phi_k = i k * pref * delta_k / k^2 ... sign:
+        // phi_k = -pref delta_k / k^2; accel = -grad phi -> -i k phi_k
+        // = i k pref delta_k / k^2.
+        const auto base = g.at(i, j, k) * (pref / k2);
+        const std::complex<double> I(0.0, 1.0);
+        acc[0].at(i, j, k) = I * kx * base;
+        acc[1].at(i, j, k) = I * ky * base;
+        acc[2].at(i, j, k) = I * kz * base;
+      }
+    }
+  }
+  for (auto& gr : acc) fft::fft3(gr, true);
+
+  // CIC interpolation back to the particles (same kernel as the deposit,
+  // so the self-force cancels).
+  std::vector<Vec3> out(bodies_.size());
+  for (std::size_t b = 0; b < bodies_.size(); ++b) {
+    const double x = bodies_[b].pos.x * n - 0.5;
+    const double y = bodies_[b].pos.y * n - 0.5;
+    const double z = bodies_[b].pos.z * n - 0.5;
+    const int i = static_cast<int>(std::floor(x));
+    const int j = static_cast<int>(std::floor(y));
+    const int k = static_cast<int>(std::floor(z));
+    const double fx = x - i, fy = y - j, fz = z - k;
+    Vec3 a_out;
+    for (int di = 0; di < 2; ++di) {
+      for (int dj = 0; dj < 2; ++dj) {
+        for (int dk = 0; dk < 2; ++dk) {
+          const double w = (di ? fx : 1.0 - fx) * (dj ? fy : 1.0 - fy) *
+                           (dk ? fz : 1.0 - fz);
+          const int ii = ((i + di) % n + n) % n;
+          const int jj = ((j + dj) % n + n) % n;
+          const int kk = ((k + dk) % n + n) % n;
+          a_out.x += w * acc[0].at(ii, jj, kk).real();
+          a_out.y += w * acc[1].at(ii, jj, kk).real();
+          a_out.z += w * acc[2].at(ii, jj, kk).real();
+        }
+      }
+    }
+    out[b] = a_out;
+  }
+  return out;
+}
+
+namespace {
+
+/// Sum of the tree force at the 27 periodic image positions of x.
+Vec3 image_sum(const hot::Tree& tree, const Vec3& x, double theta,
+               double eps2, hot::TraverseStats* stats) {
+  Vec3 g;
+  for (int ix = -1; ix <= 1; ++ix) {
+    for (int iy = -1; iy <= 1; ++iy) {
+      for (int iz = -1; iz <= 1; ++iz) {
+        const Vec3 target =
+            x + Vec3{double(ix), double(iy), double(iz)};
+        g += tree.accelerate(target, theta, eps2,
+                             gravity::RsqrtMethod::libm, stats)
+                 .a;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+void CosmoSim::build_background_table() const {
+  // A uniform lattice carrying the same total mass: its 27-image force
+  // field is the spurious homogeneous-background attraction that must be
+  // subtracted (it pulls everything toward the image block's center).
+  const int nl = 16;
+  double total_mass = 0.0;
+  for (const auto& b : bodies_) total_mass += b.mass;
+  std::vector<hot::Source> lattice;
+  lattice.reserve(static_cast<std::size_t>(nl) * nl * nl);
+  const double m = total_mass / (static_cast<double>(nl) * nl * nl);
+  for (int i = 0; i < nl; ++i) {
+    for (int j = 0; j < nl; ++j) {
+      for (int k = 0; k < nl; ++k) {
+        lattice.push_back({{(i + 0.5) / nl, (j + 0.5) / nl, (k + 0.5) / nl},
+                           m});
+      }
+    }
+  }
+  const morton::Box box{{0.0, 0.0, 0.0}, 1.0};
+  hot::Tree tree(lattice, box, hot::TreeConfig{16});
+  const double eps2 = cfg_.eps * cfg_.eps;
+
+  bg_table_.resize(static_cast<std::size_t>(kBg + 1) * (kBg + 1) * (kBg + 1));
+  for (int i = 0; i <= kBg; ++i) {
+    for (int j = 0; j <= kBg; ++j) {
+      for (int k = 0; k <= kBg; ++k) {
+        const Vec3 x{static_cast<double>(i) / kBg,
+                     static_cast<double>(j) / kBg,
+                     static_cast<double>(k) / kBg};
+        bg_table_[(static_cast<std::size_t>(i) * (kBg + 1) + j) * (kBg + 1) +
+                  k] = image_sum(tree, x, cfg_.theta, eps2, nullptr);
+      }
+    }
+  }
+}
+
+Vec3 CosmoSim::background_force(const Vec3& x) const {
+  const double fx = std::clamp(x.x, 0.0, 1.0) * kBg;
+  const double fy = std::clamp(x.y, 0.0, 1.0) * kBg;
+  const double fz = std::clamp(x.z, 0.0, 1.0) * kBg;
+  const int i = std::min(static_cast<int>(fx), kBg - 1);
+  const int j = std::min(static_cast<int>(fy), kBg - 1);
+  const int k = std::min(static_cast<int>(fz), kBg - 1);
+  const double tx = fx - i, ty = fy - j, tz = fz - k;
+  auto at = [&](int ii, int jj, int kk) -> const Vec3& {
+    return bg_table_[(static_cast<std::size_t>(ii) * (kBg + 1) + jj) *
+                         (kBg + 1) +
+                     kk];
+  };
+  Vec3 out;
+  for (int di = 0; di < 2; ++di) {
+    for (int dj = 0; dj < 2; ++dj) {
+      for (int dk = 0; dk < 2; ++dk) {
+        const double w = (di ? tx : 1.0 - tx) * (dj ? ty : 1.0 - ty) *
+                         (dk ? tz : 1.0 - tz);
+        out += w * at(i + di, j + dj, k + dk);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Vec3> CosmoSim::forces_tree() const {
+  const bool ewald_mode = cfg_.engine == ForceEngine::tree_ewald;
+  if (ewald_mode) {
+    if (!ewald_) ewald_ = std::make_shared<EwaldCorrection>(16);
+  } else if (bg_table_.empty()) {
+    build_background_table();
+  }
+  const auto sources = nbody::sources_of(bodies_);
+  const morton::Box box{{0.0, 0.0, 0.0}, 1.0};
+  hot::Tree tree(sources, box, hot::TreeConfig{16});
+  const double eps2 = cfg_.eps * cfg_.eps;
+
+  // Ewald mode: the correction (exact periodic force minus the 27-image
+  // Newtonian force) varies smoothly over the box, so it is applied at
+  // the monopole level of coarse cells. This also neutralizes the mean
+  // background exactly, replacing the background table.
+  std::vector<CoarseCell> coarse;
+  if (ewald_mode) collect_coarse(tree, 0, 2, coarse);
+
+  std::vector<Vec3> out(bodies_.size());
+  for (std::size_t b = 0; b < bodies_.size(); ++b) {
+    Vec3 g = image_sum(tree, bodies_[b].pos, cfg_.theta, eps2, &tree_stats_);
+    if (ewald_mode) {
+      for (const auto& c : coarse) {
+        g += c.mass * (*ewald_)(bodies_[b].pos - c.com);
+      }
+    } else {
+      g -= background_force(bodies_[b].pos);
+    }
+    out[b] = g / a_;
+  }
+  return out;
+}
+
+void CosmoSim::evolve_to(double a_end, int steps) {
+  const double da = (a_end - a_) / steps;
+  auto acc = forces();
+  for (int s = 0; s < steps; ++s) {
+    const double a0 = a_;
+    const double a1 = a_ + da;
+    const double ah = 0.5 * (a0 + a1);
+    const double dt0 = 0.5 * da / (a0 * cosmo_.hubble(a0));
+    const double dt1 = 0.5 * da / (a1 * cosmo_.hubble(a1));
+    const double dt_drift = da / (ah * cosmo_.hubble(ah));
+
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      bodies_[i].vel += dt0 * acc[i];  // kick (p = a^2 dx/dt)
+    }
+    auto wrap = [](double x) { return x - std::floor(x); };
+    for (auto& b : bodies_) {
+      const Vec3 dx = (dt_drift / (ah * ah)) * b.vel;
+      b.pos = {wrap(b.pos.x + dx.x), wrap(b.pos.y + dx.y),
+               wrap(b.pos.z + dx.z)};
+    }
+    a_ = a1;
+    acc = forces();
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      bodies_[i].vel += dt1 * acc[i];
+    }
+  }
+}
+
+}  // namespace ss::cosmo

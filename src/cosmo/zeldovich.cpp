@@ -1,0 +1,94 @@
+#include "cosmo/zeldovich.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+
+namespace ss::cosmo {
+
+namespace {
+
+/// Signed integer frequency of FFT bin i on an n-grid.
+int freq(int i, int n) { return i <= n / 2 ? i : i - n; }
+
+}  // namespace
+
+InitialConditions zeldovich_ics(const Cosmology& cosmo,
+                                const PowerSpectrum& power,
+                                const ZeldovichConfig& cfg) {
+  const int n = cfg.grid;
+  const double two_pi = 2.0 * std::numbers::pi;
+
+  // White noise -> k space. The forward FFT of unit white noise has
+  // <|w_k|^2> = n^3.
+  support::Rng rng(cfg.seed);
+  fft::Grid3 noise(n);
+  for (auto& v : noise.flat()) v = {rng.normal(), 0.0};
+  fft::fft3(noise, false);
+
+  // delta_k = w_k * sqrt(P_code(k)) * n^{3/2}; our convention has
+  // <|delta_k|^2> = n^6 P_code(k) with box volume 1, so that the inverse
+  // transform (which divides by n^3) gives a real-space field with
+  // variance integral P(k) d^3k/(2 pi)^3.
+  fft::Grid3 psi[3] = {fft::Grid3(n), fft::Grid3(n), fft::Grid3(n)};
+  const double norm = std::pow(static_cast<double>(n), 1.5);
+  double sigma2_lin = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        const int mi = freq(i, n), mj = freq(j, n), mk = freq(k, n);
+        const double m2 = static_cast<double>(mi) * mi +
+                          static_cast<double>(mj) * mj +
+                          static_cast<double>(mk) * mk;
+        if (m2 == 0.0) continue;
+        const double k_code = two_pi * std::sqrt(m2);
+        // Physical wavenumber: the box is power.box_mpch Mpc/h across.
+        const double k_hmpc = k_code / power.box_mpch;
+        const double p_code = power(k_hmpc) / std::pow(power.box_mpch, 3.0);
+        const auto delta_k = noise.at(i, j, k) * (std::sqrt(p_code) * norm);
+        sigma2_lin += std::norm(delta_k) / std::pow(double(n), 6.0);
+        // Displacement: psi_k = i k / k^2 * delta_k.
+        const std::complex<double> fac(0.0, 1.0 / (k_code * k_code));
+        psi[0].at(i, j, k) = fac * (two_pi * mi) * delta_k;
+        psi[1].at(i, j, k) = fac * (two_pi * mj) * delta_k;
+        psi[2].at(i, j, k) = fac * (two_pi * mk) * delta_k;
+      }
+    }
+  }
+  for (auto& g : psi) fft::fft3(g, true);
+
+  const double d = cosmo.growth(cfg.a_start);
+  const double f = cosmo.growth_rate(cfg.a_start);
+  const double h = cosmo.hubble(cfg.a_start);
+  const double a = cfg.a_start;
+  // p = a^2 dx/dt = a^2 (H f D) psi for the growing mode.
+  const double vel_fac = a * a * h * f * d;
+
+  InitialConditions out;
+  out.a = a;
+  out.particle_mass = cosmo.mean_density() / std::pow(double(n), 3.0);
+  out.sigma_linear = d * std::sqrt(sigma2_lin);
+  out.bodies.reserve(static_cast<std::size_t>(n) * n * n);
+  const double cell = 1.0 / n;
+  auto wrap = [](double x) { return x - std::floor(x); };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        nbody::Body b;
+        const support::Vec3 disp{psi[0].at(i, j, k).real(),
+                                 psi[1].at(i, j, k).real(),
+                                 psi[2].at(i, j, k).real()};
+        b.pos = {wrap((i + 0.5) * cell + d * disp.x),
+                 wrap((j + 0.5) * cell + d * disp.y),
+                 wrap((k + 0.5) * cell + d * disp.z)};
+        b.vel = vel_fac / d * (d * disp);  // = vel_fac * psi
+        b.mass = out.particle_mass;
+        out.bodies.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::cosmo

@@ -1,0 +1,78 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ss::fft {
+
+namespace {
+
+void fft_core(cplx* a, std::size_t n, std::size_t stride, bool inverse) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: length must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i * stride], a[j * stride]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const cplx wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        cplx& u = a[(i + k) * stride];
+        cplx& v = a[(i + k + len / 2) * stride];
+        const cplx t = v * w;
+        v = u - t;
+        u += t;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) a[i * stride] *= inv;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<cplx> data, bool inverse) {
+  fft_core(data.data(), data.size(), 1, inverse);
+}
+
+void fft_strided(cplx* data, std::size_t n, std::size_t stride, bool inverse) {
+  fft_core(data, n, stride, inverse);
+}
+
+void fft3(Grid3& g, bool inverse) {
+  const auto n = static_cast<std::size_t>(g.n());
+  cplx* d = g.flat().data();
+  // Axis k (fastest): contiguous rows.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      fft_core(d + (i * n + j) * n, n, 1, inverse);
+    }
+  }
+  // Axis j: stride n.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      fft_core(d + i * n * n + k, n, n, inverse);
+    }
+  }
+  // Axis i: stride n*n.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      fft_core(d + j * n + k, n, n * n, inverse);
+    }
+  }
+}
+
+}  // namespace ss::fft

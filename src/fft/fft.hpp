@@ -1,0 +1,49 @@
+// Complex FFTs: an iterative radix-2 Cooley-Tukey transform and a serial
+// cubic 3-D transform built on it. Used by the cosmology initial-condition
+// generator (Gaussian random fields via k-space sampling) and by the NPB
+// FT mini-kernel. The distributed slab decomposition lives in slabfft.hpp.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ss::fft {
+
+using cplx = std::complex<double>;
+
+/// In-place radix-2 FFT. data.size() must be a power of two. The inverse
+/// transform includes the 1/N normalization.
+void fft_inplace(std::span<cplx> data, bool inverse);
+
+/// Strided in-place FFT over data[offset + i*stride], i in [0, n).
+void fft_strided(cplx* data, std::size_t n, std::size_t stride, bool inverse);
+
+/// Cubic n x n x n complex grid, index (i, j, k) with k fastest.
+class Grid3 {
+ public:
+  explicit Grid3(int n) : n_(n), data_(static_cast<std::size_t>(n) * n * n) {}
+
+  int n() const { return n_; }
+  cplx& at(int i, int j, int k) {
+    return data_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k];
+  }
+  const cplx& at(int i, int j, int k) const {
+    return data_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k];
+  }
+  std::span<cplx> flat() { return data_; }
+  std::span<const cplx> flat() const { return data_; }
+
+ private:
+  int n_;
+  std::vector<cplx> data_;
+};
+
+/// Serial 3-D FFT over all three axes (inverse includes 1/N^3).
+void fft3(Grid3& g, bool inverse);
+
+/// True if v is a power of two (and > 0).
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace ss::fft

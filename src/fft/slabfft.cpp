@@ -1,0 +1,119 @@
+#include "fft/slabfft.hpp"
+
+#include <stdexcept>
+
+namespace ss::fft {
+
+SlabFFT::SlabFFT(ss::vmpi::Comm& comm, int n) : comm_(comm), n_(n) {
+  if (!is_pow2(static_cast<std::size_t>(n))) {
+    throw std::invalid_argument("SlabFFT: n must be a power of two");
+  }
+  if (n % comm.size() != 0) {
+    throw std::invalid_argument("SlabFFT: n must divide by rank count");
+  }
+  nloc_ = n / comm.size();
+}
+
+void SlabFFT::transpose(std::vector<cplx>& data, bool to_pencil) {
+  const int p = comm_.size();
+  const auto n = static_cast<std::size_t>(n_);
+  const auto nl = static_cast<std::size_t>(nloc_);
+  if (p == 1) {
+    // Single rank: reorder locally between (z,y,x) and (x,y,z).
+    std::vector<cplx> out(data.size());
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t b = 0; b < n; ++b) {
+          // (z=a, y, x=b) <-> (x=b, y, z=a): the mapping is symmetric.
+          out[(b * n + y) * n + a] = data[(a * n + y) * n + b];
+        }
+      }
+    }
+    data = std::move(out);
+    return;
+  }
+
+  // Pack per-destination blocks. In slab layout (z_local, y, x) the block
+  // for rank r is x in [r*nl, (r+1)*nl); in pencil layout (x_local, y, z)
+  // the block for rank r is z in [r*nl, (r+1)*nl). Both pack in the order
+  // (local_plane_of_dest, y, own_plane), so the unpack is symmetric.
+  std::vector<std::vector<cplx>> out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    auto& block = out[static_cast<std::size_t>(r)];
+    block.reserve(nl * n * nl);
+    for (std::size_t dest_pl = 0; dest_pl < nl; ++dest_pl) {
+      const std::size_t fast = static_cast<std::size_t>(r) * nl + dest_pl;
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t own = 0; own < nl; ++own) {
+          block.push_back(data[(own * n + y) * n + fast]);
+        }
+      }
+    }
+  }
+  auto flat = comm_.alltoallv(out);
+
+  // Unpack: block from rank s holds (my_plane, y, s_plane) with the fast
+  // axis being the peer's plane range.
+  (void)to_pencil;  // the mapping is an involution; direction is implicit
+  std::vector<cplx> next(data.size());
+  std::size_t off = 0;
+  for (int s = 0; s < p; ++s) {
+    for (std::size_t my_pl = 0; my_pl < nl; ++my_pl) {
+      for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t peer = 0; peer < nl; ++peer) {
+          const std::size_t fast = static_cast<std::size_t>(s) * nl + peer;
+          next[(my_pl * n + y) * n + fast] = flat[off++];
+        }
+      }
+    }
+  }
+  data = std::move(next);
+}
+
+void SlabFFT::forward(std::vector<cplx>& data) {
+  if (data.size() != local_size()) {
+    throw std::invalid_argument("SlabFFT: wrong slab size");
+  }
+  const auto n = static_cast<std::size_t>(n_);
+  const auto nl = static_cast<std::size_t>(nloc_);
+  // FFT x (fastest) and y within each local plane.
+  for (std::size_t z = 0; z < nl; ++z) {
+    for (std::size_t y = 0; y < n; ++y) {
+      fft_strided(data.data() + (z * n + y) * n, n, 1, false);
+    }
+    for (std::size_t x = 0; x < n; ++x) {
+      fft_strided(data.data() + z * n * n + x, n, n, false);
+    }
+  }
+  transpose(data, true);
+  // Pencil layout (x_local, y, z): FFT z (fastest).
+  for (std::size_t x = 0; x < nl; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      fft_strided(data.data() + (x * n + y) * n, n, 1, false);
+    }
+  }
+}
+
+void SlabFFT::inverse(std::vector<cplx>& data) {
+  if (data.size() != local_size()) {
+    throw std::invalid_argument("SlabFFT: wrong slab size");
+  }
+  const auto n = static_cast<std::size_t>(n_);
+  const auto nl = static_cast<std::size_t>(nloc_);
+  for (std::size_t x = 0; x < nl; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      fft_strided(data.data() + (x * n + y) * n, n, 1, true);
+    }
+  }
+  transpose(data, false);
+  for (std::size_t z = 0; z < nl; ++z) {
+    for (std::size_t y = 0; y < n; ++y) {
+      fft_strided(data.data() + (z * n + y) * n, n, 1, true);
+    }
+    for (std::size_t x = 0; x < n; ++x) {
+      fft_strided(data.data() + z * n * n + x, n, n, true);
+    }
+  }
+}
+
+}  // namespace ss::fft

@@ -1,0 +1,51 @@
+// Distributed 3-D FFT with slab decomposition over vmpi.
+//
+// The grid is distributed in planes of the first axis (z-slabs). The
+// forward transform FFTs the two local axes in every plane, performs a
+// global transpose (one alltoallv — the communication pattern whose
+// scaling the NPB FT benchmark measures), and finishes with the third
+// axis locally. The inverse reverses the pipeline. Layouts:
+//
+//   slab layout  : index (z_local, y, x), x fastest,  z distributed
+//   pencil layout: index (x_local, y, z), z fastest,  x distributed
+//
+// The grid side n must be a power of two and divisible by the number of
+// ranks.
+#pragma once
+
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::fft {
+
+class SlabFFT {
+ public:
+  SlabFFT(ss::vmpi::Comm& comm, int n);
+
+  int n() const { return n_; }
+  /// Planes of the distributed axis held by this rank.
+  int local_planes() const { return nloc_; }
+  /// First global plane index of this rank.
+  int plane_offset() const { return comm_.rank() * nloc_; }
+  /// Elements in one rank's slab (local_planes * n * n).
+  std::size_t local_size() const {
+    return static_cast<std::size_t>(nloc_) * n_ * n_;
+  }
+
+  /// Forward: slab layout in, pencil layout out (in place).
+  void forward(std::vector<cplx>& data);
+  /// Inverse: pencil layout in, slab layout out (includes 1/N^3).
+  void inverse(std::vector<cplx>& data);
+
+ private:
+  /// Global transpose between slab and pencil layouts.
+  void transpose(std::vector<cplx>& data, bool to_pencil);
+
+  ss::vmpi::Comm& comm_;
+  int n_;
+  int nloc_;
+};
+
+}  // namespace ss::fft

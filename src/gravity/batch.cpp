@@ -1,0 +1,66 @@
+#include "gravity/batch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ss::gravity {
+
+SourcesSoA SourcesSoA::from(std::span<const Source> aos) {
+  SourcesSoA s;
+  s.x.reserve(aos.size());
+  s.y.reserve(aos.size());
+  s.z.reserve(aos.size());
+  s.m.reserve(aos.size());
+  for (const Source& p : aos) s.push_back(p);
+  return s;
+}
+
+void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
+                    double eps2, std::span<Accel> out) {
+  if (out.size() != targets.size()) {
+    throw std::invalid_argument("interact_batch: output size mismatch");
+  }
+  const std::size_t n = sources.size();
+  const double* __restrict sx = sources.x.data();
+  const double* __restrict sy = sources.y.data();
+  const double* __restrict sz = sources.z.data();
+  const double* __restrict sm = sources.m.data();
+
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const double tx = targets[t].x, ty = targets[t].y, tz = targets[t].z;
+    double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
+    // Branch-free inner loop: the r2 == 0 self-term is suppressed by a
+    // mask multiply instead of a conditional, so the compiler can
+    // vectorize the whole body.
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = sx[j] - tx;
+      const double dy = sy[j] - ty;
+      const double dz = sz[j] - tz;
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      const double mask = r2 > 0.0 ? 1.0 : 0.0;
+      // Guard the denominator so the masked lane stays finite.
+      const double rinv = 1.0 / std::sqrt(r2 + eps2 + (1.0 - mask));
+      const double mr = sm[j] * rinv * mask;
+      const double mr3 = mr * rinv * rinv;
+      ax += mr3 * dx;
+      ay += mr3 * dy;
+      az += mr3 * dz;
+      phi -= mr;
+    }
+    // The scalar kernel counts the softened self-potential; add it back
+    // for exact agreement.
+    if (eps2 > 0.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double dx = sx[j] - tx;
+        const double dy = sy[j] - ty;
+        const double dz = sz[j] - tz;
+        if (dx == 0.0 && dy == 0.0 && dz == 0.0) {
+          phi -= sm[j] / std::sqrt(eps2);
+        }
+      }
+    }
+    out[t] = Accel{{ax, ay, az}, phi};
+  }
+}
+
+}  // namespace ss::gravity

@@ -1,0 +1,134 @@
+#include "gravity/kernels.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+namespace ss::gravity {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Karp reciprocal square root.
+//
+// Decompose x = 2^e * m with m in [1, 2). Then
+//   rsqrt(x) = 2^(-e/2) * rsqrt(m),
+// where the 2^(-e/2) factor is exact exponent arithmetic (an extra
+// 1/sqrt(2) factor when e is odd). rsqrt(m) is seeded from a table indexed
+// by the top mantissa bits with a linear (first-order Chebyshev/minimax)
+// interpolation inside the segment, then polished with Newton-Raphson
+// y <- y * (1.5 - 0.5 * m * y * y), which uses only adds and multiplies.
+// ---------------------------------------------------------------------------
+
+constexpr int kTableBits = 8;
+constexpr int kTableSize = 1 << kTableBits;
+
+struct KarpTable {
+  // Per-segment value at the segment's left edge and slope across it.
+  std::array<double, kTableSize> value{};
+  std::array<double, kTableSize> slope{};
+};
+
+KarpTable make_table() {
+  KarpTable t;
+  for (int i = 0; i < kTableSize; ++i) {
+    const double m0 = 1.0 + static_cast<double>(i) / kTableSize;
+    const double m1 = 1.0 + static_cast<double>(i + 1) / kTableSize;
+    const double y0 = 1.0 / std::sqrt(m0);
+    const double y1 = 1.0 / std::sqrt(m1);
+    // Secant slope; together with one NR step this achieves < 1e-8 relative
+    // error before the final NR step.
+    t.value[i] = y0;
+    t.slope[i] = (y1 - y0) / (m1 - m0);
+  }
+  return t;
+}
+
+const KarpTable& table() {
+  static const KarpTable t = make_table();
+  return t;
+}
+
+constexpr double kRsqrt2 = 0.70710678118654752440;
+
+}  // namespace
+
+double rsqrt_karp(double x) {
+  const KarpTable& t = table();
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const int raw_exp = static_cast<int>((bits >> 52) & 0x7ff);
+  // Fall back to libm for denormals/zero/inf/nan; the treecode never
+  // produces them (distances are softened), but the public function is total.
+  if (raw_exp == 0 || raw_exp == 0x7ff) return 1.0 / std::sqrt(x);
+
+  const int e = raw_exp - 1023;
+  const std::uint64_t mant = bits & 0xfffffffffffffULL;
+  const double m = std::bit_cast<double>((std::uint64_t{1023} << 52) | mant);
+
+  // Table lookup + linear interpolation on the top mantissa bits.
+  const auto idx = static_cast<int>(mant >> (52 - kTableBits));
+  const double m_left = 1.0 + static_cast<double>(idx) / kTableSize;
+  double y = t.value[static_cast<std::size_t>(idx)] +
+             t.slope[static_cast<std::size_t>(idx)] * (m - m_left);
+
+  // Two Newton-Raphson iterations: adds and multiplies only.
+  y = y * (1.5 - 0.5 * m * y * y);
+  y = y * (1.5 - 0.5 * m * y * y);
+
+  // Exponent reconstruction: rsqrt(2^e) = 2^(-e/2) [* 1/sqrt(2) if e odd].
+  const int half = e >> 1;  // floor division (also for negative e)
+  const bool odd = (e & 1) != 0;
+  const double scale =
+      std::bit_cast<double>(static_cast<std::uint64_t>(1023 - half) << 52);
+  return odd ? y * scale * kRsqrt2 : y * scale;
+}
+
+namespace {
+
+template <RsqrtMethod M>
+inline double rsqrt(double x) {
+  if constexpr (M == RsqrtMethod::libm) {
+    return rsqrt_libm(x);
+  } else {
+    return rsqrt_karp(x);
+  }
+}
+
+}  // namespace
+
+template <RsqrtMethod M>
+Accel interact(const Vec3& target, std::span<const Source> sources,
+               double eps2) {
+  double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
+  for (const Source& s : sources) {
+    const double dx = s.pos.x - target.x;
+    const double dy = s.pos.y - target.y;
+    const double dz = s.pos.z - target.z;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 == 0.0) {
+      if (eps2 > 0.0) phi -= s.mass * rsqrt<M>(eps2);
+      continue;  // never a self-force
+    }
+    const double rinv = rsqrt<M>(r2 + eps2);
+    const double rinv3 = rinv * rinv * rinv;
+    const double mr3 = s.mass * rinv3;
+    ax += mr3 * dx;
+    ay += mr3 * dy;
+    az += mr3 * dz;
+    phi -= s.mass * rinv;
+  }
+  return Accel{{ax, ay, az}, phi};
+}
+
+template Accel interact<RsqrtMethod::libm>(const Vec3&, std::span<const Source>,
+                                           double);
+template Accel interact<RsqrtMethod::karp>(const Vec3&, std::span<const Source>,
+                                           double);
+
+Accel interact(const Vec3& target, std::span<const Source> sources, double eps2,
+               RsqrtMethod method) {
+  return method == RsqrtMethod::libm
+             ? interact<RsqrtMethod::libm>(target, sources, eps2)
+             : interact<RsqrtMethod::karp>(target, sources, eps2);
+}
+
+}  // namespace ss::gravity

@@ -1,0 +1,72 @@
+// Gravitational interaction kernels — the inner loop that dominates the
+// treecode's execution time (paper Sec 3.6, Table 5).
+//
+// Two reciprocal-square-root strategies are provided, mirroring the paper's
+// micro-kernel benchmark:
+//   * `libm`  — 1/sqrt(r2) through the math library.
+//   * `Karp`  — A. H. Karp's decomposition of rsqrt into exponent halving,
+//     a table lookup on leading mantissa bits, a Chebyshev (minimax linear)
+//     interpolation within the table segment, and Newton-Raphson iteration;
+//     after the lookup only adds and multiplies are executed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "support/vec3.hpp"
+
+namespace ss::gravity {
+
+using support::Vec3;
+
+/// Softened point-mass source.
+struct Source {
+  Vec3 pos;
+  double mass = 0.0;
+};
+
+/// Acceleration and potential accumulated at a target point.
+struct Accel {
+  Vec3 a;
+  double phi = 0.0;  ///< Potential (negative for attracting masses).
+
+  Accel& operator+=(const Accel& o) {
+    a += o.a;
+    phi += o.phi;
+    return *this;
+  }
+};
+
+/// Reciprocal square root via the math library.
+inline double rsqrt_libm(double x) { return 1.0 / std::sqrt(x); }
+
+/// Karp-style reciprocal square root. Accurate to ~1 ulp after two
+/// Newton-Raphson iterations; valid for finite x > 0.
+double rsqrt_karp(double x);
+
+enum class RsqrtMethod { libm, karp };
+
+/// Accumulate the softened gravitational interaction of `sources` on the
+/// point `target`: a += -G*m*(d)/(r^2+eps^2)^{3/2}, phi += -G*m/sqrt(r2+eps2)
+/// with G = 1. Self-interactions (r2 == 0) contribute only the softened
+/// potential, never a force.
+template <RsqrtMethod M>
+Accel interact(const Vec3& target, std::span<const Source> sources, double eps2);
+
+extern template Accel interact<RsqrtMethod::libm>(const Vec3&,
+                                                  std::span<const Source>,
+                                                  double);
+extern template Accel interact<RsqrtMethod::karp>(const Vec3&,
+                                                  std::span<const Source>,
+                                                  double);
+
+/// Runtime-dispatched convenience wrapper.
+Accel interact(const Vec3& target, std::span<const Source> sources, double eps2,
+               RsqrtMethod method);
+
+/// Flops per particle-particle interaction under the conventional
+/// Warren-Salmon accounting used for all Gflop/s figures in the paper.
+inline constexpr std::uint64_t kFlopsPerInteraction = 38;
+
+}  // namespace ss::gravity

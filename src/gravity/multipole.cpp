@@ -1,0 +1,87 @@
+#include "gravity/multipole.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss::gravity {
+
+QuadTensor QuadTensor::point_mass(double m, const Vec3& d) {
+  const double d2 = d.norm2();
+  QuadTensor q;
+  q.xx = m * (3.0 * d.x * d.x - d2);
+  q.xy = m * 3.0 * d.x * d.y;
+  q.xz = m * 3.0 * d.x * d.z;
+  q.yy = m * (3.0 * d.y * d.y - d2);
+  q.yz = m * 3.0 * d.y * d.z;
+  q.zz = m * (3.0 * d.z * d.z - d2);
+  return q;
+}
+
+Moments Moments::of_particles(std::span<const Source> parts) {
+  Moments m;
+  for (const Source& p : parts) {
+    m.mass += p.mass;
+    m.com += p.mass * p.pos;
+  }
+  if (m.mass > 0.0) {
+    m.com /= m.mass;
+  } else if (!parts.empty()) {
+    // Massless set: fall back to the centroid so geometry stays sane.
+    for (const Source& p : parts) m.com += p.pos;
+    m.com /= static_cast<double>(parts.size());
+  }
+  for (const Source& p : parts) {
+    const Vec3 d = p.pos - m.com;
+    m.quad += QuadTensor::point_mass(p.mass, d);
+    m.bmax = std::max(m.bmax, d.norm());
+  }
+  return m;
+}
+
+Moments Moments::combine(std::span<const Moments> children) {
+  Moments m;
+  for (const Moments& c : children) {
+    m.mass += c.mass;
+    m.com += c.mass * c.com;
+  }
+  if (m.mass > 0.0) {
+    m.com /= m.mass;
+  } else if (!children.empty()) {
+    for (const Moments& c : children) m.com += c.com;
+    m.com /= static_cast<double>(children.size());
+  }
+  for (const Moments& c : children) {
+    const Vec3 d = c.com - m.com;
+    m.quad += c.quad;
+    m.quad += QuadTensor::point_mass(c.mass, d);
+    m.bmax = std::max(m.bmax, d.norm() + c.bmax);
+  }
+  return m;
+}
+
+Accel evaluate(const Moments& m, const Vec3& target, double eps2,
+               RsqrtMethod method) {
+  const Vec3 r = target - m.com;  // from expansion center to target
+  const double r2 = r.norm2() + eps2;
+  const double rinv = method == RsqrtMethod::libm ? rsqrt_libm(r2)
+                                                  : rsqrt_karp(r2);
+  const double rinv2 = rinv * rinv;
+  const double rinv3 = rinv * rinv2;
+  const double rinv5 = rinv3 * rinv2;
+  const double rinv7 = rinv5 * rinv2;
+
+  Accel out;
+  // Monopole: a = -M r / |r|^3, phi = -M/|r|.
+  out.a = -m.mass * rinv3 * r;
+  out.phi = -m.mass * rinv;
+
+  // Quadrupole: phi_q = -(r.Q.r) / (2 |r|^5);
+  // a_q = (Q.r)/|r|^5 - (5/2)(r.Q.r) r / |r|^7.
+  const double rQr = m.quad.contract(r);
+  const Vec3 Qr = m.quad.apply(r);
+  out.phi -= 0.5 * rQr * rinv5;
+  out.a += rinv5 * Qr - 2.5 * rQr * rinv7 * r;
+  return out;
+}
+
+}  // namespace ss::gravity

@@ -1,0 +1,80 @@
+// Multipole moments of particle aggregates and their field evaluation.
+//
+// The hashed oct-tree stores, for every cell, the moments computed here:
+// total mass, center of mass, the traceless quadrupole tensor about the
+// center of mass, and bmax — the radius of the smallest sphere about the
+// center of mass containing every particle in the cell, which drives the
+// multipole acceptance criterion.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "gravity/kernels.hpp"
+#include "support/vec3.hpp"
+
+namespace ss::gravity {
+
+/// Symmetric traceless 3x3 tensor stored as (xx, xy, xz, yy, yz, zz).
+struct QuadTensor {
+  double xx = 0.0, xy = 0.0, xz = 0.0, yy = 0.0, yz = 0.0, zz = 0.0;
+
+  QuadTensor& operator+=(const QuadTensor& o) {
+    xx += o.xx; xy += o.xy; xz += o.xz;
+    yy += o.yy; yz += o.yz; zz += o.zz;
+    return *this;
+  }
+
+  /// Contraction r . Q . r.
+  double contract(const Vec3& r) const {
+    return r.x * (xx * r.x + xy * r.y + xz * r.z) +
+           r.y * (xy * r.x + yy * r.y + yz * r.z) +
+           r.z * (xz * r.x + yz * r.y + zz * r.z);
+  }
+
+  /// Q . r
+  Vec3 apply(const Vec3& r) const {
+    return {xx * r.x + xy * r.y + xz * r.z, xy * r.x + yy * r.y + yz * r.z,
+            xz * r.x + yz * r.y + zz * r.z};
+  }
+
+  /// The traceless moment of a point mass m displaced by d from the
+  /// expansion center: m (3 d_i d_j - d^2 delta_ij).
+  static QuadTensor point_mass(double m, const Vec3& d);
+};
+
+/// Moments of one tree cell.
+struct Moments {
+  double mass = 0.0;
+  Vec3 com;          ///< Center of mass (absolute coordinates).
+  QuadTensor quad;   ///< Traceless quadrupole about com.
+  double bmax = 0.0; ///< Radius of particle-bounding sphere about com.
+
+  /// Moments of a set of point masses (used for leaf cells).
+  static Moments of_particles(std::span<const Source> parts);
+
+  /// Combine child moments into a parent (parallel-axis shift of the
+  /// quadrupoles to the joint center of mass).
+  static Moments combine(std::span<const Moments> children);
+};
+
+/// Evaluate the monopole + quadrupole field of `m` at `target` with Plummer
+/// softening eps2, accumulating acceleration and potential.
+Accel evaluate(const Moments& m, const Vec3& target, double eps2,
+               RsqrtMethod method = RsqrtMethod::libm);
+
+/// Flops charged per particle-cell quadrupole evaluation.
+inline constexpr std::uint64_t kFlopsPerCellInteraction = 70;
+
+/// Multipole acceptance criterion: accept (do not open) the cell when
+///   bmax / d < theta,
+/// with d the distance from target to the cell's center of mass. This is
+/// the scale-free variant of the Barnes-Hut criterion used with bmax in the
+/// Warren-Salmon codes; theta ~ 0.5-0.7 for production accuracy.
+inline bool mac_accept(const Moments& m, const Vec3& target, double theta) {
+  const Vec3 d = target - m.com;
+  const double r2 = d.norm2();
+  return r2 * theta * theta > m.bmax * m.bmax;
+}
+
+}  // namespace ss::gravity

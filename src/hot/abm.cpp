@@ -1,0 +1,71 @@
+#include "hot/abm.hpp"
+
+#include <stdexcept>
+
+namespace ss::hot {
+
+Abm::Abm(ss::vmpi::Comm& comm, Config cfg)
+    : comm_(comm),
+      cfg_(cfg),
+      outgoing_(static_cast<std::size_t>(comm.size())) {}
+
+void Abm::on(std::uint32_t channel, Handler h) {
+  if (handlers_.size() <= channel) handlers_.resize(channel + 1);
+  handlers_[channel] = std::move(h);
+}
+
+void Abm::post(int dst, std::uint32_t channel,
+               std::span<const std::byte> payload) {
+  auto& buf = outgoing_[static_cast<std::size_t>(dst)];
+  const Record rec{channel, static_cast<std::uint32_t>(payload.size())};
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof(Record) + payload.size());
+  std::memcpy(buf.data() + off, &rec, sizeof(Record));
+  std::memcpy(buf.data() + off + sizeof(Record), payload.data(),
+              payload.size());
+  ++records_posted_;
+  if (buf.size() >= cfg_.batch_bytes) {
+    comm_.send_bytes(dst, cfg_.tag, buf);
+    buf.clear();
+    ++batches_sent_;
+  }
+}
+
+void Abm::flush() {
+  for (int dst = 0; dst < comm_.size(); ++dst) {
+    auto& buf = outgoing_[static_cast<std::size_t>(dst)];
+    if (!buf.empty()) {
+      comm_.send_bytes(dst, cfg_.tag, buf);
+      buf.clear();
+      ++batches_sent_;
+    }
+  }
+}
+
+std::size_t Abm::poll() {
+  std::size_t dispatched = 0;
+  while (auto msg = comm_.try_recv(ss::vmpi::kAnySource, cfg_.tag)) {
+    const std::byte* p = msg->data.data();
+    const std::byte* end = p + msg->data.size();
+    while (p < end) {
+      Record rec;
+      if (p + sizeof(Record) > end) {
+        throw std::runtime_error("ABM: truncated batch header");
+      }
+      std::memcpy(&rec, p, sizeof(Record));
+      p += sizeof(Record);
+      if (p + rec.bytes > end) {
+        throw std::runtime_error("ABM: truncated batch payload");
+      }
+      if (rec.channel >= handlers_.size() || !handlers_[rec.channel]) {
+        throw std::runtime_error("ABM: no handler for channel");
+      }
+      handlers_[rec.channel](msg->src, {p, rec.bytes});
+      p += rec.bytes;
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace ss::hot

@@ -1,0 +1,88 @@
+// Asynchronous Batched Messages (ABM).
+//
+// The paper (Sec 4.2): "In order to manage the complexities of the
+// required asynchronous message traffic, we have developed a paradigm
+// called 'asynchronous batched messages (ABM)' built from primitive
+// send/recv functions whose interface is modeled after that of active
+// messages."
+//
+// Records posted toward a destination accumulate in a per-destination
+// buffer and are shipped as one physical message when the buffer reaches
+// the batch size or the owner flushes. On the receive side, poll()
+// dispatches every record of every pending batch to the handler
+// registered for its channel — the active-message flavor of the design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "vmpi/comm.hpp"
+
+namespace ss::hot {
+
+class Abm {
+ public:
+  using Handler =
+      std::function<void(int src, std::span<const std::byte> payload)>;
+
+  struct Config {
+    /// Flush a destination buffer when it holds this many payload bytes.
+    std::size_t batch_bytes = 4096;
+    /// vmpi tag carrying ABM traffic (one tag; channels are in-band).
+    int tag = 77;
+  };
+
+  Abm(ss::vmpi::Comm& comm, Config cfg);
+  explicit Abm(ss::vmpi::Comm& comm) : Abm(comm, Config{}) {}
+
+  /// Register the handler for a channel (application-defined small int).
+  void on(std::uint32_t channel, Handler h);
+
+  /// Queue one record for `dst`. The payload is copied. Triggers an eager
+  /// flush when the destination buffer is full.
+  void post(int dst, std::uint32_t channel, std::span<const std::byte> payload);
+
+  template <typename T>
+  void post(int dst, std::uint32_t channel, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    post(dst, channel,
+         std::span<const std::byte>(
+             reinterpret_cast<const std::byte*>(items.data()),
+             items.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  void post_value(int dst, std::uint32_t channel, const T& v) {
+    post<T>(dst, channel, std::span<const T>(&v, 1));
+  }
+
+  /// Ship all pending outgoing batches.
+  void flush();
+
+  /// Receive and dispatch every batch currently queued for this rank.
+  /// Returns the number of records dispatched.
+  std::size_t poll();
+
+  std::uint64_t batches_sent() const { return batches_sent_; }
+  std::uint64_t records_posted() const { return records_posted_; }
+
+ private:
+  struct Record {
+    std::uint32_t channel;
+    std::uint32_t bytes;
+    // payload follows inline in the batch buffer
+  };
+
+  ss::vmpi::Comm& comm_;
+  Config cfg_;
+  std::vector<std::vector<std::byte>> outgoing_;  // per destination
+  std::vector<Handler> handlers_;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t records_posted_ = 0;
+};
+
+}  // namespace ss::hot

@@ -1,0 +1,207 @@
+#include "hot/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ss::hot {
+
+using gravity::Source;
+using morton::Key;
+
+int DecompResult::owner_of(Key max_depth_key) const {
+  // Domains are contiguous and sorted; binary search on lower bounds.
+  int lo = 0, hi = static_cast<int>(domains.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (domains[static_cast<std::size_t>(mid)].lo <= max_depth_key) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int DecompResult::owner_of_cell(Key cell_key) const {
+  return owner_of(morton::first_descendant(cell_key));
+}
+
+morton::Box global_box(ss::vmpi::Comm& comm,
+                       std::span<const Source> bodies) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // min over (x,y,z), then max encoded as min of negation.
+  double ext[6] = {kInf, kInf, kInf, kInf, kInf, kInf};
+  for (const Source& b : bodies) {
+    ext[0] = std::min(ext[0], b.pos.x);
+    ext[1] = std::min(ext[1], b.pos.y);
+    ext[2] = std::min(ext[2], b.pos.z);
+    ext[3] = std::min(ext[3], -b.pos.x);
+    ext[4] = std::min(ext[4], -b.pos.y);
+    ext[5] = std::min(ext[5], -b.pos.z);
+  }
+  auto red = comm.allreduce(std::span<const double>(ext, 6),
+                            [](double a, double b) { return std::min(a, b); });
+  morton::Box box;
+  if (!std::isfinite(red[0])) return box;  // no bodies anywhere
+  const double span = std::max(
+      {-red[3] - red[0], -red[4] - red[1], -red[5] - red[2], 1e-300});
+  box.lo = {red[0], red[1], red[2]};
+  box.size = span * (1.0 + 1e-9);
+  return box;
+}
+
+std::vector<Key> weighted_splitters(std::span<const Key> sorted_keys,
+                                    std::span<const double> weights,
+                                    int parts) {
+  std::vector<Key> splits;
+  if (parts <= 1) return splits;
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || sorted_keys.empty()) {
+    // Degenerate: split key space evenly.
+    for (int r = 1; r < parts; ++r) {
+      const unsigned __int128 span =
+          (static_cast<unsigned __int128>(morton::last_descendant(
+               morton::kRootKey)) -
+           morton::first_descendant(morton::kRootKey)) +
+          1;
+      splits.push_back(morton::first_descendant(morton::kRootKey) +
+                       static_cast<Key>(span * r / parts));
+    }
+    return splits;
+  }
+  double acc = 0.0;
+  std::size_t i = 0;
+  for (int r = 1; r < parts; ++r) {
+    const double target = total * r / parts;
+    // Assign the boundary item to whichever side its midpoint falls on.
+    while (i < sorted_keys.size() && acc + 0.5 * weights[i] < target) {
+      acc += weights[i];
+      ++i;
+    }
+    // The boundary falls at element i: everything before it belongs to
+    // earlier parts. Use its key as the (inclusive-lower) splitter.
+    if (i < sorted_keys.size()) {
+      splits.push_back(sorted_keys[i]);
+    } else {
+      // Saturate: the last key may be the maximal 64-bit key.
+      const Key back = sorted_keys.back();
+      splits.push_back(back == std::numeric_limits<Key>::max() ? back
+                                                               : back + 1);
+    }
+  }
+  return splits;
+}
+
+DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
+                       std::span<const double> work, const morton::Box& box,
+                       DecompConfig cfg) {
+  const int p = comm.size();
+  const auto n = bodies.size();
+  if (!work.empty() && work.size() != n) {
+    throw std::invalid_argument("decompose: work/bodies length mismatch");
+  }
+
+  // Key and sort locally.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<Key> raw(n);
+  for (std::size_t i = 0; i < n; ++i) raw[i] = morton::encode(bodies[i].pos, box);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return raw[a] != raw[b] ? raw[a] < raw[b] : a < b;
+  });
+
+  auto weight_of = [&](std::size_t i) {
+    return work.empty() ? 1.0 : std::max(work[i], 1e-12);
+  };
+
+  // Weighted samples: walk the local work distribution and emit a sample
+  // key every (local_total / samples) units of work.
+  struct Sample {
+    Key key;
+    double weight;
+  };
+  double local_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) local_total += weight_of(i);
+  std::vector<Sample> samples;
+  const int s = std::max(cfg.samples_per_rank, 1);
+  if (n > 0) {
+    const double step = local_total / s;
+    double acc = 0.0, next = step * 0.5;
+    std::size_t emitted = 0;
+    for (std::size_t i = 0; i < n && emitted < static_cast<std::size_t>(s);
+         ++i) {
+      acc += weight_of(order[i]);
+      while (acc >= next && emitted < static_cast<std::size_t>(s)) {
+        samples.push_back({raw[order[i]], step});
+        next += step;
+        ++emitted;
+      }
+    }
+  }
+
+  // Globalize the sample distribution and derive splitters. Every rank
+  // computes identical splitters from the identical gathered list.
+  auto all_samples = comm.allgather(
+      std::span<const Sample>(samples.data(), samples.size()));
+  std::sort(all_samples.begin(), all_samples.end(),
+            [](const Sample& a, const Sample& b) { return a.key < b.key; });
+  std::vector<Key> sample_keys(all_samples.size());
+  std::vector<double> sample_w(all_samples.size());
+  for (std::size_t i = 0; i < all_samples.size(); ++i) {
+    sample_keys[i] = all_samples[i].key;
+    sample_w[i] = all_samples[i].weight;
+  }
+  std::vector<Key> splits = weighted_splitters(sample_keys, sample_w, p);
+
+  DecompResult result;
+  result.domains.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    result.domains[static_cast<std::size_t>(r)].lo =
+        r == 0 ? morton::first_descendant(morton::kRootKey)
+               : splits[static_cast<std::size_t>(r - 1)];
+    result.domains[static_cast<std::size_t>(r)].hi =
+        r == p - 1 ? morton::last_descendant(morton::kRootKey)
+                   : splits[static_cast<std::size_t>(r)] - 1;
+  }
+
+  // Route bodies (with their weights) to their owners.
+  struct BodyW {
+    Source body;
+    double weight;
+  };
+  std::vector<std::vector<BodyW>> outgoing(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = order[i];
+    const int dst = result.owner_of(raw[src]);
+    outgoing[static_cast<std::size_t>(dst)].push_back(
+        {bodies[src], weight_of(src)});
+  }
+  auto incoming = comm.alltoallv(outgoing);
+
+  // Final local sort by key.
+  std::vector<Key> in_keys(incoming.size());
+  std::vector<std::uint32_t> in_order(incoming.size());
+  std::iota(in_order.begin(), in_order.end(), 0u);
+  for (std::size_t i = 0; i < incoming.size(); ++i) {
+    in_keys[i] = morton::encode(incoming[i].body.pos, box);
+  }
+  std::sort(in_order.begin(), in_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return in_keys[a] != in_keys[b] ? in_keys[a] < in_keys[b]
+                                              : a < b;
+            });
+  result.bodies.reserve(incoming.size());
+  result.work.reserve(incoming.size());
+  result.keys.reserve(incoming.size());
+  for (std::uint32_t i : in_order) {
+    result.bodies.push_back(incoming[i].body);
+    result.work.push_back(incoming[i].weight);
+    result.keys.push_back(in_keys[i]);
+  }
+  return result;
+}
+
+}  // namespace ss::hot

@@ -1,0 +1,91 @@
+// Work-weighted domain decomposition along the Morton curve (paper Fig 6).
+//
+// "The domain decomposition is obtained by splitting this list into Np
+// pieces ... practically identical to a parallel sorting algorithm, with
+// the modification that the amount of data that ends up in each processor
+// is weighted by the work associated with each item."
+//
+// Implementation: weighted sample sort. Each rank sorts its bodies by key,
+// draws samples spaced evenly in its local *work* distribution, allgathers
+// the weighted samples, computes Np-1 splitter keys from the global sample
+// distribution, and routes every body to the rank owning its key range.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gravity/kernels.hpp"
+#include "morton/key.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::hot {
+
+/// Inclusive range of maximum-depth Morton keys owned by one rank.
+struct Domain {
+  morton::Key lo = 0;
+  morton::Key hi = 0;
+
+  bool contains(morton::Key max_depth_key) const {
+    return max_depth_key >= lo && max_depth_key <= hi;
+  }
+};
+
+struct DecompConfig {
+  int samples_per_rank = 64;
+};
+
+struct DecompResult {
+  std::vector<gravity::Source> bodies;  ///< Local bodies, key-sorted.
+  std::vector<double> work;             ///< Matching per-body work weights.
+  std::vector<morton::Key> keys;        ///< Matching max-depth keys.
+  std::vector<Domain> domains;          ///< Key range of every rank.
+
+  /// Rank owning a maximum-depth key.
+  int owner_of(morton::Key max_depth_key) const;
+  /// Rank owning cell `k` (all its descendants share one owner only when
+  /// the cell does not straddle a boundary; this returns the owner of the
+  /// cell's first descendant, which is the convention used for requests).
+  int owner_of_cell(morton::Key cell_key) const;
+};
+
+/// Bounding box agreed by all ranks (allreduce of coordinate extrema).
+morton::Box global_box(ss::vmpi::Comm& comm,
+                       std::span<const gravity::Source> bodies);
+
+/// Serial helper: splitter keys dividing a key-sorted weighted list into
+/// `parts` contiguous pieces of near-equal total weight. Returns parts-1
+/// maximum-depth keys; piece r is [splitters[r-1], splitters[r]).
+std::vector<morton::Key> weighted_splitters(
+    std::span<const morton::Key> sorted_keys, std::span<const double> weights,
+    int parts);
+
+/// Parallel decomposition: returns this rank's bodies after the exchange.
+/// `work[i]` is the load estimate for bodies[i] (use 1.0 on the first
+/// step; thereafter the interaction counts from the previous traversal).
+DecompResult decompose(ss::vmpi::Comm& comm,
+                       std::span<const gravity::Source> bodies,
+                       std::span<const double> work, const morton::Box& box,
+                       DecompConfig cfg = {});
+
+/// Route arbitrary trivially-copyable payloads to the owners of their
+/// Morton keys under an existing decomposition (used by applications whose
+/// particles carry more state than a gravity Source, e.g. SPH).
+template <typename T>
+std::vector<T> route_by_domains(ss::vmpi::Comm& comm,
+                                std::span<const T> items,
+                                std::span<const morton::Key> keys,
+                                const DecompResult& dec) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (items.size() != keys.size()) {
+    throw std::invalid_argument("route_by_domains: size mismatch");
+  }
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(comm.size()));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out[static_cast<std::size_t>(dec.owner_of(keys[i]))].push_back(items[i]);
+  }
+  return comm.alltoallv(out);
+}
+
+}  // namespace ss::hot

@@ -1,0 +1,82 @@
+// The "hash" in Hashed Oct-Tree: an open-addressing table translating a
+// Morton key into the index of the cell that stores its data. The level of
+// indirection through this table is what lets the traversal treat local
+// and non-local cells uniformly — a miss on a key that should exist under
+// a remote branch is the signal to request data from its owner (paper
+// Sec 4.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "morton/key.hpp"
+
+namespace ss::hot {
+
+/// Open-addressing (linear probing) Key -> uint32 map. Keys are octree
+/// keys and therefore never 0, which serves as the empty marker. The table
+/// supports insert and lookup only; trees are rebuilt, not edited.
+class KeyMap {
+ public:
+  explicit KeyMap(std::size_t expected = 64) { rehash_for(expected); }
+
+  void insert(morton::Key k, std::uint32_t value) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) rehash_for(slots_.size());
+    insert_no_grow(k, value);
+    ++size_;
+  }
+
+  /// Value for key k, or nullopt. Inserting an existing key overwrites.
+  std::optional<std::uint32_t> find(morton::Key k) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = morton::hash_key(k) & mask;
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == k) return slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return std::nullopt;
+  }
+
+  bool contains(morton::Key k) const { return find(k).has_value(); }
+
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    for (auto& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    morton::Key key = 0;
+    std::uint32_t value = 0;
+  };
+
+  void insert_no_grow(morton::Key k, std::uint32_t value) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = morton::hash_key(k) & mask;
+    while (slots_[i].key != 0 && slots_[i].key != k) i = (i + 1) & mask;
+    if (slots_[i].key == k) {
+      slots_[i].value = value;  // overwrite
+      --size_;                  // caller will re-increment
+    } else {
+      slots_[i] = {k, value};
+    }
+  }
+
+  void rehash_for(std::size_t want) {
+    std::size_t cap = 16;
+    while (cap * 3 < want * 8) cap <<= 1;  // keep load factor under 3/4
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    for (const Slot& s : old) {
+      if (s.key != 0) insert_no_grow(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ss::hot

@@ -1,0 +1,636 @@
+#include "hot/parallel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ss::hot {
+
+using gravity::Moments;
+using gravity::QuadTensor;
+using morton::Key;
+
+std::vector<Key> cover_cells(Key lo, Key hi) {
+  std::vector<Key> cells;
+  if (lo > hi) return cells;
+  Key cursor = lo;
+  for (;;) {
+    // Grow the cell anchored at `cursor` as long as it stays aligned and
+    // inside [cursor, hi].
+    Key k = cursor;  // maximum-depth cell
+    while (morton::level(k) > 0) {
+      const Key up = morton::parent(k);
+      if (morton::first_descendant(up) != cursor ||
+          morton::last_descendant(up) > hi) {
+        break;
+      }
+      k = up;
+    }
+    cells.push_back(k);
+    const Key last = morton::last_descendant(k);
+    if (last >= hi) break;
+    cursor = last + 1;
+  }
+  return cells;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire formats (trivially copyable records for ABM channels).
+// ---------------------------------------------------------------------------
+
+struct WireCell {
+  Key key = 0;
+  double mass = 0.0;
+  double com[3] = {0, 0, 0};
+  double quad[6] = {0, 0, 0, 0, 0, 0};
+  double bmax = 0.0;
+  std::uint32_t count = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<WireCell>);
+
+WireCell to_wire(Key key, const Moments& m, std::uint32_t count) {
+  WireCell w;
+  w.key = key;
+  w.mass = m.mass;
+  w.com[0] = m.com.x;
+  w.com[1] = m.com.y;
+  w.com[2] = m.com.z;
+  w.quad[0] = m.quad.xx;
+  w.quad[1] = m.quad.xy;
+  w.quad[2] = m.quad.xz;
+  w.quad[3] = m.quad.yy;
+  w.quad[4] = m.quad.yz;
+  w.quad[5] = m.quad.zz;
+  w.bmax = m.bmax;
+  w.count = count;
+  return w;
+}
+
+Moments from_wire(const WireCell& w) {
+  Moments m;
+  m.mass = w.mass;
+  m.com = {w.com[0], w.com[1], w.com[2]};
+  m.quad.xx = w.quad[0];
+  m.quad.xy = w.quad[1];
+  m.quad.xz = w.quad[2];
+  m.quad.yy = w.quad[3];
+  m.quad.yz = w.quad[4];
+  m.quad.zz = w.quad[5];
+  m.bmax = w.bmax;
+  return m;
+}
+
+// ABM channels.
+constexpr std::uint32_t kChanRequest = 0;   // payload: Key
+constexpr std::uint32_t kChanChildren = 1;  // payload: Key parent + WireCell[]
+constexpr std::uint32_t kChanBodies = 2;    // payload: Key leaf + Source[]
+constexpr std::uint32_t kChanQuiet = 3;     // payload: none (to rank 0)
+constexpr std::uint32_t kChanDone = 4;      // payload: none (from rank 0)
+
+// ---------------------------------------------------------------------------
+// The per-rank traversal engine.
+// ---------------------------------------------------------------------------
+
+struct TopCell {
+  Moments mom;
+  std::uint32_t count = 0;
+  bool cover = false;
+  int owner = -1;
+  std::vector<Key> children;
+};
+
+struct RemoteCell {
+  Moments mom;
+  std::uint32_t count = 0;
+  int owner = -1;
+  bool expanded = false;
+  bool leaf = false;
+  std::vector<Key> children;
+  std::vector<Source> bodies;
+};
+
+struct Walk {
+  std::uint32_t body = 0;
+  Vec3 pos;
+  std::vector<Key> stack;
+  Accel acc;
+  std::uint64_t body_interactions = 0;
+  std::uint64_t cell_interactions = 0;
+  std::uint64_t cells_opened = 0;
+};
+
+class Engine {
+ public:
+  Engine(ss::vmpi::Comm& comm, const ParallelConfig& cfg, const Tree& tree,
+         const DecompResult& dec)
+      : comm_(comm), cfg_(cfg), tree_(tree), dec_(dec), abm_(comm, cfg.abm) {
+    abm_.on(kChanRequest, [this](int src, std::span<const std::byte> p) {
+      serve_request(src, p);
+    });
+    abm_.on(kChanChildren, [this](int src, std::span<const std::byte> p) {
+      handle_children(src, p);
+    });
+    abm_.on(kChanBodies, [this](int src, std::span<const std::byte> p) {
+      handle_bodies(src, p);
+    });
+    abm_.on(kChanQuiet, [this](int, std::span<const std::byte>) {
+      ++quiet_count_;
+    });
+    abm_.on(kChanDone,
+            [this](int, std::span<const std::byte>) { done_ = true; });
+  }
+
+  void exchange_cover();
+  void run_walks(GravityResult& out);
+
+  const ParallelStats& stats() const { return stats_; }
+
+ private:
+  void build_top(const std::vector<WireCell>& covers,
+                 const std::vector<int>& owners);
+  void serve_request(int src, std::span<const std::byte> payload);
+  void handle_children(int src, std::span<const std::byte> payload);
+  void handle_bodies(int src, std::span<const std::byte> payload);
+  /// Returns false if the walk parked waiting for remote data.
+  bool advance(Walk& w);
+  void park(Walk& w, Key k, int owner, std::uint32_t walk_idx);
+  void direct_local_range(Walk& w, Key cell);
+  void unpark(Key k);
+
+  ss::vmpi::Comm& comm_;
+  const ParallelConfig& cfg_;
+  const Tree& tree_;
+  const DecompResult& dec_;
+  Abm abm_;
+
+  std::unordered_map<Key, TopCell> top_;
+  std::unordered_map<Key, RemoteCell> remote_;
+  std::unordered_set<Key> requested_;
+  std::unordered_map<Key, std::vector<std::uint32_t>> waiting_;
+
+  std::vector<Walk> walks_;
+  std::deque<std::uint32_t> ready_;
+  std::uint64_t outstanding_ = 0;  // requests sent minus replies received
+
+  int quiet_count_ = 0;  // rank 0 only
+  bool sent_quiet_ = false;
+  bool done_ = false;
+
+  ParallelStats stats_;
+};
+
+void Engine::exchange_cover() {
+  const Domain dom = dec_.domains[static_cast<std::size_t>(comm_.rank())];
+  std::vector<Key> cover = cover_cells(dom.lo, dom.hi);
+  std::vector<WireCell> local_wire;
+  local_wire.reserve(cover.size());
+  for (Key k : cover) {
+    if (const Cell* c = tree_.find(k)) {
+      local_wire.push_back(to_wire(k, c->mom, c->count));
+    } else {
+      // No cell means either no bodies in range, or the bodies live in a
+      // leaf above this cover cell. Compute moments from the key range.
+      const auto& keys = tree_.keys();
+      const auto lo = std::lower_bound(keys.begin(), keys.end(),
+                                       morton::first_descendant(k));
+      const auto hi = std::upper_bound(keys.begin(), keys.end(),
+                                       morton::last_descendant(k));
+      const auto first = static_cast<std::size_t>(lo - keys.begin());
+      const auto count = static_cast<std::size_t>(hi - lo);
+      const Moments m = Moments::of_particles(
+          std::span<const Source>(tree_.bodies().data() + first, count));
+      local_wire.push_back(to_wire(k, m, static_cast<std::uint32_t>(count)));
+    }
+  }
+  stats_.cover_cells = local_wire.size();
+
+  auto counts = comm_.allgather_value<std::uint32_t>(
+      static_cast<std::uint32_t>(local_wire.size()));
+  auto flat = comm_.allgather(
+      std::span<const WireCell>(local_wire.data(), local_wire.size()));
+  std::vector<int> owners;
+  owners.reserve(flat.size());
+  for (int r = 0; r < comm_.size(); ++r) {
+    for (std::uint32_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+      owners.push_back(r);
+    }
+  }
+  build_top(flat, owners);
+}
+
+void Engine::build_top(const std::vector<WireCell>& covers,
+                       const std::vector<int>& owners) {
+  for (std::size_t i = 0; i < covers.size(); ++i) {
+    TopCell tc;
+    tc.mom = from_wire(covers[i]);
+    tc.count = covers[i].count;
+    tc.cover = true;
+    tc.owner = owners[i];
+    top_.emplace(covers[i].key, std::move(tc));
+  }
+  // Create ancestors level by level, deepest first.
+  std::vector<Key> frontier;
+  frontier.reserve(covers.size());
+  for (const auto& w : covers) frontier.push_back(w.key);
+  std::sort(frontier.begin(), frontier.end(), [](Key a, Key b) {
+    return morton::level(a) != morton::level(b)
+               ? morton::level(a) > morton::level(b)
+               : a < b;
+  });
+  std::size_t i = 0;
+  while (i < frontier.size()) {
+    const int lev = morton::level(frontier[i]);
+    if (lev == 0) break;
+    // Group this level's keys into parents.
+    std::vector<Key> parents;
+    for (; i < frontier.size() && morton::level(frontier[i]) == lev; ++i) {
+      const Key pk = morton::parent(frontier[i]);
+      auto [it, created] = top_.try_emplace(pk);
+      it->second.children.push_back(frontier[i]);
+      if (created) parents.push_back(pk);
+    }
+    // Combine moments of freshly completed parents (children of a parent
+    // all live at this level because cover ranges are disjoint and tiled).
+    for (Key pk : parents) {
+      TopCell& tc = top_[pk];
+      std::vector<Moments> ms;
+      ms.reserve(tc.children.size());
+      tc.count = 0;
+      for (Key ck : tc.children) {
+        ms.push_back(top_[ck].mom);
+        tc.count += top_[ck].count;
+      }
+      tc.mom = Moments::combine(ms);
+    }
+    // Parents join the frontier; keep level ordering by re-sorting the
+    // remainder (parents are one level up, so they sort after this level).
+    frontier.insert(frontier.end(), parents.begin(), parents.end());
+    std::sort(frontier.begin() + static_cast<std::ptrdiff_t>(i),
+              frontier.end(), [](Key a, Key b) {
+                return morton::level(a) != morton::level(b)
+                           ? morton::level(a) > morton::level(b)
+                           : a < b;
+              });
+  }
+  stats_.top_cells = top_.size();
+}
+
+void Engine::serve_request(int src, std::span<const std::byte> payload) {
+  Key k;
+  if (payload.size() != sizeof(Key)) {
+    throw std::runtime_error("hot: bad request payload");
+  }
+  std::memcpy(&k, payload.data(), sizeof(Key));
+  ++stats_.requests_served;
+
+  const Cell* c = tree_.find(k);
+  if (c != nullptr && !c->leaf) {
+    // Reply: parent key followed by the existing children's WireCells.
+    std::vector<std::byte> buf(sizeof(Key));
+    std::memcpy(buf.data(), &k, sizeof(Key));
+    for (int o = 0; o < 8; ++o) {
+      if (c->children[o] < 0) continue;
+      const Cell& ch = tree_.cell(static_cast<std::uint32_t>(c->children[o]));
+      const WireCell w = to_wire(ch.key, ch.mom, ch.count);
+      const std::size_t off = buf.size();
+      buf.resize(off + sizeof(WireCell));
+      std::memcpy(buf.data() + off, &w, sizeof(WireCell));
+    }
+    abm_.post(src, kChanChildren, std::span<const std::byte>(buf));
+    return;
+  }
+
+  // Leaf (or no explicit cell): reply with the bodies in k's key range.
+  const Source* first = nullptr;
+  std::size_t count = 0;
+  if (c != nullptr) {
+    first = tree_.bodies().data() + c->first;
+    count = c->count;
+  } else {
+    const auto& keys = tree_.keys();
+    const auto lo = std::lower_bound(keys.begin(), keys.end(),
+                                     morton::first_descendant(k));
+    const auto hi = std::upper_bound(keys.begin(), keys.end(),
+                                     morton::last_descendant(k));
+    first = tree_.bodies().data() + (lo - keys.begin());
+    count = static_cast<std::size_t>(hi - lo);
+  }
+  std::vector<std::byte> buf(sizeof(Key) + count * sizeof(Source));
+  std::memcpy(buf.data(), &k, sizeof(Key));
+  if (count > 0) {
+    std::memcpy(buf.data() + sizeof(Key), first, count * sizeof(Source));
+  }
+  abm_.post(src, kChanBodies, std::span<const std::byte>(buf));
+}
+
+void Engine::handle_children(int src, std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(Key) ||
+      (payload.size() - sizeof(Key)) % sizeof(WireCell) != 0) {
+    throw std::runtime_error("hot: bad children payload");
+  }
+  Key parent;
+  std::memcpy(&parent, payload.data(), sizeof(Key));
+  const std::size_t n = (payload.size() - sizeof(Key)) / sizeof(WireCell);
+
+  RemoteCell& rc = remote_[parent];
+  rc.expanded = true;
+  rc.leaf = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    WireCell w;
+    std::memcpy(&w, payload.data() + sizeof(Key) + i * sizeof(WireCell),
+                sizeof(WireCell));
+    rc.children.push_back(w.key);
+    RemoteCell& child = remote_[w.key];
+    child.mom = from_wire(w);
+    child.count = w.count;
+    child.owner = src;
+  }
+  --outstanding_;
+  unpark(parent);
+}
+
+void Engine::handle_bodies(int src, std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(Key) ||
+      (payload.size() - sizeof(Key)) % sizeof(Source) != 0) {
+    throw std::runtime_error("hot: bad bodies payload");
+  }
+  Key k;
+  std::memcpy(&k, payload.data(), sizeof(Key));
+  const std::size_t n = (payload.size() - sizeof(Key)) / sizeof(Source);
+  RemoteCell& rc = remote_[k];
+  rc.expanded = true;
+  rc.leaf = true;
+  rc.owner = src;
+  rc.bodies.resize(n);
+  if (n > 0) {
+    std::memcpy(rc.bodies.data(), payload.data() + sizeof(Key),
+                n * sizeof(Source));
+  }
+  --outstanding_;
+  unpark(k);
+}
+
+void Engine::unpark(Key k) {
+  auto it = waiting_.find(k);
+  if (it == waiting_.end()) return;
+  for (std::uint32_t w : it->second) ready_.push_back(w);
+  waiting_.erase(it);
+}
+
+void Engine::park(Walk& w, Key k, int owner, std::uint32_t walk_idx) {
+  w.stack.push_back(k);  // retry this key on resume
+  waiting_[k].push_back(walk_idx);
+  ++stats_.walks_parked;
+  if (requested_.insert(k).second) {
+    abm_.post_value(owner, kChanRequest, k);
+    ++stats_.remote_requests;
+    ++outstanding_;
+  }
+}
+
+void Engine::direct_local_range(Walk& w, Key cell) {
+  const auto& keys = tree_.keys();
+  const auto lo = std::lower_bound(keys.begin(), keys.end(),
+                                   morton::first_descendant(cell));
+  const auto hi = std::upper_bound(keys.begin(), keys.end(),
+                                   morton::last_descendant(cell));
+  const auto first = static_cast<std::size_t>(lo - keys.begin());
+  const auto count = static_cast<std::size_t>(hi - lo);
+  w.acc += gravity::interact(
+      w.pos, std::span<const Source>(tree_.bodies().data() + first, count),
+      cfg_.eps2, cfg_.method);
+  w.body_interactions += count;
+}
+
+bool Engine::advance(Walk& w) {
+  const auto walk_idx = static_cast<std::uint32_t>(&w - walks_.data());
+  while (!w.stack.empty()) {
+    const Key k = w.stack.back();
+    w.stack.pop_back();
+
+    // Resolution order: shared top tree, then the local tree (below local
+    // cover cells), then the remote cache (below remote cover cells).
+    if (auto it = top_.find(k); it != top_.end()) {
+      const TopCell& tc = it->second;
+      if (tc.count == 0) continue;
+      if (gravity::mac_accept(tc.mom, w.pos, cfg_.theta)) {
+        w.acc += gravity::evaluate(tc.mom, w.pos, cfg_.eps2, cfg_.method);
+        ++w.cell_interactions;
+        continue;
+      }
+      ++w.cells_opened;
+      if (!tc.cover) {
+        for (Key ck : tc.children) w.stack.push_back(ck);
+        continue;
+      }
+      if (tc.owner == comm_.rank()) {
+        if (const Cell* c = tree_.find(k)) {
+          if (c->leaf) {
+            w.acc += gravity::interact(
+                w.pos,
+                std::span<const Source>(tree_.bodies().data() + c->first,
+                                        c->count),
+                cfg_.eps2, cfg_.method);
+            w.body_interactions += c->count;
+          } else {
+            for (int o = 0; o < 8; ++o) {
+              if (c->children[o] >= 0) {
+                w.stack.push_back(
+                    tree_.cell(static_cast<std::uint32_t>(c->children[o])).key);
+              }
+            }
+          }
+        } else {
+          // Bodies live in a leaf above the cover cell.
+          direct_local_range(w, k);
+        }
+        continue;
+      }
+      // Remote cover cell: treated like any remote cell below.
+      RemoteCell& rc = remote_[k];
+      if (rc.owner < 0) {
+        rc.mom = tc.mom;
+        rc.count = tc.count;
+        rc.owner = tc.owner;
+      }
+      if (!rc.expanded) {
+        park(w, k, rc.owner, walk_idx);
+        return false;
+      }
+      if (rc.leaf) {
+        w.acc += gravity::interact(w.pos, rc.bodies, cfg_.eps2, cfg_.method);
+        w.body_interactions += rc.bodies.size();
+      } else {
+        for (Key ck : rc.children) w.stack.push_back(ck);
+      }
+      continue;
+    }
+
+    if (const Cell* c = tree_.find(k)) {
+      if (c->count == 0) continue;
+      if (c->leaf) {
+        w.acc += gravity::interact(
+            w.pos,
+            std::span<const Source>(tree_.bodies().data() + c->first,
+                                    c->count),
+            cfg_.eps2, cfg_.method);
+        w.body_interactions += c->count;
+        continue;
+      }
+      if (gravity::mac_accept(c->mom, w.pos, cfg_.theta)) {
+        w.acc += gravity::evaluate(c->mom, w.pos, cfg_.eps2, cfg_.method);
+        ++w.cell_interactions;
+        continue;
+      }
+      ++w.cells_opened;
+      for (int o = 0; o < 8; ++o) {
+        if (c->children[o] >= 0) {
+          w.stack.push_back(
+              tree_.cell(static_cast<std::uint32_t>(c->children[o])).key);
+        }
+      }
+      continue;
+    }
+
+    auto rit = remote_.find(k);
+    if (rit == remote_.end()) {
+      throw std::logic_error("hot: traversal reached unknown key");
+    }
+    RemoteCell& rc = rit->second;
+    if (rc.count == 0) continue;
+    if (gravity::mac_accept(rc.mom, w.pos, cfg_.theta)) {
+      w.acc += gravity::evaluate(rc.mom, w.pos, cfg_.eps2, cfg_.method);
+      ++w.cell_interactions;
+      continue;
+    }
+    ++w.cells_opened;
+    if (!rc.expanded) {
+      park(w, k, rc.owner, walk_idx);
+      return false;
+    }
+    if (rc.leaf) {
+      w.acc += gravity::interact(w.pos, rc.bodies, cfg_.eps2, cfg_.method);
+      w.body_interactions += rc.bodies.size();
+    } else {
+      for (Key ck : rc.children) w.stack.push_back(ck);
+    }
+  }
+  return true;
+}
+
+void Engine::run_walks(GravityResult& out) {
+  const auto n = tree_.bodies().size();
+  walks_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    walks_[i].body = static_cast<std::uint32_t>(i);
+    walks_[i].pos = tree_.bodies()[i].pos;
+    walks_[i].stack.push_back(morton::kRootKey);
+    ready_.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::size_t completed = 0;
+
+  const bool single = comm_.size() == 1;
+  while (!done_) {
+    // Service incoming traffic first so replies unpark walks promptly.
+    const std::size_t handled = abm_.poll();
+    if (handled == 0 && ready_.empty() && !single) {
+      std::this_thread::yield();  // idle: let peer rank threads progress
+    }
+
+    std::size_t burst = 0;
+    while (!ready_.empty() && burst < 256) {
+      const std::uint32_t idx = ready_.front();
+      ready_.pop_front();
+      if (advance(walks_[idx])) ++completed;
+      ++burst;
+    }
+    abm_.flush();
+
+    if (completed == n && outstanding_ == 0 && !sent_quiet_) {
+      sent_quiet_ = true;
+      if (comm_.rank() == 0) {
+        ++quiet_count_;
+      } else {
+        abm_.post_value<std::uint8_t>(0, kChanQuiet, 1);
+        abm_.flush();
+      }
+    }
+    if (comm_.rank() == 0 && quiet_count_ == comm_.size()) {
+      for (int r = 1; r < comm_.size(); ++r) {
+        abm_.post_value<std::uint8_t>(r, kChanDone, 1);
+      }
+      abm_.flush();
+      done_ = true;
+    }
+    if (single && sent_quiet_) done_ = true;
+  }
+
+  // Collect results and per-body work estimates (flops, the paper's
+  // weighting for the next decomposition).
+  out.accel.resize(n);
+  out.work.resize(n);
+  std::uint64_t flops = 0;
+  for (const Walk& w : walks_) {
+    out.accel[w.body] = w.acc;
+    const std::uint64_t wf =
+        w.body_interactions * gravity::kFlopsPerInteraction +
+        w.cell_interactions * gravity::kFlopsPerCellInteraction;
+    out.work[w.body] = static_cast<double>(wf);
+    flops += wf;
+    stats_.traverse.body_interactions += w.body_interactions;
+    stats_.traverse.cell_interactions += w.cell_interactions;
+    stats_.traverse.cells_opened += w.cells_opened;
+  }
+  if (cfg_.charge_compute) {
+    comm_.compute_work(flops, 0);
+  }
+  out.stats = stats_;
+}
+
+}  // namespace
+
+GravityResult parallel_gravity(ss::vmpi::Comm& comm,
+                               std::span<const Source> bodies,
+                               std::span<const double> prev_work,
+                               const ParallelConfig& cfg) {
+  const double t0 = comm.barrier_max_time();
+  const morton::Box box = global_box(comm, bodies);
+  DecompResult dec = decompose(comm, bodies, prev_work, box, cfg.decomp);
+  const double t1 = comm.barrier_max_time();
+
+  Tree tree(dec.bodies, box, cfg.tree);
+  if (cfg.charge_compute) {
+    // Tree construction is memory-traffic bound: sort + build touch each
+    // body and cell a handful of times.
+    comm.compute_work(0, 200ull * dec.bodies.size());
+  }
+
+  GravityResult out;
+  out.domain = dec.domains[static_cast<std::size_t>(comm.rank())];
+
+  Engine engine(comm, cfg, tree, dec);
+  engine.exchange_cover();
+  comm.barrier();  // cover exchange complete everywhere before requests fly
+  const double t2 = comm.barrier_max_time();
+  engine.run_walks(out);
+  const double t3 = comm.barrier_max_time();
+
+  out.bodies = tree.bodies();
+  ParallelStats st = engine.stats();
+  st.local_bodies = out.bodies.size();
+  st.local_cells = tree.cell_count();
+  st.decompose_seconds = t1 - t0;
+  st.build_seconds = t2 - t1;
+  st.traverse_seconds = t3 - t2;
+  out.stats = st;
+  return out;
+}
+
+}  // namespace ss::hot

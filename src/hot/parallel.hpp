@@ -1,0 +1,87 @@
+// Distributed hashed oct-tree gravity (the paper's core algorithm,
+// Sec 4.2), on top of vmpi + ABM.
+//
+// One force evaluation proceeds in the paper's stages:
+//
+//  1. *Domain decomposition*: bodies are routed to ranks by splitting the
+//     Morton-ordered list into Np work-weighted pieces (decomp.hpp).
+//  2. *Distributed tree build*: each rank builds a local tree over its
+//     bodies, computes the minimal set of cells tiling its key range
+//     ("branch" or cover cells, whose moments are globally correct because
+//     the domain owns every body under them), and allgathers the cover
+//     cells. Every rank assembles the shared *top tree* above the cover
+//     cells by combining moments upward.
+//  3. *Traversal with latency hiding*: each local body walks the global
+//     tree. Cells above cover level come from the top tree; cells below a
+//     local cover cell come from the local tree; cells below a remote
+//     cover cell come from a software cache filled by asynchronous
+//     batched requests to the owner. A walk that needs missing remote
+//     data is parked ("explicit context switching using a software
+//     queue", per the paper) and resumed when the reply arrives; other
+//     walks proceed meanwhile.
+//  4. *Termination*: a rank that has finished all walks and received all
+//     replies reports QUIET to rank 0, which broadcasts DONE once every
+//     rank is quiet (quietness is monotone: serving further requests
+//     cannot create new local work).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hot/abm.hpp"
+#include "hot/decomp.hpp"
+#include "hot/tree.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::hot {
+
+struct ParallelConfig {
+  double theta = 0.6;
+  double eps2 = 0.0;
+  RsqrtMethod method = RsqrtMethod::libm;
+  TreeConfig tree;
+  DecompConfig decomp;
+  Abm::Config abm;
+  /// Charge virtual compute time for interactions (flops at the rank's
+  /// modeled rate). Disable for pure-correctness tests.
+  bool charge_compute = true;
+};
+
+struct ParallelStats {
+  TraverseStats traverse;
+  std::uint64_t remote_requests = 0;  ///< Distinct keys fetched remotely.
+  std::uint64_t requests_served = 0;  ///< Requests answered for peers.
+  std::uint64_t walks_parked = 0;     ///< Context switches taken.
+  std::size_t local_bodies = 0;
+  std::size_t local_cells = 0;
+  std::size_t top_cells = 0;
+  std::size_t cover_cells = 0;
+  /// Virtual-time breakdown of the paper's algorithm stages (barrier-to-
+  /// barrier, so each includes that stage's load imbalance).
+  double decompose_seconds = 0.0;
+  double build_seconds = 0.0;   ///< Local tree + cover exchange.
+  double traverse_seconds = 0.0;
+};
+
+struct GravityResult {
+  std::vector<Source> bodies;  ///< This rank's bodies after decomposition.
+  std::vector<Accel> accel;    ///< Field at each body (self excluded).
+  std::vector<double> work;    ///< Flop count per body; feed to next step.
+  Domain domain;               ///< This rank's key range.
+  ParallelStats stats;
+};
+
+/// Minimal set of cells whose descendant ranges exactly tile the inclusive
+/// key range [lo, hi] (both maximum-depth keys).
+std::vector<morton::Key> cover_cells(morton::Key lo, morton::Key hi);
+
+/// One complete parallel force evaluation. `bodies` is this rank's current
+/// share (any distribution); `prev_work` are per-body weights from the
+/// previous step (pass {} for the first step).
+GravityResult parallel_gravity(ss::vmpi::Comm& comm,
+                               std::span<const Source> bodies,
+                               std::span<const double> prev_work,
+                               const ParallelConfig& cfg = {});
+
+}  // namespace ss::hot

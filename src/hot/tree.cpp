@@ -1,0 +1,230 @@
+#include "hot/tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ss::hot {
+
+Tree::Tree(std::span<const Source> bodies, TreeConfig cfg)
+    : Tree(bodies,
+           [&] {
+             std::vector<Vec3> pos(bodies.size());
+             for (std::size_t i = 0; i < bodies.size(); ++i) {
+               pos[i] = bodies[i].pos;
+             }
+             return morton::Box::bounding(pos.data(), pos.size());
+           }(),
+           cfg) {}
+
+Tree::Tree(std::span<const Source> bodies, const morton::Box& box,
+           TreeConfig cfg)
+    : box_(box), cfg_(cfg) {
+  const auto n = static_cast<std::uint32_t>(bodies.size());
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+
+  std::vector<morton::Key> raw_keys(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    raw_keys[i] = morton::encode(bodies[i].pos, box_);
+  }
+  std::sort(perm_.begin(), perm_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return raw_keys[a] != raw_keys[b] ? raw_keys[a] < raw_keys[b] : a < b;
+  });
+
+  bodies_.resize(n);
+  keys_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bodies_[i] = bodies[perm_[i]];
+    keys_[i] = raw_keys[perm_[i]];
+  }
+
+  cells_.reserve(n / 2 + 8);
+  if (n > 0) {
+    build_cell(morton::kRootKey, 0, n, 0);
+  } else {
+    Cell root;
+    root.key = morton::kRootKey;
+    cells_.push_back(root);
+  }
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    map_.insert(cells_[i].key, i);
+  }
+}
+
+std::uint32_t Tree::build_cell(morton::Key key, std::uint32_t lo,
+                               std::uint32_t hi, int level) {
+  const auto idx = static_cast<std::uint32_t>(cells_.size());
+  cells_.emplace_back();
+  cells_[idx].key = key;
+  cells_[idx].first = lo;
+  cells_[idx].count = hi - lo;
+
+  if (hi - lo <= cfg_.bucket_size || level == morton::kMaxLevel) {
+    cells_[idx].leaf = true;
+    cells_[idx].mom = Moments::of_particles(
+        std::span<const Source>(bodies_.data() + lo, hi - lo));
+    return idx;
+  }
+
+  cells_[idx].leaf = false;
+  Moments child_moms[8];
+  int nchild = 0;
+  std::uint32_t cursor = lo;
+  for (int o = 0; o < 8 && cursor < hi; ++o) {
+    const morton::Key ck = morton::child(key, o);
+    // Bodies of child o occupy keys in [first_descendant, last_descendant].
+    const morton::Key ck_hi = morton::last_descendant(ck);
+    const auto end = static_cast<std::uint32_t>(
+        std::upper_bound(keys_.begin() + cursor, keys_.begin() + hi, ck_hi) -
+        keys_.begin());
+    if (end > cursor) {
+      const std::uint32_t child_idx = build_cell(ck, cursor, end, level + 1);
+      cells_[idx].children[o] = static_cast<std::int32_t>(child_idx);
+      child_moms[nchild++] = cells_[child_idx].mom;
+      cursor = end;
+    }
+  }
+  cells_[idx].mom =
+      Moments::combine(std::span<const Moments>(child_moms, nchild));
+  return idx;
+}
+
+const Cell* Tree::find(morton::Key k) const {
+  const auto i = map_.find(k);
+  return i ? &cells_[*i] : nullptr;
+}
+
+Accel Tree::accelerate(const Vec3& target, double theta, double eps2,
+                       RsqrtMethod method, TraverseStats* stats) const {
+  Accel out;
+  if (bodies_.empty()) return out;
+  std::vector<std::uint32_t> stack;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const Cell& c = cells_[stack.back()];
+    stack.pop_back();
+    if (c.mom.mass == 0.0 && c.count == 0) continue;
+    if (c.leaf) {
+      out += gravity::interact(
+          target,
+          std::span<const Source>(bodies_.data() + c.first, c.count), eps2,
+          method);
+      if (stats) stats->body_interactions += c.count;
+      continue;
+    }
+    if (gravity::mac_accept(c.mom, target, theta)) {
+      out += gravity::evaluate(c.mom, target, eps2, method);
+      if (stats) ++stats->cell_interactions;
+      continue;
+    }
+    if (stats) ++stats->cells_opened;
+    for (int o = 0; o < 8; ++o) {
+      if (c.children[o] >= 0) {
+        stack.push_back(static_cast<std::uint32_t>(c.children[o]));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Accel> Tree::accelerate_all(double theta, double eps2,
+                                        RsqrtMethod method,
+                                        TraverseStats* stats) const {
+  std::vector<Accel> out(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    out[i] = accelerate(bodies_[i].pos, theta, eps2, method, stats);
+  }
+  return out;
+}
+
+std::vector<Accel> Tree::accelerate_group_all(double theta, double eps2,
+                                              RsqrtMethod method,
+                                              TraverseStats* stats) const {
+  std::vector<Accel> out(bodies_.size());
+  if (bodies_.empty()) return out;
+
+  std::vector<std::uint32_t> stack, cell_list, leaf_list;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& group = cells_[ci];
+    if (!group.leaf || group.count == 0) continue;
+
+    // One walk for the whole bucket. Group MAC: the cell must be
+    // acceptable from every point of the group's bounding sphere, i.e.
+    // (d - bmax_group) * theta > bmax_cell with d the center distance.
+    cell_list.clear();
+    leaf_list.clear();
+    stack.assign(1, 0u);
+    while (!stack.empty()) {
+      const Cell& c = cells_[stack.back()];
+      stack.pop_back();
+      if (c.mom.mass == 0.0 && c.count == 0) continue;
+      if (c.leaf) {
+        leaf_list.push_back(c.first);
+        leaf_list.push_back(c.count);
+        continue;
+      }
+      const double d = (c.mom.com - group.mom.com).norm();
+      if ((d - group.mom.bmax) * theta > c.mom.bmax) {
+        cell_list.push_back(
+            static_cast<std::uint32_t>(&c - cells_.data()));
+        continue;
+      }
+      if (stats) ++stats->cells_opened;
+      for (int o = 0; o < 8; ++o) {
+        if (c.children[o] >= 0) {
+          stack.push_back(static_cast<std::uint32_t>(c.children[o]));
+        }
+      }
+    }
+
+    // Apply the shared lists to every body of the bucket.
+    for (std::uint32_t b = group.first; b < group.first + group.count; ++b) {
+      Accel acc;
+      for (std::uint32_t cc : cell_list) {
+        acc += gravity::evaluate(cells_[cc].mom, bodies_[b].pos, eps2,
+                                 method);
+      }
+      for (std::size_t l = 0; l < leaf_list.size(); l += 2) {
+        acc += gravity::interact(
+            bodies_[b].pos,
+            std::span<const Source>(bodies_.data() + leaf_list[l],
+                                    leaf_list[l + 1]),
+            eps2, method);
+        if (stats) stats->body_interactions += leaf_list[l + 1];
+      }
+      if (stats) stats->cell_interactions += cell_list.size();
+      out[b] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Tree::neighbors_within(const Vec3& center,
+                                                  double h) const {
+  std::vector<std::uint32_t> out;
+  if (bodies_.empty()) return out;
+  const double h2 = h * h;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const Cell& c = cells_[stack.back()];
+    stack.pop_back();
+    if (c.count == 0) continue;
+    // Prune: the cell's bounding sphere about its center of mass.
+    const double reach = c.mom.bmax + h;
+    if ((center - c.mom.com).norm2() > reach * reach) continue;
+    if (c.leaf) {
+      for (std::uint32_t i = c.first; i < c.first + c.count; ++i) {
+        if ((bodies_[i].pos - center).norm2() <= h2) out.push_back(i);
+      }
+      continue;
+    }
+    for (int o = 0; o < 8; ++o) {
+      if (c.children[o] >= 0) {
+        stack.push_back(static_cast<std::uint32_t>(c.children[o]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::hot

@@ -1,0 +1,121 @@
+// Serial hashed oct-tree over a set of point masses.
+//
+// Construction: bodies are assigned Morton keys, sorted into key order
+// (the paper's 1-D load-balancing curve), and the tree is built by
+// recursive refinement of key ranges — a cell's bodies are a contiguous
+// slice of the sorted array, so child ranges come from binary search.
+// Multipole moments are accumulated bottom-up during the build. Every
+// cell is registered in the KeyMap, giving O(1) key -> cell lookup for
+// the traversal and for serving remote requests in the parallel code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gravity/kernels.hpp"
+#include "gravity/multipole.hpp"
+#include "hot/hash_table.hpp"
+#include "morton/key.hpp"
+
+namespace ss::hot {
+
+using gravity::Accel;
+using gravity::Moments;
+using gravity::RsqrtMethod;
+using gravity::Source;
+using support::Vec3;
+
+struct Cell {
+  morton::Key key = 0;
+  std::uint32_t first = 0;  ///< Offset into the sorted body array.
+  std::uint32_t count = 0;  ///< Number of bodies under this cell.
+  bool leaf = true;
+  std::int32_t children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  Moments mom;
+};
+
+struct TreeConfig {
+  /// Maximum bodies per leaf before a cell is split (the treecode's
+  /// bucket size). Cells at the maximum key depth stay leaves regardless.
+  std::uint32_t bucket_size = 16;
+};
+
+struct TraverseStats {
+  std::uint64_t body_interactions = 0;
+  std::uint64_t cell_interactions = 0;
+  std::uint64_t cells_opened = 0;
+
+  /// Flops under the paper's accounting for this interaction count.
+  std::uint64_t flops() const {
+    return body_interactions * gravity::kFlopsPerInteraction +
+           cell_interactions * gravity::kFlopsPerCellInteraction;
+  }
+};
+
+class Tree {
+ public:
+  /// Builds over a copy of `bodies`, sorted by Morton key within `box`.
+  Tree(std::span<const Source> bodies, const morton::Box& box,
+       TreeConfig cfg = {});
+
+  /// Convenience: computes the bounding box internally.
+  explicit Tree(std::span<const Source> bodies, TreeConfig cfg = {});
+
+  const morton::Box& box() const { return box_; }
+  /// Bodies in Morton order.
+  const std::vector<Source>& bodies() const { return bodies_; }
+  /// Morton keys of bodies(), same order.
+  const std::vector<morton::Key>& keys() const { return keys_; }
+  /// original_index()[i] is the caller's index of bodies()[i].
+  const std::vector<std::uint32_t>& original_index() const { return perm_; }
+
+  std::size_t cell_count() const { return cells_.size(); }
+  const Cell& cell(std::uint32_t i) const { return cells_[i]; }
+  const Cell& root() const { return cells_[0]; }
+
+  /// Cell for a key, or nullptr if no such cell exists in this tree.
+  const Cell* find(morton::Key k) const;
+
+  /// Gravitational field at an arbitrary point (the point itself is not a
+  /// body unless it coincides with one; coincident bodies contribute no
+  /// force thanks to the kernel's r2 == 0 guard).
+  Accel accelerate(const Vec3& target, double theta, double eps2,
+                   RsqrtMethod method = RsqrtMethod::libm,
+                   TraverseStats* stats = nullptr) const;
+
+  /// Field at every body (skipping self-force), in bodies() order.
+  std::vector<Accel> accelerate_all(double theta, double eps2,
+                                    RsqrtMethod method = RsqrtMethod::libm,
+                                    TraverseStats* stats = nullptr) const;
+
+  /// Group-walk variant (the Warren-Salmon optimization): one traversal
+  /// per leaf bucket builds a shared interaction list for all its bodies,
+  /// amortizing the tree-walk overhead. The group MAC is conservative —
+  /// a cell is accepted only if acceptable from anywhere inside the
+  /// bucket's bounding sphere — so accuracy is at least that of the
+  /// per-body walk at the same theta, at the cost of somewhat more
+  /// interactions.
+  std::vector<Accel> accelerate_group_all(
+      double theta, double eps2, RsqrtMethod method = RsqrtMethod::libm,
+      TraverseStats* stats = nullptr) const;
+
+  /// All bodies within distance h of `center` (via key-range pruned tree
+  /// walk); returns indices into bodies(). Used by the SPH module.
+  std::vector<std::uint32_t> neighbors_within(const Vec3& center,
+                                              double h) const;
+
+ private:
+  std::uint32_t build_cell(morton::Key key, std::uint32_t lo,
+                           std::uint32_t hi, int level);
+
+  morton::Box box_;
+  TreeConfig cfg_;
+  std::vector<Source> bodies_;
+  std::vector<morton::Key> keys_;
+  std::vector<std::uint32_t> perm_;
+  std::vector<Cell> cells_;
+  KeyMap map_;
+};
+
+}  // namespace ss::hot

@@ -1,0 +1,80 @@
+#include "hpl/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss::hpl {
+
+void gemm_minus(const MatrixView& a, const MatrixView& b, MatrixView c) {
+  const std::size_t m = c.rows, n = c.cols, k = a.cols;
+  // 4x4 register tiles over (i, j); k innermost for FMA chains.
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      double acc[4][4] = {};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double a0 = a.at(i + 0, kk);
+        const double a1 = a.at(i + 1, kk);
+        const double a2 = a.at(i + 2, kk);
+        const double a3 = a.at(i + 3, kk);
+        for (int jj = 0; jj < 4; ++jj) {
+          const double bv = b.at(kk, j + static_cast<std::size_t>(jj));
+          acc[0][jj] += a0 * bv;
+          acc[1][jj] += a1 * bv;
+          acc[2][jj] += a2 * bv;
+          acc[3][jj] += a3 * bv;
+        }
+      }
+      for (int ii = 0; ii < 4; ++ii) {
+        for (int jj = 0; jj < 4; ++jj) {
+          c.at(i + static_cast<std::size_t>(ii),
+               j + static_cast<std::size_t>(jj)) -= acc[ii][jj];
+        }
+      }
+    }
+    // Remainder rows.
+    for (; i < m; ++i) {
+      for (int jj = 0; jj < 4; ++jj) {
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += a.at(i, kk) * b.at(kk, j + static_cast<std::size_t>(jj));
+        }
+        c.at(i, j + static_cast<std::size_t>(jj)) -= acc;
+      }
+    }
+  }
+  // Remainder columns.
+  for (; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      c.at(i, j) -= acc;
+    }
+  }
+}
+
+void trsm_lower_unit(const MatrixView& l, MatrixView b) {
+  const std::size_t m = b.rows, n = b.cols;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double x = b.at(i, j);
+      for (std::size_t kk = 0; kk < i; ++kk) {
+        x -= l.at(i, kk) * b.at(kk, j);
+      }
+      b.at(i, j) = x;  // unit diagonal
+    }
+  }
+}
+
+double norm_inf(const MatrixView& a) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < a.cols; ++j) row += std::abs(a.at(i, j));
+    best = std::max(best, row);
+  }
+  return best;
+}
+
+}  // namespace ss::hpl

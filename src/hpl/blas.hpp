@@ -1,0 +1,61 @@
+// The small dense-linear-algebra core under the Linpack reproduction:
+// column-major matrices, a register-blocked DGEMM update, and the
+// triangular solves the right-looking LU factorization needs. This plays
+// the role ATLAS played in the paper's HPL runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ss::hpl {
+
+/// Dense column-major matrix view over caller-owned storage.
+struct MatrixView {
+  double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;  ///< leading dimension (stride between columns)
+
+  double& at(std::size_t i, std::size_t j) { return data[j * ld + i]; }
+  const double& at(std::size_t i, std::size_t j) const {
+    return data[j * ld + i];
+  }
+  MatrixView block(std::size_t i, std::size_t j, std::size_t r,
+                   std::size_t c) const {
+    return {data + j * ld + i, r, c, ld};
+  }
+};
+
+/// Owning column-major matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  MatrixView view() { return {data_.data(), rows_, cols_, rows_}; }
+  MatrixView view() const {
+    return {const_cast<double*>(data_.data()), rows_, cols_, rows_};
+  }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t i, std::size_t j) { return data_[j * rows_ + i]; }
+  const double& at(std::size_t i, std::size_t j) const {
+    return data_[j * rows_ + i];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// C -= A * B (the trailing-matrix update). A is m x k, B is k x n,
+/// C is m x n. Register-blocked 4x4 microkernel with k-inner loop.
+void gemm_minus(const MatrixView& a, const MatrixView& b, MatrixView c);
+
+/// B <- L^{-1} B with L unit lower triangular (m x m), B m x n.
+void trsm_lower_unit(const MatrixView& l, MatrixView b);
+
+/// Infinity norm of a matrix.
+double norm_inf(const MatrixView& a);
+
+}  // namespace ss::hpl

@@ -1,0 +1,40 @@
+// Serial blocked right-looking LU factorization with partial pivoting —
+// the computational core of the High Performance Linpack benchmark
+// (paper Sec 3.3 / Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpl/blas.hpp"
+#include "support/rng.hpp"
+
+namespace ss::hpl {
+
+/// Factor A = P L U in place with the given block size; returns the pivot
+/// row chosen at each step. Throws on exact singularity.
+std::vector<std::size_t> lu_factor(Matrix& a, std::size_t block = 32);
+
+/// Solve A x = b given the in-place factorization and pivots.
+std::vector<double> lu_solve(const Matrix& factored,
+                             const std::vector<std::size_t>& pivots,
+                             std::vector<double> b);
+
+/// HPL-style scaled residual ||Ax-b||_inf / (eps ||A||_inf ||x||_inf n).
+/// Values below ~16 pass the official benchmark check.
+double hpl_residual(const Matrix& a, const std::vector<double>& x,
+                    const std::vector<double>& b);
+
+struct HostLinpackResult {
+  std::size_t n = 0;
+  double gflops = 0.0;
+  double residual = 0.0;
+  bool passed = false;
+};
+
+/// Run the full Linpack methodology on this host: random system, timed
+/// factorization + solve (2/3 n^3 + 2 n^2 flops), residual check.
+HostLinpackResult run_linpack_host(std::size_t n, std::size_t block = 48,
+                                   std::uint64_t seed = 42);
+
+}  // namespace ss::hpl

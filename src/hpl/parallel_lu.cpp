@@ -1,0 +1,218 @@
+#include "hpl/parallel_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hpl/lu.hpp"
+#include "support/rng.hpp"
+
+namespace ss::hpl {
+
+namespace {
+
+int owner_of_block(std::size_t block, int p) {
+  return static_cast<int>(block % static_cast<std::size_t>(p));
+}
+
+}  // namespace
+
+ParallelLuResult run_parallel_lu(ss::vmpi::Comm& comm, std::size_t n,
+                                 std::size_t block, std::uint64_t seed) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  if (n % block != 0) {
+    throw std::invalid_argument("run_parallel_lu: block must divide n");
+  }
+  const std::size_t nblocks = n / block;
+
+  // Regenerate the same system run_linpack_host builds, keep our columns.
+  support::Rng rng(seed);
+  Matrix full(n, n);
+  std::vector<double> b(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) full.at(i, j) = rng.uniform(-0.5, 0.5);
+  }
+  for (auto& v : b) v = rng.uniform(-0.5, 0.5);
+
+  // Local storage: the column blocks this rank owns, in block order.
+  std::vector<std::size_t> my_blocks;
+  for (std::size_t bk = 0; bk < nblocks; ++bk) {
+    if (owner_of_block(bk, p) == rank) my_blocks.push_back(bk);
+  }
+  Matrix local(n, my_blocks.size() * block);
+  for (std::size_t lb = 0; lb < my_blocks.size(); ++lb) {
+    for (std::size_t c = 0; c < block; ++c) {
+      const std::size_t gj = my_blocks[lb] * block + c;
+      for (std::size_t i = 0; i < n; ++i) {
+        local.at(i, lb * block + c) = full.at(i, gj);
+      }
+    }
+  }
+
+  std::vector<std::size_t> all_pivots;
+  all_pivots.reserve(n);
+
+  for (std::size_t bk = 0; bk < nblocks; ++bk) {
+    const std::size_t k = bk * block;
+    const int owner = owner_of_block(bk, p);
+    // Panel payload: rows k..n of the nb panel columns, plus pivots.
+    std::vector<double> panel((n - k) * block);
+    std::vector<std::uint64_t> pivots(block);
+
+    if (owner == rank) {
+      const std::size_t lb =
+          static_cast<std::size_t>(std::find(my_blocks.begin(),
+                                             my_blocks.end(), bk) -
+                                   my_blocks.begin());
+      const std::size_t c0 = lb * block;
+      // Unblocked panel factorization with partial pivoting; swaps are
+      // applied only within the panel columns here (other local columns
+      // get them with everyone else below).
+      for (std::size_t jj = 0; jj < block; ++jj) {
+        const std::size_t j = k + jj;
+        std::size_t piv = j;
+        double best = std::abs(local.at(j, c0 + jj));
+        for (std::size_t i = j + 1; i < n; ++i) {
+          const double v = std::abs(local.at(i, c0 + jj));
+          if (v > best) {
+            best = v;
+            piv = i;
+          }
+        }
+        if (best == 0.0) throw std::runtime_error("parallel LU: singular");
+        pivots[jj] = piv;
+        if (piv != j) {
+          for (std::size_t c = c0; c < c0 + block; ++c) {
+            std::swap(local.at(j, c), local.at(piv, c));
+          }
+        }
+        const double inv = 1.0 / local.at(j, c0 + jj);
+        for (std::size_t i = j + 1; i < n; ++i) local.at(i, c0 + jj) *= inv;
+        for (std::size_t cc = jj + 1; cc < block; ++cc) {
+          const double u = local.at(j, c0 + cc);
+          if (u == 0.0) continue;
+          for (std::size_t i = j + 1; i < n; ++i) {
+            local.at(i, c0 + cc) -= local.at(i, c0 + jj) * u;
+          }
+        }
+      }
+      for (std::size_t c = 0; c < block; ++c) {
+        for (std::size_t i = k; i < n; ++i) {
+          panel[c * (n - k) + (i - k)] = local.at(i, c0 + c);
+        }
+      }
+    }
+    comm.bcast(pivots, owner);
+    comm.bcast(panel, owner);
+    for (std::size_t jj = 0; jj < block; ++jj) {
+      all_pivots.push_back(pivots[jj]);
+    }
+
+    // Everyone applies the swaps to all local columns outside the panel.
+    for (std::size_t jj = 0; jj < block; ++jj) {
+      const std::size_t j = k + jj;
+      const std::size_t piv = pivots[jj];
+      if (piv == j) continue;
+      for (std::size_t lb = 0; lb < my_blocks.size(); ++lb) {
+        if (my_blocks[lb] == bk) continue;
+        for (std::size_t c = lb * block; c < (lb + 1) * block; ++c) {
+          std::swap(local.at(j, c), local.at(piv, c));
+        }
+      }
+    }
+
+    // Triangular solve + trailing update on local columns right of the
+    // panel. Panel layout: column c holds rows k..n contiguously.
+    MatrixView pv{panel.data(), n - k, block, n - k};
+    const MatrixView l11 = pv.block(0, 0, block, block);
+    const MatrixView l21 = pv.block(block, 0, n - k - block, block);
+    for (std::size_t lb = 0; lb < my_blocks.size(); ++lb) {
+      if (my_blocks[lb] <= bk) continue;
+      MatrixView cols = local.view().block(k, lb * block, n - k, block);
+      MatrixView u12 = cols.block(0, 0, block, block);
+      trsm_lower_unit(l11, u12);
+      if (n - k > block) {
+        MatrixView a22 = cols.block(block, 0, n - k - block, block);
+        gemm_minus(l21, u12, a22);
+      }
+    }
+  }
+
+  // Gather the factored matrix on rank 0 and solve there.
+  std::vector<double> flat(local.view().data,
+                           local.view().data + n * local.cols());
+  auto gathered = comm.gather(std::span<const double>(flat.data(), flat.size()),
+                              0);
+  ParallelLuResult out;
+  std::vector<double> x(n, 0.0);
+  if (rank == 0) {
+    Matrix factored(n, n);
+    // Reassemble: rank r's blocks are r, r+p, r+2p, ... in order.
+    std::size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      std::vector<std::size_t> blocks_r;
+      for (std::size_t bk = 0; bk < nblocks; ++bk) {
+        if (owner_of_block(bk, p) == r) blocks_r.push_back(bk);
+      }
+      for (std::size_t lb = 0; lb < blocks_r.size(); ++lb) {
+        for (std::size_t c = 0; c < block; ++c) {
+          const std::size_t gj = blocks_r[lb] * block + c;
+          for (std::size_t i = 0; i < n; ++i) {
+            factored.at(i, gj) = gathered[off++];
+          }
+        }
+      }
+    }
+    x = lu_solve(factored, all_pivots, b);
+  }
+  comm.bcast(x, 0);
+  out.x = x;
+  if (rank == 0) {
+    out.residual = hpl_residual(full, x, b);
+  }
+  out.residual = comm.bcast_value(out.residual, 0);
+  out.passed = out.residual < 16.0;
+  return out;
+}
+
+ModeledLinpackResult run_linpack_modeled(ss::vmpi::Comm& comm, std::size_t n,
+                                         std::size_t block,
+                                         double node_gflops,
+                                         double comm_overlap) {
+  const int p = comm.size();
+  const std::size_t panels = n / block;
+  const std::size_t stride = std::max<std::size_t>(1, panels / 48);
+
+  const double t0 = comm.barrier_max_time();
+  std::size_t sampled = 0;
+  double sampled_flops = 0.0;
+  for (std::size_t bk = 0; bk < panels; bk += stride) {
+    const double nk = static_cast<double>(n - bk * block);
+    // Pipelined ring broadcast of the panel: each rank forwards it once.
+    // The lookahead-hidden fraction never reaches the critical path.
+    const auto panel_bytes = static_cast<std::size_t>(
+        nk * static_cast<double>(block) * 8.0 * (1.0 - comm_overlap));
+    if (p > 1) {
+      const int tag = comm.fresh_tag();
+      comm.send_placeholder((comm.rank() + 1) % p, tag, panel_bytes);
+      (void)comm.recv_msg((comm.rank() - 1 + p) % p, tag);
+    }
+    // Trailing update: 2 nk^2 nb flops over the machine.
+    const double flops = 2.0 * nk * nk * static_cast<double>(block);
+    comm.compute(flops / p / (node_gflops * 1e9));
+    sampled_flops += flops;
+    ++sampled;
+  }
+  const double t1 = comm.barrier_max_time();
+
+  ModeledLinpackResult out;
+  const double nd = static_cast<double>(n);
+  const double total_flops = 2.0 / 3.0 * nd * nd * nd;
+  out.vtime_seconds = (t1 - t0) * total_flops / sampled_flops;
+  out.gflops = total_flops / out.vtime_seconds / 1e9;
+  out.efficiency = out.gflops / (node_gflops * p);
+  return out;
+}
+
+}  // namespace ss::hpl

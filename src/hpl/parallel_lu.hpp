@@ -1,0 +1,47 @@
+// Distributed LU over vmpi: a 1-D column-block-cyclic right-looking
+// factorization (panel owner factors and broadcasts; everyone applies the
+// swaps, triangular-solves its columns and updates its trailing blocks) —
+// the communication skeleton of HPL. The real mode verifies against the
+// serial factorization at small sizes; the modeled mode replays the
+// choreography at full cluster scale with placeholder panels to
+// reproduce Fig 3's 288-processor Linpack numbers.
+#pragma once
+
+#include <vector>
+
+#include "hpl/blas.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::hpl {
+
+struct ParallelLuResult {
+  std::vector<double> x;   ///< Solution (on every rank).
+  double residual = 0.0;   ///< HPL-style scaled residual.
+  bool passed = false;
+};
+
+/// Factor and solve the deterministic random system of order n (the same
+/// system run_linpack_host(seed) builds) across the communicator.
+ParallelLuResult run_parallel_lu(ss::vmpi::Comm& comm, std::size_t n,
+                                 std::size_t block = 16,
+                                 std::uint64_t seed = 42);
+
+struct ModeledLinpackResult {
+  double gflops = 0.0;
+  double vtime_seconds = 0.0;
+  double efficiency = 0.0;  ///< vs procs * node rate
+};
+
+/// Modeled full-scale HPL run: `n` unknowns on `comm.size()` processors
+/// sustaining `node_gflops` each (Table 2: 3.302 for the P4/2.53 node
+/// with ATLAS 3.5; ~3.03 for the older ATLAS of the October 2002 run),
+/// with panel broadcasts as pipelined ring forwards through the modeled
+/// fabric. HPL's lookahead overlaps part of the broadcast with the
+/// trailing update; `comm_overlap` is the hidden fraction. Panels are
+/// sampled and extrapolated.
+ModeledLinpackResult run_linpack_modeled(ss::vmpi::Comm& comm, std::size_t n,
+                                         std::size_t block = 160,
+                                         double node_gflops = 3.302,
+                                         double comm_overlap = 0.3);
+
+}  // namespace ss::hpl

@@ -1,0 +1,102 @@
+#include "hw/bom.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ss::hw {
+
+BillOfMaterials::BillOfMaterials(std::string name, int nodes,
+                                 std::vector<LineItem> items)
+    : name_(std::move(name)), nodes_(nodes), items_(std::move(items)) {
+  if (nodes_ <= 0) throw std::invalid_argument("BOM: nodes must be positive");
+}
+
+double BillOfMaterials::total() const {
+  double t = 0.0;
+  for (const auto& i : items_) t += i.extended;
+  return t;
+}
+
+double BillOfMaterials::total_matching(const std::string& needle) const {
+  double t = 0.0;
+  for (const auto& i : items_) {
+    if (i.description.find(needle) != std::string::npos) t += i.extended;
+  }
+  return t;
+}
+
+const BillOfMaterials& space_simulator_bom() {
+  static const BillOfMaterials bom(
+      "Space Simulator (Sept 2002)", 294,
+      {
+          {294, 280, 82320, "Shuttle SS51G mini system (bare)"},
+          {294, 254, 74676, "Intel P4/2.53GHz, 533MHz FSB, 512k cache"},
+          {588, 118, 69384, "512Mb DDR333 SDRAM (1024Mb per node)"},
+          {294, 95, 27930, "3com 3c996B-T Gigabit Ethernet PCI card"},
+          {294, 83, 24402, "Maxtor 4K080H4 80Gb 5400rpm Hard Disk"},
+          {294, 35, 10290, "Assembly Labor/Extended Warranty"},
+          {0, 0, 4000, "Cat6 Ethernet cables"},
+          {0, 0, 3300, "Wire shelving/switch rack"},
+          {0, 0, 1378, "Power strips"},
+          {1, 186175, 186175, "Foundry FastIron 1500+800, 304 Gigabit ports"},
+      });
+  return bom;
+}
+
+const BillOfMaterials& loki_bom() {
+  static const BillOfMaterials bom(
+      "Loki (Sept 1996)", 16,
+      {
+          {16, 595, 9520, "Intel Pentium Pro 200 Mhz CPU/256k cache"},
+          {16, 15, 240, "Heat Sink and Fan"},
+          {16, 295, 4720, "Intel VS440FX (Venus) motherboard"},
+          {64, 235, 15040, "8x36 60ns parity FPM SIMMS (128 Mb per node)"},
+          {16, 359, 5744, "Quantum Fireball 3240 Mbyte IDE Hard Drive"},
+          {16, 85, 1360, "D-Link DFE-500TX 100 Mb Fast Ethernet PCI Card"},
+          {16, 129, 2064, "SMC EtherPower 10/100 Fast Ethernet PCI Card"},
+          {16, 59, 944, "S3 Trio-64 1Mb PCI Video Card"},
+          {16, 119, 1904, "ATX Case"},
+          {2, 4794, 9588, "3Com SuperStack II Switch 3000, 8-port Fast Ethernet"},
+          {0, 0, 255, "Ethernet cables"},
+      });
+  return bom;
+}
+
+double PricePerformance::dollars_per_linpack_mflops() const {
+  return space_simulator_bom().total() / (linpack_gflops * 1000.0);
+}
+
+double PricePerformance::node_cost_without_network() const {
+  const auto& bom = space_simulator_bom();
+  const double network = bom.total_matching("Ethernet") +
+                         bom.total_matching("Foundry") +
+                         bom.total_matching("rack") +
+                         bom.total_matching("Power strips");
+  return (bom.total() - network) / bom.nodes();
+}
+
+double PricePerformance::dollars_per_specfp() const {
+  return node_cost_without_network() / 742.0;
+}
+
+double moores_law_ratio(double perf_old, double price_old, double perf_new,
+                        double price_new, double years) {
+  const double actual = (perf_new / price_new) / (perf_old / price_old);
+  const double expected = std::pow(2.0, years / 1.5);
+  return actual / expected;
+}
+
+namespace {
+
+const ComponentTrend kTrends[] = {
+    // Loki: 3240 MB disk at $359 => $111/GB. SS: 80 GB at $83 => ~$1/GB.
+    {"disk", 359.0 / 3.240, 83.0 / 80.0, "$/GB"},
+    // Loki: 128 MB/node at $940/node => $7.35/MB. SS: $236/1024MB => $0.23.
+    {"memory", 15040.0 / (16.0 * 128.0), 2.0 * 118.0 / 1024.0, "$/MB"},
+};
+
+}  // namespace
+
+std::span<const ComponentTrend> component_trends() { return kTrends; }
+
+}  // namespace ss::hw

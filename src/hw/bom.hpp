@@ -1,0 +1,70 @@
+// Bills of materials and price/performance arithmetic (paper Tables 1 and
+// 7, Fig 3's dollars-per-Mflop milestone, and the Moore's-law comparisons
+// of Sec 5).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ss::hw {
+
+struct LineItem {
+  double qty = 0.0;
+  double unit_price = 0.0;  ///< 0 when only an extended price was quoted.
+  double extended = 0.0;    ///< qty * unit, or the lump sum.
+  std::string description;
+};
+
+class BillOfMaterials {
+ public:
+  BillOfMaterials(std::string name, int nodes, std::vector<LineItem> items);
+
+  const std::string& name() const { return name_; }
+  int nodes() const { return nodes_; }
+  std::span<const LineItem> items() const { return items_; }
+
+  double total() const;
+  double per_node() const { return total() / nodes_; }
+
+  /// Sum of items whose description matches `needle` (case-sensitive
+  /// substring).
+  double total_matching(const std::string& needle) const;
+
+ private:
+  std::string name_;
+  int nodes_;
+  std::vector<LineItem> items_;
+};
+
+/// Table 1: the Space Simulator (September 2002), $483,855 total.
+const BillOfMaterials& space_simulator_bom();
+/// Table 7: Loki (September 1996), $51,379 total.
+const BillOfMaterials& loki_bom();
+
+/// Price/performance figures quoted in the paper.
+struct PricePerformance {
+  double linpack_gflops = 757.1;       ///< April 2003 result
+  double linpack_gflops_2002 = 665.1;  ///< October 2002 result
+  double dollars_per_linpack_mflops() const;
+  double node_cost_without_network() const;  ///< $888 per the paper
+  double dollars_per_specfp() const;         ///< ~$1.20
+};
+
+/// Moore's-law comparison of two machines separated by `years`: the
+/// expected improvement is 2^(years/1.5) at equal price; returns the
+/// actual-to-expected ratio for a measured performance pair (>1 means the
+/// improvement beat Moore's law).
+double moores_law_ratio(double perf_old, double price_old, double perf_new,
+                        double price_new, double years);
+
+/// Sec 5's per-component price analysis rows.
+struct ComponentTrend {
+  std::string component;
+  double loki_price_per_unit;  ///< e.g. $ per GB disk, $ per MB ram
+  double ss_price_per_unit;
+  std::string unit;
+};
+std::span<const ComponentTrend> component_trends();
+
+}  // namespace ss::hw

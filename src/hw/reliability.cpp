@@ -1,0 +1,119 @@
+#include "hw/reliability.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace ss::hw {
+
+namespace {
+
+// Rates calibrated from the paper's counts over 294 nodes and nine
+// months: install_defect_prob = defects / parts, and the exponential rate
+// chosen so the expected nine-month failure count among parts that
+// survived burn-in equals the paper's count exactly:
+//   rate = -ln(1 - failures / surviving_parts) / months.
+constexpr double kMonths = 9.0;
+
+double calibrated_rate(double failures, double surviving_parts) {
+  if (failures <= 0.0) return 0.0;
+  return -std::log(1.0 - failures / surviving_parts) / kMonths;
+}
+
+ComponentClass make_component(std::string name, int parts_per_node,
+                              int install, int nine_month) {
+  const double parts = 294.0 * parts_per_node;
+  ComponentClass c;
+  c.name = std::move(name);
+  c.parts_per_node = parts_per_node;
+  c.install_defect_prob = install / parts;
+  c.monthly_failure_rate = calibrated_rate(nine_month, parts - install);
+  c.paper_install_failures = install;
+  c.paper_nine_month_failures = nine_month;
+  return c;
+}
+
+const std::array<ComponentClass, 7>& components_table() {
+  static const std::array<ComponentClass, 7> kComponents = {{
+      make_component("power supply", 1, 3, 2),
+      make_component("disk drive", 1, 6, 16),
+      make_component("motherboard", 1, 4, 1),
+      make_component("DRAM stick", 2, 6, 3),
+      make_component("ethernet card", 1, 1, 0),
+      make_component("case fan", 1, 0, 1),
+      make_component("CPU (fanless heat pipe)", 1, 0, 0),
+  }};
+  return kComponents;
+}
+
+}  // namespace
+
+std::span<const ComponentClass> space_simulator_components() {
+  return components_table();
+}
+
+std::uint64_t FailureCounts::total_install() const {
+  std::uint64_t t = 0;
+  for (auto v : install) t += v;
+  return t;
+}
+
+std::uint64_t FailureCounts::total_operational() const {
+  std::uint64_t t = 0;
+  for (auto v : operational) t += v;
+  return t;
+}
+
+FailureCounts simulate_failures(std::span<const ComponentClass> components,
+                                int nodes, double months,
+                                ss::support::Rng& rng) {
+  FailureCounts out;
+  out.install.resize(components.size(), 0);
+  out.operational.resize(components.size(), 0);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const auto& comp = components[c];
+    const int parts = nodes * comp.parts_per_node;
+    for (int i = 0; i < parts; ++i) {
+      if (comp.install_defect_prob > 0.0 &&
+          rng.uniform() < comp.install_defect_prob) {
+        ++out.install[c];
+        continue;  // defective part was replaced before operation
+      }
+      if (comp.monthly_failure_rate > 0.0 &&
+          rng.exponential(comp.monthly_failure_rate) < months) {
+        ++out.operational[c];
+      }
+    }
+  }
+  return out;
+}
+
+FailureCounts expected_failures(std::span<const ComponentClass> components,
+                                int nodes, double months) {
+  FailureCounts out;
+  out.install.resize(components.size(), 0);
+  out.operational.resize(components.size(), 0);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const auto& comp = components[c];
+    const double parts = static_cast<double>(nodes) * comp.parts_per_node;
+    out.install[c] = static_cast<std::uint64_t>(
+        std::llround(parts * comp.install_defect_prob));
+    // Exponential lifetimes: expected failures within `months`.
+    const double p_fail = 1.0 - std::exp(-comp.monthly_failure_rate * months);
+    out.operational[c] = static_cast<std::uint64_t>(std::llround(
+        parts * (1.0 - comp.install_defect_prob) * p_fail));
+  }
+  return out;
+}
+
+double cluster_survival_probability(
+    std::span<const ComponentClass> components, int nodes, double hours) {
+  const double months = hours / (30.0 * 24.0);
+  double log_p = 0.0;
+  for (const auto& comp : components) {
+    const double parts = static_cast<double>(nodes) * comp.parts_per_node;
+    log_p += -comp.monthly_failure_rate * months * parts;
+  }
+  return std::exp(log_p);
+}
+
+}  // namespace ss::hw

@@ -1,0 +1,54 @@
+// Reliability model of the cluster (paper Sec 2.1).
+//
+// The paper reports two failure tables: defects found during installation
+// and burn-in, and failures over the following nine months of operation.
+// We model each component class with an installation defect probability
+// (per part) and an operational failure rate (per part-month, exponential
+// lifetimes), calibrated so the expected counts match the paper, then
+// Monte Carlo the 294-node cluster to show the distribution around them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ss::hw {
+
+struct ComponentClass {
+  std::string name;
+  int parts_per_node = 1;
+  double install_defect_prob = 0.0;   ///< Probability a part is DOA.
+  double monthly_failure_rate = 0.0;  ///< Exponential rate per part-month.
+  int paper_install_failures = 0;     ///< Sec 2.1, installation table.
+  int paper_nine_month_failures = 0;  ///< Sec 2.1, operational table.
+};
+
+/// Component classes of the Space Simulator with rates calibrated to the
+/// paper's counts over 294 nodes and nine months.
+std::span<const ComponentClass> space_simulator_components();
+
+struct FailureCounts {
+  std::vector<std::uint64_t> install;     ///< Per component class.
+  std::vector<std::uint64_t> operational;
+  std::uint64_t total_install() const;
+  std::uint64_t total_operational() const;
+};
+
+/// One Monte Carlo realization of the cluster's failure history.
+FailureCounts simulate_failures(std::span<const ComponentClass> components,
+                                int nodes, double months,
+                                ss::support::Rng& rng);
+
+/// Expected counts (closed form) for comparison with the paper.
+FailureCounts expected_failures(std::span<const ComponentClass> components,
+                                int nodes, double months);
+
+/// Probability that the whole cluster survives `hours` without any
+/// operational component failure (used to reason about long Linpack runs).
+double cluster_survival_probability(
+    std::span<const ComponentClass> components, int nodes, double hours);
+
+}  // namespace ss::hw

@@ -1,0 +1,57 @@
+#include "morton/key.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss::morton {
+
+Box Box::bounding(const support::Vec3* pos, std::size_t n) {
+  Box b;
+  if (n == 0) return b;
+  support::Vec3 lo = pos[0], hi = pos[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo.x = std::min(lo.x, pos[i].x);
+    lo.y = std::min(lo.y, pos[i].y);
+    lo.z = std::min(lo.z, pos[i].z);
+    hi.x = std::max(hi.x, pos[i].x);
+    hi.y = std::max(hi.y, pos[i].y);
+    hi.z = std::max(hi.z, pos[i].z);
+  }
+  const double span =
+      std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-300});
+  // Pad by a relative epsilon so points on the upper face stay inside the
+  // half-open cube.
+  b.size = span * (1.0 + 1e-9);
+  b.lo = lo;
+  return b;
+}
+
+Key encode(const support::Vec3& p, const Box& box) {
+  const double scale = static_cast<double>(kLatticeSize) / box.size;
+  auto clamp_coord = [&](double c, double lo) -> std::uint32_t {
+    const double t = (c - lo) * scale;
+    const auto max_i = static_cast<double>(kLatticeSize - 1);
+    const double clamped = std::clamp(t, 0.0, max_i);
+    return static_cast<std::uint32_t>(clamped);
+  };
+  return key_from_lattice(clamp_coord(p.x, box.lo.x), clamp_coord(p.y, box.lo.y),
+                          clamp_coord(p.z, box.lo.z));
+}
+
+support::Vec3 cell_center(Key k, const Box& box) {
+  const int lev = level(k);
+  // Lattice coordinate of the cell's first descendant gives its low corner.
+  std::uint32_t ix, iy, iz;
+  lattice_from_key(first_descendant(k), ix, iy, iz);
+  const double cell = box.size / static_cast<double>(std::uint64_t{1} << lev);
+  const double lattice_cell = box.size / static_cast<double>(kLatticeSize);
+  return {box.lo.x + static_cast<double>(ix) * lattice_cell + 0.5 * cell,
+          box.lo.y + static_cast<double>(iy) * lattice_cell + 0.5 * cell,
+          box.lo.z + static_cast<double>(iz) * lattice_cell + 0.5 * cell};
+}
+
+double cell_size(Key k, const Box& box) {
+  return box.size / static_cast<double>(std::uint64_t{1} << level(k));
+}
+
+}  // namespace ss::morton

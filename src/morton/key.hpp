@@ -1,0 +1,143 @@
+// Morton (Z-order) keys in the Warren & Salmon "hashed oct-tree" style.
+//
+// A key identifies a cell of the octree at any level. Following the paper,
+// the key consists of a leading *placeholder bit* followed by 3 bits per
+// level (one octant choice per level). The root cell is key 1; the eight
+// daughters of key k are 8k .. 8k+7. This makes parent/daughter/level
+// arithmetic pure bit manipulation, and the set of keys at the maximum
+// depth is exactly the Morton order of the underlying 3-D integer lattice,
+// which the domain decomposition uses as its 1-D load-balancing curve
+// (paper Fig 6).
+//
+// With 64-bit keys the maximum depth is 21 levels (63 bits + placeholder),
+// i.e. a 2^21 lattice per dimension.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+
+#include "support/vec3.hpp"
+
+namespace ss::morton {
+
+using Key = std::uint64_t;
+
+inline constexpr int kMaxLevel = 21;
+inline constexpr Key kRootKey = 1;
+/// Number of lattice cells per dimension at the maximum depth.
+inline constexpr std::uint32_t kLatticeSize = 1u << kMaxLevel;
+
+/// Axis-aligned bounding cube mapping simulation coordinates onto the key
+/// lattice. All key construction goes through a Box so that a particle set
+/// and the tree built over it agree on the mapping.
+struct Box {
+  support::Vec3 lo{0.0, 0.0, 0.0};
+  double size = 1.0;  ///< Edge length; the cube is [lo, lo+size)^3.
+
+  /// Smallest cube (padded slightly) containing all given points.
+  static Box bounding(const support::Vec3* pos, std::size_t n);
+};
+
+/// Spread the low 21 bits of v so there are two zero bits between each
+/// original bit (the standard 3-D interleave helper).
+constexpr std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of spread3.
+constexpr std::uint64_t compact3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffffULL;
+  return v;
+}
+
+/// Key of the depth-kMaxLevel lattice cell (ix, iy, iz). Bit order within
+/// each level triplet is (x, y, z) from most to least significant.
+constexpr Key key_from_lattice(std::uint32_t ix, std::uint32_t iy,
+                                 std::uint32_t iz) {
+  return (Key{1} << (3 * kMaxLevel)) | (spread3(ix) << 2) |
+         (spread3(iy) << 1) | spread3(iz);
+}
+
+/// Lattice coordinates of a maximum-depth key.
+constexpr void lattice_from_key(Key k, std::uint32_t& ix, std::uint32_t& iy,
+                                std::uint32_t& iz) {
+  ix = static_cast<std::uint32_t>(compact3(k >> 2));
+  iy = static_cast<std::uint32_t>(compact3(k >> 1));
+  iz = static_cast<std::uint32_t>(compact3(k));
+}
+
+/// Level of a key (root = 0, maximum-depth leaves = kMaxLevel).
+constexpr int level(Key k) {
+  int bits = 0;
+  while (k > 1) {
+    k >>= 3;
+    ++bits;
+  }
+  return bits;
+}
+
+constexpr Key parent(Key k) { return k >> 3; }
+
+/// Daughter `octant` (0..7) of cell k.
+constexpr Key child(Key k, int octant) {
+  return (k << 3) | static_cast<Key>(octant & 7);
+}
+
+/// Which daughter of its parent this key is.
+constexpr int octant_of(Key k) { return static_cast<int>(k & 7); }
+
+/// Ancestor of k at the given (shallower or equal) level.
+constexpr Key ancestor_at(Key k, int lev) {
+  const int d = level(k) - lev;
+  return d <= 0 ? k : (k >> (3 * d));
+}
+
+/// True if `a` is an ancestor of (or equal to) `b`.
+constexpr bool contains(Key a, Key b) {
+  const int da = level(a), db = level(b);
+  if (da > db) return false;
+  return (b >> (3 * (db - da))) == a;
+}
+
+/// Smallest / largest maximum-depth key contained in cell k.
+constexpr Key first_descendant(Key k) {
+  return k << (3 * (kMaxLevel - level(k)));
+}
+constexpr Key last_descendant(Key k) {
+  const int shift = 3 * (kMaxLevel - level(k));
+  return (k << shift) | ((Key{1} << shift) - 1);
+}
+
+/// Encode a position into a maximum-depth key relative to `box`.
+/// Positions outside the box are clamped onto its boundary lattice cell.
+Key encode(const support::Vec3& p, const Box& box);
+
+/// Geometric center of the cell identified by `k` within `box`.
+support::Vec3 cell_center(Key k, const Box& box);
+
+/// Edge length of the cell identified by `k` within `box`.
+double cell_size(Key k, const Box& box);
+
+/// Hash suitable for open-addressing tables over keys (Warren & Salmon use
+/// simple masking; we mix first so that sibling keys spread).
+constexpr std::uint64_t hash_key(Key k) {
+  std::uint64_t z = k * 0x9e3779b97f4a7c15ULL;
+  z ^= z >> 29;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 32;
+  return z;
+}
+
+}  // namespace ss::morton

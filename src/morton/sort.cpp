@@ -1,0 +1,58 @@
+#include "morton/sort.hpp"
+
+#include <array>
+#include <numeric>
+
+namespace ss::morton {
+
+namespace {
+constexpr int kRadixBits = 8;
+constexpr std::size_t kBuckets = 1u << kRadixBits;
+constexpr int kPasses = 64 / kRadixBits;
+}  // namespace
+
+std::vector<std::uint32_t> radix_sort_permutation(std::span<const Key> keys) {
+  const auto n = static_cast<std::uint32_t>(keys.size());
+  std::vector<std::uint32_t> perm(n), next(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+
+  std::array<std::uint32_t, kBuckets> count;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const int shift = pass * kRadixBits;
+    // Skip passes whose digit is constant (common: high placeholder bits).
+    count.fill(0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ++count[(keys[perm[i]] >> shift) & (kBuckets - 1)];
+    }
+    bool constant = false;
+    for (std::uint32_t c : count) {
+      if (c == n) {
+        constant = true;
+        break;
+      }
+    }
+    if (constant) continue;
+    // Exclusive prefix sum -> stable scatter.
+    std::uint32_t acc = 0;
+    for (auto& c : count) {
+      const std::uint32_t v = c;
+      c = acc;
+      acc += v;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::size_t digit = (keys[perm[i]] >> shift) & (kBuckets - 1);
+      next[count[digit]++] = perm[i];
+    }
+    perm.swap(next);
+  }
+  return perm;
+}
+
+void radix_sort(std::vector<Key>& keys) {
+  const auto perm = radix_sort_permutation(keys);
+  std::vector<Key> sorted(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) sorted[i] = keys[perm[i]];
+  keys.swap(sorted);
+}
+
+}  // namespace ss::morton

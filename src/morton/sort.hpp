@@ -1,0 +1,25 @@
+// LSD radix sort for Morton keys.
+//
+// The domain decomposition is "practically identical to a parallel
+// sorting algorithm" (paper Sec 4.2); its local phase sorts 64-bit keys.
+// A least-significant-digit radix sort beats comparison sorting for the
+// key volumes of production runs and is stable, which keeps equal-key
+// bodies in input order (the tie rule the tree build relies on).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "morton/key.hpp"
+
+namespace ss::morton {
+
+/// Stable radix sort of `keys`; returns the permutation `perm` such that
+/// keys[perm[0]] <= keys[perm[1]] <= ... (ties in input order).
+std::vector<std::uint32_t> radix_sort_permutation(std::span<const Key> keys);
+
+/// In-place stable radix sort of a key array.
+void radix_sort(std::vector<Key>& keys);
+
+}  // namespace ss::morton

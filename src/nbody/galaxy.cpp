@@ -1,0 +1,120 @@
+#include "nbody/galaxy.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ss::nbody {
+
+namespace {
+
+/// Enclosed mass of the exponential disk treated spherically:
+/// M(<r) = M_d [1 - (1 + r/h) e^{-r/h}].
+double disk_enclosed(double r, double mass, double scale) {
+  const double x = r / scale;
+  return mass * (1.0 - (1.0 + x) * std::exp(-x));
+}
+
+/// Enclosed mass of a Plummer sphere: M(<r) = M r^3 / (r^2 + a^2)^{3/2}.
+double plummer_enclosed(double r, double mass, double scale) {
+  return mass * r * r * r / std::pow(r * r + scale * scale, 1.5);
+}
+
+/// Invert the exponential-disk cumulative surface density by bisection.
+double sample_disk_radius(double u, double scale, double max_radius) {
+  const double total = 1.0 - (1.0 + max_radius / scale) *
+                                 std::exp(-max_radius / scale);
+  const double target = u * total;
+  double lo = 0.0, hi = max_radius;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (disk_enclosed(mid, 1.0, scale) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double circular_velocity(const GalaxyConfig& cfg, double r) {
+  if (r <= 0.0) return 0.0;
+  const double m = disk_enclosed(r, cfg.disk_mass, cfg.disk_scale) +
+                   plummer_enclosed(r, cfg.halo_mass, cfg.halo_scale);
+  return std::sqrt(m / r);
+}
+
+std::vector<Body> make_galaxy(const GalaxyConfig& cfg, support::Rng& rng) {
+  std::vector<Body> out;
+  out.reserve(static_cast<std::size_t>(cfg.disk_particles +
+                                       cfg.halo_particles));
+
+  // Disk: exponential in radius, thin Gaussian vertically, circular
+  // orbits with a small velocity dispersion.
+  const double m_disk = cfg.disk_mass / cfg.disk_particles;
+  for (int i = 0; i < cfg.disk_particles; ++i) {
+    const double r = sample_disk_radius(rng.uniform(), cfg.disk_scale,
+                                        cfg.max_radius);
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    Body b;
+    b.pos = {r * std::cos(phi), r * std::sin(phi),
+             rng.normal(0.0, cfg.disk_height)};
+    const double vc = circular_velocity(cfg, r);
+    const double sigma = 0.1 * vc;
+    b.vel = {-vc * std::sin(phi) + rng.normal(0.0, sigma),
+             vc * std::cos(phi) + rng.normal(0.0, sigma),
+             rng.normal(0.0, 0.5 * sigma)};
+    b.mass = m_disk;
+    out.push_back(b);
+  }
+
+  // Halo: Plummer positions with isotropic dispersion from the local
+  // circular speed (an adequate quasi-equilibrium for demonstrations).
+  const double m_halo = cfg.halo_mass / cfg.halo_particles;
+  for (int i = 0; i < cfg.halo_particles; ++i) {
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    const double u = rng.uniform(1e-9, 1.0 - 1e-9);
+    double r = cfg.halo_scale / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    r = std::min(r, 4.0 * cfg.halo_scale);
+    Body b;
+    b.pos = {r * ux, r * uy, r * uz};
+    const double sigma = 0.5 * circular_velocity(cfg, std::max(r, 1e-3));
+    b.vel = {rng.normal(0.0, sigma), rng.normal(0.0, sigma),
+             rng.normal(0.0, sigma)};
+    b.mass = m_halo;
+    out.push_back(b);
+  }
+  zero_center_of_mass(out);
+  return out;
+}
+
+std::vector<std::pair<double, double>> rotation_curve(
+    const std::vector<Body>& bodies, int disk_particles, int bins,
+    double r_max) {
+  std::vector<double> vsum(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> msum(static_cast<std::size_t>(bins), 0.0);
+  for (int i = 0; i < disk_particles &&
+                  i < static_cast<int>(bodies.size());
+       ++i) {
+    const auto& b = bodies[static_cast<std::size_t>(i)];
+    const double r = std::hypot(b.pos.x, b.pos.y);
+    if (r <= 0.0 || r >= r_max) continue;
+    // Tangential speed about z.
+    const double vt = (b.pos.x * b.vel.y - b.pos.y * b.vel.x) / r;
+    const int bin = std::min(static_cast<int>(r / r_max * bins), bins - 1);
+    vsum[static_cast<std::size_t>(bin)] += b.mass * vt;
+    msum[static_cast<std::size_t>(bin)] += b.mass;
+  }
+  std::vector<std::pair<double, double>> out;
+  for (int b = 0; b < bins; ++b) {
+    if (msum[static_cast<std::size_t>(b)] <= 0.0) continue;
+    out.emplace_back((b + 0.5) * r_max / bins,
+                     vsum[static_cast<std::size_t>(b)] /
+                         msum[static_cast<std::size_t>(b)]);
+  }
+  return out;
+}
+
+}  // namespace ss::nbody

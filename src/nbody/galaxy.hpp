@@ -1,0 +1,42 @@
+// Galactic dynamics initial conditions (paper Sec 4.1 / ref [18]: the
+// code's original applications were dark-halo collapse and galactic
+// dynamics).
+//
+// A simple disk-plus-halo galaxy: an exponential disk of rotating stars
+// embedded in a Plummer dark halo, with circular velocities set from the
+// enclosed mass so the system starts near rotational equilibrium.
+#pragma once
+
+#include <vector>
+
+#include "nbody/ic.hpp"
+
+namespace ss::nbody {
+
+struct GalaxyConfig {
+  int disk_particles = 4000;
+  int halo_particles = 8000;
+  double disk_mass = 0.2;
+  double halo_mass = 1.0;
+  double disk_scale = 0.15;   ///< Exponential scale length.
+  double disk_height = 0.02;  ///< Vertical sech^2-ish thickness.
+  double halo_scale = 0.5;    ///< Plummer scale radius of the halo.
+  double max_radius = 1.2;    ///< Disk truncation.
+};
+
+/// Sample the galaxy; the disk rotates about +z. Center of mass and
+/// momentum are zeroed.
+std::vector<Body> make_galaxy(const GalaxyConfig& cfg, support::Rng& rng);
+
+/// Analytic circular speed at cylindrical radius r for the config's
+/// spherically-averaged mass model (Plummer halo + spherical-equivalent
+/// exponential disk) — the curve the sampled galaxy should rotate on.
+double circular_velocity(const GalaxyConfig& cfg, double r);
+
+/// Measured rotation curve: mass-weighted mean tangential speed of disk
+/// particles in radial bins. Returns {r_center, v_mean} pairs.
+std::vector<std::pair<double, double>> rotation_curve(
+    const std::vector<Body>& bodies, int disk_particles, int bins = 12,
+    double r_max = 1.2);
+
+}  // namespace ss::nbody

@@ -1,0 +1,101 @@
+#include "nbody/ic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ss::nbody {
+
+std::vector<Body> plummer_sphere(int n, Rng& rng, double scale_radius) {
+  std::vector<Body> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double m = 1.0 / n;
+  // Standard N-body units: a = 3*pi/16 for E=-1/4; we scale by the
+  // caller's scale_radius relative to that.
+  const double a = scale_radius * 3.0 * std::numbers::pi / 16.0;
+  for (int i = 0; i < n; ++i) {
+    // Radius from the cumulative mass distribution M(r) (reject the
+    // far tail to keep the box bounded).
+    double r;
+    do {
+      const double x = rng.uniform(1e-10, 1.0 - 1e-10);
+      r = a / std::sqrt(std::pow(x, -2.0 / 3.0) - 1.0);
+    } while (r > 20.0 * a);
+    Body b;
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    b.pos = {r * ux, r * uy, r * uz};
+
+    // Velocity: q = v/v_esc sampled from g(q) = q^2 (1-q^2)^{7/2}.
+    double q, g;
+    do {
+      q = rng.uniform();
+      g = q * q * std::pow(1.0 - q * q, 3.5);
+    } while (rng.uniform(0.0, 0.1) > g);
+    const double vesc = std::sqrt(2.0) * std::pow(r * r + a * a, -0.25);
+    rng.unit_vector(ux, uy, uz);
+    const double v = q * vesc;
+    b.vel = {v * ux, v * uy, v * uz};
+    b.mass = m;
+    out.push_back(b);
+  }
+  zero_center_of_mass(out);
+  return out;
+}
+
+std::vector<Body> cold_sphere(int n, Rng& rng, double radius, double perturb) {
+  std::vector<Body> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double m = 1.0 / n;
+  for (int i = 0; i < n; ++i) {
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    // Uniform density: r ~ cbrt(u); perturbation displaces radially.
+    double r = radius * std::cbrt(rng.uniform());
+    r *= 1.0 + perturb * rng.uniform(-1.0, 1.0);
+    Body b;
+    b.pos = {r * ux, r * uy, r * uz};
+    b.vel = {0, 0, 0};
+    b.mass = m;
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Body> uniform_cube(int n, Rng& rng, double box) {
+  std::vector<Body> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Body b;
+    b.pos = {rng.uniform(0.0, box), rng.uniform(0.0, box),
+             rng.uniform(0.0, box)};
+    b.mass = 1.0 / n;
+    out.push_back(b);
+  }
+  return out;
+}
+
+void zero_center_of_mass(std::vector<Body>& bodies) {
+  Vec3 com, mom;
+  double mass = 0.0;
+  for (const Body& b : bodies) {
+    com += b.mass * b.pos;
+    mom += b.mass * b.vel;
+    mass += b.mass;
+  }
+  if (mass <= 0.0) return;
+  com /= mass;
+  mom /= mass;
+  for (Body& b : bodies) {
+    b.pos -= com;
+    b.vel -= mom;
+  }
+}
+
+std::vector<Source> sources_of(const std::vector<Body>& bodies) {
+  std::vector<Source> s;
+  s.reserve(bodies.size());
+  for (const Body& b : bodies) s.push_back({b.pos, b.mass});
+  return s;
+}
+
+}  // namespace ss::nbody

@@ -1,0 +1,51 @@
+// Initial-condition generators for the N-body applications.
+//
+// The "standard simulation problem" used for the treecode's historical
+// performance table (paper Table 6) is a spherical distribution of
+// particles representing the initial evolution of a cosmological N-body
+// simulation: here, a cold, slightly perturbed uniform sphere that
+// collapses under self-gravity. The Plummer model is the classical
+// stellar-dynamics test case used by the quickstart example.
+#pragma once
+
+#include <vector>
+
+#include "gravity/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace ss::nbody {
+
+using gravity::Source;
+using support::Rng;
+using support::Vec3;
+
+/// One particle with full phase-space state.
+struct Body {
+  Vec3 pos;
+  Vec3 vel;
+  double mass = 0.0;
+};
+
+/// Plummer (1911) sphere in virial equilibrium, standard N-body units
+/// (G = M = 1, E = -1/4); positions by inverse-transform sampling of the
+/// cumulative mass profile, velocities by von Neumann rejection from the
+/// isotropic distribution function (Aarseth, Henon & Wielen 1974).
+std::vector<Body> plummer_sphere(int n, Rng& rng, double scale_radius = 1.0);
+
+/// Cold uniform sphere of total mass 1 and the given radius, with small
+/// density perturbations (relative amplitude `perturb`) and zero initial
+/// velocities — the Table 6 "spherical distribution" benchmark problem.
+std::vector<Body> cold_sphere(int n, Rng& rng, double radius = 1.0,
+                              double perturb = 0.1);
+
+/// Homogeneous cube in [0, box)^3 with unit total mass, cold.
+std::vector<Body> uniform_cube(int n, Rng& rng, double box = 1.0);
+
+/// Remove net momentum and move the center of mass to the origin.
+void zero_center_of_mass(std::vector<Body>& bodies);
+
+/// Strip phase-space state down to the (position, mass) view the tree
+/// consumes.
+std::vector<Source> sources_of(const std::vector<Body>& bodies);
+
+}  // namespace ss::nbody

@@ -1,0 +1,68 @@
+#include "nbody/integrator.hpp"
+
+namespace ss::nbody {
+
+void direct_forces(const std::vector<Body>& bodies, double eps2,
+                   gravity::RsqrtMethod method, std::vector<Accel>& acc) {
+  const auto src = sources_of(bodies);
+  acc.resize(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    acc[i] = gravity::interact(bodies[i].pos, src, eps2, method);
+  }
+}
+
+void tree_forces(const std::vector<Body>& bodies, const TreeForceConfig& cfg,
+                 std::vector<Accel>& acc, hot::TraverseStats* stats) {
+  const auto src = sources_of(bodies);
+  hot::Tree tree(src, cfg.tree);
+  const auto sorted = tree.accelerate_all(cfg.theta, cfg.eps2, cfg.method,
+                                          stats);
+  acc.resize(bodies.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    acc[tree.original_index()[i]] = sorted[i];
+  }
+}
+
+Energies energies(const std::vector<Body>& bodies,
+                  const std::vector<Accel>& acc) {
+  Energies e;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    e.kinetic += 0.5 * bodies[i].mass * bodies[i].vel.norm2();
+    e.potential += 0.5 * bodies[i].mass * acc[i].phi;
+  }
+  return e;
+}
+
+Vec3 total_momentum(const std::vector<Body>& bodies) {
+  Vec3 p;
+  for (const Body& b : bodies) p += b.mass * b.vel;
+  return p;
+}
+
+Vec3 total_angular_momentum(const std::vector<Body>& bodies) {
+  Vec3 l;
+  for (const Body& b : bodies) l += b.mass * b.pos.cross(b.vel);
+  return l;
+}
+
+Leapfrog::Leapfrog(std::vector<Body> bodies, ForceFunc force)
+    : bodies_(std::move(bodies)), force_(std::move(force)) {
+  force_(bodies_, acc_);
+}
+
+void Leapfrog::step(double dt, int steps) {
+  for (int s = 0; s < steps; ++s) {
+    // Kick half, drift full, re-evaluate, kick half.
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      bodies_[i].vel += 0.5 * dt * acc_[i].a;
+      bodies_[i].pos += dt * bodies_[i].vel;
+    }
+    force_(bodies_, acc_);
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      bodies_[i].vel += 0.5 * dt * acc_[i].a;
+    }
+    time_ += dt;
+  }
+}
+
+}  // namespace ss::nbody

@@ -1,0 +1,68 @@
+// Leapfrog (kick-drift-kick) time integration and diagnostics, with both a
+// direct O(N^2) force baseline and the hashed oct-tree solver.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hot/tree.hpp"
+#include "nbody/ic.hpp"
+
+namespace ss::nbody {
+
+using gravity::Accel;
+
+/// Force engine interface: fills `acc` (one entry per body).
+using ForceFunc =
+    std::function<void(const std::vector<Body>&, std::vector<Accel>&)>;
+
+/// Direct-summation baseline force (the algorithm the treecode replaces).
+void direct_forces(const std::vector<Body>& bodies, double eps2,
+                   gravity::RsqrtMethod method, std::vector<Accel>& acc);
+
+struct TreeForceConfig {
+  double theta = 0.6;
+  double eps2 = 1e-6;
+  gravity::RsqrtMethod method = gravity::RsqrtMethod::libm;
+  hot::TreeConfig tree;
+};
+
+/// Tree-based force evaluation (rebuilds the tree each call). Stats, if
+/// given, accumulate across calls.
+void tree_forces(const std::vector<Body>& bodies, const TreeForceConfig& cfg,
+                 std::vector<Accel>& acc, hot::TraverseStats* stats = nullptr);
+
+struct Energies {
+  double kinetic = 0.0;
+  double potential = 0.0;  ///< 0.5 * sum m_i * phi_i (pairwise counted once)
+  double total() const { return kinetic + potential; }
+};
+
+Energies energies(const std::vector<Body>& bodies,
+                  const std::vector<Accel>& acc);
+
+Vec3 total_momentum(const std::vector<Body>& bodies);
+Vec3 total_angular_momentum(const std::vector<Body>& bodies);
+
+/// Serial KDK leapfrog driver.
+class Leapfrog {
+ public:
+  Leapfrog(std::vector<Body> bodies, ForceFunc force);
+
+  /// Advance by `steps` steps of size dt. Forces are evaluated once per
+  /// step (the opening kick reuses the closing kick's evaluation).
+  void step(double dt, int steps = 1);
+
+  const std::vector<Body>& bodies() const { return bodies_; }
+  const std::vector<Accel>& accel() const { return acc_; }
+  double time() const { return time_; }
+  Energies current_energies() const { return energies(bodies_, acc_); }
+
+ private:
+  std::vector<Body> bodies_;
+  std::vector<Accel> acc_;
+  ForceFunc force_;
+  double time_ = 0.0;
+};
+
+}  // namespace ss::nbody

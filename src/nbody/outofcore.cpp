@@ -1,0 +1,132 @@
+#include "nbody/outofcore.hpp"
+
+#include "support/timer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ss::nbody {
+
+static_assert(std::is_trivially_copyable_v<Body>,
+              "Body must serialize by memcpy");
+
+OutOfCoreStore::OutOfCoreStore(std::filesystem::path path,
+                               std::size_t bodies_per_slab)
+    : path_(std::move(path)), slab_(bodies_per_slab) {
+  if (slab_ == 0) {
+    throw std::invalid_argument("OutOfCoreStore: slab size must be positive");
+  }
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out |
+                        std::ios::trunc);
+  if (!file_) {
+    throw std::runtime_error("OutOfCoreStore: cannot open " + path_.string());
+  }
+}
+
+OutOfCoreStore::~OutOfCoreStore() {
+  file_.close();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best-effort cleanup
+}
+
+void OutOfCoreStore::append(std::span<const Body> bodies) {
+  if (finished_) {
+    throw std::logic_error("OutOfCoreStore: append after finish");
+  }
+  pending_.insert(pending_.end(), bodies.begin(), bodies.end());
+  while (pending_.size() >= slab_) {
+    file_.write(reinterpret_cast<const char*>(pending_.data()),
+                static_cast<std::streamsize>(slab_ * sizeof(Body)));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(slab_));
+    count_ += slab_;
+  }
+}
+
+void OutOfCoreStore::finish() {
+  if (finished_) return;
+  if (!pending_.empty()) {
+    file_.write(reinterpret_cast<const char*>(pending_.data()),
+                static_cast<std::streamsize>(pending_.size() * sizeof(Body)));
+    count_ += pending_.size();
+    pending_.clear();
+  }
+  file_.flush();
+  finished_ = true;
+}
+
+std::size_t OutOfCoreStore::slabs() const {
+  return (count_ + slab_ - 1) / slab_;
+}
+
+std::vector<Body> OutOfCoreStore::read_slab(std::size_t i) const {
+  if (!finished_) {
+    throw std::logic_error("OutOfCoreStore: read before finish");
+  }
+  if (i >= slabs()) {
+    throw std::out_of_range("OutOfCoreStore: slab index");
+  }
+  const std::size_t first = i * slab_;
+  const std::size_t n = std::min(slab_, count_ - first);
+  std::vector<Body> out(n);
+  file_.seekg(static_cast<std::streamoff>(first * sizeof(Body)));
+  file_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(n * sizeof(Body)));
+  if (!file_) {
+    throw std::runtime_error("OutOfCoreStore: short read");
+  }
+  return out;
+}
+
+void OutOfCoreStore::for_each_slab(
+    const std::function<void(std::size_t, std::span<const Body>)>& fn) const {
+  for (std::size_t i = 0; i < slabs(); ++i) {
+    const auto slab = read_slab(i);
+    fn(i, slab);
+  }
+}
+
+std::uint64_t OutOfCoreStore::bytes() const {
+  return static_cast<std::uint64_t>(count_) * sizeof(Body);
+}
+
+std::vector<gravity::Accel> out_of_core_forces(const OutOfCoreStore& store,
+                                               double eps2,
+                                               OutOfCoreForceStats* stats) {
+  std::vector<gravity::Accel> out(store.size());
+  support::WallTimer total;
+  double read_secs = 0.0;
+  std::uint64_t bytes = 0;
+
+  for (std::size_t ts = 0; ts < store.slabs(); ++ts) {
+    support::WallTimer rt;
+    const auto targets = store.read_slab(ts);
+    read_secs += rt.seconds();
+    bytes += targets.size() * sizeof(Body);
+    const std::size_t t0 = ts * store.bodies_per_slab();
+
+    for (std::size_t ss = 0; ss < store.slabs(); ++ss) {
+      support::WallTimer rs;
+      const auto src_bodies = store.read_slab(ss);
+      read_secs += rs.seconds();
+      bytes += src_bodies.size() * sizeof(Body);
+      std::vector<gravity::Source> src;
+      src.reserve(src_bodies.size());
+      for (const auto& b : src_bodies) src.push_back({b.pos, b.mass});
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        out[t0 + t] += gravity::interact<gravity::RsqrtMethod::libm>(
+            targets[t].pos, src, eps2);
+      }
+      if (stats) {
+        stats->interactions += targets.size() * src.size();
+      }
+    }
+  }
+  if (stats) {
+    stats->bytes_read = bytes;
+    stats->read_seconds = read_secs;
+  }
+  return out;
+}
+
+}  // namespace ss::nbody

@@ -1,0 +1,44 @@
+#include "nodemodel/processors.hpp"
+
+#include <array>
+
+namespace ss::nodemodel {
+
+namespace {
+
+const std::array<ProcessorProfile, 11> kTable5 = {{
+    {"533-MHz Alpha EV56", 533, 76.2, 242.2},
+    {"667-MHz Transmeta TM5600", 667, 128.7, 297.5},
+    {"933-MHz Transmeta TM5800", 933, 189.5, 373.2},
+    {"375-MHz IBM Power3", 375, 298.5, 514.4},
+    {"1133-MHz Intel P3", 1133, 292.2, 594.9},
+    {"1200-MHz AMD Athlon MP", 1200, 350.7, 614.0},
+    {"2200-MHz Intel P4", 2200, 668.0, 655.5},
+    {"2530-MHz Intel P4", 2530, 779.3, 792.6},
+    {"1800-MHz AMD Athlon XP", 1800, 609.9, 951.9},
+    {"1250-MHz Alpha 21264C", 1250, 935.2, 1141.0},
+    {"2530-MHz Intel P4 (icc)", 2530, 1170.0, 1357.0},
+}};
+
+const std::array<MachineProfile, 12> kTable6 = {{
+    {2003, "LANL", "ASCI QB", 3600, 2793.0, 775.8},
+    {2003, "LANL", "Space Simulator", 288, 179.7, 623.9},
+    {2002, "NERSC", "IBM SP-3(375/W)", 256, 57.70, 225.0},
+    {2002, "LANL", "Green Destiny", 212, 38.9, 183.5},
+    {2000, "LANL", "SGI Origin 2000", 64, 13.10, 205.0},
+    {1998, "LANL", "Avalon", 128, 16.16, 126.0},
+    {1996, "LANL", "Loki", 16, 1.28, 80.0},
+    {1996, "SC '96", "Loki+Hyglac", 32, 2.19, 68.4},
+    {1996, "Sandia", "ASCI Red", 6800, 464.9, 68.4},
+    {1995, "JPL", "Cray T3D", 256, 7.94, 31.0},
+    {1995, "LANL", "TMC CM-5", 512, 14.06, 27.5},
+    {1993, "Caltech", "Intel Delta", 512, 10.02, 19.6},
+}};
+
+}  // namespace
+
+std::span<const ProcessorProfile> table5_processors() { return kTable5; }
+
+std::span<const MachineProfile> table6_machines() { return kTable6; }
+
+}  // namespace ss::nodemodel

@@ -1,0 +1,56 @@
+// Processor performance profiles.
+//
+// Table 5 of the paper measures the gravitational micro-kernel on eleven
+// processors, with the math-library sqrt and with Karp's decomposition.
+// Table 6 reports the sustained treecode Mflop/s per processor on twelve
+// machines across a decade. These published figures become the *inputs*
+// of our cluster performance model: a machine is (processors, per-proc
+// treecode rate, network profile), and the virtual-time benchmarks
+// reproduce the tables by running the real algorithms against these rates.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace ss::nodemodel {
+
+/// One row of paper Table 5 (gravity micro-kernel, Mflop/s).
+struct ProcessorProfile {
+  std::string name;
+  double mhz = 0.0;
+  double libm_mflops = 0.0;
+  double karp_mflops = 0.0;
+};
+
+/// The eleven Table 5 rows, in the paper's order.
+std::span<const ProcessorProfile> table5_processors();
+
+/// One row of paper Table 6 (historical treecode performance).
+struct MachineProfile {
+  int year = 0;
+  std::string site;
+  std::string machine;
+  int procs = 0;
+  double gflops = 0.0;        ///< Whole-machine sustained treecode rate.
+  double mflops_per_proc = 0.0;
+};
+
+/// The twelve Table 6 rows.
+std::span<const MachineProfile> table6_machines();
+
+/// The Space Simulator node's key rates (paper Secs 3.2-3.6):
+/// STREAM triad bandwidth, sustained 1-node Linpack, gravity kernel rates.
+struct SpaceSimulatorNode {
+  static constexpr double stream_triad_mbytes = 1238.2;
+  static constexpr double linpack_gflops = 3.302;
+  static constexpr double peak_gflops = 5.06;
+  static constexpr double gravity_libm_mflops = 779.3;   // gcc
+  static constexpr double gravity_karp_mflops = 792.6;   // gcc
+  static constexpr double gravity_icc_libm_mflops = 1170.0;
+  static constexpr double gravity_icc_karp_mflops = 1357.0;
+  static constexpr double treecode_mflops = 623.9;       // Table 6
+  static constexpr double specfp2000 = 742.0;
+  static constexpr double specint2000 = 790.0;
+};
+
+}  // namespace ss::nodemodel

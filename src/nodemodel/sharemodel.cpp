@@ -1,0 +1,51 @@
+#include "nodemodel/sharemodel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace ss::nodemodel {
+
+ShareModel::ShareModel(double beta) : beta_(beta) {
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("ShareModel: beta must be in [0, 1]");
+  }
+}
+
+ShareModel ShareModel::from_slow_mem_ratio(double ratio, double mem_scale) {
+  if (ratio <= 0.0 || mem_scale <= 0.0 || mem_scale >= 1.0) {
+    throw std::invalid_argument("ShareModel: bad calibration inputs");
+  }
+  // ratio = 1 / (beta/m + 1 - beta)  =>  beta = (1/ratio - 1) / (1/m - 1).
+  const double beta = (1.0 / ratio - 1.0) / (1.0 / mem_scale - 1.0);
+  return ShareModel(std::clamp(beta, 0.0, 1.0));
+}
+
+double ShareModel::predict(double cpu_scale, double mem_scale) const {
+  return 1.0 / (beta_ / mem_scale + (1.0 - beta_) / cpu_scale);
+}
+
+namespace {
+
+const std::array<ClockScalingRow, 14> kTable2 = {{
+    {"STREAM copy", 1203.5, 761.8, 1143.4, 1268.5},
+    {"STREAM add", 1237.2, 749.8, 1165.3, 1302.8},
+    {"STREAM scale", 1201.8, 756.1, 1142.8, 1267.0},
+    {"STREAM triad", 1238.2, 748.9, 1160.7, 1304.1},
+    {"NPB BT", 321.2, 204.1, 293.9, 342.3},
+    {"NPB SP", 216.5, 131.7, 200.1, 229.6},
+    {"NPB LU", 404.3, 262.2, 366.2, 427.4},
+    {"NPB MG", 385.1, 231.4, 360.8, 400.1},
+    {"NPB CG", 313.1, 189.4, 273.9, 330.2},
+    {"NPB FT", 351.0, 248.7, 302.9, 385.1},
+    {"NPB IS", 27.2, 21.2, 22.5, 28.9},
+    {"SPEC CINT2000", 790.0, 655.0, 640.0, 830.0},
+    {"SPEC CFP2000", 742.0, 527.0, 646.0, 782.0},
+    {"Linpack", 3.302, 2.865, 2.602, 3.476},
+}};
+
+}  // namespace
+
+std::span<const ClockScalingRow> table2_rows() { return kTable2; }
+
+}  // namespace ss::nodemodel

@@ -1,0 +1,30 @@
+// A real implementation of McCalpin's STREAM kernels (copy, scale, add,
+// triad), measured on the host. The paper uses STREAM to demonstrate that
+// the Shuttle XPC node is memory-bandwidth bound (Sec 3.2, Table 2); we
+// run the same kernels here so Table 2's first four rows have a measured
+// counterpart on whatever machine runs the reproduction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ss::nodemodel {
+
+struct StreamResult {
+  std::string kernel;
+  double mbytes_per_s = 0.0;  ///< Best-of-trials rate, 1e6 bytes/s.
+  double bytes_per_iter = 0.0;
+};
+
+struct StreamConfig {
+  std::size_t elements = 8u << 20;  ///< Per-array doubles (3 arrays).
+  int trials = 5;
+};
+
+/// Run all four kernels; results in the canonical order copy, scale, add,
+/// triad. The checksum of the final arrays is folded into each result's
+/// validity (throws on numerical corruption).
+std::vector<StreamResult> run_stream(const StreamConfig& cfg = {});
+
+}  // namespace ss::nodemodel

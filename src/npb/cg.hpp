@@ -1,0 +1,50 @@
+// NPB CG: estimate the largest eigenvalue of a sparse symmetric positive
+// definite matrix by inverse power iteration, solving each linear system
+// with 25 unpreconditioned conjugate-gradient iterations. Communication
+// per CG iteration: an allgather of the direction vector for the matvec
+// and two scalar allreduces for the dot products — the irregular-access,
+// latency-plus-bandwidth pattern of unstructured implicit codes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "npb/classes.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb {
+
+/// Row-block distributed sparse SPD matrix in CSR form. The pattern is a
+/// randomized symmetric sparsity with a dominant shifted diagonal,
+/// mirroring the NPB generator's character (random off-diagonals, SPD by
+/// diagonal dominance).
+struct SparseMatrix {
+  int n = 0;
+  int row_begin = 0;  ///< First global row of this rank's block.
+  int row_end = 0;
+  std::vector<std::uint32_t> row_ptr;
+  std::vector<std::uint32_t> col;
+  std::vector<double> val;
+};
+
+/// Build this rank's row block of the class matrix (deterministic in the
+/// class and global row index, so any rank count yields the same matrix).
+SparseMatrix make_cg_matrix(Class klass, int rank, int nranks);
+
+struct CgResult {
+  double zeta = 0.0;           ///< Eigenvalue estimate (shift + 1/(x.z)).
+  double final_residual = 0.0; ///< ||r|| of the last CG solve.
+  Result perf;
+};
+
+/// Real run (classes S, W, A).
+CgResult run_cg(ss::vmpi::Comm& comm, Class klass);
+
+/// Modeled run for large classes.
+Result run_cg_modeled(ss::vmpi::Comm& comm, Class klass,
+                      double node_mops = NodeRates{}.cg);
+
+/// CG inner iterations per outer step (NPB specification).
+inline constexpr int kCgInnerIters = 25;
+
+}  // namespace ss::npb

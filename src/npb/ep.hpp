@@ -1,0 +1,51 @@
+// NPB EP (Embarrassingly Parallel): tabulate Gaussian deviates generated
+// from the NPB linear congruential stream. Exercises pure per-node flop
+// throughput plus a final small allreduce — the baseline against which
+// the communicating kernels are judged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "npb/classes.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb {
+
+/// The NPB 46-bit multiplicative LCG: x <- a x mod 2^46, a = 5^13.
+class NpbLcg {
+ public:
+  explicit NpbLcg(std::uint64_t seed = 271828183ULL) : x_(seed & kMask) {}
+
+  /// Uniform deviate in (0, 1).
+  double next() {
+    x_ = (kA * x_) & kMask;
+    return static_cast<double>(x_) * kScale;
+  }
+
+  /// Jump the stream forward by `n` steps in O(log n).
+  void skip(std::uint64_t n);
+
+  std::uint64_t state() const { return x_; }
+
+  static constexpr std::uint64_t kA = 1220703125ULL;  // 5^13
+  static constexpr std::uint64_t kMask = (std::uint64_t{1} << 46) - 1;
+  static constexpr double kScale = 1.0 / static_cast<double>(1ULL << 46);
+
+ private:
+  std::uint64_t x_;
+};
+
+struct EpResult {
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  std::array<std::uint64_t, 10> annuli{};  ///< counts by floor(max(|X|,|Y|))
+  std::uint64_t accepted = 0;
+  Result perf;
+};
+
+/// Run EP over the full pair budget of `klass`, split across ranks by
+/// stream jump-ahead; the results are bit-identical for any rank count.
+EpResult run_ep(ss::vmpi::Comm& comm, Class klass);
+
+}  // namespace ss::npb

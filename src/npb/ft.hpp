@@ -1,0 +1,31 @@
+// NPB FT: solve a 3-D diffusion equation spectrally. The initial state is
+// transformed once; each time step multiplies by the Gaussian evolution
+// factor in k-space, inverse-transforms, and checksums. Communication is
+// one global transpose (all-to-all) per inverse FFT — the bisection-
+// bandwidth stress test of the suite, and the benchmark where the Space
+// Simulator *beat* ASCI Q (Table 3: 9860 vs 7275 Mop/s).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "npb/classes.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb {
+
+struct FtResult {
+  std::vector<std::complex<double>> checksums;  ///< One per time step.
+  Result perf;
+};
+
+/// Real run on a cubic grid (class S; the rank count must divide the
+/// side). The full NPB uses non-cubic grids for W/A; our real mode sticks
+/// to cubes, which is what the SlabFFT supports.
+FtResult run_ft(ss::vmpi::Comm& comm, Class klass);
+
+/// Modeled run for large classes.
+Result run_ft_modeled(ss::vmpi::Comm& comm, Class klass,
+                      double node_mops = NodeRates{}.ft);
+
+}  // namespace ss::npb

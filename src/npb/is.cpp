@@ -1,0 +1,147 @@
+#include "npb/is.hpp"
+
+#include <algorithm>
+
+#include "npb/ep.hpp"  // NpbLcg
+#include "npb/patterns.hpp"
+
+namespace ss::npb {
+
+namespace {
+constexpr int kBucketsLog2 = 10;
+constexpr int kBuckets = 1 << kBucketsLog2;
+}  // namespace
+
+IsResult run_is(ss::vmpi::Comm& comm, Class klass) {
+  const IsParams params = is_params(klass);
+  const int p = comm.size();
+  const auto total = static_cast<std::uint64_t>(params.keys);
+  const std::uint64_t mine = total / p + (comm.rank() < static_cast<int>(total % p) ? 1 : 0);
+  const std::uint32_t key_range = 1u << params.max_key_log2;
+
+  // Per-rank slice of one global key stream (jump-ahead keeps the global
+  // key multiset independent of the rank count).
+  NpbLcg rng(314159265ULL);
+  const std::uint64_t first =
+      (total / p) * static_cast<std::uint64_t>(comm.rank()) +
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(comm.rank()),
+                              total % p);
+  rng.skip(first);
+  std::vector<std::uint32_t> keys(mine);
+  for (auto& k : keys) {
+    k = static_cast<std::uint32_t>(rng.next() * key_range) % key_range;
+  }
+
+  IsResult out;
+  out.checksum = comm.allreduce_sum_u64(mine);
+
+  const int shift = params.max_key_log2 - kBucketsLog2;
+  for (int iter = 0; iter < params.iters; ++iter) {
+    // Local histogram over the coarse buckets.
+    std::vector<std::uint64_t> hist(kBuckets, 0);
+    for (auto k : keys) ++hist[k >> shift];
+    auto global = comm.allreduce(
+        std::span<const std::uint64_t>(hist.data(), hist.size()),
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    comm.compute_work(0, mine * 8);  // histogramming touches every key
+
+    // Assign contiguous bucket ranges to ranks with near-equal key counts.
+    std::vector<int> bucket_owner(kBuckets);
+    const std::uint64_t target = (total + p - 1) / p;
+    std::uint64_t acc = 0;
+    int owner = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      bucket_owner[b] = owner;
+      acc += global[static_cast<std::size_t>(b)];
+      if (acc >= target * static_cast<std::uint64_t>(owner + 1) &&
+          owner + 1 < p) {
+        ++owner;
+      }
+    }
+
+    // Redistribute and locally sort.
+    std::vector<std::vector<std::uint32_t>> outgoing(
+        static_cast<std::size_t>(p));
+    for (auto k : keys) {
+      outgoing[static_cast<std::size_t>(bucket_owner[k >> shift])].push_back(k);
+    }
+    keys = comm.alltoallv(outgoing);
+    std::sort(keys.begin(), keys.end());
+    comm.compute_work(0, keys.size() * 32);  // sorting passes
+  }
+
+  // Verification: local sortedness plus boundary order across ranks, and
+  // key conservation.
+  bool ok = std::is_sorted(keys.begin(), keys.end());
+  struct Edge {
+    std::uint32_t lo = 0, hi = 0;
+    std::uint64_t count = 0;
+  };
+  Edge e;
+  if (!keys.empty()) {
+    e.lo = keys.front();
+    e.hi = keys.back();
+  }
+  e.count = keys.size();
+  auto edges = comm.allgather_value(e);
+  std::uint64_t final_total = 0;
+  std::uint32_t prev_hi = 0;
+  bool first_nonempty = true;
+  for (const auto& ed : edges) {
+    final_total += ed.count;
+    if (ed.count == 0) continue;
+    if (!first_nonempty && ed.lo < prev_hi) ok = false;
+    prev_hi = ed.hi;
+    first_nonempty = false;
+  }
+  ok = ok && final_total == out.checksum;
+
+  comm.barrier_max_time();
+  out.sorted = ok;
+  out.perf.benchmark = "IS";
+  out.perf.klass = klass;
+  out.perf.procs = p;
+  out.perf.vtime_seconds = comm.time();
+  out.perf.total_mops = static_cast<double>(total) * params.iters / 1e6;
+  out.perf.verified = ok;
+  return out;
+}
+
+Result run_is_modeled(ss::vmpi::Comm& comm, Class klass, double node_mops) {
+  const IsParams params = is_params(klass);
+  const int p = comm.size();
+  const double keys_per_rank =
+      static_cast<double>(params.keys) / static_cast<double>(p);
+
+  // Iterations are statistically identical; sample a few in virtual time
+  // and scale (steady-state extrapolation).
+  const int sample = std::min(params.iters, 5);
+  const double t0 = comm.barrier_max_time();
+  for (int iter = 0; iter < sample; ++iter) {
+    // Ranking the local keys at the Table 2 IS rate.
+    comm.compute(keys_per_rank / (node_mops * 1e6));
+    // Histogram allreduce (kBuckets 64-bit counters).
+    patterns::modeled_allreduce(comm, kBuckets * 8);
+    // Key redistribution: the keys move once, and the ranks of the keys
+    // move back to their originators (NPB IS's key_buff return pass) —
+    // two all-to-alls of ~N/P 4-byte words spread over the partners.
+    if (p > 1) {
+      const auto bytes_per_pair = static_cast<std::size_t>(
+          keys_per_rank * 4.0 / static_cast<double>(p));
+      patterns::modeled_alltoall(comm, bytes_per_pair);
+      patterns::modeled_alltoall(comm, bytes_per_pair);
+    }
+  }
+  const double t1 = comm.barrier_max_time();
+
+  Result r;
+  r.benchmark = "IS";
+  r.klass = klass;
+  r.procs = p;
+  r.vtime_seconds = (t1 - t0) * params.iters / sample;
+  r.total_mops = static_cast<double>(params.keys) * params.iters / 1e6;
+  r.modeled = true;
+  return r;
+}
+
+}  // namespace ss::npb

@@ -1,0 +1,33 @@
+// NPB IS (Integer Sort): parallel bucket sort of uniformly distributed
+// integer keys. The communication structure is one small histogram
+// allreduce plus one large all-to-all key redistribution per iteration —
+// the latency-sensitive pattern that makes IS the worst scaler of the
+// suite on ethernet clusters (visible in Fig 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "npb/classes.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb {
+
+struct IsResult {
+  bool sorted = false;       ///< Global sortedness verified.
+  std::uint64_t checksum = 0;  ///< Key-count conservation check.
+  Result perf;
+};
+
+/// Real run (feasible classes: S, W, A). Keys are generated per rank from
+/// the NPB LCG stream, sorted with the bucket algorithm, and verified
+/// globally each iteration.
+IsResult run_is(ss::vmpi::Comm& comm, Class klass);
+
+/// Modeled run for large classes: the real message choreography with
+/// placeholder payloads at class byte counts; compute charged at
+/// `node_mops` (Table 2's IS rate by default).
+Result run_is_modeled(ss::vmpi::Comm& comm, Class klass,
+                      double node_mops = NodeRates{}.is);
+
+}  // namespace ss::npb

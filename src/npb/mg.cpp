@@ -1,0 +1,224 @@
+#include "npb/mg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "npb/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace ss::npb {
+
+namespace {
+
+inline std::size_t idx(int i, int j, int k, int n) {
+  return (static_cast<std::size_t>(i) * n + j) * n + k;
+}
+
+inline int wrap(int i, int n) { return (i + n) % n; }
+
+/// -laplace(u) with the 7-point stencil, h = 1/n, periodic.
+void apply_op(const std::vector<double>& u, std::vector<double>& out, int n) {
+  const double h2inv = static_cast<double>(n) * n;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        const double c = u[idx(i, j, k, n)];
+        const double lap =
+            u[idx(wrap(i - 1, n), j, k, n)] + u[idx(wrap(i + 1, n), j, k, n)] +
+            u[idx(i, wrap(j - 1, n), k, n)] + u[idx(i, wrap(j + 1, n), k, n)] +
+            u[idx(i, j, wrap(k - 1, n), n)] + u[idx(i, j, wrap(k + 1, n), n)] -
+            6.0 * c;
+        out[idx(i, j, k, n)] = -lap * h2inv;
+      }
+    }
+  }
+}
+
+/// Weighted-Jacobi smoothing sweeps.
+void smooth(std::vector<double>& u, const std::vector<double>& rhs, int n,
+            int sweeps) {
+  const double h2 = 1.0 / (static_cast<double>(n) * n);
+  const double omega = 6.0 / 7.0;  // optimal-ish for the 7-point stencil
+  std::vector<double> next(u.size());
+  for (int s = 0; s < sweeps; ++s) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        for (int k = 0; k < n; ++k) {
+          const double nb =
+              u[idx(wrap(i - 1, n), j, k, n)] +
+              u[idx(wrap(i + 1, n), j, k, n)] +
+              u[idx(i, wrap(j - 1, n), k, n)] +
+              u[idx(i, wrap(j + 1, n), k, n)] +
+              u[idx(i, j, wrap(k - 1, n), n)] +
+              u[idx(i, j, wrap(k + 1, n), n)];
+          const double jac = (nb + h2 * rhs[idx(i, j, k, n)]) / 6.0;
+          next[idx(i, j, k, n)] =
+              (1.0 - omega) * u[idx(i, j, k, n)] + omega * jac;
+        }
+      }
+    }
+    u.swap(next);
+  }
+}
+
+/// Full-weighting restriction to the n/2 grid.
+std::vector<double> restrict_grid(const std::vector<double>& fine, int n) {
+  const int nc = n / 2;
+  std::vector<double> coarse(static_cast<std::size_t>(nc) * nc * nc);
+  for (int i = 0; i < nc; ++i) {
+    for (int j = 0; j < nc; ++j) {
+      for (int k = 0; k < nc; ++k) {
+        // Average of the 2x2x2 fine cells (cell-centered full weighting).
+        double acc = 0.0;
+        for (int di = 0; di < 2; ++di) {
+          for (int dj = 0; dj < 2; ++dj) {
+            for (int dk = 0; dk < 2; ++dk) {
+              acc += fine[idx(2 * i + di, 2 * j + dj, 2 * k + dk, n)];
+            }
+          }
+        }
+        coarse[idx(i, j, k, nc)] = acc / 8.0;
+      }
+    }
+  }
+  return coarse;
+}
+
+/// Piecewise-constant prolongation added into the fine grid.
+void prolong_add(std::vector<double>& fine, const std::vector<double>& coarse,
+                 int n) {
+  const int nc = n / 2;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        fine[idx(i, j, k, n)] += coarse[idx(i / 2, j / 2, k / 2, nc)];
+      }
+    }
+  }
+}
+
+void vcycle_recurse(std::vector<double>& u, const std::vector<double>& rhs,
+                    int n) {
+  smooth(u, rhs, n, 2);
+  if (n <= 4) {
+    smooth(u, rhs, n, 8);  // coarse "solve"
+    return;
+  }
+  // Residual, restrict, recurse, prolong, post-smooth.
+  std::vector<double> Au(u.size());
+  apply_op(u, Au, n);
+  std::vector<double> res(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) res[i] = rhs[i] - Au[i];
+  auto coarse_rhs = restrict_grid(res, n);
+  // NB: coarse operator uses h_c = 2h; apply_op derives h from n, so the
+  // coarse problem is consistent automatically.
+  std::vector<double> coarse_u(coarse_rhs.size(), 0.0);
+  vcycle_recurse(coarse_u, coarse_rhs, n / 2);
+  prolong_add(u, coarse_u, n);
+  smooth(u, rhs, n, 2);
+}
+
+}  // namespace
+
+double mg_residual_norm(const std::vector<double>& u,
+                        const std::vector<double>& rhs, int n) {
+  std::vector<double> Au(u.size());
+  apply_op(u, Au, n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double r = rhs[i] - Au[i];
+    acc += r * r;
+  }
+  return std::sqrt(acc / static_cast<double>(u.size()));
+}
+
+double mg_vcycle(std::vector<double>& u, const std::vector<double>& rhs,
+                 int n) {
+  if (n < 4 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("mg_vcycle: n must be a power of two >= 4");
+  }
+  if (u.size() != rhs.size() ||
+      u.size() != static_cast<std::size_t>(n) * n * n) {
+    throw std::invalid_argument("mg_vcycle: wrong grid size");
+  }
+  vcycle_recurse(u, rhs, n);
+  return mg_residual_norm(u, rhs, n);
+}
+
+MgResult run_mg_serial(Class klass) {
+  const MgParams params = mg_params(klass);
+  const int n = params.n;
+  if (n > 128) {
+    throw std::invalid_argument("run_mg_serial: class too large to run real");
+  }
+  // Zero-mean random charges (periodic Poisson needs compatibility).
+  ss::support::Rng rng(77);
+  std::vector<double> rhs(static_cast<std::size_t>(n) * n * n);
+  double mean = 0.0;
+  for (auto& v : rhs) {
+    v = rng.normal();
+    mean += v;
+  }
+  mean /= static_cast<double>(rhs.size());
+  for (auto& v : rhs) v -= mean;
+
+  std::vector<double> u(rhs.size(), 0.0);
+  MgResult out;
+  out.initial_residual = mg_residual_norm(u, rhs, n);
+  double res = out.initial_residual;
+  for (int it = 0; it < params.iters; ++it) {
+    res = mg_vcycle(u, rhs, n);
+  }
+  out.final_residual = res;
+
+  out.perf.benchmark = "MG";
+  out.perf.klass = klass;
+  out.perf.procs = 1;
+  // 58 flops per point per V-cycle over the 8/7-geometric level sum — the
+  // NPB accounting that reproduces MG.A ~ 3.9 Gop.
+  out.perf.total_mops = 58.0 * std::pow(static_cast<double>(n), 3.0) *
+                        (8.0 / 7.0) * params.iters / 1e6;
+  out.perf.verified = out.final_residual < 0.05 * out.initial_residual;
+  return out;
+}
+
+Result run_mg_modeled(ss::vmpi::Comm& comm, Class klass, double node_mops) {
+  const MgParams params = mg_params(klass);
+  const int p = comm.size();
+  const double n = params.n;
+
+  const int sample = std::min(params.iters, 5);
+  const double t0 = comm.barrier_max_time();
+  for (int it = 0; it < sample; ++it) {
+    // Walk the V levels fine -> coarse -> fine. At level l the grid side
+    // is n / 2^l; ghost-plane exchanges move (side^2) doubles, and each
+    // rank smooths side^3 / p points per sweep (4 sweeps per level pass).
+    for (int pass = 0; pass < 2; ++pass) {  // down and up legs
+      for (double side = n; side >= 4.0; side /= 2.0) {
+        // 29 accounted ops per point per leg (58 per full cycle), keeping
+        // the P=1 rate equal to the Table 2 per-node rate by construction.
+        const double points_per_rank = side * side * side / p;
+        comm.compute(points_per_rank * 29.0 / (node_mops * 1e6));
+        patterns::modeled_neighbor_exchange(
+            comm,
+            static_cast<std::size_t>(side * side * sizeof(double)));
+        patterns::modeled_neighbor_exchange(
+            comm,
+            static_cast<std::size_t>(side * side * sizeof(double)));
+      }
+    }
+    patterns::modeled_allreduce(comm, 8);  // residual norm
+  }
+  const double t1 = comm.barrier_max_time();
+
+  Result r;
+  r.benchmark = "MG";
+  r.klass = klass;
+  r.procs = p;
+  r.vtime_seconds = (t1 - t0) * params.iters / sample;
+  r.total_mops = 58.0 * n * n * n * (8.0 / 7.0) * params.iters / 1e6;
+  r.modeled = true;
+  return r;
+}
+
+}  // namespace ss::npb

@@ -1,0 +1,40 @@
+// NPB MG: V-cycle multigrid for the 3-D Poisson equation on a periodic
+// cubic grid. The real solver runs serially (classes S/W fit in memory)
+// and verifies the textbook residual contraction; the parallel runs use
+// the modeled pattern — per level, ghost-plane exchanges with the two
+// slab neighbors plus a residual-norm allreduce — which is what makes MG
+// bandwidth-hungry at the fine levels and latency-bound at the coarse
+// ones.
+#pragma once
+
+#include <vector>
+
+#include "npb/classes.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb {
+
+struct MgResult {
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  Result perf;
+};
+
+/// Real serial V-cycle run (use classes S or W).
+MgResult run_mg_serial(Class klass);
+
+/// Modeled parallel run (slab decomposition).
+Result run_mg_modeled(ss::vmpi::Comm& comm, Class klass,
+                      double node_mops = NodeRates{}.mg);
+
+/// One V-cycle on a periodic n^3 grid: returns the residual L2 norm after
+/// the cycle. Exposed for tests. u is updated in place; n must be a power
+/// of two >= 4.
+double mg_vcycle(std::vector<double>& u, const std::vector<double>& rhs,
+                 int n);
+
+/// Residual L2 norm of -laplace(u) = rhs on the periodic grid.
+double mg_residual_norm(const std::vector<double>& u,
+                        const std::vector<double>& rhs, int n);
+
+}  // namespace ss::npb

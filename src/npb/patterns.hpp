@@ -1,0 +1,93 @@
+// Modeled communication patterns for the large NPB classes.
+//
+// Each helper executes the real message choreography of the corresponding
+// MPI collective or stencil exchange, but with placeholder messages
+// charged at the modeled byte counts (vmpi::Comm::send_placeholder), so a
+// class D transpose moves class D bytes through the switch model without
+// materializing class D arrays.
+#pragma once
+
+#include <cstddef>
+
+#include "vmpi/comm.hpp"
+
+namespace ss::npb::patterns {
+
+/// Pairwise-exchange personalized all-to-all: every ordered pair moves
+/// `bytes_per_pair` bytes (the FT transpose, the IS key redistribution).
+inline void modeled_alltoall(ss::vmpi::Comm& c, std::size_t bytes_per_pair) {
+  const int p = c.size();
+  if (p == 1) return;
+  const int tag = c.fresh_tag();
+  for (int k = 1; k < p; ++k) {
+    const int to = (c.rank() + k) % p;
+    const int from = (c.rank() - k + p) % p;
+    c.send_placeholder(to, tag, bytes_per_pair);
+    (void)c.recv_msg(from, tag);
+  }
+}
+
+/// Recursive-doubling allgather (the MPICH/LAM algorithm for power-of-two
+/// communicators, used here for all sizes): log2(p) steps, the exchanged
+/// block doubling each step. Used by the CG vector gather.
+inline void modeled_allgather(ss::vmpi::Comm& c, std::size_t bytes_per_rank) {
+  const int p = c.size();
+  if (p == 1) return;
+  const int tag = c.fresh_tag();
+  std::size_t block = bytes_per_rank;
+  for (int step = 1; step < p; step <<= 1) {
+    const int up = (c.rank() + step) % p;
+    const int down = (c.rank() - step + p) % p;
+    c.send_placeholder(up, tag, block);
+    (void)c.recv_msg(down, tag);
+    block *= 2;
+  }
+}
+
+/// Binomial reduce to rank 0 plus broadcast back of `bytes` (dot products
+/// and verification sums). Ends with a dissemination barrier: a real
+/// allreduce synchronizes its participants, and without that coupling the
+/// asynchronous modeled sends let virtual clocks drift a full compute
+/// quantum apart (a convoy artifact, not cluster physics).
+inline void modeled_allreduce(ss::vmpi::Comm& c, std::size_t bytes) {
+  const int p = c.size();
+  if (p == 1) return;
+  const int tag = c.fresh_tag();
+  for (int step = 1; step < p; step <<= 1) {
+    if ((c.rank() & step) != 0) {
+      c.send_placeholder(c.rank() - step, tag, bytes);
+      break;
+    }
+    if (c.rank() + step < p) (void)c.recv_msg(c.rank() + step, tag);
+  }
+  // Broadcast back down the same tree.
+  const int tag2 = c.fresh_tag();
+  int mask = 1;
+  while (mask < p) {
+    if ((c.rank() & mask) != 0) {
+      (void)c.recv_msg(c.rank() - mask, tag2);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (c.rank() + mask < p) c.send_placeholder(c.rank() + mask, tag2, bytes);
+    mask >>= 1;
+  }
+  c.barrier();  // clock coupling (see note above)
+}
+
+/// Exchange `bytes` with the two neighbors along a 1-D slab decomposition
+/// (ghost-plane swap of the stencil kernels). Non-periodic.
+inline void modeled_neighbor_exchange(ss::vmpi::Comm& c, std::size_t bytes) {
+  const int p = c.size();
+  if (p == 1) return;
+  const int tag = c.fresh_tag();
+  if (c.rank() + 1 < p) c.send_placeholder(c.rank() + 1, tag, bytes);
+  if (c.rank() > 0) c.send_placeholder(c.rank() - 1, tag, bytes);
+  if (c.rank() > 0) (void)c.recv_msg(c.rank() - 1, tag);
+  if (c.rank() + 1 < p) (void)c.recv_msg(c.rank() + 1, tag);
+}
+
+}  // namespace ss::npb::patterns

@@ -1,0 +1,255 @@
+#include "npb/pseudo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "npb/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace ss::npb {
+
+const char* pseudo_name(PseudoApp app) {
+  switch (app) {
+    case PseudoApp::BT: return "BT";
+    case PseudoApp::SP: return "SP";
+    case PseudoApp::LU: return "LU";
+  }
+  return "?";
+}
+
+void thomas_solve(std::vector<double>& a, std::vector<double>& b,
+                  std::vector<double>& c, std::vector<double>& d) {
+  const std::size_t n = d.size();
+  if (a.size() != n || b.size() != n || c.size() != n || n == 0) {
+    throw std::invalid_argument("thomas_solve: length mismatch");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const double w = a[i] / b[i - 1];
+    b[i] -= w * c[i - 1];
+    d[i] -= w * d[i - 1];
+  }
+  d[n - 1] /= b[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    d[i] = (d[i] - c[i] * d[i + 1]) / b[i];
+  }
+}
+
+namespace {
+
+inline std::size_t idx(int i, int j, int k, int n) {
+  return (static_cast<std::size_t>(i) * n + j) * n + k;
+}
+
+PseudoParams params_for(PseudoApp app, Class klass) {
+  switch (app) {
+    case PseudoApp::BT: return bt_params(klass);
+    case PseudoApp::SP: return sp_params(klass);
+    case PseudoApp::LU: return lu_params(klass);
+  }
+  throw std::invalid_argument("params_for");
+}
+
+/// One implicit diffusion step by directional splitting (ADI): for each
+/// axis solve (I - mu d2/dx2) u* = u line by line.
+void adi_step(std::vector<double>& u, int n, double mu) {
+  std::vector<double> a(static_cast<std::size_t>(n)),
+      b(static_cast<std::size_t>(n)), c(static_cast<std::size_t>(n)),
+      d(static_cast<std::size_t>(n));
+  auto line_solve = [&](auto&& get, auto&& set) {
+    for (int i = 0; i < n; ++i) {
+      // Neumann ends (zero-flux): conserves the mean exactly.
+      a[static_cast<std::size_t>(i)] = -mu;
+      c[static_cast<std::size_t>(i)] = -mu;
+      b[static_cast<std::size_t>(i)] = 1.0 + 2.0 * mu;
+      d[static_cast<std::size_t>(i)] = get(i);
+    }
+    b[0] = 1.0 + mu;
+    b[static_cast<std::size_t>(n - 1)] = 1.0 + mu;
+    thomas_solve(a, b, c, d);
+    for (int i = 0; i < n; ++i) set(i, d[static_cast<std::size_t>(i)]);
+  };
+  // x lines.
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < n; ++k) {
+      line_solve([&](int i) { return u[idx(i, j, k, n)]; },
+                 [&](int i, double v) { u[idx(i, j, k, n)] = v; });
+    }
+  }
+  // y lines.
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      line_solve([&](int j) { return u[idx(i, j, k, n)]; },
+                 [&](int j, double v) { u[idx(i, j, k, n)] = v; });
+    }
+  }
+  // z lines.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      line_solve([&](int k) { return u[idx(i, j, k, n)]; },
+                 [&](int k, double v) { u[idx(i, j, k, n)] = v; });
+    }
+  }
+}
+
+/// One SSOR sweep pair (forward + backward) for the implicit system.
+void ssor_step(std::vector<double>& u, int n, double mu) {
+  // Solve (I - mu L) u_new = u_old approximately with two SSOR sweeps of
+  // the 7-point operator, Neumann boundaries via clamping.
+  const double omega = 1.2;
+  auto at = [&](const std::vector<double>& v, int i, int j, int k) {
+    i = std::clamp(i, 0, n - 1);
+    j = std::clamp(j, 0, n - 1);
+    k = std::clamp(k, 0, n - 1);
+    return v[idx(i, j, k, n)];
+  };
+  const std::vector<double> rhs = u;
+  auto sweep = [&](bool forward) {
+    for (int s = 0; s < n; ++s) {
+      const int i = forward ? s : n - 1 - s;
+      for (int j = 0; j < n; ++j) {
+        for (int k = 0; k < n; ++k) {
+          const double nb = at(u, i - 1, j, k) + at(u, i + 1, j, k) +
+                            at(u, i, j - 1, k) + at(u, i, j + 1, k) +
+                            at(u, i, j, k - 1) + at(u, i, j, k + 1);
+          const double gs =
+              (rhs[idx(i, j, k, n)] + mu * nb) / (1.0 + 6.0 * mu);
+          u[idx(i, j, k, n)] =
+              (1.0 - omega) * u[idx(i, j, k, n)] + omega * gs;
+        }
+      }
+    }
+  };
+  sweep(true);
+  sweep(false);
+}
+
+}  // namespace
+
+PseudoResult run_pseudo_serial(PseudoApp app, Class klass) {
+  const PseudoParams params = params_for(app, klass);
+  const int n = params.n;
+  if (n > 64) {
+    throw std::invalid_argument("run_pseudo_serial: class too large");
+  }
+  ss::support::Rng rng(31 + static_cast<int>(app));
+  std::vector<double> u(static_cast<std::size_t>(n) * n * n);
+  for (auto& v : u) v = rng.uniform(0.0, 2.0);
+
+  auto stats = [&](double& mean, double& var) {
+    mean = 0.0;
+    for (double v : u) mean += v;
+    mean /= static_cast<double>(u.size());
+    var = 0.0;
+    for (double v : u) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(u.size());
+  };
+
+  PseudoResult out;
+  stats(out.initial_mean, out.initial_variance);
+  const double mu = 0.2;
+  const int iters = std::min(params.iters, 40);  // physics settles quickly
+  for (int t = 0; t < iters; ++t) {
+    if (app == PseudoApp::LU) {
+      ssor_step(u, n, mu);
+    } else {
+      adi_step(u, n, mu);
+    }
+  }
+  stats(out.final_mean, out.final_variance);
+
+  out.perf.benchmark = pseudo_name(app);
+  out.perf.klass = klass;
+  out.perf.procs = 1;
+  out.perf.total_mops = params.flops_per_point *
+                        std::pow(static_cast<double>(n), 3.0) * iters / 1e6;
+  // ADI with Neumann ends conserves the mean to roundoff; SSOR solves the
+  // same conservative system approximately. Diffusion damps variance.
+  const double mean_tol =
+      app == PseudoApp::LU ? 2e-2 * std::abs(out.initial_mean) : 1e-10;
+  out.perf.verified =
+      std::abs(out.final_mean - out.initial_mean) <= mean_tol &&
+      out.final_variance < 0.5 * out.initial_variance;
+  return out;
+}
+
+Result run_pseudo_modeled(ss::vmpi::Comm& comm, PseudoApp app, Class klass) {
+  NodeRates rates;
+  const double rate = app == PseudoApp::BT   ? rates.bt
+                      : app == PseudoApp::SP ? rates.sp
+                                             : rates.lu;
+  return run_pseudo_modeled(comm, app, klass, rate,
+                            app == PseudoApp::LU ? 1.2 : 1.0);
+}
+
+Result run_pseudo_modeled(ss::vmpi::Comm& comm, PseudoApp app, Class klass,
+                          double node_mops, double cache_bonus) {
+  const PseudoParams params = params_for(app, klass);
+  const int p = comm.size();
+  const double n = params.n;
+  const double points_per_rank = n * n * n / p;
+
+  // Fig 5's LU feature: "the problem being divided into enough pieces
+  // that it fits into L2 cache". The blocked SSOR solves begin reusing
+  // lines through the P4's 512 KB L2 once the per-rank working set
+  // (5 components, double precision) drops to a few MB; the 3 MB
+  // threshold places the onset at 64 processors for class C, where the
+  // paper observes it.
+  double rate = node_mops * params.large_class_derate;
+  if (cache_bonus != 1.0 && points_per_rank * 5.0 * 8.0 < 3.0 * 1024 * 1024) {
+    rate *= cache_bonus;
+  }
+
+  const int sample = std::min(params.iters, 10);
+  const double tstart = comm.barrier_max_time();
+  for (int t = 0; t < sample; ++t) {
+    if (app == PseudoApp::LU) {
+      // SSOR wavefronts: forward and backward sweeps; each pipeline stage
+      // forwards a face of 5 variables to the downstream neighbor. The
+      // pipeline fill shows up as 2p extra face messages per iteration.
+      comm.compute(points_per_rank * params.flops_per_point /
+                   (rate * 1e6));
+      const auto face_bytes =
+          static_cast<std::size_t>(n * n / p * 5.0 * 8.0);
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        patterns::modeled_neighbor_exchange(comm, face_bytes);
+        patterns::modeled_neighbor_exchange(comm, face_bytes);
+      }
+    } else {
+      // ADI with NPB's multipartition decomposition: p = q^2 cells per
+      // direction sweep; each of the q stages forwards a face of the
+      // active cell (5 components over (n/q)^2 points) to the next cell's
+      // owner. Compute is charged per stage so the sweep pipelines.
+      const int q = std::max(1, static_cast<int>(std::lround(std::sqrt(p))));
+      const auto face_bytes =
+          static_cast<std::size_t>(n * n / p * 5.0 * 8.0 * q);
+      for (int dir = 0; dir < 3; ++dir) {
+        const int tag = comm.fresh_tag();
+        const int stride = dir == 0 ? 1 : (dir == 1 ? q : std::max(q / 2, 1));
+        comm.compute(points_per_rank * params.flops_per_point / 3.0 /
+                     (rate * 1e6));
+        if (p > 1) {
+          for (int stage = 0; stage < q; ++stage) {
+            const int up = (comm.rank() + stride) % p;
+            const int down = (comm.rank() - stride + p) % p;
+            comm.send_placeholder(up, tag, face_bytes / q);
+            (void)comm.recv_msg(down, tag);
+          }
+        }
+      }
+    }
+    patterns::modeled_allreduce(comm, 40);  // residual norms (5 components)
+  }
+  const double tend = comm.barrier_max_time();
+
+  Result r;
+  r.benchmark = pseudo_name(app);
+  r.klass = klass;
+  r.procs = p;
+  r.vtime_seconds = (tend - tstart) * params.iters / sample;
+  r.total_mops = params.flops_per_point * n * n * n * params.iters / 1e6;
+  r.modeled = true;
+  return r;
+}
+
+}  // namespace ss::npb

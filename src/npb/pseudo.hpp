@@ -1,0 +1,58 @@
+// NPB pseudo-applications BT, SP and LU, reduced to their computational
+// skeletons.
+//
+// All three integrate the same class of 3-D implicit CFD systems; what
+// distinguishes them is the solver structure and therefore the
+// communication pattern and flop density:
+//   BT — block-tridiagonal ADI: heaviest flops/point, face exchanges per
+//        direction sweep;
+//   SP — scalar-pentadiagonal ADI: same sweeps, ~4x lighter per point
+//        (which is why SP is the most bandwidth-starved — Table 2 shows
+//        its 0.608 memory-scaling ratio);
+//   LU — SSOR with wavefront pipelining: lighter messages but one
+//        pipeline fill per sweep.
+//
+// The real mode runs a genuine ADI / SSOR solve of the 3-D heat equation
+// (tridiagonal Thomas solves per line; SSOR sweeps) at small grids and
+// verifies against physics (conservation + monotone decay). The modeled
+// mode reproduces the communication choreography at class C/D scale with
+// the per-point flop densities calibrated to the published NPB operation
+// counts.
+#pragma once
+
+#include <vector>
+
+#include "npb/classes.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::npb {
+
+enum class PseudoApp { BT, SP, LU };
+
+const char* pseudo_name(PseudoApp app);
+
+struct PseudoResult {
+  double initial_mean = 0.0;
+  double final_mean = 0.0;      ///< Conserved by the implicit scheme.
+  double initial_variance = 0.0;
+  double final_variance = 0.0;  ///< Strictly damped by diffusion.
+  Result perf;
+};
+
+/// Real serial run: ADI (BT/SP) or SSOR (LU) integration of the heat
+/// equation on the class grid. Classes S and W are practical.
+PseudoResult run_pseudo_serial(PseudoApp app, Class klass);
+
+/// Modeled parallel run. The cache_bonus models the Fig 5 LU feature: a
+/// per-rank working set that drops below the P4's 512 KB L2 earns the
+/// given speedup (1.0 disables).
+Result run_pseudo_modeled(ss::vmpi::Comm& comm, PseudoApp app, Class klass,
+                          double node_mops, double cache_bonus = 1.0);
+Result run_pseudo_modeled(ss::vmpi::Comm& comm, PseudoApp app, Class klass);
+
+/// Thomas algorithm: solve the tridiagonal system (a, b, c) x = d in
+/// place; d becomes x. All spans have length n; a[0] and c[n-1] ignored.
+void thomas_solve(std::vector<double>& a, std::vector<double>& b,
+                  std::vector<double>& c, std::vector<double>& d);
+
+}  // namespace ss::npb

@@ -1,0 +1,63 @@
+#include "simnet/fabric.hpp"
+
+#include <algorithm>
+
+#include "support/units.hpp"
+
+namespace ss::simnet {
+
+namespace u = support::units;
+
+Fabric::Fabric(Topology topo, LibraryProfile profile)
+    : topo_(std::move(topo)),
+      profile_(std::move(profile)),
+      buckets_(topo_.resource_slots()) {}
+
+double Fabric::arrival(int src, int dst, std::size_t bytes, double depart) {
+  // Self-sends cost only the software overhead (a memcpy in practice).
+  if (src == dst) {
+    return depart + profile_.per_message_s;
+  }
+
+  const double bits = static_cast<double>(bytes) * u::bits_per_byte;
+  double t = depart + profile_.latency_s + profile_.per_message_s +
+             static_cast<double>(bytes) * profile_.per_byte_extra_s;
+  if (profile_.rendezvous_threshold != 0 &&
+      bytes >= profile_.rendezvous_threshold) {
+    t += 2.0 * profile_.latency_s;
+  }
+
+  // Cut-through leaky-bucket approximation: every resource on the path is
+  // a drain of fixed capacity holding a backlog of queued bits. At the
+  // message's ready time the backlog accrued so far is drained at capacity
+  // rate, the message's bits join the queue, and the message clears the
+  // resource when the queue (including itself) drains. Uncontended
+  // transfers therefore see exactly their serialization time, concurrent
+  // bursts share each tier's capacity, and — unlike an absolute next-free
+  // reservation — a message stamped far in the virtual future cannot
+  // head-of-line-block messages that are later in send order but earlier
+  // in virtual time (rank clocks legitimately drift in vmpi runs).
+  const double ready = t;
+  double done = ready;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Resource& r : topo_.path(src, dst)) {
+    const std::size_t s = topo_.resource_slot(r);
+    const double capacity = topo_.capacity_bps(r);
+    Bucket& b = buckets_[s];
+    if (ready > b.last_time) {
+      b.backlog_bits = std::max(
+          0.0, b.backlog_bits - (ready - b.last_time) * capacity);
+      b.last_time = ready;
+    }
+    b.backlog_bits += bits;
+    done = std::max(done, ready + b.backlog_bits / capacity);
+  }
+  return done;
+}
+
+void Fabric::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), Bucket{});
+}
+
+}  // namespace ss::simnet

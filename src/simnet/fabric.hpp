@@ -1,0 +1,60 @@
+// Dynamic fabric model: converts individual message transmissions into
+// virtual-time arrival stamps, accounting for contention on shared
+// resources (ports, module backplanes, the inter-chassis trunk).
+//
+// Each shared resource is modeled as a leaky bucket of fixed payload
+// capacity: queued bits drain at the capacity rate, a message's bits join
+// the queue at its ready time, and the message arrives when the most
+// backlogged resource on its path drains past it (a cut-through
+// approximation). This yields the correct *aggregate* ceiling for each
+// tier (the phenomenon the paper measures in Sec 3.1) while remaining
+// cheap enough to stamp every message of a virtual-MPI run, and it is
+// robust to the out-of-virtual-time send order that per-rank clocks
+// produce.
+//
+// The software cost of the MPI library itself (latency, per-message
+// overhead, eager/rendezvous switch) comes from the LibraryProfile.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "simnet/profile.hpp"
+#include "simnet/topology.hpp"
+
+namespace ss::simnet {
+
+class Fabric {
+ public:
+  Fabric(Topology topo, LibraryProfile profile);
+
+  /// Compute the arrival time of a message sent at `depart` (virtual
+  /// seconds) from node src to node dst, updating the contention ledger.
+  /// Thread-safe.
+  double arrival(int src, int dst, std::size_t bytes, double depart);
+
+  /// Pure cost of an uncontended transfer (no ledger update).
+  double uncontended_seconds(std::size_t bytes) const {
+    return profile_.transfer_seconds(bytes);
+  }
+
+  const Topology& topology() const { return topo_; }
+  const LibraryProfile& profile() const { return profile_; }
+
+  /// Forget all recorded contention (e.g. between benchmark phases).
+  void reset();
+
+ private:
+  struct Bucket {
+    double backlog_bits = 0.0;
+    double last_time = 0.0;
+  };
+
+  Topology topo_;
+  LibraryProfile profile_;
+  std::mutex mu_;
+  std::vector<Bucket> buckets_;  ///< Per-resource queued-bits ledger.
+};
+
+}  // namespace ss::simnet

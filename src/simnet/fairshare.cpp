@@ -1,0 +1,89 @@
+#include "simnet/fairshare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ss::simnet {
+
+FairShareResult fair_share(const Topology& topo,
+                           const std::vector<Flow>& flows) {
+  FairShareResult result;
+  result.rate_bps.assign(flows.size(), 0.0);
+  if (flows.empty()) return result;
+
+  const std::size_t slots = topo.resource_slots();
+  std::vector<double> remaining(slots, 0.0);
+  std::vector<int> active_count(slots, 0);
+  std::vector<bool> slot_used(slots, false);
+
+  // Resource slots used by each flow.
+  std::vector<std::vector<std::size_t>> flow_slots(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (const Resource& r : topo.path(flows[f].src, flows[f].dst)) {
+      const std::size_t s = topo.resource_slot(r);
+      flow_slots[f].push_back(s);
+      if (!slot_used[s]) {
+        slot_used[s] = true;
+        remaining[s] = topo.capacity_bps(r);
+      }
+      ++active_count[s];
+    }
+  }
+
+  std::vector<bool> frozen(flows.size(), false);
+  std::vector<double> allocated(flows.size(), 0.0);
+  std::size_t unfrozen = flows.size();
+
+  while (unfrozen > 0) {
+    // Find the bottleneck: the resource with the smallest fair increment.
+    double best_inc = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (slot_used[s] && active_count[s] > 0) {
+        best_inc = std::min(best_inc, remaining[s] / active_count[s]);
+      }
+    }
+    if (!std::isfinite(best_inc)) break;
+
+    // Grant the increment to every unfrozen flow and drain resources.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      allocated[f] += best_inc;
+      for (std::size_t s : flow_slots[f]) remaining[s] -= best_inc;
+    }
+    // Freeze flows crossing a saturated resource.
+    constexpr double kEps = 1e-6;  // bit/s slack for float comparisons
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      bool saturated = false;
+      for (std::size_t s : flow_slots[f]) {
+        if (remaining[s] <= kEps) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) {
+        frozen[f] = true;
+        --unfrozen;
+        for (std::size_t s : flow_slots[f]) --active_count[s];
+      }
+    }
+  }
+
+  result.rate_bps = allocated;
+  result.min_bps = *std::min_element(allocated.begin(), allocated.end());
+  result.max_bps = *std::max_element(allocated.begin(), allocated.end());
+  for (double r : allocated) result.total_bps += r;
+  return result;
+}
+
+std::vector<Flow> hypercube_pairs(int nodes, int dim) {
+  std::vector<Flow> flows;
+  for (int i = 0; i < nodes; ++i) {
+    const int j = i ^ (1 << dim);
+    if (j < nodes) flows.push_back({i, j});  // each ordered pair once
+  }
+  return flows;
+}
+
+}  // namespace ss::simnet

@@ -1,0 +1,40 @@
+// Max-min fair bandwidth allocation over the switch topology.
+//
+// Given a set of simultaneous flows (src, dst), each flow's sustained rate
+// is determined by progressive filling: the most-congested resource (the
+// one whose capacity divided by its unfrozen flow count is smallest)
+// saturates first and freezes its flows at that fair share; the process
+// repeats on the residual network. This reproduces the switch behaviour
+// measured in Sec 3.1: sixteen concurrent streams from one module to
+// another share the ~6 Gbit/s module uplink, and any number of streams
+// crossing the chassis boundary share the trunk.
+#pragma once
+
+#include <vector>
+
+#include "simnet/topology.hpp"
+
+namespace ss::simnet {
+
+struct Flow {
+  int src = 0;
+  int dst = 0;
+};
+
+struct FairShareResult {
+  /// Sustained payload rate of each flow, bit/s, in input order.
+  std::vector<double> rate_bps;
+  double total_bps = 0.0;
+  double min_bps = 0.0;
+  double max_bps = 0.0;
+};
+
+FairShareResult fair_share(const Topology& topo, const std::vector<Flow>& flows);
+
+/// The hypercube-edge test of Sec 3.1: pair every node i with node
+/// i XOR 2^dim and run one flow per ordered pair (both directions), over
+/// the first `nodes` nodes. Returns the flow set (pairs where the partner
+/// is out of range are skipped).
+std::vector<Flow> hypercube_pairs(int nodes, int dim);
+
+}  // namespace ss::simnet

@@ -1,0 +1,55 @@
+#include "simnet/profile.hpp"
+
+#include <array>
+
+#include "support/units.hpp"
+
+namespace ss::simnet {
+
+namespace u = support::units;
+
+double LibraryProfile::transfer_seconds(std::size_t bytes) const {
+  double t = latency_s + per_message_s +
+             static_cast<double>(bytes) *
+                 (u::bits_per_byte / bandwidth_bps + per_byte_extra_s);
+  if (rendezvous_threshold != 0 && bytes >= rendezvous_threshold) {
+    // Rendezvous handshake: one additional round trip of control traffic.
+    t += 2.0 * latency_s;
+  }
+  return t;
+}
+
+double LibraryProfile::netpipe_mbits(std::size_t bytes) const {
+  return static_cast<double>(bytes) * u::bits_per_byte /
+         transfer_seconds(bytes) / u::Mbit;
+}
+
+namespace {
+
+// Calibration targets from the paper (Sec 3.1 / Fig 2):
+//   latency: TCP 79 us, LAM 83 us, mpich-1.2.5 and mpich2-0.92 87 us;
+//   large-message plateau: TCP 779 Mbit/s; mpich2 and LAM -O close behind;
+//   mpich-1.2.5 visibly lower for large messages (extra buffer copy);
+//   LAM without -O pays a per-byte heterogeneity check.
+const std::array<LibraryProfile, 5> kProfiles = {{
+    {"tcp", 79e-6, 0.0, 779 * u::Mbit, 0.0, 0},
+    {"lam-6.5.9 -O", 83e-6, 1.5e-6, 762 * u::Mbit, 0.0, 65536},
+    // Plain LAM's heterogeneity handling costs ~1.3 ns/byte -> ~680 Mbit/s.
+    {"lam-6.5.9", 83e-6, 1.5e-6, 762 * u::Mbit, 1.3e-9, 65536},
+    {"mpich2-0.92", 87e-6, 2.0e-6, 748 * u::Mbit, 0.0, 131072},
+    // mpich-1.2.5's extra large-message copy costs ~3.6 ns/byte -> ~560
+    // Mbit/s plateau, the visible Fig 2 gap that mpich2 closed.
+    {"mpich-1.2.5", 87e-6, 2.0e-6, 748 * u::Mbit, 3.6e-9, 131072},
+}};
+
+}  // namespace
+
+const LibraryProfile& tcp() { return kProfiles[0]; }
+const LibraryProfile& lam_homogeneous() { return kProfiles[1]; }
+const LibraryProfile& lam() { return kProfiles[2]; }
+const LibraryProfile& mpich2_092() { return kProfiles[3]; }
+const LibraryProfile& mpich_125() { return kProfiles[4]; }
+
+std::span<const LibraryProfile> all_profiles() { return kProfiles; }
+
+}  // namespace ss::simnet

@@ -1,0 +1,49 @@
+// Message-passing library performance profiles (paper Fig 2).
+//
+// The paper measures NetPIPE bandwidth-vs-message-size curves on the
+// Space Simulator's 3c996B-T gigabit NICs for plain TCP and four MPI
+// libraries. Each curve is characterized by a small-message latency, a
+// per-message software overhead, a large-message bandwidth plateau, and —
+// for mpich-1.2.5 — an extra per-byte copy cost that depresses the
+// large-message plateau (the defect fixed by mpich2, visible in Fig 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace ss::simnet {
+
+struct LibraryProfile {
+  std::string name;
+  double latency_s = 0.0;        ///< One-way small-message latency (s).
+  double per_message_s = 0.0;    ///< Extra software cost per message (s).
+  double bandwidth_bps = 0.0;    ///< Large-message payload plateau (bit/s).
+  double per_byte_extra_s = 0.0; ///< Extra cost per byte (memory copies).
+  /// Message size at which the library switches from eager to rendezvous
+  /// protocol, paying one extra round trip. 0 disables.
+  std::size_t rendezvous_threshold = 0;
+
+  /// One-way transfer time of a `bytes`-byte message.
+  double transfer_seconds(std::size_t bytes) const;
+
+  /// NetPIPE-style throughput for a message size: payload bits divided by
+  /// the one-way transfer time (NetPIPE reports half the round trip).
+  double netpipe_mbits(std::size_t bytes) const;
+};
+
+/// The five curves of Fig 2, calibrated to the paper's quoted numbers:
+/// TCP peaks at 779 Mbit/s with 79 us latency; LAM at 83 us; mpich-1.2.5
+/// and mpich2-0.92 at 87 us; mpich-1.2.5 loses ~25% of bandwidth on large
+/// messages; "LAM -O" (homogeneous mode) removes LAM's datatype-conversion
+/// per-byte cost.
+const LibraryProfile& tcp();
+const LibraryProfile& lam();
+const LibraryProfile& lam_homogeneous();
+const LibraryProfile& mpich_125();
+const LibraryProfile& mpich2_092();
+
+/// All profiles in presentation order for the Fig 2 sweep.
+std::span<const LibraryProfile> all_profiles();
+
+}  // namespace ss::simnet

@@ -1,0 +1,79 @@
+#include "simnet/topology.hpp"
+
+#include <stdexcept>
+
+namespace ss::simnet {
+
+Topology::Topology(TopologyConfig cfg) : cfg_(cfg) {
+  if (cfg_.nodes <= 0 || cfg_.ports_per_module <= 0) {
+    throw std::invalid_argument("Topology: nodes and ports must be positive");
+  }
+  if (cfg_.chassis0_ports % cfg_.ports_per_module != 0) {
+    throw std::invalid_argument(
+        "Topology: chassis0_ports must be a whole number of modules");
+  }
+  modules_ = (cfg_.nodes + cfg_.ports_per_module - 1) / cfg_.ports_per_module;
+  chassis0_modules_ = cfg_.chassis0_ports / cfg_.ports_per_module;
+}
+
+int Topology::module_of(int node) const { return node / cfg_.ports_per_module; }
+
+int Topology::chassis_of(int node) const {
+  return node < cfg_.chassis0_ports ? 0 : 1;
+}
+
+std::vector<Resource> Topology::path(int src, int dst) const {
+  std::vector<Resource> out;
+  out.push_back({Resource::Kind::node_tx, src});
+  const int ms = module_of(src), md = module_of(dst);
+  if (ms != md) {
+    out.push_back({Resource::Kind::module_up, ms});
+    if (chassis_of(src) != chassis_of(dst)) {
+      out.push_back({Resource::Kind::trunk, 0});
+    }
+    out.push_back({Resource::Kind::module_down, md});
+  }
+  out.push_back({Resource::Kind::node_rx, dst});
+  return out;
+}
+
+double Topology::capacity_bps(const Resource& r) const {
+  switch (r.kind) {
+    case Resource::Kind::node_tx:
+    case Resource::Kind::node_rx:
+      return cfg_.port_bps;
+    case Resource::Kind::module_up:
+    case Resource::Kind::module_down:
+      return cfg_.module_bps;
+    case Resource::Kind::trunk:
+      return cfg_.trunk_bps;
+  }
+  return 0.0;
+}
+
+std::size_t Topology::resource_slot(const Resource& r) const {
+  const auto n = static_cast<std::size_t>(cfg_.nodes);
+  const auto m = static_cast<std::size_t>(modules_);
+  switch (r.kind) {
+    case Resource::Kind::node_tx:
+      return static_cast<std::size_t>(r.index);
+    case Resource::Kind::node_rx:
+      return n + static_cast<std::size_t>(r.index);
+    case Resource::Kind::module_up:
+      return 2 * n + static_cast<std::size_t>(r.index);
+    case Resource::Kind::module_down:
+      return 2 * n + m + static_cast<std::size_t>(r.index);
+    case Resource::Kind::trunk:
+      return 2 * n + 2 * m;
+  }
+  return 0;
+}
+
+std::size_t Topology::resource_slots() const {
+  return 2 * static_cast<std::size_t>(cfg_.nodes) +
+         2 * static_cast<std::size_t>(modules_) + 1;
+}
+
+Topology space_simulator_topology() { return Topology{TopologyConfig{}}; }
+
+}  // namespace ss::simnet

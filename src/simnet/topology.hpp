@@ -1,0 +1,77 @@
+// Topology of the Space Simulator's Gigabit Ethernet fabric.
+//
+// The cluster's 294 nodes connect to two trunked Foundry switches:
+// a FastIron 1500 carrying 224 ports (fourteen 16-port modules) and a
+// FastIron 800 carrying the remaining 70 (five modules, partially filled).
+// Within a module messages are non-blocking; the capacity from one module
+// to another is 8 Gbit/s of raw backplane (about 6 Gbit/s of delivered TCP
+// payload, per the paper's 16x16 measurement), and the two chassis are
+// joined by a fiber trunk with the same 8 Gbit/s raw capacity. These three
+// capacity tiers — port, module uplink, trunk — are the shared resources
+// of the fair-share and fabric models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ss::simnet {
+
+/// Identifier of a shared capacity resource inside the fabric.
+struct Resource {
+  enum class Kind { node_tx, node_rx, module_up, module_down, trunk };
+  Kind kind;
+  int index = 0;  ///< node id, global module id, or 0 for the trunk
+
+  friend bool operator==(const Resource&, const Resource&) = default;
+};
+
+struct TopologyConfig {
+  int nodes = 294;
+  int ports_per_module = 16;
+  /// Ports on the first chassis (FastIron 1500); the rest are on the
+  /// second chassis (FastIron 800).
+  int chassis0_ports = 224;
+  /// Delivered payload capacity of one port (TCP-level ceiling).
+  double port_bps = 779e6;
+  /// Delivered payload capacity of a module's backplane connection.
+  /// 8 Gbit/s raw; the paper measures ~6000 Mbit/s of payload for 16
+  /// concurrent cross-module streams.
+  double module_bps = 6.2e9;
+  /// Delivered payload capacity of the inter-chassis trunk (8 Gbit/s raw).
+  double trunk_bps = 6.2e9;
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig cfg = {});
+
+  int nodes() const { return cfg_.nodes; }
+  int modules() const { return modules_; }
+  const TopologyConfig& config() const { return cfg_; }
+
+  int module_of(int node) const;
+  int chassis_of(int node) const;
+
+  /// Ordered list of shared resources a single message from src to dst
+  /// traverses. Same-module traffic touches only the two ports; crossing a
+  /// module boundary adds both modules' backplane connections; crossing
+  /// the chassis boundary additionally adds the trunk.
+  std::vector<Resource> path(int src, int dst) const;
+
+  double capacity_bps(const Resource& r) const;
+
+  /// Stable dense index for a resource (for ledger arrays).
+  std::size_t resource_slot(const Resource& r) const;
+  std::size_t resource_slots() const;
+
+ private:
+  TopologyConfig cfg_;
+  int modules_ = 0;
+  int chassis0_modules_ = 0;
+};
+
+/// The Space Simulator fabric as built (294 nodes).
+Topology space_simulator_topology();
+
+}  // namespace ss::simnet

@@ -1,0 +1,87 @@
+#include "sph/collapse.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ss::sph {
+
+std::vector<Particle> rotating_core(const CollapseConfig& cfg,
+                                    support::Rng& rng) {
+  std::vector<Particle> out;
+  out.reserve(static_cast<std::size_t>(cfg.particles));
+  const double m = cfg.total_mass / cfg.particles;
+  // Keplerian rate at the surface of a uniform sphere: sqrt(GM/R^3).
+  const double omega =
+      cfg.omega_fraction *
+      std::sqrt(cfg.total_mass / std::pow(cfg.radius, 3.0));
+  // Thermal energy: |W| of a uniform sphere is (3/5) GM^2/R; specific u.
+  const double u0 = cfg.thermal_fraction * 0.6 * cfg.total_mass /
+                    cfg.radius;
+
+  for (int i = 0; i < cfg.particles; ++i) {
+    double ux, uy, uz;
+    rng.unit_vector(ux, uy, uz);
+    const double r = cfg.radius * std::cbrt(rng.uniform());
+    Particle p;
+    p.pos = {r * ux, r * uy, r * uz};
+    // Solid-body rotation about z: v = Omega x r.
+    p.vel = {-omega * p.pos.y, omega * p.pos.x, 0.0};
+    p.mass = m;
+    p.u = u0;
+    p.h = cfg.radius * std::cbrt(40.0 / cfg.particles);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<AngularBin> angular_momentum_profile(
+    const std::vector<Particle>& particles, int bins) {
+  std::vector<AngularBin> out(static_cast<std::size_t>(bins));
+  const double half_pi = 0.5 * std::numbers::pi;
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<std::size_t>(b)].theta_center =
+        (b + 0.5) * half_pi / bins;
+  }
+  for (const auto& p : particles) {
+    const double r = p.pos.norm();
+    if (r <= 0.0) continue;
+    // Polar angle from the rotation (z) axis, folded into [0, pi/2].
+    const double theta = std::acos(std::min(1.0, std::abs(p.pos.z) / r));
+    int b = static_cast<int>(theta / half_pi * bins);
+    b = std::min(b, bins - 1);
+    const double jz = p.pos.x * p.vel.y - p.pos.y * p.vel.x;
+    out[static_cast<std::size_t>(b)].specific_j += p.mass * std::abs(jz);
+    out[static_cast<std::size_t>(b)].mass += p.mass;
+  }
+  for (auto& b : out) {
+    if (b.mass > 0.0) b.specific_j /= b.mass;
+  }
+  return out;
+}
+
+double equator_to_pole_ratio(const std::vector<Particle>& particles,
+                             double cone_degrees) {
+  const double cone = cone_degrees * std::numbers::pi / 180.0;
+  double j_pole = 0.0, m_pole = 0.0, j_eq = 0.0, m_eq = 0.0;
+  for (const auto& p : particles) {
+    const double r = p.pos.norm();
+    if (r <= 0.0) continue;
+    const double theta = std::acos(std::min(1.0, std::abs(p.pos.z) / r));
+    const double jz =
+        std::abs(p.pos.x * p.vel.y - p.pos.y * p.vel.x);
+    if (theta < cone) {
+      j_pole += p.mass * jz;
+      m_pole += p.mass;
+    } else if (theta > 0.5 * std::numbers::pi - cone) {
+      j_eq += p.mass * jz;
+      m_eq += p.mass;
+    }
+  }
+  if (m_pole <= 0.0 || m_eq <= 0.0) return 0.0;
+  const double jp = j_pole / m_pole;
+  const double je = j_eq / m_eq;
+  if (jp <= 0.0) return je > 0.0 ? 1e30 : 1.0;  // 1: no rotation anywhere
+  return je / jp;
+}
+
+}  // namespace ss::sph

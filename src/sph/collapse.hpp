@@ -1,0 +1,51 @@
+// Rotating core-collapse setup and the Fig 8 analysis.
+//
+// Paper Sec 4.4 / Fig 8: a rotating massive-star core collapses; 40 ms
+// after bounce the specific angular momentum is concentrated along the
+// equator — the material within a 15-degree cone about the poles carries
+// two orders of magnitude less specific angular momentum than the
+// equatorial belt. The cause is elementary and survives resolution
+// reduction: solid-body rotation gives j = Omega * r^2 sin^2(theta), and
+// near-cylindrical j conservation during collapse preserves the contrast.
+#pragma once
+
+#include <vector>
+
+#include "sph/sph.hpp"
+#include "support/rng.hpp"
+
+namespace ss::sph {
+
+struct CollapseConfig {
+  int particles = 3000;
+  double total_mass = 1.0;
+  double radius = 1.0;
+  /// Solid-body angular velocity about z (fraction of the Keplerian rate
+  /// at the surface; 0 disables rotation).
+  double omega_fraction = 0.2;
+  /// Initial thermal energy as a fraction of |potential| (< 0.5 for
+  /// collapse).
+  double thermal_fraction = 0.05;
+  std::uint64_t seed = 7;
+};
+
+/// Uniform-density rotating sphere in the collapse units (G = 1).
+std::vector<Particle> rotating_core(const CollapseConfig& cfg,
+                                    support::Rng& rng);
+
+/// Specific angular momentum (z component about the origin) binned by
+/// polar angle theta in [0, pi/2] (mirrored hemispheres combined).
+struct AngularBin {
+  double theta_center = 0.0;  ///< Radians from the pole.
+  double specific_j = 0.0;    ///< Mass-weighted mean |j_z|.
+  double mass = 0.0;
+};
+std::vector<AngularBin> angular_momentum_profile(
+    const std::vector<Particle>& particles, int bins = 9);
+
+/// Fig 8's headline number: mean specific angular momentum outside the
+/// given polar cone divided by the mean inside it.
+double equator_to_pole_ratio(const std::vector<Particle>& particles,
+                             double cone_degrees = 15.0);
+
+}  // namespace ss::sph

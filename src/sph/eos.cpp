@@ -1,0 +1,51 @@
+#include "sph/eos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss::sph {
+
+EosResult eos_gamma_law(double rho, double u, double gamma) {
+  EosResult r;
+  r.pressure = std::max(0.0, (gamma - 1.0) * rho * u);
+  r.sound_speed = std::sqrt(std::max(0.0, gamma * (gamma - 1.0) * u));
+  return r;
+}
+
+EosResult StiffenedEos::operator()(double rho, double u) const {
+  // Cold curve: continuous at rho_nuc.
+  double p_cold, dpdrho_cold;
+  if (rho <= rho_nuc) {
+    p_cold = kappa * std::pow(rho, gamma_soft);
+    dpdrho_cold = kappa * gamma_soft * std::pow(rho, gamma_soft - 1.0);
+  } else {
+    const double p_nuc = kappa * std::pow(rho_nuc, gamma_soft);
+    const double k_stiff = p_nuc / std::pow(rho_nuc, gamma_stiff);
+    p_cold = k_stiff * std::pow(rho, gamma_stiff);
+    dpdrho_cold = k_stiff * gamma_stiff * std::pow(rho, gamma_stiff - 1.0);
+  }
+  // Thermal part: gamma_th = 1.5.
+  constexpr double gamma_th = 1.5;
+  const double p_th = (gamma_th - 1.0) * rho * std::max(u, 0.0);
+
+  EosResult r;
+  r.pressure = p_cold + p_th;
+  const double cs2 =
+      dpdrho_cold + gamma_th * (gamma_th - 1.0) * std::max(u, 0.0);
+  r.sound_speed = std::sqrt(std::max(cs2, 0.0));
+  return r;
+}
+
+StiffenedEos make_collapse_eos(double mass, double radius,
+                               double pressure_deficit, double rho_nuc) {
+  StiffenedEos eos;
+  eos.rho_nuc = rho_nuc;
+  // A gamma = 4/3 polytrope of mass M, radius R requires central
+  // K ~ 0.36 G M^{2/3} (standard Lane-Emden n=3 result, order unity
+  // coefficient). Scale by the deficit to trigger collapse.
+  eos.kappa = pressure_deficit * 0.36 * std::pow(mass, 2.0 / 3.0);
+  (void)radius;  // the n=3 polytrope's K is radius independent
+  return eos;
+}
+
+}  // namespace ss::sph

@@ -1,0 +1,41 @@
+// Equations of state for the core-collapse application (paper Sec 4.4:
+// "the complex description of pressure forces for matter at nuclear
+// densities").
+//
+// The stiffened model captures the bounce physics: a soft gamma ~ 4/3
+// (relativistic electron gas) branch below nuclear density and a stiff
+// gamma ~ 2.5 branch above it, joined continuously — collapse proceeds
+// until the core exceeds rho_nuc, the stiff branch halts it, and the
+// bounce launches the shock.
+#pragma once
+
+namespace ss::sph {
+
+struct EosResult {
+  double pressure = 0.0;
+  double sound_speed = 0.0;
+};
+
+/// Ideal gamma-law gas: P = (gamma - 1) rho u.
+EosResult eos_gamma_law(double rho, double u, double gamma = 5.0 / 3.0);
+
+struct StiffenedEos {
+  double gamma_soft = 4.0 / 3.0;
+  double gamma_stiff = 2.5;
+  double rho_nuc = 100.0;  ///< Code units (initial mean density = ~0.24).
+  double kappa = 0.0;      ///< Soft-branch polytropic constant.
+
+  /// Polytropic pressure with thermal correction: the cold curve
+  /// P_cold(rho) switches branch at rho_nuc continuously; the thermal
+  /// part (gamma_th - 1) rho u rides on top.
+  EosResult operator()(double rho, double u) const;
+};
+
+/// A stiffened EOS whose soft branch supports a polytrope of mass M and
+/// radius R in the paper-style units (G = 1) when scaled by `pressure_deficit`
+/// (< 1 removes support and triggers collapse).
+StiffenedEos make_collapse_eos(double mass, double radius,
+                               double pressure_deficit = 0.9,
+                               double rho_nuc = 100.0);
+
+}  // namespace ss::sph

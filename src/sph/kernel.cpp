@@ -1,0 +1,35 @@
+#include "sph/kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ss::sph {
+
+namespace {
+// Normalization for 3-D: sigma = 1 / (pi h^3).
+double sigma(double h) { return 1.0 / (std::numbers::pi * h * h * h); }
+}  // namespace
+
+double kernel(double r, double h) {
+  const double q = r / h;
+  if (q >= 2.0) return 0.0;
+  const double s = sigma(h);
+  if (q < 1.0) {
+    return s * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+  }
+  const double t = 2.0 - q;
+  return s * 0.25 * t * t * t;
+}
+
+double kernel_grad(double r, double h) {
+  const double q = r / h;
+  if (q >= 2.0) return 0.0;
+  const double s = sigma(h) / h;
+  if (q < 1.0) {
+    return s * (-3.0 * q + 2.25 * q * q);
+  }
+  const double t = 2.0 - q;
+  return s * (-0.75 * t * t);
+}
+
+}  // namespace ss::sph

@@ -1,0 +1,21 @@
+// The cubic-spline smoothing kernel (Monaghan & Lattanzio 1985) used by
+// the SPH formalism the paper implements "onto the tree structure
+// described above for N-body studies" (Sec 4.4).
+#pragma once
+
+#include "support/vec3.hpp"
+
+namespace ss::sph {
+
+/// W(r, h): 3-D cubic spline with compact support 2h, normalized so that
+/// the volume integral is 1.
+double kernel(double r, double h);
+
+/// dW/dr (scalar radial derivative; the vector gradient is
+/// grad W = (dW/dr) * (r_vec / r)).
+double kernel_grad(double r, double h);
+
+/// Support radius: the kernel vanishes beyond this.
+inline double kernel_support(double h) { return 2.0 * h; }
+
+}  // namespace ss::sph

@@ -1,0 +1,43 @@
+// Distributed SPH over vmpi (paper Sec 4.4: the supernova code ran on
+// 128-256 cluster processors by "implementing the SPH formalism onto the
+// tree structure described above").
+//
+// Per step:
+//  1. Particles are routed to ranks by the Morton-curve decomposition
+//     (the same machinery as the gravity code).
+//  2. Every rank broadcasts its bounding box; particles whose kernel
+//     support reaches a peer's box are replicated there as ghosts.
+//  3. Each rank runs the serial SPH pipeline over locals + ghosts with a
+//     globally agreed (allreduce-min CFL) timestep and keeps the local
+//     results; ghosts are discarded and re-exchanged next step.
+//
+// Self-gravity uses the same local+ghost tree (adequate when the gas
+// cloud spans a few smoothing lengths per domain, as in the collapse
+// problem); the flux-limited diffusion term is supported through the same
+// union evaluation, with cross-rank pair conservation accurate to the
+// ghost-update discard (disable cfg.fld for exact conservation studies).
+#pragma once
+
+#include <vector>
+
+#include "sph/sph.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::sph {
+
+struct ParallelSphStats {
+  std::size_t local_particles = 0;
+  std::size_t ghosts_received = 0;
+  StepDiagnostics diag;
+};
+
+/// One distributed SPH step. `local` is this rank's share (any initial
+/// distribution); the return value is the new share after decomposition
+/// and integration. All ranks must pass the same `cfg` and `eos`.
+std::vector<Particle> parallel_sph_step(ss::vmpi::Comm& comm,
+                                        std::vector<Particle> local,
+                                        const EosFunc& eos,
+                                        const SphConfig& cfg,
+                                        ParallelSphStats* stats = nullptr);
+
+}  // namespace ss::sph

@@ -1,0 +1,225 @@
+#include "sph/sph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gravity/kernels.hpp"
+#include "hot/tree.hpp"
+#include "sph/kernel.hpp"
+
+namespace ss::sph {
+
+SphSim::SphSim(std::vector<Particle> particles, EosFunc eos, SphConfig cfg)
+    : particles_(std::move(particles)), eos_(std::move(eos)), cfg_(cfg) {
+  update_density();
+}
+
+void SphSim::update_density() {
+  find_pairs();
+}
+
+void SphSim::find_pairs() {
+  const auto n = particles_.size();
+  // Tree over the particles for range queries and gravity.
+  std::vector<hot::Source> sources(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sources[i] = {particles_[i].pos, particles_[i].mass};
+  }
+  hot::Tree tree(sources, hot::TreeConfig{16});
+  // Map tree (sorted) index back to particle index.
+  const auto& perm = tree.original_index();
+
+  // Smoothing-length iteration: nudge h toward the target neighbor count.
+  for (std::size_t i = 0; i < n; ++i) {
+    Particle& p = particles_[i];
+    for (int pass = 0; pass < 3; ++pass) {
+      const auto found =
+          tree.neighbors_within(p.pos, kernel_support(p.h));
+      const auto count = static_cast<double>(found.size());
+      if (count >= 0.75 * cfg_.target_neighbors &&
+          count <= 1.5 * cfg_.target_neighbors) {
+        break;
+      }
+      const double ratio = std::max(count, 1.0) / cfg_.target_neighbors;
+      p.h = std::clamp(p.h * std::pow(ratio, -1.0 / 3.0), 1e-6, 10.0);
+    }
+  }
+
+  // Gather-scatter symmetric pair list (i < j) with h_ij = (h_i + h_j)/2.
+  pairs_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Particle& pi = particles_[i];
+    // Search with the maximum plausible pair support.
+    const auto found = tree.neighbors_within(pi.pos, 2.0 * kernel_support(pi.h));
+    for (auto t : found) {
+      const std::size_t j = perm[t];
+      if (j <= i) continue;
+      const Particle& pj = particles_[j];
+      const double hij = 0.5 * (pi.h + pj.h);
+      const double r = (pi.pos - pj.pos).norm();
+      if (r >= kernel_support(hij)) continue;
+      pairs_.push_back({static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(j), r,
+                        kernel_grad(r, hij)});
+    }
+  }
+
+  // Density summation (self term + pairs).
+  for (auto& p : particles_) {
+    p.rho = p.mass * kernel(0.0, p.h);
+  }
+  for (const Pair& pr : pairs_) {
+    const double hij =
+        0.5 * (particles_[pr.i].h + particles_[pr.j].h);
+    const double w = kernel(pr.distance, hij);
+    particles_[pr.i].rho += particles_[pr.j].mass * w;
+    particles_[pr.j].rho += particles_[pr.i].mass * w;
+  }
+  for (auto& p : particles_) {
+    const auto r = eos_(p.rho, p.u);
+    p.pressure = r.pressure;
+    p.cs = r.sound_speed;
+  }
+}
+
+std::vector<Vec3> SphSim::accelerations(std::vector<double>& du_dt) const {
+  const auto n = particles_.size();
+  std::vector<Vec3> acc(n);
+  du_dt.assign(n, 0.0);
+
+  for (const Pair& pr : pairs_) {
+    const Particle& a = particles_[pr.i];
+    const Particle& b = particles_[pr.j];
+    if (pr.distance <= 0.0) continue;
+    const Vec3 dx = a.pos - b.pos;
+    const Vec3 dv = a.vel - b.vel;
+    const Vec3 grad = (pr.grad_w / pr.distance) * dx;  // grad_a W_ab
+
+    // Monaghan artificial viscosity.
+    double visc = 0.0;
+    const double vdotr = dv.dot(dx);
+    if (vdotr < 0.0) {
+      const double hij = 0.5 * (a.h + b.h);
+      const double mu = hij * vdotr /
+                        (pr.distance * pr.distance + 0.01 * hij * hij);
+      const double rho_ij = 0.5 * (a.rho + b.rho);
+      const double cs_ij = 0.5 * (a.cs + b.cs);
+      visc = (-cfg_.alpha_visc * cs_ij * mu + cfg_.beta_visc * mu * mu) /
+             rho_ij;
+    }
+
+    const double pa = a.pressure / (a.rho * a.rho);
+    const double pb = b.pressure / (b.rho * b.rho);
+    const Vec3 f = (pa + pb + visc) * grad;
+    acc[pr.i] -= b.mass * f;
+    acc[pr.j] += a.mass * f;
+
+    // Energy equation: du/dt = (P/rho^2 + visc/2) (v_ab . grad W).
+    const double dvgw = dv.dot(grad);
+    du_dt[pr.i] += b.mass * (pa + 0.5 * visc) * dvgw;
+    du_dt[pr.j] += a.mass * (pb + 0.5 * visc) * dvgw;
+  }
+
+  if (cfg_.self_gravity) {
+    std::vector<hot::Source> sources(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sources[i] = {particles_[i].pos, particles_[i].mass};
+    }
+    hot::Tree tree(sources, hot::TreeConfig{16});
+    const double eps2 = cfg_.eps_grav * cfg_.eps_grav;
+    double pot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto g = tree.accelerate(particles_[i].pos, cfg_.theta, eps2);
+      acc[i] += g.a;
+      pot += 0.5 * particles_[i].mass * g.phi;
+    }
+    potential_ = pot;
+  }
+  return acc;
+}
+
+double SphSim::cfl_dt() const {
+  double dt = 1e30;
+  for (const auto& p : particles_) {
+    const double v = p.vel.norm();
+    dt = std::min(dt, cfg_.cfl * p.h / (p.cs + v + 1e-30));
+  }
+  return dt;
+}
+
+StepDiagnostics SphSim::step() { return step(cfl_dt()); }
+
+StepDiagnostics SphSim::step(double dt_fixed) {
+  StepDiagnostics diag;
+  const double dt = dt_fixed;
+  diag.dt = dt;
+
+  std::vector<double> du;
+  auto acc = accelerations(du);
+
+  // KDK.
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_[i].vel += 0.5 * dt * acc[i];
+    particles_[i].u = std::max(0.0, particles_[i].u + 0.5 * dt * du[i]);
+    particles_[i].pos += dt * particles_[i].vel;
+  }
+  update_density();
+  acc = accelerations(du);
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_[i].vel += 0.5 * dt * acc[i];
+    particles_[i].u = std::max(0.0, particles_[i].u + 0.5 * dt * du[i]);
+  }
+
+  // Operator-split neutrino transport.
+  if (cfg_.fld.emissivity > 0.0 || cfg_.fld.opacity > 0.0) {
+    const auto n = particles_.size();
+    std::vector<FldPair> fpairs(pairs_.size());
+    for (std::size_t k = 0; k < pairs_.size(); ++k) {
+      fpairs[k] = {pairs_[k].i, pairs_[k].j, pairs_[k].distance,
+                   pairs_[k].grad_w};
+    }
+    std::vector<double> mass(n), rho(n), e_nu(n), u(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mass[i] = particles_[i].mass;
+      rho[i] = particles_[i].rho;
+      e_nu[i] = particles_[i].e_nu;
+      u[i] = particles_[i].u;
+    }
+    diag.fld = fld_step(fpairs, mass, rho, e_nu, u, dt, cfg_.fld);
+    for (std::size_t i = 0; i < n; ++i) {
+      particles_[i].e_nu = e_nu[i];
+      particles_[i].u = u[i];
+    }
+  }
+
+  for (const auto& p : particles_) diag.max_rho = std::max(diag.max_rho, p.rho);
+  diag.pair_count = pairs_.size();
+  time_ += dt;
+  return diag;
+}
+
+void SphSim::run(int n) {
+  for (int i = 0; i < n; ++i) (void)step();
+}
+
+Vec3 SphSim::total_momentum() const {
+  Vec3 p;
+  for (const auto& x : particles_) p += x.mass * x.vel;
+  return p;
+}
+
+Vec3 SphSim::total_angular_momentum() const {
+  Vec3 l;
+  for (const auto& x : particles_) l += x.mass * x.pos.cross(x.vel);
+  return l;
+}
+
+double SphSim::total_energy() const {
+  double e = potential_;
+  for (const auto& x : particles_) {
+    e += 0.5 * x.mass * x.vel.norm2() + x.mass * (x.u + x.e_nu);
+  }
+  return e;
+}
+
+}  // namespace ss::sph

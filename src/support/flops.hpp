@@ -1,0 +1,37 @@
+// Floating-point operation accounting.
+//
+// The treecode and kernels charge their flop counts here so that the
+// performance model can convert algorithmic work into virtual time for a
+// given processor profile, exactly as the paper reports "Mflops/proc" for
+// its standard N-body problem (Table 6).
+#pragma once
+
+#include <cstdint>
+
+namespace ss::support {
+
+/// Per-thread flop counter. Cheap enough to charge in inner loops when
+/// compiled out; the treecode charges per-interaction constants instead of
+/// per-operation increments.
+class FlopCounter {
+ public:
+  void charge(std::uint64_t flops) { total_ += flops; }
+  std::uint64_t total() const { return total_; }
+  void reset() { total_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+/// Flop cost constants for the gravity inner loop, following the
+/// conventional Warren & Salmon accounting (38 flops per particle-particle
+/// interaction including the reciprocal square root).
+namespace flop_cost {
+inline constexpr std::uint64_t pp_interaction = 38;
+/// Particle-cell interaction through quadrupole order.
+inline constexpr std::uint64_t pc_quadrupole = 70;
+/// SPH pairwise kernel + momentum/energy contribution.
+inline constexpr std::uint64_t sph_pair = 90;
+}  // namespace flop_cost
+
+}  // namespace ss::support

@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation for reproducible runs.
+//
+// All stochastic components of the library (initial-condition generators,
+// reliability Monte Carlo, NPB/EP workloads, sample sort splitters) draw
+// from these generators so that a given seed reproduces a run bit-for-bit
+// on any platform.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+
+namespace ss::support {
+
+/// SplitMix64: used to seed larger-state generators and as a cheap
+/// stateless hash of integer sequences.
+struct SplitMix64 {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** by Blackman & Vigna: the library's workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling (biased < 2^-64).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Standard normal deviate (Box-Muller, cached second value).
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Exponential deviate with the given rate (events per unit time).
+  double exponential(double rate) {
+    double u = 0.0;
+    while (u == 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson deviate; uses inversion for small mean, normal approx for large.
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double l = std::exp(-mean);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double v = std::round(normal(mean, std::sqrt(mean)));
+    return v < 0.0 ? 0 : static_cast<std::uint64_t>(v);
+  }
+
+  /// Isotropic random unit vector.
+  void unit_vector(double& x, double& y, double& z) {
+    const double ct = uniform(-1.0, 1.0);
+    const double st = std::sqrt(1.0 - ct * ct);
+    const double phi = uniform(0.0, 2.0 * std::numbers::pi);
+    x = st * std::cos(phi);
+    y = st * std::sin(phi);
+    z = ct;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace ss::support

@@ -1,0 +1,66 @@
+// Streaming statistics and small numeric helpers used by benchmarks and
+// diagnostics throughout the library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ss::support {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample (copies the data).
+/// q in [0, 1]; empty input returns 0.
+double percentile(std::span<const double> xs, double q);
+
+/// Least-squares fit y = a + b x; returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Histogram with fixed uniform bins over [lo, hi); out-of-range samples
+/// are clamped into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace ss::support

@@ -1,0 +1,77 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ss::support {
+
+void Table::header(std::vector<std::string> names) { header_ = std::move(names); }
+
+void Table::row(std::vector<std::string> cells) {
+  cells.resize(header_.empty() ? cells.size() : header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::fixed(double v, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << v;
+  return ss.str();
+}
+
+std::string Table::with_ratio(double v, double reference, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << v << "("
+     << std::setprecision(decimals + 1) << (reference != 0.0 ? v / reference : 0.0)
+     << ")";
+  return ss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << c << std::string(widths[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace ss::support

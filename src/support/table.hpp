@@ -1,0 +1,46 @@
+// Plain-text table formatting for benchmark output. Every bench binary
+// prints "paper vs model/measured" tables through this formatter so the
+// output of the reproduction harness is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ss::support {
+
+/// Column-aligned text table. Numeric cells are formatted by the caller;
+/// the table only handles layout.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before rows are added.
+  void header(std::vector<std::string> names);
+
+  /// Append one row; pads or truncates to the header width.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Format with a fixed number of digits after the decimal point.
+  static std::string fixed(double v, int decimals = 2);
+  /// Format "measured (ratio-to-reference)" in the style of the paper's
+  /// Table 2, e.g. "761.8(0.63)".
+  static std::string with_ratio(double v, double reference, int decimals = 1);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with box-drawing separators to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace ss::support

@@ -1,0 +1,25 @@
+// Wall-clock timing for host-measured benchmarks (STREAM, gravity kernel,
+// mini-HPL). Virtual-time measurements use vmpi::VirtualClock instead.
+#pragma once
+
+#include <chrono>
+
+namespace ss::support {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ss::support

@@ -1,0 +1,30 @@
+// Unit constants used across the performance and network models.
+// The network models follow the networking convention: 1 Mbit = 1e6 bits.
+#pragma once
+
+namespace ss::support::units {
+
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double tera = 1e12;
+
+/// Bits per second helpers (decimal, as used for link speeds).
+inline constexpr double Mbit = 1e6;   // bits
+inline constexpr double Gbit = 1e9;   // bits
+
+/// Bytes (binary prefixes for memory, decimal for disk/throughput where the
+/// paper uses decimal).
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+inline constexpr double TB = 1e12;
+
+inline constexpr double microsecond = 1e-6;
+inline constexpr double millisecond = 1e-3;
+
+inline constexpr double bits_per_byte = 8.0;
+
+}  // namespace ss::support::units

@@ -1,0 +1,45 @@
+// Minimal 3-vector used by the N-body, SPH and cosmology modules.
+#pragma once
+
+#include <cmath>
+
+namespace ss::support {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+}  // namespace ss::support

@@ -1,0 +1,187 @@
+#include "vmpi/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace ss::vmpi {
+
+int Comm::size() const { return rt_->nranks_; }
+
+void Comm::compute_work(std::uint64_t flops, std::uint64_t bytes) {
+  vtime_ += rt_->model_->compute_seconds(flops, bytes);
+}
+
+int Comm::coll_tag() {
+  const int tag = detail::kCollectiveTagBase +
+                  (coll_seq_ % detail::kCollectiveTagSpan);
+  ++coll_seq_;
+  return tag;
+}
+
+void Comm::send_bytes(int dst, int tag, std::span<const std::byte> bytes) {
+  if (dst < 0 || dst >= rt_->nranks_) {
+    throw std::out_of_range("vmpi send: bad destination rank");
+  }
+  rt_->deliver(rank_, dst, tag, bytes, vtime_, bytes.size());
+}
+
+void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
+  if (dst < 0 || dst >= rt_->nranks_) {
+    throw std::out_of_range("vmpi send: bad destination rank");
+  }
+  rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes);
+}
+
+Message Comm::recv_msg(int src, int tag) {
+  Message m = rt_->wait_match(rank_, src, tag);
+  vtime_ = std::max(vtime_, m.arrival);
+  return m;
+}
+
+std::optional<Message> Comm::try_recv(int src, int tag) {
+  auto m = rt_->poll_match(rank_, src, tag);
+  if (m) vtime_ = std::max(vtime_, m->arrival);
+  return m;
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: ceil(log2 p) rounds of shifted exchanges.
+  const int p = size();
+  const int tag = coll_tag();
+  const std::byte token{0};
+  for (int step = 1; step < p; step <<= 1) {
+    send_bytes((rank_ + step) % p, tag, {&token, 1});
+    (void)recv_msg((rank_ - step + p) % p, tag);
+  }
+}
+
+double Comm::barrier_max_time() {
+  const double t = allreduce_max(vtime_);
+  vtime_ = t;
+  return t;
+}
+
+double Comm::allreduce_max(double v) {
+  return allreduce_value(v, [](double a, double b) { return std::max(a, b); });
+}
+
+double Comm::allreduce_sum(double v) {
+  return allreduce_value(v, [](double a, double b) { return a + b; });
+}
+
+std::uint64_t Comm::allreduce_sum_u64(std::uint64_t v) {
+  return allreduce_value(
+      v, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+Runtime::Runtime(int nranks, std::shared_ptr<TimeModel> model)
+    : nranks_(nranks), model_(std::move(model)) {
+  if (nranks_ <= 0) throw std::invalid_argument("vmpi: nranks must be > 0");
+  boxes_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Runtime::run(const std::function<void(Comm&)>& body) {
+  aborted_.store(false);
+  messages_sent_.store(0);
+  bytes_sent_.store(0);
+  for (auto& b : boxes_) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->queue.clear();
+  }
+
+  std::vector<double> final_time(static_cast<std::size_t>(nranks_), 0.0);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        body(comm);
+      } catch (const Aborted&) {
+        // Teardown in progress; nothing more to record.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        aborted_.store(true);
+        for (auto& b : boxes_) b->cv.notify_all();
+      }
+      final_time[static_cast<std::size_t>(r)] = comm.time();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  elapsed_vtime_ = *std::max_element(final_time.begin(), final_time.end());
+}
+
+void Runtime::deliver(int src, int dst, int tag,
+                      std::span<const std::byte> bytes, double depart,
+                      std::size_t modeled_bytes) {
+  Message m;
+  m.src = src;
+  m.tag = tag;
+  m.data.assign(bytes.begin(), bytes.end());
+  m.arrival = model_->arrival(src, dst, modeled_bytes, depart);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(modeled_bytes, std::memory_order_relaxed);
+
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(m));
+  }
+  box.cv.notify_all();
+}
+
+bool Runtime::matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+
+Message Runtime::wait_match(int self, int src, int tag) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, src, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    if (aborted_.load()) throw Aborted{};
+    box.cv.wait(lock, [&] {
+      if (aborted_.load()) return true;
+      for (const auto& m : box.queue) {
+        if (matches(m, src, tag)) return true;
+      }
+      return false;
+    });
+    if (aborted_.load()) throw Aborted{};
+  }
+}
+
+std::optional<Message> Runtime::poll_match(int self, int src, int tag) {
+  if (aborted_.load()) throw Aborted{};
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ss::vmpi

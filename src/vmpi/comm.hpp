@@ -1,0 +1,248 @@
+// vmpi: a virtual MPI.
+//
+// An SPMD message-passing runtime whose ranks are threads of one process
+// and whose clock is virtual. The API follows the MPI idiom (buffered
+// sends, blocking and polling receives matched on (source, tag),
+// collectives built from point-to-point trees) so that the treecode, the
+// NPB kernels and the parallel LU factorization exercise the same
+// communication structure they would on the real cluster; time comes from
+// a TimeModel instead of a wall clock, so a 256-"processor" run executes
+// on a single core and reports the virtual time the modeled cluster would
+// have taken.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "vmpi/timemodel.hpp"
+
+namespace ss::vmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Thrown inside rank bodies when another rank failed and the run is being
+/// torn down; the runtime swallows it during unwinding.
+struct Aborted : std::runtime_error {
+  Aborted() : std::runtime_error("vmpi run aborted") {}
+};
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  double arrival = 0.0;  ///< Virtual arrival time at the destination.
+  std::vector<std::byte> data;
+
+  template <typename T>
+  std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (data.size() % sizeof(T) != 0) {
+      throw std::runtime_error("vmpi: message size not a multiple of type");
+    }
+    std::vector<T> out(data.size() / sizeof(T));
+    std::memcpy(out.data(), data.data(), data.size());
+    return out;
+  }
+};
+
+class Runtime;
+
+/// Per-rank communicator handle. Only the owning rank thread may use it.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Current virtual time of this rank.
+  double time() const { return vtime_; }
+
+  /// Advance this rank's virtual clock by a compute phase.
+  void compute(double seconds) { vtime_ += seconds; }
+  /// Roofline-charged compute phase: flops executed, bytes touched.
+  void compute_work(std::uint64_t flops, std::uint64_t bytes);
+
+  // -- point to point ------------------------------------------------------
+
+  /// Buffered, non-blocking send (never deadlocks; MPI_Bsend semantics).
+  void send_bytes(int dst, int tag, std::span<const std::byte> bytes);
+
+  /// Send an empty token whose *cost* is that of a `modeled_bytes`-byte
+  /// message. Used by the benchmark kernels to reproduce the wire traffic
+  /// of problem sizes too large to materialize (the payload itself is
+  /// irrelevant to the experiment).
+  void send_placeholder(int dst, int tag, std::size_t modeled_bytes);
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               {reinterpret_cast<const std::byte*>(items.data()),
+                items.size() * sizeof(T)});
+  }
+
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    send<T>(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  /// Blocking receive matched on (src, tag); kAnySource/kAnyTag wildcard.
+  Message recv_msg(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe-and-receive.
+  std::optional<Message> try_recv(int src = kAnySource, int tag = kAnyTag);
+
+  template <typename T>
+  std::vector<T> recv(int src, int tag) {
+    return recv_msg(src, tag).as<T>();
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) {
+    auto v = recv<T>(src, tag);
+    if (v.size() != 1) throw std::runtime_error("vmpi: expected one value");
+    return v[0];
+  }
+
+  // -- collectives (see comm_collectives.inl for templates) ----------------
+
+  void barrier();
+
+  template <typename T>
+  void bcast(std::vector<T>& data, int root);
+  template <typename T>
+  T bcast_value(T v, int root);
+
+  /// Element-wise reduction to root with the given associative op.
+  template <typename T, typename Op>
+  std::vector<T> reduce(std::span<const T> local, Op op, int root);
+  template <typename T, typename Op>
+  std::vector<T> allreduce(std::span<const T> local, Op op);
+  template <typename T, typename Op>
+  T allreduce_value(T v, Op op);
+  double allreduce_max(double v);
+  double allreduce_sum(double v);
+  std::uint64_t allreduce_sum_u64(std::uint64_t v);
+
+  /// Inclusive prefix reduction.
+  template <typename T, typename Op>
+  T scan(T v, Op op);
+
+  template <typename T>
+  std::vector<T> gather(std::span<const T> local, int root);
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> local);
+  template <typename T>
+  std::vector<T> allgather_value(const T& v);
+
+  /// Personalized all-to-all: `per_dest[d]` goes to rank d; the result
+  /// concatenates the blocks received from ranks 0..P-1 in rank order.
+  template <typename T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& per_dest);
+
+  /// Combined send+receive with distinct partners (MPI_Sendrecv): always
+  /// deadlock-free here thanks to buffered sends, provided the partners'
+  /// calls pair up.
+  template <typename T>
+  std::vector<T> sendrecv(int dst, std::span<const T> send_items, int src) {
+    const int tag = coll_tag();
+    send<T>(dst, tag, send_items);
+    return recv_msg(src, tag).template as<T>();
+  }
+
+  /// Element-wise reduce followed by scattering equal blocks: rank r gets
+  /// elements [r*n, (r+1)*n) of the reduction, n = local.size() / size().
+  template <typename T, typename Op>
+  std::vector<T> reduce_scatter_block(std::span<const T> local, Op op) {
+    if (local.size() % static_cast<std::size_t>(size()) != 0) {
+      throw std::invalid_argument(
+          "reduce_scatter_block: length must divide by ranks");
+    }
+    auto full = allreduce(local, op);
+    const std::size_t n = local.size() / static_cast<std::size_t>(size());
+    const std::size_t off = n * static_cast<std::size_t>(rank());
+    return {full.begin() + static_cast<std::ptrdiff_t>(off),
+            full.begin() + static_cast<std::ptrdiff_t>(off + n)};
+  }
+
+  /// Synchronize virtual clocks to the global maximum (implicit in every
+  /// barrier; exposed for timing sections).
+  double barrier_max_time();
+
+  /// Fresh tag from the reserved collective namespace. Ranks calling in
+  /// the same order get matching tags — useful for hand-rolled collective
+  /// patterns outside this class.
+  int fresh_tag() { return coll_tag(); }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime& rt, int rank) : rt_(&rt), rank_(rank) {}
+
+  int coll_tag();  ///< Fresh tag from the reserved collective namespace.
+
+  Runtime* rt_;
+  int rank_;
+  double vtime_ = 0.0;
+  int coll_seq_ = 0;
+};
+
+/// Owns the rank threads and mailboxes for one SPMD execution.
+class Runtime {
+ public:
+  explicit Runtime(int nranks,
+                   std::shared_ptr<TimeModel> model =
+                       std::make_shared<ZeroTimeModel>());
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Run `body` on every rank; returns when all ranks finish. Rethrows the
+  /// first rank exception after tearing the run down.
+  void run(const std::function<void(Comm&)>& body);
+
+  int size() const { return nranks_; }
+  TimeModel& model() { return *model_; }
+
+  /// Maximum final virtual time over ranks from the last run().
+  double elapsed_vtime() const { return elapsed_vtime_; }
+  /// Total messages / payload bytes moved during the last run().
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int src, int dst, int tag, std::span<const std::byte> bytes,
+               double depart, std::size_t modeled_bytes);
+  Message wait_match(int self, int src, int tag);
+  std::optional<Message> poll_match(int self, int src, int tag);
+  static bool matches(const Message& m, int src, int tag);
+
+  int nranks_;
+  std::shared_ptr<TimeModel> model_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  double elapsed_vtime_ = 0.0;
+};
+
+}  // namespace ss::vmpi
+
+#include "vmpi/comm_collectives.inl"

@@ -1,0 +1,197 @@
+// Template collectives for vmpi::Comm. Algorithms mirror the classical
+// MPICH/LAM implementations (binomial trees, recursive doubling where the
+// rank count allows, rings and pairwise exchanges elsewhere) so that their
+// virtual-time cost has the right log/linear structure.
+#pragma once
+
+#include <bit>
+
+namespace ss::vmpi {
+
+namespace detail {
+
+/// Tags >= kCollectiveTagBase are reserved for collectives; application
+/// point-to-point traffic must use smaller tags.
+inline constexpr int kCollectiveTagBase = 1 << 24;
+inline constexpr int kCollectiveTagSpan = 1 << 20;
+
+}  // namespace detail
+
+template <typename T>
+void Comm::bcast(std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int tag = coll_tag();
+  if (p == 1) return;
+  // Binomial tree rooted at `root`: relative rank rel = (rank - root) mod p.
+  // A node receives from rel - mask where mask is its lowest set bit, then
+  // forwards to rel + m for every m below that bit (classic MPICH scheme).
+  const int rel = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((rel & mask) != 0) {
+      const int parent = ((rel - mask) + root) % p;
+      data = recv_msg(parent, tag).template as<T>();
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const int child = ((rel + mask) + root) % p;
+      send<T>(child, tag, std::span<const T>(data.data(), data.size()));
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+T Comm::bcast_value(T v, int root) {
+  std::vector<T> data{v};
+  bcast(data, root);
+  return data.at(0);
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::reduce(std::span<const T> local, Op op, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int tag = coll_tag();
+  std::vector<T> acc(local.begin(), local.end());
+  if (p == 1) return acc;
+  // Binomial tree combine toward root (relative rank 0).
+  const int rel = (rank_ - root + p) % p;
+  for (int step = 1; step < p; step <<= 1) {
+    if ((rel & step) != 0) {
+      const int parent = ((rel - step) + root) % p;
+      send<T>(parent, tag, std::span<const T>(acc.data(), acc.size()));
+      return {};  // non-roots return empty
+    }
+    if (rel + step < p) {
+      const int child = ((rel + step) + root) % p;
+      auto got = recv_msg(child, tag).template as<T>();
+      if (got.size() != acc.size()) {
+        throw std::runtime_error("vmpi reduce: length mismatch");
+      }
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = op(acc[i], got[i]);
+      }
+    }
+  }
+  return acc;
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::allreduce(std::span<const T> local, Op op) {
+  std::vector<T> result = reduce(local, op, 0);
+  if (rank_ != 0) result.resize(local.size());
+  bcast(result, 0);
+  return result;
+}
+
+template <typename T, typename Op>
+T Comm::allreduce_value(T v, Op op) {
+  auto r = allreduce(std::span<const T>(&v, 1), op);
+  return r.at(0);
+}
+
+template <typename T, typename Op>
+T Comm::scan(T v, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int tag = coll_tag();
+  // Hillis-Steele inclusive scan: log p rounds.
+  T acc = v;
+  for (int step = 1; step < p; step <<= 1) {
+    if (rank_ + step < p) send_value<T>(rank_ + step, tag, acc);
+    if (rank_ - step >= 0) {
+      T in = recv_value<T>(rank_ - step, tag);
+      acc = op(in, acc);
+    }
+  }
+  return acc;
+}
+
+template <typename T>
+std::vector<T> Comm::gather(std::span<const T> local, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int tag = coll_tag();
+  if (rank_ != root) {
+    send<T>(root, tag, local);
+    return {};
+  }
+  std::vector<T> out;
+  for (int r = 0; r < p; ++r) {
+    if (r == root) {
+      out.insert(out.end(), local.begin(), local.end());
+    } else {
+      auto part = recv_msg(r, tag).template as<T>();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather(std::span<const T> local) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int tag = coll_tag();
+  if (p == 1) return {local.begin(), local.end()};
+  // Ring allgather: p-1 steps, each rank forwards the block it just
+  // received. Blocks may have differing sizes (allgatherv semantics), so
+  // every block is sent with its origin encoded by arrival order.
+  std::vector<std::vector<T>> blocks(p);
+  blocks[rank_].assign(local.begin(), local.end());
+  const int next = (rank_ + 1) % p;
+  const int prev = (rank_ - 1 + p) % p;
+  int have = rank_;  // block we most recently obtained
+  for (int step = 0; step < p - 1; ++step) {
+    send<T>(next, tag,
+            std::span<const T>(blocks[have].data(), blocks[have].size()));
+    const int incoming = (prev - step + p) % p;
+    blocks[incoming] = recv_msg(prev, tag).template as<T>();
+    have = incoming;
+  }
+  std::vector<T> out;
+  for (int r = 0; r < p; ++r) {
+    out.insert(out.end(), blocks[r].begin(), blocks[r].end());
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather_value(const T& v) {
+  return allgather(std::span<const T>(&v, 1));
+}
+
+template <typename T>
+std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& per_dest) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (static_cast<int>(per_dest.size()) != p) {
+    throw std::runtime_error("vmpi alltoallv: need one block per rank");
+  }
+  const int tag = coll_tag();
+  std::vector<std::vector<T>> received(p);
+  received[rank_] = per_dest[rank_];
+  // Pairwise exchange: at step k talk to rank^k (power of two) or the
+  // rotated partner otherwise.
+  const bool pow2 = std::has_single_bit(static_cast<unsigned>(p));
+  for (int k = 1; k < p; ++k) {
+    const int sendto = pow2 ? (rank_ ^ k) : (rank_ + k) % p;
+    const int recvfrom = pow2 ? (rank_ ^ k) : (rank_ - k + p) % p;
+    send<T>(sendto, tag,
+            std::span<const T>(per_dest[sendto].data(), per_dest[sendto].size()));
+    received[recvfrom] = recv_msg(recvfrom, tag).template as<T>();
+  }
+  std::vector<T> out;
+  for (int r = 0; r < p; ++r) {
+    out.insert(out.end(), received[r].begin(), received[r].end());
+  }
+  return out;
+}
+
+}  // namespace ss::vmpi

@@ -1,0 +1,33 @@
+#include "vmpi/timemodel.hpp"
+
+namespace ss::vmpi {
+
+ClusterTimeModel::ClusterTimeModel(simnet::Topology topo,
+                                   simnet::LibraryProfile profile,
+                                   double flops_per_second,
+                                   double bytes_per_second)
+    : fabric_(std::move(topo), std::move(profile)),
+      flops_per_second_(flops_per_second),
+      bytes_per_second_(bytes_per_second) {}
+
+double ClusterTimeModel::arrival(int src, int dst, std::size_t bytes,
+                                 double depart) {
+  return fabric_.arrival(src, dst, bytes, depart);
+}
+
+double ClusterTimeModel::compute_seconds(std::uint64_t flops,
+                                         std::uint64_t bytes) const {
+  const double tf = static_cast<double>(flops) / flops_per_second_;
+  const double tb = static_cast<double>(bytes) / bytes_per_second_;
+  return std::max(tf, tb);
+}
+
+std::shared_ptr<ClusterTimeModel> make_space_simulator_model(
+    const simnet::LibraryProfile& profile, double flops_per_second,
+    double bytes_per_second) {
+  return std::make_shared<ClusterTimeModel>(simnet::space_simulator_topology(),
+                                            profile, flops_per_second,
+                                            bytes_per_second);
+}
+
+}  // namespace ss::vmpi

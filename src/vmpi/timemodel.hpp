@@ -1,0 +1,76 @@
+// Time models for the virtual-MPI runtime.
+//
+// Every rank of a vmpi program carries a virtual clock. Compute phases
+// advance it through a roofline node model (flops vs bytes touched);
+// messages advance the receiver's clock to the arrival time computed by a
+// TimeModel. Correctness tests use ZeroTimeModel (all costs zero);
+// reproduction benchmarks use ClusterTimeModel, which wires in the
+// simnet::Fabric of the Space Simulator and a per-node compute rate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "simnet/fabric.hpp"
+
+namespace ss::vmpi {
+
+class TimeModel {
+ public:
+  virtual ~TimeModel() = default;
+
+  /// Virtual arrival time of a message (may update contention state).
+  virtual double arrival(int src, int dst, std::size_t bytes,
+                         double depart) = 0;
+
+  /// Seconds of compute for a phase executing `flops` floating point
+  /// operations while touching `bytes` of memory (roofline: the slower of
+  /// the two pipes dominates).
+  virtual double compute_seconds(std::uint64_t flops,
+                                 std::uint64_t bytes) const = 0;
+};
+
+/// All operations are free; virtual time never advances. For unit tests
+/// where only message *content* matters.
+class ZeroTimeModel final : public TimeModel {
+ public:
+  double arrival(int, int, std::size_t, double depart) override {
+    return depart;
+  }
+  double compute_seconds(std::uint64_t, std::uint64_t) const override {
+    return 0.0;
+  }
+};
+
+/// Space-Simulator-like cluster: network costs from a simnet::Fabric,
+/// compute costs from a flop rate and a memory bandwidth.
+class ClusterTimeModel final : public TimeModel {
+ public:
+  /// Defaults: 3c996B NICs through the Foundry fabric with LAM 6.5.9 -O,
+  /// a P4/2.53 node sustaining ~650 Mflop/s on compiled F77/C loops and
+  /// ~1.2 GB/s of STREAM bandwidth (paper Table 2).
+  ClusterTimeModel(simnet::Topology topo, simnet::LibraryProfile profile,
+                   double flops_per_second = 650e6,
+                   double bytes_per_second = 1.2e9);
+
+  double arrival(int src, int dst, std::size_t bytes, double depart) override;
+  double compute_seconds(std::uint64_t flops,
+                         std::uint64_t bytes) const override;
+
+  simnet::Fabric& fabric() { return fabric_; }
+  double flops_per_second() const { return flops_per_second_; }
+  double bytes_per_second() const { return bytes_per_second_; }
+
+ private:
+  simnet::Fabric fabric_;
+  double flops_per_second_;
+  double bytes_per_second_;
+};
+
+/// Convenience: the as-built Space Simulator with the given MPI library.
+std::shared_ptr<ClusterTimeModel> make_space_simulator_model(
+    const simnet::LibraryProfile& profile, double flops_per_second = 650e6,
+    double bytes_per_second = 1.2e9);
+
+}  // namespace ss::vmpi

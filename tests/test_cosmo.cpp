@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmo/cosmology.hpp"
+#include "cosmo/measure.hpp"
+#include "cosmo/power.hpp"
+#include "cosmo/sim.hpp"
+#include "cosmo/zeldovich.hpp"
+
+namespace {
+
+using namespace ss::cosmo;
+
+// --- background -----------------------------------------------------------
+
+TEST(Cosmology, EdsExactRelations) {
+  const auto c = einstein_de_sitter();
+  EXPECT_DOUBLE_EQ(c.hubble(1.0), 1.0);
+  EXPECT_NEAR(c.hubble(0.25), 8.0, 1e-12);  // a^{-3/2}
+  EXPECT_DOUBLE_EQ(c.growth(0.5), 0.5);     // D = a
+  EXPECT_DOUBLE_EQ(c.growth_rate(0.3), 1.0);
+  // t = (2/3) a^{3/2} / H0.
+  EXPECT_NEAR(c.time_of(1.0), 2.0 / 3.0, 1e-4);
+  EXPECT_NEAR(c.time_of(0.25), 2.0 / 3.0 * 0.125, 1e-4);
+}
+
+TEST(Cosmology, LcdmSanity) {
+  const auto c = lcdm_2003();
+  EXPECT_NEAR(c.hubble(1.0), 1.0, 1e-12);
+  // High-z limit is matter dominated: H ~ sqrt(0.3) a^{-3/2}.
+  EXPECT_NEAR(c.hubble(0.01), std::sqrt(0.3) * 1e3, 2.0);
+  // Growth is suppressed relative to EdS at late times.
+  EXPECT_DOUBLE_EQ(c.growth(1.0), 1.0);
+  EXPECT_GT(c.growth(0.5), 0.5);  // normalized D(a)/D(1) > a under Lambda
+  // Growth rate ~ omega_m(a)^0.55 at a=1: ~0.51.
+  EXPECT_NEAR(c.growth_rate(1.0), std::pow(0.3, 0.55), 0.05);
+}
+
+TEST(Cosmology, MeanDensityClosesEds) {
+  // rho_mean = omega_m * 3/(8 pi): with G=H0=1 the EdS universe closes.
+  EXPECT_NEAR(einstein_de_sitter().mean_density(), 3.0 / (8.0 * M_PI),
+              1e-15);
+}
+
+// --- power spectrum ---------------------------------------------------------
+
+TEST(Power, BbksLimits) {
+  EXPECT_NEAR(PowerSpectrum::transfer_bbks(1e-6), 1.0, 1e-4);  // large scale
+  EXPECT_LT(PowerSpectrum::transfer_bbks(10.0), 0.01);         // small scale
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (double q : {0.01, 0.1, 1.0, 10.0}) {
+    const double t = PowerSpectrum::transfer_bbks(q);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Power, NormalizationHitsSigma8) {
+  PowerSpectrum p;
+  p.sigma8 = 0.9;
+  p.normalize();
+  EXPECT_NEAR(p.sigma_tophat(8.0), 0.9, 1e-3);
+  // Hierarchy: more power in smaller spheres.
+  EXPECT_GT(p.sigma_tophat(1.0), p.sigma_tophat(8.0));
+  EXPECT_GT(p.sigma_tophat(8.0), p.sigma_tophat(32.0));
+}
+
+// --- Zel'dovich ICs -----------------------------------------------------------
+
+TEST(Zeldovich, RealizedSpectrumMatchesInput) {
+  PowerSpectrum p;
+  p.normalize();
+  ZeldovichConfig cfg;
+  cfg.grid = 32;
+  cfg.a_start = 0.05;
+  const auto ics = zeldovich_ics(einstein_de_sitter(), p, cfg);
+  ASSERT_EQ(ics.bodies.size(), 32u * 32u * 32u);
+
+  // Measure P(k) of the realization and compare to D^2(a) P_input at a few
+  // linear bins (cosmic variance limits the precision; bins hold >= 100
+  // modes from bin 3 up).
+  const auto bins = power_spectrum(ics.bodies, 32);
+  const double d2 = cfg.a_start * cfg.a_start;  // EdS growth squared
+  int checked = 0;
+  for (const auto& b : bins) {
+    if (b.modes < 200 || b.k_code == 0.0) continue;
+    const double k_hmpc = b.k_code / p.box_mpch;
+    const double want = d2 * p(k_hmpc) / std::pow(p.box_mpch, 3.0);
+    if (want <= 0.0) continue;
+    EXPECT_NEAR(b.power / want, 1.0, 0.5) << "k=" << b.k_code;
+    ++checked;
+    if (checked >= 5) break;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(Zeldovich, DisplacementsAreSmallAtEarlyTimes) {
+  PowerSpectrum p;
+  p.normalize();
+  ZeldovichConfig cfg;
+  cfg.grid = 16;
+  cfg.a_start = 0.02;
+  const auto ics = zeldovich_ics(einstein_de_sitter(), p, cfg);
+  // Bodies stay near their lattice sites: the rms displacement is well
+  // under a cell.
+  const double cell = 1.0 / 16.0;
+  int far = 0;
+  for (std::size_t i = 0; i < ics.bodies.size(); ++i) {
+    const int gi = static_cast<int>(i / (16 * 16));
+    const int gj = static_cast<int>((i / 16) % 16);
+    const int gk = static_cast<int>(i % 16);
+    ss::support::Vec3 q{(gi + 0.5) * cell, (gj + 0.5) * cell,
+                        (gk + 0.5) * cell};
+    auto d = ics.bodies[i].pos - q;
+    // Periodic wrap of the difference.
+    for (double* c : {&d.x, &d.y, &d.z}) {
+      if (*c > 0.5) *c -= 1.0;
+      if (*c < -0.5) *c += 1.0;
+    }
+    if (d.norm() > cell) ++far;
+  }
+  EXPECT_LT(far, static_cast<int>(ics.bodies.size() / 20));
+}
+
+TEST(Zeldovich, MassAddsToMeanDensity) {
+  PowerSpectrum p;
+  p.normalize();
+  const auto ics = zeldovich_ics(einstein_de_sitter(), p,
+                                 {.grid = 8, .a_start = 0.1, .seed = 9});
+  double mass = 0.0;
+  for (const auto& b : ics.bodies) mass += b.mass;
+  EXPECT_NEAR(mass, einstein_de_sitter().mean_density(), 1e-12);
+}
+
+// --- measurement ---------------------------------------------------------------
+
+TEST(Measure, UniformLatticeHasNoPower) {
+  std::vector<ss::nbody::Body> bodies;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        ss::nbody::Body b;
+        b.pos = {(i + 0.5) / n, (j + 0.5) / n, (k + 0.5) / n};
+        b.mass = 1.0;
+        bodies.push_back(b);
+      }
+    }
+  }
+  EXPECT_NEAR(sigma_delta(bodies, n), 0.0, 1e-12);
+  for (const auto& bin : power_spectrum(bodies, n)) {
+    EXPECT_NEAR(bin.power, 0.0, 1e-12);
+  }
+}
+
+TEST(Measure, CicConservesMass) {
+  ss::support::Rng rng(3);
+  std::vector<ss::nbody::Body> bodies;
+  for (int i = 0; i < 500; ++i) {
+    ss::nbody::Body b;
+    b.pos = {rng.uniform(), rng.uniform(), rng.uniform()};
+    b.mass = rng.uniform(0.5, 1.5);
+    bodies.push_back(b);
+  }
+  const auto delta = cic_density(bodies, 16);
+  double mean = 0.0;
+  for (double v : delta) mean += v;
+  EXPECT_NEAR(mean / static_cast<double>(delta.size()), 0.0, 1e-12);
+}
+
+// --- evolution --------------------------------------------------------------------
+
+TEST(CosmoSim, LinearGrowthMatchesTheoryPm) {
+  // Evolve Zel'dovich ICs with the PM engine through the linear regime:
+  // sigma_delta must grow by the linear growth ratio.
+  PowerSpectrum p;
+  p.sigma8 = 0.7;  // keep everything linear
+  p.normalize();
+  ZeldovichConfig cfg;
+  cfg.grid = 16;
+  cfg.a_start = 0.05;
+  auto ics = zeldovich_ics(einstein_de_sitter(), p, cfg);
+
+  const double s0 = sigma_delta(ics.bodies, 16);
+  CosmoSim sim(einstein_de_sitter(), ics.bodies, ics.a,
+               {.engine = ForceEngine::pm, .pm_grid = 32});
+  sim.evolve_to(0.15, 40);
+  const double s1 = sigma_delta(sim.bodies(), 16);
+  // EdS: D grows by 3.0 from a=0.05 to 0.15.
+  EXPECT_NEAR(s1 / s0, 3.0, 0.45);
+}
+
+TEST(CosmoSim, TreeEngineAgreesWithPmInLinearRegime) {
+  PowerSpectrum p;
+  p.sigma8 = 0.7;
+  p.normalize();
+  ZeldovichConfig cfg;
+  cfg.grid = 8;
+  cfg.a_start = 0.05;
+  auto ics = zeldovich_ics(einstein_de_sitter(), p, cfg);
+
+  CosmoSim pm(einstein_de_sitter(), ics.bodies, ics.a,
+              {.engine = ForceEngine::pm, .pm_grid = 16});
+  CosmoSim tree(einstein_de_sitter(), ics.bodies, ics.a,
+                {.engine = ForceEngine::tree, .theta = 0.5, .eps = 0.01});
+  pm.evolve_to(0.1, 10);
+  tree.evolve_to(0.1, 10);
+  const double s_pm = sigma_delta(pm.bodies(), 8);
+  const double s_tree = sigma_delta(tree.bodies(), 8);
+  EXPECT_NEAR(s_tree / s_pm, 1.0, 0.25);
+  EXPECT_GT(tree.tree_flops(), 0u);
+}
+
+TEST(CosmoSim, PositionsStayInBox) {
+  PowerSpectrum p;
+  p.normalize();
+  auto ics = zeldovich_ics(einstein_de_sitter(), p,
+                           {.grid = 8, .a_start = 0.05, .seed = 5});
+  CosmoSim sim(einstein_de_sitter(), ics.bodies, ics.a,
+               {.engine = ForceEngine::pm, .pm_grid = 16});
+  sim.evolve_to(0.3, 25);
+  for (const auto& b : sim.bodies()) {
+    EXPECT_GE(b.pos.x, 0.0);
+    EXPECT_LT(b.pos.x, 1.0);
+    EXPECT_GE(b.pos.z, 0.0);
+    EXPECT_LT(b.pos.z, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(sim.a(), 0.3);
+}
+
+TEST(CosmoSim, ClusteringGrowsIntoNonlinear) {
+  PowerSpectrum p;
+  p.sigma8 = 1.2;
+  p.normalize();
+  auto ics = zeldovich_ics(einstein_de_sitter(), p,
+                           {.grid = 16, .a_start = 0.05, .seed = 11});
+  CosmoSim sim(einstein_de_sitter(), ics.bodies, ics.a,
+               {.engine = ForceEngine::pm, .pm_grid = 32});
+  const double s0 = sigma_delta(sim.bodies(), 16);
+  sim.evolve_to(0.5, 60);
+  const double s1 = sigma_delta(sim.bodies(), 16);
+  EXPECT_GT(s1, 3.0 * s0);  // structure formed
+}
+
+}  // namespace

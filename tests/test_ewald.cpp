@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmo/ewald.hpp"
+#include "cosmo/measure.hpp"
+#include "cosmo/power.hpp"
+#include "cosmo/sim.hpp"
+#include "cosmo/zeldovich.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::cosmo;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+TEST(Ewald, AlphaIndependence) {
+  // The split between real and reciprocal sums is arbitrary: the total
+  // must not depend on alpha. This is the canonical correctness check.
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec3 d{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                 rng.uniform(-0.5, 0.5)};
+    if (d.norm() < 0.05) continue;
+    const auto f2 = ewald_force(d, {.alpha = 2.0, .real_cut = 4, .k_cut = 7});
+    const auto f3 = ewald_force(d, {.alpha = 2.8, .real_cut = 4, .k_cut = 9});
+    EXPECT_LT((f2 - f3).norm(), 1e-5 * (f2.norm() + 1e-3))
+        << d.x << " " << d.y << " " << d.z;
+  }
+}
+
+TEST(Ewald, SymmetryZeros) {
+  // By symmetry the periodic force vanishes at the half-box points.
+  for (const Vec3 d : {Vec3{0.5, 0.0, 0.0}, Vec3{0.5, 0.5, 0.0},
+                       Vec3{0.5, 0.5, 0.5}}) {
+    EXPECT_LT(ewald_force(d).norm(), 1e-8) << d.x << d.y << d.z;
+  }
+}
+
+TEST(Ewald, NewtonianNearField) {
+  // Close to the mass the periodic force approaches -d/r^3.
+  for (double r : {0.01, 0.03, 0.06}) {
+    const Vec3 d{r, 0.0, 0.0};
+    const auto f = ewald_force(d);
+    const double newton = -1.0 / (r * r);
+    EXPECT_NEAR(f.x / newton, 1.0, 0.03) << r;
+    EXPECT_NEAR(f.y, 0.0, 1e-8);
+  }
+}
+
+TEST(Ewald, OddParity) {
+  const Vec3 d{0.21, -0.13, 0.34};
+  const auto fp = ewald_force(d);
+  const auto fm = ewald_force(-1.0 * d);
+  EXPECT_LT((fp + fm).norm(), 1e-9);
+}
+
+TEST(Ewald, CorrectionTableMatchesExact) {
+  const EwaldCorrection corr(16);
+  Rng rng(2);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Vec3 d{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                 rng.uniform(-0.5, 0.5)};
+    const Vec3 want = ewald_force(d) - nearest_images_force(d);
+    const Vec3 got = corr(d);
+    // The correction field is smooth; trilinear interpolation on a 16-grid
+    // is good to ~1% of its typical magnitude (~ a few).
+    EXPECT_LT((got - want).norm(), 0.08) << d.x << " " << d.y << " " << d.z;
+  }
+}
+
+TEST(Ewald, CorrectionAccurateBeyondHalfBox) {
+  // Cell-monopole displacements reach past +-0.5 per axis; the table must
+  // be valid on all of (-1, 1)^3 (the correction is NOT periodic there).
+  const EwaldCorrection corr(16);
+  for (const Vec3 d : {Vec3{0.7, 0.1, -0.2}, Vec3{-0.9, 0.6, 0.3},
+                       Vec3{0.55, -0.8, 0.95}}) {
+    const Vec3 want = ewald_force(d) - nearest_images_force(d);
+    EXPECT_LT((corr(d) - want).norm(), 0.15)
+        << d.x << " " << d.y << " " << d.z;
+  }
+}
+
+TEST(EwaldEngine, UniformLatticeFeelsNoForce) {
+  // The acid test of periodic gravity: a uniform lattice is an
+  // equilibrium. With the Ewald engine the residual per-particle force
+  // must be tiny compared to the force scale of a single neighbor.
+  std::vector<ss::nbody::Body> bodies;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        ss::nbody::Body b;
+        b.pos = {(i + 0.5) / n, (j + 0.5) / n, (k + 0.5) / n};
+        b.mass = 1.0 / (n * n * n);
+        bodies.push_back(b);
+      }
+    }
+  }
+  CosmoSim sim(einstein_de_sitter(), bodies, 1.0,
+               {.engine = ForceEngine::tree_ewald, .theta = 0.4,
+                .eps = 0.01});
+  // One zero-length evolve computes nothing; probe via a tiny step and
+  // velocity response instead.
+  sim.evolve_to(1.0001, 1);
+  // Neighbor force scale: m / (1/n)^2.
+  const double scale = (1.0 / (n * n * n)) * n * n;
+  double vmax = 0.0;
+  for (const auto& b : sim.bodies()) vmax = std::max(vmax, b.vel.norm());
+  // dv = F dt; dt ~ 1e-4 here.
+  EXPECT_LT(vmax / 1e-4, 0.2 * scale);
+}
+
+TEST(EwaldEngine, GrowthMatchesPmEngine) {
+  PowerSpectrum p;
+  p.sigma8 = 0.7;
+  p.normalize();
+  auto ics = zeldovich_ics(einstein_de_sitter(), p,
+                           {.grid = 8, .a_start = 0.05, .seed = 3});
+  CosmoSim pm(einstein_de_sitter(), ics.bodies, ics.a,
+              {.engine = ForceEngine::pm, .pm_grid = 16});
+  CosmoSim ew(einstein_de_sitter(), ics.bodies, ics.a,
+              {.engine = ForceEngine::tree_ewald, .theta = 0.5,
+               .eps = 0.01});
+  pm.evolve_to(0.1, 10);
+  ew.evolve_to(0.1, 10);
+  const double s_pm = sigma_delta(pm.bodies(), 8);
+  const double s_ew = sigma_delta(ew.bodies(), 8);
+  EXPECT_NEAR(s_ew / s_pm, 1.0, 0.2);
+}
+
+}  // namespace

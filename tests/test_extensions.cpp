@@ -1,0 +1,190 @@
+// Tests for the extension modules: the SoA batched gravity kernel, the
+// radix key sort, and the galactic-dynamics initial conditions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gravity/batch.hpp"
+#include "morton/sort.hpp"
+#include "nbody/galaxy.hpp"
+#include "nbody/integrator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using ss::support::Rng;
+using ss::support::Vec3;
+
+// --- batched kernel -------------------------------------------------------------
+
+TEST(BatchKernel, MatchesScalarKernel) {
+  Rng rng(1);
+  std::vector<ss::gravity::Source> src;
+  for (int i = 0; i < 500; ++i) {
+    src.push_back({{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                   rng.uniform(0.1, 2.0)});
+  }
+  const auto soa = ss::gravity::SourcesSoA::from(src);
+  std::vector<Vec3> targets;
+  for (int i = 0; i < 40; ++i) targets.push_back(src[static_cast<std::size_t>(i * 12)].pos);
+  targets.push_back({5.0, 5.0, 5.0});
+
+  std::vector<ss::gravity::Accel> batch(targets.size());
+  ss::gravity::interact_batch(targets, soa, 1e-4, batch);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const auto scalar = ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(
+        targets[t], src, 1e-4);
+    EXPECT_NEAR(batch[t].a.x, scalar.a.x,
+                1e-12 * (std::abs(scalar.a.x) + 1.0));
+    EXPECT_NEAR(batch[t].a.y, scalar.a.y,
+                1e-12 * (std::abs(scalar.a.y) + 1.0));
+    EXPECT_NEAR(batch[t].phi, scalar.phi, 1e-12 * std::abs(scalar.phi));
+  }
+}
+
+TEST(BatchKernel, SuppressesSelfForce) {
+  std::vector<ss::gravity::Source> src = {{{0.5, 0.5, 0.5}, 3.0}};
+  const auto soa = ss::gravity::SourcesSoA::from(src);
+  std::vector<Vec3> targets = {{0.5, 0.5, 0.5}};
+  std::vector<ss::gravity::Accel> out(1);
+  ss::gravity::interact_batch(targets, soa, 0.01, out);
+  EXPECT_DOUBLE_EQ(out[0].a.x, 0.0);
+  EXPECT_LT(out[0].phi, 0.0);  // softened self-potential retained
+}
+
+TEST(BatchKernel, RejectsSizeMismatch) {
+  ss::gravity::SourcesSoA soa;
+  std::vector<Vec3> targets(2);
+  std::vector<ss::gravity::Accel> out(1);
+  EXPECT_THROW(ss::gravity::interact_batch(targets, soa, 0.0, out),
+               std::invalid_argument);
+}
+
+// --- radix sort -------------------------------------------------------------------
+
+TEST(RadixSort, MatchesStdSort) {
+  Rng rng(2);
+  std::vector<ss::morton::Key> keys;
+  for (int i = 0; i < 20000; ++i) {
+    keys.push_back(rng.next_u64() | (ss::morton::Key{1} << 63));
+  }
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  ss::morton::radix_sort(keys);
+  EXPECT_EQ(keys, expect);
+}
+
+TEST(RadixSort, PermutationIsStable) {
+  // Duplicate keys keep input order.
+  std::vector<ss::morton::Key> keys = {5, 3, 5, 1, 3, 5};
+  const auto perm = ss::morton::radix_sort_permutation(keys);
+  const std::vector<std::uint32_t> want = {3, 1, 4, 0, 2, 5};
+  EXPECT_EQ(perm, want);
+}
+
+TEST(RadixSort, HandlesEmptyAndSingle) {
+  std::vector<ss::morton::Key> empty;
+  EXPECT_TRUE(ss::morton::radix_sort_permutation(empty).empty());
+  std::vector<ss::morton::Key> one = {42};
+  ss::morton::radix_sort(one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+TEST(RadixSort, RealMortonKeysSortCorrectly) {
+  Rng rng(3);
+  std::vector<ss::morton::Key> keys;
+  const ss::morton::Box box;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(ss::morton::encode(
+        {rng.uniform(), rng.uniform(), rng.uniform()}, box));
+  }
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  ss::morton::radix_sort(keys);
+  EXPECT_EQ(keys, expect);
+}
+
+// --- galaxy ---------------------------------------------------------------------
+
+TEST(Galaxy, MassBudgetAndGeometry) {
+  Rng rng(4);
+  ss::nbody::GalaxyConfig cfg;
+  const auto g = ss::nbody::make_galaxy(cfg, rng);
+  ASSERT_EQ(g.size(),
+            static_cast<std::size_t>(cfg.disk_particles + cfg.halo_particles));
+  double mass = 0.0;
+  for (const auto& b : g) mass += b.mass;
+  EXPECT_NEAR(mass, cfg.disk_mass + cfg.halo_mass, 1e-10);
+  // Disk particles (first block) are thin: |z| << r typically.
+  double zrms = 0.0, rrms = 0.0;
+  for (int i = 0; i < cfg.disk_particles; ++i) {
+    zrms += g[static_cast<std::size_t>(i)].pos.z *
+            g[static_cast<std::size_t>(i)].pos.z;
+    rrms += g[static_cast<std::size_t>(i)].pos.x *
+                g[static_cast<std::size_t>(i)].pos.x +
+            g[static_cast<std::size_t>(i)].pos.y *
+                g[static_cast<std::size_t>(i)].pos.y;
+  }
+  EXPECT_LT(std::sqrt(zrms / cfg.disk_particles),
+            0.2 * std::sqrt(rrms / cfg.disk_particles));
+  EXPECT_LT(ss::nbody::total_momentum(g).norm(), 1e-10);
+}
+
+TEST(Galaxy, RotationCurveMatchesEnclosedMass) {
+  Rng rng(5);
+  ss::nbody::GalaxyConfig cfg;
+  cfg.disk_particles = 12000;
+  const auto g = ss::nbody::make_galaxy(cfg, rng);
+  const auto curve = ss::nbody::rotation_curve(g, cfg.disk_particles, 10,
+                                               1.0);
+  int checked = 0;
+  for (const auto& [r, v] : curve) {
+    if (r < 0.1) continue;  // inner bins are dispersion dominated
+    EXPECT_NEAR(v, ss::nbody::circular_velocity(cfg, r),
+                0.12 * ss::nbody::circular_velocity(cfg, r))
+        << "r=" << r;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Galaxy, RotationCurveShape) {
+  // Rises through the disk, then flattens/declines in the halo region.
+  ss::nbody::GalaxyConfig cfg;
+  const double v_inner = ss::nbody::circular_velocity(cfg, 0.05);
+  const double v_peakish = ss::nbody::circular_velocity(cfg, 0.5);
+  const double v_outer = ss::nbody::circular_velocity(cfg, 1.2);
+  EXPECT_GT(v_peakish, v_inner);
+  EXPECT_LT(std::abs(v_outer - v_peakish) / v_peakish, 0.35);
+}
+
+TEST(Galaxy, StaysBoundUnderSelfGravity) {
+  Rng rng(6);
+  ss::nbody::GalaxyConfig cfg;
+  cfg.disk_particles = 600;
+  cfg.halo_particles = 1200;
+  const auto g = ss::nbody::make_galaxy(cfg, rng);
+  ss::nbody::TreeForceConfig fcfg;
+  fcfg.eps2 = 1e-4;
+  ss::nbody::Leapfrog sim(g, [&](const std::vector<ss::nbody::Body>& b,
+                                 std::vector<ss::gravity::Accel>& acc) {
+    ss::nbody::tree_forces(b, fcfg, acc);
+  });
+  EXPECT_LT(sim.current_energies().total(), 0.0);  // bound
+  sim.step(0.01, 30);
+  // No explosion: the half-mass radius stays within a factor ~1.5.
+  auto half_mass_r = [&](const std::vector<ss::nbody::Body>& bs) {
+    std::vector<double> r;
+    for (const auto& b : bs) r.push_back(b.pos.norm());
+    std::nth_element(r.begin(), r.begin() + static_cast<long>(r.size() / 2),
+                     r.end());
+    return r[r.size() / 2];
+  };
+  const double r0 = half_mass_r(g);
+  const double r1 = half_mass_r(sim.bodies());
+  EXPECT_LT(r1, 1.5 * r0);
+  EXPECT_GT(r1, 0.5 * r0);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+#include "fft/slabfft.hpp"
+#include "support/rng.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using namespace ss::fft;
+using ss::support::Rng;
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cplx> d(16, 0.0);
+  d[0] = 1.0;
+  fft_inplace(d, false);
+  for (const auto& v : d) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleModeLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<cplx> d(n);
+  const int mode = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase =
+        2.0 * std::numbers::pi * mode * static_cast<double>(i) / n;
+    d[i] = {std::cos(phase), std::sin(phase)};
+  }
+  fft_inplace(d, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(d[k]), k == mode ? static_cast<double>(n) : 0.0,
+                1e-9);
+  }
+}
+
+TEST(Fft, RoundTripRandom) {
+  Rng rng(1);
+  std::vector<cplx> d(256);
+  for (auto& v : d) v = {rng.normal(), rng.normal()};
+  const auto orig = d;
+  fft_inplace(d, false);
+  fft_inplace(d, true);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(d[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(2);
+  std::vector<cplx> d(128);
+  double time_e = 0.0;
+  for (auto& v : d) {
+    v = {rng.normal(), rng.normal()};
+    time_e += std::norm(v);
+  }
+  fft_inplace(d, false);
+  double freq_e = 0.0;
+  for (const auto& v : d) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e / d.size(), time_e, 1e-8 * time_e);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> d(12);
+  EXPECT_THROW(fft_inplace(d, false), std::invalid_argument);
+}
+
+TEST(Fft, StridedMatchesContiguous) {
+  Rng rng(3);
+  const std::size_t n = 32, stride = 7;
+  std::vector<cplx> strided(n * stride), packed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packed[i] = {rng.normal(), rng.normal()};
+    strided[i * stride] = packed[i];
+  }
+  fft_inplace(packed, false);
+  fft_strided(strided.data(), n, stride, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(strided[i * stride] - packed[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft3, RoundTrip) {
+  Rng rng(4);
+  Grid3 g(8);
+  for (auto& v : g.flat()) v = {rng.normal(), rng.normal()};
+  Grid3 orig = g;
+  fft3(g, false);
+  fft3(g, true);
+  for (std::size_t i = 0; i < g.flat().size(); ++i) {
+    EXPECT_NEAR(std::abs(g.flat()[i] - orig.flat()[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft3, PlaneWaveSingleBin) {
+  Grid3 g(8);
+  const int kx = 2, ky = 3, kz = 1;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      for (int k = 0; k < 8; ++k) {
+        const double phase = 2.0 * std::numbers::pi *
+                             (kx * i + ky * j + kz * k) / 8.0;
+        g.at(i, j, k) = {std::cos(phase), std::sin(phase)};
+      }
+    }
+  }
+  fft3(g, false);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      for (int k = 0; k < 8; ++k) {
+        const double expect =
+            (i == kx && j == ky && k == kz) ? 512.0 : 0.0;
+        EXPECT_NEAR(std::abs(g.at(i, j, k)), expect, 1e-8);
+      }
+    }
+  }
+}
+
+// --- distributed slab FFT -----------------------------------------------------
+
+class SlabRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, SlabRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(SlabRanks, MatchesSerial3d) {
+  const int p = GetParam();
+  const int n = 16;
+  // Serial reference.
+  Rng rng(5);
+  Grid3 ref(n);
+  for (auto& v : ref.flat()) v = {rng.normal(), rng.normal()};
+  Grid3 serial = ref;
+  fft3(serial, false);
+
+  ss::vmpi::Runtime rt(p);
+  rt.run([&](ss::vmpi::Comm& c) {
+    SlabFFT fft(c, n);
+    // Local slab in (z_local, y, x) layout from the reference grid, where
+    // the grid's axes map as (i=z, j=y, k=x).
+    std::vector<cplx> slab(fft.local_size());
+    const int z0 = fft.plane_offset();
+    for (int zl = 0; zl < fft.local_planes(); ++zl) {
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          slab[(static_cast<std::size_t>(zl) * n + y) * n + x] =
+              ref.at(z0 + zl, y, x);
+        }
+      }
+    }
+    fft.forward(slab);
+    // Pencil layout: (x_local, y, z), z fastest; x0 = rank * nloc.
+    const int x0 = fft.plane_offset();
+    for (int xl = 0; xl < fft.local_planes(); ++xl) {
+      for (int y = 0; y < n; ++y) {
+        for (int z = 0; z < n; ++z) {
+          const cplx got =
+              slab[(static_cast<std::size_t>(xl) * n + y) * n + z];
+          const cplx want = serial.at(z, y, x0 + xl);
+          EXPECT_NEAR(std::abs(got - want), 0.0, 1e-8)
+              << "x=" << x0 + xl << " y=" << y << " z=" << z;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(SlabRanks, RoundTripRestoresSlab) {
+  const int p = GetParam();
+  const int n = 16;
+  ss::vmpi::Runtime rt(p);
+  rt.run([&](ss::vmpi::Comm& c) {
+    SlabFFT fft(c, n);
+    Rng rng(static_cast<std::uint64_t>(10 + c.rank()));
+    std::vector<cplx> slab(fft.local_size());
+    for (auto& v : slab) v = {rng.normal(), rng.normal()};
+    const auto orig = slab;
+    fft.forward(slab);
+    fft.inverse(slab);
+    for (std::size_t i = 0; i < slab.size(); ++i) {
+      EXPECT_NEAR(std::abs(slab[i] - orig[i]), 0.0, 1e-9);
+    }
+  });
+}
+
+TEST(SlabFft, RejectsBadSizes) {
+  ss::vmpi::Runtime rt(3);
+  rt.run([&](ss::vmpi::Comm& c) {
+    EXPECT_THROW(SlabFFT(c, 16), std::invalid_argument);  // 16 % 3 != 0
+    EXPECT_THROW(SlabFFT(c, 12), std::invalid_argument);  // not pow2
+  });
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for the friends-of-friends halo finder and the two-point
+// correlation function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmo/fof.hpp"
+#include "cosmo/measure.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::cosmo;
+using ss::nbody::Body;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+std::vector<Body> blob(Rng& rng, const Vec3& center, int n, double radius,
+                       const Vec3& vel = {}) {
+  std::vector<Body> out;
+  for (int i = 0; i < n; ++i) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    const double r = radius * std::cbrt(rng.uniform());
+    Body b;
+    b.pos = center + Vec3{x, y, z} * r;
+    b.vel = vel;
+    b.mass = 1.0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+TEST(Fof, FindsTwoSeparatedClusters) {
+  Rng rng(1);
+  auto bodies = blob(rng, {0.25, 0.25, 0.25}, 300, 0.01);
+  auto b2 = blob(rng, {0.75, 0.75, 0.75}, 150, 0.01, {1, 0, 0});
+  bodies.insert(bodies.end(), b2.begin(), b2.end());
+
+  FofConfig cfg;
+  cfg.linking_b = 0.2;
+  cfg.min_members = 10;
+  const auto halos = friends_of_friends(bodies, cfg);
+  ASSERT_EQ(halos.size(), 2u);
+  EXPECT_EQ(halos[0].members.size(), 300u);  // sorted by mass
+  EXPECT_EQ(halos[1].members.size(), 150u);
+  EXPECT_NEAR(halos[0].center.x, 0.25, 0.01);
+  EXPECT_NEAR(halos[1].center.x, 0.75, 0.01);
+  EXPECT_NEAR(halos[1].velocity.x, 1.0, 1e-12);
+}
+
+TEST(Fof, MinMembersFiltersFieldParticles) {
+  Rng rng(2);
+  auto bodies = blob(rng, {0.5, 0.5, 0.5}, 200, 0.01);
+  // Sprinkle isolated field particles.
+  for (int i = 0; i < 50; ++i) {
+    Body b;
+    b.pos = {rng.uniform(), rng.uniform(), rng.uniform()};
+    b.mass = 1.0;
+    bodies.push_back(b);
+  }
+  const auto halos = friends_of_friends(bodies, {.linking_b = 0.1,
+                                                 .min_members = 50});
+  ASSERT_GE(halos.size(), 1u);
+  EXPECT_GE(halos[0].members.size(), 200u);
+  for (std::size_t h = 1; h < halos.size(); ++h) {
+    EXPECT_GE(halos[h].members.size(), 50u);
+  }
+}
+
+TEST(Fof, HugeLinkingLengthMergesEverything) {
+  Rng rng(3);
+  auto bodies = blob(rng, {0.3, 0.3, 0.3}, 100, 0.05);
+  auto b2 = blob(rng, {0.6, 0.6, 0.6}, 100, 0.05);
+  bodies.insert(bodies.end(), b2.begin(), b2.end());
+  const auto halos = friends_of_friends(bodies, {.linking_b = 5.0,
+                                                 .min_members = 10});
+  ASSERT_EQ(halos.size(), 1u);
+  EXPECT_EQ(halos[0].members.size(), 200u);
+}
+
+TEST(Fof, PeriodicWrappingJoinsAcrossTheBoundary) {
+  Rng rng(4);
+  // One cluster straddling the x = 0 face.
+  std::vector<Body> bodies;
+  for (int i = 0; i < 200; ++i) {
+    Body b;
+    double x = rng.normal(0.0, 0.005);
+    b.pos = {x - std::floor(x), 0.5 + rng.normal(0.0, 0.005),
+             0.5 + rng.normal(0.0, 0.005)};
+    b.mass = 1.0;
+    bodies.push_back(b);
+  }
+  FofConfig cfg;
+  cfg.linking_b = 0.3;
+  cfg.min_members = 150;
+  cfg.periodic = true;
+  const auto halos = friends_of_friends(bodies, cfg);
+  ASSERT_EQ(halos.size(), 1u);
+  EXPECT_EQ(halos[0].members.size(), 200u);
+  // Center lands near the face, not at x ~ 0.5.
+  const double cx = halos[0].center.x;
+  EXPECT_TRUE(cx < 0.1 || cx > 0.9) << cx;
+}
+
+TEST(Fof, EmptyInput) {
+  EXPECT_TRUE(friends_of_friends({}, {}).empty());
+}
+
+// --- correlation function ----------------------------------------------------
+
+TEST(Correlation, RandomFieldIsUncorrelated) {
+  Rng rng(5);
+  std::vector<Body> bodies;
+  for (int i = 0; i < 4000; ++i) {
+    Body b;
+    b.pos = {rng.uniform(), rng.uniform(), rng.uniform()};
+    b.mass = 1.0;
+    bodies.push_back(b);
+  }
+  const auto xi = correlation_function(bodies, 0.2, 8);
+  for (const auto& bin : xi) {
+    if (bin.pairs < 100) continue;
+    EXPECT_NEAR(bin.xi, 0.0, 0.2) << "r=" << bin.r_center;
+  }
+}
+
+TEST(Correlation, ClusteredFieldIsPositiveAtSmallR) {
+  Rng rng(6);
+  std::vector<Body> bodies;
+  // 40 compact clumps.
+  for (int c = 0; c < 40; ++c) {
+    const Vec3 center{rng.uniform(), rng.uniform(), rng.uniform()};
+    for (int i = 0; i < 50; ++i) {
+      Body b;
+      b.pos = {center.x + rng.normal(0, 0.01), center.y + rng.normal(0, 0.01),
+               center.z + rng.normal(0, 0.01)};
+      b.pos = {b.pos.x - std::floor(b.pos.x), b.pos.y - std::floor(b.pos.y),
+               b.pos.z - std::floor(b.pos.z)};
+      b.mass = 1.0;
+      bodies.push_back(b);
+    }
+  }
+  const auto xi = correlation_function(bodies, 0.2, 10);
+  // Strong clustering at r below the clump size; none at large r.
+  EXPECT_GT(xi.front().xi, 10.0);
+  EXPECT_LT(std::abs(xi.back().xi), 1.0);
+  // Monotone decline overall (first vs middle).
+  EXPECT_GT(xi[1].xi, xi[5].xi);
+}
+
+TEST(Correlation, PairCountsAreSymmetricOrdered) {
+  // Two particles at distance 0.1: exactly 2 ordered pairs in that bin.
+  std::vector<Body> bodies(2);
+  bodies[0].pos = {0.45, 0.5, 0.5};
+  bodies[1].pos = {0.55, 0.5, 0.5};
+  bodies[0].mass = bodies[1].mass = 1.0;
+  const auto xi = correlation_function(bodies, 0.2, 10);
+  std::uint64_t total = 0;
+  for (const auto& b : xi) total += b.pairs;
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(xi[5].pairs, 2u);  // r = 0.1 falls in bin [0.10, 0.12)
+}
+
+}  // namespace

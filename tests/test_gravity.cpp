@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gravity/kernels.hpp"
+#include "gravity/multipole.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::gravity;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+TEST(RsqrtKarp, MatchesLibmOverWideRange) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~60 decades.
+    const double x = std::exp(rng.uniform(-70.0, 70.0));
+    const double ref = 1.0 / std::sqrt(x);
+    const double got = rsqrt_karp(x);
+    EXPECT_NEAR(got / ref, 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(RsqrtKarp, ExactPowersOfTwo) {
+  for (int e = -60; e <= 60; e += 2) {
+    const double x = std::ldexp(1.0, e);
+    EXPECT_DOUBLE_EQ(rsqrt_karp(x) * std::ldexp(1.0, e / 2), 1.0);
+  }
+}
+
+TEST(RsqrtKarp, OddExponents) {
+  for (int e = -11; e <= 11; e += 2) {
+    const double x = std::ldexp(1.0, e);
+    const double ref = 1.0 / std::sqrt(x);
+    EXPECT_NEAR(rsqrt_karp(x) / ref, 1.0, 1e-13);
+  }
+}
+
+TEST(RsqrtKarp, SpecialValuesFallBack) {
+  EXPECT_TRUE(std::isinf(rsqrt_karp(0.0)));
+  EXPECT_DOUBLE_EQ(rsqrt_karp(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_TRUE(std::isnan(rsqrt_karp(std::nan(""))));
+  // Denormal input.
+  const double d = std::numeric_limits<double>::denorm_min();
+  EXPECT_NEAR(rsqrt_karp(d) * std::sqrt(d), 1.0, 1e-12);
+}
+
+TEST(Interact, TwoBodyNewton) {
+  // Unit masses one unit apart, no softening: |a| = 1, phi = -1.
+  const std::vector<Source> src = {{{1.0, 0.0, 0.0}, 1.0}};
+  const auto acc = interact<RsqrtMethod::libm>({0, 0, 0}, src, 0.0);
+  EXPECT_NEAR(acc.a.x, 1.0, 1e-14);
+  EXPECT_NEAR(acc.a.y, 0.0, 1e-14);
+  EXPECT_NEAR(acc.phi, -1.0, 1e-14);
+}
+
+TEST(Interact, SofteningReducesForce) {
+  const std::vector<Source> src = {{{1.0, 0.0, 0.0}, 1.0}};
+  const auto hard = interact<RsqrtMethod::libm>({0, 0, 0}, src, 0.0);
+  const auto soft = interact<RsqrtMethod::libm>({0, 0, 0}, src, 0.25);
+  EXPECT_LT(soft.a.x, hard.a.x);
+  EXPECT_GT(soft.phi, hard.phi);  // less negative
+  // Plummer form: a = d/(r2+e2)^{3/2}.
+  EXPECT_NEAR(soft.a.x, 1.0 / std::pow(1.25, 1.5), 1e-14);
+}
+
+TEST(Interact, NoSelfForce) {
+  const std::vector<Source> src = {{{0.0, 0.0, 0.0}, 5.0}};
+  const auto acc = interact<RsqrtMethod::libm>({0, 0, 0}, src, 0.01);
+  EXPECT_DOUBLE_EQ(acc.a.x, 0.0);
+  EXPECT_DOUBLE_EQ(acc.a.y, 0.0);
+  EXPECT_DOUBLE_EQ(acc.a.z, 0.0);
+  EXPECT_LT(acc.phi, 0.0);  // softened self-potential is still counted
+}
+
+TEST(Interact, KarpAgreesWithLibm) {
+  Rng rng(2);
+  std::vector<Source> src;
+  for (int i = 0; i < 100; ++i) {
+    src.push_back({{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                   rng.uniform(0.1, 2.0)});
+  }
+  const Vec3 target{0.3, -0.2, 0.5};
+  const auto a = interact<RsqrtMethod::libm>(target, src, 1e-4);
+  const auto b = interact<RsqrtMethod::karp>(target, src, 1e-4);
+  EXPECT_NEAR(a.a.x, b.a.x, 1e-9 * std::abs(a.a.x) + 1e-12);
+  EXPECT_NEAR(a.a.y, b.a.y, 1e-9 * std::abs(a.a.y) + 1e-12);
+  EXPECT_NEAR(a.a.z, b.a.z, 1e-9 * std::abs(a.a.z) + 1e-12);
+  EXPECT_NEAR(a.phi, b.phi, 1e-9 * std::abs(a.phi));
+}
+
+TEST(Interact, RuntimeDispatchMatchesTemplates) {
+  const std::vector<Source> src = {{{0.5, 0.5, 0.5}, 2.0}};
+  const auto t = interact<RsqrtMethod::karp>({0, 0, 0}, src, 0.0);
+  const auto d = interact({0, 0, 0}, src, 0.0, RsqrtMethod::karp);
+  EXPECT_DOUBLE_EQ(t.a.x, d.a.x);
+  EXPECT_DOUBLE_EQ(t.phi, d.phi);
+}
+
+// --- multipoles -------------------------------------------------------------
+
+std::vector<Source> random_cluster(Rng& rng, int n, const Vec3& center,
+                                   double radius) {
+  std::vector<Source> src;
+  for (int i = 0; i < n; ++i) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    const double r = radius * std::cbrt(rng.uniform());
+    src.push_back({center + Vec3{x, y, z} * r, rng.uniform(0.5, 1.5)});
+  }
+  return src;
+}
+
+TEST(Moments, MassAndComOfPointSet) {
+  const std::vector<Source> src = {{{0, 0, 0}, 1.0}, {{2, 0, 0}, 3.0}};
+  const auto m = Moments::of_particles(src);
+  EXPECT_DOUBLE_EQ(m.mass, 4.0);
+  EXPECT_DOUBLE_EQ(m.com.x, 1.5);
+  EXPECT_DOUBLE_EQ(m.bmax, 1.5);  // the further particle is 1.5 from com
+}
+
+TEST(Moments, QuadrupoleIsTraceless) {
+  Rng rng(3);
+  const auto src = random_cluster(rng, 50, {1, 2, 3}, 0.5);
+  const auto m = Moments::of_particles(src);
+  EXPECT_NEAR(m.quad.xx + m.quad.yy + m.quad.zz, 0.0,
+              1e-12 * std::abs(m.quad.xx));
+}
+
+TEST(Moments, CombineMatchesDirect) {
+  Rng rng(4);
+  const auto a = random_cluster(rng, 30, {0, 0, 0}, 0.3);
+  const auto b = random_cluster(rng, 40, {1, 1, 0}, 0.4);
+  std::vector<Source> all(a);
+  all.insert(all.end(), b.begin(), b.end());
+
+  const Moments parts[] = {Moments::of_particles(a), Moments::of_particles(b)};
+  const auto combined = Moments::combine(parts);
+  const auto direct = Moments::of_particles(all);
+
+  EXPECT_NEAR(combined.mass, direct.mass, 1e-12);
+  EXPECT_NEAR(combined.com.x, direct.com.x, 1e-12);
+  EXPECT_NEAR(combined.com.y, direct.com.y, 1e-12);
+  EXPECT_NEAR(combined.quad.xx, direct.quad.xx, 1e-9);
+  EXPECT_NEAR(combined.quad.xy, direct.quad.xy, 1e-9);
+  EXPECT_NEAR(combined.quad.zz, direct.quad.zz, 1e-9);
+  // bmax from combine is an upper bound on the direct bmax.
+  EXPECT_GE(combined.bmax, direct.bmax - 1e-12);
+}
+
+TEST(Moments, FieldConvergesToDirectSum) {
+  // Far from the cluster, the quadrupole expansion must approach the exact
+  // field with error O((b/d)^3).
+  Rng rng(5);
+  const auto src = random_cluster(rng, 200, {0, 0, 0}, 1.0);
+  const auto m = Moments::of_particles(src);
+
+  double prev_err = 1e9;
+  for (const double d : {5.0, 10.0, 20.0, 40.0}) {
+    const Vec3 target{d, 0.3 * d, -0.1 * d};
+    const auto exact = interact<RsqrtMethod::libm>(target, src, 0.0);
+    const auto approx = evaluate(m, target, 0.0);
+    const double err = (approx.a - exact.a).norm() / exact.a.norm();
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  // Truncation error is O((b/d)^3) = (1/40)^3 ~ 1.6e-5 at the last point.
+  EXPECT_LT(prev_err, 2e-5);
+}
+
+TEST(Moments, MonopoleOnlyForSphericalShell) {
+  // A symmetric configuration has a tiny quadrupole: field ~ point mass.
+  std::vector<Source> src;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        src.push_back({{i - 0.5, j - 0.5, k - 0.5}, 1.0}); // cube corners
+      }
+    }
+  }
+  const auto m = Moments::of_particles(src);
+  EXPECT_NEAR(m.quad.xx, 0.0, 1e-12);
+  EXPECT_NEAR(m.quad.xy, 0.0, 1e-12);
+  const auto far = evaluate(m, {100, 0, 0}, 0.0);
+  EXPECT_NEAR(far.a.x, -8.0 / (100.0 * 100.0), 1e-7);
+}
+
+TEST(Mac, AcceptsFarRejectsNear) {
+  Rng rng(6);
+  const auto src = random_cluster(rng, 64, {0, 0, 0}, 1.0);
+  const auto m = Moments::of_particles(src);
+  EXPECT_TRUE(mac_accept(m, {10, 0, 0}, 0.7));
+  EXPECT_FALSE(mac_accept(m, {1.01, 0, 0}, 0.7));
+  // Smaller theta is stricter.
+  EXPECT_FALSE(mac_accept(m, {3.0, 0, 0}, 0.2));
+  EXPECT_TRUE(mac_accept(m, {3.0, 0, 0}, 0.9));
+}
+
+TEST(QuadTensor, PointMassFormula) {
+  const auto q = QuadTensor::point_mass(2.0, {1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(q.xx, 4.0);   // 2 * (3*1 - 1)
+  EXPECT_DOUBLE_EQ(q.yy, -2.0);  // 2 * (0 - 1)
+  EXPECT_DOUBLE_EQ(q.zz, -2.0);
+  EXPECT_DOUBLE_EQ(q.xy, 0.0);
+  EXPECT_NEAR(q.xx + q.yy + q.zz, 0.0, 1e-15);
+}
+
+}  // namespace

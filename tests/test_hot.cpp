@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "hot/hash_table.hpp"
+#include "hot/tree.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::hot;
+using ss::morton::Key;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+std::vector<Source> plummer_like(Rng& rng, int n, double scale = 1.0) {
+  std::vector<Source> b;
+  b.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    // Centrally condensed: r ~ u^2 concentrates mass toward the center.
+    const double r = scale * rng.uniform() * rng.uniform();
+    b.push_back({{x * r, y * r, z * r}, 1.0 / n});
+  }
+  return b;
+}
+
+// --- KeyMap -----------------------------------------------------------------
+
+TEST(KeyMap, InsertFindAbsent) {
+  KeyMap m;
+  m.insert(1, 10);
+  m.insert(9, 20);
+  EXPECT_EQ(m.find(1), 10u);
+  EXPECT_EQ(m.find(9), 20u);
+  EXPECT_FALSE(m.find(8).has_value());
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(KeyMap, OverwriteExistingKey) {
+  KeyMap m;
+  m.insert(5, 1);
+  m.insert(5, 2);
+  EXPECT_EQ(m.find(5), 2u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(KeyMap, GrowsUnderLoad) {
+  KeyMap m(4);
+  Rng rng(1);
+  std::vector<Key> keys;
+  for (int i = 0; i < 10000; ++i) {
+    const Key k = (rng.next_u64() | (Key{1} << 63));
+    keys.push_back(k);
+    m.insert(k, static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto v = m.find(keys[i]);
+    ASSERT_TRUE(v.has_value());
+    // Duplicated random keys keep the latest value; just check presence
+    // and that non-duplicated keys match exactly.
+  }
+}
+
+TEST(KeyMap, ClearEmpties) {
+  KeyMap m;
+  m.insert(3, 1);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.find(3).has_value());
+}
+
+// --- serial tree -------------------------------------------------------------
+
+TEST(Tree, EmptyTreeIsSane) {
+  Tree t(std::vector<Source>{});
+  EXPECT_EQ(t.cell_count(), 1u);
+  EXPECT_EQ(t.root().count, 0u);
+  const auto a = t.accelerate({0, 0, 0}, 0.6, 0.0);
+  EXPECT_DOUBLE_EQ(a.a.x, 0.0);
+  EXPECT_DOUBLE_EQ(a.phi, 0.0);
+}
+
+TEST(Tree, SingleBody) {
+  const std::vector<Source> b = {{{0.5, 0.5, 0.5}, 2.0}};
+  Tree t(b);
+  EXPECT_EQ(t.root().count, 1u);
+  EXPECT_TRUE(t.root().leaf);
+  EXPECT_DOUBLE_EQ(t.root().mom.mass, 2.0);
+}
+
+TEST(Tree, RootCountsEveryBody) {
+  Rng rng(2);
+  const auto b = plummer_like(rng, 500);
+  Tree t(b);
+  EXPECT_EQ(t.root().count, 500u);
+  EXPECT_NEAR(t.root().mom.mass, 1.0, 1e-12);
+}
+
+TEST(Tree, EveryCellRangeConsistent) {
+  Rng rng(3);
+  const auto b = plummer_like(rng, 1000);
+  Tree t(b, TreeConfig{8});
+  std::uint64_t leaf_total = 0;
+  for (std::uint32_t i = 0; i < t.cell_count(); ++i) {
+    const Cell& c = t.cell(i);
+    if (c.leaf) {
+      leaf_total += c.count;
+    } else {
+      // Children partition the parent's range.
+      std::uint32_t sum = 0;
+      for (int o = 0; o < 8; ++o) {
+        if (c.children[o] >= 0) {
+          sum += t.cell(static_cast<std::uint32_t>(c.children[o])).count;
+        }
+      }
+      EXPECT_EQ(sum, c.count) << "cell " << i;
+    }
+    // Bodies in the range actually belong to the cell's key region.
+    for (std::uint32_t j = c.first; j < c.first + c.count; ++j) {
+      EXPECT_TRUE(ss::morton::contains(c.key, t.keys()[j]));
+    }
+  }
+  EXPECT_EQ(leaf_total, 1000u);
+}
+
+TEST(Tree, LeavesRespectBucketSize) {
+  Rng rng(4);
+  const auto b = plummer_like(rng, 2000);
+  Tree t(b, TreeConfig{4});
+  for (std::uint32_t i = 0; i < t.cell_count(); ++i) {
+    const Cell& c = t.cell(i);
+    if (c.leaf && ss::morton::level(c.key) < ss::morton::kMaxLevel) {
+      EXPECT_LE(c.count, 4u);
+    }
+  }
+}
+
+TEST(Tree, CoincidentBodiesDoNotRecurseForever) {
+  // 100 bodies at the same point: must terminate at kMaxLevel leaf.
+  std::vector<Source> b(100, Source{{0.25, 0.25, 0.25}, 0.01});
+  b.push_back({{0.7, 0.7, 0.7}, 0.01});
+  Tree t(b, TreeConfig{4});
+  EXPECT_EQ(t.root().count, 101u);
+}
+
+TEST(Tree, HashFindsEveryCell) {
+  Rng rng(5);
+  const auto b = plummer_like(rng, 800);
+  Tree t(b);
+  for (std::uint32_t i = 0; i < t.cell_count(); ++i) {
+    const Cell* c = t.find(t.cell(i).key);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->key, t.cell(i).key);
+  }
+  EXPECT_EQ(t.find(ss::morton::child(t.root().key, 0) ^ 0), t.find(Key{8}));
+}
+
+TEST(Tree, PermutationIsBijective) {
+  Rng rng(6);
+  const auto b = plummer_like(rng, 300);
+  Tree t(b);
+  std::vector<bool> seen(300, false);
+  for (auto idx : t.original_index()) {
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+  // Sorted bodies match originals through the permutation.
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(t.bodies()[i].pos, b[t.original_index()[i]].pos);
+  }
+}
+
+TEST(Tree, KeysAreSorted) {
+  Rng rng(7);
+  const auto b = plummer_like(rng, 400);
+  Tree t(b);
+  EXPECT_TRUE(std::is_sorted(t.keys().begin(), t.keys().end()));
+}
+
+// --- force accuracy ----------------------------------------------------------
+
+class TreeAccuracy : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Thetas, TreeAccuracy,
+                         ::testing::Values(0.3, 0.5, 0.7, 1.0));
+
+TEST_P(TreeAccuracy, RmsErrorBounded) {
+  const double theta = GetParam();
+  Rng rng(8);
+  const auto b = plummer_like(rng, 1500);
+  const double eps2 = 1e-6;
+  Tree t(b, TreeConfig{8});
+
+  double err2_sum = 0.0;
+  const int probes = 100;
+  for (int i = 0; i < probes; ++i) {
+    const auto& body = t.bodies()[static_cast<std::size_t>(i) * 14];
+    const auto approx = t.accelerate(body.pos, theta, eps2);
+    const auto exact =
+        ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(body.pos, b,
+                                                              eps2);
+    const double rel = (approx.a - exact.a).norm() / (exact.a.norm() + 1e-30);
+    err2_sum += rel * rel;
+  }
+  const double rms = std::sqrt(err2_sum / probes);
+  // Quadrupole treecode: sub-percent errors for production thetas.
+  const double bound = theta <= 0.5 ? 2e-3 : (theta <= 0.7 ? 6e-3 : 4e-2);
+  EXPECT_LT(rms, bound) << "theta=" << theta;
+}
+
+TEST(TreeAccuracy, ErrorDecreasesWithTheta) {
+  Rng rng(9);
+  const auto b = plummer_like(rng, 1000);
+  Tree t(b, TreeConfig{8});
+  const Vec3 probe = t.bodies()[123].pos;
+  const auto exact =
+      ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(probe, b, 1e-6);
+  double prev = 1e9;
+  for (double theta : {1.2, 0.8, 0.5, 0.3, 0.15}) {
+    const auto approx = t.accelerate(probe, theta, 1e-6);
+    const double rel = (approx.a - exact.a).norm() / exact.a.norm();
+    EXPECT_LE(rel, prev * 1.5 + 1e-12);  // monotone up to noise
+    prev = rel;
+  }
+  EXPECT_LT(prev, 1e-5);
+}
+
+TEST(TreeAccuracy, ThetaZeroIsExact) {
+  // With theta -> 0 every cell opens: tree == direct summation.
+  Rng rng(10);
+  const auto b = plummer_like(rng, 200);
+  Tree t(b, TreeConfig{4});
+  for (int i = 0; i < 20; ++i) {
+    const Vec3 p = b[static_cast<std::size_t>(i * 7)].pos;
+    const auto approx = t.accelerate(p, 0.0, 1e-8);
+    const auto exact =
+        ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(p, b, 1e-8);
+    EXPECT_NEAR((approx.a - exact.a).norm(), 0.0, 1e-11);
+    EXPECT_NEAR(approx.phi, exact.phi, 1e-11);
+  }
+}
+
+TEST(TreeAccuracy, StatsCountInteractions) {
+  Rng rng(11);
+  const auto b = plummer_like(rng, 500);
+  Tree t(b, TreeConfig{8});
+  TraverseStats st;
+  (void)t.accelerate_all(0.6, 1e-6, RsqrtMethod::libm, &st);
+  EXPECT_GT(st.body_interactions, 0u);
+  EXPECT_GT(st.cell_interactions, 0u);
+  EXPECT_GT(st.flops(), st.body_interactions * 38);
+  // Treecode must beat direct summation (N^2 ordered pairs) on
+  // interaction count even at this small N.
+  EXPECT_LT(st.body_interactions + st.cell_interactions, 500ull * 500ull);
+}
+
+TEST(TreeAccuracy, AccelerateAllSkipsSelfForce) {
+  // Two bodies: each must feel exactly the other.
+  const std::vector<Source> b = {{{0, 0, 0}, 1.0}, {{1, 0, 0}, 1.0}};
+  Tree t(b);
+  const auto acc = t.accelerate_all(0.6, 0.0);
+  EXPECT_NEAR(acc[0].a.x, 1.0, 1e-12);
+  EXPECT_NEAR(acc[1].a.x, -1.0, 1e-12);
+}
+
+TEST(TreeAccuracy, MomentumConservedByMutualForces) {
+  // Sum of m*a over all bodies should be ~0 for exact forces; the tree
+  // approximation breaks symmetry only at the force-error level.
+  Rng rng(12);
+  const auto b = plummer_like(rng, 600);
+  Tree t(b, TreeConfig{8});
+  const auto acc = t.accelerate_all(0.5, 1e-6);
+  Vec3 net;
+  double atot = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    net += t.bodies()[i].mass * acc[i].a;
+    atot += t.bodies()[i].mass * acc[i].a.norm();
+  }
+  EXPECT_LT(net.norm() / atot, 5e-3);
+}
+
+// --- group walk -----------------------------------------------------------------
+
+TEST(GroupWalk, AtLeastAsAccurateAsPerBodyWalk) {
+  Rng rng(21);
+  const auto b = plummer_like(rng, 1500);
+  Tree t(b, TreeConfig{16});
+  const double theta = 0.6, eps2 = 1e-6;
+  const auto per_body = t.accelerate_all(theta, eps2);
+  const auto grouped = t.accelerate_group_all(theta, eps2);
+
+  double rms_pb = 0.0, rms_gr = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i) * 10;
+    const auto exact = ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(
+        t.bodies()[idx].pos, b, eps2);
+    rms_pb += std::pow((per_body[idx].a - exact.a).norm() /
+                           (exact.a.norm() + 1e-30),
+                       2);
+    rms_gr += std::pow((grouped[idx].a - exact.a).norm() /
+                           (exact.a.norm() + 1e-30),
+                       2);
+  }
+  // The conservative group MAC never does worse than the per-body MAC.
+  EXPECT_LE(std::sqrt(rms_gr), std::sqrt(rms_pb) * 1.05);
+  EXPECT_LT(std::sqrt(rms_gr / 150), 6e-3);
+}
+
+TEST(GroupWalk, CostsMoreInteractionsButFewerOpens) {
+  Rng rng(22);
+  const auto b = plummer_like(rng, 2000);
+  Tree t(b, TreeConfig{16});
+  TraverseStats per_body, grouped;
+  (void)t.accelerate_all(0.6, 1e-6, RsqrtMethod::libm, &per_body);
+  (void)t.accelerate_group_all(0.6, 1e-6, RsqrtMethod::libm, &grouped);
+  EXPECT_GE(grouped.body_interactions, per_body.body_interactions);
+  // Tree-walk overhead is amortized: far fewer cell opens in total.
+  EXPECT_LT(grouped.cells_opened, per_body.cells_opened / 4);
+}
+
+TEST(GroupWalk, ExactForTinySystems) {
+  const std::vector<Source> b = {{{0, 0, 0}, 1.0}, {{1, 0, 0}, 1.0}};
+  Tree t(b);
+  const auto acc = t.accelerate_group_all(0.6, 0.0);
+  EXPECT_NEAR(acc[0].a.x, 1.0, 1e-12);
+  EXPECT_NEAR(acc[1].a.x, -1.0, 1e-12);
+}
+
+// --- neighbor search ----------------------------------------------------------
+
+TEST(Neighbors, MatchesBruteForce) {
+  Rng rng(13);
+  const auto b = plummer_like(rng, 700);
+  Tree t(b, TreeConfig{8});
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec3 c = {rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                    rng.uniform(-0.5, 0.5)};
+    const double h = rng.uniform(0.05, 0.4);
+    auto got = t.neighbors_within(c, h);
+    std::set<std::uint32_t> got_set(got.begin(), got.end());
+    std::set<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < t.bodies().size(); ++i) {
+      if ((t.bodies()[i].pos - c).norm2() <= h * h) want.insert(i);
+    }
+    EXPECT_EQ(got_set, want);
+  }
+}
+
+TEST(Neighbors, EmptyTreeReturnsNothing) {
+  Tree t(std::vector<Source>{});
+  EXPECT_TRUE(t.neighbors_within({0, 0, 0}, 1.0).empty());
+}
+
+}  // namespace

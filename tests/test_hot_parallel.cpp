@@ -1,0 +1,430 @@
+// Tests for the distributed treecode: decomposition, ABM, cover cells and
+// parallel-vs-serial force agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "hot/abm.hpp"
+#include "hot/decomp.hpp"
+#include "hot/parallel.hpp"
+#include "hot/tree.hpp"
+#include "support/rng.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using namespace ss::hot;
+using ss::morton::Key;
+using ss::support::Rng;
+using ss::support::Vec3;
+using ss::vmpi::Comm;
+using ss::vmpi::Runtime;
+
+std::vector<Source> clustered_bodies(Rng& rng, int n) {
+  // Three clusters of different density plus a diffuse background —
+  // deliberately unbalanced for the decomposition tests.
+  std::vector<Source> b;
+  const Vec3 centers[3] = {{-1, -1, -1}, {1.5, 0.2, 0.0}, {0.0, 1.2, -0.8}};
+  for (int i = 0; i < n; ++i) {
+    if (i % 4 == 3) {
+      b.push_back({{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                   1.0 / n});
+    } else {
+      double x, y, z;
+      rng.unit_vector(x, y, z);
+      const double r = 0.3 * rng.uniform() * rng.uniform();
+      b.push_back({centers[i % 3] + Vec3{x, y, z} * r, 1.0 / n});
+    }
+  }
+  return b;
+}
+
+// --- cover cells --------------------------------------------------------------
+
+TEST(CoverCells, FullRangeIsRoot) {
+  const auto cover =
+      cover_cells(ss::morton::first_descendant(ss::morton::kRootKey),
+                  ss::morton::last_descendant(ss::morton::kRootKey));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], ss::morton::kRootKey);
+}
+
+TEST(CoverCells, TileExactlyAndDisjointly) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Key a = rng.next_u64() | (Key{1} << 63);
+    Key b = rng.next_u64() | (Key{1} << 63);
+    if (a > b) std::swap(a, b);
+    const auto cover = cover_cells(a, b);
+    ASSERT_FALSE(cover.empty());
+    Key cursor = a;
+    for (Key k : cover) {
+      EXPECT_EQ(ss::morton::first_descendant(k), cursor);
+      cursor = ss::morton::last_descendant(k);
+      if (cursor == std::numeric_limits<Key>::max()) break;
+      cursor += 1;
+    }
+    EXPECT_EQ(ss::morton::last_descendant(cover.back()), b >= a ? b : a);
+  }
+}
+
+TEST(CoverCells, SingleKeyRange) {
+  const Key k = ss::morton::key_from_lattice(123, 456, 789);
+  const auto cover = cover_cells(k, k);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], k);
+}
+
+TEST(CoverCells, EmptyWhenReversed) {
+  EXPECT_TRUE(cover_cells(Key{1} << 63 | 5, Key{1} << 63 | 3).empty());
+}
+
+// --- weighted splitters --------------------------------------------------------
+
+TEST(Splitters, EqualWeightsSplitEvenly) {
+  std::vector<Key> keys(100);
+  std::iota(keys.begin(), keys.end(), Key{1} << 63);
+  std::vector<double> w(100, 1.0);
+  const auto s = weighted_splitters(keys, w, 4);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], keys[25]);
+  EXPECT_EQ(s[1], keys[50]);
+  EXPECT_EQ(s[2], keys[75]);
+}
+
+TEST(Splitters, HeavyItemShiftsBoundary) {
+  std::vector<Key> keys(10);
+  std::iota(keys.begin(), keys.end(), Key{1} << 63);
+  std::vector<double> w(10, 1.0);
+  w[0] = 100.0;  // first item carries almost all the work
+  const auto s = weighted_splitters(keys, w, 2);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], keys[1]);  // boundary right after the heavy item
+}
+
+TEST(Splitters, OnePartNeedsNoSplitter) {
+  std::vector<Key> keys = {Key{1} << 63};
+  std::vector<double> w = {1.0};
+  EXPECT_TRUE(weighted_splitters(keys, w, 1).empty());
+}
+
+// --- ABM -----------------------------------------------------------------------
+
+TEST(Abm, DeliversRecordsToHandlers) {
+  Runtime rt(3);
+  rt.run([&](Comm& c) {
+    Abm abm(c, {.batch_bytes = 64, .tag = 50});
+    std::vector<int> got;
+    abm.on(0, [&](int, std::span<const std::byte> p) {
+      int v;
+      std::memcpy(&v, p.data(), sizeof(int));
+      got.push_back(v);
+    });
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) abm.post_value<int>(1, 0, i);
+      abm.flush();
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      while (got.size() < 10) abm.poll();
+      EXPECT_EQ(got.size(), 10u);
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+    }
+    c.barrier();
+  });
+}
+
+TEST(Abm, BatchesReduceMessageCount) {
+  Runtime rt(2);
+  std::uint64_t batches = 0;
+  rt.run([&](Comm& c) {
+    Abm abm(c, {.batch_bytes = 1 << 20, .tag = 50});
+    abm.on(0, [](int, std::span<const std::byte>) {});
+    if (c.rank() == 0) {
+      for (int i = 0; i < 1000; ++i) abm.post_value<int>(1, 0, i);
+      abm.flush();
+      batches = abm.batches_sent();
+      EXPECT_EQ(batches, 1u);  // everything fit one batch
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      std::size_t n = 0;
+      while (n < 1000) n += abm.poll();
+      EXPECT_EQ(n, 1000u);
+    }
+    c.barrier();
+  });
+}
+
+TEST(Abm, EagerFlushWhenBatchFull) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Abm abm(c, {.batch_bytes = 32, .tag = 50});
+    abm.on(1, [](int, std::span<const std::byte>) {});
+    if (c.rank() == 0) {
+      for (int i = 0; i < 100; ++i) abm.post_value<int>(1, 1, i);
+      EXPECT_GT(abm.batches_sent(), 10u);  // auto-flushes happened
+      abm.flush();
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      std::size_t n = 0;
+      while (n < 100) n += abm.poll();
+    }
+    c.barrier();
+  });
+}
+
+TEST(Abm, MultipleChannelsDispatchIndependently) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Abm abm(c, {.batch_bytes = 4096, .tag = 50});
+    int a = 0, b = 0;
+    abm.on(0, [&](int, std::span<const std::byte>) { ++a; });
+    abm.on(1, [&](int, std::span<const std::byte>) { ++b; });
+    if (c.rank() == 0) {
+      abm.post_value<int>(1, 0, 1);
+      abm.post_value<int>(1, 1, 2);
+      abm.post_value<int>(1, 0, 3);
+      abm.flush();
+    }
+    c.barrier();
+    if (c.rank() == 1) {
+      while (a + b < 3) abm.poll();
+      EXPECT_EQ(a, 2);
+      EXPECT_EQ(b, 1);
+    }
+    c.barrier();
+  });
+}
+
+// --- decomposition --------------------------------------------------------------
+
+class DecompRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, DecompRanks, ::testing::Values(1, 2, 4, 7));
+
+TEST_P(DecompRanks, ConservesBodies) {
+  const int p = GetParam();
+  const int n_per = 500;
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    Rng rng(static_cast<std::uint64_t>(100 + c.rank()));
+    auto local = clustered_bodies(rng, n_per);
+    const auto box = global_box(c, local);
+    auto dec = decompose(c, local, {}, box);
+    const auto total = c.allreduce_sum(static_cast<double>(dec.bodies.size()));
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(n_per * p));
+    // Mass conserved too.
+    double mass = 0.0;
+    for (const auto& b : dec.bodies) mass += b.mass;
+    EXPECT_NEAR(c.allreduce_sum(mass), static_cast<double>(p), 1e-9);
+  });
+}
+
+TEST_P(DecompRanks, BodiesLandInOwnDomain) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    Rng rng(static_cast<std::uint64_t>(200 + c.rank()));
+    auto local = clustered_bodies(rng, 300);
+    const auto box = global_box(c, local);
+    auto dec = decompose(c, local, {}, box);
+    const Domain dom = dec.domains[static_cast<std::size_t>(c.rank())];
+    for (const auto key : dec.keys) {
+      EXPECT_TRUE(dom.contains(key));
+    }
+    // Domains tile the full key range.
+    EXPECT_EQ(dec.domains.front().lo,
+              ss::morton::first_descendant(ss::morton::kRootKey));
+    EXPECT_EQ(dec.domains.back().hi,
+              ss::morton::last_descendant(ss::morton::kRootKey));
+    for (int r = 1; r < p; ++r) {
+      EXPECT_EQ(dec.domains[static_cast<std::size_t>(r)].lo,
+                dec.domains[static_cast<std::size_t>(r - 1)].hi + 1);
+    }
+  });
+}
+
+TEST_P(DecompRanks, BalancesBodyCounts) {
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP();
+  const int n_per = 2000;
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    // All bodies start on rank 0: worst-case imbalance.
+    Rng rng(42);
+    std::vector<Source> local;
+    if (c.rank() == 0) local = clustered_bodies(rng, n_per * p);
+    const auto box = global_box(c, local);
+    auto dec = decompose(c, local, {}, box,
+                         DecompConfig{.samples_per_rank = 256});
+    const auto mine = static_cast<double>(dec.bodies.size());
+    const double maxn = c.allreduce_max(mine);
+    // Sample sort should get within ~2x of perfect balance with many
+    // samples on clustered data.
+    EXPECT_LT(maxn, 2.0 * n_per);
+    EXPECT_GT(mine, 0.0);
+  });
+}
+
+TEST(Decomp, WorkWeightsShiftBoundaries) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    // 100 bodies spread on a line; the first 10 carry 10x the work.
+    std::vector<Source> local;
+    std::vector<double> work;
+    if (c.rank() == 0) {
+      for (int i = 0; i < 100; ++i) {
+        local.push_back({{i / 100.0, 0.5, 0.5}, 0.01});
+        work.push_back(i < 10 ? 91.0 : 1.0);
+      }
+    }
+    const auto box = global_box(c, local);
+    auto dec = decompose(c, local, work, box,
+                         DecompConfig{.samples_per_rank = 100});
+    // Total work ~ 1000; rank 0 should take roughly the 10 heavy + a few
+    // light bodies, far fewer than half the count.
+    if (c.rank() == 0) {
+      EXPECT_LT(dec.bodies.size(), 35u);
+    } else {
+      EXPECT_GT(dec.bodies.size(), 65u);
+    }
+  });
+}
+
+// --- parallel gravity -----------------------------------------------------------
+
+class ParallelGravityRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelGravityRanks,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ParallelGravityRanks, MatchesSerialTree) {
+  const int p = GetParam();
+  const int n_total = 1200;
+
+  // Serial reference over the identical body set.
+  Rng rng(7);
+  const auto all = clustered_bodies(rng, n_total);
+  ParallelConfig cfg;
+  cfg.theta = 0.6;
+  cfg.eps2 = 1e-6;
+  cfg.tree.bucket_size = 8;
+  cfg.charge_compute = false;
+
+  Runtime rt(p);
+  std::map<std::uint64_t, Vec3> parallel_acc;  // body id -> accel
+  std::mutex mu;
+  rt.run([&](Comm& c) {
+    // Split the body list round-robin across ranks as the "previous"
+    // distribution.
+    std::vector<Source> local;
+    for (int i = c.rank(); i < n_total; i += p) {
+      local.push_back(all[static_cast<std::size_t>(i)]);
+    }
+    auto res = parallel_gravity(c, local, {}, cfg);
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < res.bodies.size(); ++i) {
+      // Identify bodies by position bits (unique in this set).
+      const auto key = ss::morton::encode(res.bodies[i].pos,
+                                          ss::morton::Box{{-3, -3, -3}, 6.0});
+      parallel_acc[key] = res.accel[i].a;
+    }
+  });
+
+  ASSERT_EQ(parallel_acc.size(), static_cast<std::size_t>(n_total));
+
+  // The parallel traversal must agree with direct summation to treecode
+  // accuracy (it cannot be bit-identical to the serial tree because the
+  // distributed tree opens slightly different cells).
+  double rms = 0.0;
+  int counted = 0;
+  for (const auto& b : all) {
+    const auto key =
+        ss::morton::encode(b.pos, ss::morton::Box{{-3, -3, -3}, 6.0});
+    auto it = parallel_acc.find(key);
+    ASSERT_NE(it, parallel_acc.end());
+    const auto exact = ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(
+        b.pos, all, cfg.eps2);
+    const double rel =
+        (it->second - exact.a).norm() / (exact.a.norm() + 1e-30);
+    rms += rel * rel;
+    ++counted;
+  }
+  rms = std::sqrt(rms / counted);
+  // Treecode-level accuracy; the distributed tree's cover-cell cuts give a
+  // slightly different (but equally valid) cell structure than serial.
+  EXPECT_LT(rms, 1.2e-2) << "p=" << p;
+}
+
+TEST_P(ParallelGravityRanks, ConservesBodiesAndReportsStats) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    Rng rng(static_cast<std::uint64_t>(300 + c.rank()));
+    auto local = clustered_bodies(rng, 400);
+    ParallelConfig cfg;
+    cfg.charge_compute = false;
+    auto res = parallel_gravity(c, local, {}, cfg);
+    const double total = c.allreduce_sum(static_cast<double>(res.bodies.size()));
+    EXPECT_DOUBLE_EQ(total, 400.0 * p);
+    EXPECT_EQ(res.accel.size(), res.bodies.size());
+    EXPECT_EQ(res.work.size(), res.bodies.size());
+    for (double w : res.work) EXPECT_GT(w, 0.0);
+    if (p > 1) {
+      // Cross-rank data motion must actually have happened somewhere.
+      const double reqs =
+          c.allreduce_sum(static_cast<double>(res.stats.remote_requests));
+      EXPECT_GT(reqs, 0.0);
+    }
+  });
+}
+
+TEST(ParallelGravity, WorkWeightsImproveSecondStep) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    Rng rng(static_cast<std::uint64_t>(50 + c.rank()));
+    auto local = clustered_bodies(rng, 500);
+    ParallelConfig cfg;
+    cfg.charge_compute = false;
+    auto r1 = parallel_gravity(c, local, {}, cfg);
+    // Feed the measured work into a second decomposition.
+    auto r2 = parallel_gravity(c, r1.bodies, r1.work, cfg);
+    const double total = c.allreduce_sum(static_cast<double>(r2.bodies.size()));
+    EXPECT_DOUBLE_EQ(total, 2000.0);
+
+    // The second step's work imbalance should not exceed the first's by
+    // much (and typically improves).
+    auto imbalance = [&](const std::vector<double>& w) {
+      double local_sum = 0.0;
+      for (double x : w) local_sum += x;
+      const double maxw = c.allreduce_max(local_sum);
+      const double sumw = c.allreduce_sum(local_sum);
+      return maxw / (sumw / c.size());
+    };
+    const double i1 = imbalance(r1.work);
+    const double i2 = imbalance(r2.work);
+    EXPECT_LT(i2, i1 * 1.25 + 0.1);
+  });
+}
+
+TEST(ParallelGravity, EmptyRanksAreTolerated) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    std::vector<Source> local;
+    if (c.rank() == 0) {
+      Rng rng(9);
+      local = clustered_bodies(rng, 64);
+    }
+    ParallelConfig cfg;
+    cfg.charge_compute = false;
+    auto res = parallel_gravity(c, local, {}, cfg);
+    const double total = c.allreduce_sum(static_cast<double>(res.bodies.size()));
+    EXPECT_DOUBLE_EQ(total, 64.0);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "hpl/blas.hpp"
+#include "hpl/lu.hpp"
+#include "hpl/parallel_lu.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::hpl;
+using ss::support::Rng;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t j = 0; j < c; ++j) {
+    for (std::size_t i = 0; i < r; ++i) m.at(i, j) = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+// --- BLAS -------------------------------------------------------------------
+
+TEST(Blas, GemmMinusMatchesNaive) {
+  Rng rng(1);
+  for (auto [m, n, k] : {std::tuple{7, 5, 9}, {16, 16, 16}, {13, 4, 1},
+                         {1, 1, 3}, {20, 17, 11}}) {
+    auto a = random_matrix(m, k, rng);
+    auto b = random_matrix(k, n, rng);
+    auto c = random_matrix(m, n, rng);
+    Matrix want = c;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) {
+        double acc = 0.0;
+        for (std::size_t kk = 0; kk < static_cast<std::size_t>(k); ++kk) {
+          acc += a.at(i, kk) * b.at(kk, j);
+        }
+        want.at(i, j) -= acc;
+      }
+    }
+    gemm_minus(a.view(), b.view(), c.view());
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) {
+        EXPECT_NEAR(c.at(i, j), want.at(i, j), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Blas, TrsmSolvesUnitLower) {
+  Rng rng(2);
+  const std::size_t m = 12, n = 5;
+  Matrix l(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    l.at(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) l.at(i, j) = rng.uniform(-0.5, 0.5);
+  }
+  auto x_want = random_matrix(m, n, rng);
+  // b = L * x
+  Matrix b(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk <= i; ++kk) {
+        acc += l.at(i, kk) * x_want.at(kk, j);
+      }
+      b.at(i, j) = acc;
+    }
+  }
+  trsm_lower_unit(l.view(), b.view());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(b.at(i, j), x_want.at(i, j), 1e-11);
+    }
+  }
+}
+
+TEST(Blas, NormInf) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = -2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(norm_inf(a.view()), 7.0);
+}
+
+// --- serial LU --------------------------------------------------------------
+
+class LuSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes, ::testing::Values(8, 33, 64, 150));
+
+TEST_P(LuSizes, SolveRecoversSolution) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(3);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix orig = a;
+  std::vector<double> x_want(n);
+  for (auto& v : x_want) v = rng.uniform(-2, 2);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += orig.at(i, j) * x_want[j];
+  }
+  const auto pivots = lu_factor(a, 16);
+  const auto x = lu_solve(a, pivots, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_want[i], 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Lu, BlockSizeDoesNotChangeResult) {
+  Rng rng(4);
+  const std::size_t n = 60;
+  Matrix a0 = random_matrix(n, n, rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  std::vector<double> ref;
+  for (std::size_t blockSize : {1u, 8u, 32u, 60u, 100u}) {
+    Matrix a = a0;
+    const auto piv = lu_factor(a, blockSize);
+    const auto x = lu_solve(a, piv, b);
+    if (ref.empty()) {
+      ref = x;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], ref[i], 1e-9);
+    }
+  }
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto piv = lu_factor(a, 2);
+  const auto x = lu_solve(a, piv, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a(3, 3);  // all zeros
+  EXPECT_THROW(lu_factor(a), std::runtime_error);
+}
+
+TEST(Lu, HostLinpackPassesResidualCheck) {
+  const auto r = run_linpack_host(200, 32);
+  EXPECT_TRUE(r.passed) << "residual " << r.residual;
+  EXPECT_LT(r.residual, 16.0);
+  EXPECT_GT(r.gflops, 0.01);
+}
+
+// --- parallel LU ------------------------------------------------------------
+
+class ParallelLuRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelLuRanks,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST_P(ParallelLuRanks, MatchesSerialSolution) {
+  const int p = GetParam();
+  const std::size_t n = 96, nb = 16;
+
+  // Serial reference on the identical system.
+  Rng rng(42);
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) a.at(i, j) = rng.uniform(-0.5, 0.5);
+  }
+  for (auto& v : b) v = rng.uniform(-0.5, 0.5);
+  Matrix orig = a;
+  const auto piv = lu_factor(a, nb);
+  const auto x_ref = lu_solve(a, piv, b);
+
+  ss::vmpi::Runtime rt(p);
+  rt.run([&](ss::vmpi::Comm& c) {
+    const auto r = run_parallel_lu(c, n, nb, 42);
+    EXPECT_TRUE(r.passed) << "residual " << r.residual;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(r.x[i], x_ref[i], 1e-8 * (std::abs(x_ref[i]) + 1.0));
+    }
+  });
+}
+
+TEST(ParallelLu, RejectsIndivisibleBlock) {
+  ss::vmpi::Runtime rt(2);
+  EXPECT_THROW(rt.run([&](ss::vmpi::Comm& c) {
+                 (void)run_parallel_lu(c, 10, 3);
+               }),
+               std::invalid_argument);
+}
+
+// --- modeled cluster Linpack ---------------------------------------------------
+
+TEST(ModeledLinpack, LamBeatsMpichLikeFig3) {
+  auto run_with = [&](const ss::simnet::LibraryProfile& prof) {
+    auto model = ss::vmpi::make_space_simulator_model(prof);
+    ss::vmpi::Runtime rt(32, model);
+    double gf = 0.0;
+    std::mutex mu;
+    rt.run([&](ss::vmpi::Comm& c) {
+      const auto r = run_linpack_modeled(c, 56000, 160);
+      std::lock_guard<std::mutex> lock(mu);
+      gf = r.gflops;
+    });
+    return gf;
+  };
+  const double lam = run_with(ss::simnet::lam_homogeneous());
+  const double mpich = run_with(ss::simnet::mpich_125());
+  EXPECT_GT(lam, mpich);          // the 665 -> 757 improvement's cause
+  EXPECT_GT(lam / mpich, 1.02);
+  EXPECT_LT(lam / mpich, 1.4);
+  // Efficiency in a plausible HPL band.
+  EXPECT_GT(lam / (32 * 3.302), 0.5);
+  EXPECT_LT(lam / (32 * 3.302), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/bom.hpp"
+#include "hw/reliability.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace ss::hw;
+
+// --- bills of materials ------------------------------------------------------------
+
+TEST(Bom, SpaceSimulatorTotalsMatchPaper) {
+  const auto& bom = space_simulator_bom();
+  EXPECT_EQ(bom.nodes(), 294);
+  EXPECT_NEAR(bom.total(), 483855.0, 0.5);
+  EXPECT_NEAR(bom.per_node(), 1646.0, 1.0);
+}
+
+TEST(Bom, LokiTotalsMatchPaper) {
+  const auto& bom = loki_bom();
+  EXPECT_EQ(bom.nodes(), 16);
+  EXPECT_NEAR(bom.total(), 51379.0, 0.5);
+  EXPECT_NEAR(bom.per_node(), 3211.0, 1.0);
+}
+
+TEST(Bom, NetworkShareOfNodeCost) {
+  // Paper: $728 of the $1646 per-node cost (44%) is NICs + switches.
+  const auto& bom = space_simulator_bom();
+  const double network = (bom.total_matching("Foundry") +
+                          bom.total_matching("Gigabit Ethernet PCI card")) /
+                         bom.nodes();
+  EXPECT_NEAR(network, 728.0, 1.0);
+}
+
+TEST(Bom, DollarsPerLinpackMflopBreaksOneDollar) {
+  PricePerformance pp;
+  // Paper: 63.9 cents per Mflop/s with the April 2003 result.
+  EXPECT_NEAR(pp.dollars_per_linpack_mflops(), 0.639, 0.002);
+  // The October 2002 result already broke $1/Mflops.
+  EXPECT_LT(space_simulator_bom().total() / (665.1 * 1000.0), 1.0);
+}
+
+TEST(Bom, SpecfpPricePerformance) {
+  PricePerformance pp;
+  EXPECT_NEAR(pp.node_cost_without_network(), 888.0, 12.0);
+  EXPECT_NEAR(pp.dollars_per_specfp(), 1.20, 0.03);
+}
+
+TEST(MooresLaw, TreecodeImprovementTracksMoore) {
+  // Sec 5: Loki 1.28 Gflop/s at $51,379; SS 179.7 Gflop/s at $483,855 over
+  // six years: performance ratio 140, price ratio 9.4, Moore predicts 16x
+  // price/perf; actual/expected ~ 0.93 (essentially on the Moore line).
+  const double r = moores_law_ratio(1.28, 51379.0, 179.7, 483855.0, 6.0);
+  EXPECT_NEAR(r, 140.0 / 9.4 / 16.0, 0.02);
+  EXPECT_GT(r, 0.85);
+  EXPECT_LT(r, 1.05);
+}
+
+TEST(MooresLaw, NpbBeatsMoore) {
+  // Sec 5: per-processor NPB class B improvements of 12.6-15.5x at half
+  // the per-processor price, over four doublings (16x at equal price).
+  // Example LU: ratio = (6640/1646) / (428/3211) / 16 ~ 1.9.
+  const double lu = moores_law_ratio(428.0, 3211.0, 6640.0, 1646.0, 6.0);
+  EXPECT_GT(lu, 1.7);
+  const double bt = moores_law_ratio(355.0, 3211.0, 4480.0, 1646.0, 6.0);
+  EXPECT_GT(bt, 1.2);  // "exceeds Moore's Law scaling by 25% for BT"
+  EXPECT_LT(bt, 1.7);
+}
+
+TEST(ComponentTrends, DiskAndMemoryBeatMoore) {
+  for (const auto& t : component_trends()) {
+    const double improvement = t.loki_price_per_unit / t.ss_price_per_unit;
+    EXPECT_GT(improvement, 16.0) << t.component;  // all beat 4 doublings
+    if (t.component == "disk") {
+      // Paper: $111/GB -> ~$1/GB, a factor ~7 beyond Moore's 16.
+      EXPECT_NEAR(improvement / 16.0, 7.0, 1.0);
+    }
+  }
+}
+
+// --- reliability -------------------------------------------------------------------
+
+TEST(Reliability, ExpectedCountsMatchPaper) {
+  const auto exp =
+      expected_failures(space_simulator_components(), 294, 9.0);
+  const auto comps = space_simulator_components();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    EXPECT_NEAR(static_cast<double>(exp.install[c]),
+                static_cast<double>(comps[c].paper_install_failures), 1.0)
+        << comps[c].name;
+    EXPECT_NEAR(static_cast<double>(exp.operational[c]),
+                static_cast<double>(comps[c].paper_nine_month_failures), 1.0)
+        << comps[c].name;
+  }
+  EXPECT_EQ(exp.total_install(), 20u);      // 3+6+4+6+1
+  EXPECT_EQ(exp.total_operational(), 23u);  // 2+16+1+3+1
+}
+
+TEST(Reliability, MonteCarloMeanMatchesExpectation) {
+  ss::support::Rng rng(1);
+  ss::support::RunningStat install, oper;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto f = simulate_failures(space_simulator_components(), 294, 9.0,
+                                     rng);
+    install.add(static_cast<double>(f.total_install()));
+    oper.add(static_cast<double>(f.total_operational()));
+  }
+  EXPECT_NEAR(install.mean(), 20.0, 1.0);
+  EXPECT_NEAR(oper.mean(), 23.0, 1.0);
+  // Counts fluctuate like Poisson: stddev ~ sqrt(mean).
+  EXPECT_NEAR(oper.stddev(), std::sqrt(23.0), 2.0);
+}
+
+TEST(Reliability, DisksDominateOperationalFailures) {
+  const auto exp = expected_failures(space_simulator_components(), 294, 9.0);
+  const auto comps = space_simulator_components();
+  std::size_t disk_idx = 0;
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    if (comps[c].name == "disk drive") disk_idx = c;
+  }
+  EXPECT_GT(exp.operational[disk_idx],
+            exp.total_operational() - exp.operational[disk_idx]);
+}
+
+TEST(Reliability, SurvivalFallsWithTimeAndSize) {
+  const auto comps = space_simulator_components();
+  const double day = cluster_survival_probability(comps, 294, 24.0);
+  const double week = cluster_survival_probability(comps, 294, 24.0 * 7);
+  EXPECT_GT(day, week);
+  EXPECT_GT(cluster_survival_probability(comps, 16, 24.0), day);
+  EXPECT_GT(day, 0.8);  // a 24h Linpack run usually survives
+  EXPECT_LT(day, 1.0);
+}
+
+TEST(Reliability, CpuNeverFails) {
+  // The heat-pipe design eliminated the CPU fan; the model encodes the
+  // paper's observation of zero CPU failures.
+  ss::support::Rng rng(2);
+  const auto f = simulate_failures(space_simulator_components(), 294, 9.0,
+                                   rng);
+  const auto comps = space_simulator_components();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    if (comps[c].name.find("CPU") != std::string::npos) {
+      EXPECT_EQ(f.install[c], 0u);
+      EXPECT_EQ(f.operational[c], 0u);
+    }
+  }
+}
+
+}  // namespace

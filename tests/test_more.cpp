@@ -1,0 +1,250 @@
+// Broader property sweeps, edge cases and failure injection across the
+// library — coverage beyond each module's core suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "hot/parallel.hpp"
+#include "hot/tree.hpp"
+#include "morton/sort.hpp"
+#include "nbody/ic.hpp"
+#include "npb/cg.hpp"
+#include "npb/ep.hpp"
+#include "npb/is.hpp"
+#include "simnet/fairshare.hpp"
+#include "support/rng.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using ss::support::Rng;
+using ss::support::Vec3;
+
+// --- morton exhaustive ---------------------------------------------------------
+
+TEST(MortonExhaustive, SmallLatticeRoundTripsCompletely) {
+  // Every cell of a 16^3 lattice round-trips and sorts in Morton order.
+  std::vector<ss::morton::Key> keys;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      for (std::uint32_t z = 0; z < 16; ++z) {
+        const auto k = ss::morton::key_from_lattice(x << 17, y << 17, z << 17);
+        std::uint32_t rx, ry, rz;
+        ss::morton::lattice_from_key(k, rx, ry, rz);
+        ASSERT_EQ(rx >> 17, x);
+        ASSERT_EQ(ry >> 17, y);
+        ASSERT_EQ(rz >> 17, z);
+        keys.push_back(k);
+      }
+    }
+  }
+  std::set<ss::morton::Key> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+}
+
+TEST(MortonExhaustive, AncestorChainsAreConsistent) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto k = ss::morton::key_from_lattice(
+        static_cast<std::uint32_t>(rng.below(ss::morton::kLatticeSize)),
+        static_cast<std::uint32_t>(rng.below(ss::morton::kLatticeSize)),
+        static_cast<std::uint32_t>(rng.below(ss::morton::kLatticeSize)));
+    ss::morton::Key up = k;
+    for (int lev = ss::morton::kMaxLevel; lev > 0; --lev) {
+      const auto parent = ss::morton::parent(up);
+      ASSERT_TRUE(ss::morton::contains(parent, up));
+      ASSERT_TRUE(ss::morton::contains(parent, k));
+      ASSERT_EQ(ss::morton::child(parent, ss::morton::octant_of(up)), up);
+      up = parent;
+    }
+    ASSERT_EQ(up, ss::morton::kRootKey);
+  }
+}
+
+// --- vmpi stress ----------------------------------------------------------------
+
+TEST(VmpiStress, SixtyFourRankCollectives) {
+  ss::vmpi::Runtime rt(64);
+  rt.run([&](ss::vmpi::Comm& c) {
+    const double sum = c.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(sum, 64.0);
+    auto all = c.allgather_value(c.rank());
+    ASSERT_EQ(all.size(), 64u);
+    for (int r = 0; r < 64; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r);
+    c.barrier();
+  });
+}
+
+TEST(VmpiStress, LargePayloadRoundTrip) {
+  ss::vmpi::Runtime rt(2);
+  rt.run([&](ss::vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> big(1 << 18);
+      for (std::size_t i = 0; i < big.size(); ++i) {
+        big[i] = static_cast<double>(i);
+      }
+      c.send<double>(1, 1, big);
+    } else {
+      const auto got = c.recv<double>(0, 1);
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(1 << 18));
+      EXPECT_DOUBLE_EQ(got[12345], 12345.0);
+      EXPECT_DOUBLE_EQ(got.back(), static_cast<double>((1 << 18) - 1));
+    }
+  });
+}
+
+TEST(VmpiStress, ManyInterleavedTags) {
+  ss::vmpi::Runtime rt(2);
+  rt.run([&](ss::vmpi::Comm& c) {
+    const int kTags = 200;
+    if (c.rank() == 0) {
+      for (int t = 0; t < kTags; ++t) c.send_value<int>(1, t, t * t);
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not FIFO.
+      for (int t = kTags - 1; t >= 0; --t) {
+        EXPECT_EQ(c.recv_value<int>(0, t), t * t);
+      }
+    }
+  });
+}
+
+TEST(VmpiStress, PlaceholderCostsButCarriesNoData) {
+  auto model = ss::vmpi::make_space_simulator_model(ss::simnet::tcp());
+  ss::vmpi::Runtime rt(2, model);
+  rt.run([&](ss::vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_placeholder(1, 7, 1 << 20);
+    } else {
+      const auto m = c.recv_msg(0, 7);
+      EXPECT_TRUE(m.data.empty());
+      // But the clock paid for a megabyte at ~779 Mbit/s.
+      EXPECT_GT(c.time(), 0.008);
+    }
+  });
+  EXPECT_EQ(rt.bytes_sent(), static_cast<std::uint64_t>(1 << 20));
+}
+
+// --- parallel treecode failure injection -------------------------------------------
+
+TEST(ParallelFailure, ExceptionDuringTraversalPropagates) {
+  ss::vmpi::Runtime rt(4);
+  EXPECT_THROW(
+      rt.run([&](ss::vmpi::Comm& c) {
+        Rng rng(static_cast<std::uint64_t>(c.rank()));
+        auto bodies = ss::nbody::cold_sphere(100, rng);
+        auto sources = ss::nbody::sources_of(bodies);
+        if (c.rank() == 1) throw std::runtime_error("node died");
+        ss::hot::ParallelConfig cfg;
+        cfg.charge_compute = false;
+        (void)parallel_gravity(c, sources, {}, cfg);
+      }),
+      std::runtime_error);
+}
+
+TEST(ParallelFailure, MismatchedWorkArrayThrows) {
+  ss::vmpi::Runtime rt(2);
+  EXPECT_THROW(
+      rt.run([&](ss::vmpi::Comm& c) {
+        Rng rng(static_cast<std::uint64_t>(c.rank()));
+        auto bodies = ss::nbody::cold_sphere(50, rng);
+        auto sources = ss::nbody::sources_of(bodies);
+        const std::vector<double> bad_work(7, 1.0);  // wrong length
+        const ss::morton::Box box{{-2, -2, -2}, 4.0};
+        (void)ss::hot::decompose(c, sources, bad_work, box);
+      }),
+      std::invalid_argument);
+}
+
+// --- treecode property sweeps -------------------------------------------------------
+
+class TreeBuckets : public ::testing::TestWithParam<std::uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(Buckets, TreeBuckets,
+                         ::testing::Values(1u, 2u, 16u, 64u, 1000u));
+
+TEST_P(TreeBuckets, ForcesIndependentOfBucketSize) {
+  Rng rng(7);
+  const auto bodies = ss::nbody::cold_sphere(600, rng);
+  const auto src = ss::nbody::sources_of(bodies);
+  // theta = 0 opens everything: any bucket size must give the direct sum.
+  ss::hot::Tree tree(src, ss::hot::TreeConfig{GetParam()});
+  const auto acc = tree.accelerate_all(0.0, 1e-6);
+  const auto exact = ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(
+      tree.bodies()[17].pos, src, 1e-6);
+  EXPECT_NEAR((acc[17].a - exact.a).norm(), 0.0, 1e-10);
+}
+
+TEST(TreeDeterminism, SameInputSameOutput) {
+  Rng rng(8);
+  const auto bodies = ss::nbody::cold_sphere(500, rng);
+  const auto src = ss::nbody::sources_of(bodies);
+  ss::hot::Tree t1(src, ss::hot::TreeConfig{8});
+  ss::hot::Tree t2(src, ss::hot::TreeConfig{8});
+  const auto a1 = t1.accelerate_all(0.6, 1e-6);
+  const auto a2 = t2.accelerate_all(0.6, 1e-6);
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    EXPECT_EQ(a1[i].a, a2[i].a);  // bitwise: serial build is deterministic
+  }
+}
+
+// --- NPB extras ------------------------------------------------------------------------
+
+TEST(NpbExtras, IsClassWSortsAcrossRanks) {
+  ss::vmpi::Runtime rt(6);
+  rt.run([&](ss::vmpi::Comm& c) {
+    const auto r = ss::npb::run_is(c, ss::npb::Class::W);
+    EXPECT_TRUE(r.sorted);
+    EXPECT_TRUE(r.perf.verified);
+  });
+}
+
+TEST(NpbExtras, CgClassWConverges) {
+  ss::vmpi::Runtime rt(3);
+  rt.run([&](ss::vmpi::Comm& c) {
+    const auto r = ss::npb::run_cg(c, ss::npb::Class::W);
+    EXPECT_TRUE(r.perf.verified);
+  });
+}
+
+TEST(NpbExtras, EpAnnuliDecayGeometrically) {
+  ss::vmpi::Runtime rt(1);
+  rt.run([&](ss::vmpi::Comm& c) {
+    const auto r = ss::npb::run_ep(c, ss::npb::Class::S);
+    // Gaussian tails: each annulus holds far fewer pairs than the last.
+    for (std::size_t l = 1; l < 5; ++l) {
+      EXPECT_LT(r.annuli[l], r.annuli[l - 1]);
+    }
+    EXPECT_EQ(r.annuli[6], 0u);  // beyond ~6 sigma: none at 2^24 pairs
+  });
+}
+
+// --- fair share property --------------------------------------------------------------
+
+TEST(FairShareProperty, TotalNeverExceedsAnyCutCapacity) {
+  // Random flow sets: aggregate through the trunk never exceeds trunk
+  // capacity; per-flow rate never exceeds the port rate.
+  const auto topo = ss::simnet::space_simulator_topology();
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<ss::simnet::Flow> flows;
+    const int nf = 5 + static_cast<int>(rng.below(60));
+    for (int f = 0; f < nf; ++f) {
+      int s = static_cast<int>(rng.below(294));
+      int d = static_cast<int>(rng.below(294));
+      if (s == d) d = (d + 1) % 294;
+      flows.push_back({s, d});
+    }
+    const auto r = ss::simnet::fair_share(topo, flows);
+    double trunk_total = 0.0;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      EXPECT_LE(r.rate_bps[f], topo.config().port_bps * 1.0001);
+      EXPECT_GT(r.rate_bps[f], 0.0);
+      if (topo.chassis_of(flows[f].src) != topo.chassis_of(flows[f].dst)) {
+        trunk_total += r.rate_bps[f];
+      }
+    }
+    EXPECT_LE(trunk_total, topo.config().trunk_bps * 1.0001);
+  }
+}
+
+}  // namespace

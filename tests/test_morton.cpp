@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "morton/key.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::morton;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+TEST(Spread3, RoundTrips21Bits) {
+  for (std::uint64_t v : {0ull, 1ull, 0x155555ull, 0x1fffffull, 0xabcdeull}) {
+    EXPECT_EQ(compact3(spread3(v)), v);
+  }
+}
+
+TEST(Spread3, BitsAreThreeApart) {
+  // Spreading a single bit k puts it at position 3k.
+  for (int k = 0; k < 21; ++k) {
+    EXPECT_EQ(spread3(std::uint64_t{1} << k), std::uint64_t{1} << (3 * k));
+  }
+}
+
+TEST(Key, LatticeRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.below(kLatticeSize));
+    const auto y = static_cast<std::uint32_t>(rng.below(kLatticeSize));
+    const auto z = static_cast<std::uint32_t>(rng.below(kLatticeSize));
+    const Key k = key_from_lattice(x, y, z);
+    std::uint32_t rx, ry, rz;
+    lattice_from_key(k, rx, ry, rz);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+    EXPECT_EQ(rz, z);
+    EXPECT_EQ(level(k), kMaxLevel);
+  }
+}
+
+TEST(Key, RootProperties) {
+  EXPECT_EQ(level(kRootKey), 0);
+  EXPECT_EQ(parent(child(kRootKey, 5)), kRootKey);
+  EXPECT_EQ(octant_of(child(kRootKey, 5)), 5);
+}
+
+TEST(Key, ParentChildLevels) {
+  Key k = kRootKey;
+  for (int l = 1; l <= kMaxLevel; ++l) {
+    k = child(k, l % 8);
+    EXPECT_EQ(level(k), l);
+  }
+  for (int l = kMaxLevel - 1; l >= 0; --l) {
+    k = parent(k);
+    EXPECT_EQ(level(k), l);
+  }
+  EXPECT_EQ(k, kRootKey);
+}
+
+TEST(Key, ContainsAndAncestors) {
+  const Key a = child(child(kRootKey, 3), 1);
+  const Key b = child(child(a, 7), 2);
+  EXPECT_TRUE(contains(a, b));
+  EXPECT_TRUE(contains(kRootKey, b));
+  EXPECT_FALSE(contains(b, a));
+  EXPECT_TRUE(contains(a, a));
+  EXPECT_EQ(ancestor_at(b, 2), a);
+  EXPECT_EQ(ancestor_at(b, 0), kRootKey);
+}
+
+TEST(Key, DescendantRangeIsContiguousAndNested) {
+  const Key c = child(child(kRootKey, 2), 6);
+  const Key lo = first_descendant(c);
+  const Key hi = last_descendant(c);
+  EXPECT_LE(lo, hi);
+  EXPECT_EQ(level(lo), kMaxLevel);
+  EXPECT_EQ(level(hi), kMaxLevel);
+  EXPECT_TRUE(contains(c, lo));
+  EXPECT_TRUE(contains(c, hi));
+  // A child's range nests strictly inside the parent's.
+  EXPECT_GE(first_descendant(child(c, 0)), lo);
+  EXPECT_LE(last_descendant(child(c, 7)), hi);
+}
+
+TEST(Key, MortonOrderMatchesKeyOrderWithinLevel) {
+  // Keys at max level sort identically to (interleaved) lattice order.
+  const Key a = key_from_lattice(1, 0, 0);
+  const Key b = key_from_lattice(0, 1, 0);
+  const Key c = key_from_lattice(0, 0, 1);
+  EXPECT_GT(a, b);  // x is the most significant interleaved bit
+  EXPECT_GT(b, c);
+}
+
+TEST(Encode, CornersOfUnitBox) {
+  const Box box;  // unit cube at origin
+  std::uint32_t x, y, z;
+  lattice_from_key(encode({0.0, 0.0, 0.0}, box), x, y, z);
+  EXPECT_EQ(x, 0u);
+  EXPECT_EQ(y, 0u);
+  EXPECT_EQ(z, 0u);
+  // Points at/above the high edge clamp into the last lattice cell.
+  lattice_from_key(encode({1.0, 2.0, 0.999999999}, box), x, y, z);
+  EXPECT_EQ(x, kLatticeSize - 1);
+  EXPECT_EQ(y, kLatticeSize - 1);
+  EXPECT_EQ(z, kLatticeSize - 1);
+}
+
+TEST(Encode, SpatialLocalityAtCoarseLevel) {
+  // Two points in the same octant share the level-1 ancestor.
+  const Box box;
+  const Key k1 = encode({0.1, 0.1, 0.1}, box);
+  const Key k2 = encode({0.2, 0.3, 0.4}, box);
+  const Key k3 = encode({0.9, 0.9, 0.9}, box);
+  EXPECT_EQ(ancestor_at(k1, 1), ancestor_at(k2, 1));
+  EXPECT_NE(ancestor_at(k1, 1), ancestor_at(k3, 1));
+}
+
+TEST(CellGeometry, CenterAndSize) {
+  const Box box{{0, 0, 0}, 8.0};
+  EXPECT_DOUBLE_EQ(cell_size(kRootKey, box), 8.0);
+  const auto c = cell_center(kRootKey, box);
+  EXPECT_NEAR(c.x, 4.0, 1e-9);
+  EXPECT_NEAR(c.y, 4.0, 1e-9);
+  EXPECT_NEAR(c.z, 4.0, 1e-9);
+  // Octant 7 (x,y,z high bits set) is the high corner cell.
+  const Key k7 = child(kRootKey, 7);
+  EXPECT_DOUBLE_EQ(cell_size(k7, box), 4.0);
+  const auto c7 = cell_center(k7, box);
+  EXPECT_NEAR(c7.x, 6.0, 1e-9);
+  EXPECT_NEAR(c7.y, 6.0, 1e-9);
+  EXPECT_NEAR(c7.z, 6.0, 1e-9);
+}
+
+TEST(CellGeometry, EncodedPointFallsInItsCell) {
+  Rng rng(3);
+  const Box box{{-5.0, 2.0, 100.0}, 37.5};
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{box.lo.x + rng.uniform() * box.size,
+                 box.lo.y + rng.uniform() * box.size,
+                 box.lo.z + rng.uniform() * box.size};
+    const Key k = encode(p, box);
+    for (int lev = 0; lev <= kMaxLevel; lev += 3) {
+      const Key a = ancestor_at(k, lev);
+      const auto center = cell_center(a, box);
+      const double half = 0.5 * cell_size(a, box);
+      // Allow for the lattice quantization of one max-depth cell.
+      const double slack = box.size / kLatticeSize;
+      EXPECT_LE(std::abs(p.x - center.x), half + slack);
+      EXPECT_LE(std::abs(p.y - center.y), half + slack);
+      EXPECT_LE(std::abs(p.z - center.z), half + slack);
+    }
+  }
+}
+
+TEST(BoundingBox, ContainsAllPoints) {
+  Rng rng(5);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(-3, 9), rng.uniform(0, 1), rng.uniform(-8, -2)});
+  }
+  const Box b = Box::bounding(pts.data(), pts.size());
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, b.lo.x);
+    EXPECT_LT(p.x, b.lo.x + b.size);
+    EXPECT_GE(p.y, b.lo.y);
+    EXPECT_LT(p.y, b.lo.y + b.size);
+    EXPECT_GE(p.z, b.lo.z);
+    EXPECT_LT(p.z, b.lo.z + b.size);
+  }
+}
+
+TEST(HashKey, SiblingsSpread) {
+  // Hashes of the 8 siblings of a cell should all differ.
+  const Key base = child(child(kRootKey, 1), 4);
+  std::set<std::uint64_t> hashes;
+  for (int o = 0; o < 8; ++o) hashes.insert(hash_key(child(base, o)));
+  EXPECT_EQ(hashes.size(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "nbody/ic.hpp"
+#include "nbody/integrator.hpp"
+#include "nbody/outofcore.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ss::nbody;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+// --- initial conditions -------------------------------------------------------
+
+TEST(Plummer, UnitMassAndZeroMomentum) {
+  Rng rng(1);
+  const auto b = plummer_sphere(2000, rng);
+  double mass = 0.0;
+  for (const auto& x : b) mass += x.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_LT(total_momentum(b).norm(), 1e-12);
+}
+
+TEST(Plummer, VirialEquilibrium) {
+  Rng rng(2);
+  const auto b = plummer_sphere(8000, rng);
+  std::vector<ss::gravity::Accel> acc;
+  direct_forces(b, 0.0, ss::gravity::RsqrtMethod::libm, acc);
+  const auto e = energies(b, acc);
+  // Virial theorem: 2K + W = 0; sampled realization is within a few %.
+  EXPECT_NEAR(2.0 * e.kinetic / std::abs(e.potential), 1.0, 0.1);
+  // Standard units: E ~ -1/4.
+  EXPECT_NEAR(e.total(), -0.25, 0.05);
+}
+
+TEST(Plummer, HalfMassRadiusMatchesTheory) {
+  Rng rng(3);
+  const auto b = plummer_sphere(20000, rng);
+  std::vector<double> r;
+  r.reserve(b.size());
+  for (const auto& x : b) r.push_back(x.pos.norm());
+  std::sort(r.begin(), r.end());
+  const double rh = r[r.size() / 2];
+  // Plummer r_half = a / sqrt(2^(2/3) - 1), a = 3*pi/16.
+  const double a = 3.0 * M_PI / 16.0;
+  const double expected = a / std::sqrt(std::pow(2.0, 2.0 / 3.0) - 1.0);
+  EXPECT_NEAR(rh, expected, 0.05 * expected);
+}
+
+TEST(ColdSphere, UniformDensityProfile) {
+  Rng rng(4);
+  const auto b = cold_sphere(20000, rng, 1.0, 0.0);
+  // For uniform density, median radius = (1/2)^(1/3).
+  std::vector<double> r;
+  for (const auto& x : b) r.push_back(x.pos.norm());
+  std::sort(r.begin(), r.end());
+  EXPECT_NEAR(r[r.size() / 2], std::cbrt(0.5), 0.02);
+  for (const auto& x : b) EXPECT_EQ(x.vel, Vec3(0, 0, 0));
+}
+
+TEST(UniformCube, StaysInBox) {
+  Rng rng(5);
+  const auto b = uniform_cube(1000, rng, 2.5);
+  for (const auto& x : b) {
+    EXPECT_GE(x.pos.x, 0.0);
+    EXPECT_LT(x.pos.x, 2.5);
+    EXPECT_GE(x.pos.z, 0.0);
+    EXPECT_LT(x.pos.z, 2.5);
+  }
+}
+
+// --- integrator -----------------------------------------------------------------
+
+TEST(Leapfrog, TwoBodyCircularOrbit) {
+  // Equal masses 0.5 at +-0.5 on x, circular velocity: each orbits the
+  // center at r=0.5 with v^2 = G m_other r / d^2 = 0.5*0.5/1 => v = 0.5.
+  std::vector<Body> b(2);
+  b[0] = {{-0.5, 0, 0}, {0, -0.5, 0}, 0.5};
+  b[1] = {{0.5, 0, 0}, {0, 0.5, 0}, 0.5};
+  Leapfrog sim(b, [](const std::vector<Body>& bodies,
+                     std::vector<ss::gravity::Accel>& acc) {
+    direct_forces(bodies, 0.0, ss::gravity::RsqrtMethod::libm, acc);
+  });
+  const double e0 = sim.current_energies().total();
+  // Period T = 2*pi*r/v = 2*pi; integrate one period.
+  const int steps = 2000;
+  sim.step(2.0 * M_PI / steps, steps);
+  // Back to the start (leapfrog phase error is O(dt^2)).
+  EXPECT_NEAR(sim.bodies()[0].pos.x, -0.5, 5e-3);
+  EXPECT_NEAR(sim.bodies()[0].pos.y, 0.0, 5e-3);
+  EXPECT_NEAR(sim.current_energies().total(), e0, 1e-9);
+}
+
+TEST(Leapfrog, EnergyConservationPlummer) {
+  Rng rng(6);
+  const auto b = plummer_sphere(500, rng);
+  TreeForceConfig cfg;
+  cfg.eps2 = 1e-4;
+  cfg.theta = 0.5;
+  Leapfrog sim(b, [&](const std::vector<Body>& bodies,
+                      std::vector<ss::gravity::Accel>& acc) {
+    tree_forces(bodies, cfg, acc);
+  });
+  const double e0 = sim.current_energies().total();
+  sim.step(0.01, 50);
+  const double e1 = sim.current_energies().total();
+  EXPECT_NEAR(e1, e0, 5e-3 * std::abs(e0));
+}
+
+TEST(Leapfrog, MomentumConservedByDirectForces) {
+  Rng rng(7);
+  const auto b = plummer_sphere(300, rng);
+  Leapfrog sim(b, [](const std::vector<Body>& bodies,
+                     std::vector<ss::gravity::Accel>& acc) {
+    direct_forces(bodies, 1e-6, ss::gravity::RsqrtMethod::libm, acc);
+  });
+  const Vec3 p0 = total_momentum(sim.bodies());
+  sim.step(0.01, 20);
+  EXPECT_LT((total_momentum(sim.bodies()) - p0).norm(), 1e-12);
+}
+
+TEST(Leapfrog, TimeReversible) {
+  Rng rng(8);
+  auto b = plummer_sphere(100, rng);
+  auto force = [](const std::vector<Body>& bodies,
+                  std::vector<ss::gravity::Accel>& acc) {
+    direct_forces(bodies, 1e-4, ss::gravity::RsqrtMethod::libm, acc);
+  };
+  Leapfrog fwd(b, force);
+  fwd.step(0.01, 25);
+  // Reverse velocities and integrate back.
+  auto rev = fwd.bodies();
+  for (auto& x : rev) x.vel = -x.vel;
+  Leapfrog back(rev, force);
+  back.step(0.01, 25);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR((back.bodies()[i].pos - b[i].pos).norm(), 0.0, 1e-8);
+  }
+}
+
+TEST(Leapfrog, ColdCollapseContracts) {
+  // The Table 6 benchmark problem must actually collapse: the mean radius
+  // shrinks substantially within a free-fall time.
+  Rng rng(9);
+  const auto b = cold_sphere(1000, rng);
+  TreeForceConfig cfg;
+  cfg.eps2 = 1e-4;
+  Leapfrog sim(b, [&](const std::vector<Body>& bodies,
+                      std::vector<ss::gravity::Accel>& acc) {
+    tree_forces(bodies, cfg, acc);
+  });
+  auto mean_r = [&](const std::vector<Body>& bs) {
+    double s = 0.0;
+    for (const auto& x : bs) s += x.pos.norm();
+    return s / bs.size();
+  };
+  const double r0 = mean_r(sim.bodies());
+  // Free-fall time for rho = 3/(4 pi): t_ff = sqrt(3 pi / (32 G rho)) ~ 1.1.
+  sim.step(0.02, 50);
+  EXPECT_LT(mean_r(sim.bodies()), 0.75 * r0);
+}
+
+TEST(TreeForces, MatchDirectWithinTolerance) {
+  Rng rng(10);
+  const auto b = plummer_sphere(800, rng);
+  std::vector<ss::gravity::Accel> tree_acc, direct_acc;
+  TreeForceConfig cfg;
+  cfg.theta = 0.4;
+  cfg.eps2 = 1e-6;
+  tree_forces(b, cfg, tree_acc);
+  direct_forces(b, 1e-6, ss::gravity::RsqrtMethod::libm, direct_acc);
+  double rms = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double rel = (tree_acc[i].a - direct_acc[i].a).norm() /
+                       (direct_acc[i].a.norm() + 1e-30);
+    rms += rel * rel;
+  }
+  EXPECT_LT(std::sqrt(rms / b.size()), 2e-3);
+}
+
+TEST(Diagnostics, AngularMomentumOfRigidRotation) {
+  // Ring of mass 1 at radius 1 rotating with Omega=2 about z: L_z = 2.
+  std::vector<Body> b;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    const double phi = 2.0 * M_PI * i / n;
+    Body x;
+    x.pos = {std::cos(phi), std::sin(phi), 0.0};
+    x.vel = {-2.0 * std::sin(phi), 2.0 * std::cos(phi), 0.0};
+    x.mass = 1.0 / n;
+    b.push_back(x);
+  }
+  const Vec3 l = total_angular_momentum(b);
+  EXPECT_NEAR(l.z, 2.0, 1e-12);
+  EXPECT_NEAR(l.x, 0.0, 1e-12);
+}
+
+// --- out of core ------------------------------------------------------------------
+
+TEST(OutOfCore, RoundTripsBodies) {
+  Rng rng(11);
+  const auto b = plummer_sphere(1000, rng);
+  const auto path = std::filesystem::temp_directory_path() / "ss_ooc_test.bin";
+  OutOfCoreStore store(path, 128);
+  store.append(b);
+  store.finish();
+  EXPECT_EQ(store.size(), 1000u);
+  EXPECT_EQ(store.slabs(), 8u);  // ceil(1000/128)
+  EXPECT_EQ(store.bytes(), 1000u * sizeof(Body));
+
+  std::vector<Body> back;
+  store.for_each_slab([&](std::size_t, std::span<const Body> slab) {
+    back.insert(back.end(), slab.begin(), slab.end());
+  });
+  ASSERT_EQ(back.size(), b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(back[i].pos, b[i].pos);
+    EXPECT_EQ(back[i].vel, b[i].vel);
+    EXPECT_DOUBLE_EQ(back[i].mass, b[i].mass);
+  }
+}
+
+TEST(OutOfCore, ShortLastSlab) {
+  const auto path = std::filesystem::temp_directory_path() / "ss_ooc_short.bin";
+  OutOfCoreStore store(path, 10);
+  std::vector<Body> b(25);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i].mass = static_cast<double>(i);
+  }
+  store.append(b);
+  store.finish();
+  EXPECT_EQ(store.slabs(), 3u);
+  EXPECT_EQ(store.read_slab(2).size(), 5u);
+  EXPECT_DOUBLE_EQ(store.read_slab(2)[4].mass, 24.0);
+}
+
+TEST(OutOfCore, BlockForcesMatchInCore) {
+  Rng rng(12);
+  const auto b = plummer_sphere(300, rng);
+  const auto path =
+      std::filesystem::temp_directory_path() / "ss_ooc_force.bin";
+  OutOfCoreStore store(path, 64);
+  store.append(b);
+  store.finish();
+  OutOfCoreForceStats stats;
+  const auto ooc = out_of_core_forces(store, 1e-4, &stats);
+  std::vector<ss::gravity::Accel> ref;
+  direct_forces(b, 1e-4, ss::gravity::RsqrtMethod::libm, ref);
+  ASSERT_EQ(ooc.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR((ooc[i].a - ref[i].a).norm(), 0.0, 1e-11);
+    EXPECT_NEAR(ooc[i].phi, ref[i].phi, 1e-11);
+  }
+  EXPECT_EQ(stats.interactions, 300ull * 300ull);
+  // Each of the 5 target slabs is read once (300 bodies total) and the
+  // whole store streams past per target slab (5 x 300): 1800 bodies.
+  EXPECT_EQ(stats.bytes_read, 1800ull * sizeof(Body));
+}
+
+TEST(OutOfCore, GuardsMisuse) {
+  const auto path = std::filesystem::temp_directory_path() / "ss_ooc_guard.bin";
+  OutOfCoreStore store(path, 10);
+  std::vector<Body> b(5);
+  store.append(b);
+  EXPECT_THROW((void)store.read_slab(0), std::logic_error);
+  store.finish();
+  EXPECT_THROW(store.append(b), std::logic_error);
+  EXPECT_THROW((void)store.read_slab(7), std::out_of_range);
+  EXPECT_THROW(OutOfCoreStore(path, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nodemodel/processors.hpp"
+#include "nodemodel/sharemodel.hpp"
+#include "nodemodel/stream.hpp"
+
+namespace {
+
+using namespace ss::nodemodel;
+
+TEST(Processors, Table5HasElevenRowsInPaperOrder) {
+  const auto t = table5_processors();
+  ASSERT_EQ(t.size(), 11u);
+  EXPECT_EQ(t.front().name, "533-MHz Alpha EV56");
+  EXPECT_DOUBLE_EQ(t.front().libm_mflops, 76.2);
+  EXPECT_EQ(t.back().name, "2530-MHz Intel P4 (icc)");
+  EXPECT_DOUBLE_EQ(t.back().karp_mflops, 1357.0);
+}
+
+TEST(Processors, KarpBeatsLibmOnAllButP4WithGcc) {
+  // The paper's point: the Karp decomposition wins everywhere; on the
+  // 2.2 GHz P4 with gcc the margin nearly vanishes (655.5 vs 668.0).
+  int karp_wins = 0;
+  for (const auto& p : table5_processors()) {
+    if (p.karp_mflops > p.libm_mflops) ++karp_wins;
+  }
+  EXPECT_EQ(karp_wins, 10);  // all but the 2200-MHz P4
+}
+
+TEST(Processors, Table6SpansDecadeAndOrdersByMflops) {
+  const auto t = table6_machines();
+  ASSERT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.front().machine, "ASCI QB");
+  EXPECT_EQ(t.back().machine, "Intel Delta");
+  // Per-processor treecode performance improved ~40x from Delta to QB.
+  EXPECT_GT(t.front().mflops_per_proc / t.back().mflops_per_proc, 35.0);
+}
+
+TEST(Processors, SpaceSimulatorAggregateMatchesTable6) {
+  for (const auto& m : table6_machines()) {
+    EXPECT_NEAR(m.gflops * 1000.0 / m.procs, m.mflops_per_proc,
+                m.mflops_per_proc * 0.02)
+        << m.machine;
+  }
+}
+
+// --- share model -----------------------------------------------------------------
+
+TEST(ShareModel, CalibrationRoundTrips) {
+  const auto m = ShareModel::from_slow_mem_ratio(0.61, 0.6);
+  EXPECT_NEAR(m.predict(1.0, 0.6), 0.61, 1e-12);
+}
+
+TEST(ShareModel, PureMemoryBound) {
+  ShareModel m(1.0);
+  EXPECT_DOUBLE_EQ(m.predict(0.5, 0.6), 0.6);   // CPU is irrelevant
+  EXPECT_DOUBLE_EQ(m.predict(2.0, 1.0), 1.0);
+}
+
+TEST(ShareModel, PureCpuBound) {
+  ShareModel m(0.0);
+  EXPECT_DOUBLE_EQ(m.predict(0.75, 0.6), 0.75);
+}
+
+TEST(ShareModel, OverclockScalesEverything) {
+  // When CPU and memory scale together, every beta gives the same ratio.
+  for (double beta : {0.0, 0.3, 0.7, 1.0}) {
+    ShareModel m(beta);
+    EXPECT_NEAR(m.predict(kOverclockScale, kOverclockScale), kOverclockScale,
+                1e-12);
+  }
+}
+
+TEST(ShareModel, RejectsBadInputs) {
+  EXPECT_THROW(ShareModel(-0.1), std::invalid_argument);
+  EXPECT_THROW(ShareModel(1.1), std::invalid_argument);
+  EXPECT_THROW(ShareModel::from_slow_mem_ratio(0.0), std::invalid_argument);
+  EXPECT_THROW(ShareModel::from_slow_mem_ratio(0.5, 1.5),
+               std::invalid_argument);
+}
+
+TEST(ShareModel, PredictsTable2SlowCpuColumn) {
+  // Calibrate from slow-mem and check the *predicted* slow-CPU ratio
+  // against the measured one for every row. The share model is crude, so
+  // allow 12% — what matters is that it explains the broad pattern.
+  for (const auto& row : table2_rows()) {
+    const auto m =
+        ShareModel::from_slow_mem_ratio(row.slow_mem / row.normal, 0.6);
+    const double predicted = m.predict(kSlowCpuScale, 1.0);
+    const double measured = row.slow_cpu / row.normal;
+    EXPECT_NEAR(predicted, measured, 0.12) << row.name;
+  }
+}
+
+TEST(ShareModel, MemoryBoundRowsHaveHighBeta) {
+  for (const auto& row : table2_rows()) {
+    const auto m =
+        ShareModel::from_slow_mem_ratio(row.slow_mem / row.normal, 0.6);
+    if (row.name.find("STREAM") != std::string::npos ||
+        row.name == "NPB MG" || row.name == "NPB CG") {
+      EXPECT_GT(m.beta(), 0.85) << row.name;
+    }
+    if (row.name == "SPEC CINT2000" || row.name == "Linpack") {
+      EXPECT_LT(m.beta(), 0.5) << row.name;
+    }
+  }
+}
+
+TEST(Table2, RatiosMatchPaperParentheses) {
+  // Spot-check that the stored values reproduce the printed ratios.
+  const auto rows = table2_rows();
+  EXPECT_NEAR(rows[0].slow_mem / rows[0].normal, 0.63, 0.005);   // copy
+  EXPECT_NEAR(rows[3].slow_mem / rows[3].normal, 0.61, 0.006);   // triad
+  EXPECT_NEAR(rows[13].slow_cpu / rows[13].normal, 0.788, 0.005);  // Linpack
+}
+
+// --- STREAM ----------------------------------------------------------------------
+
+TEST(Stream, RunsAndVerifies) {
+  StreamConfig cfg;
+  cfg.elements = 1u << 20;  // keep the test quick
+  cfg.trials = 2;
+  const auto r = run_stream(cfg);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].kernel, "copy");
+  EXPECT_EQ(r[3].kernel, "triad");
+  for (const auto& x : r) {
+    EXPECT_GT(x.mbytes_per_s, 100.0);  // any machine since 1996 manages this
+  }
+  EXPECT_DOUBLE_EQ(r[0].bytes_per_iter, 16.0);
+  EXPECT_DOUBLE_EQ(r[2].bytes_per_iter, 24.0);
+}
+
+}  // namespace

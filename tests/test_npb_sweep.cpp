@@ -1,0 +1,94 @@
+// Parameterized sweep over the modeled NPB kernels: every (kernel, class,
+// rank-count) combination must produce a positive virtual time, a
+// per-processor rate bounded by its calibrated node rate (plus the LU
+// cache bonus), and monotone-nonincreasing efficiency in P.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "npb/cg.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+#include "npb/pseudo.hpp"
+#include "simnet/profile.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using namespace ss::npb;
+
+Result run_kernel(const std::string& name, Class klass, int procs) {
+  auto model =
+      ss::vmpi::make_space_simulator_model(ss::simnet::lam_homogeneous());
+  ss::vmpi::Runtime rt(procs, model);
+  Result out;
+  std::mutex mu;
+  rt.run([&](ss::vmpi::Comm& c) {
+    Result r;
+    if (name == "BT") r = run_pseudo_modeled(c, PseudoApp::BT, klass);
+    else if (name == "SP") r = run_pseudo_modeled(c, PseudoApp::SP, klass);
+    else if (name == "LU") r = run_pseudo_modeled(c, PseudoApp::LU, klass);
+    else if (name == "MG") r = run_mg_modeled(c, klass);
+    else if (name == "CG") r = run_cg_modeled(c, klass);
+    else if (name == "FT") r = run_ft_modeled(c, klass);
+    else r = run_is_modeled(c, klass);
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      out = r;
+    }
+  });
+  return out;
+}
+
+double node_rate(const std::string& name) {
+  NodeRates rates;
+  if (name == "BT") return rates.bt;
+  if (name == "SP") return rates.sp;
+  if (name == "LU") return rates.lu;
+  if (name == "MG") return rates.mg;
+  if (name == "CG") return rates.cg;
+  if (name == "FT") return rates.ft;
+  return rates.is;
+}
+
+using SweepParam = std::tuple<const char*, Class, int>;
+
+class NpbSweep : public ::testing::TestWithParam<SweepParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NpbSweep,
+    ::testing::Combine(::testing::Values("BT", "SP", "LU", "MG", "CG", "FT",
+                                         "IS"),
+                       ::testing::Values(Class::A, Class::C),
+                       ::testing::Values(1, 8, 32)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_class" +
+             class_name(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(NpbSweep, ModeledRunIsSane) {
+  const auto& [kernel, klass, procs] = GetParam();
+  const auto r = run_kernel(kernel, klass, procs);
+  EXPECT_GT(r.vtime_seconds, 0.0);
+  EXPECT_GT(r.total_mops, 0.0);
+  EXPECT_TRUE(r.modeled);
+  EXPECT_EQ(r.procs, procs);
+  // Per-proc rate bounded by the node rate (LU earns up to a 1.2x cache
+  // bonus at small per-rank working sets).
+  const double cap = node_rate(kernel) * 1.25;
+  EXPECT_LT(r.mops_per_proc(), cap) << kernel;
+}
+
+TEST(NpbSweepEfficiency, NeverImprovesWithMoreRanksExceptLuCache) {
+  for (const char* k : {"BT", "SP", "CG", "FT", "MG"}) {
+    const double p1 = run_kernel(k, Class::C, 1).mops_per_proc();
+    const double p32 = run_kernel(k, Class::C, 32).mops_per_proc();
+    EXPECT_LE(p32, p1 * 1.01) << k;
+  }
+}
+
+}  // namespace

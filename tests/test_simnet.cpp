@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "simnet/fabric.hpp"
+#include "simnet/fairshare.hpp"
+#include "simnet/profile.hpp"
+#include "simnet/topology.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace ss::simnet;
+namespace u = ss::support::units;
+
+// --- library profiles (Fig 2 calibration) ----------------------------------
+
+TEST(Profile, TcpLatencyAndPlateau) {
+  const auto& p = tcp();
+  // Small-message time is dominated by the 79 us latency.
+  EXPECT_NEAR(p.transfer_seconds(1), 79e-6, 1e-6);
+  // Large messages approach the 779 Mbit/s plateau.
+  EXPECT_NEAR(p.netpipe_mbits(8 << 20), 779.0, 10.0);
+}
+
+TEST(Profile, LatencyOrderingMatchesPaper) {
+  // 79 us (tcp) < 83 us (lam) < 87 us (mpich family).
+  EXPECT_LT(tcp().transfer_seconds(1), lam().transfer_seconds(1));
+  EXPECT_LT(lam().transfer_seconds(1), mpich_125().transfer_seconds(1));
+  EXPECT_NEAR(mpich_125().transfer_seconds(1), mpich2_092().transfer_seconds(1),
+              1e-6);
+}
+
+TEST(Profile, Mpich125LosesLargeMessageBandwidth) {
+  const double old_bw = mpich_125().netpipe_mbits(4 << 20);
+  const double new_bw = mpich2_092().netpipe_mbits(4 << 20);
+  EXPECT_LT(old_bw, 0.85 * new_bw);  // the Fig 2 gap
+}
+
+TEST(Profile, LamHomogeneousBeatsDefaultLam) {
+  EXPECT_GT(lam_homogeneous().netpipe_mbits(1 << 20),
+            lam().netpipe_mbits(1 << 20));
+}
+
+TEST(Profile, BandwidthMonotoneInMessageSize) {
+  for (const auto& p : all_profiles()) {
+    double prev = 0.0;
+    for (std::size_t b = 64; b <= (8u << 20); b *= 4) {
+      if (p.rendezvous_threshold != 0 && b >= p.rendezvous_threshold / 4 &&
+          b <= p.rendezvous_threshold * 4) {
+        prev = 0.0;  // allow the rendezvous dip
+        continue;
+      }
+      const double bw = p.netpipe_mbits(b);
+      EXPECT_GE(bw, prev) << p.name << " at " << b;
+      prev = bw;
+    }
+  }
+}
+
+// --- topology ----------------------------------------------------------------
+
+TEST(Topology, SpaceSimulatorShape) {
+  const Topology t = space_simulator_topology();
+  EXPECT_EQ(t.nodes(), 294);
+  EXPECT_EQ(t.module_of(0), 0);
+  EXPECT_EQ(t.module_of(15), 0);
+  EXPECT_EQ(t.module_of(16), 1);
+  EXPECT_EQ(t.chassis_of(0), 0);
+  EXPECT_EQ(t.chassis_of(223), 0);
+  EXPECT_EQ(t.chassis_of(224), 1);
+  EXPECT_EQ(t.chassis_of(293), 1);
+}
+
+TEST(Topology, PathTiers) {
+  const Topology t = space_simulator_topology();
+  // Same module: just the two ports.
+  EXPECT_EQ(t.path(0, 1).size(), 2u);
+  // Cross-module, same chassis: ports + two module backplanes.
+  EXPECT_EQ(t.path(0, 17).size(), 4u);
+  // Cross-chassis: add the trunk.
+  EXPECT_EQ(t.path(0, 250).size(), 5u);
+}
+
+TEST(Topology, ResourceSlotsAreUnique) {
+  const Topology t = space_simulator_topology();
+  std::set<std::size_t> seen;
+  for (int n = 0; n < t.nodes(); ++n) {
+    seen.insert(t.resource_slot({Resource::Kind::node_tx, n}));
+    seen.insert(t.resource_slot({Resource::Kind::node_rx, n}));
+  }
+  for (int m = 0; m < t.modules(); ++m) {
+    seen.insert(t.resource_slot({Resource::Kind::module_up, m}));
+    seen.insert(t.resource_slot({Resource::Kind::module_down, m}));
+  }
+  seen.insert(t.resource_slot({Resource::Kind::trunk, 0}));
+  EXPECT_EQ(seen.size(), t.resource_slots());
+}
+
+TEST(Topology, RejectsBadConfig) {
+  TopologyConfig bad;
+  bad.chassis0_ports = 225;  // not a whole number of modules
+  EXPECT_THROW(Topology{bad}, std::invalid_argument);
+}
+
+// --- fair share ---------------------------------------------------------------
+
+TEST(FairShare, SingleFlowGetsPortBandwidth) {
+  const Topology t = space_simulator_topology();
+  const auto r = fair_share(t, {{0, 17}});
+  EXPECT_NEAR(r.rate_bps[0], t.config().port_bps, 1.0);
+}
+
+TEST(FairShare, SameModulePairsDoNotContend) {
+  // Paper: "Within a 16-port switch module, the messages are non-blocking."
+  const Topology t = space_simulator_topology();
+  std::vector<Flow> flows;
+  for (int i = 0; i < 8; ++i) flows.push_back({2 * i, 2 * i + 1});
+  const auto r = fair_share(t, flows);
+  for (double rate : r.rate_bps) EXPECT_NEAR(rate, t.config().port_bps, 1.0);
+}
+
+TEST(FairShare, SixteenCrossModuleStreamsHitModuleCeiling) {
+  // Paper: 16 nodes of one module sending to 16 of another gives ~6000 Mbit/s
+  // aggregate.
+  const Topology t = space_simulator_topology();
+  std::vector<Flow> flows;
+  for (int i = 0; i < 16; ++i) flows.push_back({i, 16 + i});
+  const auto r = fair_share(t, flows);
+  EXPECT_NEAR(r.total_bps / u::Mbit, 6200.0, 1.0);
+  // Fair split: every stream gets the same share.
+  EXPECT_NEAR(r.min_bps, r.max_bps, 1.0);
+}
+
+TEST(FairShare, TrunkLimitsCrossChassisTraffic) {
+  const Topology t = space_simulator_topology();
+  std::vector<Flow> flows;
+  for (int i = 0; i < 64; ++i) flows.push_back({i, 224 + (i % 70)});
+  const auto r = fair_share(t, flows);
+  EXPECT_LE(r.total_bps, t.config().trunk_bps * 1.001);
+  EXPECT_GT(r.total_bps, t.config().trunk_bps * 0.9);
+}
+
+TEST(FairShare, BottleneckedFlowsFreeCapacityForOthers) {
+  // One flow crosses the saturated trunk; another stays inside a module and
+  // must still get full port bandwidth (max-min property).
+  const Topology t = space_simulator_topology();
+  std::vector<Flow> flows;
+  for (int i = 0; i < 32; ++i) flows.push_back({i, 230 + i});  // cross trunk
+  flows.push_back({100, 101});                                 // same module
+  const auto r = fair_share(t, flows);
+  EXPECT_NEAR(r.rate_bps.back(), t.config().port_bps, 1.0);
+  EXPECT_LT(r.rate_bps.front(), t.config().port_bps * 0.5);
+}
+
+TEST(FairShare, HypercubePairsLowDimensionStayInModule) {
+  // dim<4 partners are within the same 16-port module: full bandwidth.
+  const Topology t = space_simulator_topology();
+  for (int dim = 0; dim < 4; ++dim) {
+    const auto flows = hypercube_pairs(32, dim);
+    const auto r = fair_share(t, flows);
+    EXPECT_NEAR(r.min_bps, t.config().port_bps, 1.0) << "dim=" << dim;
+  }
+}
+
+TEST(FairShare, HypercubePairsDimFourCrossModules) {
+  const Topology t = space_simulator_topology();
+  const auto flows = hypercube_pairs(32, 4);  // all 32 nodes cross modules
+  const auto r = fair_share(t, flows);
+  // 16 flows each way across one module pair; each direction shares the
+  // 6.2 Gbit/s module capacity.
+  EXPECT_LT(r.min_bps, t.config().port_bps);
+  EXPECT_NEAR(r.total_bps, 2 * t.config().module_bps, t.config().module_bps * 0.01);
+}
+
+TEST(FairShare, EmptyFlowsGiveEmptyResult) {
+  const Topology t = space_simulator_topology();
+  const auto r = fair_share(t, {});
+  EXPECT_TRUE(r.rate_bps.empty());
+  EXPECT_DOUBLE_EQ(r.total_bps, 0.0);
+}
+
+// --- fabric ---------------------------------------------------------------
+
+TEST(Fabric, UncontendedMatchesProfile) {
+  Fabric f(space_simulator_topology(), tcp());
+  const std::size_t bytes = 1 << 20;
+  const double t = f.arrival(0, 17, bytes, 0.0);
+  // Latency + serialization at the port rate.
+  const double expect =
+      79e-6 + static_cast<double>(bytes) * 8.0 / 779e6;
+  EXPECT_NEAR(t, expect, expect * 0.02);
+}
+
+TEST(Fabric, SelfSendIsCheap) {
+  Fabric f(space_simulator_topology(), lam());
+  EXPECT_LT(f.arrival(3, 3, 1 << 20, 0.0), 1e-4);
+}
+
+TEST(Fabric, ContentionSerializesSharedPort) {
+  Fabric f(space_simulator_topology(), tcp());
+  const std::size_t bytes = 1 << 20;
+  // Two messages into the same destination port back-to-back: the second
+  // arrives roughly one serialization later.
+  const double t1 = f.arrival(0, 17, bytes, 0.0);
+  const double t2 = f.arrival(1, 17, bytes, 0.0);
+  EXPECT_GT(t2, t1 + 0.5 * static_cast<double>(bytes) * 8.0 / 779e6);
+}
+
+TEST(Fabric, CrossModuleAggregateCapped) {
+  Fabric f(space_simulator_topology(), tcp());
+  const std::size_t bytes = 4 << 20;
+  double last = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    last = std::max(last, f.arrival(i, 16 + i, bytes, 0.0));
+  }
+  const double total_bits = 16.0 * static_cast<double>(bytes) * 8.0;
+  const double agg_bps = total_bits / last;
+  // Aggregate throughput must respect the ~6.2 Gbit/s module ceiling and
+  // come reasonably close to it.
+  EXPECT_LE(agg_bps, 6.2e9 * 1.05);
+  EXPECT_GE(agg_bps, 6.2e9 * 0.5);
+}
+
+TEST(Fabric, ResetClearsLedger) {
+  Fabric f(space_simulator_topology(), tcp());
+  const double t1 = f.arrival(0, 17, 1 << 20, 0.0);
+  (void)f.arrival(0, 17, 1 << 20, 0.0);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.arrival(0, 17, 1 << 20, 0.0), t1);
+}
+
+}  // namespace

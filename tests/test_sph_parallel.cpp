@@ -1,0 +1,171 @@
+// Distributed SPH: parallel steps must agree with the serial pipeline and
+// conserve what the serial pipeline conserves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "sph/collapse.hpp"
+#include "sph/eos.hpp"
+#include "sph/parallel.hpp"
+#include "support/rng.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using namespace ss::sph;
+using ss::support::Rng;
+using ss::support::Vec3;
+
+std::vector<Particle> test_cloud(int n) {
+  Rng rng(77);
+  CollapseConfig cfg;
+  cfg.particles = n;
+  cfg.omega_fraction = 0.2;
+  cfg.thermal_fraction = 0.05;
+  return rotating_core(cfg, rng);
+}
+
+SphConfig hydro_only() {
+  SphConfig cfg;
+  cfg.self_gravity = false;
+  cfg.fld.emissivity = 0.0;
+  cfg.fld.opacity = 0.0;
+  return cfg;
+}
+
+class SphRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(RankCounts, SphRanks, ::testing::Values(1, 2, 4));
+
+TEST_P(SphRanks, OneStepMatchesSerial) {
+  const int p = GetParam();
+  const auto cloud = test_cloud(600);
+  const auto eos = [](double rho, double u) { return eos_gamma_law(rho, u); };
+  const auto cfg = hydro_only();
+
+  // Serial reference with the identical timestep choice (global CFL).
+  SphSim serial(cloud, eos, cfg);
+  const double dt_ref = serial.cfl_dt();
+  serial.step(dt_ref);
+
+  ss::vmpi::Runtime rt(p);
+  std::vector<Particle> gathered;
+  std::mutex mu;
+  rt.run([&](ss::vmpi::Comm& c) {
+    // Deal the cloud round-robin.
+    std::vector<Particle> mine;
+    for (std::size_t i = static_cast<std::size_t>(c.rank());
+         i < cloud.size(); i += static_cast<std::size_t>(p)) {
+      mine.push_back(cloud[i]);
+    }
+    ParallelSphStats stats;
+    auto out = parallel_sph_step(c, mine, eos, cfg, &stats);
+    EXPECT_NEAR(stats.diag.dt, dt_ref, 0.05 * dt_ref);
+    std::lock_guard<std::mutex> lock(mu);
+    gathered.insert(gathered.end(), out.begin(), out.end());
+  });
+  ASSERT_EQ(gathered.size(), cloud.size());
+
+  // Match particles to the serial result by nearest position; the fields
+  // must agree to ghost-boundary tolerance.
+  double worst_pos = 0.0, worst_rho = 0.0;
+  for (const auto& q : gathered) {
+    double best = 1e300;
+    const Particle* match = nullptr;
+    for (const auto& s : serial.particles()) {
+      const double d = (s.pos - q.pos).norm2();
+      if (d < best) {
+        best = d;
+        match = &s;
+      }
+    }
+    ASSERT_NE(match, nullptr);
+    worst_pos = std::max(worst_pos, std::sqrt(best));
+    worst_rho = std::max(worst_rho,
+                         std::abs(match->rho - q.rho) / (match->rho + 1e-30));
+  }
+  EXPECT_LT(worst_pos, 2e-3);   // positions track the serial step
+  EXPECT_LT(worst_rho, 5e-2);   // densities agree to boundary-h tolerance
+}
+
+TEST_P(SphRanks, ConservesMassAndCount) {
+  const int p = GetParam();
+  const auto cloud = test_cloud(400);
+  const auto eos = [](double rho, double u) { return eos_gamma_law(rho, u); };
+  const auto cfg = hydro_only();
+
+  ss::vmpi::Runtime rt(p);
+  rt.run([&](ss::vmpi::Comm& c) {
+    std::vector<Particle> mine;
+    for (std::size_t i = static_cast<std::size_t>(c.rank());
+         i < cloud.size(); i += static_cast<std::size_t>(p)) {
+      mine.push_back(cloud[i]);
+    }
+    for (int s = 0; s < 3; ++s) {
+      mine = parallel_sph_step(c, std::move(mine), eos, cfg);
+    }
+    double mass = 0.0;
+    for (const auto& q : mine) mass += q.mass;
+    const double total_n =
+        c.allreduce_sum(static_cast<double>(mine.size()));
+    const double total_m = c.allreduce_sum(mass);
+    EXPECT_DOUBLE_EQ(total_n, 400.0);
+    EXPECT_NEAR(total_m, 1.0, 1e-12);
+  });
+}
+
+TEST(SphParallel, GhostsFlowWhenDomainsTouch) {
+  ss::vmpi::Runtime rt(4);
+  const auto cloud = test_cloud(800);
+  const auto eos = [](double rho, double u) { return eos_gamma_law(rho, u); };
+  const auto cfg = hydro_only();
+  rt.run([&](ss::vmpi::Comm& c) {
+    std::vector<Particle> mine;
+    for (std::size_t i = static_cast<std::size_t>(c.rank());
+         i < cloud.size(); i += 4) {
+      mine.push_back(cloud[i]);
+    }
+    ParallelSphStats stats;
+    (void)parallel_sph_step(c, mine, eos, cfg, &stats);
+    const double ghosts =
+        c.allreduce_sum(static_cast<double>(stats.ghosts_received));
+    EXPECT_GT(ghosts, 0.0);  // a dense ball always straddles domains
+  });
+}
+
+TEST(SphParallel, GravityCollapseProceedsInParallel) {
+  // Full physics (tree gravity through the local+ghost tree): the cold
+  // rotating core must contract like the serial run does.
+  ss::vmpi::Runtime rt(3);
+  Rng rng(5);
+  CollapseConfig ccfg;
+  ccfg.particles = 600;
+  ccfg.omega_fraction = 0.0;
+  ccfg.thermal_fraction = 0.02;
+  const auto cloud = rotating_core(ccfg, rng);
+  const auto eos_fn = make_collapse_eos(1.0, 1.0, 0.5, 50.0);
+  const auto eos = [eos_fn](double rho, double u) { return eos_fn(rho, u); };
+  SphConfig cfg;  // gravity on
+
+  rt.run([&](ss::vmpi::Comm& c) {
+    std::vector<Particle> mine;
+    for (std::size_t i = static_cast<std::size_t>(c.rank());
+         i < cloud.size(); i += 3) {
+      mine.push_back(cloud[i]);
+    }
+    double rho_max0 = 0.0, rho_max1 = 0.0;
+    for (int s = 0; s < 25; ++s) {
+      ParallelSphStats stats;
+      mine = parallel_sph_step(c, std::move(mine), eos, cfg, &stats);
+      if (s == 0) rho_max0 = stats.diag.max_rho;
+      rho_max1 = std::max(rho_max1, stats.diag.max_rho);
+    }
+    const double global1 = c.allreduce_max(rho_max1);
+    const double global0 = c.allreduce_max(rho_max0);
+    EXPECT_GT(global1, 1.5 * global0);  // collapse is underway
+  });
+}
+
+}  // namespace

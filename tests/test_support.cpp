@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/vec3.hpp"
+
+namespace {
+
+using namespace ss::support;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(19);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng r(23);
+  RunningStat small, large;
+  for (int i = 0; i < 50000; ++i) {
+    small.add(static_cast<double>(r.poisson(3.5)));
+    large.add(static_cast<double>(r.poisson(80.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 1.0);
+}
+
+TEST(Rng, UnitVectorIsUnit) {
+  Rng r(29);
+  for (int i = 0; i < 1000; ++i) {
+    double x, y, z;
+    r.unit_vector(x, y, z);
+    EXPECT_NEAR(x * x + y * y + z * z, 1.0, 1e-12);
+  }
+}
+
+TEST(RunningStat, HandlesSingleSample) {
+  RunningStat s;
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  // Sample variance computed directly.
+  double var = 0.0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= 4.0;
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> x{0, 1, 2, 3, 4}, y;
+  for (double xi : x) y.push_back(2.5 * xi - 1.0);
+  const auto f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  std::vector<double> x{1.0}, y{2.0};
+  EXPECT_THROW(fit_line(x, y), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Table, FormatsRatioLikePaper) {
+  EXPECT_EQ(ss::support::Table::with_ratio(761.8, 1203.5, 1), "761.8(0.63)");
+}
+
+TEST(Table, PrintsAlignedGrid) {
+  Table t("demo");
+  t.header({"a", "bb"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_EQ(a.cross(b), Vec3(-3, 6, -3));
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).norm(), 5.0);
+}
+
+}  // namespace

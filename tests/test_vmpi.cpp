@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using namespace ss::vmpi;
+
+class VmpiRanks : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, VmpiRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 33));
+
+TEST_P(VmpiRanks, SendRecvRing) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() - 1 + c.size()) % c.size();
+    c.send_value<int>(next, 1, c.rank());
+    const int got = c.recv_value<int>(prev, 1);
+    EXPECT_EQ(got, prev);
+  });
+}
+
+TEST_P(VmpiRanks, BarrierCompletes) {
+  Runtime rt(GetParam());
+  rt.run([&](Comm& c) {
+    for (int i = 0; i < 3; ++i) c.barrier();
+  });
+}
+
+TEST_P(VmpiRanks, BcastFromEveryRoot) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      std::vector<std::uint64_t> data;
+      if (c.rank() == root) data = {7u, 8u, static_cast<std::uint64_t>(root)};
+      c.bcast(data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[0], 7u);
+      EXPECT_EQ(data[2], static_cast<std::uint64_t>(root));
+    }
+  });
+}
+
+TEST_P(VmpiRanks, AllreduceSum) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const double total = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, p * (p + 1) / 2.0);
+  });
+}
+
+TEST_P(VmpiRanks, AllreduceMax) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const double m = c.allreduce_max(static_cast<double>(c.rank()));
+    EXPECT_DOUBLE_EQ(m, static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(VmpiRanks, VectorAllreduceElementwise) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const std::vector<int> local = {c.rank(), 1, -c.rank()};
+    auto r = c.allreduce(std::span<const int>(local.data(), local.size()),
+                         [](int a, int b) { return a + b; });
+    EXPECT_EQ(r[0], p * (p - 1) / 2);
+    EXPECT_EQ(r[1], p);
+    EXPECT_EQ(r[2], -p * (p - 1) / 2);
+  });
+}
+
+TEST_P(VmpiRanks, InclusiveScan) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const int got = c.scan(c.rank() + 1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(got, (c.rank() + 1) * (c.rank() + 2) / 2);
+  });
+}
+
+TEST_P(VmpiRanks, GatherToEachRoot) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    for (int root = 0; root < std::min(p, 3); ++root) {
+      const std::vector<int> local(static_cast<std::size_t>(c.rank()) + 1,
+                                   c.rank());
+      auto all = c.gather(std::span<const int>(local.data(), local.size()),
+                          root);
+      if (c.rank() == root) {
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(p * (p + 1) / 2));
+        // Blocks arrive in rank order with rank-dependent lengths.
+        std::size_t off = 0;
+        for (int r = 0; r < p; ++r) {
+          for (int i = 0; i <= r; ++i) EXPECT_EQ(all[off++], r);
+        }
+      } else {
+        EXPECT_TRUE(all.empty());
+      }
+    }
+  });
+}
+
+TEST_P(VmpiRanks, AllgatherVariableBlocks) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const std::vector<int> local(static_cast<std::size_t>(c.rank() % 3) + 1,
+                                 c.rank() * 10);
+    auto all = c.allgather(std::span<const int>(local.data(), local.size()));
+    std::size_t expected = 0;
+    for (int r = 0; r < p; ++r) expected += static_cast<std::size_t>(r % 3) + 1;
+    ASSERT_EQ(all.size(), expected);
+    std::size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i <= r % 3; ++i) EXPECT_EQ(all[off++], r * 10);
+    }
+  });
+}
+
+TEST_P(VmpiRanks, AlltoallvRouting) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    // Rank r sends {r*100 + d} to rank d.
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      out[static_cast<std::size_t>(d)] = {c.rank() * 100 + d};
+    }
+    auto in = c.alltoallv(out);
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(in[static_cast<std::size_t>(s)], s * 100 + c.rank());
+    }
+  });
+}
+
+TEST_P(VmpiRanks, SendrecvRingRotation) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const int next = (c.rank() + 1) % p;
+    const int prev = (c.rank() - 1 + p) % p;
+    const std::vector<int> mine = {c.rank(), c.rank() * 10};
+    const auto got = c.sendrecv<int>(next, mine, prev);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], prev);
+    EXPECT_EQ(got[1], prev * 10);
+  });
+}
+
+TEST_P(VmpiRanks, ReduceScatterBlock) {
+  const int p = GetParam();
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    // Each rank contributes [0, 1, ..., 2p-1] scaled by (rank+1); the
+    // reduction is the triangular-number multiple.
+    std::vector<long> local(static_cast<std::size_t>(2 * p));
+    for (int i = 0; i < 2 * p; ++i) {
+      local[static_cast<std::size_t>(i)] =
+          static_cast<long>(i) * (c.rank() + 1);
+    }
+    auto mine = c.reduce_scatter_block(
+        std::span<const long>(local.data(), local.size()),
+        [](long a, long b) { return a + b; });
+    ASSERT_EQ(mine.size(), 2u);
+    const long tri = static_cast<long>(p) * (p + 1) / 2;
+    EXPECT_EQ(mine[0], 2L * c.rank() * tri);
+    EXPECT_EQ(mine[1], (2L * c.rank() + 1) * tri);
+  });
+}
+
+TEST(Vmpi, ReduceScatterRejectsIndivisible) {
+  Runtime rt(3);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+                 std::vector<int> local(4, 1);
+                 (void)c.reduce_scatter_block(
+                     std::span<const int>(local.data(), local.size()),
+                     [](int a, int b) { return a + b; });
+               }),
+               std::invalid_argument);
+}
+
+TEST(Vmpi, TagsKeepMessagesApart) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 5, 55);
+      c.send_value<int>(1, 4, 44);
+    } else {
+      // Receive in the opposite order from the sends.
+      EXPECT_EQ(c.recv_value<int>(0, 4), 44);
+      EXPECT_EQ(c.recv_value<int>(0, 5), 55);
+    }
+  });
+}
+
+TEST(Vmpi, WildcardRecvSeesAnySource) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    if (c.rank() != 0) {
+      c.send_value<int>(0, 9, c.rank());
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) sum += c.recv_msg(kAnySource, 9).as<int>()[0];
+      EXPECT_EQ(sum, 6);
+    }
+  });
+}
+
+TEST(Vmpi, TryRecvPolls) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();  // ensure rank 1 already sent
+      auto m = c.try_recv(1, 3);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->as<int>()[0], 42);
+      EXPECT_FALSE(c.try_recv(1, 3).has_value());
+    } else {
+      c.send_value<int>(0, 3, 42);
+      c.barrier();
+    }
+  });
+}
+
+TEST(Vmpi, ExceptionInOneRankPropagates) {
+  Runtime rt(4);
+  EXPECT_THROW(rt.run([&](Comm& c) {
+                 if (c.rank() == 2) throw std::runtime_error("boom");
+                 // Other ranks block forever; the abort must wake them.
+                 (void)c.recv_msg(kAnySource, 1234);
+               }),
+               std::runtime_error);
+}
+
+TEST(Vmpi, MessageStatsAccumulate) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> payload(100, 1.0);
+      c.send<double>(1, 1, payload);
+    } else {
+      (void)c.recv<double>(0, 1);
+    }
+  });
+  EXPECT_EQ(rt.messages_sent(), 1u);
+  EXPECT_EQ(rt.bytes_sent(), 800u);
+}
+
+// --- virtual time -----------------------------------------------------------
+
+TEST(VirtualTime, ZeroModelNeverAdvances) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    c.barrier();
+    c.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(c.time(), 0.0);
+  });
+  EXPECT_DOUBLE_EQ(rt.elapsed_vtime(), 0.0);
+}
+
+TEST(VirtualTime, ComputeAdvancesClock) {
+  Runtime rt(1);
+  rt.run([&](Comm& c) {
+    c.compute(1.5);
+    EXPECT_DOUBLE_EQ(c.time(), 1.5);
+  });
+  EXPECT_DOUBLE_EQ(rt.elapsed_vtime(), 1.5);
+}
+
+TEST(VirtualTime, MessageDelayPropagates) {
+  auto model = make_space_simulator_model(ss::simnet::tcp());
+  Runtime rt(2, model);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 1, 0);
+    } else {
+      (void)c.recv_value<int>(0, 1);
+      // One small message: the 79 us wire latency must show up.
+      EXPECT_GT(c.time(), 70e-6);
+      EXPECT_LT(c.time(), 200e-6);
+    }
+  });
+}
+
+TEST(VirtualTime, ComputeWorkUsesRoofline) {
+  auto model = std::make_shared<ClusterTimeModel>(
+      ss::simnet::space_simulator_topology(), ss::simnet::tcp(), 1e9, 1e9);
+  Runtime rt(1, model);
+  rt.run([&](Comm& c) {
+    c.compute_work(2'000'000'000ull, 0);  // 2 Gflop at 1 Gflop/s
+    EXPECT_DOUBLE_EQ(c.time(), 2.0);
+    c.compute_work(0, 3'000'000'000ull);  // 3 GB at 1 GB/s
+    EXPECT_DOUBLE_EQ(c.time(), 5.0);
+  });
+}
+
+TEST(VirtualTime, BarrierMaxTimeSynchronizes) {
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    c.compute(static_cast<double>(c.rank()));
+    const double t = c.barrier_max_time();
+    EXPECT_DOUBLE_EQ(t, 3.0);
+    EXPECT_DOUBLE_EQ(c.time(), 3.0);
+  });
+}
+
+TEST(VirtualTime, CongestionSlowsConcurrentSenders) {
+  // 16 senders from module 0 into module 1 share the module uplink; the
+  // last arrival must be far later than a single uncontended transfer.
+  auto model = make_space_simulator_model(ss::simnet::tcp());
+  Runtime rt(32, model);
+  const std::size_t bytes = 1 << 20;
+  rt.run([&](Comm& c) {
+    if (c.rank() < 16) {
+      std::vector<std::byte> buf(bytes, std::byte{0});
+      c.send_bytes(16 + c.rank(), 1, buf);
+    } else if (c.rank() < 32) {
+      (void)c.recv_msg(c.rank() - 16, 1);
+      const double uncontended = 8.0 * static_cast<double>(bytes) / 779e6;
+      EXPECT_GT(c.time(), 0.9 * uncontended);
+    }
+  });
+  // Aggregate: 16 MB through a 6.2 Gbit/s uplink takes >= 21 ms.
+  const double total_bits = 16.0 * 8.0 * static_cast<double>(bytes);
+  EXPECT_GT(rt.elapsed_vtime(), 0.8 * total_bits / 6.2e9);
+}
+
+}  // namespace
