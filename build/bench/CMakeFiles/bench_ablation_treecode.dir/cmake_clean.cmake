@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_treecode.dir/bench_ablation_treecode.cpp.o"
+  "CMakeFiles/bench_ablation_treecode.dir/bench_ablation_treecode.cpp.o.d"
+  "bench_ablation_treecode"
+  "bench_ablation_treecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_treecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_linpack.dir/bench_fig3_linpack.cpp.o"
+  "CMakeFiles/bench_fig3_linpack.dir/bench_fig3_linpack.cpp.o.d"
+  "bench_fig3_linpack"
+  "bench_fig3_linpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cosmology.dir/bench_fig7_cosmology.cpp.o"
+  "CMakeFiles/bench_fig7_cosmology.dir/bench_fig7_cosmology.cpp.o.d"
+  "bench_fig7_cosmology"
+  "bench_fig7_cosmology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

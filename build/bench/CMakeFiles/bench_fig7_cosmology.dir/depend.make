@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_cosmology.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_supernova.dir/bench_fig8_supernova.cpp.o"
+  "CMakeFiles/bench_fig8_supernova.dir/bench_fig8_supernova.cpp.o.d"
+  "bench_fig8_supernova"
+  "bench_fig8_supernova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_supernova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

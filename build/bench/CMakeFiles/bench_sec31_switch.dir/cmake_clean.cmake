@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_switch.dir/bench_sec31_switch.cpp.o"
+  "CMakeFiles/bench_sec31_switch.dir/bench_sec31_switch.cpp.o.d"
+  "bench_sec31_switch"
+  "bench_sec31_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_clockscale.dir/bench_table2_clockscale.cpp.o"
+  "CMakeFiles/bench_table2_clockscale.dir/bench_table2_clockscale.cpp.o.d"
+  "bench_table2_clockscale"
+  "bench_table2_clockscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_clockscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

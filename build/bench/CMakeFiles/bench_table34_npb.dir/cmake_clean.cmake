@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table34_npb.dir/bench_table34_npb.cpp.o"
+  "CMakeFiles/bench_table34_npb.dir/bench_table34_npb.cpp.o.d"
+  "bench_table34_npb"
+  "bench_table34_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table34_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gravkernel.dir/bench_table5_gravkernel.cpp.o"
+  "CMakeFiles/bench_table5_gravkernel.dir/bench_table5_gravkernel.cpp.o.d"
+  "bench_table5_gravkernel"
+  "bench_table5_gravkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gravkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_treecode.dir/bench_table6_treecode.cpp.o"
+  "CMakeFiles/bench_table6_treecode.dir/bench_table6_treecode.cpp.o.d"
+  "bench_table6_treecode"
+  "bench_table6_treecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_treecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_netsim.dir/cluster_netsim.cpp.o"
+  "CMakeFiles/cluster_netsim.dir/cluster_netsim.cpp.o.d"
+  "cluster_netsim"
+  "cluster_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

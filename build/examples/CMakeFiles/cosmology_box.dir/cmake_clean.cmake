@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_box.dir/cosmology_box.cpp.o"
+  "CMakeFiles/cosmology_box.dir/cosmology_box.cpp.o.d"
+  "cosmology_box"
+  "cosmology_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/galaxy_collision.cpp" "examples/CMakeFiles/galaxy_collision.dir/galaxy_collision.cpp.o" "gcc" "examples/CMakeFiles/galaxy_collision.dir/galaxy_collision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nodemodel/CMakeFiles/ss_nodemodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ss_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/ss_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/ss_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/ss_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/ss_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ss_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/cosmo/CMakeFiles/ss_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sph/CMakeFiles/ss_sph.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/ss_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpl/CMakeFiles/ss_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/vortex/CMakeFiles/ss_vortex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

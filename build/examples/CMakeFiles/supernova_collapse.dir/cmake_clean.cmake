@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernova_collapse.dir/supernova_collapse.cpp.o"
+  "CMakeFiles/supernova_collapse.dir/supernova_collapse.cpp.o.d"
+  "supernova_collapse"
+  "supernova_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernova_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

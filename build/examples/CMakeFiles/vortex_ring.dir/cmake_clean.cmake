@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vortex_ring.dir/vortex_ring.cpp.o"
+  "CMakeFiles/vortex_ring.dir/vortex_ring.cpp.o.d"
+  "vortex_ring"
+  "vortex_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vortex_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("simnet")
+subdirs("vmpi")
+subdirs("nodemodel")
+subdirs("hw")
+subdirs("morton")
+subdirs("gravity")
+subdirs("hot")
+subdirs("nbody")
+subdirs("fft")
+subdirs("cosmo")
+subdirs("sph")
+subdirs("vortex")
+subdirs("npb")
+subdirs("hpl")

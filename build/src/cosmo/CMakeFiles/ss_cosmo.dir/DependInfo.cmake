@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmo/cosmology.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/cosmology.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/cosmology.cpp.o.d"
+  "/root/repo/src/cosmo/ewald.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/ewald.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/ewald.cpp.o.d"
+  "/root/repo/src/cosmo/fof.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/fof.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/fof.cpp.o.d"
+  "/root/repo/src/cosmo/measure.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/measure.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/measure.cpp.o.d"
+  "/root/repo/src/cosmo/power.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/power.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/power.cpp.o.d"
+  "/root/repo/src/cosmo/sim.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/sim.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/sim.cpp.o.d"
+  "/root/repo/src/cosmo/zeldovich.cpp" "src/cosmo/CMakeFiles/ss_cosmo.dir/zeldovich.cpp.o" "gcc" "src/cosmo/CMakeFiles/ss_cosmo.dir/zeldovich.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/ss_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/ss_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/ss_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/ss_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/ss_gravity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_cosmo.dir/cosmology.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/cosmology.cpp.o.d"
+  "CMakeFiles/ss_cosmo.dir/ewald.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/ewald.cpp.o.d"
+  "CMakeFiles/ss_cosmo.dir/fof.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/fof.cpp.o.d"
+  "CMakeFiles/ss_cosmo.dir/measure.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/measure.cpp.o.d"
+  "CMakeFiles/ss_cosmo.dir/power.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/power.cpp.o.d"
+  "CMakeFiles/ss_cosmo.dir/sim.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/sim.cpp.o.d"
+  "CMakeFiles/ss_cosmo.dir/zeldovich.cpp.o"
+  "CMakeFiles/ss_cosmo.dir/zeldovich.cpp.o.d"
+  "libss_cosmo.a"
+  "libss_cosmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

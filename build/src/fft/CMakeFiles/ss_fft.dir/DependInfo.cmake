@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/fft.cpp" "src/fft/CMakeFiles/ss_fft.dir/fft.cpp.o" "gcc" "src/fft/CMakeFiles/ss_fft.dir/fft.cpp.o.d"
+  "/root/repo/src/fft/slabfft.cpp" "src/fft/CMakeFiles/ss_fft.dir/slabfft.cpp.o" "gcc" "src/fft/CMakeFiles/ss_fft.dir/slabfft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_fft.dir/fft.cpp.o"
+  "CMakeFiles/ss_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/ss_fft.dir/slabfft.cpp.o"
+  "CMakeFiles/ss_fft.dir/slabfft.cpp.o.d"
+  "libss_fft.a"
+  "libss_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gravity/batch.cpp" "src/gravity/CMakeFiles/ss_gravity.dir/batch.cpp.o" "gcc" "src/gravity/CMakeFiles/ss_gravity.dir/batch.cpp.o.d"
+  "/root/repo/src/gravity/kernels.cpp" "src/gravity/CMakeFiles/ss_gravity.dir/kernels.cpp.o" "gcc" "src/gravity/CMakeFiles/ss_gravity.dir/kernels.cpp.o.d"
+  "/root/repo/src/gravity/multipole.cpp" "src/gravity/CMakeFiles/ss_gravity.dir/multipole.cpp.o" "gcc" "src/gravity/CMakeFiles/ss_gravity.dir/multipole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_gravity.dir/batch.cpp.o"
+  "CMakeFiles/ss_gravity.dir/batch.cpp.o.d"
+  "CMakeFiles/ss_gravity.dir/kernels.cpp.o"
+  "CMakeFiles/ss_gravity.dir/kernels.cpp.o.d"
+  "CMakeFiles/ss_gravity.dir/multipole.cpp.o"
+  "CMakeFiles/ss_gravity.dir/multipole.cpp.o.d"
+  "libss_gravity.a"
+  "libss_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hot/abm.cpp" "src/hot/CMakeFiles/ss_hot.dir/abm.cpp.o" "gcc" "src/hot/CMakeFiles/ss_hot.dir/abm.cpp.o.d"
+  "/root/repo/src/hot/decomp.cpp" "src/hot/CMakeFiles/ss_hot.dir/decomp.cpp.o" "gcc" "src/hot/CMakeFiles/ss_hot.dir/decomp.cpp.o.d"
+  "/root/repo/src/hot/parallel.cpp" "src/hot/CMakeFiles/ss_hot.dir/parallel.cpp.o" "gcc" "src/hot/CMakeFiles/ss_hot.dir/parallel.cpp.o.d"
+  "/root/repo/src/hot/tree.cpp" "src/hot/CMakeFiles/ss_hot.dir/tree.cpp.o" "gcc" "src/hot/CMakeFiles/ss_hot.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/ss_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/ss_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_hot.dir/abm.cpp.o"
+  "CMakeFiles/ss_hot.dir/abm.cpp.o.d"
+  "CMakeFiles/ss_hot.dir/decomp.cpp.o"
+  "CMakeFiles/ss_hot.dir/decomp.cpp.o.d"
+  "CMakeFiles/ss_hot.dir/parallel.cpp.o"
+  "CMakeFiles/ss_hot.dir/parallel.cpp.o.d"
+  "CMakeFiles/ss_hot.dir/tree.cpp.o"
+  "CMakeFiles/ss_hot.dir/tree.cpp.o.d"
+  "libss_hot.a"
+  "libss_hot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_hot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

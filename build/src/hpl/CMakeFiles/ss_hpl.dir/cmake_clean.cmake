@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_hpl.dir/blas.cpp.o"
+  "CMakeFiles/ss_hpl.dir/blas.cpp.o.d"
+  "CMakeFiles/ss_hpl.dir/lu.cpp.o"
+  "CMakeFiles/ss_hpl.dir/lu.cpp.o.d"
+  "CMakeFiles/ss_hpl.dir/parallel_lu.cpp.o"
+  "CMakeFiles/ss_hpl.dir/parallel_lu.cpp.o.d"
+  "libss_hpl.a"
+  "libss_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

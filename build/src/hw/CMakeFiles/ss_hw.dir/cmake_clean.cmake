@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_hw.dir/bom.cpp.o"
+  "CMakeFiles/ss_hw.dir/bom.cpp.o.d"
+  "CMakeFiles/ss_hw.dir/reliability.cpp.o"
+  "CMakeFiles/ss_hw.dir/reliability.cpp.o.d"
+  "libss_hw.a"
+  "libss_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

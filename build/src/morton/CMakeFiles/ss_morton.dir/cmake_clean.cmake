@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_morton.dir/key.cpp.o"
+  "CMakeFiles/ss_morton.dir/key.cpp.o.d"
+  "CMakeFiles/ss_morton.dir/sort.cpp.o"
+  "CMakeFiles/ss_morton.dir/sort.cpp.o.d"
+  "libss_morton.a"
+  "libss_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbody/galaxy.cpp" "src/nbody/CMakeFiles/ss_nbody.dir/galaxy.cpp.o" "gcc" "src/nbody/CMakeFiles/ss_nbody.dir/galaxy.cpp.o.d"
+  "/root/repo/src/nbody/ic.cpp" "src/nbody/CMakeFiles/ss_nbody.dir/ic.cpp.o" "gcc" "src/nbody/CMakeFiles/ss_nbody.dir/ic.cpp.o.d"
+  "/root/repo/src/nbody/integrator.cpp" "src/nbody/CMakeFiles/ss_nbody.dir/integrator.cpp.o" "gcc" "src/nbody/CMakeFiles/ss_nbody.dir/integrator.cpp.o.d"
+  "/root/repo/src/nbody/outofcore.cpp" "src/nbody/CMakeFiles/ss_nbody.dir/outofcore.cpp.o" "gcc" "src/nbody/CMakeFiles/ss_nbody.dir/outofcore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/ss_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/ss_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/ss_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_nbody.dir/galaxy.cpp.o"
+  "CMakeFiles/ss_nbody.dir/galaxy.cpp.o.d"
+  "CMakeFiles/ss_nbody.dir/ic.cpp.o"
+  "CMakeFiles/ss_nbody.dir/ic.cpp.o.d"
+  "CMakeFiles/ss_nbody.dir/integrator.cpp.o"
+  "CMakeFiles/ss_nbody.dir/integrator.cpp.o.d"
+  "CMakeFiles/ss_nbody.dir/outofcore.cpp.o"
+  "CMakeFiles/ss_nbody.dir/outofcore.cpp.o.d"
+  "libss_nbody.a"
+  "libss_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

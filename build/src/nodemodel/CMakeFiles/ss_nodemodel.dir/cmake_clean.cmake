@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_nodemodel.dir/processors.cpp.o"
+  "CMakeFiles/ss_nodemodel.dir/processors.cpp.o.d"
+  "CMakeFiles/ss_nodemodel.dir/sharemodel.cpp.o"
+  "CMakeFiles/ss_nodemodel.dir/sharemodel.cpp.o.d"
+  "CMakeFiles/ss_nodemodel.dir/stream.cpp.o"
+  "CMakeFiles/ss_nodemodel.dir/stream.cpp.o.d"
+  "libss_nodemodel.a"
+  "libss_nodemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_nodemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_npb.dir/cg.cpp.o"
+  "CMakeFiles/ss_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/ss_npb.dir/classes.cpp.o"
+  "CMakeFiles/ss_npb.dir/classes.cpp.o.d"
+  "CMakeFiles/ss_npb.dir/ep.cpp.o"
+  "CMakeFiles/ss_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/ss_npb.dir/ft.cpp.o"
+  "CMakeFiles/ss_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/ss_npb.dir/is.cpp.o"
+  "CMakeFiles/ss_npb.dir/is.cpp.o.d"
+  "CMakeFiles/ss_npb.dir/mg.cpp.o"
+  "CMakeFiles/ss_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/ss_npb.dir/pseudo.cpp.o"
+  "CMakeFiles/ss_npb.dir/pseudo.cpp.o.d"
+  "libss_npb.a"
+  "libss_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

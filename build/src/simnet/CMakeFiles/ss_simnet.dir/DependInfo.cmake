@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/fabric.cpp" "src/simnet/CMakeFiles/ss_simnet.dir/fabric.cpp.o" "gcc" "src/simnet/CMakeFiles/ss_simnet.dir/fabric.cpp.o.d"
+  "/root/repo/src/simnet/fairshare.cpp" "src/simnet/CMakeFiles/ss_simnet.dir/fairshare.cpp.o" "gcc" "src/simnet/CMakeFiles/ss_simnet.dir/fairshare.cpp.o.d"
+  "/root/repo/src/simnet/profile.cpp" "src/simnet/CMakeFiles/ss_simnet.dir/profile.cpp.o" "gcc" "src/simnet/CMakeFiles/ss_simnet.dir/profile.cpp.o.d"
+  "/root/repo/src/simnet/topology.cpp" "src/simnet/CMakeFiles/ss_simnet.dir/topology.cpp.o" "gcc" "src/simnet/CMakeFiles/ss_simnet.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

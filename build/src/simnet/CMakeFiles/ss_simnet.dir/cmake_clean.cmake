@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_simnet.dir/fabric.cpp.o"
+  "CMakeFiles/ss_simnet.dir/fabric.cpp.o.d"
+  "CMakeFiles/ss_simnet.dir/fairshare.cpp.o"
+  "CMakeFiles/ss_simnet.dir/fairshare.cpp.o.d"
+  "CMakeFiles/ss_simnet.dir/profile.cpp.o"
+  "CMakeFiles/ss_simnet.dir/profile.cpp.o.d"
+  "CMakeFiles/ss_simnet.dir/topology.cpp.o"
+  "CMakeFiles/ss_simnet.dir/topology.cpp.o.d"
+  "libss_simnet.a"
+  "libss_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sph/collapse.cpp" "src/sph/CMakeFiles/ss_sph.dir/collapse.cpp.o" "gcc" "src/sph/CMakeFiles/ss_sph.dir/collapse.cpp.o.d"
+  "/root/repo/src/sph/eos.cpp" "src/sph/CMakeFiles/ss_sph.dir/eos.cpp.o" "gcc" "src/sph/CMakeFiles/ss_sph.dir/eos.cpp.o.d"
+  "/root/repo/src/sph/fld.cpp" "src/sph/CMakeFiles/ss_sph.dir/fld.cpp.o" "gcc" "src/sph/CMakeFiles/ss_sph.dir/fld.cpp.o.d"
+  "/root/repo/src/sph/kernel.cpp" "src/sph/CMakeFiles/ss_sph.dir/kernel.cpp.o" "gcc" "src/sph/CMakeFiles/ss_sph.dir/kernel.cpp.o.d"
+  "/root/repo/src/sph/parallel.cpp" "src/sph/CMakeFiles/ss_sph.dir/parallel.cpp.o" "gcc" "src/sph/CMakeFiles/ss_sph.dir/parallel.cpp.o.d"
+  "/root/repo/src/sph/sph.cpp" "src/sph/CMakeFiles/ss_sph.dir/sph.cpp.o" "gcc" "src/sph/CMakeFiles/ss_sph.dir/sph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/ss_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/ss_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/ss_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/ss_gravity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sph.dir/collapse.cpp.o"
+  "CMakeFiles/ss_sph.dir/collapse.cpp.o.d"
+  "CMakeFiles/ss_sph.dir/eos.cpp.o"
+  "CMakeFiles/ss_sph.dir/eos.cpp.o.d"
+  "CMakeFiles/ss_sph.dir/fld.cpp.o"
+  "CMakeFiles/ss_sph.dir/fld.cpp.o.d"
+  "CMakeFiles/ss_sph.dir/kernel.cpp.o"
+  "CMakeFiles/ss_sph.dir/kernel.cpp.o.d"
+  "CMakeFiles/ss_sph.dir/parallel.cpp.o"
+  "CMakeFiles/ss_sph.dir/parallel.cpp.o.d"
+  "CMakeFiles/ss_sph.dir/sph.cpp.o"
+  "CMakeFiles/ss_sph.dir/sph.cpp.o.d"
+  "libss_sph.a"
+  "libss_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

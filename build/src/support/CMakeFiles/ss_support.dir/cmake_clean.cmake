@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_support.dir/stats.cpp.o"
+  "CMakeFiles/ss_support.dir/stats.cpp.o.d"
+  "CMakeFiles/ss_support.dir/table.cpp.o"
+  "CMakeFiles/ss_support.dir/table.cpp.o.d"
+  "libss_support.a"
+  "libss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/ss_vmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/ss_vmpi.dir/timemodel.cpp.o"
+  "CMakeFiles/ss_vmpi.dir/timemodel.cpp.o.d"
+  "libss_vmpi.a"
+  "libss_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ss_vmpi.
+# This may be replaced when dependencies are built.

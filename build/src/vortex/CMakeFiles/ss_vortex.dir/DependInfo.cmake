@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vortex/biot_savart.cpp" "src/vortex/CMakeFiles/ss_vortex.dir/biot_savart.cpp.o" "gcc" "src/vortex/CMakeFiles/ss_vortex.dir/biot_savart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hot/CMakeFiles/ss_hot.dir/DependInfo.cmake"
+  "/root/repo/build/src/morton/CMakeFiles/ss_morton.dir/DependInfo.cmake"
+  "/root/repo/build/src/gravity/CMakeFiles/ss_gravity.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/ss_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ss_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

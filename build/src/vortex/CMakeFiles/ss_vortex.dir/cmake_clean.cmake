@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_vortex.dir/biot_savart.cpp.o"
+  "CMakeFiles/ss_vortex.dir/biot_savart.cpp.o.d"
+  "libss_vortex.a"
+  "libss_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ewald.dir/test_ewald.cpp.o"
+  "CMakeFiles/test_ewald.dir/test_ewald.cpp.o.d"
+  "test_ewald"
+  "test_ewald.pdb"
+  "test_ewald[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ewald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

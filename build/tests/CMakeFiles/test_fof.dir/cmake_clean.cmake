@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fof.dir/test_fof.cpp.o"
+  "CMakeFiles/test_fof.dir/test_fof.cpp.o.d"
+  "test_fof"
+  "test_fof.pdb"
+  "test_fof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

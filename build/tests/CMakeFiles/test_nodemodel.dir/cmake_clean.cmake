@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nodemodel.dir/test_nodemodel.cpp.o"
+  "CMakeFiles/test_nodemodel.dir/test_nodemodel.cpp.o.d"
+  "test_nodemodel"
+  "test_nodemodel.pdb"
+  "test_nodemodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nodemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb.dir/test_npb.cpp.o"
+  "CMakeFiles/test_npb.dir/test_npb.cpp.o.d"
+  "test_npb"
+  "test_npb.pdb"
+  "test_npb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

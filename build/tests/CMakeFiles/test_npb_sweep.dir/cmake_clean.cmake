@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npb_sweep.dir/test_npb_sweep.cpp.o"
+  "CMakeFiles/test_npb_sweep.dir/test_npb_sweep.cpp.o.d"
+  "test_npb_sweep"
+  "test_npb_sweep.pdb"
+  "test_npb_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

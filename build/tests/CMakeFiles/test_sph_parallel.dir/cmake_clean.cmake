@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sph_parallel.dir/test_sph_parallel.cpp.o"
+  "CMakeFiles/test_sph_parallel.dir/test_sph_parallel.cpp.o.d"
+  "test_sph_parallel"
+  "test_sph_parallel.pdb"
+  "test_sph_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sph_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

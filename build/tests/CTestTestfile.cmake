@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_gravity[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_hot[1]_include.cmake")
+include("/root/repo/build/tests/test_hot_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_nbody[1]_include.cmake")
+include("/root/repo/build/tests/test_nodemodel[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_npb[1]_include.cmake")
+include("/root/repo/build/tests/test_hpl[1]_include.cmake")
+include("/root/repo/build/tests/test_cosmo[1]_include.cmake")
+include("/root/repo/build/tests/test_sph[1]_include.cmake")
+include("/root/repo/build/tests/test_vortex[1]_include.cmake")
+include("/root/repo/build/tests/test_fof[1]_include.cmake")
+include("/root/repo/build/tests/test_ewald[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_more[1]_include.cmake")
+include("/root/repo/build/tests/test_sph_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_npb_sweep[1]_include.cmake")
