@@ -7,11 +7,28 @@
 //     split by measured work is the paper's load-balancing mechanism; the
 //     ablation measures the load imbalance both ways on a clustered
 //     problem.
+//
+// Observability flags (see README "Observability"):
+//
+//   --trace PREFIX   run the measured pass under an obs::Session and write
+//                    PREFIX.trace.json (Chrome trace-event, open in
+//                    Perfetto: one track per rank showing the four force-
+//                    evaluation stages) and PREFIX.summary.json (counters,
+//                    gauges, per-phase imbalance), plus print the
+//                    virtual-time phase breakdown table.
+//   --json [PATH]    write the ablation tables as machine-readable JSON
+//                    (default BENCH_ablation_parallel.json).
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
+#include <string>
 
 #include "hot/parallel.hpp"
 #include "nbody/ic.hpp"
+#include "obs/report.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "vmpi/comm.hpp"
 
@@ -23,10 +40,12 @@ struct RunResult {
   double imbalance = 0.0;  ///< max over ranks of work / mean work
 };
 
-RunResult run_gravity(int procs, std::size_t batch_bytes, bool weighted) {
+RunResult run_gravity(int procs, std::size_t batch_bytes, bool weighted,
+                      ss::obs::Session* session = nullptr) {
   auto model = ss::vmpi::make_space_simulator_model(
       ss::simnet::lam_homogeneous(), 623.9e6);
   ss::vmpi::Runtime rt(procs, model);
+  rt.attach_observer(session);
   RunResult out;
   std::mutex mu;
   rt.run([&](ss::vmpi::Comm& c) {
@@ -68,30 +87,54 @@ RunResult run_gravity(int procs, std::size_t batch_bytes, bool weighted) {
   return out;
 }
 
+struct SweepRow {
+  std::size_t batch_bytes = 0;
+  RunResult r;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using ss::support::Table;
 
+  std::optional<std::string> trace_prefix;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                      ? std::string(argv[++i])
+                      : std::string("BENCH_ablation_parallel.json");
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--trace PREFIX] [--json [PATH]]\n";
+      return 2;
+    }
+  }
+
+  constexpr int kProcs = 16;
   std::cout << "Parallel treecode ablations (16 virtual nodes, clustered "
                "bodies)\n\n";
 
+  std::vector<SweepRow> batch_sweep;
   {
     Table t("ABM batch size (work-weighted decomposition)");
     t.header({"batch bytes", "physical messages (run total)", "virtual time (ms)"});
     for (std::size_t batch : {64u, 512u, 4096u, 32768u}) {
-      const auto r = run_gravity(16, batch, true);
+      const auto r = run_gravity(kProcs, batch, true);
+      batch_sweep.push_back({batch, r});
       t.row({std::to_string(batch), Table::fixed(r.messages, 0),
              Table::fixed(r.vtime * 1000.0, 1)});
     }
     std::cout << t << "\n";
   }
 
+  RunResult un, we;
   {
     Table t("domain decomposition weighting");
     t.header({"weighting", "load imbalance (max/mean)", "virtual time (ms)"});
-    const auto un = run_gravity(16, 4096, false);
-    const auto we = run_gravity(16, 4096, true);
+    un = run_gravity(kProcs, 4096, false);
+    we = run_gravity(kProcs, 4096, true);
     t.row({"uniform (particle count)", Table::fixed(un.imbalance, 2),
            Table::fixed(un.vtime * 1000.0, 1)});
     t.row({"measured work (paper's scheme)", Table::fixed(we.imbalance, 2),
@@ -105,5 +148,61 @@ int main() {
                "moves little at this scale). Work weighting flattens the\n"
                "load imbalance the clustered density field creates and\n"
                "buys back ~20% of the step time.\n";
+
+  // Traced re-run of the paper-default configuration: per-rank spans for
+  // the four force-evaluation stages plus the comm/ABM/cache counters.
+  if (trace_prefix) {
+    ss::obs::Session session(kProcs);
+    (void)run_gravity(kProcs, 4096, true, &session);
+
+    const std::string trace_path = *trace_prefix + ".trace.json";
+    const std::string summary_path = *trace_prefix + ".summary.json";
+    ss::obs::write_chrome_trace_file(session, trace_path);
+    ss::obs::write_summary_file(session, summary_path);
+
+    std::cout << "\n" << ss::obs::PhaseReport(session).table(
+                     "virtual-time phase breakdown (weighted, 4096 B batches)");
+    std::cout << "\ntrace:   " << trace_path
+              << "  (open in ui.perfetto.dev)\nsummary: " << summary_path
+              << "\n";
+  }
+
+  if (json_path) {
+    std::ofstream os(*json_path);
+    if (!os) {
+      std::cerr << "cannot open " << *json_path << "\n";
+      return 1;
+    }
+    ss::support::json::Writer w(os);
+    w.begin_object();
+    w.kv("bench", "ablation_parallel");
+    w.kv("procs", kProcs);
+    w.key("abm_batch_sweep");
+    w.begin_array();
+    for (const SweepRow& row : batch_sweep) {
+      w.begin_object();
+      w.kv("batch_bytes", static_cast<std::uint64_t>(row.batch_bytes));
+      w.kv("messages", row.r.messages);
+      w.kv("vtime_seconds", row.r.vtime);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("decomposition");
+    w.begin_object();
+    for (const auto& [name, r] :
+         {std::pair<const char*, const RunResult&>{"uniform", un},
+          std::pair<const char*, const RunResult&>{"work_weighted", we}}) {
+      w.key(name);
+      w.begin_object();
+      w.kv("imbalance", r.imbalance);
+      w.kv("vtime_seconds", r.vtime);
+      w.kv("messages", r.messages);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    std::cout << "\nmachine-readable results: " << *json_path << "\n";
+  }
   return 0;
 }

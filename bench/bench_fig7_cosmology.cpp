@@ -9,8 +9,15 @@
 // ICs, comoving treecode evolution to z ~ 2 — measure the per-particle
 // flop cost of a treecode step, and project the production run's totals
 // from it. The I/O model follows from the snapshot format.
+// `--json [PATH]` additionally writes the measured and projected numbers
+// as machine-readable JSON (default BENCH_fig7_cosmology.json) so the
+// perf trajectory of this bench can be tracked across PRs.
 #include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include <filesystem>
 
@@ -22,13 +29,26 @@
 #include "hot/tree.hpp"
 #include "nbody/ic.hpp"
 #include "nbody/outofcore.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ss::cosmo;
   using ss::support::Table;
+
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                      ? std::string(argv[++i])
+                      : std::string("BENCH_fig7_cosmology.json");
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json [PATH]]\n";
+      return 2;
+    }
+  }
 
   std::cout << "Fig 7 / Sec 4.3 reproduction: cosmological N-body run\n\n";
 
@@ -60,7 +80,8 @@ int main() {
   }
   std::cout << evo;
 
-  std::cout << "\nwall time " << Table::fixed(timer.seconds(), 1) << " s for "
+  const double evolve_seconds = timer.seconds();
+  std::cout << "\nwall time " << Table::fixed(evolve_seconds, 1) << " s for "
             << total_steps << " steps of " << ics.bodies.size()
             << " particles (tree engine, 27-image periodicity)\n";
 
@@ -79,6 +100,8 @@ int main() {
 
   // Host I/O rate through the out-of-core snapshot writer (the paper's
   // runs streamed snapshots to local disks at ~28 MB/s per node).
+  double io_mb = 0.0;
+  double io_mb_per_s = 0.0;
   {
     const auto path =
         std::filesystem::temp_directory_path() / "ss_fig7_snapshot.bin";
@@ -86,10 +109,10 @@ int main() {
     ss::nbody::OutOfCoreStore store(path, 4096);
     for (int rep = 0; rep < 50; ++rep) store.append(sim.bodies());
     store.finish();
-    const double mb = static_cast<double>(store.bytes()) / 1e6;
-    std::cout << "host snapshot write rate: "
-              << Table::fixed(mb / io.seconds(), 0) << " MB/s ("
-              << Table::fixed(mb, 0) << " MB)\n\n";
+    io_mb = static_cast<double>(store.bytes()) / 1e6;
+    io_mb_per_s = io_mb / io.seconds();
+    std::cout << "host snapshot write rate: " << Table::fixed(io_mb_per_s, 0)
+              << " MB/s (" << Table::fixed(io_mb, 0) << " MB)\n\n";
   }
 
   // Per-particle treecode cost grows ~log N; measure the plain treecode at
@@ -155,5 +178,46 @@ int main() {
   std::cout << "\nShape check: the measured per-particle treecode cost puts\n"
                "the 134M x 700-step run at ~1e16 flops, sustaining ~1e2\n"
                "Gflop/s over 24 h on 250 nodes — the paper's numbers.\n";
+
+  if (json_path) {
+    std::ofstream os(*json_path);
+    if (!os) {
+      std::cerr << "cannot open " << *json_path << "\n";
+      return 1;
+    }
+    ss::support::json::Writer w(os);
+    w.begin_object();
+    w.kv("bench", "fig7_cosmology");
+    w.key("measured");
+    w.begin_object();
+    w.kv("particles", static_cast<std::uint64_t>(ics.bodies.size()));
+    w.kv("steps", total_steps);
+    w.kv("evolve_wall_seconds", evolve_seconds);
+    w.kv("final_a", sim.a());
+    w.kv("final_sigma_delta", sigma_delta(sim.bodies(), 16));
+    w.kv("fof_groups", static_cast<std::uint64_t>(halos.size()));
+    w.kv("snapshot_write_mb_per_s", io_mb_per_s);
+    w.kv("snapshot_write_mb", io_mb);
+    w.key("kflop_per_particle_fit");
+    w.begin_object();
+    w.kv("intercept", fit.intercept);
+    w.kv("slope_per_lnN", fit.slope);
+    w.end_object();
+    w.end_object();
+    w.key("projected_production");
+    w.begin_object();
+    w.kv("particles", n_prod);
+    w.kv("timesteps", steps_prod);
+    w.kv("flops_per_body_step", flops_per_body_step);
+    w.kv("total_flops", total_flops);
+    w.kv("gflops_sustained", gflops_sustained);
+    w.kv("paper_gflops_sustained", 112.0);
+    w.kv("snapshot_bytes", snapshot_bytes);
+    w.kv("snapshots_in_1p5tb", snapshots);
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    std::cout << "\nmachine-readable results: " << *json_path << "\n";
+  }
   return 0;
 }

@@ -1,25 +1,82 @@
 // Quickstart: build a Plummer sphere, evolve it with the hashed oct-tree
 // gravity solver, and watch the conserved quantities.
 //
-//   $ ./quickstart [n_bodies] [steps]
+//   $ ./quickstart [n_bodies] [steps] [--trace out.json]
 //
 // This is the smallest end-to-end use of the library's serial API:
 // initial conditions -> tree forces -> leapfrog -> diagnostics.
+//
+// With --trace, the same bodies are additionally pushed through one
+// *parallel* force evaluation on a 4-rank virtual cluster with the
+// observability layer attached, and the per-rank virtual-time trace is
+// written as Chrome trace-event JSON (open it in ui.perfetto.dev).
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "hot/parallel.hpp"
 #include "nbody/ic.hpp"
 #include "nbody/integrator.hpp"
+#include "obs/report.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+/// One traced 4-rank parallel force evaluation over `bodies`; writes the
+/// Chrome trace to `path` and prints the phase breakdown.
+void traced_parallel_demo(const std::vector<ss::nbody::Body>& bodies,
+                          const std::string& path) {
+  constexpr int kRanks = 4;
+  auto sources = ss::nbody::sources_of(bodies);
+
+  auto model = ss::vmpi::make_space_simulator_model(
+      ss::simnet::lam_homogeneous(), 623.9e6);
+  ss::vmpi::Runtime rt(kRanks, model);
+  ss::obs::Session session(kRanks);
+  rt.attach_observer(&session);
+  rt.run([&](ss::vmpi::Comm& c) {
+    // Round-robin the bodies over ranks; the decomposition stage routes
+    // them to their Morton domains.
+    std::vector<ss::hot::Source> local;
+    for (std::size_t i = static_cast<std::size_t>(c.rank());
+         i < sources.size(); i += kRanks) {
+      local.push_back(sources[i]);
+    }
+    ss::hot::ParallelConfig cfg;
+    cfg.theta = 0.6;
+    cfg.eps2 = 1e-4;
+    (void)parallel_gravity(c, local, {}, cfg);
+  });
+
+  ss::obs::write_chrome_trace_file(session, path);
+  std::cout << "\n" << ss::obs::PhaseReport(session).table(
+                   "traced 4-rank force evaluation (virtual time)");
+  std::cout << "\nChrome trace written to " << path
+            << " — open in ui.perfetto.dev or chrome://tracing\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ss::nbody;
   using ss::support::Table;
 
-  const int n = argc > 1 ? std::atoi(argv[1]) : 4096;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 20;
+  std::string trace_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int n = positional.size() > 0 ? std::atoi(positional[0]) : 4096;
+  const int steps = positional.size() > 1 ? std::atoi(positional[1]) : 20;
 
   ss::support::Rng rng(2002);
   auto bodies = plummer_sphere(n, rng);
@@ -57,5 +114,9 @@ int main(int argc, char** argv) {
             << "interactions: " << stats.body_interactions
             << " particle-particle, " << stats.cell_interactions
             << " particle-cell\n";
+
+  if (!trace_path.empty()) {
+    traced_parallel_demo(sim.bodies(), trace_path);
+  }
   return 0;
 }

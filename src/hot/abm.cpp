@@ -1,17 +1,47 @@
 #include "hot/abm.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace ss::hot {
 
 Abm::Abm(ss::vmpi::Comm& comm, Config cfg)
     : comm_(comm),
       cfg_(cfg),
-      outgoing_(static_cast<std::size_t>(comm.size())) {}
+      outgoing_(static_cast<std::size_t>(comm.size())),
+      obs_(obs::tls()) {
+  if (obs_ != nullptr) {
+    auto& reg = obs_->registry();
+    obs_records_ = &reg.counter("abm.records_posted");
+    obs_batches_ = &reg.counter("abm.batches_sent");
+    obs_eager_ = &reg.counter("abm.eager_flushes");
+    obs_dispatched_ = &reg.counter("abm.records_dispatched");
+  }
+}
+
+obs::Counter* Abm::channel_counter(std::uint32_t channel) {
+  if (obs_channel_.size() <= channel) obs_channel_.resize(channel + 1, nullptr);
+  obs::Counter*& slot = obs_channel_[channel];
+  if (slot == nullptr) {
+    slot = &obs_->registry().counter("abm.records_posted.ch" +
+                                     std::to_string(channel));
+  }
+  return slot;
+}
 
 void Abm::on(std::uint32_t channel, Handler h) {
   if (handlers_.size() <= channel) handlers_.resize(channel + 1);
   handlers_[channel] = std::move(h);
+}
+
+void Abm::ship(int dst, std::vector<std::byte>& buf, bool eager) {
+  comm_.send_bytes(dst, cfg_.tag, buf);
+  buf.clear();
+  ++batches_sent_;
+  if (obs_ != nullptr) {
+    obs_batches_->add(1);
+    if (eager) obs_eager_->add(1);
+  }
 }
 
 void Abm::post(int dst, std::uint32_t channel,
@@ -24,10 +54,12 @@ void Abm::post(int dst, std::uint32_t channel,
   std::memcpy(buf.data() + off + sizeof(Record), payload.data(),
               payload.size());
   ++records_posted_;
+  if (obs_ != nullptr) {
+    obs_records_->add(1);
+    channel_counter(channel)->add(1);
+  }
   if (buf.size() >= cfg_.batch_bytes) {
-    comm_.send_bytes(dst, cfg_.tag, buf);
-    buf.clear();
-    ++batches_sent_;
+    ship(dst, buf, /*eager=*/true);
   }
 }
 
@@ -35,9 +67,7 @@ void Abm::flush() {
   for (int dst = 0; dst < comm_.size(); ++dst) {
     auto& buf = outgoing_[static_cast<std::size_t>(dst)];
     if (!buf.empty()) {
-      comm_.send_bytes(dst, cfg_.tag, buf);
-      buf.clear();
-      ++batches_sent_;
+      ship(dst, buf, /*eager=*/false);
     }
   }
 }
@@ -65,6 +95,7 @@ std::size_t Abm::poll() {
       ++dispatched;
     }
   }
+  if (dispatched > 0 && obs_ != nullptr) obs_dispatched_->add(dispatched);
   return dispatched;
 }
 

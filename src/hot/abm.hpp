@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "vmpi/comm.hpp"
 
 namespace ss::hot {
@@ -77,12 +78,24 @@ class Abm {
     // payload follows inline in the batch buffer
   };
 
+  void ship(int dst, std::vector<std::byte>& buf, bool eager);
+  obs::Counter* channel_counter(std::uint32_t channel);
+
   ss::vmpi::Comm& comm_;
   Config cfg_;
   std::vector<std::vector<std::byte>> outgoing_;  // per destination
   std::vector<Handler> handlers_;
   std::uint64_t batches_sent_ = 0;
   std::uint64_t records_posted_ = 0;
+
+  // Observability (null when the owning thread has no bound recorder at
+  // construction time — the zero-cost-when-disabled path).
+  obs::Rank* obs_ = nullptr;
+  obs::Counter* obs_records_ = nullptr;
+  obs::Counter* obs_batches_ = nullptr;
+  obs::Counter* obs_eager_ = nullptr;
+  obs::Counter* obs_dispatched_ = nullptr;
+  std::vector<obs::Counter*> obs_channel_;  // records posted, per channel
 };
 
 }  // namespace ss::hot

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
+
 namespace ss::hot {
 
 using gravity::Moments;
@@ -131,6 +133,18 @@ class Engine {
   Engine(ss::vmpi::Comm& comm, const ParallelConfig& cfg, const Tree& tree,
          const DecompResult& dec)
       : comm_(comm), cfg_(cfg), tree_(tree), dec_(dec), abm_(comm, cfg.abm) {
+    // Observability: resolve the rank recorder (if any) and its counters
+    // once; the traversal hot loop then pays one pointer test per event.
+    obs_ = obs::tls();
+    if (obs_ != nullptr) {
+      auto& reg = obs_->registry();
+      c_cache_hits_ = &reg.counter("hot.cache_hits");
+      c_cache_misses_ = &reg.counter("hot.cache_misses");
+      c_parked_ = &reg.counter("hot.walks_parked");
+      c_resumed_ = &reg.counter("hot.walks_resumed");
+      c_requests_ = &reg.counter("hot.remote_requests");
+      c_served_ = &reg.counter("hot.requests_served");
+    }
     abm_.on(kChanRequest, [this](int src, std::span<const std::byte> p) {
       serve_request(src, p);
     });
@@ -184,6 +198,15 @@ class Engine {
   bool done_ = false;
 
   ParallelStats stats_;
+
+  // Observability (all null when tracing is disabled).
+  obs::Rank* obs_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_parked_ = nullptr;
+  obs::Counter* c_resumed_ = nullptr;
+  obs::Counter* c_requests_ = nullptr;
+  obs::Counter* c_served_ = nullptr;
 };
 
 void Engine::exchange_cover() {
@@ -289,6 +312,7 @@ void Engine::serve_request(int src, std::span<const std::byte> payload) {
   }
   std::memcpy(&k, payload.data(), sizeof(Key));
   ++stats_.requests_served;
+  if (obs_ != nullptr) c_served_->add(1);
 
   const Cell* c = tree_.find(k);
   if (c != nullptr && !c->leaf) {
@@ -380,6 +404,7 @@ void Engine::handle_bodies(int src, std::span<const std::byte> payload) {
 void Engine::unpark(Key k) {
   auto it = waiting_.find(k);
   if (it == waiting_.end()) return;
+  if (obs_ != nullptr) c_resumed_->add(it->second.size());
   for (std::uint32_t w : it->second) ready_.push_back(w);
   waiting_.erase(it);
 }
@@ -388,10 +413,12 @@ void Engine::park(Walk& w, Key k, int owner, std::uint32_t walk_idx) {
   w.stack.push_back(k);  // retry this key on resume
   waiting_[k].push_back(walk_idx);
   ++stats_.walks_parked;
+  if (obs_ != nullptr) c_parked_->add(1);
   if (requested_.insert(k).second) {
     abm_.post_value(owner, kChanRequest, k);
     ++stats_.remote_requests;
     ++outstanding_;
+    if (obs_ != nullptr) c_requests_->add(1);
   }
 }
 
@@ -461,9 +488,11 @@ bool Engine::advance(Walk& w) {
         rc.owner = tc.owner;
       }
       if (!rc.expanded) {
+        if (obs_ != nullptr) c_cache_misses_->add(1);
         park(w, k, rc.owner, walk_idx);
         return false;
       }
+      if (obs_ != nullptr) c_cache_hits_->add(1);
       if (rc.leaf) {
         w.acc += gravity::interact(w.pos, rc.bodies, cfg_.eps2, cfg_.method);
         w.body_interactions += rc.bodies.size();
@@ -512,9 +541,11 @@ bool Engine::advance(Walk& w) {
     }
     ++w.cells_opened;
     if (!rc.expanded) {
+      if (obs_ != nullptr) c_cache_misses_->add(1);
       park(w, k, rc.owner, walk_idx);
       return false;
     }
+    if (obs_ != nullptr) c_cache_hits_->add(1);
     if (rc.leaf) {
       w.acc += gravity::interact(w.pos, rc.bodies, cfg_.eps2, cfg_.method);
       w.body_interactions += rc.bodies.size();
@@ -536,6 +567,13 @@ void Engine::run_walks(GravityResult& out) {
   }
   std::size_t completed = 0;
 
+  // Trace the paper's stage 3/4 split: "traverse" is this rank walking
+  // its bodies (parking on remote misses), "terminate" is the tail where
+  // local walks are done and the rank only serves peers and waits for
+  // the quiet/done protocol.
+  bool in_terminate = false;
+  if (obs_ != nullptr) obs_->begin("gravity.traverse");
+
   const bool single = comm_.size() == 1;
   while (!done_) {
     // Service incoming traffic first so replies unpark walks promptly.
@@ -555,6 +593,11 @@ void Engine::run_walks(GravityResult& out) {
 
     if (completed == n && outstanding_ == 0 && !sent_quiet_) {
       sent_quiet_ = true;
+      if (obs_ != nullptr && !in_terminate) {
+        obs_->end();  // gravity.traverse
+        obs_->begin("gravity.terminate");
+        in_terminate = true;
+      }
       if (comm_.rank() == 0) {
         ++quiet_count_;
       } else {
@@ -570,6 +613,13 @@ void Engine::run_walks(GravityResult& out) {
       done_ = true;
     }
     if (single && sent_quiet_) done_ = true;
+  }
+  if (obs_ != nullptr) {
+    if (!in_terminate) {
+      obs_->end();  // gravity.traverse (no separate termination tail seen)
+      obs_->begin("gravity.terminate");
+    }
+    obs_->end();  // gravity.terminate
   }
 
   // Collect results and per-body work estimates (flops, the paper's
@@ -591,6 +641,14 @@ void Engine::run_walks(GravityResult& out) {
   if (cfg_.charge_compute) {
     comm_.compute_work(flops, 0);
   }
+  if (obs_ != nullptr) {
+    // Per-rank work gauges: the summary derives the load-imbalance ratio
+    // (max/mean over ranks) from these without extra communication.
+    obs_->registry().gauge("gravity.work_flops").set(static_cast<double>(flops));
+    obs_->registry()
+        .gauge("gravity.local_bodies")
+        .set(static_cast<double>(n));
+  }
   out.stats = stats_;
 }
 
@@ -600,10 +658,17 @@ GravityResult parallel_gravity(ss::vmpi::Comm& comm,
                                std::span<const Source> bodies,
                                std::span<const double> prev_work,
                                const ParallelConfig& cfg) {
+  obs::Rank* orec = obs::tls();
+
   const double t0 = comm.barrier_max_time();
+  if (orec != nullptr) orec->begin("gravity.decompose");
   const morton::Box box = global_box(comm, bodies);
   DecompResult dec = decompose(comm, bodies, prev_work, box, cfg.decomp);
   const double t1 = comm.barrier_max_time();
+  if (orec != nullptr) {
+    orec->end();  // gravity.decompose
+    orec->begin("gravity.build");
+  }
 
   Tree tree(dec.bodies, box, cfg.tree);
   if (cfg.charge_compute) {
@@ -619,7 +684,8 @@ GravityResult parallel_gravity(ss::vmpi::Comm& comm,
   engine.exchange_cover();
   comm.barrier();  // cover exchange complete everywhere before requests fly
   const double t2 = comm.barrier_max_time();
-  engine.run_walks(out);
+  if (orec != nullptr) orec->end();  // gravity.build
+  engine.run_walks(out);  // opens gravity.traverse / gravity.terminate
   const double t3 = comm.barrier_max_time();
 
   out.bodies = tree.bodies();

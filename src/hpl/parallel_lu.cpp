@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hpl/lu.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 
 namespace ss::hpl {
@@ -53,6 +54,11 @@ ParallelLuResult run_parallel_lu(ss::vmpi::Comm& comm, std::size_t n,
   std::vector<std::size_t> all_pivots;
   all_pivots.reserve(n);
 
+  obs::Rank* orec = obs::tls();
+  obs::Counter* c_panels =
+      orec != nullptr ? &orec->registry().counter("hpl.panels_factored")
+                      : nullptr;
+
   for (std::size_t bk = 0; bk < nblocks; ++bk) {
     const std::size_t k = bk * block;
     const int owner = owner_of_block(bk, p);
@@ -60,6 +66,10 @@ ParallelLuResult run_parallel_lu(ss::vmpi::Comm& comm, std::size_t n,
     std::vector<double> panel((n - k) * block);
     std::vector<std::uint64_t> pivots(block);
 
+    if (owner == rank && orec != nullptr) {
+      orec->begin("hpl.panel_factor");
+      c_panels->add(1);
+    }
     if (owner == rank) {
       const std::size_t lb =
           static_cast<std::size_t>(std::find(my_blocks.begin(),
@@ -103,8 +113,12 @@ ParallelLuResult run_parallel_lu(ss::vmpi::Comm& comm, std::size_t n,
         }
       }
     }
-    comm.bcast(pivots, owner);
-    comm.bcast(panel, owner);
+    if (owner == rank && orec != nullptr) orec->end();  // hpl.panel_factor
+    {
+      obs::ScopedPhase bcast_phase(orec, "hpl.panel_bcast");
+      comm.bcast(pivots, owner);
+      comm.bcast(panel, owner);
+    }
     for (std::size_t jj = 0; jj < block; ++jj) {
       all_pivots.push_back(pivots[jj]);
     }
@@ -124,6 +138,7 @@ ParallelLuResult run_parallel_lu(ss::vmpi::Comm& comm, std::size_t n,
 
     // Triangular solve + trailing update on local columns right of the
     // panel. Panel layout: column c holds rows k..n contiguously.
+    obs::ScopedPhase update_phase(orec, "hpl.trailing_update");
     MatrixView pv{panel.data(), n - k, block, n - k};
     const MatrixView l11 = pv.block(0, 0, block, block);
     const MatrixView l21 = pv.block(block, 0, n - k - block, block);
@@ -185,6 +200,7 @@ ModeledLinpackResult run_linpack_modeled(ss::vmpi::Comm& comm, std::size_t n,
   const std::size_t stride = std::max<std::size_t>(1, panels / 48);
 
   const double t0 = comm.barrier_max_time();
+  obs::ScopedPhase factor_phase("hpl.factor_modeled");
   std::size_t sampled = 0;
   double sampled_flops = 0.0;
   for (std::size_t bk = 0; bk < panels; bk += stride) {

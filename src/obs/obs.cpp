@@ -1,0 +1,24 @@
+#include "obs/obs.hpp"
+
+namespace ss::obs {
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(std::string(name));
+  return it != counters_.end() ? it->second.value() : 0;
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  const auto it = gauges_.find(std::string(name));
+  return it != gauges_.end() ? it->second.value() : 0.0;
+}
+
+namespace detail {
+
+Rank*& tls_slot() {
+  thread_local Rank* slot = nullptr;
+  return slot;
+}
+
+}  // namespace detail
+
+}  // namespace ss::obs

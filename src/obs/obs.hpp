@@ -1,0 +1,241 @@
+// Observability: virtual-time tracing and metrics for the simulator.
+//
+// The paper's claims are performance claims (112 Gflop/s sustained on the
+// cosmology run, latency hidden by parked tree walks, ABM batching
+// amortizing per-message overhead), so the reproduction needs to see
+// *where virtual time goes*. This layer provides, per vmpi rank:
+//
+//  - a Registry of named Counters (monotone u64) and Gauges (double),
+//  - a TraceBuffer of phase spans and instant events stamped with the
+//    rank's virtual clock (RAII entry point: ScopedPhase),
+//
+// collected in a Session that exports Chrome trace-event JSON (open in
+// Perfetto / chrome://tracing; one track per rank) and a machine-readable
+// run summary (obs/report.hpp).
+//
+// Cost model: instrumentation is *disabled by default*. A rank thread is
+// instrumented only while a Session is bound to it (vmpi::Runtime does
+// this when a Session is attached before run()); every hook first checks
+// a thread-local pointer and does nothing when unbound, so ctest and
+// un-traced bench timings are unaffected.
+//
+// Threading contract: each Rank recorder is written only by its own rank
+// thread while the Runtime is inside run(); reading a Session (export,
+// reports) is safe once run() has returned.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written (or accumulated) double-valued measurement.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Named counters and gauges for one rank. References returned by
+/// counter()/gauge() stay valid for the Registry's lifetime, so hot paths
+/// look a metric up once and keep the pointer.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Value of a counter, 0 when never touched (does not create it).
+  std::uint64_t counter_value(std::string_view name) const;
+  /// Value of a gauge, 0.0 when never touched (does not create it).
+  double gauge_value(std::string_view name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+
+ private:
+  std::map<std::string, Counter> counters_;  // node-based: stable references
+  std::map<std::string, Gauge> gauges_;
+};
+
+/// One trace event in (a subset of) the Chrome trace-event model.
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';     ///< 'X' complete span, 'i' instant.
+  double ts = 0.0;   ///< Virtual seconds at span begin / instant.
+  double dur = 0.0;  ///< Virtual seconds of the span ('X' only).
+  int depth = 0;     ///< Nesting depth at emission (0 = top level).
+};
+
+/// Per-rank recorder: a Registry plus a TraceBuffer, stamped from the
+/// rank's virtual clock. Spans nest strictly (begin/end form a stack);
+/// an unmatched end() throws, and open_spans() lets the owner assert
+/// balance at the end of a run.
+class Rank {
+ public:
+  explicit Rank(int id) : id_(id) {}
+
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int id() const { return id_; }
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+  /// Bind the virtual clock this recorder stamps events with. The pointer
+  /// must outlive all begin()/end()/instant() calls (vmpi binds the rank's
+  /// Comm clock for the duration of the run, then unbinds).
+  void set_clock(const double* vclock) { clock_ = vclock; }
+  double now() const { return clock_ != nullptr ? *clock_ : 0.0; }
+
+  /// Open a phase span at the current virtual time.
+  void begin(std::string name) {
+    open_.push_back({std::move(name), now()});
+  }
+
+  /// Close the innermost open span, emitting a complete ('X') event.
+  void end() {
+    if (open_.empty()) {
+      throw std::logic_error("obs: span end() without matching begin()");
+    }
+    Open o = std::move(open_.back());
+    open_.pop_back();
+    const double t = now();
+    events_.push_back({std::move(o.name), 'X', o.start,
+                       t > o.start ? t - o.start : 0.0,
+                       static_cast<int>(open_.size())});
+  }
+
+  /// Emit an instant event at the current virtual time.
+  void instant(std::string name) {
+    events_.push_back(
+        {std::move(name), 'i', now(), 0.0, static_cast<int>(open_.size())});
+  }
+
+  std::size_t open_spans() const { return open_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  struct Open {
+    std::string name;
+    double start;
+  };
+
+  int id_;
+  const double* clock_ = nullptr;
+  Registry registry_;
+  std::vector<Open> open_;
+  std::vector<TraceEvent> events_;
+};
+
+/// One observed run: a recorder per rank. Create before Runtime::run(),
+/// attach with Runtime::attach_observer(), export afterwards.
+class Session {
+ public:
+  explicit Session(int nranks) {
+    if (nranks <= 0) throw std::invalid_argument("obs: nranks must be > 0");
+    ranks_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      ranks_.push_back(std::make_unique<Rank>(r));
+    }
+  }
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+
+  Rank& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
+  const Rank& rank(int r) const {
+    return *ranks_.at(static_cast<std::size_t>(r));
+  }
+
+ private:
+  std::vector<std::unique_ptr<Rank>> ranks_;  // stable addresses
+};
+
+// ---------------------------------------------------------------------------
+// Thread-local binding: the zero-cost-when-disabled switch.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+Rank*& tls_slot();
+}  // namespace detail
+
+/// The recorder bound to the calling thread, or nullptr when tracing is
+/// off for this thread. Hot paths cache this at phase entry.
+inline Rank* tls() { return detail::tls_slot(); }
+
+/// RAII binding of a recorder (and its clock) to the current thread.
+/// Passing nullptr is a no-op binding, so call sites need no branches.
+class ThreadBind {
+ public:
+  ThreadBind(Rank* rank, const double* vclock) : rank_(rank) {
+    prev_ = detail::tls_slot();
+    detail::tls_slot() = rank_;
+    if (rank_ != nullptr) rank_->set_clock(vclock);
+  }
+
+  ~ThreadBind() {
+    if (rank_ != nullptr) rank_->set_clock(nullptr);
+    detail::tls_slot() = prev_;
+  }
+
+  ThreadBind(const ThreadBind&) = delete;
+  ThreadBind& operator=(const ThreadBind&) = delete;
+
+ private:
+  Rank* rank_;
+  Rank* prev_;
+};
+
+/// RAII phase span against the thread's bound recorder; a no-op when the
+/// thread is unbound (one pointer test).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name) : rank_(tls()) {
+    if (rank_ != nullptr) rank_->begin(name);
+  }
+  ScopedPhase(Rank* rank, const char* name) : rank_(rank) {
+    if (rank_ != nullptr) rank_->begin(name);
+  }
+  ~ScopedPhase() {
+    if (rank_ != nullptr) rank_->end();
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Rank* rank_;
+};
+
+/// Counter for `name` on the calling thread's recorder, or nullptr when
+/// tracing is off. Cache the result outside loops.
+inline Counter* counter(const char* name) {
+  Rank* r = tls();
+  return r != nullptr ? &r->registry().counter(name) : nullptr;
+}
+
+inline Gauge* gauge(const char* name) {
+  Rank* r = tls();
+  return r != nullptr ? &r->registry().gauge(name) : nullptr;
+}
+
+}  // namespace ss::obs

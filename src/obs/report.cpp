@@ -1,0 +1,249 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "support/json.hpp"
+
+namespace ss::obs {
+
+namespace {
+
+using ss::support::json::Writer;
+
+struct PerRankPhase {
+  double seconds = 0.0;
+  std::uint64_t spans = 0;
+};
+
+/// name -> rank -> {summed seconds, span count}, only top-level-agnostic:
+/// every span contributes its own duration (nested spans therefore count
+/// toward both their own phase and, through wall inclusion, the parent's).
+std::map<std::string, std::map<int, PerRankPhase>> collect_phases(
+    const Session& s) {
+  std::map<std::string, std::map<int, PerRankPhase>> by_name;
+  for (int r = 0; r < s.size(); ++r) {
+    for (const TraceEvent& e : s.rank(r).events()) {
+      if (e.ph != 'X') continue;
+      PerRankPhase& p = by_name[e.name][r];
+      p.seconds += e.dur;
+      p.spans += 1;
+    }
+  }
+  return by_name;
+}
+
+}  // namespace
+
+PhaseReport::PhaseReport(const Session& session) {
+  for (const auto& [name, per_rank] : collect_phases(session)) {
+    PhaseAgg agg;
+    agg.name = name;
+    double sum = 0.0;
+    for (const auto& [rank, p] : per_rank) {
+      (void)rank;
+      sum += p.seconds;
+      agg.max_seconds = std::max(agg.max_seconds, p.seconds);
+      agg.spans += p.spans;
+      ++agg.ranks;
+    }
+    agg.mean_seconds = agg.ranks > 0 ? sum / agg.ranks : 0.0;
+    agg.imbalance =
+        agg.mean_seconds > 0.0 ? agg.max_seconds / agg.mean_seconds : 1.0;
+    phases_.push_back(std::move(agg));
+  }
+  std::sort(phases_.begin(), phases_.end(),
+            [](const PhaseAgg& a, const PhaseAgg& b) {
+              return a.max_seconds != b.max_seconds
+                         ? a.max_seconds > b.max_seconds
+                         : a.name < b.name;
+            });
+}
+
+ss::support::Table PhaseReport::table(const std::string& title) const {
+  using ss::support::Table;
+  Table t(title);
+  t.header({"phase", "ranks", "spans", "mean (ms)", "max (ms)",
+            "imbalance (max/mean)"});
+  for (const PhaseAgg& p : phases_) {
+    t.row({p.name, std::to_string(p.ranks), std::to_string(p.spans),
+           Table::fixed(p.mean_seconds * 1e3, 3),
+           Table::fixed(p.max_seconds * 1e3, 3),
+           Table::fixed(p.imbalance, 2)});
+  }
+  return t;
+}
+
+void write_chrome_trace(const Session& session, std::ostream& os) {
+  Writer w(os, /*indent=*/0);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Metadata: one process, one named thread ("track") per rank.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "space-simulator (virtual time)");
+  w.end_object();
+  w.end_object();
+
+  for (int r = 0; r < session.size(); ++r) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 0);
+    w.kv("tid", r);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", "rank " + std::to_string(r));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (int r = 0; r < session.size(); ++r) {
+    // Sort by begin timestamp (ties: outer spans first) so trace viewers
+    // that expect ordered input nest the tracks correctly.
+    std::vector<const TraceEvent*> ordered;
+    ordered.reserve(session.rank(r).events().size());
+    for (const TraceEvent& e : session.rank(r).events()) {
+      ordered.push_back(&e);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->ts != b->ts) return a->ts < b->ts;
+                return a->depth < b->depth;
+              });
+    for (const TraceEvent* e : ordered) {
+      w.begin_object();
+      w.kv("name", e->name);
+      w.key("ph");
+      w.value(std::string_view(&e->ph, 1));
+      w.kv("pid", 0);
+      w.kv("tid", r);
+      w.kv("ts", e->ts * 1e6);  // virtual seconds -> microseconds
+      if (e->ph == 'X') {
+        w.kv("dur", e->dur * 1e6);
+      } else if (e->ph == 'i') {
+        w.kv("s", "t");  // thread-scoped instant
+      }
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+void write_chrome_trace_file(const Session& session, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("obs: cannot open " + path);
+  write_chrome_trace(session, os);
+}
+
+void write_summary(const Session& session, std::ostream& os) {
+  Writer w(os, /*indent=*/1);
+  w.begin_object();
+  w.kv("schema", "ss.obs.summary.v1");
+  w.kv("ranks", session.size());
+
+  // Union of metric names across ranks, exported with per-rank values.
+  std::set<std::string> counter_names;
+  std::set<std::string> gauge_names;
+  for (int r = 0; r < session.size(); ++r) {
+    for (const auto& [name, c] : session.rank(r).registry().counters()) {
+      (void)c;
+      counter_names.insert(name);
+    }
+    for (const auto& [name, g] : session.rank(r).registry().gauges()) {
+      (void)g;
+      gauge_names.insert(name);
+    }
+  }
+
+  w.key("counters");
+  w.begin_object();
+  for (const std::string& name : counter_names) {
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> per_rank;
+    per_rank.reserve(static_cast<std::size_t>(session.size()));
+    for (int r = 0; r < session.size(); ++r) {
+      const std::uint64_t v = session.rank(r).registry().counter_value(name);
+      per_rank.push_back(v);
+      total += v;
+    }
+    w.key(name);
+    w.begin_object();
+    w.kv("total", total);
+    w.key("per_rank");
+    w.begin_array();
+    for (std::uint64_t v : per_rank) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const std::string& name : gauge_names) {
+    double sum = 0.0;
+    double mx = 0.0;
+    std::vector<double> per_rank;
+    per_rank.reserve(static_cast<std::size_t>(session.size()));
+    for (int r = 0; r < session.size(); ++r) {
+      const double v = session.rank(r).registry().gauge_value(name);
+      per_rank.push_back(v);
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    const double mean = sum / session.size();
+    w.key(name);
+    w.begin_object();
+    w.kv("mean", mean);
+    w.kv("max", mx);
+    w.kv("imbalance", mean > 0.0 ? mx / mean : 1.0);
+    w.key("per_rank");
+    w.begin_array();
+    for (double v : per_rank) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("phases");
+  w.begin_array();
+  // Named (not a temporary): range-for does not extend the lifetime of a
+  // temporary through the .phases() member call before C++23.
+  const PhaseReport report(session);
+  for (const PhaseAgg& p : report.phases()) {
+    w.begin_object();
+    w.kv("name", p.name);
+    w.kv("ranks", p.ranks);
+    w.kv("spans", p.spans);
+    w.kv("mean_seconds", p.mean_seconds);
+    w.kv("max_seconds", p.max_seconds);
+    w.kv("imbalance", p.imbalance);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  os << "\n";
+}
+
+void write_summary_file(const Session& session, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("obs: cannot open " + path);
+  write_summary(session, os);
+}
+
+}  // namespace ss::obs

@@ -1,0 +1,57 @@
+// Exporters and reports over an obs::Session.
+//
+//  - write_chrome_trace: Chrome trace-event JSON ("traceEvents" array of
+//    'X'/'i' events, one tid per rank, virtual microseconds). Open the
+//    file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//  - write_summary: compact machine-readable run summary — per-phase
+//    virtual-time aggregates (mean/max over ranks, max/mean imbalance)
+//    and every counter/gauge with per-rank values and totals.
+//  - PhaseReport: the paper-style per-phase breakdown table (like the
+//    per-phase timing tables treecode papers use to diagnose where a
+//    step's time goes).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/table.hpp"
+
+namespace ss::obs {
+
+/// Cross-rank aggregate of one named phase.
+struct PhaseAgg {
+  std::string name;
+  int ranks = 0;               ///< Ranks that recorded this phase.
+  std::uint64_t spans = 0;     ///< Total span count across ranks.
+  double mean_seconds = 0.0;   ///< Mean over recording ranks of summed time.
+  double max_seconds = 0.0;    ///< Max over recording ranks.
+  double imbalance = 0.0;      ///< max/mean (1.0 = perfectly balanced).
+};
+
+/// Aggregates the Session's spans by phase name.
+class PhaseReport {
+ public:
+  explicit PhaseReport(const Session& session);
+
+  /// Sorted by descending max_seconds (the critical-path view).
+  const std::vector<PhaseAgg>& phases() const { return phases_; }
+
+  /// Paper-style breakdown table.
+  ss::support::Table table(const std::string& title = "virtual-time phase "
+                                                      "breakdown") const;
+
+ private:
+  std::vector<PhaseAgg> phases_;
+};
+
+/// Chrome trace-event JSON; `ts`/`dur` are virtual microseconds.
+void write_chrome_trace(const Session& session, std::ostream& os);
+void write_chrome_trace_file(const Session& session, const std::string& path);
+
+/// Machine-readable run summary (counters, gauges, phase aggregates).
+void write_summary(const Session& session, std::ostream& os);
+void write_summary_file(const Session& session, const std::string& path);
+
+}  // namespace ss::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hot/decomp.hpp"
+#include "obs/obs.hpp"
 #include "sph/kernel.hpp"
 #include "support/flops.hpp"
 
@@ -51,8 +52,10 @@ std::vector<Particle> parallel_sph_step(ss::vmpi::Comm& comm,
                                         ParallelSphStats* stats) {
   static_assert(std::is_trivially_copyable_v<Particle>);
   const int p = comm.size();
+  obs::Rank* orec = obs::tls();
 
   // 1. Decompose by Morton keys (positions only drive the split).
+  if (orec != nullptr) orec->begin("sph.decompose");
   std::vector<ss::gravity::Source> sources;
   sources.reserve(local.size());
   for (const auto& q : local) sources.push_back({q.pos, q.mass});
@@ -64,6 +67,10 @@ std::vector<Particle> parallel_sph_step(ss::vmpi::Comm& comm,
   }
   local = hot::route_by_domains<Particle>(comm, local, keys, dec);
   const std::size_t n_local = local.size();
+  if (orec != nullptr) {
+    orec->end();  // sph.decompose
+    orec->begin("sph.ghost_exchange");
+  }
 
   // 2. Ghost exchange: peers whose bounding box my particle's support
   // (with a 1.5x margin for in-step smoothing-length growth) can reach
@@ -73,6 +80,7 @@ std::vector<Particle> parallel_sph_step(ss::vmpi::Comm& comm,
   const auto boxes = comm.allgather_value(mine);
 
   std::vector<std::vector<Particle>> ghost_out(static_cast<std::size_t>(p));
+  std::size_t ghosts_sent = 0;
   for (const auto& q : local) {
     const double reach = 1.5 * kernel_support(q.h);
     for (int r = 0; r < p; ++r) {
@@ -80,10 +88,18 @@ std::vector<Particle> parallel_sph_step(ss::vmpi::Comm& comm,
       const auto& bb = boxes[static_cast<std::size_t>(r)];
       if (!bb.empty() && bb.intersects(q.pos, reach)) {
         ghost_out[static_cast<std::size_t>(r)].push_back(q);
+        ++ghosts_sent;
       }
     }
   }
   const auto ghosts = comm.alltoallv(ghost_out);
+  if (orec != nullptr) {
+    auto& reg = orec->registry();
+    reg.counter("sph.ghosts_sent").add(ghosts_sent);
+    reg.counter("sph.ghosts_received").add(ghosts.size());
+    orec->end();  // sph.ghost_exchange
+    orec->begin("sph.step");
+  }
 
   // 3. Serial pipeline over locals + ghosts with the global CFL step.
   std::vector<Particle> uni = local;
@@ -99,6 +115,10 @@ std::vector<Particle> parallel_sph_step(ss::vmpi::Comm& comm,
   // report meaningful Mflop/s.
   comm.compute_work(
       2ull * diag.pair_count * ss::support::flop_cost::sph_pair, 0);
+  if (orec != nullptr) {
+    orec->registry().counter("sph.pairs").add(diag.pair_count);
+    orec->end();  // sph.step
+  }
 
   std::vector<Particle> out(sim.particles().begin(),
                             sim.particles().begin() +

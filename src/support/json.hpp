@@ -1,0 +1,113 @@
+// Minimal JSON support for the observability layer and the machine-
+// readable bench outputs.
+//
+// Writer is a streaming emitter (comma/indent management, string
+// escaping, finite-number guarantees) used for Chrome trace-event files
+// and BENCH_*.json run summaries. parse() is a small recursive-descent
+// DOM parser used by the tests to round-trip what the emitter produced —
+// it is not a general-purpose (streaming, error-recovering) parser and
+// does not aim to be.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss::support::json {
+
+/// Escape a string for inclusion in a JSON document (quotes excluded).
+std::string escape(std::string_view s);
+
+/// Streaming JSON emitter. Usage:
+///
+///   Writer w(os);
+///   w.begin_object();
+///   w.key("ranks"); w.value(std::uint64_t{4});
+///   w.key("phases"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///
+/// The writer inserts commas and newlines; misuse (a key outside an
+/// object, a bare value inside an object) throws std::logic_error.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os, int indent = 1);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: key followed by value.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once the outermost object/array has been closed.
+  bool done() const { return done_; }
+
+ private:
+  struct Level {
+    bool array = false;
+    bool first = true;
+  };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// DOM parser (for tests and tooling; throws std::runtime_error on
+// malformed input).
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Type { null, boolean, number, string, array, object };
+
+  Type type = Type::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered (as written) key/value pairs.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::null; }
+  bool is_object() const { return type == Type::object; }
+  bool is_array() const { return type == Type::array; }
+  bool is_number() const { return type == Type::number; }
+  bool is_string() const { return type == Type::string; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// Member access that throws when absent.
+  const Value& at(std::string_view key) const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+Value parse(std::string_view text);
+
+}  // namespace ss::support::json

@@ -8,6 +8,22 @@ namespace ss::vmpi {
 
 int Comm::size() const { return rt_->nranks_; }
 
+void Comm::bind_observer(obs::Rank* rec) {
+  obs_ = rec;
+  if (rec == nullptr) {
+    obs_msgs_ = nullptr;
+    obs_bytes_ = nullptr;
+    obs_recvs_ = nullptr;
+    obs_wait_ = nullptr;
+    return;
+  }
+  auto& reg = rec->registry();
+  obs_msgs_ = &reg.counter("vmpi.messages_sent");
+  obs_bytes_ = &reg.counter("vmpi.bytes_sent");
+  obs_recvs_ = &reg.counter("vmpi.recvs");
+  obs_wait_ = &reg.gauge("vmpi.recv_wait_seconds");
+}
+
 void Comm::compute_work(std::uint64_t flops, std::uint64_t bytes) {
   vtime_ += rt_->model_->compute_seconds(flops, bytes);
 }
@@ -24,6 +40,10 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> bytes) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
   rt_->deliver(rank_, dst, tag, bytes, vtime_, bytes.size());
+  if (obs_ != nullptr) {
+    obs_msgs_->add(1);
+    obs_bytes_->add(bytes.size());
+  }
 }
 
 void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
@@ -31,17 +51,33 @@ void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
   rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes);
+  if (obs_ != nullptr) {
+    obs_msgs_->add(1);
+    obs_bytes_->add(modeled_bytes);
+  }
 }
 
 Message Comm::recv_msg(int src, int tag) {
+  const double before = vtime_;
   Message m = rt_->wait_match(rank_, src, tag);
   vtime_ = std::max(vtime_, m.arrival);
+  if (obs_ != nullptr) {
+    obs_recvs_->add(1);
+    if (vtime_ > before) obs_wait_->add(vtime_ - before);
+  }
   return m;
 }
 
 std::optional<Message> Comm::try_recv(int src, int tag) {
+  const double before = vtime_;
   auto m = rt_->poll_match(rank_, src, tag);
-  if (m) vtime_ = std::max(vtime_, m->arrival);
+  if (m) {
+    vtime_ = std::max(vtime_, m->arrival);
+    if (obs_ != nullptr) {
+      obs_recvs_->add(1);
+      if (vtime_ > before) obs_wait_->add(vtime_ - before);
+    }
+  }
   return m;
 }
 
@@ -82,12 +118,40 @@ Runtime::Runtime(int nranks, std::shared_ptr<TimeModel> model)
   for (int r = 0; r < nranks_; ++r) {
     boxes_.push_back(std::make_unique<Mailbox>());
   }
+  traffic_.resize(static_cast<std::size_t>(nranks_));
+}
+
+void Runtime::attach_observer(obs::Session* session) {
+  if (session != nullptr && session->size() != nranks_) {
+    throw std::invalid_argument(
+        "vmpi: observer session rank count does not match runtime");
+  }
+  observer_ = session;
+}
+
+std::uint64_t Runtime::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const RankTraffic& t : traffic_) total += t.messages;
+  return total;
+}
+
+std::uint64_t Runtime::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const RankTraffic& t : traffic_) total += t.bytes;
+  return total;
+}
+
+std::uint64_t Runtime::messages_sent(int rank) const {
+  return traffic_.at(static_cast<std::size_t>(rank)).messages;
+}
+
+std::uint64_t Runtime::bytes_sent(int rank) const {
+  return traffic_.at(static_cast<std::size_t>(rank)).bytes;
 }
 
 void Runtime::run(const std::function<void(Comm&)>& body) {
   aborted_.store(false);
-  messages_sent_.store(0);
-  bytes_sent_.store(0);
+  for (RankTraffic& t : traffic_) t = RankTraffic{};
   for (auto& b : boxes_) {
     std::lock_guard<std::mutex> lock(b->mu);
     b->queue.clear();
@@ -102,6 +166,12 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(*this, r);
+      // Observability: bind this rank's recorder (and the rank's virtual
+      // clock) to the thread for the duration of the body. When no
+      // session is attached every hook below is a null-pointer test.
+      obs::Rank* rec = observer_ != nullptr ? &observer_->rank(r) : nullptr;
+      obs::ThreadBind obs_bind(rec, comm.time_ptr());
+      if (rec != nullptr) comm.bind_observer(rec);
       try {
         body(comm);
       } catch (const Aborted&) {
@@ -131,8 +201,11 @@ void Runtime::deliver(int src, int dst, int tag,
   m.tag = tag;
   m.data.assign(bytes.begin(), bytes.end());
   m.arrival = model_->arrival(src, dst, modeled_bytes, depart);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(modeled_bytes, std::memory_order_relaxed);
+  // deliver() always runs on the sending rank's thread, so the per-rank
+  // slot needs no synchronization.
+  RankTraffic& traffic = traffic_[static_cast<std::size_t>(src)];
+  ++traffic.messages;
+  traffic.bytes += modeled_bytes;
 
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {

@@ -25,6 +25,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "vmpi/timemodel.hpp"
 
 namespace ss::vmpi {
@@ -51,7 +52,9 @@ struct Message {
       throw std::runtime_error("vmpi: message size not a multiple of type");
     }
     std::vector<T> out(data.size() / sizeof(T));
-    std::memcpy(out.data(), data.data(), data.size());
+    if (!data.empty()) {  // empty vectors may hand memcpy a null pointer
+      std::memcpy(out.data(), data.data(), data.size());
+    }
     return out;
   }
 };
@@ -66,6 +69,9 @@ class Comm {
 
   /// Current virtual time of this rank.
   double time() const { return vtime_; }
+  /// Stable address of this rank's virtual clock (for obs recorders; valid
+  /// while this Comm lives, i.e. for the duration of the rank body).
+  const double* time_ptr() const { return &vtime_; }
 
   /// Advance this rank's virtual clock by a compute phase.
   void compute(double seconds) { vtime_ += seconds; }
@@ -190,10 +196,22 @@ class Comm {
 
   int coll_tag();  ///< Fresh tag from the reserved collective namespace.
 
+  /// Cache this rank's obs counters so hot-path hooks are a pointer test
+  /// plus an increment (no name lookups). Called by Runtime::run when an
+  /// observer Session is attached; never called otherwise.
+  void bind_observer(obs::Rank* rec);
+
   Runtime* rt_;
   int rank_;
   double vtime_ = 0.0;
   int coll_seq_ = 0;
+
+  // Observability (null when tracing is disabled).
+  obs::Rank* obs_ = nullptr;
+  obs::Counter* obs_msgs_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_recvs_ = nullptr;
+  obs::Gauge* obs_wait_ = nullptr;
 };
 
 /// Owns the rank threads and mailboxes for one SPMD execution.
@@ -213,11 +231,23 @@ class Runtime {
   int size() const { return nranks_; }
   TimeModel& model() { return *model_; }
 
+  /// Attach an observability session (one recorder per rank) to the next
+  /// run(): rank threads get bound recorders, phase spans are stamped
+  /// with the rank's virtual clock, and per-rank `vmpi.*` counters are
+  /// surfaced through each rank's Registry. Pass nullptr to detach. The
+  /// session must outlive run() and have exactly `size()` ranks.
+  void attach_observer(obs::Session* session);
+  obs::Session* observer() const { return observer_; }
+
   /// Maximum final virtual time over ranks from the last run().
   double elapsed_vtime() const { return elapsed_vtime_; }
-  /// Total messages / payload bytes moved during the last run().
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Total messages / payload bytes moved during the last run() (sums of
+  /// the per-rank counters below).
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
+  /// Messages / payload bytes sent *by* `rank` during the last run().
+  std::uint64_t messages_sent(int rank) const;
+  std::uint64_t bytes_sent(int rank) const;
 
  private:
   friend class Comm;
@@ -226,6 +256,15 @@ class Runtime {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+  };
+
+  /// Send-side traffic counters, one slot per source rank. Each slot is
+  /// written only by its own rank thread (deliver runs on the sender), so
+  /// plain fields suffice; the padding keeps neighbouring ranks off the
+  /// same cache line.
+  struct alignas(64) RankTraffic {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
   };
 
   void deliver(int src, int dst, int tag, std::span<const std::byte> bytes,
@@ -238,8 +277,8 @@ class Runtime {
   std::shared_ptr<TimeModel> model_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<bool> aborted_{false};
-  std::atomic<std::uint64_t> messages_sent_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::vector<RankTraffic> traffic_;  // indexed by source rank
+  obs::Session* observer_ = nullptr;
   double elapsed_vtime_ = 0.0;
 };
 
