@@ -30,6 +30,7 @@
 #include "obs/report.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 #include "vmpi/comm.hpp"
 
 namespace {
@@ -37,11 +38,13 @@ namespace {
 struct RunResult {
   double vtime = 0.0;
   double messages = 0.0;
-  double imbalance = 0.0;  ///< max over ranks of work / mean work
+  double imbalance = 0.0;      ///< max over ranks of work / mean work
+  double host_seconds = 0.0;   ///< wall-clock of the whole run (both passes)
 };
 
 RunResult run_gravity(int procs, std::size_t batch_bytes, bool weighted,
                       ss::obs::Session* session = nullptr) {
+  ss::support::WallTimer wall;
   auto model = ss::vmpi::make_space_simulator_model(
       ss::simnet::lam_homogeneous(), 623.9e6);
   ss::vmpi::Runtime rt(procs, model);
@@ -84,6 +87,7 @@ RunResult run_gravity(int procs, std::size_t batch_bytes, bool weighted,
     }
   });
   out.messages = static_cast<double>(rt.messages_sent());
+  out.host_seconds = wall.seconds();
   return out;
 }
 
@@ -119,12 +123,14 @@ int main(int argc, char** argv) {
   std::vector<SweepRow> batch_sweep;
   {
     Table t("ABM batch size (work-weighted decomposition)");
-    t.header({"batch bytes", "physical messages (run total)", "virtual time (ms)"});
+    t.header({"batch bytes", "physical messages (run total)",
+              "virtual time (ms)", "host wall (s)"});
     for (std::size_t batch : {64u, 512u, 4096u, 32768u}) {
       const auto r = run_gravity(kProcs, batch, true);
       batch_sweep.push_back({batch, r});
       t.row({std::to_string(batch), Table::fixed(r.messages, 0),
-             Table::fixed(r.vtime * 1000.0, 1)});
+             Table::fixed(r.vtime * 1000.0, 1),
+             Table::fixed(r.host_seconds, 3)});
     }
     std::cout << t << "\n";
   }
@@ -132,13 +138,16 @@ int main(int argc, char** argv) {
   RunResult un, we;
   {
     Table t("domain decomposition weighting");
-    t.header({"weighting", "load imbalance (max/mean)", "virtual time (ms)"});
+    t.header({"weighting", "load imbalance (max/mean)", "virtual time (ms)",
+              "host wall (s)"});
     un = run_gravity(kProcs, 4096, false);
     we = run_gravity(kProcs, 4096, true);
     t.row({"uniform (particle count)", Table::fixed(un.imbalance, 2),
-           Table::fixed(un.vtime * 1000.0, 1)});
+           Table::fixed(un.vtime * 1000.0, 1),
+           Table::fixed(un.host_seconds, 3)});
     t.row({"measured work (paper's scheme)", Table::fixed(we.imbalance, 2),
-           Table::fixed(we.vtime * 1000.0, 1)});
+           Table::fixed(we.vtime * 1000.0, 1),
+           Table::fixed(we.host_seconds, 3)});
     std::cout << t;
   }
 
@@ -184,6 +193,7 @@ int main(int argc, char** argv) {
       w.kv("batch_bytes", static_cast<std::uint64_t>(row.batch_bytes));
       w.kv("messages", row.r.messages);
       w.kv("vtime_seconds", row.r.vtime);
+      w.kv("host_seconds", row.r.host_seconds);
       w.end_object();
     }
     w.end_array();
@@ -197,6 +207,7 @@ int main(int argc, char** argv) {
       w.kv("imbalance", r.imbalance);
       w.kv("vtime_seconds", r.vtime);
       w.kv("messages", r.messages);
+      w.kv("host_seconds", r.host_seconds);
       w.end_object();
     }
     w.end_object();

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI pipeline: tier-1 verify, sanitizer trio, bench smoke.
+#
+#   scripts/ci.sh             run everything
+#   SKIP_SANITIZE=1 ...       skip the ASan/UBSan stage (slow)
+#   JOBS=N ...                parallelism (default: nproc)
+#
+# Stages:
+#   1. tier-1: configure + build + full ctest (ROADMAP.md's gate).
+#   2. sanitizers: ASan+UBSan build of the kernel/sort/traversal tests —
+#      the three suites that exercise the batched SoA kernels, the
+#      multi-threaded radix sort and the interaction-list traversal.
+#   3. bench smoke: bench_table5_gravkernel --json must run and emit
+#      parseable JSON with the measured host kernel variants.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== [1/3] tier-1: build + ctest ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel ==="
+  cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j "${JOBS}" \
+    --target test_gravity test_morton test_hot_parallel
+  for t in test_gravity test_morton test_hot_parallel; do
+    bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
+    echo "--- $t ---"
+    "$bin"
+  done
+else
+  echo "=== [2/3] sanitizers: skipped (SKIP_SANITIZE=1) ==="
+fi
+
+echo "=== [3/3] bench smoke: bench_table5_gravkernel --json ==="
+out_json="build/BENCH_table5.json"
+./build/bench/bench_table5_gravkernel --json "${out_json}" >/dev/null
+python3 - "${out_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "table5_gravkernel"
+assert len(d["processors"]) >= 11, "historical rows missing"
+names = {v["name"] for v in d["host"]["variants"]}
+assert {"scalar libm", "scalar karp", "batch libm", "batch karp"} <= names
+s = d["host"]["speedup_batch_karp_vs_scalar_libm"]
+assert s > 0, "speedup missing"
+print(f"BENCH_table5.json ok: batch-karp speedup {s:.2f}x vs scalar libm")
+PY
+
+echo "=== CI green ==="

@@ -1,12 +1,17 @@
-// Structure-of-arrays batched gravity kernel.
+// Structure-of-arrays batched gravity kernels — the interaction-list flush
+// path of the treecode.
 //
 // Paper Sec 5: "By hand coding our inner loop with SSE instructions, we
 // hope to be able to reach 2x higher performance with our N-body code."
-// This is the portable version of that idea: sources live in separate
-// contiguous arrays and the interaction loop is written so the compiler
-// can vectorize it (no branches, no aliasing, fused rsqrt via the Karp
-// polish when requested). The scalar kernels in kernels.hpp remain the
-// reference; tests require bit-level-close agreement.
+// This is the portable version of that idea: the traversal gathers accepted
+// body ranges and accepted cells into reusable SoA *tiles* and flushes each
+// tile through one of the kernels below. Sources live in separate
+// contiguous arrays and every inner loop is written branch-free (the
+// r2 == 0 self-interaction test is hoisted into a pre-pass) so the
+// compiler can vectorize the whole body, including a batched Karp
+// reciprocal square root that runs on adds and multiplies after a table
+// gather. The scalar kernels in kernels.hpp / multipole.hpp remain the
+// reference; tests require <= 1e-12 relative agreement.
 #pragma once
 
 #include <cstddef>
@@ -14,27 +19,126 @@
 #include <vector>
 
 #include "gravity/kernels.hpp"
+#include "gravity/multipole.hpp"
 
 namespace ss::gravity {
 
-/// Structure-of-arrays source set.
+/// Batched Karp reciprocal square root: out[i] = rsqrt(x[i]) for `n`
+/// values. Branch-free: in-register exponent halving seeds the estimate
+/// (no memory table, so no gather) and four Newton-Raphson polishes — adds
+/// and multiplies only — take it to full precision; the loop vectorizes.
+///
+/// Precondition: every x[i] is a *normal*, positive, finite double. The
+/// interaction kernels guarantee this by masking the r2 == 0 lanes in a
+/// pre-pass (softened denominators are never denormal in practice); the
+/// scalar rsqrt_karp keeps its total-function fallback.
+void rsqrt_karp_batch(const double* x, double* out, std::size_t n);
+
+/// Structure-of-arrays source set (a body tile).
 struct SourcesSoA {
   std::vector<double> x, y, z, m;
 
   std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    m.reserve(n);
+  }
+
+  /// Drop contents but keep capacity (tiles are reused across flushes).
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+    m.clear();
+  }
+
   void push_back(const Source& s) {
     x.push_back(s.pos.x);
     y.push_back(s.pos.y);
     z.push_back(s.pos.z);
     m.push_back(s.mass);
   }
+
+  /// Append `n` AoS sources (the traversal's accepted body ranges).
+  void append(const Source* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) push_back(p[i]);
+  }
+
   static SourcesSoA from(std::span<const Source> aos);
 };
 
+/// Structure-of-arrays multipole set (a cell tile): mass, center of mass
+/// and the six components of the traceless quadrupole.
+struct CellsSoA {
+  std::vector<double> x, y, z, m;
+  std::vector<double> qxx, qxy, qxz, qyy, qyz, qzz;
+
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void reserve(std::size_t n);
+  void clear();
+  void push_back(const Moments& mom);
+};
+
+/// Reusable scratch for the tile kernels: per-lane displacements, masked
+/// masses, denominators and reciprocal roots. Owning it at the call site
+/// (one per traversal engine / thread) makes a tile flush allocation-free
+/// after warm-up. The kernels process tiles in L1-sized blocks, so the
+/// scratch stays small no matter how large the tile grows.
+struct TileScratch {
+  std::vector<double> dx, dy, dz, mm, d, rinv;
+
+  void reserve(std::size_t n);
+};
+
+/// Accumulate the softened field of a body tile at one target point.
+/// Exactly the semantics of the scalar `interact`: self-interactions
+/// (r2 == 0) contribute only the softened potential, never a force.
+template <RsqrtMethod M>
+Accel interact_bodies_batch(const Vec3& target, const SourcesSoA& tile,
+                            double eps2, TileScratch& scratch);
+
+extern template Accel interact_bodies_batch<RsqrtMethod::libm>(
+    const Vec3&, const SourcesSoA&, double, TileScratch&);
+extern template Accel interact_bodies_batch<RsqrtMethod::karp>(
+    const Vec3&, const SourcesSoA&, double, TileScratch&);
+
+/// Runtime-dispatched body-tile kernel.
+Accel interact_bodies_batch(const Vec3& target, const SourcesSoA& tile,
+                            double eps2, RsqrtMethod method,
+                            TileScratch& scratch);
+
+/// Accumulate the monopole + quadrupole field of a cell tile at one target
+/// point; matches the scalar `evaluate` per cell. Targets coincident with
+/// a cell's center of mass at eps2 == 0 are a caller error (the MAC never
+/// accepts such a cell).
+template <RsqrtMethod M>
+Accel interact_cells_batch(const Vec3& target, const CellsSoA& tile,
+                           double eps2, TileScratch& scratch);
+
+extern template Accel interact_cells_batch<RsqrtMethod::libm>(
+    const Vec3&, const CellsSoA&, double, TileScratch&);
+extern template Accel interact_cells_batch<RsqrtMethod::karp>(
+    const Vec3&, const CellsSoA&, double, TileScratch&);
+
+/// Runtime-dispatched cell-tile kernel.
+Accel interact_cells_batch(const Vec3& target, const CellsSoA& tile,
+                           double eps2, RsqrtMethod method,
+                           TileScratch& scratch);
+
 /// Batched interaction: accumulate the field of all sources at each of
-/// the `targets`, vector-friendly inner loop. Self-interactions (r2 == 0)
-/// contribute no force, matching the scalar kernel.
+/// the `targets`. Kept for the O(N^2) direct solver and the micro-kernel
+/// bench; implemented on the tile kernels above.
 void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
                     double eps2, std::span<Accel> out);
+
+/// Method-dispatched variant of the multi-target batch.
+void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
+                    double eps2, RsqrtMethod method, std::span<Accel> out);
 
 }  // namespace ss::gravity

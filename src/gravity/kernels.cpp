@@ -5,7 +5,6 @@
 #include <cmath>
 
 namespace ss::gravity {
-namespace {
 
 // ---------------------------------------------------------------------------
 // Karp reciprocal square root.
@@ -19,14 +18,11 @@ namespace {
 // y <- y * (1.5 - 0.5 * m * y * y), which uses only adds and multiplies.
 // ---------------------------------------------------------------------------
 
-constexpr int kTableBits = 8;
-constexpr int kTableSize = 1 << kTableBits;
+namespace detail {
+namespace {
 
-struct KarpTable {
-  // Per-segment value at the segment's left edge and slope across it.
-  std::array<double, kTableSize> value{};
-  std::array<double, kTableSize> slope{};
-};
+constexpr int kTableBits = kKarpTableBits;
+constexpr int kTableSize = kKarpTableSize;
 
 KarpTable make_table() {
   KarpTable t;
@@ -43,17 +39,23 @@ KarpTable make_table() {
   return t;
 }
 
-const KarpTable& table() {
+}  // namespace
+
+const KarpTable& karp_table() {
   static const KarpTable t = make_table();
   return t;
 }
 
-constexpr double kRsqrt2 = 0.70710678118654752440;
+}  // namespace detail
 
+namespace {
+using detail::kRsqrt2;
+constexpr int kTableBits = detail::kKarpTableBits;
+constexpr int kTableSize = detail::kKarpTableSize;
 }  // namespace
 
 double rsqrt_karp(double x) {
-  const KarpTable& t = table();
+  const detail::KarpTable& t = detail::karp_table();
   const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
   const int raw_exp = static_cast<int>((bits >> 52) & 0x7ff);
   // Fall back to libm for denormals/zero/inf/nan; the treecode never

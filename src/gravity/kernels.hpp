@@ -10,6 +10,8 @@
 //     after the lookup only adds and multiplies are executed.
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -44,6 +46,26 @@ inline double rsqrt_libm(double x) { return 1.0 / std::sqrt(x); }
 /// Karp-style reciprocal square root. Accurate to ~1 ulp after two
 /// Newton-Raphson iterations; valid for finite x > 0.
 double rsqrt_karp(double x);
+
+namespace detail {
+
+/// Seed table shared by the scalar and the batched Karp rsqrt: per-segment
+/// value at the left edge and secant slope across the segment, indexed by
+/// the top mantissa bits.
+inline constexpr int kKarpTableBits = 8;
+inline constexpr int kKarpTableSize = 1 << kKarpTableBits;
+
+struct KarpTable {
+  std::array<double, kKarpTableSize> value{};
+  std::array<double, kKarpTableSize> slope{};
+};
+
+/// The process-wide table (built on first use).
+const KarpTable& karp_table();
+
+inline constexpr double kRsqrt2 = 0.70710678118654752440;
+
+}  // namespace detail
 
 enum class RsqrtMethod { libm, karp };
 

@@ -5,10 +5,25 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "morton/sort.hpp"
+
 namespace ss::hot {
 
 using gravity::Source;
 using morton::Key;
+
+namespace {
+
+/// Stable Morton ordering of `keys` into `order` (ties in input order —
+/// the rule the old comparator sorts spelled as `a < b`; radix stability
+/// supplies it for free). One scratch per thread makes repeated
+/// decompositions allocation-free.
+void morton_order(std::span<const Key> keys, std::vector<std::uint32_t>& order) {
+  thread_local morton::RadixScratch scratch;
+  morton::radix_sort_permutation(keys, scratch, order);
+}
+
+}  // namespace
 
 int DecompResult::owner_of(Key max_depth_key) const {
   // Domains are contiguous and sorted; binary search on lower bounds.
@@ -105,13 +120,10 @@ DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
   }
 
   // Key and sort locally.
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
   std::vector<Key> raw(n);
   for (std::size_t i = 0; i < n; ++i) raw[i] = morton::encode(bodies[i].pos, box);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return raw[a] != raw[b] ? raw[a] < raw[b] : a < b;
-  });
+  std::vector<std::uint32_t> order;
+  morton_order(raw, order);
 
   auto weight_of = [&](std::size_t i) {
     return work.empty() ? 1.0 : std::max(work[i], 1e-12);
@@ -146,13 +158,19 @@ DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
   // computes identical splitters from the identical gathered list.
   auto all_samples = comm.allgather(
       std::span<const Sample>(samples.data(), samples.size()));
-  std::sort(all_samples.begin(), all_samples.end(),
-            [](const Sample& a, const Sample& b) { return a.key < b.key; });
+  // Order the gathered samples by key on the radix path too (stable, so
+  // every rank derives identical splitters from the identical list).
+  std::vector<Key> raw_sample_keys(all_samples.size());
+  for (std::size_t i = 0; i < all_samples.size(); ++i) {
+    raw_sample_keys[i] = all_samples[i].key;
+  }
+  std::vector<std::uint32_t> sample_order;
+  morton_order(raw_sample_keys, sample_order);
   std::vector<Key> sample_keys(all_samples.size());
   std::vector<double> sample_w(all_samples.size());
   for (std::size_t i = 0; i < all_samples.size(); ++i) {
-    sample_keys[i] = all_samples[i].key;
-    sample_w[i] = all_samples[i].weight;
+    sample_keys[i] = raw_sample_keys[sample_order[i]];
+    sample_w[i] = all_samples[sample_order[i]].weight;
   }
   std::vector<Key> splits = weighted_splitters(sample_keys, sample_w, p);
 
@@ -181,18 +199,13 @@ DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
   }
   auto incoming = comm.alltoallv(outgoing);
 
-  // Final local sort by key.
+  // Final local sort by key (same stable radix path as the first sort).
   std::vector<Key> in_keys(incoming.size());
-  std::vector<std::uint32_t> in_order(incoming.size());
-  std::iota(in_order.begin(), in_order.end(), 0u);
   for (std::size_t i = 0; i < incoming.size(); ++i) {
     in_keys[i] = morton::encode(incoming[i].body.pos, box);
   }
-  std::sort(in_order.begin(), in_order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return in_keys[a] != in_keys[b] ? in_keys[a] < in_keys[b]
-                                              : a < b;
-            });
+  std::vector<std::uint32_t> in_order;
+  morton_order(in_keys, in_order);
   result.bodies.reserve(incoming.size());
   result.work.reserve(incoming.size());
   result.keys.reserve(incoming.size());

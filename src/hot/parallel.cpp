@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "gravity/batch.hpp"
 #include "obs/obs.hpp"
 
 namespace ss::hot {
@@ -144,7 +145,12 @@ class Engine {
       c_resumed_ = &reg.counter("hot.walks_resumed");
       c_requests_ = &reg.counter("hot.remote_requests");
       c_served_ = &reg.counter("hot.requests_served");
+      c_tile_flushes_ = &reg.counter("hot.tile_flushes");
+      c_batched_ = &reg.counter("hot.batched_interactions");
+      c_scalar_ = &reg.counter("hot.scalar_interactions");
     }
+    body_tile_.reserve(cfg.tile_bodies);
+    cell_tile_.reserve(cfg.tile_cells);
     abm_.on(kChanRequest, [this](int src, std::span<const std::byte> p) {
       serve_request(src, p);
     });
@@ -178,6 +184,19 @@ class Engine {
   void direct_local_range(Walk& w, Key cell);
   void unpark(Key k);
 
+  // Interaction-list plumbing. Accepted body ranges and accepted cells are
+  // gathered into the engine-owned SoA tiles and flushed through the
+  // batched kernels when a tile fills or the walk leaves advance() (the
+  // tiles are shared across walks, so they never outlive one activation).
+  void add_bodies(Walk& w, const Source* p, std::size_t n);
+  void add_cell(Walk& w, const Moments& m);
+  void flush_body_tile(Walk& w);
+  void flush_cell_tile(Walk& w);
+  void flush_tiles(Walk& w) {
+    flush_body_tile(w);
+    flush_cell_tile(w);
+  }
+
   ss::vmpi::Comm& comm_;
   const ParallelConfig& cfg_;
   const Tree& tree_;
@@ -193,6 +212,12 @@ class Engine {
   std::deque<std::uint32_t> ready_;
   std::uint64_t outstanding_ = 0;  // requests sent minus replies received
 
+  // Interaction-list tiles + kernel scratch, reused across every walk and
+  // flush: the traversal allocates nothing per walk after warm-up.
+  gravity::SourcesSoA body_tile_;
+  gravity::CellsSoA cell_tile_;
+  gravity::TileScratch scratch_;
+
   int quiet_count_ = 0;  // rank 0 only
   bool sent_quiet_ = false;
   bool done_ = false;
@@ -207,7 +232,70 @@ class Engine {
   obs::Counter* c_resumed_ = nullptr;
   obs::Counter* c_requests_ = nullptr;
   obs::Counter* c_served_ = nullptr;
+  obs::Counter* c_tile_flushes_ = nullptr;
+  obs::Counter* c_batched_ = nullptr;
+  obs::Counter* c_scalar_ = nullptr;
 };
+
+void Engine::add_bodies(Walk& w, const Source* p, std::size_t n) {
+  if (n == 0) return;
+  w.body_interactions += n;
+  if (!cfg_.batch_interactions) {
+    w.acc += gravity::interact(w.pos, std::span<const Source>(p, n), cfg_.eps2,
+                               cfg_.method);
+    stats_.scalar_body_interactions += n;
+    if (obs_ != nullptr) c_scalar_->add(n);
+    return;
+  }
+  const std::size_t cap = std::max<std::size_t>(cfg_.tile_bodies, 1);
+  while (n > 0) {
+    const std::size_t take = std::min(n, cap - body_tile_.size());
+    body_tile_.append(p, take);
+    p += take;
+    n -= take;
+    if (body_tile_.size() >= cap) flush_body_tile(w);
+  }
+}
+
+void Engine::add_cell(Walk& w, const Moments& m) {
+  ++w.cell_interactions;
+  if (!cfg_.batch_interactions) {
+    w.acc += gravity::evaluate(m, w.pos, cfg_.eps2, cfg_.method);
+    ++stats_.scalar_cell_interactions;
+    if (obs_ != nullptr) c_scalar_->add(1);
+    return;
+  }
+  cell_tile_.push_back(m);
+  if (cell_tile_.size() >= std::max<std::size_t>(cfg_.tile_cells, 1)) {
+    flush_cell_tile(w);
+  }
+}
+
+void Engine::flush_body_tile(Walk& w) {
+  if (body_tile_.empty()) return;
+  w.acc += gravity::interact_bodies_batch(w.pos, body_tile_, cfg_.eps2,
+                                          cfg_.method, scratch_);
+  stats_.batched_body_interactions += body_tile_.size();
+  ++stats_.tile_flushes;
+  if (obs_ != nullptr) {
+    c_tile_flushes_->add(1);
+    c_batched_->add(body_tile_.size());
+  }
+  body_tile_.clear();
+}
+
+void Engine::flush_cell_tile(Walk& w) {
+  if (cell_tile_.empty()) return;
+  w.acc += gravity::interact_cells_batch(w.pos, cell_tile_, cfg_.eps2,
+                                         cfg_.method, scratch_);
+  stats_.batched_cell_interactions += cell_tile_.size();
+  ++stats_.tile_flushes;
+  if (obs_ != nullptr) {
+    c_tile_flushes_->add(1);
+    c_batched_->add(cell_tile_.size());
+  }
+  cell_tile_.clear();
+}
 
 void Engine::exchange_cover() {
   const Domain dom = dec_.domains[static_cast<std::size_t>(comm_.rank())];
@@ -430,10 +518,7 @@ void Engine::direct_local_range(Walk& w, Key cell) {
                                    morton::last_descendant(cell));
   const auto first = static_cast<std::size_t>(lo - keys.begin());
   const auto count = static_cast<std::size_t>(hi - lo);
-  w.acc += gravity::interact(
-      w.pos, std::span<const Source>(tree_.bodies().data() + first, count),
-      cfg_.eps2, cfg_.method);
-  w.body_interactions += count;
+  add_bodies(w, tree_.bodies().data() + first, count);
 }
 
 bool Engine::advance(Walk& w) {
@@ -448,8 +533,7 @@ bool Engine::advance(Walk& w) {
       const TopCell& tc = it->second;
       if (tc.count == 0) continue;
       if (gravity::mac_accept(tc.mom, w.pos, cfg_.theta)) {
-        w.acc += gravity::evaluate(tc.mom, w.pos, cfg_.eps2, cfg_.method);
-        ++w.cell_interactions;
+        add_cell(w, tc.mom);
         continue;
       }
       ++w.cells_opened;
@@ -460,12 +544,7 @@ bool Engine::advance(Walk& w) {
       if (tc.owner == comm_.rank()) {
         if (const Cell* c = tree_.find(k)) {
           if (c->leaf) {
-            w.acc += gravity::interact(
-                w.pos,
-                std::span<const Source>(tree_.bodies().data() + c->first,
-                                        c->count),
-                cfg_.eps2, cfg_.method);
-            w.body_interactions += c->count;
+            add_bodies(w, tree_.bodies().data() + c->first, c->count);
           } else {
             for (int o = 0; o < 8; ++o) {
               if (c->children[o] >= 0) {
@@ -490,12 +569,12 @@ bool Engine::advance(Walk& w) {
       if (!rc.expanded) {
         if (obs_ != nullptr) c_cache_misses_->add(1);
         park(w, k, rc.owner, walk_idx);
+        flush_tiles(w);  // tiles are engine-shared; don't leak across walks
         return false;
       }
       if (obs_ != nullptr) c_cache_hits_->add(1);
       if (rc.leaf) {
-        w.acc += gravity::interact(w.pos, rc.bodies, cfg_.eps2, cfg_.method);
-        w.body_interactions += rc.bodies.size();
+        add_bodies(w, rc.bodies.data(), rc.bodies.size());
       } else {
         for (Key ck : rc.children) w.stack.push_back(ck);
       }
@@ -505,17 +584,11 @@ bool Engine::advance(Walk& w) {
     if (const Cell* c = tree_.find(k)) {
       if (c->count == 0) continue;
       if (c->leaf) {
-        w.acc += gravity::interact(
-            w.pos,
-            std::span<const Source>(tree_.bodies().data() + c->first,
-                                    c->count),
-            cfg_.eps2, cfg_.method);
-        w.body_interactions += c->count;
+        add_bodies(w, tree_.bodies().data() + c->first, c->count);
         continue;
       }
       if (gravity::mac_accept(c->mom, w.pos, cfg_.theta)) {
-        w.acc += gravity::evaluate(c->mom, w.pos, cfg_.eps2, cfg_.method);
-        ++w.cell_interactions;
+        add_cell(w, c->mom);
         continue;
       }
       ++w.cells_opened;
@@ -535,24 +608,25 @@ bool Engine::advance(Walk& w) {
     RemoteCell& rc = rit->second;
     if (rc.count == 0) continue;
     if (gravity::mac_accept(rc.mom, w.pos, cfg_.theta)) {
-      w.acc += gravity::evaluate(rc.mom, w.pos, cfg_.eps2, cfg_.method);
-      ++w.cell_interactions;
+      add_cell(w, rc.mom);
       continue;
     }
     ++w.cells_opened;
     if (!rc.expanded) {
       if (obs_ != nullptr) c_cache_misses_->add(1);
       park(w, k, rc.owner, walk_idx);
+      flush_tiles(w);  // tiles are engine-shared; don't leak across walks
       return false;
     }
     if (obs_ != nullptr) c_cache_hits_->add(1);
     if (rc.leaf) {
-      w.acc += gravity::interact(w.pos, rc.bodies, cfg_.eps2, cfg_.method);
-      w.body_interactions += rc.bodies.size();
+      add_bodies(w, rc.bodies.data(), rc.bodies.size());
     } else {
       for (Key ck : rc.children) w.stack.push_back(ck);
     }
   }
+  // Walk complete: drain this walk's pending interaction lists.
+  flush_tiles(w);
   return true;
 }
 
@@ -648,6 +722,9 @@ void Engine::run_walks(GravityResult& out) {
     obs_->registry()
         .gauge("gravity.local_bodies")
         .set(static_cast<double>(n));
+    obs_->registry()
+        .gauge("hot.tile_mean_occupancy")
+        .set(stats_.mean_tile_occupancy());
   }
   out.stats = stats_;
 }

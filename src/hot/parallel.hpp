@@ -46,6 +46,15 @@ struct ParallelConfig {
   /// Charge virtual compute time for interactions (flops at the rank's
   /// modeled rate). Disable for pure-correctness tests.
   bool charge_compute = true;
+  /// Gather accepted bodies/cells into SoA interaction-list tiles and
+  /// flush them through the batched kernels (gravity/batch.hpp). Off =
+  /// the scalar per-acceptance kernels (reference path; forces agree to
+  /// <= 1e-12).
+  bool batch_interactions = true;
+  /// Tile capacities: a tile is flushed when full and when its walk
+  /// parks or terminates.
+  std::uint32_t tile_bodies = 2048;
+  std::uint32_t tile_cells = 256;
 };
 
 struct ParallelStats {
@@ -53,6 +62,22 @@ struct ParallelStats {
   std::uint64_t remote_requests = 0;  ///< Distinct keys fetched remotely.
   std::uint64_t requests_served = 0;  ///< Requests answered for peers.
   std::uint64_t walks_parked = 0;     ///< Context switches taken.
+  /// Interaction-list accounting. Batched counts go through the SoA tile
+  /// kernels; scalar counts through the per-acceptance reference kernels
+  /// (batching disabled). The sums equal traverse.body/cell_interactions.
+  std::uint64_t tile_flushes = 0;  ///< Body + cell tiles flushed.
+  std::uint64_t batched_body_interactions = 0;
+  std::uint64_t batched_cell_interactions = 0;
+  std::uint64_t scalar_body_interactions = 0;
+  std::uint64_t scalar_cell_interactions = 0;
+  /// Mean interactions per tile flush (tile-size utilization).
+  double mean_tile_occupancy() const {
+    return tile_flushes == 0
+               ? 0.0
+               : static_cast<double>(batched_body_interactions +
+                                     batched_cell_interactions) /
+                     static_cast<double>(tile_flushes);
+  }
   std::size_t local_bodies = 0;
   std::size_t local_cells = 0;
   std::size_t top_cells = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "gravity/batch.hpp"
+#include "morton/sort.hpp"
+
 namespace ss::hot {
 
 Tree::Tree(std::span<const Source> bodies, TreeConfig cfg)
@@ -20,16 +23,17 @@ Tree::Tree(std::span<const Source> bodies, const morton::Box& box,
            TreeConfig cfg)
     : box_(box), cfg_(cfg) {
   const auto n = static_cast<std::uint32_t>(bodies.size());
-  perm_.resize(n);
-  std::iota(perm_.begin(), perm_.end(), 0u);
 
   std::vector<morton::Key> raw_keys(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     raw_keys[i] = morton::encode(bodies[i].pos, box_);
   }
-  std::sort(perm_.begin(), perm_.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return raw_keys[a] != raw_keys[b] ? raw_keys[a] < raw_keys[b] : a < b;
-  });
+  // Stable radix sort: equal keys keep input order, the tie rule the old
+  // comparator sort spelled explicitly.
+  {
+    thread_local morton::RadixScratch scratch;
+    morton::radix_sort_permutation(raw_keys, scratch, perm_);
+  }
 
   bodies_.resize(n);
   keys_.resize(n);
@@ -143,7 +147,12 @@ std::vector<Accel> Tree::accelerate_group_all(double theta, double eps2,
   std::vector<Accel> out(bodies_.size());
   if (bodies_.empty()) return out;
 
+  // Interaction lists are transposed once per group into SoA tiles and
+  // each bucket body flushes them through the batched kernels.
   std::vector<std::uint32_t> stack, cell_list, leaf_list;
+  gravity::SourcesSoA body_tile;
+  gravity::CellsSoA cell_tile;
+  gravity::TileScratch scratch;
   for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
     const Cell& group = cells_[ci];
     if (!group.leaf || group.count == 0) continue;
@@ -177,22 +186,25 @@ std::vector<Accel> Tree::accelerate_group_all(double theta, double eps2,
       }
     }
 
-    // Apply the shared lists to every body of the bucket.
+    // Transpose the shared lists into SoA tiles, then flush them through
+    // the batched kernels for every body of the bucket. The bucket's own
+    // bodies are in the tile too; the kernels mask the r2 == 0 lane.
+    body_tile.clear();
+    cell_tile.clear();
+    for (std::size_t l = 0; l < leaf_list.size(); l += 2) {
+      body_tile.append(bodies_.data() + leaf_list[l], leaf_list[l + 1]);
+    }
+    for (std::uint32_t cc : cell_list) cell_tile.push_back(cells_[cc].mom);
+
     for (std::uint32_t b = group.first; b < group.first + group.count; ++b) {
-      Accel acc;
-      for (std::uint32_t cc : cell_list) {
-        acc += gravity::evaluate(cells_[cc].mom, bodies_[b].pos, eps2,
-                                 method);
+      Accel acc = gravity::interact_bodies_batch(bodies_[b].pos, body_tile,
+                                                 eps2, method, scratch);
+      acc += gravity::interact_cells_batch(bodies_[b].pos, cell_tile, eps2,
+                                           method, scratch);
+      if (stats) {
+        stats->body_interactions += body_tile.size();
+        stats->cell_interactions += cell_tile.size();
       }
-      for (std::size_t l = 0; l < leaf_list.size(); l += 2) {
-        acc += gravity::interact(
-            bodies_[b].pos,
-            std::span<const Source>(bodies_.data() + leaf_list[l],
-                                    leaf_list[l + 1]),
-            eps2, method);
-        if (stats) stats->body_interactions += leaf_list[l + 1];
-      }
-      if (stats) stats->cell_interactions += cell_list.size();
       out[b] = acc;
     }
   }

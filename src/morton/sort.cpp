@@ -1,58 +1,163 @@
 #include "morton/sort.hpp"
 
-#include <array>
+#include <algorithm>
+#include <cstring>
 #include <numeric>
+#include <thread>
 
 namespace ss::morton {
 
 namespace {
+
 constexpr int kRadixBits = 8;
 constexpr std::size_t kBuckets = 1u << kRadixBits;
 constexpr int kPasses = 64 / kRadixBits;
-}  // namespace
+constexpr std::uint64_t kDigitMask = kBuckets - 1;
 
-std::vector<std::uint32_t> radix_sort_permutation(std::span<const Key> keys) {
-  const auto n = static_cast<std::uint32_t>(keys.size());
-  std::vector<std::uint32_t> perm(n), next(n);
-  std::iota(perm.begin(), perm.end(), 0u);
+// Below this size one thread wins: per-pass thread launch/join overhead
+// (two joins per pass, eight passes) dominates the scatter itself.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 15;
 
-  std::array<std::uint32_t, kBuckets> count;
-  for (int pass = 0; pass < kPasses; ++pass) {
-    const int shift = pass * kRadixBits;
-    // Skip passes whose digit is constant (common: high placeholder bits).
-    count.fill(0);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      ++count[(keys[perm[i]] >> shift) & (kBuckets - 1)];
-    }
-    bool constant = false;
-    for (std::uint32_t c : count) {
-      if (c == n) {
-        constant = true;
-        break;
-      }
-    }
-    if (constant) continue;
-    // Exclusive prefix sum -> stable scatter.
-    std::uint32_t acc = 0;
-    for (auto& c : count) {
-      const std::uint32_t v = c;
-      c = acc;
+int pick_threads(std::size_t n, int requested) {
+  if (requested > 0) return requested;
+  if (n < kParallelThreshold) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+/// Run fn(thread_index, lo, hi) over an even chunking of [0, n). With one
+/// thread this is a plain inline call — no thread is ever spawned.
+template <class Fn>
+void run_chunks(int threads, std::uint32_t n, Fn&& fn) {
+  if (threads <= 1 || n == 0) {
+    fn(0, 0u, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  const auto chunk = [n, threads](int t) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(n) * static_cast<std::uint32_t>(t)) /
+        static_cast<std::uint32_t>(threads));
+  };
+  for (int t = 1; t < threads; ++t) {
+    pool.emplace_back([&fn, &chunk, t] { fn(t, chunk(t), chunk(t + 1)); });
+  }
+  fn(0, chunk(0), chunk(1));
+  for (auto& th : pool) th.join();
+}
+
+/// One histogram + offsets + scatter pass over (ka [, ia]) into
+/// (kb [, ib]). Returns false when the digit is constant across all keys
+/// (pass skipped, outputs untouched). `counts` holds threads * kBuckets
+/// slots. Stability: offsets are bucket-major then thread-minor, and each
+/// thread walks its chunk in order, so equal digits keep input order.
+template <bool WithIdx>
+bool radix_pass(const Key* ka, Key* kb, const std::uint32_t* ia,
+                std::uint32_t* ib, std::uint32_t n, int shift, int threads,
+                std::uint32_t* counts) {
+  run_chunks(threads, n,
+             [&](int t, std::uint32_t lo, std::uint32_t hi) {
+               std::uint32_t* my = counts + static_cast<std::size_t>(t) * kBuckets;
+               std::memset(my, 0, kBuckets * sizeof(std::uint32_t));
+               for (std::uint32_t i = lo; i < hi; ++i) {
+                 ++my[(ka[i] >> shift) & kDigitMask];
+               }
+             });
+
+  // Exclusive offsets, bucket-major then thread-minor; detect a constant
+  // digit (common: the high placeholder bits) on the way.
+  std::uint32_t acc = 0;
+  bool constant = false;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint32_t before = acc;
+    for (int t = 0; t < threads; ++t) {
+      std::uint32_t& slot = counts[static_cast<std::size_t>(t) * kBuckets + b];
+      const std::uint32_t v = slot;
+      slot = acc;
       acc += v;
     }
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const std::size_t digit = (keys[perm[i]] >> shift) & (kBuckets - 1);
-      next[count[digit]++] = perm[i];
-    }
-    perm.swap(next);
+    if (acc - before == n && n != 0) constant = true;
   }
+  if (constant) return false;
+
+  run_chunks(threads, n,
+             [&](int t, std::uint32_t lo, std::uint32_t hi) {
+               std::uint32_t* my = counts + static_cast<std::size_t>(t) * kBuckets;
+               for (std::uint32_t i = lo; i < hi; ++i) {
+                 const Key k = ka[i];
+                 const std::uint32_t dst = my[(k >> shift) & kDigitMask]++;
+                 kb[dst] = k;
+                 if constexpr (WithIdx) ib[dst] = ia[i];
+               }
+             });
+  return true;
+}
+
+/// All passes; returns true when the sorted data ended in the "a"
+/// buffers.
+template <bool WithIdx>
+bool radix_passes(Key* ka, Key* kb, std::uint32_t* ia, std::uint32_t* ib,
+                  std::uint32_t n, int threads, std::uint32_t* counts) {
+  bool in_a = true;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const int shift = pass * kRadixBits;
+    const bool scattered =
+        in_a ? radix_pass<WithIdx>(ka, kb, ia, ib, n, shift, threads, counts)
+             : radix_pass<WithIdx>(kb, ka, ib, ia, n, shift, threads, counts);
+    if (scattered) in_a = !in_a;
+  }
+  return in_a;
+}
+
+}  // namespace
+
+void radix_sort_permutation(std::span<const Key> keys, RadixScratch& scratch,
+                            std::vector<std::uint32_t>& perm, int threads) {
+  const auto n = static_cast<std::uint32_t>(keys.size());
+  perm.resize(n);
+  if (n == 0) return;
+  std::iota(perm.begin(), perm.end(), 0u);
+  threads = pick_threads(n, threads);
+
+  scratch.keys_a.resize(n);
+  scratch.keys_b.resize(n);
+  scratch.idx_b.resize(n);
+  scratch.counts.resize(static_cast<std::size_t>(threads) * kBuckets);
+  std::copy(keys.begin(), keys.end(), scratch.keys_a.begin());
+
+  const bool in_a = radix_passes<true>(
+      scratch.keys_a.data(), scratch.keys_b.data(), perm.data(),
+      scratch.idx_b.data(), n, threads, scratch.counts.data());
+  // The permutation ping-pongs between perm ("a") and scratch.idx_b; an
+  // O(1) vector swap retrieves it when it landed in the scratch.
+  if (!in_a) perm.swap(scratch.idx_b);
+}
+
+std::vector<std::uint32_t> radix_sort_permutation(std::span<const Key> keys) {
+  RadixScratch scratch;
+  std::vector<std::uint32_t> perm;
+  radix_sort_permutation(keys, scratch, perm, /*threads=*/1);
   return perm;
 }
 
+void radix_sort(std::vector<Key>& keys, RadixScratch& scratch, int threads) {
+  const auto n = static_cast<std::uint32_t>(keys.size());
+  if (n == 0) return;
+  threads = pick_threads(n, threads);
+
+  scratch.keys_b.resize(n);
+  scratch.counts.resize(static_cast<std::size_t>(threads) * kBuckets);
+
+  const bool in_a =
+      radix_passes<false>(keys.data(), scratch.keys_b.data(), nullptr, nullptr,
+                          n, threads, scratch.counts.data());
+  if (!in_a) keys.swap(scratch.keys_b);
+}
+
 void radix_sort(std::vector<Key>& keys) {
-  const auto perm = radix_sort_permutation(keys);
-  std::vector<Key> sorted(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) sorted[i] = keys[perm[i]];
-  keys.swap(sorted);
+  RadixScratch scratch;
+  radix_sort(keys, scratch, /*threads=*/1);
 }
 
 }  // namespace ss::morton

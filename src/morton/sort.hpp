@@ -5,6 +5,17 @@
 // A least-significant-digit radix sort beats comparison sorting for the
 // key volumes of production runs and is stable, which keeps equal-key
 // bodies in input order (the tie rule the tree build relies on).
+//
+// Two implementation points (both measurable on decomposition-heavy
+// runs):
+//   * Keys ride along with the permutation indices in ping-ponged
+//     (key, index) buffer pairs, so every pass streams contiguously
+//     instead of re-gathering keys[perm[i]] through an indirection.
+//   * Passes can run on multiple threads: per-thread histograms over
+//     chunk-partitioned input, bucket-major/thread-minor exclusive
+//     offsets, then a stable partitioned scatter. Thread 0's chunk
+//     precedes thread 1's inside every bucket, which preserves the
+//     global tie-by-input-order guarantee.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +26,30 @@
 
 namespace ss::morton {
 
+/// Reusable buffers for the radix sort. Passing the same scratch to
+/// repeated sorts (the decomposition re-sorts every step) makes them
+/// allocation-free after warm-up.
+struct RadixScratch {
+  std::vector<Key> keys_a, keys_b;
+  std::vector<std::uint32_t> idx_b;
+  std::vector<std::uint32_t> counts;  ///< threads * 256 histogram slots.
+};
+
 /// Stable radix sort of `keys`; returns the permutation `perm` such that
 /// keys[perm[0]] <= keys[perm[1]] <= ... (ties in input order).
 std::vector<std::uint32_t> radix_sort_permutation(std::span<const Key> keys);
 
+/// Scratch-reusing, optionally parallel variant. `perm` is resized to
+/// keys.size(). `threads <= 0` picks automatically: 1 below a size
+/// threshold, else min(hardware_concurrency, 16).
+void radix_sort_permutation(std::span<const Key> keys, RadixScratch& scratch,
+                            std::vector<std::uint32_t>& perm, int threads = 0);
+
 /// In-place stable radix sort of a key array.
 void radix_sort(std::vector<Key>& keys);
+
+/// Scratch-reusing, optionally parallel in-place sort.
+void radix_sort(std::vector<Key>& keys, RadixScratch& scratch,
+                int threads = 0);
 
 }  // namespace ss::morton

@@ -1,14 +1,19 @@
 #include "nbody/integrator.hpp"
 
+#include "gravity/batch.hpp"
+
 namespace ss::nbody {
 
 void direct_forces(const std::vector<Body>& bodies, double eps2,
                    gravity::RsqrtMethod method, std::vector<Accel>& acc) {
   const auto src = sources_of(bodies);
   acc.resize(bodies.size());
-  for (std::size_t i = 0; i < bodies.size(); ++i) {
-    acc[i] = gravity::interact(bodies[i].pos, src, eps2, method);
-  }
+  // O(N^2) solve through the SoA tile kernels: one transpose of the
+  // sources, then a batched flush per target body.
+  const auto soa = gravity::SourcesSoA::from(src);
+  std::vector<Vec3> targets(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) targets[i] = bodies[i].pos;
+  gravity::interact_batch(targets, soa, eps2, method, acc);
 }
 
 void tree_forces(const std::vector<Body>& bodies, const TreeForceConfig& cfg,

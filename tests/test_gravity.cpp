@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "gravity/batch.hpp"
 #include "gravity/kernels.hpp"
 #include "gravity/multipole.hpp"
 #include "support/rng.hpp"
@@ -206,6 +207,133 @@ TEST(QuadTensor, PointMassFormula) {
   EXPECT_DOUBLE_EQ(q.zz, -2.0);
   EXPECT_DOUBLE_EQ(q.xy, 0.0);
   EXPECT_NEAR(q.xx + q.yy + q.zz, 0.0, 1e-15);
+}
+
+// --- batched SoA kernels ----------------------------------------------------
+
+void expect_accel_near(const Accel& got, const Accel& ref, double tol) {
+  const double scale =
+      std::max({std::abs(ref.a.x), std::abs(ref.a.y), std::abs(ref.a.z),
+                std::abs(ref.phi), 1e-300});
+  EXPECT_NEAR(got.a.x, ref.a.x, tol * scale);
+  EXPECT_NEAR(got.a.y, ref.a.y, tol * scale);
+  EXPECT_NEAR(got.a.z, ref.a.z, tol * scale);
+  EXPECT_NEAR(got.phi, ref.phi, tol * scale);
+}
+
+TEST(BatchKernels, RsqrtKarpBatchMatchesLibm) {
+  Rng rng(21);
+  std::vector<double> x, out;
+  for (int i = 0; i < 4096; ++i) x.push_back(std::exp(rng.uniform(-60.0, 60.0)));
+  out.resize(x.size());
+  rsqrt_karp_batch(x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(out[i] * std::sqrt(x[i]), 1.0, 1e-12) << "x=" << x[i];
+  }
+}
+
+TEST(BatchKernels, BodiesMatchScalarLibmAndKarp) {
+  Rng rng(22);
+  // Larger than one L1 block (512) so the blocked pipeline is exercised.
+  const auto src = random_cluster(rng, 1500, {0.2, -0.1, 0.3}, 1.0);
+  const auto soa = SourcesSoA::from(src);
+  TileScratch scratch;
+  const Vec3 targets[] = {{0, 0, 0}, {0.5, 0.5, 0.5}, {3, -2, 1}};
+  for (const Vec3& t : targets) {
+    const auto ref_l = interact<RsqrtMethod::libm>(t, src, 1e-6);
+    const auto got_l =
+        interact_bodies_batch<RsqrtMethod::libm>(t, soa, 1e-6, scratch);
+    expect_accel_near(got_l, ref_l, 1e-12);
+    const auto ref_k = interact<RsqrtMethod::karp>(t, src, 1e-6);
+    const auto got_k =
+        interact_bodies_batch<RsqrtMethod::karp>(t, soa, 1e-6, scratch);
+    expect_accel_near(got_k, ref_k, 1e-12);
+  }
+}
+
+TEST(BatchKernels, CoincidentParticleUnsoftened) {
+  // eps2 = 0 with the target sitting exactly on a source: the self lane must
+  // be masked, no NaN/Inf, and the result must match the scalar kernel.
+  Rng rng(23);
+  auto src = random_cluster(rng, 257, {0, 0, 0}, 0.8);
+  const Vec3 target = src[100].pos;
+  const auto soa = SourcesSoA::from(src);
+  TileScratch scratch;
+  const auto ref = interact<RsqrtMethod::libm>(target, src, 0.0);
+  const auto got =
+      interact_bodies_batch<RsqrtMethod::libm>(target, soa, 0.0, scratch);
+  EXPECT_TRUE(std::isfinite(got.phi));
+  EXPECT_TRUE(std::isfinite(got.a.x));
+  expect_accel_near(got, ref, 1e-12);
+}
+
+TEST(BatchKernels, CoincidentParticleSoftened) {
+  // eps2 > 0: the scalar kernel keeps the softened self-potential; the batch
+  // kernel's fix-up must reproduce it.
+  const std::vector<Source> src = {{{1, 2, 3}, 2.5}, {{0, 0, 0}, 1.0}};
+  const auto soa = SourcesSoA::from(src);
+  TileScratch scratch;
+  for (auto m : {RsqrtMethod::libm, RsqrtMethod::karp}) {
+    const auto ref = interact({1, 2, 3}, src, 1e-4, m);
+    const auto got = interact_bodies_batch({1, 2, 3}, soa, 1e-4, m, scratch);
+    expect_accel_near(got, ref, 1e-12);
+  }
+}
+
+TEST(BatchKernels, EmptyAndSingleSourceTiles) {
+  TileScratch scratch;
+  SourcesSoA empty;
+  const auto z =
+      interact_bodies_batch<RsqrtMethod::karp>({1, 1, 1}, empty, 0.0, scratch);
+  EXPECT_EQ(z.phi, 0.0);
+  EXPECT_EQ(z.a.x, 0.0);
+
+  const std::vector<Source> one = {{{0.5, 0.0, 0.0}, 3.0}};
+  const auto got = interact_bodies_batch<RsqrtMethod::libm>(
+      {0, 0, 0}, SourcesSoA::from(one), 0.0, scratch);
+  expect_accel_near(got, interact<RsqrtMethod::libm>({0, 0, 0}, one, 0.0),
+                    1e-14);
+
+  CellsSoA no_cells;
+  const auto zc =
+      interact_cells_batch<RsqrtMethod::karp>({1, 1, 1}, no_cells, 0.0, scratch);
+  EXPECT_EQ(zc.phi, 0.0);
+}
+
+TEST(BatchKernels, CellsMatchScalarEvaluate) {
+  Rng rng(24);
+  TileScratch scratch;
+  CellsSoA tile;
+  std::vector<Moments> moms;
+  for (int c = 0; c < 37; ++c) {
+    const auto src = random_cluster(
+        rng, 20, {rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)},
+        0.4);
+    moms.push_back(Moments::of_particles(src));
+    tile.push_back(moms.back());
+  }
+  const Vec3 target{0.05, -0.02, 0.07};
+  for (auto m : {RsqrtMethod::libm, RsqrtMethod::karp}) {
+    Accel ref;
+    for (const auto& mom : moms) ref += evaluate(mom, target, 1e-6, m);
+    const auto got = interact_cells_batch(target, tile, 1e-6, m, scratch);
+    expect_accel_near(got, ref, 1e-12);
+  }
+}
+
+TEST(BatchKernels, MultiTargetInteractBatchMatchesScalar) {
+  Rng rng(25);
+  const auto src = random_cluster(rng, 600, {0, 0, 0}, 1.2);
+  const auto soa = SourcesSoA::from(src);
+  std::vector<Vec3> targets;
+  for (int i = 0; i < 16; ++i) targets.push_back(src[i * 7].pos);
+  std::vector<Accel> acc(targets.size());
+  interact_batch(targets, soa, 1e-6, RsqrtMethod::karp, acc);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    expect_accel_near(acc[i],
+                      interact<RsqrtMethod::karp>(targets[i], src, 1e-6),
+                      1e-12);
+  }
 }
 
 }  // namespace

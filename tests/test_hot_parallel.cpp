@@ -411,6 +411,79 @@ TEST(ParallelGravity, WorkWeightsImproveSecondStep) {
   });
 }
 
+TEST(ParallelGravity, BatchedTraversalMatchesScalarTraversal) {
+  // Property test for the interaction-list refactor: running the identical
+  // fixed-seed problem with SoA tile batching on vs off must give the same
+  // forces to ~machine precision (same interactions, same flop accounting;
+  // only the kernel evaluation order changes).
+  const int p = 4;
+  const int n_per = 400;
+
+  auto run = [&](bool batched, std::uint32_t tile_bodies,
+                 std::map<std::uint64_t, Vec3>& acc_out, ParallelStats& stats) {
+    Runtime rt(p);
+    std::mutex mu;
+    rt.run([&](Comm& c) {
+      Rng rng(static_cast<std::uint64_t>(400 + c.rank()));
+      auto local = clustered_bodies(rng, n_per);
+      ParallelConfig cfg;
+      cfg.theta = 0.6;
+      cfg.eps2 = 1e-6;
+      cfg.tree.bucket_size = 8;
+      cfg.charge_compute = false;
+      cfg.batch_interactions = batched;
+      // Small tiles force many flushes (and flush-before-park coverage).
+      cfg.tile_bodies = tile_bodies;
+      cfg.tile_cells = 16;
+      auto res = parallel_gravity(c, local, {}, cfg);
+      std::lock_guard<std::mutex> lock(mu);
+      for (std::size_t i = 0; i < res.bodies.size(); ++i) {
+        const auto key = ss::morton::encode(
+            res.bodies[i].pos, ss::morton::Box{{-3, -3, -3}, 6.0});
+        acc_out[key] = res.accel[i].a;
+      }
+      if (c.rank() == 0) stats = res.stats;
+    });
+  };
+
+  std::map<std::uint64_t, Vec3> scalar_acc, batched_acc;
+  ParallelStats scalar_stats, batched_stats;
+  run(false, 64, scalar_acc, scalar_stats);
+  run(true, 64, batched_acc, batched_stats);
+
+  ASSERT_EQ(scalar_acc.size(), static_cast<std::size_t>(p * n_per));
+  ASSERT_EQ(batched_acc.size(), scalar_acc.size());
+  for (const auto& [key, a] : scalar_acc) {
+    auto it = batched_acc.find(key);
+    ASSERT_NE(it, batched_acc.end());
+    const double rel = (it->second - a).norm() / (a.norm() + 1e-30);
+    EXPECT_LE(rel, 1e-12);
+  }
+
+  // Accounting invariants: every interaction flows through exactly one of
+  // the batched or scalar paths, and the traverse totals are mode-invariant
+  // (so per-body work weights and virtual time are unchanged).
+  EXPECT_EQ(scalar_stats.tile_flushes, 0u);
+  EXPECT_EQ(scalar_stats.batched_body_interactions, 0u);
+  EXPECT_EQ(scalar_stats.scalar_body_interactions,
+            scalar_stats.traverse.body_interactions);
+  EXPECT_EQ(scalar_stats.scalar_cell_interactions,
+            scalar_stats.traverse.cell_interactions);
+
+  EXPECT_GT(batched_stats.tile_flushes, 0u);
+  EXPECT_EQ(batched_stats.scalar_body_interactions, 0u);
+  EXPECT_EQ(batched_stats.batched_body_interactions,
+            batched_stats.traverse.body_interactions);
+  EXPECT_EQ(batched_stats.batched_cell_interactions,
+            batched_stats.traverse.cell_interactions);
+  EXPECT_GT(batched_stats.mean_tile_occupancy(), 0.0);
+
+  EXPECT_EQ(batched_stats.traverse.body_interactions,
+            scalar_stats.traverse.body_interactions);
+  EXPECT_EQ(batched_stats.traverse.cell_interactions,
+            scalar_stats.traverse.cell_interactions);
+}
+
 TEST(ParallelGravity, EmptyRanksAreTolerated) {
   Runtime rt(4);
   rt.run([&](Comm& c) {
