@@ -18,11 +18,14 @@
 //                    virtual-time phase breakdown table.
 //   --json [PATH]    write the ablation tables as machine-readable JSON
 //                    (default BENCH_ablation_parallel.json).
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "hot/parallel.hpp"
@@ -96,6 +99,139 @@ struct SweepRow {
   RunResult r;
 };
 
+// ---------------------------------------------------------------------------
+// Multi-step communication avoidance: persistent GravityEngine (ledger
+// prefetch + dedup + piggyback) vs a fresh engine per step (the stateless
+// path). Bodies drift with fixed per-body velocities routed through the
+// decomposition as the engine's aux payload, so both trajectories stay
+// identical and per-step forces are directly comparable.
+// ---------------------------------------------------------------------------
+
+struct StepRow {
+  int step = 0;
+  // Engine path (summed over ranks).
+  std::uint64_t remote_requests = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t requests_deduped = 0;
+  std::uint64_t walks_parked = 0;
+  std::uint64_t sibling_pushes = 0;
+  std::uint64_t abm_batches = 0;
+  std::uint64_t messages = 0;  ///< physical vmpi messages (incl. collectives)
+  // Stateless baseline for the same step.
+  std::uint64_t stateless_messages = 0;
+  std::uint64_t stateless_walks_parked = 0;
+  double vtime_seconds = 0.0;  ///< engine step, decompose+build+traverse
+  double host_seconds = 0.0;   ///< rank-0 wall clock of the engine step
+  double force_max_rel = 0.0;  ///< max rel accel diff, engine vs stateless
+};
+
+std::vector<StepRow> run_multi_step(int procs, int steps) {
+  auto model = ss::vmpi::make_space_simulator_model(
+      ss::simnet::lam_homogeneous(), 623.9e6);
+  ss::vmpi::Runtime rt(procs, model);
+  std::vector<StepRow> rows(static_cast<std::size_t>(steps));
+  std::mutex mu;
+  rt.run([&](ss::vmpi::Comm& c) {
+    // Same clustered knots as the ablations, plus a small coherent drift
+    // per body so the remote-request set stays temporally coherent but
+    // never identical step to step.
+    ss::support::Rng rng(static_cast<std::uint64_t>(31 + c.rank()));
+    const ss::support::Vec3 centers[3] = {
+        {-1, -1, -1}, {1.2, 0.3, 0.0}, {0.1, 1.1, -0.7}};
+    std::vector<ss::hot::Source> bodies;
+    std::vector<double> vel;  // stride 3, the engine's aux payload
+    for (int i = 0; i < 1024; ++i) {
+      double x, y, z;
+      rng.unit_vector(x, y, z);
+      const double r = 0.25 * rng.uniform() * rng.uniform();
+      bodies.push_back(
+          {centers[i % 3] + ss::support::Vec3{x, y, z} * r, 1.0 / 1024});
+      double vx, vy, vz;
+      rng.unit_vector(vx, vy, vz);
+      const double s = 0.05 * rng.uniform();
+      vel.insert(vel.end(), {vx * s, vy * s, vz * s});
+    }
+    std::vector<ss::hot::Source> s_bodies = bodies;  // stateless twin
+    std::vector<double> s_vel = vel;
+
+    ss::hot::ParallelConfig cfg;
+    cfg.theta = 0.6;
+    cfg.eps2 = 1e-6;
+    cfg.abm.batch_bytes = 4096;
+    ss::hot::GravityEngine engine(c, cfg);
+    std::vector<double> work_e, work_s;
+    const double dt = 0.05;
+
+    for (int s = 0; s < steps; ++s) {
+      ss::support::WallTimer wt;
+      auto re = engine.step(bodies, work_e, vel, 3);
+      const double host = wt.seconds();
+      // Stateless baseline: a fresh engine has an empty ledger, so this
+      // is exactly one cold parallel_gravity evaluation (with aux).
+      ss::hot::GravityEngine fresh(c, cfg);
+      auto rs = fresh.step(s_bodies, work_s, s_vel, 3);
+
+      if (re.bodies.size() != rs.bodies.size()) {
+        throw std::runtime_error("multi-step: trajectories diverged");
+      }
+      double maxrel = 0.0;
+      for (std::size_t i = 0; i < re.bodies.size(); ++i) {
+        const double d = (re.accel[i].a - rs.accel[i].a).norm();
+        const double ref = std::max(rs.accel[i].a.norm(), 1e-30);
+        maxrel = std::max(maxrel, d / ref);
+      }
+      maxrel = c.allreduce_max(maxrel);
+      const auto& st = re.stats;
+      const std::uint64_t requests = c.allreduce_sum_u64(st.remote_requests);
+      const std::uint64_t prefetched = c.allreduce_sum_u64(st.prefetch_issued);
+      const std::uint64_t deduped = c.allreduce_sum_u64(st.requests_deduped);
+      const std::uint64_t parked = c.allreduce_sum_u64(st.walks_parked);
+      const std::uint64_t pushes = c.allreduce_sum_u64(st.sibling_pushes);
+      const std::uint64_t batches = c.allreduce_sum_u64(st.abm_batches);
+      const std::uint64_t msgs = c.allreduce_sum_u64(st.vmpi_messages);
+      const std::uint64_t s_msgs =
+          c.allreduce_sum_u64(rs.stats.vmpi_messages);
+      const std::uint64_t s_parked =
+          c.allreduce_sum_u64(rs.stats.walks_parked);
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        StepRow& row = rows[static_cast<std::size_t>(s)];
+        row.step = s;
+        row.remote_requests = requests;
+        row.prefetch_issued = prefetched;
+        row.requests_deduped = deduped;
+        row.walks_parked = parked;
+        row.sibling_pushes = pushes;
+        row.abm_batches = batches;
+        row.messages = msgs;
+        row.stateless_messages = s_msgs;
+        row.stateless_walks_parked = s_parked;
+        row.vtime_seconds = st.decompose_seconds + st.build_seconds +
+                            st.traverse_seconds;
+        row.host_seconds = host;
+        row.force_max_rel = maxrel;
+      }
+
+      // Drift both trajectories with their routed velocities.
+      auto advance = [&](std::vector<ss::hot::Source>& b,
+                         std::vector<double>& v,
+                         const ss::hot::GravityResult& r) {
+        b = r.bodies;
+        v = r.aux;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+          b[i].pos += dt * ss::support::Vec3{v[3 * i], v[3 * i + 1],
+                                             v[3 * i + 2]};
+        }
+      };
+      advance(bodies, vel, re);
+      advance(s_bodies, s_vel, rs);
+      work_e = re.work;
+      work_s = rs.work;
+    }
+  });
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +294,41 @@ int main(int argc, char** argv) {
                "load imbalance the clustered density field creates and\n"
                "buys back ~20% of the step time.\n";
 
+  constexpr int kSteps = 5;
+  std::vector<StepRow> multi = run_multi_step(kProcs, kSteps);
+  {
+    auto sci = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1e", v);
+      return std::string(buf);
+    };
+    Table t("multi-step: persistent engine (ledger prefetch) vs stateless");
+    t.header({"step", "remote reqs", "prefetch", "deduped", "parked",
+              "parked (stateless)", "messages", "messages (stateless)",
+              "vtime (ms)", "host (s)", "force max rel"});
+    for (const StepRow& r : multi) {
+      t.row({std::to_string(r.step), std::to_string(r.remote_requests),
+             std::to_string(r.prefetch_issued),
+             std::to_string(r.requests_deduped),
+             std::to_string(r.walks_parked),
+             std::to_string(r.stateless_walks_parked),
+             std::to_string(r.messages),
+             std::to_string(r.stateless_messages),
+             Table::fixed(r.vtime_seconds * 1000.0, 1),
+             Table::fixed(r.host_seconds, 3),
+             sci(r.force_max_rel)});
+    }
+    std::cout << "\n" << t;
+    std::cout << "\nReading: step 0 is cold (empty ledger — identical to the\n"
+                 "stateless path). From step 1 on, the previous step's\n"
+                 "request ledger is bulk-prefetched before walks start, so\n"
+                 "walks find a hot cache instead of parking, and the demand\n"
+                 "trickle of small request messages collapses into a few\n"
+                 "full batches per owner. Values are re-fetched every step —\n"
+                 "only the request *set* is reused — so forces stay\n"
+                 "identical to the stateless evaluation.\n";
+  }
+
   // Traced re-run of the paper-default configuration: per-rank spans for
   // the four force-evaluation stages plus the comm/ABM/cache counters.
   if (trace_prefix) {
@@ -210,6 +381,30 @@ int main(int argc, char** argv) {
       w.kv("host_seconds", r.host_seconds);
       w.end_object();
     }
+    w.end_object();
+    w.key("multi_step");
+    w.begin_object();
+    w.kv("steps", static_cast<std::uint64_t>(kSteps));
+    w.key("engine");
+    w.begin_array();
+    for (const StepRow& r : multi) {
+      w.begin_object();
+      w.kv("step", static_cast<std::uint64_t>(r.step));
+      w.kv("remote_requests", r.remote_requests);
+      w.kv("prefetch_issued", r.prefetch_issued);
+      w.kv("requests_deduped", r.requests_deduped);
+      w.kv("walks_parked", r.walks_parked);
+      w.kv("sibling_pushes", r.sibling_pushes);
+      w.kv("abm_batches", r.abm_batches);
+      w.kv("messages", r.messages);
+      w.kv("stateless_messages", r.stateless_messages);
+      w.kv("stateless_walks_parked", r.stateless_walks_parked);
+      w.kv("vtime_seconds", r.vtime_seconds);
+      w.kv("host_seconds", r.host_seconds);
+      w.kv("force_max_rel", r.force_max_rel);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
     w.end_object();
     os << "\n";

@@ -16,8 +16,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include <filesystem>
 
@@ -28,11 +30,70 @@
 #include "cosmo/zeldovich.hpp"
 #include "hot/tree.hpp"
 #include "nbody/ic.hpp"
+#include "nbody/integrator.hpp"
 #include "nbody/outofcore.hpp"
+#include "simnet/profile.hpp"
 #include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+// One engine step of the distributed multi-step run (rank-summed).
+struct EngineStepRow {
+  int step = 0;
+  std::uint64_t remote_requests = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t walks_parked = 0;
+  std::uint64_t messages = 0;  ///< physical vmpi messages this step
+  double vtime_seconds = 0.0;
+};
+
+// A production run is hundreds of steps on the same engine: measure the
+// communication-avoidance trajectory (Sec 4.2's request ledger) on a
+// distributed leapfrog at laptop scale. The velocities ride through the
+// decomposition as the engine's aux payload.
+std::vector<EngineStepRow> run_engine_trajectory(int ranks, int steps) {
+  auto model = ss::vmpi::make_space_simulator_model(
+      ss::simnet::lam_homogeneous(), 623.9e6);
+  ss::vmpi::Runtime rt(ranks, model);
+  std::vector<EngineStepRow> rows(static_cast<std::size_t>(steps));
+  std::mutex mu;
+  rt.run([&](ss::vmpi::Comm& c) {
+    ss::support::Rng rng(static_cast<std::uint64_t>(1000 + c.rank()));
+    auto bodies = ss::nbody::cold_sphere(2048, rng);
+    ss::hot::ParallelConfig cfg;
+    cfg.theta = 0.6;
+    cfg.eps2 = 1e-6;
+    // Step 0 is the constructor's cold evaluation (empty ledger); each
+    // further step prefetches the previous step's request set.
+    ss::nbody::ParallelLeapfrog lf(c, bodies, cfg);
+    for (int s = 0; s < steps; ++s) {
+      if (s > 0) lf.step(0.01);
+      const auto& st = lf.last_stats();
+      const std::uint64_t requests = c.allreduce_sum_u64(st.remote_requests);
+      const std::uint64_t hits = c.allreduce_sum_u64(st.prefetch_hits);
+      const std::uint64_t parked = c.allreduce_sum_u64(st.walks_parked);
+      const std::uint64_t msgs = c.allreduce_sum_u64(st.vmpi_messages);
+      if (c.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        EngineStepRow& row = rows[static_cast<std::size_t>(s)];
+        row.step = s;
+        row.remote_requests = requests;
+        row.prefetch_hits = hits;
+        row.walks_parked = parked;
+        row.messages = msgs;
+        row.vtime_seconds = st.decompose_seconds + st.build_seconds +
+                            st.traverse_seconds;
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ss::cosmo;
@@ -179,6 +240,31 @@ int main(int argc, char** argv) {
                "the 134M x 700-step run at ~1e16 flops, sustaining ~1e2\n"
                "Gflop/s over 24 h on 250 nodes — the paper's numbers.\n";
 
+  // Multi-step distributed engine: production runs amortize the remote-
+  // cell request traffic across steps via the persistent engine's ledger
+  // prefetch; measure that trajectory on a small virtual cluster.
+  constexpr int kEngineRanks = 8;
+  constexpr int kEngineSteps = 4;
+  const auto engine_rows = run_engine_trajectory(kEngineRanks, kEngineSteps);
+  {
+    Table t("multi-step distributed leapfrog (8 virtual nodes, "
+            "persistent engine)");
+    t.header({"step", "remote requests", "prefetch hits", "walks parked",
+              "messages", "vtime (ms)"});
+    for (const EngineStepRow& r : engine_rows) {
+      t.row({std::to_string(r.step), std::to_string(r.remote_requests),
+             std::to_string(r.prefetch_hits), std::to_string(r.walks_parked),
+             std::to_string(r.messages),
+             Table::fixed(r.vtime_seconds * 1000.0, 1)});
+    }
+    std::cout << "\n" << t;
+    std::cout << "\nReading: step 0 fetches every remote cell on demand;\n"
+                 "later steps bulk-prefetch the previous step's request set\n"
+                 "before walks start, so the demand trickle (and the parked\n"
+                 "walks it causes) collapses. Over a ~700-step production\n"
+                 "run the cold step is noise.\n";
+  }
+
   if (json_path) {
     std::ofstream os(*json_path);
     if (!os) {
@@ -214,6 +300,24 @@ int main(int argc, char** argv) {
     w.kv("paper_gflops_sustained", 112.0);
     w.kv("snapshot_bytes", snapshot_bytes);
     w.kv("snapshots_in_1p5tb", snapshots);
+    w.end_object();
+    w.key("multi_step_engine");
+    w.begin_object();
+    w.kv("ranks", static_cast<std::uint64_t>(kEngineRanks));
+    w.kv("steps", static_cast<std::uint64_t>(kEngineSteps));
+    w.key("trajectory");
+    w.begin_array();
+    for (const EngineStepRow& r : engine_rows) {
+      w.begin_object();
+      w.kv("step", static_cast<std::uint64_t>(r.step));
+      w.kv("remote_requests", r.remote_requests);
+      w.kv("prefetch_hits", r.prefetch_hits);
+      w.kv("walks_parked", r.walks_parked);
+      w.kv("messages", r.messages);
+      w.kv("vtime_seconds", r.vtime_seconds);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
     w.end_object();
     os << "\n";

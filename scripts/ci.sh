@@ -11,7 +11,11 @@
 #      the three suites that exercise the batched SoA kernels, the
 #      multi-threaded radix sort and the interaction-list traversal.
 #   3. bench smoke: bench_table5_gravkernel --json must run and emit
-#      parseable JSON with the measured host kernel variants.
+#      parseable JSON with the measured host kernel variants, and
+#      bench_ablation_parallel --json must show the multi-step engine's
+#      communication-avoidance trajectory (warm steps park <= 70% of the
+#      cold step's walks, send fewer messages, forces match stateless to
+#      1e-12).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,8 +31,8 @@ if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
-    --target test_gravity test_morton test_hot_parallel
-  for t in test_gravity test_morton test_hot_parallel; do
+    --target test_gravity test_morton test_hot_parallel test_engine
+  for t in test_gravity test_morton test_hot_parallel test_engine; do
     bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
     echo "--- $t ---"
     "$bin"
@@ -51,6 +55,43 @@ assert {"scalar libm", "scalar karp", "batch libm", "batch karp"} <= names
 s = d["host"]["speedup_batch_karp_vs_scalar_libm"]
 assert s > 0, "speedup missing"
 print(f"BENCH_table5.json ok: batch-karp speedup {s:.2f}x vs scalar libm")
+PY
+
+abl_json="build/BENCH_ablation_parallel.json"
+./build/bench/bench_ablation_parallel --json "${abl_json}" >/dev/null
+python3 - "${abl_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "ablation_parallel"
+ms = d["multi_step"]
+rows = ms["engine"]
+assert len(rows) >= 4, "need >= 4 engine steps"
+required = {"step", "remote_requests", "prefetch_issued", "requests_deduped",
+            "walks_parked", "sibling_pushes", "abm_batches", "messages",
+            "stateless_messages", "stateless_walks_parked", "vtime_seconds",
+            "host_seconds", "force_max_rel"}
+for r in rows:
+    missing = required - set(r)
+    assert not missing, f"multi_step row missing {missing}"
+cold = rows[0]
+assert cold["prefetch_issued"] == 0, "step 0 must be cold (empty ledger)"
+for r in rows[1:]:
+    s = r["step"]
+    assert r["prefetch_issued"] > 0, f"step {s}: no prefetch"
+    assert r["walks_parked"] <= 0.7 * cold["walks_parked"], (
+        f"step {s}: parked {r['walks_parked']} vs cold {cold['walks_parked']}"
+        " — prefetch should cut parked walks >= 30%")
+    assert r["messages"] < cold["messages"], (
+        f"step {s}: {r['messages']} physical messages, cold sent"
+        f" {cold['messages']}")
+    assert r["force_max_rel"] <= 1e-12, (
+        f"step {s}: force deviates {r['force_max_rel']} from stateless")
+warm = rows[1]
+print("BENCH_ablation_parallel.json multi_step ok: parked"
+      f" {cold['walks_parked']} -> {warm['walks_parked']}, messages"
+      f" {cold['messages']} -> {warm['messages']}, force max rel"
+      f" {max(r['force_max_rel'] for r in rows):.1e}")
 PY
 
 echo "=== CI green ==="

@@ -16,6 +16,7 @@ Abm::Abm(ss::vmpi::Comm& comm, Config cfg)
     obs_batches_ = &reg.counter("abm.batches_sent");
     obs_eager_ = &reg.counter("abm.eager_flushes");
     obs_dispatched_ = &reg.counter("abm.records_dispatched");
+    obs_pool_reuses_ = &reg.counter("abm.pool_reuses");
   }
 }
 
@@ -34,9 +35,36 @@ void Abm::on(std::uint32_t channel, Handler h) {
   handlers_[channel] = std::move(h);
 }
 
+namespace {
+/// Pool bound: enough for a burst of in-flight batches without pinning
+/// memory when a rank momentarily receives from every peer.
+constexpr std::size_t kPoolCap = 64;
+}  // namespace
+
+std::vector<std::byte> Abm::acquire_buffer() {
+  if (!pool_.empty()) {
+    std::vector<std::byte> buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();  // keeps capacity
+    ++pool_reuses_;
+    if (obs_ != nullptr) obs_pool_reuses_->add(1);
+    return buf;
+  }
+  return {};
+}
+
+void Abm::recycle_buffer(std::vector<std::byte>&& buf) {
+  if (pool_.size() < kPoolCap && buf.capacity() > 0) {
+    pool_.push_back(std::move(buf));
+  }
+}
+
 void Abm::ship(int dst, std::vector<std::byte>& buf, bool eager) {
-  comm_.send_bytes(dst, cfg_.tag, buf);
-  buf.clear();
+  // Zero-copy: the batch buffer becomes the vmpi message payload. The
+  // destination slot is refilled from the recycle pool so the next post()
+  // usually writes into warm, already-sized memory.
+  comm_.send_bytes_move(dst, cfg_.tag, std::move(buf));
+  buf = acquire_buffer();
   ++batches_sent_;
   if (obs_ != nullptr) {
     obs_batches_->add(1);
@@ -94,6 +122,9 @@ std::size_t Abm::poll() {
       p += rec.bytes;
       ++dispatched;
     }
+    // The message's payload is done being read; its allocation feeds the
+    // send-side pool so the next ship() starts from warm memory.
+    recycle_buffer(msg->take_data());
   }
   if (dispatched > 0 && obs_ != nullptr) obs_dispatched_->add(dispatched);
   return dispatched;

@@ -70,6 +70,8 @@ class Abm {
 
   std::uint64_t batches_sent() const { return batches_sent_; }
   std::uint64_t records_posted() const { return records_posted_; }
+  /// Times a send buffer was recycled from the pool instead of allocated.
+  std::uint64_t pool_reuses() const { return pool_reuses_; }
 
  private:
   struct Record {
@@ -80,13 +82,20 @@ class Abm {
 
   void ship(int dst, std::vector<std::byte>& buf, bool eager);
   obs::Counter* channel_counter(std::uint32_t channel);
+  std::vector<std::byte> acquire_buffer();
+  void recycle_buffer(std::vector<std::byte>&& buf);
 
   ss::vmpi::Comm& comm_;
   Config cfg_;
   std::vector<std::vector<std::byte>> outgoing_;  // per destination
   std::vector<Handler> handlers_;
+  // Zero-copy hot path: shipped buffers are moved into the vmpi message, and
+  // received batch payloads are recycled here after dispatch, so steady-state
+  // ABM traffic allocates nothing. Bounded so a burst cannot pin memory.
+  std::vector<std::vector<std::byte>> pool_;
   std::uint64_t batches_sent_ = 0;
   std::uint64_t records_posted_ = 0;
+  std::uint64_t pool_reuses_ = 0;
 
   // Observability (null when the owning thread has no bound recorder at
   // construction time — the zero-cost-when-disabled path).
@@ -95,6 +104,7 @@ class Abm {
   obs::Counter* obs_batches_ = nullptr;
   obs::Counter* obs_eager_ = nullptr;
   obs::Counter* obs_dispatched_ = nullptr;
+  obs::Counter* obs_pool_reuses_ = nullptr;
   std::vector<obs::Counter*> obs_channel_;  // records posted, per channel
 };
 

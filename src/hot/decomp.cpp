@@ -112,11 +112,15 @@ std::vector<Key> weighted_splitters(std::span<const Key> sorted_keys,
 
 DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
                        std::span<const double> work, const morton::Box& box,
-                       DecompConfig cfg) {
+                       DecompConfig cfg, std::span<const double> aux,
+                       std::size_t aux_stride) {
   const int p = comm.size();
   const auto n = bodies.size();
   if (!work.empty() && work.size() != n) {
     throw std::invalid_argument("decompose: work/bodies length mismatch");
+  }
+  if (aux_stride > 0 && aux.size() != n * aux_stride) {
+    throw std::invalid_argument("decompose: aux length must be n*stride");
   }
 
   // Key and sort locally.
@@ -191,13 +195,28 @@ DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
     double weight;
   };
   std::vector<std::vector<BodyW>> outgoing(static_cast<std::size_t>(p));
+  std::vector<std::vector<double>> aux_outgoing(
+      aux_stride > 0 ? static_cast<std::size_t>(p) : 0);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t src = order[i];
     const int dst = result.owner_of(raw[src]);
     outgoing[static_cast<std::size_t>(dst)].push_back(
         {bodies[src], weight_of(src)});
+    if (aux_stride > 0) {
+      auto& ao = aux_outgoing[static_cast<std::size_t>(dst)];
+      ao.insert(ao.end(), aux.begin() + static_cast<std::ptrdiff_t>(
+                                            src * aux_stride),
+                aux.begin() + static_cast<std::ptrdiff_t>(
+                                  src * aux_stride + aux_stride));
+    }
   }
   auto incoming = comm.alltoallv(outgoing);
+  // The aux exchange mirrors the body exchange element-for-element: blocks
+  // are built in the same per-destination order and alltoallv concatenates
+  // rank blocks identically, so aux_incoming[i*stride ..] belongs to
+  // incoming[i].
+  std::vector<double> aux_incoming;
+  if (aux_stride > 0) aux_incoming = comm.alltoallv(aux_outgoing);
 
   // Final local sort by key (same stable radix path as the first sort).
   std::vector<Key> in_keys(incoming.size());
@@ -209,10 +228,18 @@ DecompResult decompose(ss::vmpi::Comm& comm, std::span<const Source> bodies,
   result.bodies.reserve(incoming.size());
   result.work.reserve(incoming.size());
   result.keys.reserve(incoming.size());
+  if (aux_stride > 0) result.aux.reserve(incoming.size() * aux_stride);
   for (std::uint32_t i : in_order) {
     result.bodies.push_back(incoming[i].body);
     result.work.push_back(incoming[i].weight);
     result.keys.push_back(in_keys[i]);
+    if (aux_stride > 0) {
+      const std::size_t off = static_cast<std::size_t>(i) * aux_stride;
+      result.aux.insert(result.aux.end(), aux_incoming.begin() +
+                                              static_cast<std::ptrdiff_t>(off),
+                        aux_incoming.begin() +
+                            static_cast<std::ptrdiff_t>(off + aux_stride));
+    }
   }
   return result;
 }

@@ -41,6 +41,10 @@ struct DecompResult {
   std::vector<double> work;             ///< Matching per-body work weights.
   std::vector<morton::Key> keys;        ///< Matching max-depth keys.
   std::vector<Domain> domains;          ///< Key range of every rank.
+  /// Auxiliary per-body payload (aux_stride doubles per body), routed and
+  /// reordered exactly like bodies: aux[i*stride .. i*stride+stride) goes
+  /// with bodies[i]. Empty unless an aux span was passed to decompose().
+  std::vector<double> aux;
 
   /// Rank owning a maximum-depth key.
   int owner_of(morton::Key max_depth_key) const;
@@ -64,10 +68,15 @@ std::vector<morton::Key> weighted_splitters(
 /// Parallel decomposition: returns this rank's bodies after the exchange.
 /// `work[i]` is the load estimate for bodies[i] (use 1.0 on the first
 /// step; thereafter the interaction counts from the previous traversal).
+/// `aux` optionally carries aux_stride doubles per body (e.g. velocities
+/// for an integrator) that ride along: they are routed to the same owner
+/// and reordered by the same stable sort, landing in DecompResult::aux.
 DecompResult decompose(ss::vmpi::Comm& comm,
                        std::span<const gravity::Source> bodies,
                        std::span<const double> work, const morton::Box& box,
-                       DecompConfig cfg = {});
+                       DecompConfig cfg = {},
+                       std::span<const double> aux = {},
+                       std::size_t aux_stride = 0);
 
 /// Route arbitrary trivially-copyable payloads to the owners of their
 /// Morton keys under an existing decomposition (used by applications whose

@@ -90,15 +90,23 @@ Moments from_wire(const WireCell& w) {
   return m;
 }
 
-// ABM channels.
-constexpr std::uint32_t kChanRequest = 0;   // payload: Key
-constexpr std::uint32_t kChanChildren = 1;  // payload: Key parent + WireCell[]
-constexpr std::uint32_t kChanBodies = 2;    // payload: Key leaf + Source[]
-constexpr std::uint32_t kChanQuiet = 3;     // payload: none (to rank 0)
-constexpr std::uint32_t kChanDone = 4;      // payload: none (from rank 0)
+// ABM channels. The demand/reply protocol (0-2) is the paper's; 3-4 are
+// the termination protocol; 5-7 are the communication-avoidance layer:
+// bulk prefetch requests (answered like demand requests but never
+// piggybacked — the prefetch set already covers the siblings) and
+// unsolicited sibling pushes (same payloads as the replies, but the
+// receiver must not decrement its outstanding-request count for them).
+constexpr std::uint32_t kChanRequest = 0;       // payload: Key
+constexpr std::uint32_t kChanChildren = 1;      // payload: Key + WireCell[]
+constexpr std::uint32_t kChanBodies = 2;        // payload: Key + Source[]
+constexpr std::uint32_t kChanQuiet = 3;         // payload: none (to rank 0)
+constexpr std::uint32_t kChanDone = 4;          // payload: none (from rank 0)
+constexpr std::uint32_t kChanBulkRequest = 5;   // payload: Key (prefetch)
+constexpr std::uint32_t kChanPushChildren = 6;  // payload: Key + WireCell[]
+constexpr std::uint32_t kChanPushBodies = 7;    // payload: Key + Source[]
 
 // ---------------------------------------------------------------------------
-// The per-rank traversal engine.
+// Per-rank cached tree fragments and walk state.
 // ---------------------------------------------------------------------------
 
 struct TopCell {
@@ -129,11 +137,17 @@ struct Walk {
   std::uint64_t cells_opened = 0;
 };
 
-class Engine {
- public:
-  Engine(ss::vmpi::Comm& comm, const ParallelConfig& cfg, const Tree& tree,
-         const DecompResult& dec)
-      : comm_(comm), cfg_(cfg), tree_(tree), dec_(dec), abm_(comm, cfg.abm) {
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The persistent engine. All state lives here across steps; reset_step()
+// clears the per-step portions (keeping their capacity) while the ledger,
+// the ABM buffer pool, and every arena survive.
+// ---------------------------------------------------------------------------
+
+struct GravityEngine::Impl {
+  Impl(ss::vmpi::Comm& comm, const ParallelConfig& cfg)
+      : comm_(comm), cfg_(cfg), tree_(cfg.tree), abm_(comm, cfg.abm) {
     // Observability: resolve the rank recorder (if any) and its counters
     // once; the traversal hot loop then pays one pointer test per event.
     obs_ = obs::tls();
@@ -148,11 +162,16 @@ class Engine {
       c_tile_flushes_ = &reg.counter("hot.tile_flushes");
       c_batched_ = &reg.counter("hot.batched_interactions");
       c_scalar_ = &reg.counter("hot.scalar_interactions");
+      c_deduped_ = &reg.counter("hot.requests_deduped");
+      c_prefetch_issued_ = &reg.counter("hot.prefetch_issued");
+      c_prefetch_hits_ = &reg.counter("hot.prefetch_hits");
+      c_prefetch_wasted_ = &reg.counter("hot.prefetch_wasted");
+      c_pushes_ = &reg.counter("hot.sibling_pushes");
     }
     body_tile_.reserve(cfg.tile_bodies);
     cell_tile_.reserve(cfg.tile_cells);
     abm_.on(kChanRequest, [this](int src, std::span<const std::byte> p) {
-      serve_request(src, p);
+      serve_request(src, p, cfg_.sibling_piggyback);
     });
     abm_.on(kChanChildren, [this](int src, std::span<const std::byte> p) {
       handle_children(src, p);
@@ -165,22 +184,45 @@ class Engine {
     });
     abm_.on(kChanDone,
             [this](int, std::span<const std::byte>) { done_ = true; });
+    abm_.on(kChanBulkRequest, [this](int src, std::span<const std::byte> p) {
+      serve_request(src, p, /*piggyback=*/false);
+    });
+    abm_.on(kChanPushChildren, [this](int src, std::span<const std::byte> p) {
+      handle_push_children(src, p);
+    });
+    abm_.on(kChanPushBodies, [this](int src, std::span<const std::byte> p) {
+      handle_push_bodies(src, p);
+    });
   }
 
+  GravityResult step(std::span<const Source> bodies,
+                     std::span<const double> prev_work,
+                     std::span<const double> aux, std::size_t aux_stride);
+
+  // -- per-step phases ------------------------------------------------------
+  void reset_step();
   void exchange_cover();
+  void prefetch();
   void run_walks(GravityResult& out);
 
-  const ParallelStats& stats() const { return stats_; }
-
- private:
+  // -- protocol -------------------------------------------------------------
   void build_top(const std::vector<WireCell>& covers,
                  const std::vector<int>& owners);
-  void serve_request(int src, std::span<const std::byte> payload);
+  void serve_request(int src, std::span<const std::byte> payload,
+                     bool piggyback);
+  void push_expansion(int dst, const Cell& c);
+  bool fill_children(std::span<const std::byte> payload, int src, Key* parent);
+  bool fill_bodies(std::span<const std::byte> payload, int src, Key* key);
   void handle_children(int src, std::span<const std::byte> payload);
   void handle_bodies(int src, std::span<const std::byte> payload);
+  void handle_push_children(int src, std::span<const std::byte> payload);
+  void handle_push_bodies(int src, std::span<const std::byte> payload);
+
+  // -- traversal ------------------------------------------------------------
   /// Returns false if the walk parked waiting for remote data.
   bool advance(Walk& w);
-  void park(Walk& w, Key k, int owner, std::uint32_t walk_idx);
+  void park(Walk& w, Key k, int owner, std::uint32_t walk_idx,
+            bool first_demand);
   void direct_local_range(Walk& w, Key cell);
   void unpark(Key k);
 
@@ -197,15 +239,24 @@ class Engine {
     flush_cell_tile(w);
   }
 
+  // -- persistent state -----------------------------------------------------
   ss::vmpi::Comm& comm_;
-  const ParallelConfig& cfg_;
-  const Tree& tree_;
-  const DecompResult& dec_;
-  Abm abm_;
+  ParallelConfig cfg_;  // owned copy: the engine outlives the call site
+  Tree tree_;           // rebuilt in place each step (arenas reused)
+  DecompResult dec_;    // refreshed each step
+  Abm abm_;             // buffer pool and handler table persist
 
+  /// Distinct remote keys demanded last step — next step's prefetch seed.
+  std::vector<Key> ledger_;
+  std::uint64_t steps_ = 0;
+
+  // -- per-step state (cleared by reset_step, capacity kept) ----------------
   std::unordered_map<Key, TopCell> top_;
   std::unordered_map<Key, RemoteCell> remote_;
-  std::unordered_set<Key> requested_;
+  std::unordered_set<Key> requested_;  ///< Keys with a request posted.
+  std::unordered_set<Key> demanded_;   ///< Keys a walk needed expanded.
+  std::unordered_set<std::uint64_t> pushed_;  ///< (parent,dst) push guards.
+  std::vector<Key> prefetched_;        ///< Keys bulk-requested this step.
   std::unordered_map<Key, std::vector<std::uint32_t>> waiting_;
 
   std::vector<Walk> walks_;
@@ -235,9 +286,38 @@ class Engine {
   obs::Counter* c_tile_flushes_ = nullptr;
   obs::Counter* c_batched_ = nullptr;
   obs::Counter* c_scalar_ = nullptr;
+  obs::Counter* c_deduped_ = nullptr;
+  obs::Counter* c_prefetch_issued_ = nullptr;
+  obs::Counter* c_prefetch_hits_ = nullptr;
+  obs::Counter* c_prefetch_wasted_ = nullptr;
+  obs::Counter* c_pushes_ = nullptr;
 };
 
-void Engine::add_bodies(Walk& w, const Source* p, std::size_t n) {
+void GravityEngine::Impl::reset_step() {
+  // Values are never reused across steps: moments change as bodies move,
+  // so the remote cache, the top tree and every per-step set are cleared.
+  // clear() keeps hash-table buckets and vector capacity, so a steady-state
+  // step re-populates warm memory. The ledger_ (the request *set*) is the
+  // one thing deliberately carried over.
+  top_.clear();
+  remote_.clear();
+  requested_.clear();
+  demanded_.clear();
+  pushed_.clear();
+  prefetched_.clear();
+  waiting_.clear();
+  walks_.clear();
+  ready_.clear();
+  outstanding_ = 0;
+  quiet_count_ = 0;
+  sent_quiet_ = false;
+  done_ = false;
+  stats_ = ParallelStats{};
+  body_tile_.clear();
+  cell_tile_.clear();
+}
+
+void GravityEngine::Impl::add_bodies(Walk& w, const Source* p, std::size_t n) {
   if (n == 0) return;
   w.body_interactions += n;
   if (!cfg_.batch_interactions) {
@@ -257,7 +337,7 @@ void Engine::add_bodies(Walk& w, const Source* p, std::size_t n) {
   }
 }
 
-void Engine::add_cell(Walk& w, const Moments& m) {
+void GravityEngine::Impl::add_cell(Walk& w, const Moments& m) {
   ++w.cell_interactions;
   if (!cfg_.batch_interactions) {
     w.acc += gravity::evaluate(m, w.pos, cfg_.eps2, cfg_.method);
@@ -271,7 +351,7 @@ void Engine::add_cell(Walk& w, const Moments& m) {
   }
 }
 
-void Engine::flush_body_tile(Walk& w) {
+void GravityEngine::Impl::flush_body_tile(Walk& w) {
   if (body_tile_.empty()) return;
   w.acc += gravity::interact_bodies_batch(w.pos, body_tile_, cfg_.eps2,
                                           cfg_.method, scratch_);
@@ -284,7 +364,7 @@ void Engine::flush_body_tile(Walk& w) {
   body_tile_.clear();
 }
 
-void Engine::flush_cell_tile(Walk& w) {
+void GravityEngine::Impl::flush_cell_tile(Walk& w) {
   if (cell_tile_.empty()) return;
   w.acc += gravity::interact_cells_batch(w.pos, cell_tile_, cfg_.eps2,
                                          cfg_.method, scratch_);
@@ -297,7 +377,7 @@ void Engine::flush_cell_tile(Walk& w) {
   cell_tile_.clear();
 }
 
-void Engine::exchange_cover() {
+void GravityEngine::Impl::exchange_cover() {
   const Domain dom = dec_.domains[static_cast<std::size_t>(comm_.rank())];
   std::vector<Key> cover = cover_cells(dom.lo, dom.hi);
   std::vector<WireCell> local_wire;
@@ -336,8 +416,8 @@ void Engine::exchange_cover() {
   build_top(flat, owners);
 }
 
-void Engine::build_top(const std::vector<WireCell>& covers,
-                       const std::vector<int>& owners) {
+void GravityEngine::Impl::build_top(const std::vector<WireCell>& covers,
+                                    const std::vector<int>& owners) {
   for (std::size_t i = 0; i < covers.size(); ++i) {
     TopCell tc;
     tc.mom = from_wire(covers[i]);
@@ -393,7 +473,9 @@ void Engine::build_top(const std::vector<WireCell>& covers,
   stats_.top_cells = top_.size();
 }
 
-void Engine::serve_request(int src, std::span<const std::byte> payload) {
+void GravityEngine::Impl::serve_request(int src,
+                                        std::span<const std::byte> payload,
+                                        bool piggyback) {
   Key k;
   if (payload.size() != sizeof(Key)) {
     throw std::runtime_error("hot: bad request payload");
@@ -416,42 +498,101 @@ void Engine::serve_request(int src, std::span<const std::byte> payload) {
       std::memcpy(buf.data() + off, &w, sizeof(WireCell));
     }
     abm_.post(src, kChanChildren, std::span<const std::byte>(buf));
-    return;
+  } else {
+    // Leaf (or no explicit cell): reply with the bodies in k's key range.
+    const Source* first = nullptr;
+    std::size_t count = 0;
+    if (c != nullptr) {
+      first = tree_.bodies().data() + c->first;
+      count = c->count;
+    } else {
+      const auto& keys = tree_.keys();
+      const auto lo = std::lower_bound(keys.begin(), keys.end(),
+                                       morton::first_descendant(k));
+      const auto hi = std::upper_bound(keys.begin(), keys.end(),
+                                       morton::last_descendant(k));
+      first = tree_.bodies().data() + (lo - keys.begin());
+      count = static_cast<std::size_t>(hi - lo);
+    }
+    std::vector<std::byte> buf(sizeof(Key) + count * sizeof(Source));
+    std::memcpy(buf.data(), &k, sizeof(Key));
+    if (count > 0) {
+      std::memcpy(buf.data() + sizeof(Key), first, count * sizeof(Source));
+    }
+    abm_.post(src, kChanBodies, std::span<const std::byte>(buf));
   }
 
-  // Leaf (or no explicit cell): reply with the bodies in k's key range.
-  const Source* first = nullptr;
-  std::size_t count = 0;
-  if (c != nullptr) {
-    first = tree_.bodies().data() + c->first;
-    count = c->count;
-  } else {
-    const auto& keys = tree_.keys();
-    const auto lo = std::lower_bound(keys.begin(), keys.end(),
-                                     morton::first_descendant(k));
-    const auto hi = std::upper_bound(keys.begin(), keys.end(),
-                                     morton::last_descendant(k));
-    first = tree_.bodies().data() + (lo - keys.begin());
-    count = static_cast<std::size_t>(hi - lo);
+  // Reply piggybacking: a walk that opened cell k will, with high
+  // probability, also open k's siblings (spatial coherence along the
+  // Morton curve). Push their expansions unsolicited in the same batch —
+  // after the solicited reply, so the requester's pending slot resolves
+  // first. Only when the whole parent lies inside our domain (its
+  // children's moments are then globally correct) and only once per
+  // (parent, destination): the guard is a hash, and a collision merely
+  // suppresses an optimization.
+  if (piggyback && morton::level(k) > 0 && comm_.size() > 1) {
+    const Key parent = morton::parent(k);
+    const Domain& mine = dec_.domains[static_cast<std::size_t>(comm_.rank())];
+    if (mine.contains(morton::first_descendant(parent)) &&
+        mine.contains(morton::last_descendant(parent))) {
+      const std::uint64_t guard =
+          parent ^ (static_cast<std::uint64_t>(src) * 0x9E3779B97F4A7C15ULL);
+      if (pushed_.insert(guard).second) {
+        if (const Cell* pc = tree_.find(parent); pc != nullptr && !pc->leaf) {
+          for (int o = 0; o < 8; ++o) {
+            if (pc->children[o] < 0) continue;
+            const Cell& sib =
+                tree_.cell(static_cast<std::uint32_t>(pc->children[o]));
+            if (sib.key == k) continue;
+            push_expansion(src, sib);
+            ++stats_.sibling_pushes;
+            if (obs_ != nullptr) c_pushes_->add(1);
+          }
+        }
+      }
+    }
   }
-  std::vector<std::byte> buf(sizeof(Key) + count * sizeof(Source));
-  std::memcpy(buf.data(), &k, sizeof(Key));
-  if (count > 0) {
-    std::memcpy(buf.data() + sizeof(Key), first, count * sizeof(Source));
-  }
-  abm_.post(src, kChanBodies, std::span<const std::byte>(buf));
 }
 
-void Engine::handle_children(int src, std::span<const std::byte> payload) {
+void GravityEngine::Impl::push_expansion(int dst, const Cell& c) {
+  if (!c.leaf) {
+    std::vector<std::byte> buf(sizeof(Key));
+    std::memcpy(buf.data(), &c.key, sizeof(Key));
+    for (int o = 0; o < 8; ++o) {
+      if (c.children[o] < 0) continue;
+      const Cell& ch = tree_.cell(static_cast<std::uint32_t>(c.children[o]));
+      const WireCell w = to_wire(ch.key, ch.mom, ch.count);
+      const std::size_t off = buf.size();
+      buf.resize(off + sizeof(WireCell));
+      std::memcpy(buf.data() + off, &w, sizeof(WireCell));
+    }
+    abm_.post(dst, kChanPushChildren, std::span<const std::byte>(buf));
+    return;
+  }
+  std::vector<std::byte> buf(sizeof(Key) +
+                             static_cast<std::size_t>(c.count) * sizeof(Source));
+  std::memcpy(buf.data(), &c.key, sizeof(Key));
+  if (c.count > 0) {
+    std::memcpy(buf.data() + sizeof(Key), tree_.bodies().data() + c.first,
+                static_cast<std::size_t>(c.count) * sizeof(Source));
+  }
+  abm_.post(dst, kChanPushBodies, std::span<const std::byte>(buf));
+}
+
+/// Fills the remote cache from a children payload. Idempotent: if the key
+/// is already expanded (a push raced the solicited reply, or vice versa)
+/// nothing is touched and false is returned — the payloads are identical
+/// by construction, so dropping the duplicate is exact.
+bool GravityEngine::Impl::fill_children(std::span<const std::byte> payload,
+                                        int src, Key* parent) {
   if (payload.size() < sizeof(Key) ||
       (payload.size() - sizeof(Key)) % sizeof(WireCell) != 0) {
     throw std::runtime_error("hot: bad children payload");
   }
-  Key parent;
-  std::memcpy(&parent, payload.data(), sizeof(Key));
+  std::memcpy(parent, payload.data(), sizeof(Key));
+  RemoteCell& rc = remote_[*parent];
+  if (rc.expanded) return false;
   const std::size_t n = (payload.size() - sizeof(Key)) / sizeof(WireCell);
-
-  RemoteCell& rc = remote_[parent];
   rc.expanded = true;
   rc.leaf = false;
   for (std::size_t i = 0; i < n; ++i) {
@@ -460,23 +601,29 @@ void Engine::handle_children(int src, std::span<const std::byte> payload) {
                 sizeof(WireCell));
     rc.children.push_back(w.key);
     RemoteCell& child = remote_[w.key];
+    // Always refresh the child's summary data: a direct (prefetch)
+    // expansion of the child may have landed before this parent reply,
+    // and that fill sets only the expansion — the moments and count come
+    // from here. The wire values are the owner's current-step tree state
+    // either way, so overwriting is exact. Only the expansion itself
+    // (children/bodies) keeps its identity.
     child.mom = from_wire(w);
     child.count = w.count;
     child.owner = src;
   }
-  --outstanding_;
-  unpark(parent);
+  return true;
 }
 
-void Engine::handle_bodies(int src, std::span<const std::byte> payload) {
+bool GravityEngine::Impl::fill_bodies(std::span<const std::byte> payload,
+                                      int src, Key* key) {
   if (payload.size() < sizeof(Key) ||
       (payload.size() - sizeof(Key)) % sizeof(Source) != 0) {
     throw std::runtime_error("hot: bad bodies payload");
   }
-  Key k;
-  std::memcpy(&k, payload.data(), sizeof(Key));
+  std::memcpy(key, payload.data(), sizeof(Key));
+  RemoteCell& rc = remote_[*key];
+  if (rc.expanded) return false;
   const std::size_t n = (payload.size() - sizeof(Key)) / sizeof(Source);
-  RemoteCell& rc = remote_[k];
   rc.expanded = true;
   rc.leaf = true;
   rc.owner = src;
@@ -485,11 +632,40 @@ void Engine::handle_bodies(int src, std::span<const std::byte> payload) {
     std::memcpy(rc.bodies.data(), payload.data() + sizeof(Key),
                 n * sizeof(Source));
   }
-  --outstanding_;
+  return true;
+}
+
+void GravityEngine::Impl::handle_children(int src,
+                                          std::span<const std::byte> payload) {
+  Key parent;
+  fill_children(payload, src, &parent);
+  --outstanding_;  // solicited: always balances a posted request
+  unpark(parent);
+}
+
+void GravityEngine::Impl::handle_bodies(int src,
+                                        std::span<const std::byte> payload) {
+  Key k;
+  fill_bodies(payload, src, &k);
+  --outstanding_;  // solicited: always balances a posted request
   unpark(k);
 }
 
-void Engine::unpark(Key k) {
+void GravityEngine::Impl::handle_push_children(
+    int src, std::span<const std::byte> payload) {
+  Key parent;
+  if (fill_children(payload, src, &parent)) ++stats_.unsolicited_expansions;
+  unpark(parent);  // a walk may have parked while the push was in flight
+}
+
+void GravityEngine::Impl::handle_push_bodies(
+    int src, std::span<const std::byte> payload) {
+  Key k;
+  if (fill_bodies(payload, src, &k)) ++stats_.unsolicited_expansions;
+  unpark(k);
+}
+
+void GravityEngine::Impl::unpark(Key k) {
   auto it = waiting_.find(k);
   if (it == waiting_.end()) return;
   if (obs_ != nullptr) c_resumed_->add(it->second.size());
@@ -497,7 +673,8 @@ void Engine::unpark(Key k) {
   waiting_.erase(it);
 }
 
-void Engine::park(Walk& w, Key k, int owner, std::uint32_t walk_idx) {
+void GravityEngine::Impl::park(Walk& w, Key k, int owner,
+                               std::uint32_t walk_idx, bool first_demand) {
   w.stack.push_back(k);  // retry this key on resume
   waiting_[k].push_back(walk_idx);
   ++stats_.walks_parked;
@@ -507,10 +684,15 @@ void Engine::park(Walk& w, Key k, int owner, std::uint32_t walk_idx) {
     ++stats_.remote_requests;
     ++outstanding_;
     if (obs_ != nullptr) c_requests_->add(1);
+  } else if (first_demand) {
+    // The key is already in flight (a prefetch posted it); this demand
+    // parks on the pending slot instead of re-posting.
+    ++stats_.requests_deduped;
+    if (obs_ != nullptr) c_deduped_->add(1);
   }
 }
 
-void Engine::direct_local_range(Walk& w, Key cell) {
+void GravityEngine::Impl::direct_local_range(Walk& w, Key cell) {
   const auto& keys = tree_.keys();
   const auto lo = std::lower_bound(keys.begin(), keys.end(),
                                    morton::first_descendant(cell));
@@ -521,7 +703,7 @@ void Engine::direct_local_range(Walk& w, Key cell) {
   add_bodies(w, tree_.bodies().data() + first, count);
 }
 
-bool Engine::advance(Walk& w) {
+bool GravityEngine::Impl::advance(Walk& w) {
   const auto walk_idx = static_cast<std::uint32_t>(&w - walks_.data());
   while (!w.stack.empty()) {
     const Key k = w.stack.back();
@@ -559,18 +741,27 @@ bool Engine::advance(Walk& w) {
         }
         continue;
       }
-      // Remote cover cell: treated like any remote cell below.
+      // Remote cover cell: treated like any remote cell below. This is a
+      // demand point: the walk needs k's expansion. First demands are
+      // counted exactly once — as a posted request, or as a dedup when
+      // the expansion is already in flight or already cached.
       RemoteCell& rc = remote_[k];
       if (rc.owner < 0) {
         rc.mom = tc.mom;
         rc.count = tc.count;
         rc.owner = tc.owner;
       }
+      const bool first_demand = demanded_.insert(k).second;
       if (!rc.expanded) {
         if (obs_ != nullptr) c_cache_misses_->add(1);
-        park(w, k, rc.owner, walk_idx);
+        park(w, k, rc.owner, walk_idx, first_demand);
         flush_tiles(w);  // tiles are engine-shared; don't leak across walks
         return false;
+      }
+      if (first_demand) {
+        // Satisfied without a demand post (prefetch or sibling push).
+        ++stats_.requests_deduped;
+        if (obs_ != nullptr) c_deduped_->add(1);
       }
       if (obs_ != nullptr) c_cache_hits_->add(1);
       if (rc.leaf) {
@@ -612,11 +803,17 @@ bool Engine::advance(Walk& w) {
       continue;
     }
     ++w.cells_opened;
+    // Demand point (see the cover-cell branch above for the accounting).
+    const bool first_demand = demanded_.insert(k).second;
     if (!rc.expanded) {
       if (obs_ != nullptr) c_cache_misses_->add(1);
-      park(w, k, rc.owner, walk_idx);
+      park(w, k, rc.owner, walk_idx, first_demand);
       flush_tiles(w);  // tiles are engine-shared; don't leak across walks
       return false;
+    }
+    if (first_demand) {
+      ++stats_.requests_deduped;
+      if (obs_ != nullptr) c_deduped_->add(1);
     }
     if (obs_ != nullptr) c_cache_hits_->add(1);
     if (rc.leaf) {
@@ -630,16 +827,61 @@ bool Engine::advance(Walk& w) {
   return true;
 }
 
-void Engine::run_walks(GravityResult& out) {
+void GravityEngine::Impl::prefetch() {
+  if (!cfg_.prefetch || ledger_.empty() || comm_.size() == 1) return;
+  if (obs_ != nullptr) obs_->begin("gravity.prefetch");
+  // Bulk-request last step's demanded keys from their (new) owners — one
+  // ABM batch per owner instead of a trickle of demand posts during the
+  // traversal. The redecomposition may have moved ownership, so each key
+  // is guarded: skip keys now local and keys whose descendant range
+  // straddles a domain boundary (no single owner could answer exactly).
+  const int self = comm_.rank();
+  for (Key k : ledger_) {
+    const int owner = dec_.owner_of(morton::first_descendant(k));
+    if (owner == self || owner != dec_.owner_of(morton::last_descendant(k))) {
+      continue;
+    }
+    if (!requested_.insert(k).second) continue;
+    abm_.post_value(owner, kChanBulkRequest, k);
+    ++stats_.prefetch_issued;
+    ++outstanding_;
+    prefetched_.push_back(k);
+    if (obs_ != nullptr) c_prefetch_issued_->add(1);
+  }
+  abm_.flush();
+  if (cfg_.prefetch_settle) {
+    // Drain replies before walks start so the first walks already find a
+    // hot cache. Deadlock-free: poll() is non-blocking and serves peers'
+    // bulk requests, and ranks that skip the loop proceed into the main
+    // walk loop, which also polls.
+    while (outstanding_ > 0) {
+      if (abm_.poll() == 0) std::this_thread::yield();
+      abm_.flush();
+    }
+  }
+  if (obs_ != nullptr) obs_->end();  // gravity.prefetch
+}
+
+void GravityEngine::Impl::run_walks(GravityResult& out) {
   const auto n = tree_.bodies().size();
   walks_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     walks_[i].body = static_cast<std::uint32_t>(i);
     walks_[i].pos = tree_.bodies()[i].pos;
+    walks_[i].stack.clear();
     walks_[i].stack.push_back(morton::kRootKey);
+    walks_[i].acc = Accel{};
+    walks_[i].body_interactions = 0;
+    walks_[i].cell_interactions = 0;
+    walks_[i].cells_opened = 0;
     ready_.push_back(static_cast<std::uint32_t>(i));
   }
   std::size_t completed = 0;
+
+  // Speculative prefetch from last step's ledger. Runs after the cover
+  // barrier (every rank can serve) and inside this loop's phase so no
+  // rank ever blocks in a collective while a peer waits on its replies.
+  prefetch();
 
   // Trace the paper's stage 3/4 split: "traverse" is this rank walking
   // its bodies (parking on remote misses), "terminate" is the tail where
@@ -688,6 +930,17 @@ void Engine::run_walks(GravityResult& out) {
     }
     if (single && sent_quiet_) done_ = true;
   }
+
+  if (!single) {
+    // Unsolicited sibling pushes can still be undelivered when DONE
+    // arrives (a push batch raced the quiet protocol). Drain them now so
+    // step n+1's mailbox starts clean: after the barrier every rank has
+    // left its loop, and vmpi enqueues messages synchronously at send
+    // time, so a single non-blocking poll sees everything outstanding.
+    comm_.barrier();
+    abm_.poll();
+  }
+
   if (obs_ != nullptr) {
     if (!in_terminate) {
       obs_->end();  // gravity.traverse (no separate termination tail seen)
@@ -726,54 +979,113 @@ void Engine::run_walks(GravityResult& out) {
         .gauge("hot.tile_mean_occupancy")
         .set(stats_.mean_tile_occupancy());
   }
-  out.stats = stats_;
 }
 
-}  // namespace
+GravityResult GravityEngine::Impl::step(std::span<const Source> bodies,
+                                        std::span<const double> prev_work,
+                                        std::span<const double> aux,
+                                        std::size_t aux_stride) {
+  const std::uint64_t msgs0 = comm_.sent_messages();
+  const std::uint64_t bytes0 = comm_.sent_bytes();
+  const std::uint64_t batches0 = abm_.batches_sent();
+
+  reset_step();
+
+  const double t0 = comm_.barrier_max_time();
+  if (obs_ != nullptr) obs_->begin("gravity.decompose");
+  const morton::Box box = global_box(comm_, bodies);
+  dec_ = decompose(comm_, bodies, prev_work, box, cfg_.decomp, aux, aux_stride);
+  const double t1 = comm_.barrier_max_time();
+  if (obs_ != nullptr) {
+    obs_->end();  // gravity.decompose
+    obs_->begin("gravity.build");
+  }
+
+  tree_.rebuild(dec_.bodies, box);
+  if (cfg_.charge_compute) {
+    // Tree construction is memory-traffic bound: sort + build touch each
+    // body and cell a handful of times.
+    comm_.compute_work(0, 200ull * dec_.bodies.size());
+  }
+
+  GravityResult out;
+  out.domain = dec_.domains[static_cast<std::size_t>(comm_.rank())];
+
+  exchange_cover();
+  comm_.barrier();  // cover exchange complete everywhere before requests fly
+  const double t2 = comm_.barrier_max_time();
+  if (obs_ != nullptr) obs_->end();  // gravity.build
+  run_walks(out);  // prefetch + gravity.traverse / gravity.terminate
+  const double t3 = comm_.barrier_max_time();
+
+  out.bodies = tree_.bodies();
+  // dec_ and tree_ orders agree: decompose's output is key-sorted and the
+  // tree's stable sort of sorted input is the identity, so the aux block
+  // still lines up with out.bodies element-for-element.
+  out.aux = std::move(dec_.aux);
+
+  // Prefetch effectiveness: a prefetched key pays off exactly when the
+  // traversal demanded it.
+  for (Key k : prefetched_) {
+    if (demanded_.count(k) != 0) {
+      ++stats_.prefetch_hits;
+      if (obs_ != nullptr) c_prefetch_hits_->add(1);
+    } else {
+      ++stats_.prefetch_wasted;
+      if (obs_ != nullptr) c_prefetch_wasted_->add(1);
+    }
+  }
+
+  // Next step's prefetch seed: the distinct keys demanded this step,
+  // sorted so the posting order (and thus the message trace) is
+  // reproducible run-to-run.
+  ledger_.assign(demanded_.begin(), demanded_.end());
+  std::sort(ledger_.begin(), ledger_.end());
+  ++steps_;
+
+  stats_.local_bodies = out.bodies.size();
+  stats_.local_cells = tree_.cell_count();
+  stats_.decompose_seconds = t1 - t0;
+  stats_.build_seconds = t2 - t1;
+  stats_.traverse_seconds = t3 - t2;
+  stats_.vmpi_messages = comm_.sent_messages() - msgs0;
+  stats_.vmpi_bytes = comm_.sent_bytes() - bytes0;
+  stats_.abm_batches = abm_.batches_sent() - batches0;
+  if (obs_ != nullptr) {
+    obs_->registry().gauge("hot.engine_steps").set(static_cast<double>(steps_));
+  }
+  out.stats = stats_;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Public surface.
+// ---------------------------------------------------------------------------
+
+GravityEngine::GravityEngine(ss::vmpi::Comm& comm, const ParallelConfig& cfg)
+    : impl_(std::make_unique<Impl>(comm, cfg)) {}
+
+GravityEngine::~GravityEngine() = default;
+
+GravityResult GravityEngine::step(std::span<const Source> bodies,
+                                  std::span<const double> prev_work,
+                                  std::span<const double> aux,
+                                  std::size_t aux_stride) {
+  return impl_->step(bodies, prev_work, aux, aux_stride);
+}
+
+std::uint64_t GravityEngine::steps_completed() const { return impl_->steps_; }
+
+std::size_t GravityEngine::ledger_size() const { return impl_->ledger_.size(); }
 
 GravityResult parallel_gravity(ss::vmpi::Comm& comm,
                                std::span<const Source> bodies,
                                std::span<const double> prev_work,
                                const ParallelConfig& cfg) {
-  obs::Rank* orec = obs::tls();
-
-  const double t0 = comm.barrier_max_time();
-  if (orec != nullptr) orec->begin("gravity.decompose");
-  const morton::Box box = global_box(comm, bodies);
-  DecompResult dec = decompose(comm, bodies, prev_work, box, cfg.decomp);
-  const double t1 = comm.barrier_max_time();
-  if (orec != nullptr) {
-    orec->end();  // gravity.decompose
-    orec->begin("gravity.build");
-  }
-
-  Tree tree(dec.bodies, box, cfg.tree);
-  if (cfg.charge_compute) {
-    // Tree construction is memory-traffic bound: sort + build touch each
-    // body and cell a handful of times.
-    comm.compute_work(0, 200ull * dec.bodies.size());
-  }
-
-  GravityResult out;
-  out.domain = dec.domains[static_cast<std::size_t>(comm.rank())];
-
-  Engine engine(comm, cfg, tree, dec);
-  engine.exchange_cover();
-  comm.barrier();  // cover exchange complete everywhere before requests fly
-  const double t2 = comm.barrier_max_time();
-  if (orec != nullptr) orec->end();  // gravity.build
-  engine.run_walks(out);  // opens gravity.traverse / gravity.terminate
-  const double t3 = comm.barrier_max_time();
-
-  out.bodies = tree.bodies();
-  ParallelStats st = engine.stats();
-  st.local_bodies = out.bodies.size();
-  st.local_cells = tree.cell_count();
-  st.decompose_seconds = t1 - t0;
-  st.build_seconds = t2 - t1;
-  st.traverse_seconds = t3 - t2;
-  out.stats = st;
-  return out;
+  // One-shot wrapper: a fresh engine has an empty ledger, so no prefetch
+  // fires and this is exactly the classic stateless evaluation.
+  GravityEngine engine(comm, cfg);
+  return engine.step(bodies, prev_work);
 }
 
 }  // namespace ss::hot

@@ -23,9 +23,19 @@
 //     replies reports QUIET to rank 0, which broadcasts DONE once every
 //     rank is quiet (quietness is monotone: serving further requests
 //     cannot create new local work).
+//  5. *Cross-step communication avoidance* (GravityEngine): science runs
+//     are multi-step, and while cell *values* (moments) change every step,
+//     the *set* of remote cells a rank needs is temporally coherent. A
+//     persistent engine keeps a ledger of the keys demanded last step and
+//     bulk-requests them at the start of the next one (speculative
+//     prefetch), parks at most one request per in-flight key (dedup), and
+//     lets owners push the siblings of a requested cell in the same batch
+//     (reply piggybacking). Values are never reused across steps — only
+//     the request set is.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -55,6 +65,18 @@ struct ParallelConfig {
   /// parks or terminates.
   std::uint32_t tile_bodies = 2048;
   std::uint32_t tile_cells = 256;
+  /// Speculative prefetch (GravityEngine only): bulk-request the remote
+  /// keys demanded last step before walks start. Off = every remote cell
+  /// is fetched on demand, as in the stateless path.
+  bool prefetch = true;
+  /// Drain prefetch replies before starting walks (deadlock-free: the
+  /// settle loop is non-blocking and serves peers while it waits). Off =
+  /// replies race the walks and residual misses park as usual.
+  bool prefetch_settle = true;
+  /// Owners answer a demand request for a cell by also pushing the
+  /// expansions of its siblings in the same batch (spatially coherent
+  /// walks almost always want them next).
+  bool sibling_piggyback = true;
 };
 
 struct ParallelStats {
@@ -78,6 +100,22 @@ struct ParallelStats {
                                      batched_cell_interactions) /
                      static_cast<double>(tile_flushes);
   }
+  /// Communication-avoidance accounting (all zero on the stateless path).
+  /// Invariant: remote_requests + requests_deduped equals the number of
+  /// distinct remote keys the traversal demanded, which is a deterministic
+  /// property of the decomposition — so the sum is invariant under
+  /// prefetch and piggybacking even though its split shifts.
+  std::uint64_t requests_deduped = 0;   ///< Demands satisfied without a post.
+  std::uint64_t prefetch_issued = 0;    ///< Ledger keys bulk-requested.
+  std::uint64_t prefetch_hits = 0;      ///< Prefetched keys demanded later.
+  std::uint64_t prefetch_wasted = 0;    ///< Prefetched keys never demanded.
+  std::uint64_t sibling_pushes = 0;     ///< Expansions pushed to peers.
+  std::uint64_t unsolicited_expansions = 0;  ///< Pushed expansions accepted.
+  /// Physical traffic this step (deltas of the rank's vmpi/ABM counters,
+  /// so collectives and barriers are included — the honest message bill).
+  std::uint64_t abm_batches = 0;
+  std::uint64_t vmpi_messages = 0;
+  std::uint64_t vmpi_bytes = 0;
   std::size_t local_bodies = 0;
   std::size_t local_cells = 0;
   std::size_t top_cells = 0;
@@ -93,6 +131,9 @@ struct GravityResult {
   std::vector<Source> bodies;  ///< This rank's bodies after decomposition.
   std::vector<Accel> accel;    ///< Field at each body (self excluded).
   std::vector<double> work;    ///< Flop count per body; feed to next step.
+  /// Aux payload passed to GravityEngine::step, routed/reordered with the
+  /// bodies (aux[i*stride..] belongs to bodies[i]). Empty if none given.
+  std::vector<double> aux;
   Domain domain;               ///< This rank's key range.
   ParallelStats stats;
 };
@@ -101,9 +142,50 @@ struct GravityResult {
 /// key range [lo, hi] (both maximum-depth keys).
 std::vector<morton::Key> cover_cells(morton::Key lo, morton::Key hi);
 
+/// Persistent distributed-gravity engine: owns all cross-step state (tree
+/// and scratch arenas, interaction-list tiles, the ABM instance with its
+/// buffer pool, and the remote-cell request ledger) so that a multi-step
+/// run pays the latency-hiding machinery's setup once and amortizes the
+/// request traffic across steps.
+///
+/// Lifetime/invalidation contract: every step redecomposes, rebuilds the
+/// tree and clears the remote-cell cache — cell *values* are never reused
+/// across steps (moments change as bodies move). Only the *request set*
+/// survives: the keys demanded in step n seed the speculative prefetch of
+/// step n+1, guarded against ownership changes from the redecomposition.
+/// One engine per Comm (per rank thread); not thread-safe.
+class GravityEngine {
+ public:
+  GravityEngine(ss::vmpi::Comm& comm, const ParallelConfig& cfg = {});
+  ~GravityEngine();
+  GravityEngine(const GravityEngine&) = delete;
+  GravityEngine& operator=(const GravityEngine&) = delete;
+
+  /// One force evaluation. `bodies` is this rank's current share (any
+  /// distribution); `prev_work` the per-body weights from the previous
+  /// step ({} on the first). `aux` optionally carries aux_stride doubles
+  /// per body (e.g. velocities) that are routed through the decomposition
+  /// with the bodies and returned in GravityResult::aux.
+  GravityResult step(std::span<const Source> bodies,
+                     std::span<const double> prev_work,
+                     std::span<const double> aux = {},
+                     std::size_t aux_stride = 0);
+
+  /// Steps completed so far (the engine-reuse gauge).
+  std::uint64_t steps_completed() const;
+  /// Distinct remote keys demanded last step (next step's prefetch seed).
+  std::size_t ledger_size() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// One complete parallel force evaluation. `bodies` is this rank's current
 /// share (any distribution); `prev_work` are per-body weights from the
-/// previous step (pass {} for the first step).
+/// previous step (pass {} for the first step). Thin one-shot wrapper over
+/// GravityEngine: a fresh engine has an empty ledger, so no prefetch
+/// happens and the behavior is the classic stateless evaluation.
 GravityResult parallel_gravity(ss::vmpi::Comm& comm,
                                std::span<const Source> bodies,
                                std::span<const double> prev_work,

@@ -21,10 +21,19 @@ Tree::Tree(std::span<const Source> bodies, TreeConfig cfg)
 
 Tree::Tree(std::span<const Source> bodies, const morton::Box& box,
            TreeConfig cfg)
-    : box_(box), cfg_(cfg) {
+    : cfg_(cfg) {
+  rebuild(bodies, box);
+}
+
+void Tree::rebuild(std::span<const Source> bodies, const morton::Box& box) {
+  box_ = box;
   const auto n = static_cast<std::uint32_t>(bodies.size());
 
-  std::vector<morton::Key> raw_keys(n);
+  // All containers below are resized/cleared, never reconstructed: a
+  // persistent engine rebuilding at a stable particle count reuses the
+  // previous step's allocations wholesale.
+  thread_local std::vector<morton::Key> raw_keys;
+  raw_keys.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     raw_keys[i] = morton::encode(bodies[i].pos, box_);
   }
@@ -42,6 +51,7 @@ Tree::Tree(std::span<const Source> bodies, const morton::Box& box,
     keys_[i] = raw_keys[perm_[i]];
   }
 
+  cells_.clear();
   cells_.reserve(n / 2 + 8);
   if (n > 0) {
     build_cell(morton::kRootKey, 0, n, 0);
@@ -50,6 +60,7 @@ Tree::Tree(std::span<const Source> bodies, const morton::Box& box,
     root.key = morton::kRootKey;
     cells_.push_back(root);
   }
+  map_.clear();
   for (std::uint32_t i = 0; i < cells_.size(); ++i) {
     map_.insert(cells_[i].key, i);
   }

@@ -62,6 +62,15 @@ class Tree {
   /// Convenience: computes the bounding box internally.
   explicit Tree(std::span<const Source> bodies, TreeConfig cfg = {});
 
+  /// Empty tree; call rebuild() before use. Lets a persistent owner (the
+  /// gravity engine) construct once and re-populate every step.
+  explicit Tree(TreeConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Re-populates the tree in place. All arenas (body/key/perm/cell arrays
+  /// and the key map) keep their capacity, so a steady-state rebuild at
+  /// stable particle counts allocates nothing.
+  void rebuild(std::span<const Source> bodies, const morton::Box& box);
+
   const morton::Box& box() const { return box_; }
   /// Bodies in Morton order.
   const std::vector<Source>& bodies() const { return bodies_; }

@@ -5,8 +5,10 @@
 #include <functional>
 #include <vector>
 
+#include "hot/parallel.hpp"
 #include "hot/tree.hpp"
 #include "nbody/ic.hpp"
+#include "vmpi/comm.hpp"
 
 namespace ss::nbody {
 
@@ -62,6 +64,46 @@ class Leapfrog {
   std::vector<Body> bodies_;
   std::vector<Accel> acc_;
   ForceFunc force_;
+  double time_ = 0.0;
+};
+
+/// Distributed KDK leapfrog routed through a persistent hot::GravityEngine.
+///
+/// Each rank owns a share of the bodies; every force evaluation
+/// redecomposes along the Morton curve and the velocities ride through the
+/// exchange as the engine's aux payload, so the phase-space state stays
+/// consistent with the (re)distributed positions. Because the engine
+/// persists across steps, step n+1's remote-cell traffic is prefetched
+/// from step n's request ledger.
+class ParallelLeapfrog {
+ public:
+  /// `bodies` is this rank's initial share (any distribution). The first
+  /// force evaluation (and load balance) happens here.
+  ParallelLeapfrog(ss::vmpi::Comm& comm, std::vector<Body> bodies,
+                   const hot::ParallelConfig& cfg = {});
+
+  /// Advance by `steps` steps of size dt. One engine evaluation per step;
+  /// the opening kick reuses the closing kick's forces.
+  void step(double dt, int steps = 1);
+
+  /// This rank's current bodies (redistributed; Morton-sorted).
+  const std::vector<Body>& bodies() const { return bodies_; }
+  const std::vector<Accel>& accel() const { return acc_; }
+  double time() const { return time_; }
+  Energies current_energies() const { return energies(bodies_, acc_); }
+  /// Stats of the most recent engine evaluation.
+  const hot::ParallelStats& last_stats() const { return last_stats_; }
+  std::uint64_t engine_steps() const { return engine_.steps_completed(); }
+
+ private:
+  void evaluate();
+
+  ss::vmpi::Comm& comm_;
+  hot::GravityEngine engine_;
+  std::vector<Body> bodies_;
+  std::vector<Accel> acc_;
+  std::vector<double> work_;  ///< Per-body flops, next decomposition's weights.
+  hot::ParallelStats last_stats_;
   double time_ = 0.0;
 };
 

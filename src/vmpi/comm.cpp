@@ -36,13 +36,21 @@ int Comm::coll_tag() {
 }
 
 void Comm::send_bytes(int dst, int tag, std::span<const std::byte> bytes) {
+  // The one copy a borrowed buffer needs; owners of a byte vector can use
+  // send_bytes_move to skip it.
+  send_bytes_move(dst, tag,
+                  std::vector<std::byte>(bytes.begin(), bytes.end()));
+}
+
+void Comm::send_bytes_move(int dst, int tag, std::vector<std::byte>&& bytes) {
   if (dst < 0 || dst >= rt_->nranks_) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
-  rt_->deliver(rank_, dst, tag, bytes, vtime_, bytes.size());
+  const std::size_t n = bytes.size();
+  rt_->deliver(rank_, dst, tag, std::move(bytes), vtime_, n);
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
-    obs_bytes_->add(bytes.size());
+    obs_bytes_->add(n);
   }
 }
 
@@ -55,6 +63,14 @@ void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
     obs_msgs_->add(1);
     obs_bytes_->add(modeled_bytes);
   }
+}
+
+std::uint64_t Comm::sent_messages() const {
+  return rt_->traffic_[static_cast<std::size_t>(rank_)].messages;
+}
+
+std::uint64_t Comm::sent_bytes() const {
+  return rt_->traffic_[static_cast<std::size_t>(rank_)].bytes;
 }
 
 Message Comm::recv_msg(int src, int tag) {
@@ -193,13 +209,13 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
   elapsed_vtime_ = *std::max_element(final_time.begin(), final_time.end());
 }
 
-void Runtime::deliver(int src, int dst, int tag,
-                      std::span<const std::byte> bytes, double depart,
-                      std::size_t modeled_bytes) {
+void Runtime::deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
+                      double depart, std::size_t modeled_bytes) {
   Message m;
   m.src = src;
   m.tag = tag;
-  m.data.assign(bytes.begin(), bytes.end());
+  m.data = std::move(bytes);  // zero-copy: the sender's buffer becomes the
+                              // message payload (recycled by ABM's pool).
   m.arrival = model_->arrival(src, dst, modeled_bytes, depart);
   // deliver() always runs on the sending rank's thread, so the per-rank
   // slot needs no synchronization.

@@ -57,6 +57,28 @@ struct Message {
     }
     return out;
   }
+
+  /// Zero-copy move-out of the raw payload: the message is left empty and
+  /// the buffer (with its capacity) transfers to the caller. This is the
+  /// hot path for consumers that recycle receive buffers (ABM batch pool).
+  std::vector<std::byte> take_data() { return std::move(data); }
+
+  /// Consuming typed read. For T = std::byte this is a true zero-copy
+  /// move; for other types it performs the one unavoidable reinterpreting
+  /// copy but releases the payload storage immediately (unlike as(), which
+  /// leaves a second live copy inside the message).
+  template <typename T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (std::is_same_v<T, std::byte>) {
+      return std::move(data);
+    } else {
+      auto out = as<T>();
+      data.clear();
+      data.shrink_to_fit();
+      return out;
+    }
+  }
 };
 
 class Runtime;
@@ -82,6 +104,11 @@ class Comm {
 
   /// Buffered, non-blocking send (never deadlocks; MPI_Bsend semantics).
   void send_bytes(int dst, int tag, std::span<const std::byte> bytes);
+
+  /// Zero-copy variant: the buffer is moved into the destination mailbox
+  /// instead of copied. The hot path for senders that own a byte buffer
+  /// they are done with (ABM batch shipping).
+  void send_bytes_move(int dst, int tag, std::vector<std::byte>&& bytes);
 
   /// Send an empty token whose *cost* is that of a `modeled_bytes`-byte
   /// message. Used by the benchmark kernels to reproduce the wire traffic
@@ -153,8 +180,16 @@ class Comm {
 
   /// Personalized all-to-all: `per_dest[d]` goes to rank d; the result
   /// concatenates the blocks received from ranks 0..P-1 in rank order.
+  /// The self-block never touches a mailbox, and zero-byte non-self
+  /// blocks are never posted (each shipped block carries a count header,
+  /// so absence is distinguishable from emptiness).
   template <typename T>
   std::vector<T> alltoallv(const std::vector<std::vector<T>>& per_dest);
+
+  /// Reference alltoallv: dense pairwise exchange posting every block,
+  /// empty or not. Kept as the test oracle for the sparse path above.
+  template <typename T>
+  std::vector<T> alltoallv_dense(const std::vector<std::vector<T>>& per_dest);
 
   /// Combined send+receive with distinct partners (MPI_Sendrecv): always
   /// deadlock-free here thanks to buffered sends, provided the partners'
@@ -168,8 +203,18 @@ class Comm {
 
   /// Element-wise reduce followed by scattering equal blocks: rank r gets
   /// elements [r*n, (r+1)*n) of the reduction, n = local.size() / size().
+  /// Pairwise exchange (O(n) data per rank, not the O(P*n) of the old
+  /// allreduce-then-slice): each rank ships partner-sized blocks and
+  /// combines only its own. The op must be commutative (combination order
+  /// is rank-distance order, not rank order).
   template <typename T, typename Op>
-  std::vector<T> reduce_scatter_block(std::span<const T> local, Op op) {
+  std::vector<T> reduce_scatter_block(std::span<const T> local, Op op);
+
+  /// Reference implementation (allreduce the full vector, then slice).
+  /// O(P*n) traffic; kept as the test oracle for the pairwise path.
+  template <typename T, typename Op>
+  std::vector<T> reduce_scatter_block_via_allreduce(std::span<const T> local,
+                                                    Op op) {
     if (local.size() % static_cast<std::size_t>(size()) != 0) {
       throw std::invalid_argument(
           "reduce_scatter_block: length must divide by ranks");
@@ -189,6 +234,12 @@ class Comm {
   /// the same order get matching tags — useful for hand-rolled collective
   /// patterns outside this class.
   int fresh_tag() { return coll_tag(); }
+
+  /// Physical messages / payload bytes sent by this rank so far. Reads the
+  /// runtime's own-rank traffic slot, which only this thread writes, so
+  /// the call is race-free; per-phase deltas give per-step message counts.
+  std::uint64_t sent_messages() const;
+  std::uint64_t sent_bytes() const;
 
  private:
   friend class Runtime;
@@ -267,7 +318,7 @@ class Runtime {
     std::uint64_t bytes = 0;
   };
 
-  void deliver(int src, int dst, int tag, std::span<const std::byte> bytes,
+  void deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
                double depart, std::size_t modeled_bytes);
   Message wait_match(int self, int src, int tag);
   std::optional<Message> poll_match(int self, int src, int tag);

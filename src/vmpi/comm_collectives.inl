@@ -176,6 +176,64 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& per_dest) {
   }
   const int tag = coll_tag();
   std::vector<std::vector<T>> received(p);
+  // Self short-circuit: the local block never touches a mailbox.
+  received[rank_] = per_dest[rank_];
+  // Post only the non-empty non-self blocks. Each message carries a
+  // 64-bit element-count header, so "block absent" (no message) and
+  // "block empty" (never posted) are the same observable fact and a
+  // receiver can validate what did arrive. Sparse communication patterns
+  // (a few heavy partners out of P) thus cost O(partners) messages, not
+  // O(P).
+  for (int k = 1; k < p; ++k) {
+    const int dst = (rank_ + k) % p;
+    const auto& block = per_dest[static_cast<std::size_t>(dst)];
+    if (block.empty()) continue;
+    std::vector<std::byte> buf(sizeof(std::uint64_t) +
+                               block.size() * sizeof(T));
+    const std::uint64_t count = block.size();
+    std::memcpy(buf.data(), &count, sizeof(count));
+    std::memcpy(buf.data() + sizeof(count), block.data(),
+                block.size() * sizeof(T));
+    send_bytes_move(dst, tag, std::move(buf));
+  }
+  // The runtime enqueues messages synchronously at send time, so after
+  // the barrier every posted block is already in our mailbox and a
+  // nonblocking drain is exact. (A real-MPI port would replace this with
+  // an alltoall of the count headers.)
+  barrier();
+  while (auto m = try_recv(kAnySource, tag)) {
+    std::uint64_t count = 0;
+    if (m->data.size() < sizeof(count)) {
+      throw std::runtime_error("vmpi alltoallv: truncated count header");
+    }
+    std::memcpy(&count, m->data.data(), sizeof(count));
+    if (m->data.size() != sizeof(count) + count * sizeof(T)) {
+      throw std::runtime_error("vmpi alltoallv: header/payload mismatch");
+    }
+    auto& blk = received[static_cast<std::size_t>(m->src)];
+    blk.resize(count);
+    if (count > 0) {
+      std::memcpy(blk.data(), m->data.data() + sizeof(count),
+                  count * sizeof(T));
+    }
+  }
+  std::vector<T> out;
+  for (int r = 0; r < p; ++r) {
+    out.insert(out.end(), received[r].begin(), received[r].end());
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::alltoallv_dense(
+    const std::vector<std::vector<T>>& per_dest) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (static_cast<int>(per_dest.size()) != p) {
+    throw std::runtime_error("vmpi alltoallv: need one block per rank");
+  }
+  const int tag = coll_tag();
+  std::vector<std::vector<T>> received(p);
   received[rank_] = per_dest[rank_];
   // Pairwise exchange: at step k talk to rank^k (power of two) or the
   // rotated partner otherwise.
@@ -192,6 +250,41 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& per_dest) {
     out.insert(out.end(), received[r].begin(), received[r].end());
   }
   return out;
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::reduce_scatter_block(std::span<const T> local, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (local.size() % static_cast<std::size_t>(p) != 0) {
+    throw std::invalid_argument(
+        "reduce_scatter_block: length must divide by ranks");
+  }
+  const std::size_t n = local.size() / static_cast<std::size_t>(p);
+  // Start from this rank's own contribution to its own block.
+  std::vector<T> acc(local.begin() + static_cast<std::ptrdiff_t>(
+                                         n * static_cast<std::size_t>(rank_)),
+                     local.begin() + static_cast<std::ptrdiff_t>(
+                                         n * static_cast<std::size_t>(rank_) +
+                                         n));
+  if (p == 1) return acc;
+  const int tag = coll_tag();
+  // Pairwise exchange: step k ships our contribution to partner (rank+k)'s
+  // block and folds in partner (rank-k)'s contribution to ours. Each rank
+  // moves (P-1) blocks of n elements — O(local.size()) data total, versus
+  // the O(P * local.size()) of allreduce-then-slice.
+  for (int k = 1; k < p; ++k) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k + p) % p;
+    send<T>(to, tag,
+            local.subspan(n * static_cast<std::size_t>(to), n));
+    auto got = recv_msg(from, tag).template as<T>();
+    if (got.size() != n) {
+      throw std::runtime_error("vmpi reduce_scatter_block: length mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) acc[i] = op(acc[i], got[i]);
+  }
+  return acc;
 }
 
 }  // namespace ss::vmpi

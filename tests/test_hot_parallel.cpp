@@ -179,6 +179,27 @@ TEST(Abm, EagerFlushWhenBatchFull) {
   });
 }
 
+TEST(Abm, RecyclesReceiveBuffersThroughPool) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    Abm abm(c, {.batch_bytes = 64, .tag = 50});
+    abm.on(0, [](int, std::span<const std::byte>) {});
+    // Ping-pong enough batches that both the send side (ship() refills
+    // from the pool) and the receive side (poll() recycles the message's
+    // buffer) cycle buffers repeatedly.
+    const int peer = 1 - c.rank();
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 8; ++i) abm.post_value<int>(peer, 0, i);
+      abm.flush();
+      c.barrier();
+      while (abm.poll() > 0) {
+      }
+      c.barrier();
+    }
+    EXPECT_GT(abm.pool_reuses(), 0u);
+  });
+}
+
 TEST(Abm, MultipleChannelsDispatchIndependently) {
   Runtime rt(2);
   rt.run([&](Comm& c) {
