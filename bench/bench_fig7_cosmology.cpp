@@ -16,6 +16,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -29,6 +30,9 @@
 #include "cosmo/sim.hpp"
 #include "cosmo/zeldovich.hpp"
 #include "hot/tree.hpp"
+#include "io/checkpoint.hpp"
+#include "io/snapshot.hpp"
+#include "nbody/checkpoint.hpp"
 #include "nbody/ic.hpp"
 #include "nbody/integrator.hpp"
 #include "nbody/outofcore.hpp"
@@ -51,11 +55,27 @@ struct EngineStepRow {
   double vtime_seconds = 0.0;
 };
 
+// Aggregate snapshot-I/O numbers from the striped checkpoint writer
+// (the production run's 417 MB/s / 1.5 TB pattern at laptop scale).
+struct SnapshotIoResult {
+  std::uint64_t total_bytes = 0;   ///< Stripe bytes across all ranks.
+  std::uint64_t generations = 0;   ///< Committed, fully valid generations.
+  double write_seconds_max = 0.0;  ///< Slowest rank's disk time.
+  double overlap_frac = 0.0;       ///< Fraction of writes hidden by compute.
+  double aggregate_mb_per_s = 0.0;
+};
+
 // A production run is hundreds of steps on the same engine: measure the
 // communication-avoidance trajectory (Sec 4.2's request ledger) on a
 // distributed leapfrog at laptop scale. The velocities ride through the
-// decomposition as the engine's aux payload.
-std::vector<EngineStepRow> run_engine_trajectory(int ranks, int steps) {
+// decomposition as the engine's aux payload. With `snapshot_dir` set,
+// every step also checkpoints through the double-buffered CheckpointStore
+// (real striped files on disk), so the write overlaps the next step's
+// force computation exactly as in production.
+std::vector<EngineStepRow> run_engine_trajectory(
+    int ranks, int steps,
+    const std::optional<std::filesystem::path>& snapshot_dir = std::nullopt,
+    SnapshotIoResult* io_out = nullptr) {
   auto model = ss::vmpi::make_space_simulator_model(
       ss::simnet::lam_homogeneous(), 623.9e6);
   ss::vmpi::Runtime rt(ranks, model);
@@ -70,8 +90,19 @@ std::vector<EngineStepRow> run_engine_trajectory(int ranks, int steps) {
     // Step 0 is the constructor's cold evaluation (empty ledger); each
     // further step prefetches the previous step's request set.
     ss::nbody::ParallelLeapfrog lf(c, bodies, cfg);
+    std::unique_ptr<ss::io::CheckpointStore> store;
+    if (snapshot_dir) {
+      store = std::make_unique<ss::io::CheckpointStore>(
+          c, ss::io::CheckpointStore::Config{.dir = *snapshot_dir,
+                                             .keep = steps + 1,
+                                             .async = true});
+    }
     for (int s = 0; s < steps; ++s) {
       if (s > 0) lf.step(0.01);
+      if (store) {
+        ss::nbody::save_checkpoint(*store, static_cast<std::uint64_t>(s),
+                                   lf);
+      }
       const auto& st = lf.last_stats();
       const std::uint64_t requests = c.allreduce_sum_u64(st.remote_requests);
       const std::uint64_t hits = c.allreduce_sum_u64(st.prefetch_hits);
@@ -89,7 +120,35 @@ std::vector<EngineStepRow> run_engine_trajectory(int ranks, int steps) {
                             st.traverse_seconds;
       }
     }
+    if (store) {
+      store->finalize();  // commit the last pending generation
+      const auto stats = store->io_stats();
+      const std::uint64_t bytes = c.allreduce_sum_u64(stats.bytes);
+      const double write_max = c.allreduce_max(stats.write_seconds);
+      const double write_sum = c.allreduce_sum(stats.write_seconds);
+      const double blocked_sum = c.allreduce_sum(stats.blocked_seconds);
+      if (c.rank() == 0 && io_out) {
+        io_out->total_bytes = bytes;
+        io_out->write_seconds_max = write_max;
+        io_out->overlap_frac =
+            write_sum > 0.0
+                ? std::max(0.0, 1.0 - blocked_sum / write_sum)
+                : 0.0;
+        io_out->aggregate_mb_per_s =
+            write_max > 0.0 ? bytes / 1e6 / write_max : 0.0;
+      }
+    }
   });
+  if (snapshot_dir && io_out) {
+    for (const std::uint64_t gen :
+         ss::io::CheckpointStore::list_generations(*snapshot_dir)) {
+      if (ss::io::snapshot_valid(
+              ss::io::CheckpointStore::generation_dir(*snapshot_dir, gen),
+              "ckpt")) {
+        ++io_out->generations;
+      }
+    }
+  }
   return rows;
 }
 
@@ -100,13 +159,19 @@ int main(int argc, char** argv) {
   using ss::support::Table;
 
   std::optional<std::string> json_path;
+  std::optional<std::filesystem::path> snapshots_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-')
                       ? std::string(argv[++i])
                       : std::string("BENCH_fig7_cosmology.json");
+    } else if (std::strcmp(argv[i], "--snapshots") == 0) {
+      snapshots_dir = (i + 1 < argc && argv[i + 1][0] != '-')
+                          ? std::filesystem::path(argv[++i])
+                          : std::filesystem::path("BENCH_fig7_snapshots");
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json [PATH]]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--json [PATH]] [--snapshots [DIR]]\n";
       return 2;
     }
   }
@@ -245,7 +310,13 @@ int main(int argc, char** argv) {
   // prefetch; measure that trajectory on a small virtual cluster.
   constexpr int kEngineRanks = 8;
   constexpr int kEngineSteps = 4;
-  const auto engine_rows = run_engine_trajectory(kEngineRanks, kEngineSteps);
+  SnapshotIoResult snap_io;
+  if (snapshots_dir) {
+    std::filesystem::create_directories(*snapshots_dir);
+  }
+  const auto engine_rows = run_engine_trajectory(
+      kEngineRanks, kEngineSteps, snapshots_dir,
+      snapshots_dir ? &snap_io : nullptr);
   {
     Table t("multi-step distributed leapfrog (8 virtual nodes, "
             "persistent engine)");
@@ -263,6 +334,32 @@ int main(int argc, char** argv) {
                  "before walks start, so the demand trickle (and the parked\n"
                  "walks it causes) collapses. Over a ~700-step production\n"
                  "run the cold step is noise.\n";
+  }
+
+  if (snapshots_dir) {
+    // Real striped snapshots written during the trajectory above: every
+    // rank streams its stripe through the double-buffered AsyncWriter
+    // while the next step's forces compute, and rank 0 commits the
+    // manifest one generation behind — the paper's parallel-to-local-
+    // disks pattern (417 MB/s aggregate over 1.5 TB) at laptop scale.
+    Table t("striped snapshot I/O (--snapshots " +
+            snapshots_dir->string() + ")");
+    t.header({"quantity", "value", "paper"});
+    t.row({"valid generations", std::to_string(snap_io.generations), "~230"});
+    t.row({"total bytes",
+           Table::fixed(static_cast<double>(snap_io.total_bytes) / 1e6, 1) +
+               " MB",
+           "1.5 TB"});
+    t.row({"aggregate write rate",
+           Table::fixed(snap_io.aggregate_mb_per_s, 0) + " MB/s",
+           "417 MB/s"});
+    t.row({"write overlap fraction", Table::fixed(snap_io.overlap_frac, 3),
+           "-"});
+    std::cout << "\n" << t;
+    std::cout << "\nReading: overlap fraction is the share of disk time\n"
+                 "hidden behind compute by the async double buffer; the\n"
+                 "commit-one-behind protocol means a crash loses at most\n"
+                 "the single uncommitted generation.\n";
   }
 
   if (json_path) {
@@ -319,6 +416,19 @@ int main(int argc, char** argv) {
     }
     w.end_array();
     w.end_object();
+    if (snapshots_dir) {
+      w.key("snapshot_io");
+      w.begin_object();
+      w.kv("dir", snapshots_dir->string());
+      w.kv("ranks", static_cast<std::uint64_t>(kEngineRanks));
+      w.kv("generations_valid", snap_io.generations);
+      w.kv("total_bytes", snap_io.total_bytes);
+      w.kv("aggregate_mb_per_s", snap_io.aggregate_mb_per_s);
+      w.kv("write_overlap_frac", snap_io.overlap_frac);
+      w.kv("paper_mb_per_s", 417.0);
+      w.kv("paper_total_bytes", 1.5e12);
+      w.end_object();
+    }
     w.end_object();
     os << "\n";
     std::cout << "\nmachine-readable results: " << *json_path << "\n";

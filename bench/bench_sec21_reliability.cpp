@@ -3,9 +3,13 @@
 // Component failure rates are calibrated from the paper's counts; the
 // Monte Carlo shows the spread a 294-node cluster owner should expect,
 // and the survival model quantifies why multi-day runs complete.
+#include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "hw/reliability.hpp"
+#include "io/checkpoint.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -57,6 +61,42 @@ int main() {
   std::cout << s;
   std::cout << "\nReading: disks dominate (16 of 23 operational failures),\n"
                "matching the paper's 'most common failure has been with\n"
-               "disk drives'; the fanless heat-pipe CPUs never fail.\n";
+               "disk drives'; the fanless heat-pipe CPUs never fail.\n\n";
+
+  // Checkpoint-interval planning (ties Sec 2.1's failure model to the
+  // snapshot I/O subsystem): given the cluster MTBF implied by the
+  // component rates and a checkpoint cost, Young's approximation
+  // tau* = sqrt(2*C*MTBF) picks the interval; the table shows how
+  // overhead and expected completed steps between failures move with tau.
+  const double mtbf_h = cluster_mtbf_hours(comps, 294);
+  const double ckpt_cost_h = 5.0 / 60.0;  // 5-minute striped snapshot
+  const double step_h = 0.25;             // one 15-minute major timestep
+  const double tau_star = ss::io::optimal_checkpoint_interval(ckpt_cost_h,
+                                                              mtbf_h);
+  std::cout << "cluster MTBF (294 nodes, all component classes): "
+            << Table::fixed(mtbf_h, 1) << " h\n"
+            << "checkpoint cost C = " << Table::fixed(ckpt_cost_h * 60.0, 1)
+            << " min, Young optimum tau* = sqrt(2*C*MTBF) = "
+            << Table::fixed(tau_star, 2) << " h\n\n";
+
+  Table k("checkpoint interval vs overhead (Young 1974)");
+  k.header({"interval tau", "overhead C/tau + tau/2M", "useful fraction",
+            "E[steps between failures]"});
+  std::vector<double> taus = {0.5, 1.0, tau_star, 4.0, 8.0, 24.0};
+  std::sort(taus.begin(), taus.end());
+  for (double tau : taus) {
+    const double ov = ss::io::checkpoint_overhead(tau, ckpt_cost_h, mtbf_h);
+    // Useful work accumulated over one MTBF, in completed steps.
+    const double useful = std::max(0.0, 1.0 - ov);
+    k.row({Table::fixed(tau, 2) + " h" + (tau == tau_star ? " (tau*)" : ""),
+           Table::fixed(100.0 * ov, 2) + " %", Table::fixed(useful, 3),
+           Table::fixed(mtbf_h * useful / step_h, 0)});
+  }
+  std::cout << k;
+  std::cout << "\nReading: at the Young optimum the overhead is minimal and\n"
+               "the run completes the most timesteps per failure interval;\n"
+               "checkpointing too rarely loses whole intervals of work,\n"
+               "too often burns the I/O bandwidth the paper budgets at\n"
+               "417 MB/s aggregate.\n";
   return 0;
 }

@@ -8,14 +8,19 @@
 # Stages:
 #   1. tier-1: configure + build + full ctest (ROADMAP.md's gate).
 #   2. sanitizers: ASan+UBSan build of the kernel/sort/traversal tests —
-#      the three suites that exercise the batched SoA kernels, the
-#      multi-threaded radix sort and the interaction-list traversal.
+#      the suites that exercise the batched SoA kernels, the
+#      multi-threaded radix sort, the interaction-list traversal and the
+#      checkpoint/snapshot I/O subsystem (async writer threads).
 #   3. bench smoke: bench_table5_gravkernel --json must run and emit
-#      parseable JSON with the measured host kernel variants, and
+#      parseable JSON with the measured host kernel variants,
 #      bench_ablation_parallel --json must show the multi-step engine's
 #      communication-avoidance trajectory (warm steps park <= 70% of the
 #      cold step's walks, send fewer messages, forces match stateless to
-#      1e-12).
+#      1e-12), and bench_fig7_cosmology --snapshots must write striped
+#      checkpoint generations whose async writes overlap compute
+#      (write_overlap_frac > 0). A checkpoint round-trip smoke re-runs
+#      the save -> kill -> restore-on-a-different-rank-count gtest
+#      suites from the tier-1 binary as a named CI gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,13 +31,20 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "=== checkpoint round-trip smoke: save -> kill -> restore ==="
+# Bit-for-bit recovery after a mid-run rank kill, plus restore onto a
+# different rank count with carried per-body forces exact to 1e-12.
+./build/tests/test_io \
+  --gtest_filter='Checkpoint.*:EndToEnd.*:FaultInjector.*' \
+  --gtest_brief=1
+
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel ==="
+  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel / test_engine / test_io ==="
   cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
-    --target test_gravity test_morton test_hot_parallel test_engine
-  for t in test_gravity test_morton test_hot_parallel test_engine; do
+    --target test_gravity test_morton test_hot_parallel test_engine test_io
+  for t in test_gravity test_morton test_hot_parallel test_engine test_io; do
     bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
     echo "--- $t ---"
     "$bin"
@@ -92,6 +104,28 @@ print("BENCH_ablation_parallel.json multi_step ok: parked"
       f" {cold['walks_parked']} -> {warm['walks_parked']}, messages"
       f" {cold['messages']} -> {warm['messages']}, force max rel"
       f" {max(r['force_max_rel'] for r in rows):.1e}")
+PY
+
+fig7_json="build/BENCH_fig7.json"
+fig7_snaps="build/BENCH_fig7_snapshots"
+rm -rf "${fig7_snaps}"
+./build/bench/bench_fig7_cosmology --json "${fig7_json}" \
+  --snapshots "${fig7_snaps}" >/dev/null
+python3 - "${fig7_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+io = d["snapshot_io"]
+assert io["generations_valid"] >= 2, "need >= 2 committed generations"
+assert io["total_bytes"] > 0, "no snapshot bytes written"
+assert io["aggregate_mb_per_s"] > 0, "no aggregate write rate"
+assert io["write_overlap_frac"] > 0, (
+    "async snapshot writes did not overlap compute")
+print("BENCH_fig7.json snapshot_io ok:"
+      f" {io['generations_valid']} generations,"
+      f" {io['total_bytes']/1e6:.1f} MB at"
+      f" {io['aggregate_mb_per_s']:.0f} MB/s aggregate,"
+      f" overlap {io['write_overlap_frac']:.3f}")
 PY
 
 echo "=== CI green ==="

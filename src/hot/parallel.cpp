@@ -1078,6 +1078,18 @@ std::uint64_t GravityEngine::steps_completed() const { return impl_->steps_; }
 
 std::size_t GravityEngine::ledger_size() const { return impl_->ledger_.size(); }
 
+std::span<const morton::Key> GravityEngine::ledger() const {
+  return impl_->ledger_;
+}
+
+void GravityEngine::seed_ledger(std::span<const morton::Key> keys) {
+  impl_->ledger_.assign(keys.begin(), keys.end());
+  std::sort(impl_->ledger_.begin(), impl_->ledger_.end());
+  impl_->ledger_.erase(
+      std::unique(impl_->ledger_.begin(), impl_->ledger_.end()),
+      impl_->ledger_.end());
+}
+
 GravityResult parallel_gravity(ss::vmpi::Comm& comm,
                                std::span<const Source> bodies,
                                std::span<const double> prev_work,

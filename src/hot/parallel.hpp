@@ -176,6 +176,15 @@ class GravityEngine {
   /// Distinct remote keys demanded last step (next step's prefetch seed).
   std::size_t ledger_size() const;
 
+  /// The request ledger itself: sorted distinct remote keys demanded last
+  /// step. Valid until the next step() call. Checkpointing captures this
+  /// so a restarted engine prefetches like the uninterrupted one.
+  std::span<const morton::Key> ledger() const;
+  /// Replace the ledger (restart path). Keys are sorted/deduplicated
+  /// here; ownership changes are re-checked at prefetch time, so a stale
+  /// seed is safe — at worst the speculation misses.
+  void seed_ledger(std::span<const morton::Key> keys);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

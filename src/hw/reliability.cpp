@@ -105,6 +105,19 @@ FailureCounts expected_failures(std::span<const ComponentClass> components,
   return out;
 }
 
+double cluster_mtbf_hours(std::span<const ComponentClass> components,
+                          int nodes) {
+  double rate_per_month = 0.0;  // cluster-wide failures per month
+  for (const auto& comp : components) {
+    rate_per_month += comp.monthly_failure_rate *
+                      static_cast<double>(nodes) * comp.parts_per_node;
+  }
+  if (rate_per_month <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return (30.0 * 24.0) / rate_per_month;
+}
+
 double cluster_survival_probability(
     std::span<const ComponentClass> components, int nodes, double hours) {
   const double months = hours / (30.0 * 24.0);

@@ -51,4 +51,10 @@ FailureCounts expected_failures(std::span<const ComponentClass> components,
 double cluster_survival_probability(
     std::span<const ComponentClass> components, int nodes, double hours);
 
+/// Mean time between operational failures of the whole cluster, in hours
+/// (exponential lifetimes compose: total rate = sum of part rates). Feeds
+/// the optimal-checkpoint-interval analysis in io/checkpoint.hpp.
+double cluster_mtbf_hours(std::span<const ComponentClass> components,
+                          int nodes);
+
 }  // namespace ss::hw

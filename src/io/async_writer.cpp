@@ -1,0 +1,102 @@
+#include "io/async_writer.hpp"
+
+#include "io/blockfile.hpp"
+#include "obs/obs.hpp"
+#include "support/timer.hpp"
+
+namespace ss::io {
+
+AsyncWriter::AsyncWriter(std::size_t depth)
+    : depth_(depth == 0 ? 1 : depth), thread_([this] { worker(); }) {}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Let pending writes finish (a checkpoint stripe mid-flight should
+    // land even during teardown; whether it *commits* is the manifest's
+    // decision, not ours).
+    cv_submit_.wait(lock, [this] { return in_flight_ == 0; });
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  thread_.join();
+}
+
+void AsyncWriter::submit(std::filesystem::path path,
+                         std::vector<std::byte> image) {
+  support::WallTimer blocked;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_submit_.wait(lock, [this] { return in_flight_ < depth_; });
+  stats_.blocked_seconds += blocked.seconds();
+  ++stats_.files;
+  ++in_flight_;
+  queue_.push_back({std::move(path), std::move(image)});
+  lock.unlock();
+  cv_work_.notify_one();
+}
+
+void AsyncWriter::drain() {
+  support::WallTimer blocked;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_submit_.wait(lock, [this] { return in_flight_ == 0; });
+  stats_.blocked_seconds += blocked.seconds();
+  if (!first_error_.empty()) {
+    const std::string err = first_error_;
+    first_error_.clear();
+    throw IoError("async write failed: " + err);
+  }
+}
+
+AsyncWriter::Stats AsyncWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncWriter::publish_obs() {
+  obs::Rank* rank = obs::tls();
+  if (rank == nullptr) return;
+  const Stats s = stats();
+  auto& reg = rank->registry();
+  // Counters are monotone: add the delta since the last publish.
+  reg.counter("io.bytes_written").add(s.bytes - published_bytes_);
+  reg.counter("io.files_written").add(s.files - published_files_);
+  published_bytes_ = s.bytes;
+  published_files_ = s.files;
+  reg.gauge("io.write_mb_per_s").set(s.mb_per_s());
+  reg.gauge("io.write_overlap_frac").set(s.overlap_frac());
+}
+
+void AsyncWriter::worker() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    support::WallTimer t;
+    std::string error;
+    try {
+      write_file_atomic(job.path, job.image);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    const double secs = t.seconds();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.write_seconds += secs;
+      if (error.empty()) {
+        stats_.bytes += job.image.size();
+      } else {
+        ++stats_.write_errors;
+        if (first_error_.empty()) first_error_ = std::move(error);
+      }
+      --in_flight_;
+    }
+    cv_submit_.notify_all();
+  }
+}
+
+}  // namespace ss::io

@@ -1,0 +1,99 @@
+// Double-buffered asynchronous snapshot writer.
+//
+// The paper's production run wrote 1.5 TB at 417 MB/s *in parallel to
+// local disks* while the treecode kept computing — output must not stall
+// the pipeline. The pattern here: the rank thread serializes step N's
+// snapshot into a memory image (BlockBuilder) and submits it; a
+// background thread ships the image to disk while the rank computes step
+// N+1. The queue is bounded (default depth 2 = classic double buffer):
+// submit() blocks only when serialization outruns the disk, and the time
+// it spends blocked is measured — overlap_frac() is the subsystem's
+// honesty metric (1.0 = the disk was fully hidden behind compute).
+//
+// Threading: one owner thread calls submit()/drain(); the worker never
+// touches obs (recorders are rank-thread-bound) — the owner publishes
+// stats through publish_obs() instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ss::io {
+
+class AsyncWriter {
+ public:
+  struct Stats {
+    std::uint64_t files = 0;          ///< Images handed to the worker.
+    std::uint64_t bytes = 0;          ///< Payload bytes written to disk.
+    double write_seconds = 0.0;       ///< Worker wall time spent writing.
+    double blocked_seconds = 0.0;     ///< Owner wall time stalled on I/O.
+    std::uint64_t write_errors = 0;   ///< Failed background writes.
+
+    /// Fraction of write time hidden behind the owner's compute.
+    double overlap_frac() const {
+      if (write_seconds <= 0.0) return 0.0;
+      const double f = 1.0 - blocked_seconds / write_seconds;
+      return f < 0.0 ? 0.0 : f;
+    }
+    double mb_per_s() const {
+      return write_seconds > 0.0
+                 ? static_cast<double>(bytes) / 1e6 / write_seconds
+                 : 0.0;
+    }
+  };
+
+  /// `depth` = maximum images in flight before submit() blocks.
+  explicit AsyncWriter(std::size_t depth = 2);
+  ~AsyncWriter();  ///< Drains pending writes, then joins the worker.
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Queue a complete file image for a durable (tmp + rename) write to
+  /// `path`. Blocks while `depth` images are already in flight; the
+  /// blocked time is charged to Stats::blocked_seconds.
+  void submit(std::filesystem::path path, std::vector<std::byte> image);
+
+  /// Block until every submitted image is on disk. Throws IoError if any
+  /// background write failed since the last drain (the checkpoint layer
+  /// must not commit a manifest over a failed stripe).
+  void drain();
+
+  /// Snapshot of the counters (owner thread; drained state is exact,
+  /// in-flight writes are still accumulating).
+  Stats stats() const;
+
+  /// Publish stats to the calling thread's obs registry (no-op when
+  /// tracing is off): io.bytes_written / io.files_written counters are
+  /// leveled to the totals, io.write_mb_per_s and io.write_overlap_frac
+  /// gauges are set.
+  void publish_obs();
+
+ private:
+  struct Job {
+    std::filesystem::path path;
+    std::vector<std::byte> image;
+  };
+
+  void worker();
+
+  const std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_submit_;  ///< Signaled when a slot frees up.
+  std::condition_variable cv_work_;    ///< Signaled when work arrives.
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;  ///< Queued + currently being written.
+  bool stop_ = false;
+  std::string first_error_;
+  Stats stats_;
+  std::uint64_t published_bytes_ = 0;  // obs leveling (counters are monotone)
+  std::uint64_t published_files_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace ss::io

@@ -1,0 +1,375 @@
+#include "io/blockfile.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/crc32.hpp"
+#include "obs/obs.hpp"
+
+namespace ss::io {
+
+namespace detail {
+
+BlockDesc make_desc(std::string_view name, DType dtype,
+                    std::uint32_t elem_size, std::uint64_t count,
+                    std::uint64_t offset, std::uint32_t payload_crc) {
+  if (name.empty() || name.size() >= kNameBytes) {
+    throw FormatError("block name must be 1.." +
+                      std::to_string(kNameBytes - 1) + " bytes: '" +
+                      std::string(name) + "'");
+  }
+  if (elem_size == 0) {
+    throw FormatError("block '" + std::string(name) +
+                      "': element size must be positive");
+  }
+  BlockDesc d{};
+  std::memcpy(d.name, name.data(), name.size());
+  d.dtype = static_cast<std::uint32_t>(dtype);
+  d.elem_size = elem_size;
+  d.count = count;
+  d.offset = offset;
+  d.payload_bytes = count * elem_size;
+  d.payload_crc = payload_crc;
+  d.desc_crc = crc32(&d, offsetof(BlockDesc, desc_crc));
+  return d;
+}
+
+}  // namespace detail
+
+using detail::BlockDesc;
+using detail::FileHeader;
+
+namespace {
+
+FileHeader make_header(std::uint64_t block_count, std::uint64_t index_offset,
+                       std::uint64_t file_bytes) {
+  FileHeader h{};
+  std::memcpy(h.magic, detail::kMagic, sizeof(h.magic));
+  h.version = kFormatVersion;
+  h.endian = detail::kEndianTag;
+  h.block_count = block_count;
+  h.index_offset = index_offset;
+  h.file_bytes = file_bytes;
+  h.header_crc = crc32(&h, offsetof(FileHeader, header_crc));
+  return h;
+}
+
+BlockInfo info_of(const BlockDesc& d) {
+  BlockInfo b;
+  const std::size_t len =
+      ::strnlen(d.name, detail::kNameBytes);  // names are NUL-padded
+  b.name.assign(d.name, len);
+  b.dtype = static_cast<DType>(d.dtype);
+  b.elem_size = d.elem_size;
+  b.count = d.count;
+  b.offset = d.offset;
+  b.payload_bytes = d.payload_bytes;
+  b.payload_crc = d.payload_crc;
+  return b;
+}
+
+void check_unique(const std::vector<BlockDesc>& descs, std::string_view name) {
+  for (const BlockDesc& d : descs) {
+    if (::strnlen(d.name, detail::kNameBytes) == name.size() &&
+        std::memcmp(d.name, name.data(), name.size()) == 0) {
+      throw FormatError("duplicate block name '" + std::string(name) + "'");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockBuilder.
+// ---------------------------------------------------------------------------
+
+BlockBuilder::BlockBuilder() {
+  image_.resize(sizeof(FileHeader));  // placeholder; patched in finish()
+}
+
+void BlockBuilder::require_open(const char* op) const {
+  if (finished_) {
+    throw FormatError(std::string("BlockBuilder: ") + op +
+                      " after finish()");
+  }
+}
+
+void BlockBuilder::add(std::string_view name, DType dtype,
+                       std::uint32_t elem_size, std::uint64_t count,
+                       std::span<const std::byte> payload) {
+  require_open("add()");
+  check_unique(descs_, name);
+  if (payload.size() != count * elem_size) {
+    throw FormatError("block '" + std::string(name) +
+                      "': payload size disagrees with count * elem_size");
+  }
+  const std::uint64_t offset = image_.size();
+  image_.insert(image_.end(), payload.begin(), payload.end());
+  descs_.push_back(detail::make_desc(name, dtype, elem_size, count, offset,
+                                     crc32(payload)));
+}
+
+std::vector<std::byte> BlockBuilder::finish() {
+  require_open("finish()");
+  finished_ = true;
+  const std::uint64_t index_offset = image_.size();
+  const std::size_t index_bytes = descs_.size() * sizeof(BlockDesc);
+  image_.resize(image_.size() + index_bytes);
+  if (index_bytes > 0) {
+    std::memcpy(image_.data() + index_offset, descs_.data(), index_bytes);
+  }
+  const FileHeader h = make_header(descs_.size(), index_offset, image_.size());
+  std::memcpy(image_.data(), &h, sizeof(h));
+  return std::move(image_);
+}
+
+// ---------------------------------------------------------------------------
+// BlockFileWriter.
+// ---------------------------------------------------------------------------
+
+BlockFileWriter::BlockFileWriter(std::filesystem::path path)
+    : path_(std::move(path)) {
+  file_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!file_) {
+    throw IoError("cannot open " + path_.string() + " for writing");
+  }
+  // Reserve the header slot; the real header lands in finish(). A reader
+  // opening the file before then sees zeroed magic and rejects it.
+  const FileHeader zero{};
+  file_.write(reinterpret_cast<const char*>(&zero), sizeof(zero));
+  cursor_ = sizeof(FileHeader);
+}
+
+void BlockFileWriter::begin_block(std::string_view name, DType dtype,
+                                  std::uint32_t elem_size) {
+  if (finished_) throw FormatError("BlockFileWriter: add after finish()");
+  if (in_block_) throw FormatError("BlockFileWriter: nested begin_block()");
+  check_unique(descs_, name);
+  if (elem_size == 0) {
+    throw FormatError("block '" + std::string(name) +
+                      "': element size must be positive");
+  }
+  in_block_ = true;
+  cur_name_.assign(name);
+  cur_dtype_ = dtype;
+  cur_elem_ = elem_size;
+  cur_offset_ = cursor_;
+  cur_bytes_ = 0;
+  cur_crc_ = 0;
+}
+
+void BlockFileWriter::append_payload(std::span<const std::byte> bytes) {
+  if (!in_block_) {
+    throw FormatError("BlockFileWriter: append outside begin/end block");
+  }
+  file_.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  if (!file_) throw IoError("write failed on " + path_.string());
+  cur_crc_ = crc32(bytes, cur_crc_);
+  cur_bytes_ += bytes.size();
+  cursor_ += bytes.size();
+}
+
+void BlockFileWriter::end_block() {
+  if (!in_block_) throw FormatError("BlockFileWriter: end without begin");
+  if (cur_bytes_ % cur_elem_ != 0) {
+    throw FormatError("block '" + cur_name_ +
+                      "': streamed bytes not a multiple of element size");
+  }
+  descs_.push_back(detail::make_desc(cur_name_, cur_dtype_, cur_elem_,
+                                     cur_bytes_ / cur_elem_, cur_offset_,
+                                     cur_crc_));
+  infos_.push_back(info_of(descs_.back()));
+  in_block_ = false;
+}
+
+void BlockFileWriter::add(std::string_view name, DType dtype,
+                          std::uint32_t elem_size, std::uint64_t count,
+                          std::span<const std::byte> payload) {
+  if (payload.size() != count * elem_size) {
+    throw FormatError("block '" + std::string(name) +
+                      "': payload size disagrees with count * elem_size");
+  }
+  begin_block(name, dtype, elem_size);
+  append_payload(payload);
+  end_block();
+}
+
+void BlockFileWriter::finish() {
+  if (finished_) return;
+  if (in_block_) throw FormatError("BlockFileWriter: finish inside a block");
+  finished_ = true;
+  const std::uint64_t index_offset = cursor_;
+  if (!descs_.empty()) {
+    file_.write(reinterpret_cast<const char*>(descs_.data()),
+                static_cast<std::streamsize>(descs_.size() *
+                                             sizeof(BlockDesc)));
+    cursor_ += descs_.size() * sizeof(BlockDesc);
+  }
+  const FileHeader h = make_header(descs_.size(), index_offset, cursor_);
+  file_.seekp(0);
+  file_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  file_.flush();
+  if (!file_) throw IoError("finalize failed on " + path_.string());
+}
+
+// ---------------------------------------------------------------------------
+// write_file_atomic.
+// ---------------------------------------------------------------------------
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::span<const std::byte> image) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw IoError("cannot open " + tmp.string() + " for writing");
+    os.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(image.size()));
+    os.flush();
+    if (!os) throw IoError("write failed on " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("rename " + tmp.string() + " -> " + path.string() +
+                  " failed: " + ec.message());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BlockReader.
+// ---------------------------------------------------------------------------
+
+BlockReader::BlockReader(const std::filesystem::path& path)
+    : origin_(path.string()) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw IoError("cannot open " + origin_);
+  const std::streamoff size = is.tellg();
+  is.seekg(0);
+  image_.resize(static_cast<std::size_t>(size));
+  if (size > 0) {
+    is.read(reinterpret_cast<char*>(image_.data()), size);
+  }
+  if (!is) throw IoError("read failed on " + origin_);
+  parse();
+}
+
+BlockReader::BlockReader(std::vector<std::byte> image, std::string origin)
+    : origin_(std::move(origin)), image_(std::move(image)) {
+  parse();
+}
+
+void BlockReader::parse() {
+  if (image_.size() < sizeof(FileHeader)) {
+    throw FormatError(origin_ + ": truncated (shorter than the header)");
+  }
+  FileHeader h;
+  std::memcpy(&h, image_.data(), sizeof(h));
+  if (std::memcmp(h.magic, detail::kMagic, sizeof(h.magic)) != 0) {
+    throw FormatError(origin_ + ": bad magic (not a block file)");
+  }
+  if (h.version != kFormatVersion) {
+    throw FormatError(origin_ + ": unsupported format version " +
+                      std::to_string(h.version) + " (reader speaks " +
+                      std::to_string(kFormatVersion) + ")");
+  }
+  if (h.endian != detail::kEndianTag) {
+    throw FormatError(origin_ + ": foreign endianness");
+  }
+  if (h.header_crc != crc32(&h, offsetof(FileHeader, header_crc))) {
+    throw CrcError(origin_ + ": header checksum mismatch");
+  }
+  if (h.file_bytes != image_.size()) {
+    throw FormatError(origin_ + ": size mismatch (header says " +
+                      std::to_string(h.file_bytes) + " bytes, file has " +
+                      std::to_string(image_.size()) +
+                      ") — truncated or trailing garbage");
+  }
+  const std::uint64_t index_bytes = h.block_count * sizeof(BlockDesc);
+  if (h.index_offset > image_.size() ||
+      index_bytes > image_.size() - h.index_offset) {
+    throw FormatError(origin_ + ": index out of bounds");
+  }
+  blocks_.reserve(h.block_count);
+  for (std::uint64_t i = 0; i < h.block_count; ++i) {
+    BlockDesc d;
+    std::memcpy(&d, image_.data() + h.index_offset + i * sizeof(BlockDesc),
+                sizeof(d));
+    if (d.desc_crc != crc32(&d, offsetof(BlockDesc, desc_crc))) {
+      throw CrcError(origin_ + ": block descriptor " + std::to_string(i) +
+                     " checksum mismatch");
+    }
+    if (d.elem_size == 0 || d.payload_bytes != d.count * d.elem_size) {
+      throw FormatError(origin_ + ": block descriptor " + std::to_string(i) +
+                        " inconsistent sizes");
+    }
+    if (d.offset > image_.size() ||
+        d.payload_bytes > image_.size() - d.offset) {
+      throw FormatError(origin_ + ": block descriptor " + std::to_string(i) +
+                        " payload out of bounds");
+    }
+    blocks_.push_back(info_of(d));
+  }
+}
+
+const BlockInfo* BlockReader::find(std::string_view name) const {
+  for (const BlockInfo& b : blocks_) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+const BlockInfo& BlockReader::info(std::string_view name) const {
+  if (const BlockInfo* b = find(name)) return *b;
+  throw FormatError(origin_ + ": no block named '" + std::string(name) + "'");
+}
+
+void BlockReader::check_type(const BlockInfo& b, DType want,
+                             std::uint32_t elem) const {
+  if (b.elem_size != elem || (b.dtype != want && b.dtype != DType::raw &&
+                              want != DType::raw)) {
+    throw FormatError(origin_ + ": block '" + b.name +
+                      "' type mismatch (stored dtype " +
+                      std::to_string(static_cast<std::uint32_t>(b.dtype)) +
+                      " elem " + std::to_string(b.elem_size) +
+                      ", requested dtype " +
+                      std::to_string(static_cast<std::uint32_t>(want)) +
+                      " elem " + std::to_string(elem) + ")");
+  }
+}
+
+std::span<const std::byte> BlockReader::payload_checked(
+    const BlockInfo& b) const {
+  const std::span<const std::byte> payload(image_.data() + b.offset,
+                                           b.payload_bytes);
+  if (crc32(payload) != b.payload_crc) {
+    if (obs::Counter* c = obs::counter("io.crc_failures")) c->add(1);
+    throw CrcError(origin_ + ": block '" + b.name +
+                   "' payload checksum mismatch (corrupt data)");
+  }
+  return payload;
+}
+
+std::uint64_t BlockReader::read_u64(std::string_view name) const {
+  const auto v = read<std::uint64_t>(name);
+  if (v.size() != 1) {
+    throw FormatError(origin_ + ": block '" + std::string(name) +
+                      "' is not a scalar");
+  }
+  return v[0];
+}
+
+double BlockReader::read_f64(std::string_view name) const {
+  const auto v = read<double>(name);
+  if (v.size() != 1) {
+    throw FormatError(origin_ + ": block '" + std::string(name) +
+                      "' is not a scalar");
+  }
+  return v[0];
+}
+
+void BlockReader::verify_all() const {
+  for (const BlockInfo& b : blocks_) (void)payload_checked(b);
+}
+
+}  // namespace ss::io

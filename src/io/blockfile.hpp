@@ -1,0 +1,306 @@
+// Self-describing block container — the on-disk unit of the snapshot and
+// checkpoint subsystem (SDF-inspired: Warren & Salmon's self-describing
+// files, here with a binary index instead of a parsed ASCII preamble).
+//
+// Layout (little-endian, fixed-width fields):
+//
+//   FileHeader   magic "SSBLOCK1", version, endian tag, block count,
+//                index offset, total file bytes, header CRC32
+//   payload 0    raw bytes of block 0
+//   payload 1    ...
+//   index        BlockDesc[block_count]: name, dtype, element size,
+//                count, payload offset/bytes, payload CRC32, desc CRC32
+//
+// Every structural record carries its own CRC; payload CRCs are verified
+// on read. Readers reject wrong magic, unsupported versions, foreign
+// endianness, size mismatches (truncation / trailing garbage) and
+// checksum failures with typed errors so callers can distinguish "not a
+// snapshot" from "a damaged snapshot" — the checkpoint fallback logic
+// depends on that distinction.
+//
+// Three entry points:
+//   BlockBuilder     serialize blocks into an in-memory file image (the
+//                    async writer ships the image to disk off-thread)
+//   BlockFileWriter  stream blocks straight to a file (out-of-core store:
+//                    payloads larger than memory)
+//   BlockReader      validate + read either form
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss::io {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Base class of every I/O subsystem error.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Structural problem: wrong magic, unsupported version, truncated file,
+/// unknown block, type mismatch. The file is not (or is no longer) a
+/// well-formed block file of this version.
+struct FormatError : IoError {
+  using IoError::IoError;
+};
+
+/// Integrity problem: a CRC32 check failed. The file is structurally
+/// plausible but its bits are damaged.
+struct CrcError : IoError {
+  using IoError::IoError;
+};
+
+/// Element type of a block. `raw` covers trivially-copyable structs; the
+/// element size in the descriptor keeps such blocks self-describing
+/// enough for tools to skip or dump them.
+enum class DType : std::uint32_t {
+  u8 = 1,
+  u32 = 2,
+  u64 = 3,
+  i32 = 4,
+  i64 = 5,
+  f32 = 6,
+  f64 = 7,
+  raw = 8,
+};
+
+template <typename T>
+constexpr DType dtype_of() {
+  if constexpr (std::is_same_v<T, std::uint8_t> ||
+                std::is_same_v<T, std::byte>) {
+    return DType::u8;
+  } else if constexpr (std::is_same_v<T, std::uint32_t>) {
+    return DType::u32;
+  } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+    return DType::u64;
+  } else if constexpr (std::is_same_v<T, std::int32_t>) {
+    return DType::i32;
+  } else if constexpr (std::is_same_v<T, std::int64_t>) {
+    return DType::i64;
+  } else if constexpr (std::is_same_v<T, float>) {
+    return DType::f32;
+  } else if constexpr (std::is_same_v<T, double>) {
+    return DType::f64;
+  } else {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "block elements must be trivially copyable");
+    return DType::raw;
+  }
+}
+
+/// Parsed block metadata (descriptor minus wire padding).
+struct BlockInfo {
+  std::string name;
+  DType dtype = DType::raw;
+  std::uint32_t elem_size = 0;
+  std::uint64_t count = 0;
+  std::uint64_t offset = 0;         ///< Payload byte offset in the file.
+  std::uint64_t payload_bytes = 0;  ///< == count * elem_size.
+  std::uint32_t payload_crc = 0;
+};
+
+namespace detail {
+
+inline constexpr std::size_t kNameBytes = 24;
+inline constexpr char kMagic[8] = {'S', 'S', 'B', 'L', 'O', 'C', 'K', '1'};
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian;
+  std::uint64_t block_count;
+  std::uint64_t index_offset;
+  std::uint64_t file_bytes;
+  std::uint32_t reserved;
+  std::uint32_t header_crc;  ///< CRC32 of all preceding fields.
+};
+static_assert(sizeof(FileHeader) == 48);
+
+struct BlockDesc {
+  char name[kNameBytes];
+  std::uint32_t dtype;
+  std::uint32_t elem_size;
+  std::uint64_t count;
+  std::uint64_t offset;
+  std::uint64_t payload_bytes;
+  std::uint32_t payload_crc;
+  std::uint32_t desc_crc;  ///< CRC32 of all preceding fields.
+};
+static_assert(sizeof(BlockDesc) == 64);
+
+BlockDesc make_desc(std::string_view name, DType dtype,
+                    std::uint32_t elem_size, std::uint64_t count,
+                    std::uint64_t offset, std::uint32_t payload_crc);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Writers.
+// ---------------------------------------------------------------------------
+
+/// Serializes a complete block file into memory. finish() returns the
+/// file image; pair with AsyncWriter to overlap the disk write with
+/// compute, or with write_file_atomic for a synchronous path.
+class BlockBuilder {
+ public:
+  BlockBuilder();
+
+  /// Append a block. Names must be non-empty, unique, and at most 23
+  /// bytes. `payload.size()` must equal `count * elem_size`.
+  void add(std::string_view name, DType dtype, std::uint32_t elem_size,
+           std::uint64_t count, std::span<const std::byte> payload);
+
+  template <typename T>
+  void add(std::string_view name, std::span<const T> items) {
+    add(name, dtype_of<T>(), sizeof(T), items.size(),
+        {reinterpret_cast<const std::byte*>(items.data()),
+         items.size() * sizeof(T)});
+  }
+
+  void add_scalar(std::string_view name, std::uint64_t v) {
+    add<std::uint64_t>(name, std::span<const std::uint64_t>(&v, 1));
+  }
+  void add_scalar(std::string_view name, double v) {
+    add<double>(name, std::span<const double>(&v, 1));
+  }
+
+  /// Append the index, patch the header, and hand the image over. The
+  /// builder is spent afterwards; further calls throw.
+  std::vector<std::byte> finish();
+
+  /// Bytes accumulated so far (header + payloads; index pending).
+  std::uint64_t bytes() const { return image_.size(); }
+  std::size_t block_count() const { return descs_.size(); }
+
+ private:
+  void require_open(const char* op) const;
+
+  std::vector<std::byte> image_;
+  std::vector<detail::BlockDesc> descs_;
+  bool finished_ = false;
+};
+
+/// Streams blocks straight to a file, payload by payload, so the working
+/// set stays one block regardless of total size (the out-of-core path).
+/// The header is finalized by finish(); a file missing it (crash, kill)
+/// fails validation on open — which is exactly the commit semantics the
+/// checkpoint layer wants.
+class BlockFileWriter {
+ public:
+  explicit BlockFileWriter(std::filesystem::path path);
+
+  /// Open a block: subsequent append_payload() calls stream its bytes.
+  void begin_block(std::string_view name, DType dtype,
+                   std::uint32_t elem_size);
+  void append_payload(std::span<const std::byte> bytes);
+  template <typename T>
+  void append_items(std::span<const T> items) {
+    append_payload({reinterpret_cast<const std::byte*>(items.data()),
+                    items.size() * sizeof(T)});
+  }
+  void end_block();
+
+  /// One-shot block (begin + append + end).
+  void add(std::string_view name, DType dtype, std::uint32_t elem_size,
+           std::uint64_t count, std::span<const std::byte> payload);
+
+  /// Write index + final header and flush. Idempotent.
+  void finish();
+
+  bool finished() const { return finished_; }
+  std::uint64_t bytes() const { return cursor_; }
+  const std::filesystem::path& path() const { return path_; }
+  const std::vector<BlockInfo>& blocks() const { return infos_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream file_;
+  std::vector<detail::BlockDesc> descs_;
+  std::vector<BlockInfo> infos_;
+  std::uint64_t cursor_ = 0;
+  // In-flight block state.
+  bool in_block_ = false;
+  std::string cur_name_;
+  DType cur_dtype_ = DType::raw;
+  std::uint32_t cur_elem_ = 0;
+  std::uint64_t cur_offset_ = 0;
+  std::uint64_t cur_bytes_ = 0;
+  std::uint32_t cur_crc_ = 0;
+  bool finished_ = false;
+};
+
+/// Durable whole-file write: write to `path` + ".tmp", flush, then rename
+/// over `path` so readers never observe a half-written file.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::span<const std::byte> image);
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+/// Validates and reads a block file (from disk or an in-memory image).
+/// Construction verifies the structure (magic, version, endianness, size,
+/// header + index CRCs); payload CRCs are verified on each read so a
+/// damaged block is detected exactly when its bytes are consumed.
+class BlockReader {
+ public:
+  /// Load and validate a file. Throws FormatError / CrcError.
+  explicit BlockReader(const std::filesystem::path& path);
+  /// Validate an in-memory image (tests, tooling).
+  explicit BlockReader(std::vector<std::byte> image,
+                       std::string origin = "<memory>");
+
+  const std::vector<BlockInfo>& blocks() const { return blocks_; }
+  bool has(std::string_view name) const { return find(name) != nullptr; }
+  const BlockInfo* find(std::string_view name) const;
+  /// Like find(), but throws FormatError when absent.
+  const BlockInfo& info(std::string_view name) const;
+
+  /// Typed read with payload CRC verification. Throws FormatError on a
+  /// missing block or a dtype/element-size mismatch, CrcError on damage
+  /// (also bumps the caller thread's `io.crc_failures` obs counter).
+  template <typename T>
+  std::vector<T> read(std::string_view name) const {
+    const BlockInfo& b = info(name);
+    check_type(b, dtype_of<T>(), sizeof(T));
+    const auto bytes = payload_checked(b);
+    std::vector<T> out(b.count);
+    if (!bytes.empty()) {
+      std::memcpy(out.data(), bytes.data(), bytes.size());
+    }
+    return out;
+  }
+
+  std::uint64_t read_u64(std::string_view name) const;
+  double read_f64(std::string_view name) const;
+
+  /// Raw payload bytes of a block, CRC-verified.
+  std::span<const std::byte> payload_checked(const BlockInfo& b) const;
+
+  /// Verify every payload CRC (restore-time full validation). Throws
+  /// CrcError on the first damaged block.
+  void verify_all() const;
+
+  /// Where this image came from (path or "<memory>"), for error text.
+  const std::string& origin() const { return origin_; }
+  std::uint64_t file_bytes() const { return image_.size(); }
+
+ private:
+  void parse();
+  void check_type(const BlockInfo& b, DType want, std::uint32_t elem) const;
+
+  std::string origin_;
+  std::vector<std::byte> image_;
+  std::vector<BlockInfo> blocks_;
+};
+
+}  // namespace ss::io

@@ -1,0 +1,191 @@
+#include "io/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/obs.hpp"
+#include "support/timer.hpp"
+
+namespace ss::io {
+
+CheckpointStore::CheckpointStore(ss::vmpi::Comm& comm, Config cfg)
+    : comm_(comm), cfg_(std::move(cfg)) {
+  if (cfg_.keep < 2) cfg_.keep = 2;
+  if (cfg_.async) writer_ = std::make_unique<AsyncWriter>(2);
+}
+
+CheckpointStore::~CheckpointStore() = default;  // writer_ dtor drains
+
+std::filesystem::path CheckpointStore::generation_dir(
+    const std::filesystem::path& dir, std::uint64_t generation) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "gen_%08llu",
+                static_cast<unsigned long long>(generation));
+  return dir / buf;
+}
+
+std::vector<std::uint64_t> CheckpointStore::list_generations(
+    const std::filesystem::path& dir) {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec), end;
+  if (ec) return out;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    const std::string base = it->path().filename().string();
+    unsigned long long gen = 0;
+    if (std::sscanf(base.c_str(), "gen_%llu", &gen) == 1) {
+      out.push_back(gen);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CheckpointStore::commit_pending() {
+  if (!pending_) return;
+  if (writer_ != nullptr) writer_->drain();  // stripe durable (or throw)
+  commit_snapshot(comm_, generation_dir(cfg_.dir, *pending_), cfg_.name,
+                  *pending_, pending_time_, pending_count_, pending_bytes_);
+  pending_.reset();
+  prune();
+}
+
+void CheckpointStore::prune() {
+  if (comm_.rank() == 0) {
+    // Keep the newest `keep` committed generations; drop older ones and
+    // any stale uncommitted directory below them (debris of a failed
+    // attempt that has since been superseded).
+    std::vector<std::uint64_t> committed;
+    for (std::uint64_t g : list_generations(cfg_.dir)) {
+      if (read_manifest_nothrow(g)) committed.push_back(g);
+    }
+    if (committed.size() > static_cast<std::size_t>(cfg_.keep)) {
+      const std::uint64_t cutoff =
+          committed[committed.size() - static_cast<std::size_t>(cfg_.keep)];
+      for (std::uint64_t g : list_generations(cfg_.dir)) {
+        if (g < cutoff) {
+          std::error_code ec;
+          std::filesystem::remove_all(generation_dir(cfg_.dir, g), ec);
+        }
+      }
+    }
+  }
+  comm_.barrier();
+}
+
+bool CheckpointStore::read_manifest_nothrow(std::uint64_t gen) const {
+  try {
+    return read_manifest(generation_dir(cfg_.dir, gen), cfg_.name)
+        .has_value();
+  } catch (...) {
+    return false;  // present but damaged: not a committed generation
+  }
+}
+
+SnapshotWriteStats CheckpointStore::save(
+    std::uint64_t step, double time, std::uint64_t count,
+    const std::function<void(BlockBuilder&)>& fill) {
+  obs::ScopedPhase phase("io.checkpoint");
+  commit_pending();
+
+  const auto gen_dir = generation_dir(cfg_.dir, step);
+  if (comm_.rank() == 0) {
+    // Re-saving a generation id (recovery replay): uncommit it first so
+    // no reader can pair the new stripes with the old manifest.
+    std::error_code ec;
+    std::filesystem::remove(manifest_path(gen_dir, cfg_.name), ec);
+  }
+
+  SnapshotWriteStats st =
+      write_snapshot(comm_, gen_dir, cfg_.name, step, time, count, fill,
+                     writer_.get());
+  if (writer_ != nullptr) {
+    pending_ = step;
+    pending_time_ = time;
+    pending_count_ = count;
+    pending_bytes_ = st.bytes;
+    writer_->publish_obs();
+  } else {
+    sync_stats_.files += 1;
+    sync_stats_.bytes += st.bytes;
+    sync_stats_.write_seconds += st.write_seconds;
+    sync_stats_.blocked_seconds += st.write_seconds;  // fully blocking
+    prune();
+  }
+  return st;
+}
+
+void CheckpointStore::finalize() {
+  commit_pending();
+  if (writer_ != nullptr) writer_->publish_obs();
+}
+
+AsyncWriter::Stats CheckpointStore::io_stats() const {
+  return writer_ != nullptr ? writer_->stats() : sync_stats_;
+}
+
+std::optional<RestoredGeneration> CheckpointStore::restore_latest() {
+  obs::ScopedPhase phase("io.restore");
+  // Rank 0 enumerates (one authoritative scan), newest first.
+  std::vector<std::uint64_t> gens;
+  if (comm_.rank() == 0) gens = list_generations(cfg_.dir);
+  comm_.bcast(gens, 0);
+  std::sort(gens.rbegin(), gens.rend());
+
+  int fallbacks = 0;
+  for (std::uint64_t gen : gens) {
+    // Every rank validates the whole generation; a single dissenting
+    // rank (its read raced a partial file, its stripe is damaged...)
+    // vetoes it for everyone so the restart state stays consistent.
+    RestoredGeneration out;
+    int ok = 1;
+    try {
+      const auto dir = generation_dir(cfg_.dir, gen);
+      auto m = read_manifest(dir, cfg_.name);
+      if (!m) {
+        ok = 0;  // uncommitted: stripes without a marker
+      } else {
+        out.manifest = std::move(*m);
+        out.stripes = read_stripes(dir, cfg_.name, out.manifest);
+        for (const BlockReader& r : out.stripes) r.verify_all();
+      }
+    } catch (const IoError&) {
+      ok = 0;
+    }
+    const int agreed = comm_.allreduce_value<int>(
+        ok, [](int a, int b) { return a < b ? a : b; });
+    if (agreed == 1) {
+      out.generation = gen;
+      out.fallbacks = fallbacks;
+      if (obs::Gauge* g = obs::gauge("io.restore_fallbacks")) {
+        g->set(static_cast<double>(fallbacks));
+      }
+      return out;
+    }
+    ++fallbacks;
+    if (obs::Counter* c = obs::counter("io.generations_rejected")) c->add(1);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Interval analysis.
+// ---------------------------------------------------------------------------
+
+double optimal_checkpoint_interval(double checkpoint_cost, double mtbf) {
+  if (checkpoint_cost <= 0.0 || mtbf <= 0.0) return 0.0;
+  return std::sqrt(2.0 * checkpoint_cost * mtbf);
+}
+
+double checkpoint_overhead(double interval, double checkpoint_cost,
+                           double mtbf) {
+  if (interval <= 0.0 || mtbf <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return checkpoint_cost / interval + interval / (2.0 * mtbf);
+}
+
+}  // namespace ss::io

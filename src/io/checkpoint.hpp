@@ -1,0 +1,129 @@
+// Checkpoint generations over striped snapshots, plus the classic
+// checkpoint-interval analysis that links the Sec 2.1 reliability model
+// to this subsystem.
+//
+// A checkpoint run produces a sequence of *generations* under one
+// directory:
+//
+//   DIR/gen_00000010/ckpt.r0000.ssb ... ckpt.manifest.ssb
+//   DIR/gen_00000020/...
+//
+// (the generation id is the step number). CheckpointStore pipelines
+// them: save() serializes this rank's stripe and hands it to the
+// AsyncWriter, so the disk write overlaps the next interval of force
+// computation; the generation *commits* (rank 0 writes the manifest) at
+// the next save()/finalize(), after every rank's writer has drained. A
+// rank dying mid-interval therefore leaves at most one uncommitted
+// generation, which restore_latest() skips by construction — and a
+// damaged committed generation (CRC or structure) makes restore fall
+// back to the one before it.
+//
+// restore_latest() is rank-count agnostic: a manifest written by P ranks
+// restores onto any Q ranks (each new rank takes a contiguous slice of
+// the rank-major concatenation; per-element payloads ride along).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/async_writer.hpp"
+#include "io/snapshot.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::io {
+
+/// A restored, validated generation: the manifest plus one BlockReader
+/// per original stripe (payload CRCs all verified).
+struct RestoredGeneration {
+  std::uint64_t generation = 0;
+  Manifest manifest;
+  std::vector<BlockReader> stripes;
+  int fallbacks = 0;  ///< Newer generations skipped as invalid/damaged.
+};
+
+class CheckpointStore {
+ public:
+  struct Config {
+    std::filesystem::path dir;
+    /// Committed generations retained on disk (>= 2: the one being
+    /// superseded must survive until its successor commits).
+    int keep = 3;
+    /// Overlap stripe writes with compute through an AsyncWriter. Off =
+    /// synchronous stripes and immediate commit (simplest semantics).
+    bool async = true;
+    std::string name = "ckpt";
+  };
+
+  CheckpointStore(ss::vmpi::Comm& comm, Config cfg);
+  ~CheckpointStore();  ///< Drains this rank's writer. Does NOT commit.
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Collective. Commits the previous pending generation (async path),
+  /// then serializes this rank's stripe via `fill` and starts writing
+  /// generation `step`. `count` is this rank's element count (manifest
+  /// slicing unit — bodies, for the N-body wiring).
+  SnapshotWriteStats save(std::uint64_t step, double time,
+                          std::uint64_t count,
+                          const std::function<void(BlockBuilder&)>& fill);
+
+  /// Collective. Commit the pending generation, if any. Call at the end
+  /// of a run so the final checkpoint becomes restorable.
+  void finalize();
+
+  /// Collective. Newest valid generation, walking backwards over
+  /// corrupt or uncommitted ones (every skip is agreed by all ranks).
+  /// nullopt when no generation validates.
+  std::optional<RestoredGeneration> restore_latest();
+
+  /// Committed + pending generation ids, ascending (filesystem scan).
+  static std::vector<std::uint64_t> list_generations(
+      const std::filesystem::path& dir);
+  static std::filesystem::path generation_dir(
+      const std::filesystem::path& dir, std::uint64_t generation);
+
+  AsyncWriter::Stats io_stats() const;
+  std::optional<std::uint64_t> pending_generation() const {
+    return pending_;
+  }
+  const Config& config() const { return cfg_; }
+
+ private:
+  void commit_pending();
+  void prune();
+  /// True when generation `gen` has a readable, well-formed manifest.
+  bool read_manifest_nothrow(std::uint64_t gen) const;
+
+  ss::vmpi::Comm& comm_;
+  Config cfg_;
+  std::unique_ptr<AsyncWriter> writer_;  // null on the sync path
+  AsyncWriter::Stats sync_stats_;        // stats for the sync path
+  std::optional<std::uint64_t> pending_;
+  double pending_time_ = 0.0;
+  std::uint64_t pending_count_ = 0;
+  std::uint64_t pending_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Optimal checkpoint interval (Young 1974): with checkpoint cost C and
+// exponential failures at MTBF M, the first-order overhead of interval
+// tau is C/tau (writing) + tau/(2M) (expected recomputation), minimized
+// at tau* = sqrt(2 C M). bench_sec21_reliability tabulates this against
+// the paper's component failure rates.
+// ---------------------------------------------------------------------------
+
+/// tau* = sqrt(2 * checkpoint_cost * mtbf) (same unit as the inputs).
+double optimal_checkpoint_interval(double checkpoint_cost, double mtbf);
+
+/// First-order overhead fraction C/tau + tau/(2M), the run-time tax of
+/// checkpointing every tau.
+double checkpoint_overhead(double interval, double checkpoint_cost,
+                           double mtbf);
+
+}  // namespace ss::io

@@ -1,0 +1,39 @@
+#include "io/crc32.hpp"
+
+#include <array>
+
+namespace ss::io {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t crc) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t crc) {
+  return crc32(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), bytes),
+      crc);
+}
+
+}  // namespace ss::io

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the per-block
+// integrity check of the snapshot format. Table-driven, processing one
+// byte per step; at snapshot sizes the cost is dwarfed by the file write.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ss::io {
+
+/// CRC of `data`, continuing from `crc` (pass 0 to start). Chainable:
+/// crc32(b, crc32(a)) == crc32(ab).
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t crc = 0);
+
+/// Convenience for raw buffers.
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t crc = 0);
+
+}  // namespace ss::io

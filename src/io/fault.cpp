@@ -1,0 +1,86 @@
+#include "io/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "support/rng.hpp"
+
+namespace ss::io {
+
+namespace {
+
+std::vector<FaultInjector::Kill> normalized(
+    std::vector<FaultInjector::Kill> kills) {
+  std::sort(kills.begin(), kills.end(),
+            [](const FaultInjector::Kill& a, const FaultInjector::Kill& b) {
+              return a.step != b.step ? a.step < b.step : a.rank < b.rank;
+            });
+  kills.erase(std::unique(kills.begin(), kills.end(),
+                          [](const FaultInjector::Kill& a,
+                             const FaultInjector::Kill& b) {
+                            return a.rank == b.rank && a.step == b.step;
+                          }),
+              kills.end());
+  return kills;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::vector<Kill> schedule)
+    : kills_(normalized(std::move(schedule))) {
+  if (!kills_.empty()) {
+    fired_flags_ = std::make_unique<std::atomic<bool>[]>(kills_.size());
+    for (std::size_t i = 0; i < kills_.size(); ++i) {
+      fired_flags_[i].store(false, std::memory_order_relaxed);
+    }
+  }
+}
+
+FaultInjector FaultInjector::from_mtbf(double mtbf_hours, double step_hours,
+                                       int nranks, std::uint64_t max_step,
+                                       std::uint64_t seed) {
+  std::vector<Kill> kills;
+  if (mtbf_hours > 0.0 && step_hours > 0.0 && nranks > 0) {
+    ss::support::Rng rng(seed);
+    double hours = 0.0;
+    for (;;) {
+      hours += rng.exponential(1.0 / mtbf_hours);
+      const double step = std::floor(hours / step_hours);
+      if (step > static_cast<double>(max_step)) break;
+      Kill k;
+      k.rank = static_cast<int>(rng.below(static_cast<std::uint64_t>(nranks)));
+      k.step = static_cast<std::uint64_t>(step);
+      kills.push_back(k);
+    }
+  }
+  return FaultInjector(std::move(kills));
+}
+
+void FaultInjector::tick(int rank, std::uint64_t step) {
+  for (std::size_t i = 0; i < kills_.size(); ++i) {
+    if (kills_[i].rank != rank || kills_[i].step != step) continue;
+    bool expected = false;
+    if (fired_flags_[i].compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      if (obs::Counter* c = obs::counter("io.faults_injected")) c->add(1);
+      throw RankFailure(rank, step);
+    }
+  }
+}
+
+void FaultInjector::disarm() {
+  for (std::size_t i = 0; i < kills_.size(); ++i) {
+    fired_flags_[i].store(true, std::memory_order_release);
+  }
+}
+
+std::size_t FaultInjector::fired() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kills_.size(); ++i) {
+    if (fired_flags_[i].load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+}  // namespace ss::io

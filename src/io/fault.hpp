@@ -1,0 +1,88 @@
+// Deterministic fault injection for checkpoint/restart testing.
+//
+// A FaultInjector holds a schedule of (rank, step) kill points. The
+// integration loop calls tick(rank, step) once per rank per step; when a
+// scheduled point is reached the injector throws RankFailure on that
+// rank, modeling a node dying mid-run. vmpi::Runtime::run tears the
+// whole virtual job down and rethrows the failure, so a supervisor loop
+// (nbody::run_with_recovery) can catch it and restart every rank from
+// the last committed checkpoint generation.
+//
+// Each schedule entry fires exactly once per injector lifetime: the
+// injector outlives restart attempts (it lives in the supervisor, not
+// inside the per-attempt Runtime), so a kill consumed on attempt k does
+// not re-fire on attempt k+1 — the restarted run sails past the step
+// that killed its predecessor, which is exactly the recovery semantics
+// the end-to-end test asserts.
+//
+// Schedules come from two constructors:
+//  - an explicit deterministic list (tests), or
+//  - from_mtbf(): exponential time-to-failure draws at a given MTBF with
+//    a uniformly random victim rank, reproducible from a seed — this
+//    links the hw::reliability failure model (Sec 2.1 of the paper) to
+//    the I/O subsystem it motivates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ss::io {
+
+/// Thrown by FaultInjector::tick on the victim rank at its kill step.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, std::uint64_t step)
+      : std::runtime_error("injected failure: rank " + std::to_string(rank) +
+                           " died at step " + std::to_string(step)),
+        rank_(rank),
+        step_(step) {}
+  int rank() const noexcept { return rank_; }
+  std::uint64_t step() const noexcept { return step_; }
+
+ private:
+  int rank_;
+  std::uint64_t step_;
+};
+
+class FaultInjector {
+ public:
+  struct Kill {
+    int rank = 0;
+    std::uint64_t step = 0;
+  };
+
+  FaultInjector() = default;  ///< Empty schedule: never fires.
+
+  /// Deterministic schedule (duplicates collapse; order irrelevant).
+  explicit FaultInjector(std::vector<Kill> schedule);
+
+  /// Draw a schedule from exponential inter-failure times at `mtbf_hours`
+  /// with `step_hours` of virtual wall time per step, victims uniform
+  /// over `nranks`. Failures past `max_step` are dropped.
+  static FaultInjector from_mtbf(double mtbf_hours, double step_hours,
+                                 int nranks, std::uint64_t max_step,
+                                 std::uint64_t seed);
+
+  /// Called by every rank once per step. Throws RankFailure iff this
+  /// (rank, step) is scheduled and has not fired yet. Thread-safe: ranks
+  /// are vmpi threads and each entry fires on exactly one of them.
+  void tick(int rank, std::uint64_t step);
+
+  /// Defuse all remaining kills (e.g. after the run under test ends).
+  void disarm();
+
+  std::size_t scheduled() const { return kills_.size(); }
+  std::size_t fired() const;
+  const std::vector<Kill>& schedule() const { return kills_; }
+
+ private:
+  std::vector<Kill> kills_;  // parallel to fired_flags_
+  // unique_ptr so the injector stays movable while flags stay atomic.
+  std::unique_ptr<std::atomic<bool>[]> fired_flags_;
+};
+
+}  // namespace ss::io

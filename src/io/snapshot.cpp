@@ -1,0 +1,152 @@
+#include "io/snapshot.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "obs/obs.hpp"
+#include "support/timer.hpp"
+
+namespace ss::io {
+
+std::uint64_t Manifest::total_count() const {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+std::uint64_t Manifest::total_bytes() const {
+  return std::accumulate(stripe_bytes.begin(), stripe_bytes.end(),
+                         std::uint64_t{0});
+}
+
+std::filesystem::path stripe_path(const std::filesystem::path& dir,
+                                  const std::string& name, int rank) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".r%04d.ssb", rank);
+  return dir / (name + buf);
+}
+
+std::filesystem::path manifest_path(const std::filesystem::path& dir,
+                                    const std::string& name) {
+  return dir / (name + ".manifest.ssb");
+}
+
+namespace {
+
+void write_manifest(const std::filesystem::path& dir, const std::string& name,
+                    std::uint64_t step, double time,
+                    const std::vector<std::uint64_t>& counts,
+                    const std::vector<std::uint64_t>& stripe_bytes) {
+  BlockBuilder b;
+  b.add_scalar("manifest_version", std::uint64_t{kManifestVersion});
+  b.add_scalar("nranks", static_cast<std::uint64_t>(counts.size()));
+  b.add_scalar("step", step);
+  b.add_scalar("time", time);
+  b.add<std::uint64_t>("counts", counts);
+  b.add<std::uint64_t>("stripe_bytes", stripe_bytes);
+  write_file_atomic(manifest_path(dir, name), b.finish());
+}
+
+}  // namespace
+
+SnapshotWriteStats write_snapshot(
+    ss::vmpi::Comm& comm, const std::filesystem::path& dir,
+    const std::string& name, std::uint64_t step, double time,
+    std::uint64_t count, const std::function<void(BlockBuilder&)>& fill,
+    AsyncWriter* async) {
+  obs::ScopedPhase phase("io.snapshot");
+  std::filesystem::create_directories(dir);
+  SnapshotWriteStats out;
+
+  support::WallTimer serialize;
+  BlockBuilder builder;
+  fill(builder);
+  std::vector<std::byte> image = builder.finish();
+  out.bytes = image.size();
+  out.serialize_seconds = serialize.seconds();
+
+  const auto path = stripe_path(dir, name, comm.rank());
+  if (async != nullptr) {
+    async->submit(path, std::move(image));
+    // Manifest deferred: the caller commits once writers have drained.
+    return out;
+  }
+
+  support::WallTimer write;
+  write_file_atomic(path, image);
+  out.write_seconds = write.seconds();
+  if (obs::Counter* c = obs::counter("io.bytes_written")) c->add(out.bytes);
+  if (obs::Counter* c = obs::counter("io.files_written")) c->add(1);
+  commit_snapshot(comm, dir, name, step, time, count, out.bytes);
+  return out;
+}
+
+void commit_snapshot(ss::vmpi::Comm& comm, const std::filesystem::path& dir,
+                     const std::string& name, std::uint64_t step, double time,
+                     std::uint64_t count, std::uint64_t stripe_bytes) {
+  obs::ScopedPhase phase("io.commit");
+  const auto counts = comm.gather<std::uint64_t>(
+      std::span<const std::uint64_t>(&count, 1), 0);
+  const auto sizes = comm.gather<std::uint64_t>(
+      std::span<const std::uint64_t>(&stripe_bytes, 1), 0);
+  // Every stripe durable before the marker exists: the gather above has
+  // already synchronized rank 0 with everyone, and stripes were written
+  // (or drained) before this call on each rank.
+  if (comm.rank() == 0) {
+    write_manifest(dir, name, step, time, counts, sizes);
+  }
+  comm.barrier();  // no rank proceeds believing an uncommitted snapshot
+}
+
+std::optional<Manifest> read_manifest(const std::filesystem::path& dir,
+                                      const std::string& name) {
+  const auto path = manifest_path(dir, name);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  BlockReader r(path);
+  Manifest m;
+  m.version = static_cast<std::uint32_t>(r.read_u64("manifest_version"));
+  if (m.version != kManifestVersion) {
+    throw FormatError(path.string() + ": unsupported manifest version " +
+                      std::to_string(m.version));
+  }
+  m.nranks = static_cast<int>(r.read_u64("nranks"));
+  m.step = r.read_u64("step");
+  m.time = r.read_f64("time");
+  m.counts = r.read<std::uint64_t>("counts");
+  m.stripe_bytes = r.read<std::uint64_t>("stripe_bytes");
+  if (m.nranks <= 0 ||
+      m.counts.size() != static_cast<std::size_t>(m.nranks) ||
+      m.stripe_bytes.size() != static_cast<std::size_t>(m.nranks)) {
+    throw FormatError(path.string() + ": manifest rank tables inconsistent");
+  }
+  return m;
+}
+
+std::vector<BlockReader> read_stripes(const std::filesystem::path& dir,
+                                      const std::string& name,
+                                      const Manifest& m) {
+  std::vector<BlockReader> out;
+  out.reserve(static_cast<std::size_t>(m.nranks));
+  for (int r = 0; r < m.nranks; ++r) {
+    const auto path = stripe_path(dir, name, r);
+    out.emplace_back(path);
+    if (out.back().file_bytes() != m.stripe_bytes[static_cast<std::size_t>(r)]) {
+      throw FormatError(path.string() +
+                        ": stripe size disagrees with the manifest");
+    }
+  }
+  return out;
+}
+
+bool snapshot_valid(const std::filesystem::path& dir,
+                    const std::string& name) noexcept {
+  try {
+    const auto m = read_manifest(dir, name);
+    if (!m) return false;
+    for (BlockReader& r : read_stripes(dir, name, *m)) r.verify_all();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace ss::io

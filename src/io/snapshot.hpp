@@ -1,0 +1,96 @@
+// Striped parallel snapshots: one block-file stripe per rank plus a
+// rank-0 manifest that doubles as the commit marker.
+//
+// Layout of one snapshot named NAME in directory DIR:
+//
+//   DIR/NAME.r0000.ssb     rank 0's stripe (blockfile.hpp format)
+//   DIR/NAME.r0001.ssb     rank 1's stripe
+//   ...
+//   DIR/NAME.manifest.ssb  rank count, step, time, per-rank element
+//                          counts and stripe byte sizes
+//
+// Commit protocol: stripes first, barrier, manifest last. A snapshot
+// without a valid manifest does not exist (a crash mid-write leaves
+// stripes that no reader will ever trust); a snapshot whose manifest
+// disagrees with its stripes is damaged and read_stripes() says so with
+// a typed error, which is what the checkpoint generation fallback keys
+// off.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/async_writer.hpp"
+#include "io/blockfile.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::io {
+
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// Parsed manifest of one committed snapshot.
+struct Manifest {
+  std::uint32_t version = kManifestVersion;
+  int nranks = 0;
+  std::uint64_t step = 0;
+  double time = 0.0;
+  std::vector<std::uint64_t> counts;        ///< Elements per stripe.
+  std::vector<std::uint64_t> stripe_bytes;  ///< File bytes per stripe.
+  std::uint64_t total_count() const;
+  std::uint64_t total_bytes() const;  ///< Stripes only (manifest excluded).
+};
+
+std::filesystem::path stripe_path(const std::filesystem::path& dir,
+                                  const std::string& name, int rank);
+std::filesystem::path manifest_path(const std::filesystem::path& dir,
+                                    const std::string& name);
+
+struct SnapshotWriteStats {
+  std::uint64_t bytes = 0;      ///< This rank's stripe bytes.
+  double serialize_seconds = 0.0;
+  double write_seconds = 0.0;   ///< 0 on the async path (deferred).
+};
+
+/// Collective snapshot write. Every rank serializes its stripe through
+/// `fill` (which must add this rank's blocks to the builder); `count` is
+/// the rank's element count recorded in the manifest (for slicing on
+/// restore). With `async` null the stripe is written synchronously and
+/// the manifest commits before returning; with an AsyncWriter the stripe
+/// is submitted and the manifest is NOT written — the caller commits
+/// later via commit_snapshot() once every rank's writer has drained.
+SnapshotWriteStats write_snapshot(
+    ss::vmpi::Comm& comm, const std::filesystem::path& dir,
+    const std::string& name, std::uint64_t step, double time,
+    std::uint64_t count, const std::function<void(BlockBuilder&)>& fill,
+    AsyncWriter* async = nullptr);
+
+/// Collective: commit a snapshot whose stripes are already durable
+/// (async path). Gathers per-rank stripe sizes, barriers, rank 0 writes
+/// the manifest. Callers must drain their AsyncWriter first.
+void commit_snapshot(ss::vmpi::Comm& comm, const std::filesystem::path& dir,
+                     const std::string& name, std::uint64_t step, double time,
+                     std::uint64_t count, std::uint64_t stripe_bytes);
+
+/// Read + validate a manifest. Throws FormatError / CrcError; returns
+/// nullopt only when the manifest file does not exist (uncommitted).
+std::optional<Manifest> read_manifest(const std::filesystem::path& dir,
+                                      const std::string& name);
+
+/// Open every stripe of a committed snapshot, cross-checking stripe
+/// count and per-stripe sizes against the manifest. Full payload CRC
+/// verification is the caller's choice (BlockReader::verify_all).
+std::vector<BlockReader> read_stripes(const std::filesystem::path& dir,
+                                      const std::string& name,
+                                      const Manifest& m);
+
+/// True when the snapshot is committed and every stripe (structure and
+/// all payload CRCs) verifies. Never throws — this is the probe the
+/// fallback scan uses.
+bool snapshot_valid(const std::filesystem::path& dir,
+                    const std::string& name) noexcept;
+
+}  // namespace ss::io

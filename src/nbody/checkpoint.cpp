@@ -1,0 +1,214 @@
+#include "nbody/checkpoint.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::nbody {
+
+namespace {
+
+std::vector<double> pack3(const std::vector<Body>& bodies, bool vel) {
+  std::vector<double> out(bodies.size() * 3);
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    const Vec3& v = vel ? bodies[i].vel : bodies[i].pos;
+    out[3 * i + 0] = v.x;
+    out[3 * i + 1] = v.y;
+    out[3 * i + 2] = v.z;
+  }
+  return out;
+}
+
+void require_count(const io::BlockReader& r, std::size_t got,
+                   std::size_t want, const char* what) {
+  if (got != want) {
+    throw io::FormatError(r.origin() + ": checkpoint block '" + what +
+                          "' count disagrees with 'mass'");
+  }
+}
+
+}  // namespace
+
+void encode_state(const ParallelLeapfrog::State& st, io::BlockBuilder& b) {
+  const std::size_t n = st.bodies.size();
+  std::vector<double> mass(n), phi(st.acc.size()), a3(st.acc.size() * 3);
+  for (std::size_t i = 0; i < n; ++i) mass[i] = st.bodies[i].mass;
+  for (std::size_t i = 0; i < st.acc.size(); ++i) {
+    a3[3 * i + 0] = st.acc[i].a.x;
+    a3[3 * i + 1] = st.acc[i].a.y;
+    a3[3 * i + 2] = st.acc[i].a.z;
+    phi[i] = st.acc[i].phi;
+  }
+  b.add<double>("pos", pack3(st.bodies, false));
+  b.add<double>("vel", pack3(st.bodies, true));
+  b.add<double>("mass", mass);
+  b.add<double>("acc", a3);
+  b.add<double>("phi", phi);
+  b.add<double>("work", st.work);
+  b.add<std::uint64_t>("ledger", st.ledger);
+  b.add_scalar("sim_time", st.time);
+}
+
+ParallelLeapfrog::State decode_state(const io::BlockReader& r) {
+  ParallelLeapfrog::State st;
+  const auto mass = r.read<double>("mass");
+  const auto pos = r.read<double>("pos");
+  const auto vel = r.read<double>("vel");
+  const auto a3 = r.read<double>("acc");
+  const auto phi = r.read<double>("phi");
+  const std::size_t n = mass.size();
+  require_count(r, pos.size(), 3 * n, "pos");
+  require_count(r, vel.size(), 3 * n, "vel");
+  require_count(r, a3.size(), 3 * n, "acc");
+  require_count(r, phi.size(), n, "phi");
+  st.bodies.resize(n);
+  st.acc.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.bodies[i].pos = {pos[3 * i + 0], pos[3 * i + 1], pos[3 * i + 2]};
+    st.bodies[i].vel = {vel[3 * i + 0], vel[3 * i + 1], vel[3 * i + 2]};
+    st.bodies[i].mass = mass[i];
+    st.acc[i].a = {a3[3 * i + 0], a3[3 * i + 1], a3[3 * i + 2]};
+    st.acc[i].phi = phi[i];
+  }
+  st.work = r.read<double>("work");
+  require_count(r, st.work.size(), n, "work");
+  st.ledger = r.read<std::uint64_t>("ledger");
+  st.time = r.read_f64("sim_time");
+  return st;
+}
+
+io::SnapshotWriteStats save_checkpoint(io::CheckpointStore& store,
+                                       std::uint64_t step,
+                                       const ParallelLeapfrog& leap) {
+  const ParallelLeapfrog::State st = leap.checkpoint_state();
+  return store.save(step, st.time, st.bodies.size(),
+                    [&st](io::BlockBuilder& b) { encode_state(st, b); });
+}
+
+std::optional<RestoredState> restore_checkpoint(io::CheckpointStore& store,
+                                                ss::vmpi::Comm& comm) {
+  auto gen = store.restore_latest();
+  if (!gen) return std::nullopt;
+
+  RestoredState out;
+  out.step = gen->generation;
+  out.fallbacks = gen->fallbacks;
+  out.resharded = gen->manifest.nranks != comm.size();
+
+  if (!out.resharded) {
+    // Same rank count: my stripe is exactly my state.
+    out.state = decode_state(gen->stripes[static_cast<std::size_t>(
+        comm.rank())]);
+    return out;
+  }
+
+  // Different rank count: take the contiguous slice
+  // [N*rank/size, N*(rank+1)/size) of the rank-major concatenation of all
+  // stripes. Per-body payloads (forces, work weights) ride along, so the
+  // resharded restart resumes from exact per-body state; only the
+  // decomposition boundaries move. Prefetch ledgers of the contributing
+  // stripes are merged (stale entries are harmless: ownership is
+  // re-checked at prefetch time).
+  const std::uint64_t total = gen->manifest.total_count();
+  const std::uint64_t begin =
+      total * static_cast<std::uint64_t>(comm.rank()) /
+      static_cast<std::uint64_t>(comm.size());
+  const std::uint64_t end =
+      total * (static_cast<std::uint64_t>(comm.rank()) + 1) /
+      static_cast<std::uint64_t>(comm.size());
+
+  std::uint64_t offset = 0;  // start of stripe r in the concatenation
+  for (std::size_t r = 0; r < gen->stripes.size(); ++r) {
+    const std::uint64_t count = gen->manifest.counts[r];
+    const std::uint64_t lo = std::max(begin, offset);
+    const std::uint64_t hi = std::min(end, offset + count);
+    offset += count;
+    if (lo >= hi) continue;
+    const ParallelLeapfrog::State part = decode_state(gen->stripes[r]);
+    const std::size_t a = static_cast<std::size_t>(lo - (offset - count));
+    const std::size_t b = static_cast<std::size_t>(hi - (offset - count));
+    out.state.bodies.insert(out.state.bodies.end(),
+                            part.bodies.begin() + a, part.bodies.begin() + b);
+    out.state.acc.insert(out.state.acc.end(), part.acc.begin() + a,
+                         part.acc.begin() + b);
+    out.state.work.insert(out.state.work.end(), part.work.begin() + a,
+                          part.work.begin() + b);
+    out.state.ledger.insert(out.state.ledger.end(), part.ledger.begin(),
+                            part.ledger.end());
+    out.state.time = part.time;
+  }
+  std::sort(out.state.ledger.begin(), out.state.ledger.end());
+  out.state.ledger.erase(
+      std::unique(out.state.ledger.begin(), out.state.ledger.end()),
+      out.state.ledger.end());
+  if (out.state.bodies.empty()) out.state.time = gen->manifest.time;
+  return out;
+}
+
+RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
+                                 const std::vector<Body>& initial,
+                                 io::FaultInjector* fault) {
+  RecoveryResult out;
+  out.bodies.assign(static_cast<std::size_t>(cfg.ranks), {});
+  const std::size_t n = initial.size();
+
+  int attempts = 0;
+  for (;;) {
+    try {
+      ss::vmpi::Runtime rt(cfg.ranks);
+      rt.run([&](ss::vmpi::Comm& comm) {
+        const int rank = comm.rank();
+        const int size = comm.size();
+        io::CheckpointStore store(comm, cfg.store);
+
+        std::uint64_t start_step = 0;
+        std::unique_ptr<ParallelLeapfrog> leap;
+        auto restored = restore_checkpoint(store, comm);
+        if (restored) {
+          start_step = restored->step;
+          if (rank == 0) out.restore_fallbacks = restored->fallbacks;
+          leap = std::make_unique<ParallelLeapfrog>(
+              comm, std::move(restored->state), cfg.engine);
+        } else {
+          const std::size_t b = n * static_cast<std::size_t>(rank) /
+                                static_cast<std::size_t>(size);
+          const std::size_t e = n * (static_cast<std::size_t>(rank) + 1) /
+                                static_cast<std::size_t>(size);
+          std::vector<Body> share(initial.begin() + b, initial.begin() + e);
+          leap = std::make_unique<ParallelLeapfrog>(comm, std::move(share),
+                                                    cfg.engine);
+          // Generation 0: there is always a committed base to fall back
+          // to, so a failure in the very first interval is recoverable.
+          save_checkpoint(store, 0, *leap);
+        }
+
+        for (std::uint64_t step = start_step + 1; step <= cfg.steps; ++step) {
+          if (fault != nullptr) fault->tick(rank, step);
+          leap->step(cfg.dt);
+          if (cfg.checkpoint_every != 0 && step % cfg.checkpoint_every == 0) {
+            save_checkpoint(store, step, *leap);
+          }
+        }
+        store.finalize();
+
+        out.bodies[static_cast<std::size_t>(rank)] = leap->bodies();
+        if (rank == 0) {
+          out.steps_completed = cfg.steps;
+          out.time = leap->time();
+          out.io_stats = store.io_stats();
+        }
+      });
+      break;  // clean run
+    } catch (const io::RankFailure&) {
+      if (++attempts > cfg.max_restarts) throw;
+      out.restarts = attempts;
+      if (obs::Counter* c = obs::counter("io.restarts")) c->add(1);
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::nbody

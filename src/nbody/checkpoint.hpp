@@ -1,0 +1,95 @@
+// Checkpoint/restart wiring for the distributed N-body integrator.
+//
+// Three layers:
+//
+//  - encode_state / decode_state: one rank's ParallelLeapfrog::State as
+//    named typed blocks (pos/vel/mass/acc/phi/work/ledger) in the
+//    self-describing block format.
+//
+//  - save_checkpoint / restore_checkpoint: collective save of one
+//    generation through a CheckpointStore, and restore of the newest
+//    valid generation onto the *current* rank count. Same count: each
+//    rank takes its own stripe bit-for-bit (forces, work weights and
+//    prefetch ledger included, so resuming replays the uninterrupted
+//    run exactly when the engine runs its deterministic scalar path).
+//    Different count: each rank takes a contiguous slice of the
+//    rank-major concatenation of all stripes — per-body payloads (acc,
+//    work) ride along, so even a resharded restart resumes from exact
+//    per-body state and only the decomposition boundaries move.
+//
+//  - run_with_recovery: the supervisor loop of the fault-injection
+//    story. Runs a vmpi job that integrates `steps` steps, checkpointing
+//    every `checkpoint_every`; when a FaultInjector kills a rank the
+//    whole virtual job tears down (as a real MPI job would), the
+//    supervisor catches the failure and restarts from the last committed
+//    generation. Each scheduled kill fires once, so the retried run
+//    sails past the step that murdered its predecessor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "io/checkpoint.hpp"
+#include "io/fault.hpp"
+#include "nbody/integrator.hpp"
+
+namespace ss::nbody {
+
+/// Serialize one rank's integrator state into checkpoint blocks.
+/// (step/time live in the snapshot manifest, not the stripe.)
+void encode_state(const ParallelLeapfrog::State& st, io::BlockBuilder& b);
+
+/// Inverse of encode_state for one stripe. Throws io::FormatError on a
+/// stripe whose blocks are missing or inconsistent.
+ParallelLeapfrog::State decode_state(const io::BlockReader& r);
+
+/// Collective: save the integrator state as checkpoint generation `step`.
+io::SnapshotWriteStats save_checkpoint(io::CheckpointStore& store,
+                                       std::uint64_t step,
+                                       const ParallelLeapfrog& leap);
+
+struct RestoredState {
+  ParallelLeapfrog::State state;  ///< This rank's share.
+  std::uint64_t step = 0;         ///< Generation id = step of the save.
+  int fallbacks = 0;              ///< Damaged/uncommitted generations skipped.
+  bool resharded = false;         ///< Rank count differed from the save.
+};
+
+/// Collective: restore the newest valid generation onto comm.size()
+/// ranks (any count). nullopt when no generation validates.
+std::optional<RestoredState> restore_checkpoint(io::CheckpointStore& store,
+                                                ss::vmpi::Comm& comm);
+
+// ---------------------------------------------------------------------------
+// Fault-injected supervisor loop.
+// ---------------------------------------------------------------------------
+
+struct RecoveryConfig {
+  int ranks = 4;
+  std::uint64_t steps = 10;            ///< Total integration steps.
+  std::uint64_t checkpoint_every = 2;  ///< Generation cadence (0: only gen 0).
+  double dt = 1e-3;
+  int max_restarts = 8;  ///< Give up (rethrow) past this many restarts.
+  hot::ParallelConfig engine;
+  io::CheckpointStore::Config store;
+};
+
+struct RecoveryResult {
+  int restarts = 0;                      ///< Restarts actually taken.
+  std::uint64_t steps_completed = 0;
+  double time = 0.0;                     ///< Final simulation time.
+  std::vector<std::vector<Body>> bodies; ///< Final per-rank bodies.
+  io::AsyncWriter::Stats io_stats;       ///< Rank 0's writer stats.
+  int restore_fallbacks = 0;             ///< From the last restart's restore.
+};
+
+/// Run the whole job under the supervisor. `initial` is the global body
+/// set; rank r of P starts with the contiguous slice [N*r/P, N*(r+1)/P).
+/// `fault` may be null (no injection). Throws the underlying RankFailure
+/// when restarts exceed cfg.max_restarts.
+RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
+                                 const std::vector<Body>& initial,
+                                 io::FaultInjector* fault = nullptr);
+
+}  // namespace ss::nbody

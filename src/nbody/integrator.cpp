@@ -77,6 +77,35 @@ ParallelLeapfrog::ParallelLeapfrog(ss::vmpi::Comm& comm,
   evaluate();
 }
 
+ParallelLeapfrog::ParallelLeapfrog(ss::vmpi::Comm& comm, State state,
+                                   const hot::ParallelConfig& cfg)
+    : comm_(comm),
+      engine_(comm, cfg),
+      bodies_(std::move(state.bodies)),
+      acc_(std::move(state.acc)),
+      work_(std::move(state.work)),
+      time_(state.time) {
+  engine_.seed_ledger(state.ledger);
+  if (acc_.size() != bodies_.size()) {
+    // No matching forces (e.g. a slice re-assembled for a different rank
+    // count dropped them): evaluate once to establish them, exactly like
+    // the fresh-start constructor.
+    acc_.clear();
+    evaluate();
+  }
+}
+
+ParallelLeapfrog::State ParallelLeapfrog::checkpoint_state() const {
+  State st;
+  st.bodies = bodies_;
+  st.acc = acc_;
+  st.work = work_;
+  const auto led = engine_.ledger();
+  st.ledger.assign(led.begin(), led.end());
+  st.time = time_;
+  return st;
+}
+
 void ParallelLeapfrog::evaluate() {
   // Strip to (pos, mass) sources and pack velocities as the stride-3 aux
   // payload: the engine routes them through the decomposition with the

@@ -77,9 +77,30 @@ class Leapfrog {
 /// from step n's request ledger.
 class ParallelLeapfrog {
  public:
+  /// Everything a rank needs to resume integration exactly where a
+  /// previous run left off: phase-space state, the matching forces (so
+  /// the next opening kick reuses them, as the uninterrupted run would),
+  /// per-body work weights (next decomposition), the engine's request
+  /// ledger (next prefetch seed) and the simulation clock.
+  struct State {
+    std::vector<Body> bodies;
+    std::vector<Accel> acc;
+    std::vector<double> work;
+    std::vector<morton::Key> ledger;
+    double time = 0.0;
+  };
+
   /// `bodies` is this rank's initial share (any distribution). The first
   /// force evaluation (and load balance) happens here.
   ParallelLeapfrog(ss::vmpi::Comm& comm, std::vector<Body> bodies,
+                   const hot::ParallelConfig& cfg = {});
+
+  /// Restore from a checkpointed State. When `state.acc` matches the
+  /// bodies the initial force evaluation is skipped entirely (the saved
+  /// forces are the ones the closing kick of the checkpointed step used,
+  /// so resuming is bit-exact); otherwise — e.g. a slice re-assembled for
+  /// a different rank count — one evaluation runs to establish forces.
+  ParallelLeapfrog(ss::vmpi::Comm& comm, State state,
                    const hot::ParallelConfig& cfg = {});
 
   /// Advance by `steps` steps of size dt. One engine evaluation per step;
@@ -94,6 +115,10 @@ class ParallelLeapfrog {
   /// Stats of the most recent engine evaluation.
   const hot::ParallelStats& last_stats() const { return last_stats_; }
   std::uint64_t engine_steps() const { return engine_.steps_completed(); }
+
+  /// Snapshot everything needed to resume exactly here (copies; call
+  /// between step() calls, i.e. after a closing kick).
+  State checkpoint_state() const;
 
  private:
   void evaluate();

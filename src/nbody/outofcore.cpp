@@ -1,7 +1,10 @@
 #include "nbody/outofcore.hpp"
 
+#include "io/crc32.hpp"
+#include "obs/obs.hpp"
 #include "support/timer.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -10,23 +13,39 @@ namespace ss::nbody {
 static_assert(std::is_trivially_copyable_v<Body>,
               "Body must serialize by memcpy");
 
+namespace {
+
+std::string slab_name(std::size_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "slab%08zu", i);
+  return buf;
+}
+
+}  // namespace
+
 OutOfCoreStore::OutOfCoreStore(std::filesystem::path path,
                                std::size_t bodies_per_slab)
     : path_(std::move(path)), slab_(bodies_per_slab) {
   if (slab_ == 0) {
     throw std::invalid_argument("OutOfCoreStore: slab size must be positive");
   }
-  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out |
-                        std::ios::trunc);
-  if (!file_) {
-    throw std::runtime_error("OutOfCoreStore: cannot open " + path_.string());
-  }
+  writer_ = std::make_unique<io::BlockFileWriter>(path_);
 }
 
 OutOfCoreStore::~OutOfCoreStore() {
-  file_.close();
+  reader_.close();
+  writer_.reset();
   std::error_code ec;
   std::filesystem::remove(path_, ec);  // best-effort cleanup
+}
+
+void OutOfCoreStore::write_slab(std::span<const Body> slab) {
+  writer_->add(slab_name(slab_infos_.size()), io::DType::raw,
+               static_cast<std::uint32_t>(sizeof(Body)), slab.size(),
+               {reinterpret_cast<const std::byte*>(slab.data()),
+                slab.size() * sizeof(Body)});
+  slab_infos_.push_back(writer_->blocks().back());
+  count_ += slab.size();
 }
 
 void OutOfCoreStore::append(std::span<const Body> bodies) {
@@ -35,45 +54,61 @@ void OutOfCoreStore::append(std::span<const Body> bodies) {
   }
   pending_.insert(pending_.end(), bodies.begin(), bodies.end());
   while (pending_.size() >= slab_) {
-    file_.write(reinterpret_cast<const char*>(pending_.data()),
-                static_cast<std::streamsize>(slab_ * sizeof(Body)));
+    write_slab(std::span<const Body>(pending_.data(), slab_));
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(slab_));
-    count_ += slab_;
   }
 }
 
 void OutOfCoreStore::finish() {
   if (finished_) return;
   if (!pending_.empty()) {
-    file_.write(reinterpret_cast<const char*>(pending_.data()),
-                static_cast<std::streamsize>(pending_.size() * sizeof(Body)));
-    count_ += pending_.size();
+    write_slab(pending_);
     pending_.clear();
   }
-  file_.flush();
+  const std::uint64_t meta[2] = {static_cast<std::uint64_t>(count_),
+                                 static_cast<std::uint64_t>(slab_)};
+  writer_->add("count", io::DType::u64, sizeof(std::uint64_t), 1,
+               {reinterpret_cast<const std::byte*>(&meta[0]),
+                sizeof(std::uint64_t)});
+  writer_->add("bodies_per_slab", io::DType::u64, sizeof(std::uint64_t), 1,
+               {reinterpret_cast<const std::byte*>(&meta[1]),
+                sizeof(std::uint64_t)});
+  writer_->finish();
+  reader_.open(path_, std::ios::binary);
+  if (!reader_) {
+    throw io::IoError("OutOfCoreStore: cannot reopen " + path_.string());
+  }
   finished_ = true;
 }
 
-std::size_t OutOfCoreStore::slabs() const {
-  return (count_ + slab_ - 1) / slab_;
-}
+std::size_t OutOfCoreStore::slabs() const { return slab_infos_.size(); }
 
 std::vector<Body> OutOfCoreStore::read_slab(std::size_t i) const {
   if (!finished_) {
-    throw std::logic_error("OutOfCoreStore: read before finish");
+    throw std::logic_error(
+        "OutOfCoreStore: read_slab before finish() — the block index is not "
+        "on disk yet; call finish() after the last append()");
   }
   if (i >= slabs()) {
     throw std::out_of_range("OutOfCoreStore: slab index");
   }
-  const std::size_t first = i * slab_;
-  const std::size_t n = std::min(slab_, count_ - first);
-  std::vector<Body> out(n);
-  file_.seekg(static_cast<std::streamoff>(first * sizeof(Body)));
-  file_.read(reinterpret_cast<char*>(out.data()),
-             static_cast<std::streamsize>(n * sizeof(Body)));
-  if (!file_) {
-    throw std::runtime_error("OutOfCoreStore: short read");
+  const io::BlockInfo& info = slab_infos_[i];
+  std::vector<Body> out(info.count);
+  reader_.clear();
+  reader_.seekg(static_cast<std::streamoff>(info.offset));
+  reader_.read(reinterpret_cast<char*>(out.data()),
+               static_cast<std::streamsize>(info.payload_bytes));
+  if (!reader_) {
+    throw io::FormatError("OutOfCoreStore: short read of " + info.name +
+                          " from " + path_.string());
+  }
+  const std::uint32_t crc =
+      io::crc32(out.data(), static_cast<std::size_t>(info.payload_bytes));
+  if (crc != info.payload_crc) {
+    if (obs::Counter* c = obs::counter("io.crc_failures")) c->add(1);
+    throw io::CrcError("OutOfCoreStore: CRC mismatch in " + info.name +
+                       " of " + path_.string());
   }
   return out;
 }
@@ -89,6 +124,8 @@ void OutOfCoreStore::for_each_slab(
 std::uint64_t OutOfCoreStore::bytes() const {
   return static_cast<std::uint64_t>(count_) * sizeof(Body);
 }
+
+std::uint64_t OutOfCoreStore::file_bytes() const { return writer_->bytes(); }
 
 std::vector<gravity::Accel> out_of_core_forces(const OutOfCoreStore& store,
                                                double eps2,

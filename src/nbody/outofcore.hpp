@@ -2,21 +2,26 @@
 // "Even larger simulations are possible using the out-of-core version of
 // our code").
 //
-// Bodies live in a binary file in Morton-sorted slabs; the application
-// maps a bounded working set of slabs into memory at a time and streams
-// through the population. This is a minimal but real implementation: it
-// exercises the same slab-sequential access pattern the out-of-core
-// treecode relies on, and the cosmology example can checkpoint through it.
+// Bodies live in Morton-sorted slabs inside one self-describing block
+// file (io/blockfile.hpp): each slab is a named raw block with its own
+// CRC32, streamed to disk by BlockFileWriter so the working set stays one
+// slab regardless of N. Reads seek straight to a slab's payload and
+// verify its checksum, so silent disk corruption surfaces as a typed
+// io::CrcError at exactly the slab that was damaged. This exercises the
+// same slab-sequential access pattern the out-of-core treecode relies
+// on, and the cosmology example can checkpoint through it.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "io/blockfile.hpp"
 #include "nbody/ic.hpp"
 
 namespace ss::nbody {
@@ -32,14 +37,17 @@ class OutOfCoreStore {
 
   /// Append bodies; they are buffered and written slab-by-slab.
   void append(std::span<const Body> bodies);
-  /// Flush any partial trailing slab. Must be called before reading.
+  /// Flush any partial trailing slab and write the block index + header.
+  /// Must be called before reading: until then the file has no index and
+  /// read_slab() throws std::logic_error with a message saying so.
   void finish();
 
   std::size_t size() const { return count_; }
   std::size_t slabs() const;
   std::size_t bodies_per_slab() const { return slab_; }
 
-  /// Read slab `i` (the last slab may be short).
+  /// Read slab `i` (the last slab may be short), verifying its payload
+  /// CRC. Throws io::CrcError on corruption.
   std::vector<Body> read_slab(std::size_t i) const;
 
   /// Stream every body through `fn` slab-sequentially.
@@ -47,17 +55,24 @@ class OutOfCoreStore {
       const std::function<void(std::size_t slab_index,
                                std::span<const Body>)>& fn) const;
 
-  /// Total bytes on disk.
+  /// Total body payload bytes (excludes block-format framing).
   std::uint64_t bytes() const;
+  /// Total container bytes on disk after finish() (header + payloads +
+  /// index).
+  std::uint64_t file_bytes() const;
 
   const std::filesystem::path& path() const { return path_; }
 
  private:
+  void write_slab(std::span<const Body> slab);
+
   std::filesystem::path path_;
   std::size_t slab_;
   std::size_t count_ = 0;
   std::vector<Body> pending_;
-  mutable std::fstream file_;
+  std::unique_ptr<io::BlockFileWriter> writer_;
+  std::vector<io::BlockInfo> slab_infos_;  ///< One entry per slab block.
+  mutable std::ifstream reader_;           ///< Opened by finish().
   bool finished_ = false;
 };
 

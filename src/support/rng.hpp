@@ -27,6 +27,15 @@ struct SplitMix64 {
   }
 };
 
+/// Complete serializable state of an Rng (checkpoint/restart). Plain
+/// integral words so it round-trips exactly through any byte-preserving
+/// store.
+struct RngState {
+  std::uint64_t s[4] = {};
+  double cached = 0.0;
+  std::uint64_t have_cached = 0;  ///< 0 or 1 (bool widened for layout).
+};
+
 /// xoshiro256** by Blackman & Vigna: the library's workhorse generator.
 class Rng {
  public:
@@ -100,6 +109,23 @@ class Rng {
     }
     const double v = std::round(normal(mean, std::sqrt(mean)));
     return v < 0.0 ? 0 : static_cast<std::uint64_t>(v);
+  }
+
+  /// Snapshot the full generator state (including the Box-Muller cache).
+  RngState state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.have_cached = have_cached_ ? 1 : 0;
+    return st;
+  }
+
+  /// Restore a snapshot taken by state(); the stream continues exactly
+  /// where it left off.
+  void set_state(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    have_cached_ = st.have_cached != 0;
   }
 
   /// Isotropic random unit vector.
