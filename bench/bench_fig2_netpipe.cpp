@@ -1,26 +1,188 @@
 // Reproduces Fig 2: NetPIPE bandwidth vs message size for plain TCP and
 // four MPI libraries on the Space Simulator's gigabit fabric, and the
 // quoted small-message latencies (79/83/87 us).
+//
+// Flags:
+//   --loss [P]       additionally sweep the reliable transport's goodput
+//                    against per-frame drop probability (0 / 0.1% / 1% /
+//                    5%, plus P if given) on a real 2-rank vmpi Runtime
+//                    over the LAM profile. The clean fabric runs the
+//                    exact pre-transport path (no fault model attached);
+//                    every lossy point pays framing, acks, CRC checks and
+//                    retransmission timers, so the curve is the measured
+//                    price of reliability, not a model of it.
+//   --json [PATH]    write the Fig 2 curves — and the loss sweep when
+//                    --loss ran — as machine-readable JSON (default
+//                    BENCH_fig2_netpipe.json).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "simnet/profile.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/fault.hpp"
+#include "vmpi/timemodel.hpp"
 
-int main() {
+namespace {
+
+using ss::support::Table;
+
+struct LossPoint {
+  std::size_t bytes = 0;
+  double goodput_mbits = 0.0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t pure_acks = 0;
+};
+
+struct LossRow {
+  double drop = 0.0;
+  std::vector<LossPoint> points;
+};
+
+/// One cell of the sweep: stream `count` messages of `bytes` from rank 0
+/// to rank 1 across the as-built fabric, with per-frame drop probability
+/// `drop` handled by the reliable transport. Goodput is payload bits over
+/// the receiver's virtual completion time — retransmission timers, ack
+/// frames and header overhead all land in the denominator.
+LossPoint run_loss_cell(double drop, std::size_t bytes, int count) {
+  auto model = ss::vmpi::make_space_simulator_model(ss::simnet::lam());
+  ss::vmpi::Runtime rt(2, model);
+  if (drop > 0.0) {
+    ss::vmpi::FaultRates rates;
+    rates.drop = drop;
+    // Seed mixed per message size so cells draw independent fate
+    // sequences, but shared across drop rates: the fate hash compares one
+    // uniform draw per frame against the threshold, so the frames lost at
+    // 0.1% are a subset of those lost at 5% and the curve is monotone by
+    // construction rather than by luck.
+    const std::uint64_t seed =
+        20030617u + static_cast<std::uint64_t>(bytes) * 2654435761u;
+    auto faults = std::make_shared<ss::vmpi::LinkFaultModel>(2, seed, rates);
+    ss::vmpi::TransportConfig cfg;
+    // TCP-style delayed acks (every 2nd frame) and real-time pacing wide
+    // enough that an ack for a 1 MB frame makes it back before the timer
+    // fires: spurious retransmissions would charge phantom virtual RTOs
+    // and pollute the goodput curve. The cost of a *genuine* drop is
+    // virtual (the RTO charge plus the re-transfer) either way.
+    cfg.ack_batch = 2;
+    cfg.retx_real_seconds = 50e-3;
+    cfg.retx_real_cap_seconds = 200e-3;
+    rt.set_fault_model(faults, cfg);
+  }
+  double recv_done = 0.0;
+  rt.run([&](ss::vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> payload(bytes, std::byte{0x5a});
+      for (int i = 0; i < count; ++i) {
+        auto copy = payload;
+        c.send_bytes_move(1, 5, std::move(copy));
+      }
+      c.quiesce();
+    } else {
+      for (int i = 0; i < count; ++i) (void)c.recv_msg(0, 5);
+      recv_done = c.time();
+    }
+  });
+  LossPoint p;
+  p.bytes = bytes;
+  const double payload_bits =
+      static_cast<double>(bytes) * 8.0 * static_cast<double>(count);
+  p.goodput_mbits = recv_done > 0.0 ? payload_bits / recv_done / 1e6 : 0.0;
+  const auto t = rt.net_totals();
+  p.frames_sent = t.frames_sent;
+  p.retransmits = t.retransmits;
+  p.pure_acks = t.pure_acks;
+  return p;
+}
+
+std::vector<LossRow> run_loss_sweep(std::optional<double> extra_rate) {
+  std::vector<double> rates = {0.0, 0.001, 0.01, 0.05};
+  if (extra_rate && *extra_rate > 0.0 &&
+      std::find(rates.begin(), rates.end(), *extra_rate) == rates.end()) {
+    rates.push_back(*extra_rate);
+    std::sort(rates.begin(), rates.end());
+  }
+  const std::vector<std::size_t> sizes = {1u << 10, 16u << 10, 256u << 10,
+                                          1u << 20};
+  constexpr int kCount = 64;
+  std::vector<LossRow> rows;
+  for (double drop : rates) {
+    LossRow row;
+    row.drop = drop;
+    for (std::size_t s : sizes) row.points.push_back(run_loss_cell(drop, s, kCount));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_loss_sweep(const std::vector<LossRow>& rows) {
+  Table t("Reliable transport: goodput (Mbit/s) vs frame drop rate");
+  std::vector<std::string> head = {"drop"};
+  for (const auto& p : rows.front().points) {
+    head.push_back(std::to_string(p.bytes) + " B");
+  }
+  head.push_back("retx");
+  t.header(head);
+  for (const auto& row : rows) {
+    std::vector<std::string> r = {Table::fixed(row.drop * 100.0, 1) + "%"};
+    std::uint64_t retx = 0;
+    for (const auto& p : row.points) {
+      r.push_back(Table::fixed(p.goodput_mbits, 1));
+      retx += p.retransmits;
+    }
+    r.push_back(std::to_string(retx));
+    t.row(r);
+  }
+  std::cout << t;
+  std::cout << "\nReading: the 0% row is the bare fabric (no transport\n"
+               "attached — the bypass path). Every lossy row pays CRC'd\n"
+               "framing, acks and RTO backoff; goodput degrades smoothly\n"
+               "with drop rate instead of hanging, which is the point.\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using ss::simnet::all_profiles;
-  using ss::support::Table;
+
+  std::optional<double> loss_rate;
+  bool do_loss = false;
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--loss") == 0) {
+      do_loss = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        loss_rate = std::stod(argv[++i]);
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                      ? std::string(argv[++i])
+                      : std::string("BENCH_fig2_netpipe.json");
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--loss [P]] [--json [PATH]]\n";
+      return 2;
+    }
+  }
 
   std::cout << "Fig 2 reproduction: bandwidth (Mbit/s) vs message size,\n"
                "per message-passing library (model of NetPIPE on the\n"
                "3c996B-T / Foundry fabric).\n\n";
 
+  std::vector<std::size_t> curve_sizes;
   Table t("Fig 2: NetPIPE bandwidth vs message size");
   std::vector<std::string> head = {"bytes"};
   for (const auto& p : all_profiles()) head.push_back(p.name);
   t.header(head);
 
   for (std::size_t b = 1; b <= (8u << 20); b *= 4) {
+    curve_sizes.push_back(b);
     std::vector<std::string> row = {std::to_string(b)};
     for (const auto& p : all_profiles()) {
       row.push_back(Table::fixed(p.netpipe_mbits(b), 1));
@@ -52,6 +214,65 @@ int main() {
   }
   std::cout << peak;
   std::cout << "\nShape checks: tcp highest; mpich-1.2.5 visibly below\n"
-               "mpich2-0.92 at large sizes; LAM -O above plain LAM.\n";
+               "mpich2-0.92 at large sizes; LAM -O above plain LAM.\n\n";
+
+  std::vector<LossRow> loss_rows;
+  if (do_loss) {
+    loss_rows = run_loss_sweep(loss_rate);
+    print_loss_sweep(loss_rows);
+  }
+
+  if (json_path) {
+    std::ofstream os(*json_path);
+    if (!os) {
+      std::cerr << "cannot open " << *json_path << "\n";
+      return 1;
+    }
+    ss::support::json::Writer w(os);
+    w.begin_object();
+    w.kv("bench", "fig2_netpipe");
+    w.key("profiles");
+    w.begin_array();
+    for (const auto& p : all_profiles()) {
+      w.begin_object();
+      w.kv("name", p.name);
+      w.kv("latency_us", p.transfer_seconds(1) * 1e6);
+      w.key("curve");
+      w.begin_array();
+      for (std::size_t b : curve_sizes) {
+        w.begin_object();
+        w.kv("bytes", static_cast<std::uint64_t>(b));
+        w.kv("mbits", p.netpipe_mbits(b));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    if (do_loss) {
+      w.key("loss_sweep");
+      w.begin_array();
+      for (const auto& row : loss_rows) {
+        w.begin_object();
+        w.kv("drop_rate", row.drop);
+        w.key("points");
+        w.begin_array();
+        for (const auto& p : row.points) {
+          w.begin_object();
+          w.kv("bytes", static_cast<std::uint64_t>(p.bytes));
+          w.kv("goodput_mbits", p.goodput_mbits);
+          w.kv("frames_sent", p.frames_sent);
+          w.kv("retransmits", p.retransmits);
+          w.kv("pure_acks", p.pure_acks);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    std::cout << "machine-readable results: " << *json_path << "\n";
+  }
   return 0;
 }

@@ -9,18 +9,22 @@
 #   1. tier-1: configure + build + full ctest (ROADMAP.md's gate).
 #   2. sanitizers: ASan+UBSan build of the kernel/sort/traversal tests —
 #      the suites that exercise the batched SoA kernels, the
-#      multi-threaded radix sort, the interaction-list traversal and the
-#      checkpoint/snapshot I/O subsystem (async writer threads).
+#      multi-threaded radix sort, the interaction-list traversal, the
+#      checkpoint/snapshot I/O subsystem (async writer threads) and the
+#      reliable transport (cross-thread frame queues, retransmit timers).
 #   3. bench smoke: bench_table5_gravkernel --json must run and emit
 #      parseable JSON with the measured host kernel variants,
 #      bench_ablation_parallel --json must show the multi-step engine's
 #      communication-avoidance trajectory (warm steps park <= 70% of the
 #      cold step's walks, send fewer messages, forces match stateless to
-#      1e-12), and bench_fig7_cosmology --snapshots must write striped
+#      1e-12), bench_fig7_cosmology --snapshots must write striped
 #      checkpoint generations whose async writes overlap compute
-#      (write_overlap_frac > 0). A checkpoint round-trip smoke re-runs
+#      (write_overlap_frac > 0), and bench_fig2_netpipe --loss must show
+#      goodput degrading gracefully (not collapsing) with retransmits > 0
+#      at a 5% frame drop rate. A checkpoint round-trip smoke re-runs
 #      the save -> kill -> restore-on-a-different-rank-count gtest
-#      suites from the tier-1 binary as a named CI gate.
+#      suites from the tier-1 binary, and a lossy-fabric smoke re-runs
+#      the force-parity-under-faults gtest suites, as named CI gates.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,13 +42,22 @@ echo "=== checkpoint round-trip smoke: save -> kill -> restore ==="
   --gtest_filter='Checkpoint.*:EndToEnd.*:FaultInjector.*' \
   --gtest_brief=1
 
+echo "=== lossy-fabric smoke: reliable transport under drop/corrupt/reorder ==="
+# Fixed-seed fault pattern; the gtest asserts force parity <= 1e-12 and
+# that retransmits / CRC drops actually happened (the parity is earned).
+./build/tests/test_net \
+  --gtest_filter='NetEngine.ForcesOnLossyFabricMatchCleanRun:NetEndToEnd.*' \
+  --gtest_brief=1
+
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel / test_engine / test_io ==="
+  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel / test_engine / test_io / test_net ==="
   cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
-    --target test_gravity test_morton test_hot_parallel test_engine test_io
-  for t in test_gravity test_morton test_hot_parallel test_engine test_io; do
+    --target test_gravity test_morton test_hot_parallel test_engine test_io \
+    test_net
+  for t in test_gravity test_morton test_hot_parallel test_engine test_io \
+      test_net; do
     bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
     echo "--- $t ---"
     "$bin"
@@ -126,6 +139,29 @@ print("BENCH_fig7.json snapshot_io ok:"
       f" {io['total_bytes']/1e6:.1f} MB at"
       f" {io['aggregate_mb_per_s']:.0f} MB/s aggregate,"
       f" overlap {io['write_overlap_frac']:.3f}")
+PY
+
+netpipe_json="build/BENCH_fig2_netpipe.json"
+./build/bench/bench_fig2_netpipe --loss --json "${netpipe_json}" >/dev/null
+python3 - "${netpipe_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "fig2_netpipe"
+sweep = d["loss_sweep"]
+rates = [row["drop_rate"] for row in sweep]
+assert rates == sorted(rates) and rates[0] == 0.0 and 0.05 in rates, rates
+by_rate = {row["drop_rate"]: row["points"] for row in sweep}
+worst = by_rate[0.05]
+assert sum(p["retransmits"] for p in worst) > 0, (
+    "5% drop rate produced no retransmissions — transport not engaged?")
+for clean_p, lossy_p in zip(by_rate[0.0], worst):
+    assert lossy_p["goodput_mbits"] > 0.25 * clean_p["goodput_mbits"], (
+        f"goodput collapsed at 5% drop for {lossy_p['bytes']} B:"
+        f" {lossy_p['goodput_mbits']:.1f} vs {clean_p['goodput_mbits']:.1f}")
+retx = sum(p["retransmits"] for p in worst)
+print(f"BENCH_fig2_netpipe.json loss_sweep ok: {len(sweep)} rates,"
+      f" {retx} retransmits at 5% drop, goodput degrades gracefully")
 PY
 
 echo "=== CI green ==="

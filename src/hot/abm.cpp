@@ -35,12 +35,6 @@ void Abm::on(std::uint32_t channel, Handler h) {
   handlers_[channel] = std::move(h);
 }
 
-namespace {
-/// Pool bound: enough for a burst of in-flight batches without pinning
-/// memory when a rank momentarily receives from every peer.
-constexpr std::size_t kPoolCap = 64;
-}  // namespace
-
 std::vector<std::byte> Abm::acquire_buffer() {
   if (!pool_.empty()) {
     std::vector<std::byte> buf = std::move(pool_.back());
@@ -54,7 +48,7 @@ std::vector<std::byte> Abm::acquire_buffer() {
 }
 
 void Abm::recycle_buffer(std::vector<std::byte>&& buf) {
-  if (pool_.size() < kPoolCap && buf.capacity() > 0) {
+  if (pool_.size() < cfg_.pool_buffers && buf.capacity() > 0) {
     pool_.push_back(std::move(buf));
   }
 }

@@ -35,6 +35,11 @@ class Abm {
     std::size_t batch_bytes = 4096;
     /// vmpi tag carrying ABM traffic (one tag; channels are in-band).
     int tag = 77;
+    /// Bound on the recv-side recycle pool: enough for a burst of
+    /// in-flight batches without pinning memory when a rank momentarily
+    /// receives from every peer (on a lossy fabric, retransmitted bursts
+    /// arrive in clumps — the bound keeps that from accumulating).
+    std::size_t pool_buffers = 64;
   };
 
   Abm(ss::vmpi::Comm& comm, Config cfg);

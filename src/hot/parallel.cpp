@@ -1,6 +1,7 @@
 #include "hot/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <stdexcept>
@@ -204,6 +205,7 @@ struct GravityEngine::Impl {
   void exchange_cover();
   void prefetch();
   void run_walks(GravityResult& out);
+  [[noreturn]] void drain_stall(const char* where);
 
   // -- protocol -------------------------------------------------------------
   void build_top(const std::vector<WireCell>& covers,
@@ -292,6 +294,19 @@ struct GravityEngine::Impl {
   obs::Counter* c_prefetch_wasted_ = nullptr;
   obs::Counter* c_pushes_ = nullptr;
 };
+
+void GravityEngine::Impl::drain_stall(const char* where) {
+  std::string msg = "gravity engine: ";
+  msg += where;
+  msg += " made no progress for ";
+  msg += std::to_string(cfg_.drain_timeout_seconds);
+  msg += "s (rank " + std::to_string(comm_.rank()) + ", outstanding=" +
+         std::to_string(outstanding_) +
+         "); a message was likely lost below the reliability layer";
+  const std::string flows = comm_.transport_dump();
+  if (!flows.empty()) msg += "\ntransport flow state:\n" + flows;
+  throw std::runtime_error(msg);
+}
 
 void GravityEngine::Impl::reset_step() {
   // Values are never reused across steps: moments change as bodies move,
@@ -854,8 +869,19 @@ void GravityEngine::Impl::prefetch() {
     // hot cache. Deadlock-free: poll() is non-blocking and serves peers'
     // bulk requests, and ranks that skip the loop proceed into the main
     // walk loop, which also polls.
+    auto settle_progress = std::chrono::steady_clock::now();
     while (outstanding_ > 0) {
-      if (abm_.poll() == 0) std::this_thread::yield();
+      if (abm_.poll() == 0) {
+        if (cfg_.drain_timeout_seconds > 0 &&
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          settle_progress)
+                    .count() > cfg_.drain_timeout_seconds) {
+          drain_stall("prefetch settle loop");
+        }
+        std::this_thread::yield();
+      } else {
+        settle_progress = std::chrono::steady_clock::now();
+      }
       abm_.flush();
     }
   }
@@ -891,11 +917,24 @@ void GravityEngine::Impl::run_walks(GravityResult& out) {
   if (obs_ != nullptr) obs_->begin("gravity.traverse");
 
   const bool single = comm_.size() == 1;
+  auto walk_progress = std::chrono::steady_clock::now();
   while (!done_) {
     // Service incoming traffic first so replies unpark walks promptly.
     const std::size_t handled = abm_.poll();
     if (handled == 0 && ready_.empty() && !single) {
+      // Idle: no traffic served, no walk runnable. On a fabric that can
+      // lose an ABM reply (raw fault injection, no reliable transport)
+      // this state can be permanent; the watchdog turns the silent spin
+      // into a diagnosable error instead of a hung run.
+      if (cfg_.drain_timeout_seconds > 0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        walk_progress)
+                  .count() > cfg_.drain_timeout_seconds) {
+        drain_stall("walk/termination loop");
+      }
       std::this_thread::yield();  // idle: let peer rank threads progress
+    } else {
+      walk_progress = std::chrono::steady_clock::now();
     }
 
     std::size_t burst = 0;

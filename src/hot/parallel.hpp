@@ -77,6 +77,13 @@ struct ParallelConfig {
   /// expansions of its siblings in the same batch (spatially coherent
   /// walks almost always want them next).
   bool sibling_piggyback = true;
+  /// Watchdog on the engine's settle/termination loops (real seconds;
+  /// 0 disables). On a fabric that loses messages with no reliable
+  /// transport underneath, a lost ABM reply would spin these loops
+  /// forever; the watchdog turns the hang into a std::runtime_error
+  /// carrying the transport's per-flow protocol state (when one is
+  /// attached) so the stall is diagnosable instead of silent.
+  double drain_timeout_seconds = 30.0;
 };
 
 struct ParallelStats {

@@ -159,6 +159,9 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
   for (;;) {
     try {
       ss::vmpi::Runtime rt(cfg.ranks);
+      if (cfg.fabric_faults != nullptr) {
+        rt.set_fault_model(cfg.fabric_faults, cfg.transport);
+      }
       rt.run([&](ss::vmpi::Comm& comm) {
         const int rank = comm.rank();
         const int size = comm.size();

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -73,6 +74,12 @@ struct RecoveryConfig {
   int max_restarts = 8;  ///< Give up (rethrow) past this many restarts.
   hot::ParallelConfig engine;
   io::CheckpointStore::Config store;
+  /// Optional lossy fabric: each (re)started job's Runtime rides the
+  /// reliable transport over this fault model, so rank kills and frame
+  /// loss compose — the Sec 2.1 cluster, not a lab fabric. Null =
+  /// perfect links.
+  std::shared_ptr<vmpi::LinkFaultModel> fabric_faults;
+  vmpi::TransportConfig transport;
 };
 
 struct RecoveryResult {

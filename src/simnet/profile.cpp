@@ -1,6 +1,7 @@
 #include "simnet/profile.hpp"
 
 #include <array>
+#include <cmath>
 
 #include "support/units.hpp"
 
@@ -51,5 +52,20 @@ const LibraryProfile& mpich2_092() { return kProfiles[3]; }
 const LibraryProfile& mpich_125() { return kProfiles[4]; }
 
 std::span<const LibraryProfile> all_profiles() { return kProfiles; }
+
+namespace {
+const LinkQuality kGigeHealthy{0.0, 1e-12};
+const LinkQuality kGigeFlaky{1e-3, 1e-8};
+}  // namespace
+
+const LinkQuality& gige_healthy() { return kGigeHealthy; }
+const LinkQuality& gige_flaky() { return kGigeFlaky; }
+
+double frame_corrupt_probability(std::size_t bytes, double bit_error_rate) {
+  if (bit_error_rate <= 0.0 || bytes == 0) return 0.0;
+  // 1 - (1-p)^n via expm1/log1p so tiny BERs don't underflow to zero.
+  const double n = 8.0 * static_cast<double>(bytes);
+  return -std::expm1(n * std::log1p(-bit_error_rate));
+}
 
 }  // namespace ss::simnet

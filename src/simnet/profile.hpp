@@ -46,4 +46,30 @@ const LibraryProfile& mpich2_092();
 /// All profiles in presentation order for the Fig 2 sweep.
 std::span<const LibraryProfile> all_profiles();
 
+// ---------------------------------------------------------------------------
+// Physical link quality (Sec 2.1).
+// ---------------------------------------------------------------------------
+
+/// Reliability figures for one physical link, below the level the MPI
+/// library sees. A healthy gigabit copper run has a spec-floor bit error
+/// rate of ~1e-12 and essentially no frame loss; the flaky cables and
+/// dying 3c996B NICs of Sec 2.1 push both figures up by orders of
+/// magnitude. These feed the vmpi LinkFaultModel (fault rates derive
+/// from frame size x BER), tying the injected faults to hardware reality
+/// the same way hw::cluster_mtbf_hours ties rank kills to node MTBF.
+struct LinkQuality {
+  double frame_loss_rate = 0.0;  ///< P(frame silently lost in transit).
+  double bit_error_rate = 0.0;   ///< Per-bit corruption probability.
+};
+
+/// 1000BASE-T at spec: BER 1e-12, no measurable frame loss.
+const LinkQuality& gige_healthy();
+/// A Sec 2.1 "flaky link": marginal cable / failing NIC. BER ~1e-8 and
+/// ~0.1% frame loss — enough to corrupt a long run within minutes.
+const LinkQuality& gige_flaky();
+
+/// Probability that at least one bit of a `bytes`-byte frame is flipped
+/// at the given bit error rate: 1 - (1 - ber)^(8*bytes).
+double frame_corrupt_probability(std::size_t bytes, double bit_error_rate);
+
 }  // namespace ss::simnet

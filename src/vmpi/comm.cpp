@@ -1,6 +1,7 @@
 #include "vmpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -47,7 +48,11 @@ void Comm::send_bytes_move(int dst, int tag, std::vector<std::byte>&& bytes) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
   const std::size_t n = bytes.size();
-  rt_->deliver(rank_, dst, tag, std::move(bytes), vtime_, n);
+  if (rt_->transport_ != nullptr) {
+    rt_->transport_->send(*this, dst, tag, std::move(bytes), n);
+  } else {
+    rt_->deliver(rank_, dst, tag, std::move(bytes), vtime_, n);
+  }
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
     obs_bytes_->add(n);
@@ -58,11 +63,24 @@ void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
   if (dst < 0 || dst >= rt_->nranks_) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
-  rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes);
+  if (rt_->transport_ != nullptr) {
+    rt_->transport_->send(*this, dst, tag, {}, modeled_bytes);
+  } else {
+    rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes);
+  }
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
     obs_bytes_->add(modeled_bytes);
   }
+}
+
+void Comm::quiesce() {
+  if (rt_->transport_ != nullptr) rt_->transport_->quiesce(*this);
+}
+
+std::string Comm::transport_dump() const {
+  return rt_->transport_ != nullptr ? rt_->transport_->dump(rank_)
+                                    : std::string{};
 }
 
 std::uint64_t Comm::sent_messages() const {
@@ -75,7 +93,9 @@ std::uint64_t Comm::sent_bytes() const {
 
 Message Comm::recv_msg(int src, int tag) {
   const double before = vtime_;
-  Message m = rt_->wait_match(rank_, src, tag);
+  Message m = rt_->transport_ != nullptr
+                  ? rt_->wait_match_pumped(*this, src, tag)
+                  : rt_->wait_match(rank_, src, tag);
   vtime_ = std::max(vtime_, m.arrival);
   if (obs_ != nullptr) {
     obs_recvs_->add(1);
@@ -86,6 +106,7 @@ Message Comm::recv_msg(int src, int tag) {
 
 std::optional<Message> Comm::try_recv(int src, int tag) {
   const double before = vtime_;
+  if (rt_->transport_ != nullptr) rt_->transport_->pump(*this);
   auto m = rt_->poll_match(rank_, src, tag);
   if (m) {
     vtime_ = std::max(vtime_, m->arrival);
@@ -98,6 +119,11 @@ std::optional<Message> Comm::try_recv(int src, int tag) {
 }
 
 void Comm::barrier() {
+  // Under the reliable transport, first wait until everything this rank
+  // sent is acked (= delivered to its destination mailbox). Combined
+  // with the barrier that follows, this restores the perfect fabric's
+  // invariant that all pre-barrier sends are visible after the barrier.
+  quiesce();
   // Dissemination barrier: ceil(log2 p) rounds of shifted exchanges.
   const int p = size();
   const int tag = coll_tag();
@@ -137,6 +163,31 @@ Runtime::Runtime(int nranks, std::shared_ptr<TimeModel> model)
   traffic_.resize(static_cast<std::size_t>(nranks_));
 }
 
+void Runtime::set_fault_model(std::shared_ptr<LinkFaultModel> faults,
+                              TransportConfig cfg, bool reliable) {
+  transport_.reset();
+  raw_.clear();
+  faults_ = std::move(faults);
+  if (faults_ == nullptr) return;
+  if (faults_->nranks() != nranks_) {
+    throw std::invalid_argument(
+        "vmpi: fault model rank count does not match runtime");
+  }
+  if (reliable) {
+    transport_ = std::make_unique<Transport>(*this, faults_, cfg);
+  } else {
+    raw_.resize(static_cast<std::size_t>(nranks_));
+    for (RawNet& n : raw_) {
+      n.keys.assign(static_cast<std::size_t>(nranks_), 0);
+      n.held.resize(static_cast<std::size_t>(nranks_));
+    }
+  }
+}
+
+NetTotals Runtime::net_totals() const {
+  return transport_ != nullptr ? transport_->totals() : NetTotals{};
+}
+
 void Runtime::attach_observer(obs::Session* session) {
   if (session != nullptr && session->size() != nranks_) {
     throw std::invalid_argument(
@@ -172,6 +223,11 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
     std::lock_guard<std::mutex> lock(b->mu);
     b->queue.clear();
   }
+  if (transport_ != nullptr) transport_->reset();
+  for (RawNet& n : raw_) {
+    std::fill(n.keys.begin(), n.keys.end(), 0);
+    for (auto& h : n.held) h.reset();
+  }
 
   std::vector<double> final_time(static_cast<std::size_t>(nranks_), 0.0);
   std::exception_ptr first_error;
@@ -190,6 +246,10 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
       if (rec != nullptr) comm.bind_observer(rec);
       try {
         body(comm);
+        // Reliable transport: stay alive serving acks and retransmits
+        // until every rank's flows are clean, so no peer is left waiting
+        // on a dead thread.
+        if (transport_ != nullptr) transport_->drain(comm);
       } catch (const Aborted&) {
         // Teardown in progress; nothing more to record.
       } catch (...) {
@@ -223,6 +283,62 @@ void Runtime::deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
   ++traffic.messages;
   traffic.bytes += modeled_bytes;
 
+  // Raw-mode fault injection: the fabric perturbs the application message
+  // itself — no sequence numbers, no CRC, no retransmission. What the
+  // protocol stack would have protected against, the application eats.
+  if (faults_ != nullptr && transport_ == nullptr) {
+    RawNet& net = raw_[static_cast<std::size_t>(src)];
+    const std::uint64_t key = net.keys[static_cast<std::size_t>(dst)]++;
+    const LinkFaultModel::Fate fate =
+        faults_->decide(src, dst, tag, depart, key);
+    auto& hold = net.held[static_cast<std::size_t>(dst)];
+    if (fate.drop) {
+      // Vanishes — but anything held behind it still goes out eventually,
+      // carried by the next transmission on the link.
+      return;
+    }
+    m.arrival += fate.extra_delay;
+    if (fate.corrupt && !m.data.empty()) {
+      const std::size_t idx =
+          static_cast<std::size_t>(fate.salt % m.data.size());
+      m.data[idx] ^= static_cast<std::byte>(1 + ((fate.salt >> 8) % 255));
+    }
+    Message dup;
+    const bool have_dup = fate.duplicate;
+    if (have_dup) {
+      dup = m;  // deep copy of the (possibly corrupted) primary
+      if (fate.corrupt_dup && !dup.data.empty()) {
+        const std::size_t idx =
+            static_cast<std::size_t>(fate.salt % dup.data.size());
+        dup.data[idx] ^= static_cast<std::byte>(1 + ((fate.salt >> 16) % 255));
+      }
+    }
+    if (fate.hold) {
+      // Reorder: stash this message behind the link's next one.
+      if (hold.has_value()) {
+        Message prior = std::move(*hold);
+        hold = std::move(m);
+        enqueue(dst, std::move(prior));
+      } else {
+        hold = std::move(m);
+      }
+      if (have_dup) enqueue(dst, std::move(dup));
+      return;
+    }
+    enqueue(dst, std::move(m));
+    if (have_dup) enqueue(dst, std::move(dup));
+    if (hold.has_value()) {
+      Message released = std::move(*hold);
+      hold.reset();
+      enqueue(dst, std::move(released));
+    }
+    return;
+  }
+
+  enqueue(dst, std::move(m));
+}
+
+void Runtime::enqueue(int dst, Message&& m) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -256,6 +372,30 @@ Message Runtime::wait_match(int self, int src, int tag) {
       return false;
     });
     if (aborted_.load()) throw Aborted{};
+  }
+}
+
+Message Runtime::wait_match_pumped(Comm& c, int src, int tag) {
+  const int self = c.rank();
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  for (;;) {
+    transport_->pump(c);
+    {
+      std::unique_lock<std::mutex> lock(box.mu);
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (matches(*it, src, tag)) {
+          Message m = std::move(*it);
+          box.queue.erase(it);
+          return m;
+        }
+      }
+      if (aborted_.load()) throw Aborted{};
+      // Bounded wait: a matching message can only appear after this rank
+      // pumps its transport inbox, and retransmission checks are paced by
+      // real time, so never sleep unboundedly.
+      box.cv.wait_for(lock, std::chrono::microseconds(50));
+      if (aborted_.load()) throw Aborted{};
+    }
   }
 }
 

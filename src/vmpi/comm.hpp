@@ -27,6 +27,7 @@
 
 #include "obs/obs.hpp"
 #include "vmpi/timemodel.hpp"
+#include "vmpi/transport.hpp"
 
 namespace ss::vmpi {
 
@@ -241,8 +242,22 @@ class Comm {
   std::uint64_t sent_messages() const;
   std::uint64_t sent_bytes() const;
 
+  /// Block until every message this rank has sent is delivered into its
+  /// destination mailbox. On the perfect fabric delivery is synchronous
+  /// and this is a no-op; under the reliable transport it waits for the
+  /// cumulative acks, restoring the "enqueued at send time" invariant
+  /// that the sparse alltoallv and the engine's end-of-step drain rely
+  /// on. Implicit at the top of every barrier().
+  void quiesce();
+
+  /// Human-readable per-flow transport protocol state for this rank
+  /// (empty string on a clean fabric). The payload of drain-watchdog
+  /// error messages.
+  std::string transport_dump() const;
+
  private:
   friend class Runtime;
+  friend class Transport;
   Comm(Runtime& rt, int rank) : rt_(&rt), rank_(rank) {}
 
   int coll_tag();  ///< Fresh tag from the reserved collective namespace.
@@ -282,6 +297,33 @@ class Runtime {
   int size() const { return nranks_; }
   TimeModel& model() { return *model_; }
 
+  /// Attach a lossy-fabric fault model to subsequent run()s.
+  ///
+  /// In reliable mode (the default) every point-to-point message — and
+  /// therefore every collective and ABM batch — rides the CRC'd, ack'd,
+  /// retransmitting transport (vmpi/transport.hpp): the fabric drops,
+  /// duplicates, reorders and corrupts physical frames, yet the
+  /// application sees a clean, in-order, bit-exact stream.
+  ///
+  /// In raw mode (`reliable = false`) the faults hit application
+  /// messages directly: a dropped frame simply never arrives, a
+  /// corrupted one delivers flipped bytes. This is the "what the fabric
+  /// does to an unprotected protocol" mode; pair it with
+  /// LinkFaultModel::set_tag_range to confine damage to app traffic.
+  ///
+  /// Pass nullptr to restore the perfect fabric (the default path, which
+  /// is byte-for-byte the pre-transport code).
+  void set_fault_model(std::shared_ptr<LinkFaultModel> faults,
+                       TransportConfig cfg = {}, bool reliable = true);
+  const LinkFaultModel* fault_model() const { return faults_.get(); }
+
+  /// The reliable transport, or nullptr when the fabric is perfect or raw.
+  Transport* transport() { return transport_.get(); }
+
+  /// Aggregate transport protocol activity over the last run() (all
+  /// zeros when no reliable transport is attached).
+  NetTotals net_totals() const;
+
   /// Attach an observability session (one recorder per rank) to the next
   /// run(): rank threads get bound recorders, phase spans are stamped
   /// with the rank's virtual clock, and per-rank `vmpi.*` counters are
@@ -302,6 +344,7 @@ class Runtime {
 
  private:
   friend class Comm;
+  friend class Transport;
 
   struct Mailbox {
     std::mutex mu;
@@ -321,8 +364,21 @@ class Runtime {
   void deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
                double depart, std::size_t modeled_bytes);
   Message wait_match(int self, int src, int tag);
+  /// Transport-aware blocking receive: alternates protocol pumping with
+  /// bounded waits, because frames land in the transport inbox and only
+  /// reach the mailbox when the owning rank pumps.
+  Message wait_match_pumped(Comm& c, int src, int tag);
   std::optional<Message> poll_match(int self, int src, int tag);
   static bool matches(const Message& m, int src, int tag);
+  void enqueue(int dst, Message&& m);
+
+  /// Raw-mode per-source fault state (fate keys and the one-deep reorder
+  /// hold slot per destination). Touched only by the owning sender
+  /// thread, padded so neighbours never share a line.
+  struct alignas(64) RawNet {
+    std::vector<std::uint64_t> keys;           // per-dst transmission count
+    std::vector<std::optional<Message>> held;  // per-dst reorder hold
+  };
 
   int nranks_;
   std::shared_ptr<TimeModel> model_;
@@ -331,6 +387,11 @@ class Runtime {
   std::vector<RankTraffic> traffic_;  // indexed by source rank
   obs::Session* observer_ = nullptr;
   double elapsed_vtime_ = 0.0;
+
+  // Lossy fabric (both null/empty on the perfect fabric).
+  std::shared_ptr<LinkFaultModel> faults_;
+  std::unique_ptr<Transport> transport_;  // reliable mode only
+  std::vector<RawNet> raw_;               // raw mode only
 };
 
 }  // namespace ss::vmpi

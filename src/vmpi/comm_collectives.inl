@@ -196,10 +196,11 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& per_dest) {
                 block.size() * sizeof(T));
     send_bytes_move(dst, tag, std::move(buf));
   }
-  // The runtime enqueues messages synchronously at send time, so after
-  // the barrier every posted block is already in our mailbox and a
-  // nonblocking drain is exact. (A real-MPI port would replace this with
-  // an alltoall of the count headers.)
+  // The runtime enqueues messages synchronously at send time — and on a
+  // lossy fabric barrier() first quiesces the reliable transport, which
+  // restores that invariant — so after the barrier every posted block is
+  // already in our mailbox and a nonblocking drain is exact. (A real-MPI
+  // port would replace this with an alltoall of the count headers.)
   barrier();
   while (auto m = try_recv(kAnySource, tag)) {
     std::uint64_t count = 0;

@@ -1,0 +1,137 @@
+#include "vmpi/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ss::vmpi {
+
+namespace {
+
+inline std::uint64_t link_id(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+inline double to_unit(std::uint64_t u) {
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultRates rates_from_quality(const simnet::LinkQuality& q,
+                              std::size_t typical_frame_bytes) {
+  FaultRates r;
+  r.drop = q.frame_loss_rate;
+  r.corrupt =
+      simnet::frame_corrupt_probability(typical_frame_bytes, q.bit_error_rate);
+  return r;
+}
+
+LinkFaultModel::LinkFaultModel(int nranks, std::uint64_t seed, FaultRates base)
+    : nranks_(nranks), seed_(seed), base_(base) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("LinkFaultModel: nranks must be > 0");
+  }
+  per_src_.resize(static_cast<std::size_t>(nranks));
+}
+
+void LinkFaultModel::set_link(int src, int dst, const FaultRates& rates) {
+  if (src < 0 || src >= nranks_ || dst < 0 || dst >= nranks_) {
+    throw std::out_of_range("LinkFaultModel: bad link");
+  }
+  overrides_[link_id(src, dst)] = rates;
+}
+
+void LinkFaultModel::add_episode(const FaultEpisode& episode) {
+  episodes_.push_back(episode);
+}
+
+void LinkFaultModel::set_tag_range(int lo, int hi) {
+  tag_lo_ = lo;
+  tag_hi_ = hi;
+}
+
+FaultRates LinkFaultModel::effective(int src, int dst, double depart) const {
+  FaultRates r = base_;
+  if (!overrides_.empty()) {
+    auto it = overrides_.find(link_id(src, dst));
+    if (it != overrides_.end()) r = it->second;
+  }
+  for (const FaultEpisode& e : episodes_) {
+    if ((e.src != -1 && e.src != src) || (e.dst != -1 && e.dst != dst)) {
+      continue;
+    }
+    if (depart < e.t_begin || depart >= e.t_end) continue;
+    r.drop = std::max(r.drop, e.rates.drop);
+    r.duplicate = std::max(r.duplicate, e.rates.duplicate);
+    r.corrupt = std::max(r.corrupt, e.rates.corrupt);
+    r.reorder = std::max(r.reorder, e.rates.reorder);
+    if (e.rates.delay > r.delay ||
+        (e.rates.delay == r.delay &&
+         e.rates.delay_seconds > r.delay_seconds)) {
+      r.delay = e.rates.delay;
+      r.delay_seconds = e.rates.delay_seconds;
+    }
+  }
+  return r;
+}
+
+LinkFaultModel::Fate LinkFaultModel::decide(int src, int dst, int tag,
+                                            double depart, std::uint64_t key) {
+  Fate f;
+  Stats& row = per_src_[static_cast<std::size_t>(src)].s;
+  ++row.transmissions;
+  if (tag < tag_lo_ || tag >= tag_hi_) return f;
+  const FaultRates r = effective(src, dst, depart);
+  if (!r.any()) return f;
+
+  // Stateless draw: the fate of transmission `key` on this link is a pure
+  // function of the seed, so reruns and interleavings agree.
+  support::SplitMix64 h(seed_ ^ (link_id(src, dst) * 0x9E3779B97F4A7C15ULL) ^
+                        (key * 0xBF58476D1CE4E5B9ULL));
+  f.salt = h.next();
+
+  if (r.drop > 0 && to_unit(h.next()) < r.drop) {
+    f.drop = true;
+    ++row.drops;
+    return f;  // a dropped frame has no other fate
+  }
+  if (r.duplicate > 0 && to_unit(h.next()) < r.duplicate) {
+    f.duplicate = true;
+    ++row.duplicates;
+  }
+  if (r.corrupt > 0) {
+    if (to_unit(h.next()) < r.corrupt) {
+      f.corrupt = true;
+      ++row.corrupts;
+    }
+    if (f.duplicate && to_unit(h.next()) < r.corrupt) {
+      f.corrupt_dup = true;
+      ++row.corrupts;
+    }
+  }
+  if (r.reorder > 0 && to_unit(h.next()) < r.reorder) {
+    f.hold = true;
+    ++row.reorders;
+  }
+  if (r.delay > 0 && to_unit(h.next()) < r.delay) {
+    f.extra_delay = r.delay_seconds;
+    ++row.delays;
+  }
+  return f;
+}
+
+LinkFaultModel::Stats LinkFaultModel::stats() const {
+  Stats total;
+  for (const Row& row : per_src_) {
+    total.transmissions += row.s.transmissions;
+    total.drops += row.s.drops;
+    total.duplicates += row.s.duplicates;
+    total.corrupts += row.s.corrupts;
+    total.reorders += row.s.reorders;
+    total.delays += row.s.delays;
+  }
+  return total;
+}
+
+}  // namespace ss::vmpi

@@ -1,0 +1,133 @@
+// Lossy-fabric fault injection for the virtual-MPI runtime.
+//
+// The paper's machine ran on commodity gigabit Ethernet (3c996B-T NICs,
+// Foundry FastIron switches) and Sec 2.1 reports what that buys you on a
+// 294-node Beowulf: flaky links, failed NICs, bit errors that slip past
+// (or don't slip past) the Ethernet FCS. A LinkFaultModel makes the
+// virtual fabric exhibit those pathologies deterministically: every
+// point-to-point transmission consults the model, which may drop,
+// duplicate, corrupt (bit-flip), reorder (hold one frame behind the
+// next) or delay it. Rates are per-link with scheduled "degraded link"
+// episodes layered on top (a cable going bad for a window of virtual
+// time), and every decision is a stateless hash of (seed, link, frame
+// key), so a given seed reproduces the same fault pattern regardless of
+// thread interleaving.
+//
+// The model perturbs *physical transmissions*. Ridden bare
+// (FaultMode::raw) it shows what the application-level protocols do
+// when the fabric lies to them — a dropped ABM reply hangs a tree walk,
+// a bit flip corrupts forces. Under the reliable transport
+// (vmpi/transport.hpp) the same faults are detected and repaired and
+// the application sees a clean, in-order, bit-exact message stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/profile.hpp"
+#include "support/rng.hpp"
+
+namespace ss::vmpi {
+
+/// Per-link fault probabilities (each in [0, 1], applied per physical
+/// transmission) plus the extra virtual latency of a delayed frame.
+struct FaultRates {
+  double drop = 0.0;       ///< Frame vanishes.
+  double duplicate = 0.0;  ///< Frame delivered twice.
+  double corrupt = 0.0;    ///< One byte of the delivered copy is flipped.
+  double reorder = 0.0;    ///< Frame held back behind the link's next frame.
+  double delay = 0.0;      ///< Frame arrives `delay_seconds` late.
+  double delay_seconds = 0.0;
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0 ||
+           delay > 0;
+  }
+};
+
+/// A scheduled "degraded link" window: while `t_begin <= depart < t_end`
+/// (virtual seconds) on a matching link, the episode's rates are combined
+/// with the link's base rates by taking the per-field maximum. src/dst of
+/// -1 match every rank (a sick switch rather than a sick cable).
+struct FaultEpisode {
+  int src = -1;
+  int dst = -1;
+  double t_begin = 0.0;
+  double t_end = std::numeric_limits<double>::infinity();
+  FaultRates rates;
+};
+
+/// Derive fault rates from a physical-link quality figure: the frame
+/// loss rate maps to drop and the bit error rate to the probability that
+/// at least one bit of a `typical_frame_bytes` frame is flipped.
+FaultRates rates_from_quality(const simnet::LinkQuality& q,
+                              std::size_t typical_frame_bytes);
+
+class LinkFaultModel {
+ public:
+  /// `seed` makes the whole fault pattern reproducible; `base` applies to
+  /// every link until overridden by set_link / add_episode.
+  LinkFaultModel(int nranks, std::uint64_t seed, FaultRates base = {});
+
+  void set_link(int src, int dst, const FaultRates& rates);
+  void add_episode(const FaultEpisode& episode);
+
+  /// Restrict perturbation to messages whose tag lies in [lo, hi);
+  /// traffic outside the range passes clean. Collective tags live at
+  /// >= (1 << 24), so [0, 1 << 24) targets application point-to-point
+  /// traffic (ABM) only. Default: everything is fair game.
+  void set_tag_range(int lo, int hi);
+
+  /// The fate of one physical transmission. `key` identifies the
+  /// transmission (the reliable transport passes (seq, attempt); the raw
+  /// path a per-link counter) so the decision is a pure function of
+  /// (seed, link, key) — deterministic under any thread interleaving.
+  struct Fate {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;      ///< Applies to the primary copy.
+    bool corrupt_dup = false;  ///< Applies to the duplicate copy.
+    bool hold = false;         ///< Reorder: stash behind the next frame.
+    double extra_delay = 0.0;
+    std::uint64_t salt = 0;  ///< Chooses the flipped byte/bit.
+  };
+  Fate decide(int src, int dst, int tag, double depart, std::uint64_t key);
+
+  /// Aggregate injected-fault counts (valid to read once the run's rank
+  /// threads have joined; each row is written only by its source rank).
+  struct Stats {
+    std::uint64_t transmissions = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t corrupts = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t delays = 0;
+  };
+  Stats stats() const;
+
+  int nranks() const { return nranks_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  FaultRates effective(int src, int dst, double depart) const;
+
+  int nranks_;
+  std::uint64_t seed_;
+  FaultRates base_;
+  std::unordered_map<std::uint64_t, FaultRates> overrides_;  // by link id
+  std::vector<FaultEpisode> episodes_;
+  int tag_lo_ = std::numeric_limits<int>::min();
+  int tag_hi_ = std::numeric_limits<int>::max();
+
+  /// Injected-fault counters, one cache-line-padded row per source rank so
+  /// concurrent sender threads never share a line.
+  struct alignas(64) Row {
+    Stats s;
+  };
+  std::vector<Row> per_src_;
+};
+
+}  // namespace ss::vmpi

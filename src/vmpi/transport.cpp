@@ -1,0 +1,562 @@
+#include "vmpi/transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "io/crc32.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::vmpi {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x564D5046;  // "VMPF"
+constexpr std::uint32_t kKindData = 0;
+constexpr std::uint32_t kKindAck = 1;
+
+/// Modular distance seq - base on 32-bit sequence numbers. Values in
+/// [1, 2^31) mean "seq is ahead of base"; 0 and values >= 2^31 mean "at or
+/// behind base" (duplicate territory).
+inline std::uint32_t seq_dist(std::uint32_t seq, std::uint32_t base) {
+  return seq - base;
+}
+
+/// a <= b in modular arithmetic (within half the ring).
+inline bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return seq_dist(b, a) < 0x80000000u;
+}
+
+/// Fate key of the `attempt`-th physical transmission of data seq `seq`.
+/// decide() already mixes in the link, so the key only needs to be unique
+/// per (flow, transmission).
+inline std::uint64_t data_key(std::uint32_t seq, std::uint32_t attempt) {
+  return (static_cast<std::uint64_t>(seq) << 24) ^ attempt;
+}
+
+/// Pure acks draw from a disjoint keyspace (high bit set).
+inline std::uint64_t ack_key(std::uint64_t counter) {
+  return (1ULL << 63) | counter;
+}
+
+}  // namespace
+
+Transport::Transport(Runtime& rt, std::shared_ptr<LinkFaultModel> faults,
+                     TransportConfig cfg)
+    : rt_(rt), faults_(std::move(faults)), cfg_(cfg), nranks_(rt.size()) {
+  if (!faults_) {
+    throw std::invalid_argument("vmpi transport: null fault model");
+  }
+  if (faults_->nranks() != nranks_) {
+    throw std::invalid_argument(
+        "vmpi transport: fault model rank count does not match runtime");
+  }
+  if (cfg_.window == 0) {
+    throw std::invalid_argument("vmpi transport: window must be > 0");
+  }
+  reset();
+}
+
+void Transport::reset() {
+  nets_.clear();
+  nets_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    auto net = std::make_unique<RankNet>();
+    net->tx.resize(static_cast<std::size_t>(nranks_));
+    net->rx.resize(static_cast<std::size_t>(nranks_));
+    net->held.resize(static_cast<std::size_t>(nranks_));
+    for (TxFlow& f : net->tx) f.next_seq = cfg_.initial_seq;
+    for (RxFlow& f : net->rx) f.cum = cfg_.initial_seq - 1;
+    nets_.push_back(std::move(net));
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drained_.assign(static_cast<std::size_t>(nranks_), 0);
+  }
+}
+
+void Transport::bind_obs(RankNet& net) {
+  if (net.obs_bound) return;
+  net.obs_bound = true;
+  obs::Rank* rec = obs::tls();
+  if (rec == nullptr) return;
+  auto& reg = rec->registry();
+  net.c_retx = &reg.counter("net.retransmits");
+  net.c_corrupt = &reg.counter("net.corrupt_drops");
+  net.c_dup = &reg.counter("net.dup_suppressed");
+  net.c_piggy = &reg.counter("net.acks_piggybacked");
+  net.c_pure = &reg.counter("net.pure_acks");
+  net.c_evict = &reg.counter("net.window_evictions");
+  net.c_alarm = &reg.counter("net.degraded_alarms");
+  net.g_health = &reg.gauge("net.link_health");
+}
+
+void Transport::send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload,
+                     std::size_t modeled_bytes) {
+  const int src = c.rank();
+  RankNet& net = *nets_[static_cast<std::size_t>(src)];
+  bind_obs(net);
+  TxFlow& flow = net.tx[static_cast<std::size_t>(dst)];
+
+  TxFrame frame;
+  frame.seq = flow.next_seq++;
+  frame.tag = tag;
+  frame.modeled_bytes = modeled_bytes;
+  frame.sent_vtime = c.vtime_;
+  frame.rto = cfg_.rto_seconds;
+  frame.retx_real = cfg_.retx_real_seconds;
+  frame.last_real = std::chrono::steady_clock::now();
+  frame.attempts = 1;
+
+  transmit(c, net, dst, kKindData, frame.seq, tag, payload, modeled_bytes,
+           data_key(frame.seq, 0));
+  frame.payload = std::move(payload);
+  flow.unacked.push_back(std::move(frame));
+
+  // A send is also a progress opportunity: serve acks and timed-out peers.
+  pump(c);
+}
+
+void Transport::transmit(Comm& c, RankNet& net, int dst, std::uint32_t kind,
+                         std::uint32_t seq, std::int32_t tag,
+                         std::span<const std::byte> payload,
+                         std::size_t modeled_bytes, std::uint64_t fate_key) {
+  const int src = c.rank();
+
+  FrameHeader hdr;
+  hdr.magic = kMagic;
+  hdr.crc = 0;
+  hdr.seq = seq;
+  hdr.src = src;
+  hdr.dst = dst;
+  hdr.tag = tag;
+  hdr.kind = kind;
+  hdr.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  hdr.modeled_bytes = static_cast<std::uint64_t>(modeled_bytes);
+
+  // Piggyback the cumulative ack for the reverse flow (dst -> src) on
+  // every outbound frame; this clears any ack debt we owe that peer.
+  RxFlow& rx = net.rx[static_cast<std::size_t>(dst)];
+  hdr.ack = rx.cum;
+  if (kind == kKindData && (rx.dirty || rx.pending_acks != 0)) {
+    ++net.totals.acks_piggybacked;
+    if (net.c_piggy != nullptr) net.c_piggy->add(1);
+  }
+  if (kind == kKindData) {
+    rx.dirty = false;
+    rx.urgent = false;
+    rx.pending_acks = 0;
+  }
+
+  std::vector<std::byte> wire(sizeof(FrameHeader) + payload.size());
+  std::memcpy(wire.data(), &hdr, sizeof(FrameHeader));
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + sizeof(FrameHeader), payload.data(),
+                payload.size());
+  }
+  const std::uint32_t crc =
+      io::crc32({wire.data(), wire.size()});
+  std::memcpy(wire.data() + offsetof(FrameHeader, crc), &crc,
+              sizeof(std::uint32_t));
+
+  // Physical traffic accounting: every copy that hits the wire counts,
+  // exactly like the clean runtime's deliver().
+  const double depart = c.vtime_;
+  const std::size_t wire_cost = modeled_bytes + sizeof(FrameHeader);
+
+  auto charge = [&] {
+    Runtime::RankTraffic& traffic =
+        rt_.traffic_[static_cast<std::size_t>(src)];
+    ++traffic.messages;
+    traffic.bytes += modeled_bytes;
+    ++net.totals.frames_sent;
+  };
+
+  const LinkFaultModel::Fate fate =
+      faults_->decide(src, dst, tag, depart, fate_key);
+
+  auto flip_byte = [](std::vector<std::byte>& buf, std::uint64_t salt) {
+    if (buf.empty()) return;
+    const std::size_t idx = static_cast<std::size_t>(salt % buf.size());
+    const auto mask =
+        static_cast<std::byte>(1 + ((salt >> 8) % 255));  // never 0
+    buf[idx] ^= mask;
+  };
+
+  auto launch = [&](std::vector<std::byte>&& w, bool corrupt) {
+    charge();
+    PhysFrame phys;
+    phys.arrival =
+        rt_.model_->arrival(src, dst, wire_cost, depart) + fate.extra_delay;
+    phys.wire = std::move(w);
+    if (corrupt) flip_byte(phys.wire, fate.salt);
+    if (fate.hold) {
+      // Reorder: stash this frame behind the link's next one. Anything
+      // already held for this destination goes out first (one-deep hold).
+      auto& slot = net.held[static_cast<std::size_t>(dst)];
+      if (slot != nullptr) {
+        PhysFrame prior = std::move(*slot);
+        slot = std::make_unique<PhysFrame>(std::move(phys));
+        enqueue_frame(dst, std::move(prior));
+      } else {
+        slot = std::make_unique<PhysFrame>(std::move(phys));
+      }
+      return;
+    }
+    enqueue_frame(dst, std::move(phys));
+    // A frame that actually traversed the link flushes the hold slot.
+    auto& slot = net.held[static_cast<std::size_t>(dst)];
+    if (slot != nullptr) {
+      PhysFrame held = std::move(*slot);
+      slot.reset();
+      enqueue_frame(dst, std::move(held));
+    }
+  };
+
+  if (fate.drop) {
+    charge();  // the sender paid for the transmission; the fabric ate it
+    // The doomed frame still loaded the fabric on its way to the point of
+    // loss: spend its serialization time in the contention model so lost
+    // traffic costs capacity, not just the sender's RTO.
+    (void)rt_.model_->arrival(src, dst, wire_cost, depart);
+    return;
+  }
+  if (fate.duplicate) {
+    launch(std::vector<std::byte>(wire), fate.corrupt_dup);
+  }
+  launch(std::move(wire), fate.corrupt);
+}
+
+void Transport::enqueue_frame(int dst, PhysFrame&& frame) {
+  RankNet& net = *nets_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(net.mu);
+    net.inbox.push_back(std::move(frame));
+  }
+  // Wake a receiver blocked in recv/quiesce so it pumps the inbox.
+  Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(dst)];
+  box.cv.notify_all();
+}
+
+bool Transport::pump(Comm& c) {
+  const int rank = c.rank();
+  RankNet& net = *nets_[static_cast<std::size_t>(rank)];
+  bind_obs(net);
+
+  std::deque<PhysFrame> batch;
+  {
+    std::lock_guard<std::mutex> lock(net.mu);
+    batch.swap(net.inbox);
+  }
+
+  const bool had_frames = !batch.empty();
+  while (!batch.empty()) {
+    PhysFrame f = std::move(batch.front());
+    batch.pop_front();
+    process_frame(c, net, std::move(f));
+  }
+
+  if (had_frames) {
+    net.idle_pumps = 0;
+  } else if (net.idle_pumps < cfg_.ack_idle_polls) {
+    ++net.idle_pumps;
+  }
+  flush_due_acks(c, net, /*idle=*/!had_frames);
+  const bool retx = check_retransmits(c, net);
+  return had_frames || retx;
+}
+
+void Transport::process_frame(Comm& c, RankNet& net, PhysFrame&& frame) {
+  // -- validation: size, magic, CRC ----------------------------------------
+  if (frame.wire.size() < sizeof(FrameHeader)) {
+    ++net.totals.corrupt_drops;
+    if (net.c_corrupt != nullptr) net.c_corrupt->add(1);
+    return;
+  }
+  FrameHeader hdr;
+  std::memcpy(&hdr, frame.wire.data(), sizeof(FrameHeader));
+  const std::uint32_t got_crc = hdr.crc;
+  hdr.crc = 0;
+  std::memcpy(frame.wire.data(), &hdr, sizeof(FrameHeader));
+  const std::uint32_t want_crc = io::crc32({frame.wire.data(), frame.wire.size()});
+  if (hdr.magic != kMagic || got_crc != want_crc ||
+      frame.wire.size() != sizeof(FrameHeader) + hdr.payload_bytes ||
+      hdr.src < 0 || hdr.src >= nranks_) {
+    ++net.totals.corrupt_drops;
+    if (net.c_corrupt != nullptr) net.c_corrupt->add(1);
+    return;
+  }
+
+  const int peer = hdr.src;
+
+  // Every valid frame carries a cumulative ack for our tx flow to `peer`.
+  process_ack(c, net, peer, hdr.ack);
+
+  if (hdr.kind != kKindData) return;  // pure ack: done
+
+  RxFlow& rx = net.rx[static_cast<std::size_t>(peer)];
+  const std::uint32_t dist = seq_dist(hdr.seq, rx.cum);
+  if (dist == 0 || dist >= 0x80000000u) {
+    // At or behind the cumulative ack: duplicate. Suppress, but re-ack
+    // urgently — a dup usually means our ack got lost.
+    ++net.totals.dup_suppressed;
+    if (net.c_dup != nullptr) net.c_dup->add(1);
+    rx.dirty = true;
+    rx.urgent = true;
+    return;
+  }
+  if (dist > cfg_.window) {
+    // Beyond the reorder window: evict; the sender retransmits once the
+    // gap in front of it is repaired.
+    ++net.totals.window_evictions;
+    if (net.c_evict != nullptr) net.c_evict->add(1);
+    rx.dirty = true;
+    return;
+  }
+  if (rx.ooo.count(hdr.seq) != 0) {
+    ++net.totals.dup_suppressed;
+    if (net.c_dup != nullptr) net.c_dup->add(1);
+    rx.dirty = true;
+    rx.urgent = true;
+    return;
+  }
+  RxHeld held;
+  held.tag = hdr.tag;
+  held.arrival = frame.arrival;
+  held.payload.assign(
+      frame.wire.begin() + static_cast<std::ptrdiff_t>(sizeof(FrameHeader)),
+      frame.wire.end());
+  rx.ooo.emplace(hdr.seq, std::move(held));
+  deliver_in_order(c, net, peer);
+}
+
+void Transport::process_ack(Comm& c, RankNet& net, int peer,
+                            std::uint32_t ackno) {
+  TxFlow& flow = net.tx[static_cast<std::size_t>(peer)];
+  bool advanced = false;
+  while (!flow.unacked.empty() && seq_le(flow.unacked.front().seq, ackno)) {
+    TxFrame& fr = flow.unacked.front();
+    // Health samples: a frame acked on its first transmission is a clean
+    // delivery; one that needed retransmission counts as a loss event.
+    // RTT only from unambiguous (single-attempt) frames (Karn's rule).
+    const double loss_sample = fr.attempts > 1 ? 1.0 : 0.0;
+    if (fr.attempts == 1) {
+      const double rtt = std::max(0.0, c.vtime_ - fr.sent_vtime);
+      flow.rtt_ewma = flow.rtt_ewma == 0.0
+                          ? rtt
+                          : flow.rtt_ewma +
+                                cfg_.ewma_alpha * (rtt - flow.rtt_ewma);
+    }
+    update_health(net, peer, flow, loss_sample);
+    flow.unacked.pop_front();
+    advanced = true;
+  }
+  (void)advanced;
+}
+
+void Transport::deliver_in_order(Comm& c, RankNet& net, int peer) {
+  const int rank = c.rank();
+  RxFlow& rx = net.rx[static_cast<std::size_t>(peer)];
+  Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(rank)];
+  bool delivered = false;
+  for (;;) {
+    auto it = rx.ooo.find(rx.cum + 1);
+    if (it == rx.ooo.end()) break;
+    Message m;
+    m.src = peer;
+    m.tag = it->second.tag;
+    m.arrival = it->second.arrival;
+    m.data = std::move(it->second.payload);
+    rx.ooo.erase(it);
+    ++rx.cum;
+    ++rx.pending_acks;
+    rx.dirty = true;
+    ++net.totals.delivered;
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queue.push_back(std::move(m));
+    }
+    delivered = true;
+  }
+  if (delivered) box.cv.notify_all();
+}
+
+void Transport::send_pure_ack(Comm& c, RankNet& net, int peer) {
+  RxFlow& rx = net.rx[static_cast<std::size_t>(peer)];
+  ++net.totals.pure_acks;
+  if (net.c_pure != nullptr) net.c_pure->add(1);
+  const std::uint64_t key = ack_key(net.ack_counter++);
+  // transmit() only clears ack debt for data frames; clear it here.
+  rx.dirty = false;
+  rx.urgent = false;
+  rx.pending_acks = 0;
+  transmit(c, net, peer, kKindAck, 0, /*tag=*/-1, {}, /*modeled_bytes=*/0,
+           key);
+}
+
+void Transport::flush_due_acks(Comm& c, RankNet& net, bool idle) {
+  for (int peer = 0; peer < nranks_; ++peer) {
+    RxFlow& rx = net.rx[static_cast<std::size_t>(peer)];
+    if (!rx.dirty) continue;
+    const bool due = rx.urgent || rx.pending_acks >= cfg_.ack_batch ||
+                     (idle && net.idle_pumps >= cfg_.ack_idle_polls);
+    if (due) send_pure_ack(c, net, peer);
+  }
+}
+
+bool Transport::check_retransmits(Comm& c, RankNet& net) {
+  const auto now = std::chrono::steady_clock::now();
+  bool any = false;
+  for (int dst = 0; dst < nranks_; ++dst) {
+    TxFlow& flow = net.tx[static_cast<std::size_t>(dst)];
+    if (flow.unacked.empty()) continue;
+    // Cumulative acks: only the oldest unacked frame is ever retransmitted.
+    TxFrame& fr = flow.unacked.front();
+    const auto elapsed = std::chrono::duration<double>(now - fr.last_real);
+    if (elapsed.count() < fr.retx_real) continue;
+
+    // The *cost* of the timeout is virtual: the sender's clock advances to
+    // the expiry of the virtual RTO, so loss shows up in the goodput the
+    // way a real stall would.
+    c.vtime_ = std::max(c.vtime_, fr.sent_vtime + fr.rto);
+    fr.rto = std::min(fr.rto * 2.0, cfg_.rto_cap_seconds);
+    fr.retx_real = std::min(fr.retx_real * 2.0, cfg_.retx_real_cap_seconds);
+    fr.sent_vtime = c.vtime_;
+    fr.last_real = now;
+    ++fr.attempts;
+    ++net.totals.retransmits;
+    if (net.c_retx != nullptr) net.c_retx->add(1);
+    update_health(net, dst, flow, 1.0);
+    transmit(c, net, dst, kKindData, fr.seq, fr.tag, fr.payload,
+             fr.modeled_bytes, data_key(fr.seq, fr.attempts - 1));
+    any = true;
+  }
+  return any;
+}
+
+void Transport::update_health(RankNet& net, int dst, TxFlow& flow,
+                              double sample_loss) {
+  flow.loss_ewma += cfg_.ewma_alpha * (sample_loss - flow.loss_ewma);
+  if (!flow.alarmed && flow.loss_ewma > cfg_.health_alarm) {
+    flow.alarmed = true;
+    ++net.totals.degraded_alarms;
+    if (net.c_alarm != nullptr) net.c_alarm->add(1);
+  } else if (flow.alarmed && flow.loss_ewma < cfg_.health_alarm * 0.5) {
+    flow.alarmed = false;  // hysteresis: re-alarm only after recovery
+  }
+  if (net.g_health != nullptr) {
+    double worst = 0.0;
+    for (const TxFlow& f : net.tx) worst = std::max(worst, f.loss_ewma);
+    net.g_health->set(1.0 - worst);
+  }
+  (void)dst;
+}
+
+void Transport::quiesce(Comm& c) {
+  const int rank = c.rank();
+  RankNet& net = *nets_[static_cast<std::size_t>(rank)];
+  Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(rank)];
+  for (;;) {
+    pump(c);
+    bool clean = true;
+    for (const TxFlow& f : net.tx) {
+      if (!f.unacked.empty()) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) return;
+    if (rt_.aborted_.load()) throw Aborted{};
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait_for(lock, std::chrono::microseconds(100));
+  }
+}
+
+void Transport::drain(Comm& c) {
+  const int rank = c.rank();
+  RankNet& net = *nets_[static_cast<std::size_t>(rank)];
+  Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(rank)];
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    pump(c);
+    bool mine_clean = true;
+    for (const TxFlow& f : net.tx) {
+      if (!f.unacked.empty()) {
+        mine_clean = false;
+        break;
+      }
+    }
+    bool all_clean = false;
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      drained_[static_cast<std::size_t>(rank)] = mine_clean ? 1 : 0;
+      all_clean = std::all_of(drained_.begin(), drained_.end(),
+                              [](std::uint8_t d) { return d != 0; });
+    }
+    if (all_clean) return;
+    if (rt_.aborted_.load()) return;  // teardown: give up quietly
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (elapsed > std::chrono::seconds(30)) {
+      std::string msg = "vmpi transport: post-body drain stalled\n";
+      for (int r = 0; r < nranks_; ++r) msg += dump(r);
+      throw std::runtime_error(msg);
+    }
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+std::string Transport::dump(int rank) const {
+  const RankNet& net = *nets_[static_cast<std::size_t>(rank)];
+  std::ostringstream os;
+  os << "rank " << rank << ":\n";
+  for (int d = 0; d < nranks_; ++d) {
+    const TxFlow& f = net.tx[static_cast<std::size_t>(d)];
+    if (f.next_seq == cfg_.initial_seq && f.unacked.empty()) continue;
+    os << "  tx->" << d << " next_seq=" << f.next_seq
+       << " unacked=" << f.unacked.size();
+    if (!f.unacked.empty()) {
+      const TxFrame& fr = f.unacked.front();
+      os << " front_seq=" << fr.seq << " tag=" << fr.tag
+         << " attempts=" << fr.attempts << " rto=" << fr.rto;
+    }
+    os << " loss_ewma=" << f.loss_ewma << "\n";
+  }
+  for (int s = 0; s < nranks_; ++s) {
+    const RxFlow& f = net.rx[static_cast<std::size_t>(s)];
+    if (f.cum == cfg_.initial_seq - 1 && f.ooo.empty() && !f.dirty) continue;
+    os << "  rx<-" << s << " cum=" << f.cum << " ooo=" << f.ooo.size()
+       << " pending_acks=" << f.pending_acks << (f.dirty ? " dirty" : "")
+       << "\n";
+  }
+  return os.str();
+}
+
+NetTotals Transport::totals() const {
+  NetTotals sum;
+  for (int r = 0; r < nranks_; ++r) {
+    const NetTotals t = totals(r);
+    sum.frames_sent += t.frames_sent;
+    sum.retransmits += t.retransmits;
+    sum.corrupt_drops += t.corrupt_drops;
+    sum.dup_suppressed += t.dup_suppressed;
+    sum.acks_piggybacked += t.acks_piggybacked;
+    sum.pure_acks += t.pure_acks;
+    sum.window_evictions += t.window_evictions;
+    sum.degraded_alarms += t.degraded_alarms;
+    sum.delivered += t.delivered;
+  }
+  return sum;
+}
+
+NetTotals Transport::totals(int rank) const {
+  return nets_.at(static_cast<std::size_t>(rank))->totals;
+}
+
+double Transport::link_health(int src, int dst) const {
+  const RankNet& net = *nets_.at(static_cast<std::size_t>(src));
+  return 1.0 - net.tx.at(static_cast<std::size_t>(dst)).loss_ewma;
+}
+
+}  // namespace ss::vmpi

@@ -1,0 +1,244 @@
+// Reliable end-to-end transport over a lossy virtual fabric.
+//
+// When a LinkFaultModel is attached to a vmpi::Runtime in reliable mode,
+// every application point-to-point message (and therefore every
+// collective and every ABM batch, which are built from them) rides a
+// TCP-flavored protocol instead of the perfect mailbox:
+//
+//  - per-(src,dst) *flows* with 32-bit sequence numbers (modular
+//    comparisons, so wraparound is routine, not an event),
+//  - a CRC-32 (io::crc32, the snapshot format's polynomial) over every
+//    frame; corrupted frames are counted and dropped at the receiver,
+//  - cumulative acks piggybacked on reverse data traffic, with delayed
+//    pure acks when the receiver has nothing to say,
+//  - sender-side retransmission of the oldest unacked frame with
+//    exponential backoff on a capped virtual-time RTO — each timeout
+//    *charges virtual time*, so loss shows up in goodput curves the way
+//    it would on the real fabric,
+//  - a receiver-side dedup + reorder window: duplicates are suppressed
+//    (and re-acked), out-of-order frames are buffered and released
+//    in-order, frames beyond the window are evicted for the sender to
+//    retransmit later,
+//  - a per-link health monitor (EWMA loss / RTT) with a degraded-link
+//    alarm, exported through obs as net.* counters and the
+//    net.link_health gauge.
+//
+// The application-visible contract: per (src,dst) flow, messages are
+// delivered exactly once, in send order, bit-identical to what was sent
+// — the same contract the perfect mailbox gives — so the treecode, the
+// collectives and checkpoint/restart run unchanged and bit-stable on a
+// fabric that drops, duplicates, reorders and corrupts frames.
+//
+// Scheduling note: retransmission *costs* are virtual (RTO backoff
+// advances the sender's virtual clock) but retransmission *checks* are
+// paced by a small real-time timer, because a rank blocked in recv has a
+// frozen virtual clock. The transport makes progress from every
+// send/recv/poll call and from the blocked-receive wait loop.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "vmpi/fault.hpp"
+
+namespace ss::vmpi {
+
+class Comm;
+class Runtime;
+
+struct TransportConfig {
+  /// Initial virtual-time retransmission timeout and its backoff cap.
+  /// Each timeout advances the sender's virtual clock by the current RTO
+  /// (that's the latency cost of a loss) and doubles it up to the cap.
+  double rto_seconds = 200e-6;
+  double rto_cap_seconds = 20e-3;
+  /// Receiver reorder/dedup window in frames per flow. Frames more than
+  /// `window` ahead of the cumulative ack are evicted (the sender
+  /// retransmits them once the gap is repaired).
+  std::uint32_t window = 256;
+  /// First data sequence number on every flow. Tests set this near
+  /// UINT32_MAX to exercise wraparound.
+  std::uint32_t initial_seq = 1;
+  /// Send a pure ack after this many in-order deliveries without reverse
+  /// traffic (piggybacking covers the common case).
+  std::uint32_t ack_batch = 8;
+  /// Pure-ack flush after this many consecutive idle progress calls (a
+  /// blocked receiver acks promptly; a busy one piggybacks).
+  std::uint32_t ack_idle_polls = 8;
+  /// Real-time pacing of retransmission checks (doubling, capped).
+  double retx_real_seconds = 2e-3;
+  double retx_real_cap_seconds = 20e-3;
+  /// Health EWMA smoothing and the degraded-link alarm threshold.
+  double ewma_alpha = 0.125;
+  double health_alarm = 0.5;
+};
+
+/// Aggregate protocol activity (sum over ranks / flows).
+struct NetTotals {
+  std::uint64_t frames_sent = 0;       ///< Physical data frames (incl. retx).
+  std::uint64_t retransmits = 0;       ///< Timeout-driven resends.
+  std::uint64_t corrupt_drops = 0;     ///< Frames rejected by CRC/format.
+  std::uint64_t dup_suppressed = 0;    ///< Duplicate data frames discarded.
+  std::uint64_t acks_piggybacked = 0;  ///< Acks carried on data frames.
+  std::uint64_t pure_acks = 0;         ///< Dedicated ack frames sent.
+  std::uint64_t window_evictions = 0;  ///< Frames dropped past the window.
+  std::uint64_t degraded_alarms = 0;   ///< Health threshold crossings.
+  std::uint64_t delivered = 0;         ///< Messages handed to the app.
+};
+
+class Transport {
+ public:
+  Transport(Runtime& rt, std::shared_ptr<LinkFaultModel> faults,
+            TransportConfig cfg);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Reset all flow state for a fresh Runtime::run().
+  void reset();
+
+  /// Sender side: frame the payload and transmit it on flow
+  /// (c.rank() -> dst). May consult the fault model several times
+  /// (duplicate copies). Runs on the sending rank's thread.
+  void send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload,
+            std::size_t modeled_bytes);
+
+  /// Progress engine for rank c.rank(): drain the frame inbox, deliver
+  /// in-order data to the rank's mailbox, process acks, send due pure
+  /// acks, retransmit timed-out frames. Returns true if any frame was
+  /// processed. Runs only on the owning rank's thread.
+  bool pump(Comm& c);
+
+  /// Block (politely: keep pumping) until every frame this rank sent has
+  /// been cumulatively acked — i.e. delivered into its destination
+  /// mailbox. Restores the clean runtime's "synchronous enqueue"
+  /// invariant ahead of a barrier.
+  void quiesce(Comm& c);
+
+  /// Post-body drain: keep serving acks/retransmits until every rank's
+  /// flows are clean, so no peer is left waiting on a dead thread.
+  void drain(Comm& c);
+
+  /// Human-readable per-flow protocol state for one rank (seq/ack/unacked
+  /// table) — the payload of the drain watchdog's error message.
+  std::string dump(int rank) const;
+
+  NetTotals totals() const;                       ///< Sum over ranks.
+  NetTotals totals(int rank) const;               ///< One rank's share.
+  double link_health(int src, int dst) const;     ///< 1 = clean, -> 0 = dying.
+
+  const TransportConfig& config() const { return cfg_; }
+
+ private:
+  // -- wire format ----------------------------------------------------------
+  struct FrameHeader {
+    std::uint32_t magic = 0;
+    std::uint32_t crc = 0;  ///< CRC-32 of header (crc = 0) + payload.
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;  ///< Cumulative ack for the reverse flow.
+    std::int32_t src = 0;
+    std::int32_t dst = 0;
+    std::int32_t tag = 0;
+    std::uint32_t kind = 0;  ///< 0 = data, 1 = pure ack.
+    std::uint32_t payload_bytes = 0;
+    std::uint32_t pad = 0;
+    std::uint64_t modeled_bytes = 0;
+  };
+  static_assert(sizeof(FrameHeader) == 48);
+
+  struct PhysFrame {
+    double arrival = 0.0;
+    std::vector<std::byte> wire;
+  };
+
+  // -- per-flow state -------------------------------------------------------
+  struct TxFrame {
+    std::uint32_t seq = 0;
+    std::int32_t tag = 0;
+    std::vector<std::byte> payload;
+    std::size_t modeled_bytes = 0;
+    double sent_vtime = 0.0;  ///< Virtual time of the last transmission.
+    double rto = 0.0;         ///< Current virtual RTO (backoff).
+    double retx_real = 0.0;   ///< Current real-time pacing (backoff).
+    std::chrono::steady_clock::time_point last_real;
+    std::uint32_t attempts = 0;  ///< Physical transmissions so far.
+  };
+
+  struct TxFlow {
+    std::uint32_t next_seq = 0;
+    std::deque<TxFrame> unacked;  ///< Ordered by seq.
+    double loss_ewma = 0.0;
+    double rtt_ewma = 0.0;
+    bool alarmed = false;
+  };
+
+  struct RxHeld {
+    std::int32_t tag = 0;
+    double arrival = 0.0;
+    std::vector<std::byte> payload;
+  };
+
+  struct RxFlow {
+    std::uint32_t cum = 0;  ///< Highest in-order seq delivered to the app.
+    std::unordered_map<std::uint32_t, RxHeld> ooo;  ///< Out-of-order buffer.
+    std::uint32_t pending_acks = 0;  ///< Deliveries since the last ack out.
+    bool dirty = false;              ///< Ack owed to the peer.
+    bool urgent = false;             ///< Duplicate seen: ack immediately.
+  };
+
+  struct RankNet {
+    std::mutex mu;  ///< Guards inbox (multi-producer, one consumer).
+    std::deque<PhysFrame> inbox;
+    std::vector<TxFlow> tx;  ///< Indexed by destination rank.
+    std::vector<RxFlow> rx;  ///< Indexed by source rank.
+    std::uint64_t ack_counter = 0;  ///< Fate keys for pure acks.
+    std::uint32_t idle_pumps = 0;
+    NetTotals totals;
+    std::vector<std::unique_ptr<PhysFrame>> held;  ///< Reorder hold, per dst.
+    // Observability (bound lazily on the owning thread).
+    bool obs_bound = false;
+    obs::Counter* c_retx = nullptr;
+    obs::Counter* c_corrupt = nullptr;
+    obs::Counter* c_dup = nullptr;
+    obs::Counter* c_piggy = nullptr;
+    obs::Counter* c_pure = nullptr;
+    obs::Counter* c_evict = nullptr;
+    obs::Counter* c_alarm = nullptr;
+    obs::Gauge* g_health = nullptr;
+  };
+
+  void bind_obs(RankNet& net);
+  void transmit(Comm& c, RankNet& net, int dst, std::uint32_t kind,
+                std::uint32_t seq, std::int32_t tag,
+                std::span<const std::byte> payload, std::size_t modeled_bytes,
+                std::uint64_t fate_key);
+  void enqueue_frame(int dst, PhysFrame&& frame);
+  void process_frame(Comm& c, RankNet& net, PhysFrame&& frame);
+  void process_ack(Comm& c, RankNet& net, int peer, std::uint32_t ackno);
+  void deliver_in_order(Comm& c, RankNet& net, int peer);
+  void send_pure_ack(Comm& c, RankNet& net, int peer);
+  void flush_due_acks(Comm& c, RankNet& net, bool idle);
+  bool check_retransmits(Comm& c, RankNet& net);
+  void update_health(RankNet& net, int dst, TxFlow& flow, double sample_loss);
+
+  Runtime& rt_;
+  std::shared_ptr<LinkFaultModel> faults_;
+  TransportConfig cfg_;
+  int nranks_;
+  std::vector<std::unique_ptr<RankNet>> nets_;
+  /// Ranks whose body returned and whose tx flows are fully acked; the
+  /// post-body drain loops until all are (monotone once a rank stops
+  /// sending data, which the drain guarantees).
+  std::vector<std::uint8_t> drained_;  // written under drain_mu_
+  std::mutex drain_mu_;
+};
+
+}  // namespace ss::vmpi
