@@ -14,14 +14,22 @@
 //   --json [PATH]    write the Fig 2 curves — and the loss sweep when
 //                    --loss ran — as machine-readable JSON (default
 //                    BENCH_fig2_netpipe.json).
+//   --trace [PREFIX] rerun one lossy cell (1% drop, 64 KiB messages)
+//                    with an obs::Session attached and write
+//                    PREFIX.trace.json (flow arrows + net.retx markers)
+//                    and PREFIX.summary.json (net.rtt_seconds /
+//                    net.retx_backoff_seconds quantiles, critical path).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "simnet/profile.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
@@ -51,9 +59,11 @@ struct LossRow {
 /// `drop` handled by the reliable transport. Goodput is payload bits over
 /// the receiver's virtual completion time — retransmission timers, ack
 /// frames and header overhead all land in the denominator.
-LossPoint run_loss_cell(double drop, std::size_t bytes, int count) {
+LossPoint run_loss_cell(double drop, std::size_t bytes, int count,
+                        ss::obs::Session* obs = nullptr) {
   auto model = ss::vmpi::make_space_simulator_model(ss::simnet::lam());
   ss::vmpi::Runtime rt(2, model);
+  if (obs != nullptr) rt.attach_observer(obs);
   if (drop > 0.0) {
     ss::vmpi::FaultRates rates;
     rates.drop = drop;
@@ -155,6 +165,7 @@ int main(int argc, char** argv) {
   std::optional<double> loss_rate;
   bool do_loss = false;
   std::optional<std::string> json_path;
+  std::optional<std::string> trace_prefix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--loss") == 0) {
       do_loss = true;
@@ -165,8 +176,13 @@ int main(int argc, char** argv) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-')
                       ? std::string(argv[++i])
                       : std::string("BENCH_fig2_netpipe.json");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_prefix = (i + 1 < argc && argv[i + 1][0] != '-')
+                         ? std::string(argv[++i])
+                         : std::string("BENCH_fig2_obs");
     } else {
-      std::cerr << "usage: " << argv[0] << " [--loss [P]] [--json [PATH]]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--loss [P]] [--json [PATH]] [--trace [PREFIX]]\n";
       return 2;
     }
   }
@@ -220,6 +236,24 @@ int main(int argc, char** argv) {
   if (do_loss) {
     loss_rows = run_loss_sweep(loss_rate);
     print_loss_sweep(loss_rows);
+  }
+
+  if (trace_prefix) {
+    // One traced lossy cell: 1% frame drop, 64 KiB messages. The trace
+    // carries a flow arrow per delivered message and a net.retx marker
+    // per timeout; the summary carries the Karn RTT and RTO-backoff
+    // histograms the transport recorded along the way.
+    auto obs = std::make_unique<ss::obs::Session>(2);
+    const LossPoint p = run_loss_cell(0.01, 64u << 10, 64, obs.get());
+    const std::string trace_path = *trace_prefix + ".trace.json";
+    const std::string summary_path = *trace_prefix + ".summary.json";
+    ss::obs::write_chrome_trace_file(*obs, trace_path);
+    ss::obs::write_summary_file(*obs, summary_path);
+    std::cout << "traced cell (1% drop, 64 KiB x 64): "
+              << Table::fixed(p.goodput_mbits, 1) << " Mbit/s, "
+              << p.retransmits << " retransmits\n"
+              << "trace: " << trace_path << "  summary: " << summary_path
+              << "\n\n";
   }
 
   if (json_path) {

@@ -36,6 +36,8 @@
 #include "nbody/ic.hpp"
 #include "nbody/integrator.hpp"
 #include "nbody/outofcore.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "simnet/profile.hpp"
 #include "support/json.hpp"
 #include "support/stats.hpp"
@@ -75,10 +77,11 @@ struct SnapshotIoResult {
 std::vector<EngineStepRow> run_engine_trajectory(
     int ranks, int steps,
     const std::optional<std::filesystem::path>& snapshot_dir = std::nullopt,
-    SnapshotIoResult* io_out = nullptr) {
+    SnapshotIoResult* io_out = nullptr, ss::obs::Session* obs = nullptr) {
   auto model = ss::vmpi::make_space_simulator_model(
       ss::simnet::lam_homogeneous(), 623.9e6);
   ss::vmpi::Runtime rt(ranks, model);
+  if (obs != nullptr) rt.attach_observer(obs);
   std::vector<EngineStepRow> rows(static_cast<std::size_t>(steps));
   std::mutex mu;
   rt.run([&](ss::vmpi::Comm& c) {
@@ -160,6 +163,7 @@ int main(int argc, char** argv) {
 
   std::optional<std::string> json_path;
   std::optional<std::filesystem::path> snapshots_dir;
+  std::optional<std::string> trace_prefix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-')
@@ -169,9 +173,13 @@ int main(int argc, char** argv) {
       snapshots_dir = (i + 1 < argc && argv[i + 1][0] != '-')
                           ? std::filesystem::path(argv[++i])
                           : std::filesystem::path("BENCH_fig7_snapshots");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_prefix = (i + 1 < argc && argv[i + 1][0] != '-')
+                         ? std::string(argv[++i])
+                         : std::string("BENCH_fig7_obs");
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--json [PATH]] [--snapshots [DIR]]\n";
+                << " [--json [PATH]] [--snapshots [DIR]] [--trace [PREFIX]]\n";
       return 2;
     }
   }
@@ -314,9 +322,11 @@ int main(int argc, char** argv) {
   if (snapshots_dir) {
     std::filesystem::create_directories(*snapshots_dir);
   }
+  std::unique_ptr<ss::obs::Session> obs;
+  if (trace_prefix) obs = std::make_unique<ss::obs::Session>(kEngineRanks);
   const auto engine_rows = run_engine_trajectory(
       kEngineRanks, kEngineSteps, snapshots_dir,
-      snapshots_dir ? &snap_io : nullptr);
+      snapshots_dir ? &snap_io : nullptr, obs.get());
   {
     Table t("multi-step distributed leapfrog (8 virtual nodes, "
             "persistent engine)");
@@ -360,6 +370,23 @@ int main(int argc, char** argv) {
                  "hidden behind compute by the async double buffer; the\n"
                  "commit-one-behind protocol means a crash loses at most\n"
                  "the single uncommitted generation.\n";
+  }
+
+  if (obs) {
+    // Causal trace of the multi-step engine run: Chrome trace (flow
+    // arrows between ranks), machine summary (counters + histogram
+    // quantiles + critical path) and the attribution table.
+    const std::string trace_path = *trace_prefix + ".trace.json";
+    const std::string summary_path = *trace_prefix + ".summary.json";
+    ss::obs::write_chrome_trace_file(*obs, trace_path);
+    ss::obs::write_summary_file(*obs, summary_path);
+    const ss::obs::CriticalPath cp(*obs);
+    std::cout << "\n"
+              << cp.table("critical-path attribution (8-rank engine "
+                          "trajectory)");
+    std::cout << "\ntrace: " << trace_path << "  summary: " << summary_path
+              << "  (attributed " << Table::fixed(cp.attributed_frac(), 3)
+              << " of the window)\n";
   }
 
   if (json_path) {

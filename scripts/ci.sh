@@ -164,4 +164,24 @@ print(f"BENCH_fig2_netpipe.json loss_sweep ok: {len(sweep)} rates,"
       f" {retx} retransmits at 5% drop, goodput degrades gracefully")
 PY
 
+echo "=== Stage 4: observability regression + flight-recorder smoke ==="
+
+# Traced ablation bench diffed against the committed baseline summary.
+# obs_diff's thresholds are loose (counters/gauges 1x, quantiles 2x,
+# critical-path share shift 0.25) so legitimate scheduling jitter passes;
+# the gate catches composition regressions — fabric time doubling, the
+# attribution dropping below 0.95, an order-of-magnitude counter shift.
+obs_summary="build/BENCH_ablation_obs.summary.json"
+./build/bench/bench_ablation_parallel --trace build/BENCH_ablation_obs \
+  >/dev/null
+python3 scripts/obs_diff.py bench/baselines/ablation_parallel.summary.json \
+  "${obs_summary}" --quiet
+
+# Flight-recorder smoke: force a drain-watchdog stall on a lossy
+# unreliable fabric and require a valid, parseable SSBLOCK1 postmortem
+# (the gtest asserts BlockReader::verify_all plus ring contents).
+./build/tests/test_net \
+  --gtest_filter='NetEngine.DrainWatchdogStallWritesPostmortem' \
+  --gtest_brief=1
+
 echo "=== CI green ==="

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compare two ss.obs.summary.v1 files (obs/report.hpp write_summary).
+
+Reports counter-total deltas, gauge shifts, histogram quantile shifts and
+the change in critical-path composition (compute/wait/fabric share of the
+attributed time), and exits nonzero when a change exceeds its threshold —
+the CI regression gate over a committed baseline summary.
+
+Usage:
+  obs_diff.py BASELINE CURRENT [options]
+
+Options (all relative thresholds are fractions, not percent):
+  --counter-rel R    max relative change of any counter total [default 1.0]
+  --gauge-rel R      max relative change of any gauge mean    [default 1.0]
+  --quantile-rel R   max relative change of histogram p50/p90/p99
+                     [default 2.0]
+  --cp-abs F         max absolute shift of each critical-path share
+                     (compute/wait/fabric fraction of attributed time)
+                     [default 0.25]
+  --ignore PREFIX    skip metrics whose name starts with PREFIX (repeat)
+  --quiet            only print violations
+
+Thresholds default loose on purpose: message and event counts shift
+legitimately with thread scheduling; the gate is for composition changes
+(e.g. fabric time doubling) and order-of-magnitude regressions, not
+run-to-run jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rel_change(base, cur):
+    """Relative change with a floor so tiny baselines don't explode."""
+    denom = max(abs(base), 1e-12)
+    return abs(cur - base) / denom
+
+
+def load(path):
+    with open(path) as f:
+        d = json.load(f)
+    if d.get("schema") != "ss.obs.summary.v1":
+        sys.exit(f"{path}: not an ss.obs.summary.v1 file "
+                 f"(schema={d.get('schema')!r})")
+    return d
+
+
+def cp_shares(d):
+    """(compute, wait, fabric) as fractions of the attributed total."""
+    per_rank = d.get("critical_path", {}).get("per_rank", [])
+    c = sum(r["compute_seconds"] for r in per_rank)
+    w = sum(r["wait_seconds"] for r in per_rank)
+    f = sum(r["fabric_seconds"] for r in per_rank)
+    total = c + w + f
+    if total <= 0:
+        return None
+    return (c / total, w / total, f / total)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--counter-rel", type=float, default=1.0)
+    ap.add_argument("--gauge-rel", type=float, default=1.0)
+    ap.add_argument("--quantile-rel", type=float, default=2.0)
+    ap.add_argument("--cp-abs", type=float, default=0.25)
+    ap.add_argument("--ignore", action="append", default=[])
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    violations = []
+    lines = []
+
+    def note(kind, name, text, bad):
+        (violations if bad else lines).append(f"  [{kind}] {name}: {text}")
+
+    def ignored(name):
+        return any(name.startswith(p) for p in args.ignore)
+
+    # --- counters ----------------------------------------------------------
+    bc = base.get("counters", {})
+    cc = cur.get("counters", {})
+    for name in sorted(set(bc) | set(cc)):
+        if ignored(name):
+            continue
+        if name not in bc:
+            note("counter", name, f"added (total {cc[name]['total']})", False)
+            continue
+        if name not in cc:
+            note("counter", name, f"removed (was {bc[name]['total']})", False)
+            continue
+        b, c = bc[name]["total"], cc[name]["total"]
+        r = rel_change(b, c)
+        note("counter", name, f"{b} -> {c} ({r:+.1%})",
+             r > args.counter_rel and max(b, c) > 0)
+
+    # --- gauges ------------------------------------------------------------
+    bg = base.get("gauges", {})
+    cg = cur.get("gauges", {})
+    for name in sorted(set(bg) & set(cg)):
+        if ignored(name):
+            continue
+        b, c = bg[name]["mean"], cg[name]["mean"]
+        r = rel_change(b, c)
+        note("gauge", name, f"mean {b:.6g} -> {c:.6g} ({r:+.1%})",
+             r > args.gauge_rel)
+
+    # --- histogram quantiles ----------------------------------------------
+    bh = base.get("histograms", {})
+    ch = cur.get("histograms", {})
+    for name in sorted(set(bh) & set(ch)):
+        if ignored(name):
+            continue
+        for q in ("p50", "p90", "p99"):
+            b, c = bh[name][q], ch[name][q]
+            r = rel_change(b, c)
+            note("quantile", f"{name}.{q}", f"{b:.4g} -> {c:.4g} ({r:+.1%})",
+                 r > args.quantile_rel and max(b, c) > 0)
+
+    # --- critical-path composition ----------------------------------------
+    bcp, ccp = cp_shares(base), cp_shares(cur)
+    if bcp is not None and ccp is not None:
+        for label, b, c in zip(("compute", "wait", "fabric"), bcp, ccp):
+            d = abs(c - b)
+            note("critical-path", label,
+                 f"share {b:.3f} -> {c:.3f} (shift {d:.3f})",
+                 d > args.cp_abs)
+    bf = base.get("critical_path", {}).get("attributed_frac")
+    cf = cur.get("critical_path", {}).get("attributed_frac")
+    if bf is not None and cf is not None:
+        note("critical-path", "attributed_frac", f"{bf:.3f} -> {cf:.3f}",
+             cf < 0.95 <= bf)
+
+    if not args.quiet:
+        print(f"obs_diff: {args.baseline} vs {args.current}")
+        for ln in lines:
+            print(ln)
+    if violations:
+        print(f"obs_diff: {len(violations)} threshold violation(s):")
+        for v in violations:
+            print(v)
+        return 1
+    print(f"obs_diff: ok ({len(lines)} metrics within thresholds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "gravity/batch.hpp"
+#include "io/postmortem.hpp"
 #include "obs/obs.hpp"
 
 namespace ss::hot {
@@ -136,6 +137,7 @@ struct Walk {
   std::uint64_t body_interactions = 0;
   std::uint64_t cell_interactions = 0;
   std::uint64_t cells_opened = 0;
+  double park_start = 0.0;  ///< Virtual time of the last park (tracing only).
 };
 
 }  // namespace
@@ -168,6 +170,8 @@ struct GravityEngine::Impl {
       c_prefetch_hits_ = &reg.counter("hot.prefetch_hits");
       c_prefetch_wasted_ = &reg.counter("hot.prefetch_wasted");
       c_pushes_ = &reg.counter("hot.sibling_pushes");
+      h_park_ = &reg.histogram("hot.walk_park_seconds");
+      h_tile_ = &reg.histogram("hot.tile_occupancy");
     }
     body_tile_.reserve(cfg.tile_bodies);
     cell_tile_.reserve(cfg.tile_cells);
@@ -293,6 +297,8 @@ struct GravityEngine::Impl {
   obs::Counter* c_prefetch_hits_ = nullptr;
   obs::Counter* c_prefetch_wasted_ = nullptr;
   obs::Counter* c_pushes_ = nullptr;
+  obs::Histogram* h_park_ = nullptr;  ///< hot.walk_park_seconds
+  obs::Histogram* h_tile_ = nullptr;  ///< hot.tile_occupancy
 };
 
 void GravityEngine::Impl::drain_stall(const char* where) {
@@ -305,6 +311,18 @@ void GravityEngine::Impl::drain_stall(const char* where) {
          "); a message was likely lost below the reliability layer";
   const std::string flows = comm_.transport_dump();
   if (!flows.empty()) msg += "\ntransport flow state:\n" + flows;
+  if (obs_ != nullptr) {
+    obs_->flight(obs::FlightKind::kStall, comm_.rank(), 0,
+                 cfg_.drain_timeout_seconds);
+  }
+  if (!cfg_.postmortem_path.empty()) {
+    // Black box dump: every rank's flight-recorder ring (the stalled
+    // peers' included — FlightRecorder::snapshot is cross-rank safe) plus
+    // the transport's per-flow state. Atomic write: if several ranks
+    // stall at once, each writes a complete file and the last wins.
+    io::write_postmortem(cfg_.postmortem_path, comm_.observer(),
+                         {msg.substr(0, msg.find('\n')), flows});
+  }
   throw std::runtime_error(msg);
 }
 
@@ -375,6 +393,7 @@ void GravityEngine::Impl::flush_body_tile(Walk& w) {
   if (obs_ != nullptr) {
     c_tile_flushes_->add(1);
     c_batched_->add(body_tile_.size());
+    h_tile_->record(static_cast<double>(body_tile_.size()));
   }
   body_tile_.clear();
 }
@@ -388,6 +407,7 @@ void GravityEngine::Impl::flush_cell_tile(Walk& w) {
   if (obs_ != nullptr) {
     c_tile_flushes_->add(1);
     c_batched_->add(cell_tile_.size());
+    h_tile_->record(static_cast<double>(cell_tile_.size()));
   }
   cell_tile_.clear();
 }
@@ -683,7 +703,17 @@ void GravityEngine::Impl::handle_push_bodies(
 void GravityEngine::Impl::unpark(Key k) {
   auto it = waiting_.find(k);
   if (it == waiting_.end()) return;
-  if (obs_ != nullptr) c_resumed_->add(it->second.size());
+  if (obs_ != nullptr) {
+    c_resumed_->add(it->second.size());
+    const double now = obs_->now();
+    for (std::uint32_t w : it->second) {
+      const double parked =
+          now - walks_[static_cast<std::size_t>(w)].park_start;
+      h_park_->record(parked > 0.0 ? parked : 0.0);
+    }
+    obs_->flight(obs::FlightKind::kUnpark, -1, k,
+                 static_cast<double>(it->second.size()));
+  }
   for (std::uint32_t w : it->second) ready_.push_back(w);
   waiting_.erase(it);
 }
@@ -693,7 +723,11 @@ void GravityEngine::Impl::park(Walk& w, Key k, int owner,
   w.stack.push_back(k);  // retry this key on resume
   waiting_[k].push_back(walk_idx);
   ++stats_.walks_parked;
-  if (obs_ != nullptr) c_parked_->add(1);
+  if (obs_ != nullptr) {
+    c_parked_->add(1);
+    w.park_start = obs_->now();
+    obs_->flight(obs::FlightKind::kPark, owner, k, 0.0);
+  }
   if (requested_.insert(k).second) {
     abm_.post_value(owner, kChanRequest, k);
     ++stats_.remote_requests;

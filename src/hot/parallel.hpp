@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hot/abm.hpp"
@@ -84,6 +85,11 @@ struct ParallelConfig {
   /// carrying the transport's per-flow protocol state (when one is
   /// attached) so the stall is diagnosable instead of silent.
   double drain_timeout_seconds = 30.0;
+  /// When non-empty and an obs::Session is attached to the Runtime, a
+  /// watchdog stall dumps every rank's flight-recorder ring (plus the
+  /// transport's per-flow dump) to this SSBLOCK1 postmortem file
+  /// (io/postmortem.hpp) before the stall throws.
+  std::string postmortem_path;
 };
 
 struct ParallelStats {

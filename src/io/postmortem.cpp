@@ -1,0 +1,77 @@
+#include "io/postmortem.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/blockfile.hpp"
+
+namespace ss::io {
+
+namespace {
+
+std::string rank_block_name(int rank) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "r%04d.flight", rank);
+  return buf;
+}
+
+void add_text(BlockBuilder& b, std::string_view name, std::string_view text) {
+  b.add(name, DType::u8, 1, text.size(),
+        {reinterpret_cast<const std::byte*>(text.data()), text.size()});
+}
+
+std::string read_text(const BlockReader& r, std::string_view name) {
+  if (!r.has(name)) return {};
+  const BlockInfo& b = r.info(name);
+  const auto bytes = r.payload_checked(b);
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+}  // namespace
+
+void write_postmortem(const std::filesystem::path& path,
+                      const obs::Session* session,
+                      const PostmortemInfo& info) {
+  BlockBuilder b;
+  add_text(b, "reason", info.reason);
+  add_text(b, "detail", info.detail);
+  const int nranks = session != nullptr ? session->size() : 0;
+  b.add_scalar("ranks", static_cast<std::uint64_t>(nranks));
+
+  if (session != nullptr) {
+    std::ostringstream counters;
+    for (int r = 0; r < nranks; ++r) {
+      for (const auto& [name, c] : session->rank(r).registry().counters()) {
+        counters << r << " " << name << " " << c.value() << "\n";
+      }
+    }
+    const std::string text = counters.str();
+    add_text(b, "counters", text);
+
+    for (int r = 0; r < nranks; ++r) {
+      const std::vector<obs::FlightEvent> ring =
+          session->rank(r).flight_recorder().snapshot();
+      b.add<obs::FlightEvent>(rank_block_name(r),
+                              {ring.data(), ring.size()});
+    }
+  }
+
+  write_file_atomic(path, b.finish());
+}
+
+Postmortem read_postmortem(const std::filesystem::path& path) {
+  BlockReader r(path);
+  Postmortem out;
+  out.reason = read_text(r, "reason");
+  out.detail = read_text(r, "detail");
+  out.ranks = static_cast<int>(r.read_u64("ranks"));
+  out.counters = read_text(r, "counters");
+  out.flight.resize(static_cast<std::size_t>(out.ranks));
+  for (int rank = 0; rank < out.ranks; ++rank) {
+    out.flight[static_cast<std::size_t>(rank)] =
+        r.read<obs::FlightEvent>(rank_block_name(rank));
+  }
+  return out;
+}
+
+}  // namespace ss::io

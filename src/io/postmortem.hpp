@@ -1,0 +1,51 @@
+// Postmortem files: what the simulator was doing when a watchdog fired.
+//
+// When a drain/settle watchdog stalls or the fault injector kills a rank,
+// the supervisor (or the engine itself) snapshots every rank's obs
+// FlightRecorder — the bounded ring of recent sends/recvs/retransmits/
+// parks — into one SSBLOCK1-framed file next to the failure text. The
+// file reuses the snapshot container, so the same readers, CRC checks and
+// tooling validate it: "it hung" becomes "here are the last 10k events on
+// every rank".
+//
+// Layout (block names):
+//   reason        u8 text: one-line cause ("drain watchdog: walk loop")
+//   detail        u8 text: free-form payload (transport flow dump, ...)
+//   ranks         u64 scalar: rank count (0 when no session was attached)
+//   counters      u8 text: "rank name value" per line, all ranks
+//   r%04d.flight  raw FlightEvent[] ring snapshot of rank %d
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ss::io {
+
+struct PostmortemInfo {
+  std::string reason;  ///< One-line cause; required.
+  std::string detail;  ///< Free text (e.g. the transport's per-flow dump).
+};
+
+/// Write a postmortem atomically (temp + rename, like snapshots).
+/// `session` may be null — the file then carries only reason/detail,
+/// which still validates and parses.
+void write_postmortem(const std::filesystem::path& path,
+                      const obs::Session* session, const PostmortemInfo& info);
+
+/// Parsed postmortem (every payload CRC-verified on read).
+struct Postmortem {
+  std::string reason;
+  std::string detail;
+  int ranks = 0;
+  std::vector<std::vector<obs::FlightEvent>> flight;  ///< Per rank.
+  std::string counters;  ///< "rank name value" lines.
+};
+
+/// Load + validate a postmortem. Throws FormatError / CrcError like every
+/// block-file reader.
+Postmortem read_postmortem(const std::filesystem::path& path);
+
+}  // namespace ss::io

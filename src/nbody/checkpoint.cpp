@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "io/postmortem.hpp"
 #include "obs/obs.hpp"
 #include "vmpi/comm.hpp"
 
@@ -162,6 +163,7 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
       if (cfg.fabric_faults != nullptr) {
         rt.set_fault_model(cfg.fabric_faults, cfg.transport);
       }
+      if (cfg.observer != nullptr) rt.attach_observer(cfg.observer);
       rt.run([&](ss::vmpi::Comm& comm) {
         const int rank = comm.rank();
         const int size = comm.size();
@@ -205,10 +207,22 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
         }
       });
       break;  // clean run
-    } catch (const io::RankFailure&) {
+    } catch (const io::RankFailure& rf) {
+      if (!cfg.postmortem_path.empty()) {
+        io::write_postmortem(cfg.postmortem_path, cfg.observer,
+                             {"rank failure (supervisor restart)", rf.what()});
+      }
       if (++attempts > cfg.max_restarts) throw;
       out.restarts = attempts;
       if (obs::Counter* c = obs::counter("io.restarts")) c->add(1);
+    } catch (const std::exception& e) {
+      // Not a rank kill — a watchdog stall, a transport drain failure, a
+      // corrupted store. Not restartable, but still worth a black box.
+      if (!cfg.postmortem_path.empty()) {
+        io::write_postmortem(cfg.postmortem_path, cfg.observer,
+                             {"unrecoverable failure", e.what()});
+      }
+      throw;
     }
   }
   return out;

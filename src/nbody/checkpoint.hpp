@@ -29,11 +29,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "io/checkpoint.hpp"
 #include "io/fault.hpp"
 #include "nbody/integrator.hpp"
+#include "obs/obs.hpp"
 
 namespace ss::nbody {
 
@@ -80,6 +82,14 @@ struct RecoveryConfig {
   /// perfect links.
   std::shared_ptr<vmpi::LinkFaultModel> fabric_faults;
   vmpi::TransportConfig transport;
+  /// Optional obs session attached to every (re)started attempt's
+  /// Runtime. Must outlive run_with_recovery; its flight recorders feed
+  /// the postmortem below. Null = no tracing (the clean default).
+  obs::Session* observer = nullptr;
+  /// When non-empty, every caught rank kill (and any terminal failure)
+  /// dumps the attempt's flight-recorder rings here as an SSBLOCK1
+  /// postmortem (io/postmortem.hpp) before restarting / rethrowing.
+  std::string postmortem_path;
 };
 
 struct RecoveryResult {

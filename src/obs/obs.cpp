@@ -12,6 +12,11 @@ double Registry::gauge_value(std::string_view name) const {
   return it != gauges_.end() ? it->second.value() : 0.0;
 }
 
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(std::string(name));
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
 namespace detail {
 
 Rank*& tls_slot() {

@@ -5,13 +5,19 @@
 // amortizing per-message overhead), so the reproduction needs to see
 // *where virtual time goes*. This layer provides, per vmpi rank:
 //
-//  - a Registry of named Counters (monotone u64) and Gauges (double),
-//  - a TraceBuffer of phase spans and instant events stamped with the
-//    rank's virtual clock (RAII entry point: ScopedPhase),
+//  - a Registry of named Counters (monotone u64), Gauges (double) and
+//    log-scale Histograms (p50/p90/p99 over fixed power-of-two buckets),
+//  - a TraceBuffer of phase spans, instant events and cross-rank *flow*
+//    events stamped with the rank's virtual clock (RAII entry point:
+//    ScopedPhase); the buffer is a bounded ring — once full, the oldest
+//    events are overwritten and `obs.events_dropped` counts the loss,
+//  - a FlightRecorder: a small fixed ring of compact records (sends,
+//    recvs, retransmits, parks) that watchdogs dump to a postmortem file
+//    when a run stalls — the black box, not the trace.
 //
 // collected in a Session that exports Chrome trace-event JSON (open in
-// Perfetto / chrome://tracing; one track per rank) and a machine-readable
-// run summary (obs/report.hpp).
+// Perfetto / chrome://tracing; one track per rank, send->recv arrows from
+// the flow events) and a machine-readable run summary (obs/report.hpp).
 //
 // Cost model: instrumentation is *disabled by default*. A rank thread is
 // instrumented only while a Session is bound to it (vmpi::Runtime does
@@ -21,12 +27,19 @@
 //
 // Threading contract: each Rank recorder is written only by its own rank
 // thread while the Runtime is inside run(); reading a Session (export,
-// reports) is safe once run() has returned.
+// reports) is safe once run() has returned. The FlightRecorder is the one
+// exception: it takes a tiny mutex per record so a watchdog on one rank
+// can snapshot every rank's ring while the others are still (stalled but)
+// alive.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -55,43 +68,231 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Named counters and gauges for one rank. References returned by
-/// counter()/gauge() stay valid for the Registry's lifetime, so hot paths
-/// look a metric up once and keep the pointer.
+/// Fixed-bucket log-scale histogram for positive measurements (latencies,
+/// occupancies). Bucket 0 holds (0, kMinValue]; bucket i >= 1 holds
+/// (kMinValue * 2^(i-1), kMinValue * 2^i]; the last bucket absorbs the
+/// overflow. With kMinValue = 1e-9 the 64 buckets span a nanosecond to
+/// ~9.2e9, which covers every quantity routed through it (net RTTs, RTO
+/// backoffs, park times, tile occupancies). Quantiles interpolate
+/// geometrically within a bucket and are clamped to the observed
+/// [min, max], so degenerate distributions report exactly. Two histograms
+/// share bucket edges by construction, so cross-rank merging is a plain
+/// per-bucket add.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr double kMinValue = 1e-9;
+
+  /// Bucket index of a value (values <= 0 land in bucket 0).
+  static int bucket_index(double v) {
+    if (!(v > kMinValue)) return 0;
+    const int idx = 1 + static_cast<int>(std::floor(std::log2(v / kMinValue)));
+    return std::min(idx, kBuckets - 1);
+  }
+
+  /// Inclusive upper edge of bucket i (lower edge = upper edge of i - 1).
+  static double bucket_upper(int i) {
+    return kMinValue * std::ldexp(1.0, i);  // kMinValue * 2^i
+  }
+
+  void record(double v) {
+    ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = count_ == 1 ? v : std::max(max_, v);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Quantile q in [0, 1]: find the bucket where the cumulative count
+  /// crosses ceil(q * count), interpolate geometrically within it, clamp
+  /// to the exact observed range.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t target =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::ceil(q * count_)));
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (cum + n >= target) {
+        const double frac =
+            (static_cast<double>(target - cum) - 0.5) / static_cast<double>(n);
+        const double hi = bucket_upper(i);
+        double v;
+        if (i == 0) {
+          v = hi * frac;  // (0, kMinValue]: linear, there is no log floor
+        } else {
+          const double lo = bucket_upper(i - 1);
+          v = lo * std::pow(hi / lo, frac);
+        }
+        return std::clamp(v, min_, max_);
+      }
+      cum += n;
+    }
+    return max_;
+  }
+
+  /// Fold another histogram in (same fixed buckets by construction).
+  void merge(const Histogram& o) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[static_cast<std::size_t>(i)] +=
+          o.buckets_[static_cast<std::size_t>(i)];
+    }
+    if (o.count_ > 0) {
+      min_ = count_ > 0 ? std::min(min_, o.min_) : o.min_;
+      max_ = count_ > 0 ? std::max(max_, o.max_) : o.max_;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named counters, gauges and histograms for one rank. References
+/// returned by counter()/gauge()/histogram() stay valid for the
+/// Registry's lifetime, so hot paths look a metric up once and keep the
+/// pointer.
 class Registry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
 
   /// Value of a counter, 0 when never touched (does not create it).
   std::uint64_t counter_value(std::string_view name) const;
   /// Value of a gauge, 0.0 when never touched (does not create it).
   double gauge_value(std::string_view name) const;
+  /// Histogram by name, nullptr when never touched (does not create it).
+  const Histogram* find_histogram(std::string_view name) const;
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, Counter> counters_;  // node-based: stable references
   std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// One trace event in (a subset of) the Chrome trace-event model.
 struct TraceEvent {
   std::string name;
-  char ph = 'X';     ///< 'X' complete span, 'i' instant.
+  char ph = 'X';     ///< 'X' complete span, 'i' instant, 's'/'f' flow.
   double ts = 0.0;   ///< Virtual seconds at span begin / instant.
   double dur = 0.0;  ///< Virtual seconds of the span ('X' only).
   int depth = 0;     ///< Nesting depth at emission (0 = top level).
+  std::uint64_t id = 0;  ///< Flow id ('s'/'f'; also set on tagged instants).
+  double arg = 0.0;  ///< 'f' only: virtual seconds the receiver waited.
 };
 
-/// Per-rank recorder: a Registry plus a TraceBuffer, stamped from the
-/// rank's virtual clock. Spans nest strictly (begin/end form a stack);
-/// an unmatched end() throws, and open_spans() lets the owner assert
-/// balance at the end of a run.
+// ---------------------------------------------------------------------------
+// Flight recorder: the black box.
+// ---------------------------------------------------------------------------
+
+/// What a flight record describes.
+enum class FlightKind : std::uint32_t {
+  kSend = 1,        ///< peer = dst, id = flow, value = payload bytes.
+  kRecv = 2,        ///< peer = src, id = flow, value = recv wait seconds.
+  kRetransmit = 3,  ///< peer = dst, id = frame seq, value = expired RTO.
+  kAck = 4,         ///< peer = dst, id = cumulative ack, value = 0.
+  kPark = 5,        ///< peer = owner rank, id = tree key, value = 0.
+  kUnpark = 6,      ///< peer = -1, id = tree key, value = park seconds.
+  kStall = 7,       ///< peer = rank, id = 0, value = watchdog seconds.
+};
+
+/// One compact flight record. Trivially copyable: postmortem files store
+/// the ring verbatim as a raw block.
+struct FlightEvent {
+  double t = 0.0;  ///< Virtual time at the record.
+  std::uint32_t kind = 0;
+  std::int32_t peer = 0;
+  std::uint64_t id = 0;
+  double value = 0.0;
+};
+static_assert(sizeof(FlightEvent) == 32);
+
+/// Bounded ring of the most recent FlightEvents on one rank. record() is
+/// called only by the owning rank thread; snapshot() may be called by a
+/// *different* rank's watchdog while this rank is stalled, hence the
+/// mutex (uncontended in normal operation, and only taken at all when a
+/// Session is attached).
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 10000;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void record(double t, FlightKind kind, int peer, std::uint64_t id,
+              double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const FlightEvent e{t, static_cast<std::uint32_t>(kind), peer, id, value};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+    } else {
+      ring_[next_] = e;
+      next_ = (next_ + 1) % capacity_;
+    }
+    ++total_;
+  }
+
+  /// Events in chronological order (oldest surviving record first).
+  std::vector<FlightEvent> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  std::uint64_t recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  std::size_t next_ = 0;       ///< Overwrite cursor once the ring is full.
+  std::uint64_t total_ = 0;    ///< Lifetime records (>= ring_.size()).
+};
+
+/// Per-rank recorder: a Registry, a TraceBuffer and a FlightRecorder,
+/// stamped from the rank's virtual clock. Spans nest strictly (begin/end
+/// form a stack); an unmatched end() throws, and open_spans() lets the
+/// owner assert balance at the end of a run. The TraceBuffer is a ring:
+/// past `event_capacity` events the oldest are overwritten and the
+/// `obs.events_dropped` counter records how many were lost.
 class Rank {
  public:
-  explicit Rank(int id) : id_(id) {}
+  static constexpr std::size_t kDefaultEventCapacity = 1 << 20;
+
+  explicit Rank(int id, std::size_t event_capacity = kDefaultEventCapacity)
+      : id_(id), capacity_(event_capacity) {}
 
   Rank(const Rank&) = delete;
   Rank& operator=(const Rank&) = delete;
@@ -107,6 +308,12 @@ class Rank {
   void set_clock(const double* vclock) { clock_ = vclock; }
   double now() const { return clock_ != nullptr ? *clock_ : 0.0; }
 
+  /// Cap the TraceBuffer (0 = unbounded). Takes effect for subsequent
+  /// events; call before the run starts.
+  void set_event_capacity(std::size_t cap) { capacity_ = cap; }
+  std::size_t event_capacity() const { return capacity_; }
+  std::uint64_t events_dropped() const { return dropped_; }
+
   /// Open a phase span at the current virtual time.
   void begin(std::string name) {
     open_.push_back({std::move(name), now()});
@@ -120,18 +327,50 @@ class Rank {
     Open o = std::move(open_.back());
     open_.pop_back();
     const double t = now();
-    events_.push_back({std::move(o.name), 'X', o.start,
-                       t > o.start ? t - o.start : 0.0,
-                       static_cast<int>(open_.size())});
+    push_event({std::move(o.name), 'X', o.start,
+                t > o.start ? t - o.start : 0.0,
+                static_cast<int>(open_.size())});
   }
 
   /// Emit an instant event at the current virtual time.
   void instant(std::string name) {
-    events_.push_back(
+    push_event(
         {std::move(name), 'i', now(), 0.0, static_cast<int>(open_.size())});
   }
 
+  /// Instant event carrying an id (retransmit/ack markers keep their
+  /// frame seq this way).
+  void instant_id(std::string name, std::uint64_t id) {
+    push_event({std::move(name), 'i', now(), 0.0,
+                static_cast<int>(open_.size()), id});
+  }
+
+  /// Flow start ('s'): emitted on the sender at send time. The matching
+  /// flow_end on the receiving rank (same id) renders as an arrow.
+  void flow_begin(std::string name, std::uint64_t id) {
+    push_event({std::move(name), 's', now(), 0.0,
+                static_cast<int>(open_.size()), id});
+  }
+
+  /// Flow finish ('f'): emitted on the receiver at delivery time.
+  /// `wait_seconds` is how long the receiver's clock advanced waiting for
+  /// this message (0 when it was already in the mailbox).
+  void flow_end(std::string name, std::uint64_t id, double wait_seconds) {
+    push_event({std::move(name), 'f', now(), 0.0,
+                static_cast<int>(open_.size()), id, wait_seconds});
+  }
+
+  /// Append to the flight recorder at the current virtual time.
+  void flight(FlightKind kind, int peer, std::uint64_t id, double value) {
+    flight_.record(now(), kind, peer, id, value);
+  }
+  FlightRecorder& flight_recorder() { return flight_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+
   std::size_t open_spans() const { return open_.size(); }
+
+  /// The raw event ring. Chronological until the ring wraps; consumers
+  /// that need order (exports, the critical-path analyzer) sort by ts.
   const std::vector<TraceEvent>& events() const { return events_; }
 
  private:
@@ -140,22 +379,43 @@ class Rank {
     double start;
   };
 
+  void push_event(TraceEvent&& e) {
+    if (capacity_ == 0 || events_.size() < capacity_) {
+      events_.push_back(std::move(e));
+      return;
+    }
+    events_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+    if (c_dropped_ == nullptr) {
+      c_dropped_ = &registry_.counter("obs.events_dropped");
+    }
+    c_dropped_->add(1);
+  }
+
   int id_;
   const double* clock_ = nullptr;
   Registry registry_;
   std::vector<Open> open_;
   std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;        ///< Ring overwrite cursor.
+  std::uint64_t dropped_ = 0;   ///< Events overwritten after the cap.
+  Counter* c_dropped_ = nullptr;
+  FlightRecorder flight_;
 };
 
 /// One observed run: a recorder per rank. Create before Runtime::run(),
 /// attach with Runtime::attach_observer(), export afterwards.
+/// `event_capacity` is the per-rank TraceBuffer ring cap (0 = unbounded).
 class Session {
  public:
-  explicit Session(int nranks) {
+  explicit Session(int nranks,
+                   std::size_t event_capacity = Rank::kDefaultEventCapacity) {
     if (nranks <= 0) throw std::invalid_argument("obs: nranks must be > 0");
     ranks_.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
-      ranks_.push_back(std::make_unique<Rank>(r));
+      ranks_.push_back(std::make_unique<Rank>(r, event_capacity));
     }
   }
 
@@ -164,6 +424,13 @@ class Session {
   Rank& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
   const Rank& rank(int r) const {
     return *ranks_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Events overwritten across all ranks (0 on an unwrapped ring).
+  std::uint64_t events_dropped() const {
+    std::uint64_t total = 0;
+    for (const auto& r : ranks_) total += r->events_dropped();
+    return total;
   }
 
  private:
@@ -236,6 +503,11 @@ inline Counter* counter(const char* name) {
 inline Gauge* gauge(const char* name) {
   Rank* r = tls();
   return r != nullptr ? &r->registry().gauge(name) : nullptr;
+}
+
+inline Histogram* histogram(const char* name) {
+  Rank* r = tls();
+  return r != nullptr ? &r->registry().histogram(name) : nullptr;
 }
 
 }  // namespace ss::obs

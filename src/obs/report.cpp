@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "support/json.hpp"
 
@@ -77,6 +78,173 @@ ss::support::Table PhaseReport::table(const std::string& title) const {
   return t;
 }
 
+// ---------------------------------------------------------------------------
+// CriticalPath
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SendPoint {
+  int rank = -1;
+  double ts = 0.0;
+};
+
+struct RecvPoint {
+  double ts = 0.0;    ///< Virtual time of delivery.
+  double wait = 0.0;  ///< Seconds the receiver's clock advanced for it.
+  std::uint64_t id = 0;
+};
+
+}  // namespace
+
+CriticalPath::CriticalPath(const Session& session) {
+  const int nranks = session.size();
+  ranks_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks_[static_cast<std::size_t>(r)].rank = r;
+  }
+
+  // Gather the DAG: flow starts by id, per-rank waited receives, and the
+  // run window over every event.
+  std::unordered_map<std::uint64_t, SendPoint> sends;
+  std::vector<std::vector<RecvPoint>> recvs(
+      static_cast<std::size_t>(nranks));
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  std::vector<double> rank_end(static_cast<std::size_t>(nranks), 0.0);
+  bool any = false;
+  for (int r = 0; r < nranks; ++r) {
+    for (const TraceEvent& e : session.rank(r).events()) {
+      const double end = e.ph == 'X' ? e.ts + e.dur : e.ts;
+      if (!any) {
+        t_begin = e.ts;
+        t_end = end;
+        any = true;
+      } else {
+        t_begin = std::min(t_begin, e.ts);
+        t_end = std::max(t_end, end);
+      }
+      rank_end[static_cast<std::size_t>(r)] =
+          std::max(rank_end[static_cast<std::size_t>(r)], end);
+      if (e.ph == 's') {
+        sends.emplace(e.id, SendPoint{r, e.ts});  // first send wins (dups)
+      } else if (e.ph == 'f' && e.arg > 0.0) {
+        recvs[static_cast<std::size_t>(r)].push_back({e.ts, e.arg, e.id});
+      }
+    }
+  }
+  if (!any || t_end <= t_begin) {
+    // Degenerate window: nothing to attribute.
+    attributed_ = 1.0;
+    for (RankAttribution& ra : ranks_) ra.attributed_frac = 1.0;
+    return;
+  }
+  window_ = t_end - t_begin;
+  for (auto& v : recvs) {
+    std::sort(v.begin(), v.end(),
+              [](const RecvPoint& a, const RecvPoint& b) {
+                return a.ts < b.ts;
+              });
+  }
+
+  // Per-rank attribution over the common window. Waits are serial in
+  // virtual time (each recv advances the clock monotonically), so the
+  // buckets partition the window exactly; the clamp only fires on
+  // pathological traces.
+  double attr_sum = 0.0;
+  for (int r = 0; r < nranks; ++r) {
+    RankAttribution& ra = ranks_[static_cast<std::size_t>(r)];
+    for (const RecvPoint& rp : recvs[static_cast<std::size_t>(r)]) {
+      double fabric = 0.0;
+      const auto it = sends.find(rp.id);
+      if (it != sends.end()) {
+        fabric = std::clamp(rp.ts - it->second.ts, 0.0, rp.wait);
+      }
+      ra.fabric_seconds += fabric;
+      ra.wait_seconds += rp.wait - fabric;
+    }
+    const double blocked = ra.wait_seconds + ra.fabric_seconds;
+    ra.compute_seconds = std::max(0.0, window_ - blocked);
+    ra.attributed_frac =
+        std::min(1.0, (ra.compute_seconds + blocked) / window_);
+    attr_sum += ra.attributed_frac;
+  }
+  attributed_ = attr_sum / nranks;
+
+  // Backward chain from the last-finishing rank: compute back to the
+  // latest waited receive, split its wait into fabric/wait, hop to the
+  // sender at send time, repeat.
+  int cur = 0;
+  for (int r = 1; r < nranks; ++r) {
+    if (rank_end[static_cast<std::size_t>(r)] >
+        rank_end[static_cast<std::size_t>(cur)]) {
+      cur = r;
+    }
+  }
+  chain_start_ = cur;
+  double t = rank_end[static_cast<std::size_t>(cur)];
+  constexpr int kMaxHops = 100000;
+  constexpr double kEps = 1e-15;
+  for (int hop = 0; hop < kMaxHops && t > t_begin + kEps; ++hop) {
+    const auto& rv = recvs[static_cast<std::size_t>(cur)];
+    // Latest waited receive at or before t.
+    const RecvPoint* e = nullptr;
+    auto it = std::upper_bound(rv.begin(), rv.end(), t,
+                               [](double val, const RecvPoint& p) {
+                                 return val < p.ts;
+                               });
+    if (it != rv.begin()) e = &*std::prev(it);
+    if (e == nullptr) {
+      chain_.push_back({cur, 'c', t - t_begin});
+      chain_compute_ += t - t_begin;
+      break;
+    }
+    if (t > e->ts) {
+      chain_.push_back({cur, 'c', t - e->ts});
+      chain_compute_ += t - e->ts;
+    }
+    double fabric = 0.0;
+    const SendPoint* sp = nullptr;
+    const auto sit = sends.find(e->id);
+    if (sit != sends.end()) {
+      sp = &sit->second;
+      fabric = std::clamp(e->ts - sp->ts, 0.0, e->wait);
+    }
+    const double wait = e->wait - fabric;
+    if (fabric > 0.0) {
+      chain_.push_back({cur, 'f', fabric});
+      chain_fabric_ += fabric;
+    }
+    if (wait > 0.0) {
+      chain_.push_back({cur, 'w', wait});
+      chain_wait_ += wait;
+    }
+    const double next_t =
+        sp != nullptr ? std::min(sp->ts, e->ts) : e->ts - e->wait;
+    if (next_t >= t - kEps) break;  // no progress: malformed trace
+    if (sp != nullptr) cur = sp->rank;
+    t = next_t;
+  }
+}
+
+ss::support::Table CriticalPath::table(const std::string& title) const {
+  using ss::support::Table;
+  Table t(title);
+  t.header({"rank", "compute (ms)", "wait (ms)", "fabric (ms)",
+            "attributed (%)"});
+  for (const RankAttribution& ra : ranks_) {
+    t.row({std::to_string(ra.rank), Table::fixed(ra.compute_seconds * 1e3, 3),
+           Table::fixed(ra.wait_seconds * 1e3, 3),
+           Table::fixed(ra.fabric_seconds * 1e3, 3),
+           Table::fixed(ra.attributed_frac * 100.0, 1)});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
 void write_chrome_trace(const Session& session, std::ostream& os) {
   Writer w(os, /*indent=*/0);
   w.begin_object();
@@ -111,7 +279,8 @@ void write_chrome_trace(const Session& session, std::ostream& os) {
 
   for (int r = 0; r < session.size(); ++r) {
     // Sort by begin timestamp (ties: outer spans first) so trace viewers
-    // that expect ordered input nest the tracks correctly.
+    // that expect ordered input nest the tracks correctly. (The event
+    // buffer is a ring, so after a wrap the raw order is rotated anyway.)
     std::vector<const TraceEvent*> ordered;
     ordered.reserve(session.rank(r).events().size());
     for (const TraceEvent& e : session.rank(r).events()) {
@@ -134,6 +303,17 @@ void write_chrome_trace(const Session& session, std::ostream& os) {
         w.kv("dur", e->dur * 1e6);
       } else if (e->ph == 'i') {
         w.kv("s", "t");  // thread-scoped instant
+        if (e->id != 0) w.kv("id", e->id);
+      } else if (e->ph == 's' || e->ph == 'f') {
+        w.kv("cat", "flow");
+        w.kv("id", e->id);
+        if (e->ph == 'f') {
+          w.kv("bp", "e");  // bind to the enclosing slice
+          w.key("args");
+          w.begin_object();
+          w.kv("wait_us", e->arg * 1e6);
+          w.end_object();
+        }
       }
       w.end_object();
     }
@@ -159,6 +339,7 @@ void write_summary(const Session& session, std::ostream& os) {
   // Union of metric names across ranks, exported with per-rank values.
   std::set<std::string> counter_names;
   std::set<std::string> gauge_names;
+  std::set<std::string> histogram_names;
   for (int r = 0; r < session.size(); ++r) {
     for (const auto& [name, c] : session.rank(r).registry().counters()) {
       (void)c;
@@ -167,6 +348,10 @@ void write_summary(const Session& session, std::ostream& os) {
     for (const auto& [name, g] : session.rank(r).registry().gauges()) {
       (void)g;
       gauge_names.insert(name);
+    }
+    for (const auto& [name, h] : session.rank(r).registry().histograms()) {
+      (void)h;
+      histogram_names.insert(name);
     }
   }
 
@@ -219,6 +404,36 @@ void write_summary(const Session& session, std::ostream& os) {
   }
   w.end_object();
 
+  // Histograms: cross-rank merge (shared fixed buckets), quantiles from
+  // the merged distribution, per-rank sample counts for balance checks.
+  w.key("histograms");
+  w.begin_object();
+  for (const std::string& name : histogram_names) {
+    Histogram merged;
+    std::vector<std::uint64_t> per_rank;
+    per_rank.reserve(static_cast<std::size_t>(session.size()));
+    for (int r = 0; r < session.size(); ++r) {
+      const Histogram* h = session.rank(r).registry().find_histogram(name);
+      per_rank.push_back(h != nullptr ? h->count() : 0);
+      if (h != nullptr) merged.merge(*h);
+    }
+    w.key(name);
+    w.begin_object();
+    w.kv("count", merged.count());
+    w.kv("mean", merged.mean());
+    w.kv("min", merged.min());
+    w.kv("max", merged.max());
+    w.kv("p50", merged.quantile(0.50));
+    w.kv("p90", merged.quantile(0.90));
+    w.kv("p99", merged.quantile(0.99));
+    w.key("per_rank_count");
+    w.begin_array();
+    for (std::uint64_t v : per_rank) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
   w.key("phases");
   w.begin_array();
   // Named (not a temporary): range-for does not extend the lifetime of a
@@ -235,6 +450,37 @@ void write_summary(const Session& session, std::ostream& os) {
     w.end_object();
   }
   w.end_array();
+
+  // Critical path: per-rank compute/wait/fabric attribution over the run
+  // window plus the backward chain from the last-finishing rank.
+  const CriticalPath cp(session);
+  w.key("critical_path");
+  w.begin_object();
+  w.kv("window_seconds", cp.window_seconds());
+  w.kv("attributed_frac", cp.attributed_frac());
+  w.key("per_rank");
+  w.begin_array();
+  for (const RankAttribution& ra : cp.ranks()) {
+    w.begin_object();
+    w.kv("rank", ra.rank);
+    w.kv("compute_seconds", ra.compute_seconds);
+    w.kv("wait_seconds", ra.wait_seconds);
+    w.kv("fabric_seconds", ra.fabric_seconds);
+    w.kv("attributed_frac", ra.attributed_frac);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("chain");
+  w.begin_object();
+  w.kv("start_rank", cp.chain_start_rank());
+  w.kv("hops", static_cast<std::uint64_t>(cp.chain().size()));
+  w.kv("compute_seconds", cp.chain_compute_seconds());
+  w.kv("wait_seconds", cp.chain_wait_seconds());
+  w.kv("fabric_seconds", cp.chain_fabric_seconds());
+  w.end_object();
+  w.end_object();
+
+  w.kv("events_dropped", session.events_dropped());
 
   w.end_object();
   os << "\n";

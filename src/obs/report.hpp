@@ -1,16 +1,22 @@
 // Exporters and reports over an obs::Session.
 //
 //  - write_chrome_trace: Chrome trace-event JSON ("traceEvents" array of
-//    'X'/'i' events, one tid per rank, virtual microseconds). Open the
-//    file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//    'X'/'i' events plus 's'/'f' flow pairs, one tid per rank, virtual
+//    microseconds). Open the file in Perfetto (ui.perfetto.dev) or
+//    chrome://tracing; matching flow ids render as send->recv arrows.
 //  - write_summary: compact machine-readable run summary — per-phase
-//    virtual-time aggregates (mean/max over ranks, max/mean imbalance)
-//    and every counter/gauge with per-rank values and totals.
+//    virtual-time aggregates (mean/max over ranks, max/mean imbalance),
+//    every counter/gauge with per-rank values and totals, cross-rank
+//    merged histogram quantiles, and the critical-path attribution.
 //  - PhaseReport: the paper-style per-phase breakdown table (like the
 //    per-phase timing tables treecode papers use to diagnose where a
 //    step's time goes).
+//  - CriticalPath: walks the send->recv + span DAG in virtual time and
+//    attributes each rank's share of the run window to compute / wait /
+//    fabric, plus the backward chain from the last-finishing rank.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -46,11 +52,72 @@ class PhaseReport {
   std::vector<PhaseAgg> phases_;
 };
 
+// ---------------------------------------------------------------------------
+// Critical-path analysis over the flow-event DAG.
+// ---------------------------------------------------------------------------
+
+/// Where one rank's share of the run window went. The decomposition uses
+/// the causal pairing: for every receive that advanced the rank's clock,
+/// the part of the wait that overlapped the message's in-flight window
+/// [send ts, recv ts] is *fabric* (the wire + protocol had the data), the
+/// part before the peer even sent is *wait* (idle on the peer's compute),
+/// and everything else in the window is *compute*.
+struct RankAttribution {
+  int rank = 0;
+  double compute_seconds = 0.0;
+  double wait_seconds = 0.0;    ///< Blocked before the peer had sent.
+  double fabric_seconds = 0.0;  ///< Blocked while the message was in flight.
+  double attributed_frac = 0.0; ///< (c + w + f) / window, clamped to 1.
+};
+
+/// One segment of the backward-walked critical path.
+struct ChainSegment {
+  int rank = 0;
+  char kind = 'c';  ///< 'c' compute, 'w' wait, 'f' fabric.
+  double seconds = 0.0;
+};
+
+/// Walks the send->recv + span DAG of a Session in virtual time.
+class CriticalPath {
+ public:
+  explicit CriticalPath(const Session& session);
+
+  /// The analyzed window [t_begin, t_end] over all ranks.
+  double window_seconds() const { return window_; }
+  /// Mean over ranks of the attributed fraction (1.0 = every virtual
+  /// second of every rank's window is in a bucket).
+  double attributed_frac() const { return attributed_; }
+
+  const std::vector<RankAttribution>& ranks() const { return ranks_; }
+
+  /// Backward chain from the last-finishing rank (most recent hop first).
+  const std::vector<ChainSegment>& chain() const { return chain_; }
+  int chain_start_rank() const { return chain_start_; }
+  double chain_compute_seconds() const { return chain_compute_; }
+  double chain_wait_seconds() const { return chain_wait_; }
+  double chain_fabric_seconds() const { return chain_fabric_; }
+
+  /// PhaseReport-style per-rank attribution table.
+  ss::support::Table table(const std::string& title =
+                               "critical-path attribution") const;
+
+ private:
+  double window_ = 0.0;
+  double attributed_ = 0.0;
+  std::vector<RankAttribution> ranks_;
+  std::vector<ChainSegment> chain_;
+  int chain_start_ = -1;
+  double chain_compute_ = 0.0;
+  double chain_wait_ = 0.0;
+  double chain_fabric_ = 0.0;
+};
+
 /// Chrome trace-event JSON; `ts`/`dur` are virtual microseconds.
 void write_chrome_trace(const Session& session, std::ostream& os);
 void write_chrome_trace_file(const Session& session, const std::string& path);
 
-/// Machine-readable run summary (counters, gauges, phase aggregates).
+/// Machine-readable run summary (counters, gauges, histograms, phase
+/// aggregates, critical-path attribution).
 void write_summary(const Session& session, std::ostream& os);
 void write_summary_file(const Session& session, const std::string& path);
 

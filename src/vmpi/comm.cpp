@@ -23,7 +23,10 @@ void Comm::bind_observer(obs::Rank* rec) {
   obs_bytes_ = &reg.counter("vmpi.bytes_sent");
   obs_recvs_ = &reg.counter("vmpi.recvs");
   obs_wait_ = &reg.gauge("vmpi.recv_wait_seconds");
+  flow_next_.assign(static_cast<std::size_t>(rt_->nranks_), 0);
 }
+
+obs::Session* Comm::observer() const { return rt_->observer_; }
 
 void Comm::compute_work(std::uint64_t flops, std::uint64_t bytes) {
   vtime_ += rt_->model_->compute_seconds(flops, bytes);
@@ -48,10 +51,17 @@ void Comm::send_bytes_move(int dst, int tag, std::vector<std::byte>&& bytes) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
   const std::size_t n = bytes.size();
+  std::uint64_t flow = 0;
+  if (obs_ != nullptr) {
+    flow = next_flow(dst);
+    obs_->flow_begin("vmpi.msg", flow);
+    obs_->flight(obs::FlightKind::kSend, dst, flow, static_cast<double>(n));
+  }
   if (rt_->transport_ != nullptr) {
-    rt_->transport_->send(*this, dst, tag, std::move(bytes), n);
+    rt_->transport_->send(*this, dst, tag, std::move(bytes), n,
+                          static_cast<std::uint32_t>(flow));
   } else {
-    rt_->deliver(rank_, dst, tag, std::move(bytes), vtime_, n);
+    rt_->deliver(rank_, dst, tag, std::move(bytes), vtime_, n, flow);
   }
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
@@ -63,10 +73,18 @@ void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
   if (dst < 0 || dst >= rt_->nranks_) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
+  std::uint64_t flow = 0;
+  if (obs_ != nullptr) {
+    flow = next_flow(dst);
+    obs_->flow_begin("vmpi.msg", flow);
+    obs_->flight(obs::FlightKind::kSend, dst, flow,
+                 static_cast<double>(modeled_bytes));
+  }
   if (rt_->transport_ != nullptr) {
-    rt_->transport_->send(*this, dst, tag, {}, modeled_bytes);
+    rt_->transport_->send(*this, dst, tag, {}, modeled_bytes,
+                          static_cast<std::uint32_t>(flow));
   } else {
-    rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes);
+    rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes, flow);
   }
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
@@ -97,10 +115,7 @@ Message Comm::recv_msg(int src, int tag) {
                   ? rt_->wait_match_pumped(*this, src, tag)
                   : rt_->wait_match(rank_, src, tag);
   vtime_ = std::max(vtime_, m.arrival);
-  if (obs_ != nullptr) {
-    obs_recvs_->add(1);
-    if (vtime_ > before) obs_wait_->add(vtime_ - before);
-  }
+  if (obs_ != nullptr) note_recv(m, vtime_ - before);
   return m;
 }
 
@@ -110,10 +125,7 @@ std::optional<Message> Comm::try_recv(int src, int tag) {
   auto m = rt_->poll_match(rank_, src, tag);
   if (m) {
     vtime_ = std::max(vtime_, m->arrival);
-    if (obs_ != nullptr) {
-      obs_recvs_->add(1);
-      if (vtime_ > before) obs_wait_->add(vtime_ - before);
-    }
+    if (obs_ != nullptr) note_recv(*m, vtime_ - before);
   }
   return m;
 }
@@ -270,10 +282,12 @@ void Runtime::run(const std::function<void(Comm&)>& body) {
 }
 
 void Runtime::deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
-                      double depart, std::size_t modeled_bytes) {
+                      double depart, std::size_t modeled_bytes,
+                      std::uint64_t flow) {
   Message m;
   m.src = src;
   m.tag = tag;
+  m.flow = flow;
   m.data = std::move(bytes);  // zero-copy: the sender's buffer becomes the
                               // message payload (recycled by ABM's pool).
   m.arrival = model_->arrival(src, dst, modeled_bytes, depart);

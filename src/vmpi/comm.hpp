@@ -40,10 +40,22 @@ struct Aborted : std::runtime_error {
   Aborted() : std::runtime_error("vmpi run aborted") {}
 };
 
+/// Causal flow id of one application message: (src, dst, per-link seq)
+/// packed into 64 bits. Nonzero only when an observer is attached — the
+/// id pairs the sender's 's' trace event with the receiver's 'f' so
+/// cross-rank message chains render as arrows and the critical-path
+/// analyzer can walk the DAG.
+inline std::uint64_t make_flow_id(int src, int dst, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32) |
+         seq;
+}
+
 struct Message {
   int src = 0;
   int tag = 0;
   double arrival = 0.0;  ///< Virtual arrival time at the destination.
+  std::uint64_t flow = 0;  ///< Causal flow id (0 when tracing is off).
   std::vector<std::byte> data;
 
   template <typename T>
@@ -255,6 +267,11 @@ class Comm {
   /// error messages.
   std::string transport_dump() const;
 
+  /// The observer Session attached to the owning Runtime, or nullptr.
+  /// Lets engine watchdogs snapshot every rank's flight recorder into a
+  /// postmortem file before they throw.
+  obs::Session* observer() const;
+
  private:
   friend class Runtime;
   friend class Transport;
@@ -267,6 +284,23 @@ class Comm {
   /// observer Session is attached; never called otherwise.
   void bind_observer(obs::Rank* rec);
 
+  /// Fresh flow id for a message to `dst` (observer attached only).
+  std::uint64_t next_flow(int dst) {
+    const std::uint32_t seq = ++flow_next_[static_cast<std::size_t>(dst)];
+    return make_flow_id(rank_, dst, seq);
+  }
+
+  /// Receive-side observability: count the receive, accumulate the wait,
+  /// close the flow ('f' event) and append a flight record.
+  void note_recv(const Message& m, double wait) {
+    obs_recvs_->add(1);
+    if (wait > 0.0) obs_wait_->add(wait);
+    if (m.flow != 0) {
+      obs_->flow_end("vmpi.msg", m.flow, wait);
+      obs_->flight(obs::FlightKind::kRecv, m.src, m.flow, wait);
+    }
+  }
+
   Runtime* rt_;
   int rank_;
   double vtime_ = 0.0;
@@ -278,6 +312,7 @@ class Comm {
   obs::Counter* obs_bytes_ = nullptr;
   obs::Counter* obs_recvs_ = nullptr;
   obs::Gauge* obs_wait_ = nullptr;
+  std::vector<std::uint32_t> flow_next_;  ///< Per-dst app sequence numbers.
 };
 
 /// Owns the rank threads and mailboxes for one SPMD execution.
@@ -362,7 +397,8 @@ class Runtime {
   };
 
   void deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
-               double depart, std::size_t modeled_bytes);
+               double depart, std::size_t modeled_bytes,
+               std::uint64_t flow = 0);
   Message wait_match(int self, int src, int tag);
   /// Transport-aware blocking receive: alternates protocol pumping with
   /// bounded waits, because frames land in the transport inbox and only

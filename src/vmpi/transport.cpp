@@ -81,6 +81,7 @@ void Transport::bind_obs(RankNet& net) {
   net.obs_bound = true;
   obs::Rank* rec = obs::tls();
   if (rec == nullptr) return;
+  net.rec = rec;
   auto& reg = rec->registry();
   net.c_retx = &reg.counter("net.retransmits");
   net.c_corrupt = &reg.counter("net.corrupt_drops");
@@ -90,10 +91,12 @@ void Transport::bind_obs(RankNet& net) {
   net.c_evict = &reg.counter("net.window_evictions");
   net.c_alarm = &reg.counter("net.degraded_alarms");
   net.g_health = &reg.gauge("net.link_health");
+  net.h_rtt = &reg.histogram("net.rtt_seconds");
+  net.h_backoff = &reg.histogram("net.retx_backoff_seconds");
 }
 
 void Transport::send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload,
-                     std::size_t modeled_bytes) {
+                     std::size_t modeled_bytes, std::uint32_t flow_seq) {
   const int src = c.rank();
   RankNet& net = *nets_[static_cast<std::size_t>(src)];
   bind_obs(net);
@@ -108,9 +111,10 @@ void Transport::send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload
   frame.retx_real = cfg_.retx_real_seconds;
   frame.last_real = std::chrono::steady_clock::now();
   frame.attempts = 1;
+  frame.flow_seq = flow_seq;
 
   transmit(c, net, dst, kKindData, frame.seq, tag, payload, modeled_bytes,
-           data_key(frame.seq, 0));
+           data_key(frame.seq, 0), flow_seq);
   frame.payload = std::move(payload);
   flow.unacked.push_back(std::move(frame));
 
@@ -121,13 +125,15 @@ void Transport::send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload
 void Transport::transmit(Comm& c, RankNet& net, int dst, std::uint32_t kind,
                          std::uint32_t seq, std::int32_t tag,
                          std::span<const std::byte> payload,
-                         std::size_t modeled_bytes, std::uint64_t fate_key) {
+                         std::size_t modeled_bytes, std::uint64_t fate_key,
+                         std::uint32_t flow_seq) {
   const int src = c.rank();
 
   FrameHeader hdr;
   hdr.magic = kMagic;
   hdr.crc = 0;
   hdr.seq = seq;
+  hdr.flow_seq = flow_seq;
   hdr.src = src;
   hdr.dst = dst;
   hdr.tag = tag;
@@ -291,7 +297,7 @@ void Transport::process_frame(Comm& c, RankNet& net, PhysFrame&& frame) {
   const int peer = hdr.src;
 
   // Every valid frame carries a cumulative ack for our tx flow to `peer`.
-  process_ack(c, net, peer, hdr.ack);
+  process_ack(c, net, peer, hdr.ack, frame.arrival);
 
   if (hdr.kind != kKindData) return;  // pure ack: done
 
@@ -324,6 +330,7 @@ void Transport::process_frame(Comm& c, RankNet& net, PhysFrame&& frame) {
   RxHeld held;
   held.tag = hdr.tag;
   held.arrival = frame.arrival;
+  held.flow_seq = hdr.flow_seq;
   held.payload.assign(
       frame.wire.begin() + static_cast<std::ptrdiff_t>(sizeof(FrameHeader)),
       frame.wire.end());
@@ -332,7 +339,7 @@ void Transport::process_frame(Comm& c, RankNet& net, PhysFrame&& frame) {
 }
 
 void Transport::process_ack(Comm& c, RankNet& net, int peer,
-                            std::uint32_t ackno) {
+                            std::uint32_t ackno, double ack_arrival) {
   TxFlow& flow = net.tx[static_cast<std::size_t>(peer)];
   bool advanced = false;
   while (!flow.unacked.empty() && seq_le(flow.unacked.front().seq, ackno)) {
@@ -347,6 +354,13 @@ void Transport::process_ack(Comm& c, RankNet& net, int peer,
                           ? rtt
                           : flow.rtt_ewma +
                                 cfg_.ewma_alpha * (rtt - flow.rtt_ewma);
+      // The histogram samples against the ack frame's modeled *arrival*
+      // time, not this rank's clock: frames are processed while polling,
+      // before a blocking recv advances the clock, so c.vtime_ here still
+      // reads the send time and would log every clean-path RTT as 0.
+      if (net.h_rtt != nullptr) {
+        net.h_rtt->record(std::max(0.0, ack_arrival - fr.sent_vtime));
+      }
     }
     update_health(net, peer, flow, loss_sample);
     flow.unacked.pop_front();
@@ -367,6 +381,11 @@ void Transport::deliver_in_order(Comm& c, RankNet& net, int peer) {
     m.src = peer;
     m.tag = it->second.tag;
     m.arrival = it->second.arrival;
+    if (it->second.flow_seq != 0) {
+      // Reconstruct the sender's 64-bit flow id: the header carried the
+      // app sequence, and (src, dst) are the link's endpoints.
+      m.flow = make_flow_id(peer, rank, it->second.flow_seq);
+    }
     m.data = std::move(it->second.payload);
     rx.ooo.erase(it);
     ++rx.cum;
@@ -386,6 +405,9 @@ void Transport::send_pure_ack(Comm& c, RankNet& net, int peer) {
   RxFlow& rx = net.rx[static_cast<std::size_t>(peer)];
   ++net.totals.pure_acks;
   if (net.c_pure != nullptr) net.c_pure->add(1);
+  if (net.rec != nullptr) {
+    net.rec->flight(obs::FlightKind::kAck, peer, rx.cum, 0.0);
+  }
   const std::uint64_t key = ack_key(net.ack_counter++);
   // transmit() only clears ack debt for data frames; clear it here.
   rx.dirty = false;
@@ -420,6 +442,7 @@ bool Transport::check_retransmits(Comm& c, RankNet& net) {
     // the expiry of the virtual RTO, so loss shows up in the goodput the
     // way a real stall would.
     c.vtime_ = std::max(c.vtime_, fr.sent_vtime + fr.rto);
+    if (net.h_backoff != nullptr) net.h_backoff->record(fr.rto);
     fr.rto = std::min(fr.rto * 2.0, cfg_.rto_cap_seconds);
     fr.retx_real = std::min(fr.retx_real * 2.0, cfg_.retx_real_cap_seconds);
     fr.sent_vtime = c.vtime_;
@@ -427,9 +450,14 @@ bool Transport::check_retransmits(Comm& c, RankNet& net) {
     ++fr.attempts;
     ++net.totals.retransmits;
     if (net.c_retx != nullptr) net.c_retx->add(1);
+    if (net.rec != nullptr) {
+      net.rec->instant_id("net.retx", fr.seq);
+      net.rec->flight(obs::FlightKind::kRetransmit, dst, fr.seq, fr.rto);
+    }
     update_health(net, dst, flow, 1.0);
     transmit(c, net, dst, kKindData, fr.seq, fr.tag, fr.payload,
-             fr.modeled_bytes, data_key(fr.seq, fr.attempts - 1));
+             fr.modeled_bytes, data_key(fr.seq, fr.attempts - 1),
+             fr.flow_seq);
     any = true;
   }
   return any;

@@ -107,9 +107,12 @@ class Transport {
 
   /// Sender side: frame the payload and transmit it on flow
   /// (c.rank() -> dst). May consult the fault model several times
-  /// (duplicate copies). Runs on the sending rank's thread.
+  /// (duplicate copies). Runs on the sending rank's thread. `flow_seq`
+  /// is the application-level causal sequence number (low 32 bits of the
+  /// obs flow id; 0 when tracing is off) — it rides the frame header so
+  /// the receiver can close the sender's flow event at delivery.
   void send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload,
-            std::size_t modeled_bytes);
+            std::size_t modeled_bytes, std::uint32_t flow_seq = 0);
 
   /// Progress engine for rank c.rank(): drain the frame inbox, deliver
   /// in-order data to the rank's mailbox, process acks, send due pure
@@ -149,7 +152,7 @@ class Transport {
     std::int32_t tag = 0;
     std::uint32_t kind = 0;  ///< 0 = data, 1 = pure ack.
     std::uint32_t payload_bytes = 0;
-    std::uint32_t pad = 0;
+    std::uint32_t flow_seq = 0;  ///< App causal seq (0 = tracing off).
     std::uint64_t modeled_bytes = 0;
   };
   static_assert(sizeof(FrameHeader) == 48);
@@ -170,6 +173,7 @@ class Transport {
     double retx_real = 0.0;   ///< Current real-time pacing (backoff).
     std::chrono::steady_clock::time_point last_real;
     std::uint32_t attempts = 0;  ///< Physical transmissions so far.
+    std::uint32_t flow_seq = 0;  ///< App causal seq (rides retransmits too).
   };
 
   struct TxFlow {
@@ -183,6 +187,7 @@ class Transport {
   struct RxHeld {
     std::int32_t tag = 0;
     double arrival = 0.0;
+    std::uint32_t flow_seq = 0;
     std::vector<std::byte> payload;
   };
 
@@ -205,6 +210,7 @@ class Transport {
     std::vector<std::unique_ptr<PhysFrame>> held;  ///< Reorder hold, per dst.
     // Observability (bound lazily on the owning thread).
     bool obs_bound = false;
+    obs::Rank* rec = nullptr;
     obs::Counter* c_retx = nullptr;
     obs::Counter* c_corrupt = nullptr;
     obs::Counter* c_dup = nullptr;
@@ -213,16 +219,19 @@ class Transport {
     obs::Counter* c_evict = nullptr;
     obs::Counter* c_alarm = nullptr;
     obs::Gauge* g_health = nullptr;
+    obs::Histogram* h_rtt = nullptr;      ///< net.rtt_seconds (Karn RTTs).
+    obs::Histogram* h_backoff = nullptr;  ///< net.retx_backoff_seconds.
   };
 
   void bind_obs(RankNet& net);
   void transmit(Comm& c, RankNet& net, int dst, std::uint32_t kind,
                 std::uint32_t seq, std::int32_t tag,
                 std::span<const std::byte> payload, std::size_t modeled_bytes,
-                std::uint64_t fate_key);
+                std::uint64_t fate_key, std::uint32_t flow_seq = 0);
   void enqueue_frame(int dst, PhysFrame&& frame);
   void process_frame(Comm& c, RankNet& net, PhysFrame&& frame);
-  void process_ack(Comm& c, RankNet& net, int peer, std::uint32_t ackno);
+  void process_ack(Comm& c, RankNet& net, int peer, std::uint32_t ackno,
+                   double ack_arrival);
   void deliver_in_order(Comm& c, RankNet& net, int peer);
   void send_pure_ack(Comm& c, RankNet& net, int peer);
   void flush_due_acks(Comm& c, RankNet& net, bool idle);

@@ -33,8 +33,11 @@
 #include <vector>
 
 #include "hot/parallel.hpp"
+#include "io/blockfile.hpp"
 #include "io/fault.hpp"
+#include "io/postmortem.hpp"
 #include "nbody/checkpoint.hpp"
+#include "obs/obs.hpp"
 #include "nbody/ic.hpp"
 #include "nbody/integrator.hpp"
 #include "support/rng.hpp"
@@ -685,6 +688,74 @@ struct TempDir {
     fs::remove_all(path, ec);
   }
 };
+
+TEST(NetEngine, DrainWatchdogStallWritesPostmortem) {
+  constexpr int kRanks = 4;
+  TempDir dir("postmortem");
+  const fs::path pm_path = dir.path / "stall.postmortem";
+
+  Runtime rt(kRanks);
+  auto faults = std::make_shared<LinkFaultModel>(kRanks, 555, [] {
+    FaultRates r;
+    r.drop = 0.4;
+    return r;
+  }());
+  faults->set_tag_range(0, 1 << 24);
+  rt.set_fault_model(faults, {}, /*reliable=*/false);
+  ss::obs::Session obs(kRanks);
+  rt.attach_observer(&obs);
+
+  ss::hot::ParallelConfig cfg;
+  cfg.theta = 0.6;
+  cfg.eps2 = 1e-6;
+  cfg.charge_compute = false;
+  cfg.drain_timeout_seconds = 0.5;
+  cfg.postmortem_path = pm_path.string();
+
+  try {
+    rt.run([&](Comm& c) {
+      Rng rng(static_cast<std::uint64_t>(31 + c.rank()));
+      auto bodies = clustered_bodies(rng, 300);
+      std::vector<double> work;
+      ss::hot::GravityEngine engine(c, cfg);
+      for (int s = 0; s < 3; ++s) {
+        auto r = engine.step(bodies, work);
+        bodies = r.bodies;
+        work = r.work;
+      }
+    });
+    FAIL() << "a 40% drop rate on raw ABM traffic must stall the walk";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("made no progress"),
+              std::string::npos);
+  }
+
+  // The stall dumped a black box before throwing: every payload must
+  // CRC-verify, and the rings must carry the run's traffic plus the
+  // stalling rank's kStall marker.
+  ASSERT_TRUE(fs::exists(pm_path)) << pm_path;
+  {
+    ss::io::BlockReader raw(pm_path);
+    EXPECT_NO_THROW(raw.verify_all());
+  }
+  const ss::io::Postmortem pm = ss::io::read_postmortem(pm_path);
+  EXPECT_NE(pm.reason.find("made no progress"), std::string::npos)
+      << pm.reason;
+  ASSERT_EQ(pm.ranks, kRanks);
+  std::uint64_t events = 0;
+  bool stall_seen = false;
+  for (const auto& ring : pm.flight) {
+    events += ring.size();
+    for (const ss::obs::FlightEvent& e : ring) {
+      if (e.kind == static_cast<std::uint32_t>(ss::obs::FlightKind::kStall)) {
+        stall_seen = true;
+      }
+    }
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_TRUE(stall_seen) << "no kStall record in any rank's ring";
+  EXPECT_FALSE(pm.counters.empty());
+}
 
 bool bitwise_equal(const std::vector<ss::nbody::Body>& a,
                    const std::vector<ss::nbody::Body>& b) {

@@ -4,10 +4,16 @@
 // end-to-end wiring through vmpi + the parallel treecode.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <set>
 #include <sstream>
 
 #include "hot/parallel.hpp"
+#include "io/blockfile.hpp"
+#include "io/postmortem.hpp"
 #include "nbody/ic.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
@@ -17,6 +23,9 @@
 
 namespace {
 
+using ss::obs::CriticalPath;
+using ss::obs::FlightKind;
+using ss::obs::Histogram;
 using ss::obs::PhaseReport;
 using ss::obs::Rank;
 using ss::obs::ScopedPhase;
@@ -44,6 +53,143 @@ TEST(ObsRegistry, CounterAndGaugeArithmetic) {
   EXPECT_DOUBLE_EQ(g.value(), 1.75);
   EXPECT_DOUBLE_EQ(reg.gauge_value("wait"), 1.75);
   EXPECT_DOUBLE_EQ(reg.gauge_value("missing"), 0.0);
+}
+
+TEST(ObsHistogram, BucketEdgesArePowerOfTwoAligned) {
+  // Bucket 0 holds (0, 1e-9]; bucket i holds (1e-9 * 2^(i-1), 1e-9 * 2^i].
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue), 0);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue * 1.5), 1);
+  EXPECT_EQ(Histogram::bucket_index(Histogram::kMinValue * 2.5), 2);
+  // A value just under a bucket's upper edge belongs to that bucket; just
+  // past it belongs to the next.
+  for (int i = 1; i < 8; ++i) {
+    const double edge = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_index(edge * 0.99), i) << i;
+    EXPECT_EQ(Histogram::bucket_index(edge * 1.01), i + 1) << i;
+  }
+  // The last bucket absorbs overflow.
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogram, QuantilesOnKnownDistributions) {
+  // Degenerate: every sample identical -> every quantile is exactly it
+  // (interpolation clamps to the observed [min, max]). 0.25 is exactly
+  // representable, so the mean is exact too.
+  Histogram same;
+  for (int i = 0; i < 100; ++i) same.record(0.25);
+  EXPECT_DOUBLE_EQ(same.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(same.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(same.quantile(0.99), 0.25);
+  EXPECT_DOUBLE_EQ(same.quantile(1.0), 0.25);
+  EXPECT_EQ(same.count(), 100u);
+  EXPECT_DOUBLE_EQ(same.mean(), 0.25);
+
+  // Two-point distribution: 90 samples at 1ms, 10 at 1s. p50 must sit in
+  // the low bucket, p99 in the high one — log-bucket resolution is a
+  // factor of 2, so assert against bucket-width tolerances, not exactly.
+  Histogram two;
+  for (int i = 0; i < 90; ++i) two.record(1e-3);
+  for (int i = 0; i < 10; ++i) two.record(1.0);
+  EXPECT_GE(two.quantile(0.5), 1e-3 / 2);
+  EXPECT_LE(two.quantile(0.5), 1e-3 * 2);
+  EXPECT_GE(two.quantile(0.95), 0.5);
+  EXPECT_LE(two.quantile(0.95), 1.0);
+  EXPECT_DOUBLE_EQ(two.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(two.max(), 1.0);
+
+  // Uniform grid 1..1000 us: quantiles within a bucket (factor 2) of the
+  // exact order statistic.
+  Histogram grid;
+  for (int i = 1; i <= 1000; ++i) grid.record(i * 1e-6);
+  for (const auto& [q, exact] : {std::pair{0.5, 500e-6},
+                                 std::pair{0.9, 900e-6},
+                                 std::pair{0.99, 990e-6}}) {
+    const double v = grid.quantile(q);
+    EXPECT_GE(v, exact / 2) << q;
+    EXPECT_LE(v, exact * 2) << q;
+  }
+}
+
+TEST(ObsHistogram, MergeAcrossRanksMatchesPooledSamples) {
+  // Per-rank histograms merged must equal one histogram fed everything:
+  // identical buckets, count, sum, min/max — hence identical quantiles.
+  // Exactly-representable values keep the sums associative, so the
+  // EXPECT_DOUBLE_EQ on sum() is legitimate.
+  Histogram a, b, pooled;
+  for (int i = 0; i < 64; ++i) {
+    const double va = 0.25 * (1 + i % 7);
+    const double vb = 2.0 * (1 + i % 5);
+    a.record(va);
+    b.record(vb);
+    pooled.record(va);
+    pooled.record(vb);
+  }
+  Histogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), pooled.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(merged.max(), pooled.max());
+  EXPECT_EQ(merged.buckets(), pooled.buckets());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), pooled.quantile(q)) << q;
+  }
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+}
+
+TEST(ObsTrace, RingCapDropsOldestAndCounts) {
+  Rank r(0, /*event_capacity=*/4);
+  double clock = 0.0;
+  r.set_clock(&clock);
+  for (int i = 0; i < 6; ++i) {
+    clock = static_cast<double>(i);
+    r.instant("e" + std::to_string(i));
+  }
+  // Ring holds the 4 newest; the 2 oldest were overwritten and counted
+  // both on the Rank and in the obs.events_dropped counter.
+  EXPECT_EQ(r.events().size(), 4u);
+  EXPECT_EQ(r.events_dropped(), 2u);
+  EXPECT_EQ(r.registry().counter_value("obs.events_dropped"), 2u);
+  double newest = 0.0;
+  double oldest = 1e9;
+  for (const TraceEvent& e : r.events()) {
+    newest = std::max(newest, e.ts);
+    oldest = std::min(oldest, e.ts);
+  }
+  EXPECT_DOUBLE_EQ(newest, 5.0);
+  EXPECT_DOUBLE_EQ(oldest, 2.0);
+
+  // Session-level knob and total.
+  Session s(2, /*event_capacity=*/2);
+  for (int rank = 0; rank < 2; ++rank) {
+    s.rank(rank).set_clock(&clock);
+    for (int i = 0; i < 3; ++i) s.rank(rank).instant("x");
+    s.rank(rank).set_clock(nullptr);
+  }
+  EXPECT_EQ(s.events_dropped(), 2u);
+}
+
+TEST(ObsFlight, RecorderRingIsChronologicalAndBounded) {
+  ss::obs::FlightRecorder rec(3);
+  EXPECT_EQ(rec.capacity(), 3u);
+  for (int i = 0; i < 5; ++i) {
+    rec.record(static_cast<double>(i), FlightKind::kSend, i, 100u + i, 0.5);
+  }
+  EXPECT_EQ(rec.recorded(), 5u);
+  const auto snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Oldest surviving record first: 2, 3, 4.
+  EXPECT_DOUBLE_EQ(snap[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(snap[2].t, 4.0);
+  EXPECT_EQ(snap[2].id, 104u);
+  EXPECT_EQ(snap[2].kind, static_cast<std::uint32_t>(FlightKind::kSend));
 }
 
 TEST(ObsTrace, SpanNestingAndMonotoneTimestamps) {
@@ -267,6 +413,212 @@ TEST(ObsExport, SummaryAggregatesCountersAndPhases) {
   EXPECT_GT(report.table().rows(), 0u);
 }
 
+TEST(ObsExport, FlowEventsRenderAsPairedArrows) {
+  // A send on rank 0 and its delivery on rank 1 must export as a
+  // Chrome-trace flow pair: same id, cat "flow", ph 's' on the sender and
+  // ph 'f' (+ "bp":"e" and the wait in args) on the receiver.
+  Session s(2);
+  double clock = 0.0;
+  Rank& r0 = s.rank(0);
+  r0.set_clock(&clock);
+  clock = 0.0;
+  r0.begin("step");
+  clock = 1.0e-3;
+  r0.flow_begin("net.msg", 7);
+  clock = 3.0e-3;
+  r0.end();
+  r0.set_clock(nullptr);
+  Rank& r1 = s.rank(1);
+  r1.set_clock(&clock);
+  clock = 0.0;
+  r1.begin("step");
+  clock = 2.0e-3;
+  r1.flow_end("net.msg", 7, 0.5e-3);
+  clock = 3.0e-3;
+  r1.end();
+  r1.set_clock(nullptr);
+
+  std::ostringstream os;
+  write_chrome_trace(s, os);
+  const json::Value v = json::parse(os.str());
+  const json::Value* start = nullptr;
+  const json::Value* finish = nullptr;
+  for (const json::Value& e : v.at("traceEvents").array) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "s") start = &e;
+    if (ph == "f") finish = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(start->at("cat").string, "flow");
+  EXPECT_EQ(finish->at("cat").string, "flow");
+  EXPECT_EQ(start->at("id").number, finish->at("id").number);
+  EXPECT_EQ(start->at("id").number, 7.0);
+  EXPECT_EQ(static_cast<int>(start->at("tid").number), 0);
+  EXPECT_EQ(static_cast<int>(finish->at("tid").number), 1);
+  EXPECT_DOUBLE_EQ(start->at("ts").number, 1.0e3);   // microseconds
+  EXPECT_DOUBLE_EQ(finish->at("ts").number, 2.0e3);
+  EXPECT_EQ(finish->at("bp").string, "e");
+  EXPECT_DOUBLE_EQ(finish->at("args").at("wait_us").number, 500.0);
+  EXPECT_TRUE(start->find("bp") == nullptr);  // only the finish binds
+}
+
+TEST(ObsCriticalPath, HandBuiltThreeRankDagAttributesExactly) {
+  // A DAG small enough to attribute by hand, times in virtual seconds:
+  //
+  //   rank 0: [0......9]          sends id=100 at t=2
+  //   rank 1: [0........9.5]      recv id=100 at t=6 after waiting 5,
+  //                               sends id=200 at t=7
+  //   rank 2: [0..........10]     recv id=200 at t=9 after waiting 3
+  //
+  // Window = [0, 10]. Rank 1's 5 s wait splits into 4 s fabric (the
+  // message was in flight [2, 6]) + 1 s wait-for-sender; rank 2's 3 s
+  // wait into 2 s fabric ([7, 9]) + 1 s. The backward chain starts at
+  // rank 2 (finishes last at 10) and walks recv 200 -> rank 1 at t=7 ->
+  // recv 100 -> rank 0 at t=2 -> window start.
+  Session s(3);
+  double clock = 0.0;
+  auto span = [&](int rank, double t0, double t1, auto&& mid) {
+    Rank& r = s.rank(rank);
+    r.set_clock(&clock);
+    clock = t0;
+    r.begin("step");
+    mid(r);
+    clock = t1;
+    r.end();
+    r.set_clock(nullptr);
+  };
+  span(0, 0.0, 9.0, [&](Rank& r) {
+    clock = 2.0;
+    r.flow_begin("net.msg", 100);
+  });
+  span(1, 0.0, 9.5, [&](Rank& r) {
+    clock = 6.0;
+    r.flow_end("net.msg", 100, 5.0);
+    clock = 7.0;
+    r.flow_begin("net.msg", 200);
+  });
+  span(2, 0.0, 10.0, [&](Rank& r) {
+    clock = 9.0;
+    r.flow_end("net.msg", 200, 3.0);
+  });
+
+  const CriticalPath cp(s);
+  EXPECT_DOUBLE_EQ(cp.window_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(cp.attributed_frac(), 1.0);
+  ASSERT_EQ(cp.ranks().size(), 3u);
+  const auto& a0 = cp.ranks()[0];
+  EXPECT_DOUBLE_EQ(a0.compute_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(a0.wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a0.fabric_seconds, 0.0);
+  const auto& a1 = cp.ranks()[1];
+  EXPECT_DOUBLE_EQ(a1.compute_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(a1.wait_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a1.fabric_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(a1.attributed_frac, 1.0);
+  const auto& a2 = cp.ranks()[2];
+  EXPECT_DOUBLE_EQ(a2.compute_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(a2.wait_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a2.fabric_seconds, 2.0);
+
+  // The chain: rank2 computes 1 s back from 10 to the recv at 9, charges
+  // 2 s fabric + 1 s wait, hops to rank 1 at t=7; rank 1 computes 1 s
+  // back to its recv at 6, charges 4 s fabric + 1 s wait, hops to rank 0
+  // at t=2; rank 0 computes the remaining 2 s back to the window start.
+  EXPECT_EQ(cp.chain_start_rank(), 2);
+  EXPECT_DOUBLE_EQ(cp.chain_compute_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(cp.chain_wait_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(cp.chain_fabric_seconds(), 6.0);
+  ASSERT_EQ(cp.chain().size(), 7u);
+  EXPECT_EQ(cp.chain()[0].rank, 2);
+  EXPECT_EQ(cp.chain()[0].kind, 'c');
+  EXPECT_DOUBLE_EQ(cp.chain()[0].seconds, 1.0);
+  EXPECT_EQ(cp.chain().back().rank, 0);
+  EXPECT_EQ(cp.chain().back().kind, 'c');
+  EXPECT_DOUBLE_EQ(cp.chain().back().seconds, 2.0);
+  EXPECT_GT(cp.table().rows(), 0u);
+
+  // The summary JSON carries the same numbers.
+  std::ostringstream os;
+  write_summary(s, os);
+  const json::Value v = json::parse(os.str());
+  const json::Value& jcp = v.at("critical_path");
+  EXPECT_DOUBLE_EQ(jcp.at("window_seconds").number, 10.0);
+  EXPECT_DOUBLE_EQ(jcp.at("attributed_frac").number, 1.0);
+  ASSERT_EQ(jcp.at("per_rank").array.size(), 3u);
+  EXPECT_DOUBLE_EQ(jcp.at("per_rank").array[1].at("fabric_seconds").number,
+                   4.0);
+  const json::Value& chain = jcp.at("chain");
+  EXPECT_EQ(static_cast<int>(chain.at("start_rank").number), 2);
+  EXPECT_EQ(static_cast<int>(chain.at("hops").number), 7);
+  EXPECT_DOUBLE_EQ(chain.at("fabric_seconds").number, 6.0);
+  EXPECT_EQ(v.at("events_dropped").number, 0.0);
+}
+
+TEST(ObsCriticalPath, EmptySessionIsDegenerateButSafe) {
+  Session s(2);
+  const CriticalPath cp(s);
+  EXPECT_DOUBLE_EQ(cp.window_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(cp.attributed_frac(), 1.0);
+  ASSERT_EQ(cp.ranks().size(), 2u);
+  EXPECT_DOUBLE_EQ(cp.ranks()[0].compute_seconds, 0.0);
+  EXPECT_TRUE(cp.chain().empty());
+}
+
+TEST(ObsPostmortem, WriteReadRoundTripVerifies) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ss_obs_pm_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Session s(2);
+  double clock = 0.0;
+  for (int r = 0; r < 2; ++r) {
+    s.rank(r).set_clock(&clock);
+    clock = 0.25 * (r + 1);
+    s.rank(r).flight(FlightKind::kSend, 1 - r, 42u + r, 128.0);
+    s.rank(r).flight(FlightKind::kRetransmit, 1 - r, 5, 0.031);
+    s.rank(r).registry().counter("net.sends").add(3 + r);
+    s.rank(r).set_clock(nullptr);
+  }
+
+  const fs::path path = dir / "stall.postmortem";
+  ss::io::write_postmortem(path, &s,
+                           {"drain watchdog: walk loop", "flow 3->1 seq 9"});
+
+  // The file is a plain SSBLOCK1 container: the generic reader verifies
+  // every payload CRC.
+  ss::io::BlockReader raw(path);
+  EXPECT_NO_THROW(raw.verify_all());
+
+  const ss::io::Postmortem pm = ss::io::read_postmortem(path);
+  EXPECT_EQ(pm.reason, "drain watchdog: walk loop");
+  EXPECT_EQ(pm.detail, "flow 3->1 seq 9");
+  EXPECT_EQ(pm.ranks, 2);
+  ASSERT_EQ(pm.flight.size(), 2u);
+  ASSERT_EQ(pm.flight[0].size(), 2u);
+  EXPECT_EQ(pm.flight[0][0].kind,
+            static_cast<std::uint32_t>(FlightKind::kSend));
+  EXPECT_EQ(pm.flight[0][0].id, 42u);
+  EXPECT_DOUBLE_EQ(pm.flight[0][0].value, 128.0);
+  EXPECT_DOUBLE_EQ(pm.flight[1][0].t, 0.5);
+  EXPECT_NE(pm.counters.find("0 net.sends 3"), std::string::npos);
+  EXPECT_NE(pm.counters.find("1 net.sends 4"), std::string::npos);
+
+  // Null session: reason/detail only, still a valid file.
+  const fs::path bare = dir / "bare.postmortem";
+  ss::io::write_postmortem(bare, nullptr, {"rank failure", "rank 2 died"});
+  const ss::io::Postmortem pm2 = ss::io::read_postmortem(bare);
+  EXPECT_EQ(pm2.reason, "rank failure");
+  EXPECT_EQ(pm2.ranks, 0);
+  EXPECT_TRUE(pm2.flight.empty());
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
 // End-to-end: a 4-rank parallel gravity run with an attached Session
 // produces the paper's four stages on every rank, balanced span stacks,
 // monotone timestamps, and the comm/cache counters — while per-rank
@@ -356,6 +708,42 @@ TEST(ObsEndToEnd, ParallelGravityTrace) {
   EXPECT_NO_THROW(json::parse(trace_os.str()));
   const json::Value summary = json::parse(summary_os.str());
   EXPECT_GE(summary.at("counters").object.size(), 8u);
+
+  // Cross-rank flow events pair up: every receive arrow ('f') carries an
+  // id some rank emitted a flow start ('s') for.
+  std::set<std::uint64_t> sent_ids;
+  std::size_t flow_starts = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    for (const TraceEvent& e : session.rank(r).events()) {
+      if (e.ph == 's') {
+        sent_ids.insert(e.id);
+        ++flow_starts;
+      }
+    }
+  }
+  std::size_t flow_ends = 0, unmatched = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    for (const TraceEvent& e : session.rank(r).events()) {
+      if (e.ph == 'f') {
+        ++flow_ends;
+        if (sent_ids.count(e.id) == 0) ++unmatched;
+      }
+    }
+  }
+  EXPECT_GT(flow_starts, 0u);
+  EXPECT_GT(flow_ends, 0u);
+  EXPECT_EQ(unmatched, 0u);
+
+  // Critical-path attribution covers the window, and the park-time
+  // histogram saw the parked walks.
+  const json::Value& jcp = summary.at("critical_path");
+  EXPECT_GT(jcp.at("window_seconds").number, 0.0);
+  EXPECT_GE(jcp.at("attributed_frac").number, 0.95);
+  const json::Value* park =
+      summary.at("histograms").find("hot.walk_park_seconds");
+  ASSERT_NE(park, nullptr);
+  EXPECT_GT(park->at("count").number, 0.0);
+  EXPECT_EQ(summary.at("events_dropped").number, 0.0);
 
   // A second, identical run with *no* observer attached still works and
   // records per-rank traffic (the disabled path leaves no recorder bound,
