@@ -38,6 +38,11 @@
 
 namespace {
 
+// --no-simd: flush tiles through the auto-vectorized batch kernels
+// instead of the explicit-SIMD dispatched ones (A/B host-wall lever; the
+// virtual-time model and the interaction sets are identical either way).
+bool g_use_simd = true;
+
 struct RunResult {
   double vtime = 0.0;
   double messages = 0.0;
@@ -71,6 +76,7 @@ RunResult run_gravity(int procs, std::size_t batch_bytes, bool weighted,
     cfg.theta = 0.6;
     cfg.eps2 = 1e-6;
     cfg.abm.batch_bytes = batch_bytes;
+    cfg.simd_kernels = g_use_simd;
     // First pass provides weights; the measured pass uses them (or not).
     auto warm = parallel_gravity(c, local, {}, cfg);
     const double t0 = c.barrier_max_time();
@@ -158,6 +164,7 @@ std::vector<StepRow> run_multi_step(int procs, int steps) {
     cfg.theta = 0.6;
     cfg.eps2 = 1e-6;
     cfg.abm.batch_bytes = 4096;
+    cfg.simd_kernels = g_use_simd;
     ss::hot::GravityEngine engine(c, cfg);
     std::vector<double> work_e, work_s;
     const double dt = 0.05;
@@ -246,8 +253,11 @@ int main(int argc, char** argv) {
       json_path = (i + 1 < argc && argv[i + 1][0] != '-')
                       ? std::string(argv[++i])
                       : std::string("BENCH_ablation_parallel.json");
+    } else if (std::strcmp(argv[i], "--no-simd") == 0) {
+      g_use_simd = false;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--trace PREFIX] [--json [PATH]]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--trace PREFIX] [--json [PATH]] [--no-simd]\n";
       return 2;
     }
   }

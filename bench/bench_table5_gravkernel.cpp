@@ -21,6 +21,7 @@
 #include "gravity/batch.hpp"
 #include "gravity/kernels.hpp"
 #include "nodemodel/processors.hpp"
+#include "simd/isa.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -74,12 +75,31 @@ double measure_batch_ips(const SourcesSoA& soa) {
   return best;
 }
 
+/// Interactions/sec of the explicit-SIMD dispatched tile kernel under the
+/// currently active backend, best of 3 trials.
+double measure_simd_ips(const SourcesSoA& soa) {
+  const Vec3 target{0.01, 0.02, 0.03};
+  double best = 0.0;
+  volatile double sink = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    ss::support::WallTimer timer;
+    Accel acc;
+    for (int r = 0; r < kRepeats; ++r) {
+      acc += interact_bodies_simd(target, soa, 1e-6);
+    }
+    const double secs = timer.seconds();
+    sink = sink + acc.phi;
+    best = std::max(best, static_cast<double>(soa.size()) * kRepeats / secs);
+  }
+  return best;
+}
+
 double to_mflops(double ips) {
   return ips * static_cast<double>(kFlopsPerInteraction) / 1e6;
 }
 
 struct HostVariant {
-  const char* name;
+  std::string name;
   double ips = 0.0;
 };
 
@@ -113,12 +133,29 @@ int main(int argc, char** argv) {
   }
   const auto soa = SourcesSoA::from(src);
 
-  HostVariant variants[] = {
+  std::vector<HostVariant> variants = {
       {"scalar libm", measure_scalar_ips<RsqrtMethod::libm>(src)},
       {"scalar karp", measure_scalar_ips<RsqrtMethod::karp>(src)},
       {"batch libm", measure_batch_ips<RsqrtMethod::libm>(soa)},
       {"batch karp", measure_batch_ips<RsqrtMethod::karp>(soa)},
   };
+  // The explicit-SIMD dispatched kernels: once through the forced scalar
+  // backend (the dispatch overhead floor) and once through whatever
+  // backend the runtime selection picked (CPUID or SS_SIMD).
+  {
+    ss::simd::ScopedForce forced(ss::simd::Isa::scalar);
+    variants.push_back({"batch simd-scalar", measure_simd_ips(soa)});
+  }
+  const ss::simd::Isa active = ss::simd::active();
+  const std::string simd_name =
+      std::string("batch simd-") + ss::simd::name(active);
+  double simd_ips = 0.0;
+  if (active != ss::simd::Isa::scalar) {
+    variants.push_back({simd_name, measure_simd_ips(soa)});
+    simd_ips = variants.back().ips;
+  } else {
+    simd_ips = variants.back().ips;  // scalar backend IS the active one
+  }
   const double host_libm = variants[0].ips;
 
   Table t("Table 5: gravitational micro-kernel (virtual model rows)");
@@ -142,6 +179,7 @@ int main(int argc, char** argv) {
   std::cout << h;
 
   const double speedup = variants[3].ips / host_libm;
+  const double simd_speedup = simd_ips / host_libm;
   std::cout << "\nShape check vs paper: Karp's adds-and-multiplies rsqrt wins\n"
                "on every processor except the 2.2 GHz P4/gcc, where hardware\n"
                "sqrt throughput had caught up; the icc-compiled P4 row shows\n"
@@ -150,7 +188,9 @@ int main(int argc, char** argv) {
                "vectorized batch-Karp tile kernel reaches "
             << Table::fixed(speedup, 2)
             << "x the scalar libm\nkernel — the >= 2x the paper hoped for "
-               "from hand-coded SSE.\n";
+               "from hand-coded SSE.\nThe explicit "
+            << ss::simd::name(active) << " kernel reaches "
+            << Table::fixed(simd_speedup, 2) << "x.\n";
 
   if (json_path) {
     std::ofstream os(*json_path);
@@ -187,6 +227,8 @@ int main(int argc, char** argv) {
     }
     w.end_array();
     w.kv("speedup_batch_karp_vs_scalar_libm", speedup);
+    w.kv("speedup_batch_simd_vs_scalar_libm", simd_speedup);
+    w.kv("simd_isa", ss::simd::name(active));
     w.end_object();
     w.end_object();
     os << "\n";

@@ -49,15 +49,35 @@ echo "=== lossy-fabric smoke: reliable transport under drop/corrupt/reorder ==="
   --gtest_filter='NetEngine.ForcesOnLossyFabricMatchCleanRun:NetEndToEnd.*' \
   --gtest_brief=1
 
+echo "=== SIMD dispatch parity: forced-scalar + native backends ==="
+# The parity gtests loop over every backend reachable on this host
+# (scalar always; AVX2/AVX-512/NEON as compiled+supported). Run them
+# once natively and once under the forced-scalar env override, which is
+# the portability floor every machine must pass identically.
+./build/tests/test_gravity --gtest_filter='SimdKernels.*' --gtest_brief=1
+./build/tests/test_sph --gtest_filter='Kernel.Batch*' --gtest_brief=1
+SS_SIMD=scalar ./build/tests/test_gravity --gtest_filter='SimdKernels.*' \
+  --gtest_brief=1
+SS_SIMD=scalar ./build/tests/test_sph --gtest_filter='Kernel.Batch*' \
+  --gtest_brief=1
+
+echo "=== multi-thread pool: tree/gravity suites on a forced 3-thread pool ==="
+# Hosts with one core default to a 1-thread pool, which runs every pool
+# lambda inline on the caller — cross-thread bugs never fire. Force real
+# workers so the fan-out paths are exercised somewhere in CI.
+SS_POOL_THREADS=3 ./build/tests/test_hot --gtest_brief=1
+SS_POOL_THREADS=3 ./build/tests/test_hot_parallel --gtest_brief=1
+SS_POOL_THREADS=3 ./build/tests/test_task_pool --gtest_brief=1
+
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel / test_engine / test_io / test_net ==="
+  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel / test_engine / test_io / test_net / test_task_pool ==="
   cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
     --target test_gravity test_morton test_hot_parallel test_engine test_io \
-    test_net
+    test_net test_task_pool
   for t in test_gravity test_morton test_hot_parallel test_engine test_io \
-      test_net; do
+      test_net test_task_pool; do
     bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
     echo "--- $t ---"
     "$bin"
@@ -79,7 +99,18 @@ names = {v["name"] for v in d["host"]["variants"]}
 assert {"scalar libm", "scalar karp", "batch libm", "batch karp"} <= names
 s = d["host"]["speedup_batch_karp_vs_scalar_libm"]
 assert s > 0, "speedup missing"
-print(f"BENCH_table5.json ok: batch-karp speedup {s:.2f}x vs scalar libm")
+simd = d["host"]["speedup_batch_simd_vs_scalar_libm"]
+isa = d["host"]["simd_isa"]
+by_name = {v["name"]: v for v in d["host"]["variants"]}
+karp_ips = by_name["batch karp"]["interactions_per_sec"]
+simd_row = by_name.get(f"batch simd-{isa}") or by_name["batch simd-scalar"]
+# The explicit-SIMD kernel must not lose to the auto-vectorized batch
+# path on its own hardware (5% timer-jitter allowance).
+assert simd_row["interactions_per_sec"] >= 0.95 * karp_ips, (
+    f"batch simd-{isa} {simd_row['interactions_per_sec']/1e6:.0f} Minter/s"
+    f" lost to batch karp {karp_ips/1e6:.0f} Minter/s")
+print(f"BENCH_table5.json ok: batch-karp speedup {s:.2f}x, batch-simd"
+      f" ({isa}) {simd:.2f}x vs scalar libm")
 PY
 
 abl_json="build/BENCH_ablation_parallel.json"

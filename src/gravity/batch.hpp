@@ -20,6 +20,7 @@
 
 #include "gravity/kernels.hpp"
 #include "gravity/multipole.hpp"
+#include "simd/isa.hpp"
 
 namespace ss::gravity {
 
@@ -140,5 +141,42 @@ void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
 /// Method-dispatched variant of the multi-target batch.
 void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
                     double eps2, RsqrtMethod method, std::span<Accel> out);
+
+// ---------------------------------------------------------------------------
+// Explicit-SIMD kernels (runtime ISA dispatch).
+//
+// The kernels above rely on the compiler auto-vectorizing three
+// scratch-array passes per block. The *_simd entry points instead run a
+// single fused register-resident pass written against the fixed-width
+// vector types in simd/vec.hpp, instantiated per ISA (scalar / AVX2+FMA /
+// NEON) and selected once at runtime by simd::active() — overridable with
+// SS_SIMD=scalar|avx2|neon or simd::force() for testing. Semantics match
+// the batch kernels (self-interactions contribute only the softened
+// potential); tests pin agreement with the scalar reference at <= 1e-12
+// on every compiled backend. No TileScratch needed: the fused pass has no
+// intermediate arrays.
+// ---------------------------------------------------------------------------
+
+/// True if the backend for `isa` was compiled into this binary (the
+/// dispatcher falls back to scalar when the active ISA's backend is
+/// absent).
+bool simd_backend_compiled(simd::Isa isa);
+
+/// Explicit-SIMD batched reciprocal square root (same Karp-seeded
+/// Newton-Raphson decomposition and preconditions as rsqrt_karp_batch).
+void rsqrt_simd_batch(const double* x, double* out, std::size_t n);
+
+/// Explicit-SIMD body-tile kernel; semantics of interact_bodies_batch.
+Accel interact_bodies_simd(const Vec3& target, const SourcesSoA& tile,
+                           double eps2);
+
+/// Explicit-SIMD cell-tile kernel; semantics of interact_cells_batch.
+Accel interact_cells_simd(const Vec3& target, const CellsSoA& tile,
+                          double eps2);
+
+/// Explicit-SIMD multi-target batch (direct solver / bench path).
+void interact_batch_simd(std::span<const Vec3> targets,
+                         const SourcesSoA& sources, double eps2,
+                         std::span<Accel> out);
 
 }  // namespace ss::gravity

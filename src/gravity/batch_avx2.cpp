@@ -1,0 +1,35 @@
+// AVX2+FMA instantiation of the explicit-SIMD gravity kernels. This TU
+// is compiled with -mavx2 -mfma on x86 when the compiler supports them
+// (see CMakeLists.txt); everywhere else the guard leaves it empty and
+// the accessor reports the backend as absent. Runtime CPUID dispatch in
+// simd::active() guarantees these functions are only ever called on
+// hardware that has the instructions.
+#include "gravity/batch_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_AVX2)
+
+#include "gravity/batch_simd.inl"
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_avx2() {
+  static const SimdKernelTable table{
+      &vec_kernels::rsqrt_batch<simd::Avx2Vec>,
+      &vec_kernels::interact_bodies<simd::Avx2Vec>,
+      &vec_kernels::interact_cells<simd::Avx2Vec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail
+
+#else  // !SS_SIMD_HAVE_AVX2
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_avx2() { return nullptr; }
+
+}  // namespace ss::gravity::detail
+
+#endif

@@ -1,0 +1,34 @@
+// AVX-512 instantiation of the explicit-SIMD gravity kernels. Compiled
+// with -mavx512f on x86 when the compiler supports it; elsewhere the
+// guard leaves the TU empty and the accessor reports the backend as
+// absent. Runtime CPUID dispatch guarantees these functions only run on
+// hardware with the instructions.
+#include "gravity/batch_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_AVX512)
+
+#include "gravity/batch_simd.inl"
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_avx512() {
+  static const SimdKernelTable table{
+      &vec_kernels::rsqrt_batch<simd::Avx512Vec>,
+      &vec_kernels::interact_bodies<simd::Avx512Vec>,
+      &vec_kernels::interact_cells<simd::Avx512Vec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail
+
+#else  // !SS_SIMD_HAVE_AVX512
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_avx512() { return nullptr; }
+
+}  // namespace ss::gravity::detail
+
+#endif

@@ -1,0 +1,42 @@
+// Internal dispatch table for the explicit-SIMD gravity kernels.
+//
+// Each backend translation unit (batch_scalar_vec.cpp, batch_avx2.cpp,
+// batch_neon.cpp) instantiates the templated kernels from batch_simd.inl
+// for its vector type and exposes them through one of the accessors
+// below. A backend that was not compiled in (wrong architecture, or the
+// compiler lacks the flags) returns nullptr from its accessor — the TU
+// still builds, its body just compiles empty. Resolution against the
+// runtime ISA selection happens in batch_simd.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "gravity/batch.hpp"
+#include "simd/isa.hpp"
+
+namespace ss::gravity::detail {
+
+struct SimdKernelTable {
+  void (*rsqrt)(const double* x, double* out, std::size_t n) = nullptr;
+  Accel (*bodies)(const Vec3& target, const SourcesSoA& tile,
+                  double eps2) = nullptr;
+  Accel (*cells)(const Vec3& target, const CellsSoA& tile,
+                 double eps2) = nullptr;
+};
+
+/// Always available.
+const SimdKernelTable* simd_kernels_scalar();
+/// nullptr unless this binary carries the backend.
+const SimdKernelTable* simd_kernels_avx2();
+const SimdKernelTable* simd_kernels_neon();
+const SimdKernelTable* simd_kernels_avx512();
+
+/// Table for an explicit ISA, or nullptr if that backend is not compiled
+/// into this binary.
+const SimdKernelTable* simd_kernels_for(simd::Isa isa);
+
+/// Table for the currently active ISA (simd::active()), falling back to
+/// scalar when the active backend is not compiled in. Never nullptr.
+const SimdKernelTable& simd_kernels_active();
+
+}  // namespace ss::gravity::detail

@@ -1,0 +1,32 @@
+// NEON (AArch64) instantiation of the explicit-SIMD gravity kernels.
+// NEON is architectural baseline on AArch64, so no special flags are
+// needed — the guard simply keys on the target architecture.
+#include "gravity/batch_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_NEON)
+
+#include "gravity/batch_simd.inl"
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_neon() {
+  static const SimdKernelTable table{
+      &vec_kernels::rsqrt_batch<simd::NeonVec>,
+      &vec_kernels::interact_bodies<simd::NeonVec>,
+      &vec_kernels::interact_cells<simd::NeonVec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail
+
+#else  // !SS_SIMD_HAVE_NEON
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_neon() { return nullptr; }
+
+}  // namespace ss::gravity::detail
+
+#endif

@@ -1,0 +1,21 @@
+// ScalarVec instantiation of the explicit-SIMD gravity kernels — the
+// width-1 portable backend. Compiled with the project-default flags (no
+// -fassociative-math) so it is the bit-stable oracle the wide backends
+// are compared against, and the fallback when SS_SIMD=scalar.
+#include "gravity/batch_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#include "gravity/batch_simd.inl"
+
+namespace ss::gravity::detail {
+
+const SimdKernelTable* simd_kernels_scalar() {
+  static const SimdKernelTable table{
+      &vec_kernels::rsqrt_batch<simd::ScalarVec>,
+      &vec_kernels::interact_bodies<simd::ScalarVec>,
+      &vec_kernels::interact_cells<simd::ScalarVec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail

@@ -1,0 +1,63 @@
+// Runtime dispatch front end for the explicit-SIMD gravity kernels.
+//
+// simd::active() picks the ISA once (force > SS_SIMD env > CPUID); here
+// that choice is mapped to the per-backend kernel table, falling back to
+// the scalar backend when the selected ISA was not compiled into this
+// binary (e.g. an x86 build without AVX2 compiler support running on an
+// AVX2 machine).
+#include "gravity/batch_dispatch.hpp"
+
+namespace ss::gravity {
+
+namespace detail {
+
+const SimdKernelTable* simd_kernels_for(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::scalar:
+      return simd_kernels_scalar();
+    case simd::Isa::avx2:
+      return simd_kernels_avx2();
+    case simd::Isa::neon:
+      return simd_kernels_neon();
+    case simd::Isa::avx512:
+      return simd_kernels_avx512();
+  }
+  return nullptr;
+}
+
+const SimdKernelTable& simd_kernels_active() {
+  const SimdKernelTable* t = simd_kernels_for(simd::active());
+  if (t == nullptr) t = simd_kernels_scalar();
+  return *t;
+}
+
+}  // namespace detail
+
+bool simd_backend_compiled(simd::Isa isa) {
+  return detail::simd_kernels_for(isa) != nullptr;
+}
+
+void rsqrt_simd_batch(const double* x, double* out, std::size_t n) {
+  detail::simd_kernels_active().rsqrt(x, out, n);
+}
+
+Accel interact_bodies_simd(const Vec3& target, const SourcesSoA& tile,
+                           double eps2) {
+  return detail::simd_kernels_active().bodies(target, tile, eps2);
+}
+
+Accel interact_cells_simd(const Vec3& target, const CellsSoA& tile,
+                          double eps2) {
+  return detail::simd_kernels_active().cells(target, tile, eps2);
+}
+
+void interact_batch_simd(std::span<const Vec3> targets,
+                         const SourcesSoA& sources, double eps2,
+                         std::span<Accel> out) {
+  const detail::SimdKernelTable& k = detail::simd_kernels_active();
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    out[t] = k.bodies(targets[t], sources, eps2);
+  }
+}
+
+}  // namespace ss::gravity

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "gravity/batch.hpp"
 #include "io/postmortem.hpp"
 #include "obs/obs.hpp"
+#include "support/task_pool.hpp"
 
 namespace ss::hot {
 
@@ -172,9 +174,18 @@ struct GravityEngine::Impl {
       c_pushes_ = &reg.counter("hot.sibling_pushes");
       h_park_ = &reg.histogram("hot.walk_park_seconds");
       h_tile_ = &reg.histogram("hot.tile_occupancy");
+      c_pool_run_ = &reg.counter("pool.tasks_run");
+      c_pool_stolen_ = &reg.counter("pool.tasks_stolen");
+      c_pool_steals_failed_ = &reg.counter("pool.steals_failed");
     }
-    body_tile_.reserve(cfg.tile_bodies);
-    cell_tile_.reserve(cfg.tile_cells);
+    // The work-stealing pool is process-global (tree build, Morton sort
+    // and the pooled traversal all share it); a non-zero pool_threads
+    // resizes it for every engine in the process.
+    if (cfg.pool_threads > 0) {
+      support::TaskPool::configure_global(cfg.pool_threads);
+    }
+    tiles_.body_tile.reserve(cfg.tile_bodies);
+    tiles_.cell_tile.reserve(cfg.tile_cells);
     abm_.on(kChanRequest, [this](int src, std::span<const std::byte> p) {
       serve_request(src, p, cfg_.sibling_piggyback);
     });
@@ -224,26 +235,48 @@ struct GravityEngine::Impl {
   void handle_push_children(int src, std::span<const std::byte> payload);
   void handle_push_bodies(int src, std::span<const std::byte> payload);
 
+  // Interaction-list tiles, kernel scratch and flush accounting. One
+  // context per traversal thread: the sequential walk loop uses the
+  // engine's tiles_, the pooled single-rank loop gives each chunk its
+  // own. Stats and histogram samples accumulate here (a pool worker must
+  // never touch stats_ or the obs recorder — both are rank-thread-only)
+  // and are drained on the rank thread by drain_tile_ctx().
+  struct TileCtx {
+    gravity::SourcesSoA body_tile;
+    gravity::CellsSoA cell_tile;
+    gravity::TileScratch scratch;
+    std::uint64_t batched_body = 0;
+    std::uint64_t batched_cell = 0;
+    std::uint64_t scalar_body = 0;
+    std::uint64_t scalar_cell = 0;
+    std::uint64_t flushes = 0;
+    std::vector<double> occupancy;  ///< hot.tile_occupancy samples
+  };
+
   // -- traversal ------------------------------------------------------------
   /// Returns false if the walk parked waiting for remote data.
-  bool advance(Walk& w);
+  bool advance(Walk& w, TileCtx& ctx);
   void park(Walk& w, Key k, int owner, std::uint32_t walk_idx,
             bool first_demand);
-  void direct_local_range(Walk& w, Key cell);
+  void direct_local_range(Walk& w, TileCtx& ctx, Key cell);
   void unpark(Key k);
 
   // Interaction-list plumbing. Accepted body ranges and accepted cells are
-  // gathered into the engine-owned SoA tiles and flushed through the
-  // batched kernels when a tile fills or the walk leaves advance() (the
-  // tiles are shared across walks, so they never outlive one activation).
-  void add_bodies(Walk& w, const Source* p, std::size_t n);
-  void add_cell(Walk& w, const Moments& m);
-  void flush_body_tile(Walk& w);
-  void flush_cell_tile(Walk& w);
-  void flush_tiles(Walk& w) {
-    flush_body_tile(w);
-    flush_cell_tile(w);
+  // gathered into the context's SoA tiles and flushed through the batched
+  // kernels when a tile fills or the walk leaves advance() (within one
+  // context the tiles are shared across walks, so they never outlive one
+  // activation).
+  void add_bodies(Walk& w, TileCtx& ctx, const Source* p, std::size_t n);
+  void add_cell(Walk& w, TileCtx& ctx, const Moments& m);
+  void flush_body_tile(Walk& w, TileCtx& ctx);
+  void flush_cell_tile(Walk& w, TileCtx& ctx);
+  void flush_tiles(Walk& w, TileCtx& ctx) {
+    flush_body_tile(w, ctx);
+    flush_cell_tile(w, ctx);
   }
+  /// Folds a context's accounting into stats_ and the obs counters, then
+  /// resets it (tile capacity kept). Rank thread only.
+  void drain_tile_ctx(TileCtx& ctx);
 
   // -- persistent state -----------------------------------------------------
   ss::vmpi::Comm& comm_;
@@ -269,11 +302,9 @@ struct GravityEngine::Impl {
   std::deque<std::uint32_t> ready_;
   std::uint64_t outstanding_ = 0;  // requests sent minus replies received
 
-  // Interaction-list tiles + kernel scratch, reused across every walk and
-  // flush: the traversal allocates nothing per walk after warm-up.
-  gravity::SourcesSoA body_tile_;
-  gravity::CellsSoA cell_tile_;
-  gravity::TileScratch scratch_;
+  // The rank thread's tile context, reused across every walk and flush:
+  // the sequential traversal allocates nothing per walk after warm-up.
+  TileCtx tiles_;
 
   int quiet_count_ = 0;  // rank 0 only
   bool sent_quiet_ = false;
@@ -299,6 +330,14 @@ struct GravityEngine::Impl {
   obs::Counter* c_pushes_ = nullptr;
   obs::Histogram* h_park_ = nullptr;  ///< hot.walk_park_seconds
   obs::Histogram* h_tile_ = nullptr;  ///< hot.tile_occupancy
+  obs::Counter* c_pool_run_ = nullptr;
+  obs::Counter* c_pool_stolen_ = nullptr;
+  obs::Counter* c_pool_steals_failed_ = nullptr;
+  // Last-mirrored pool totals: the pool's counters are process-wide and
+  // monotone, the obs counters per rank recorder — each step() adds the
+  // delta on rank 0 only, so an aggregated summary is not multiplied by
+  // the rank count.
+  support::TaskPool::Stats pool_seen_;
 };
 
 void GravityEngine::Impl::drain_stall(const char* where) {
@@ -346,70 +385,91 @@ void GravityEngine::Impl::reset_step() {
   sent_quiet_ = false;
   done_ = false;
   stats_ = ParallelStats{};
-  body_tile_.clear();
-  cell_tile_.clear();
+  tiles_.body_tile.clear();
+  tiles_.cell_tile.clear();
 }
 
-void GravityEngine::Impl::add_bodies(Walk& w, const Source* p, std::size_t n) {
+void GravityEngine::Impl::add_bodies(Walk& w, TileCtx& ctx, const Source* p,
+                                     std::size_t n) {
   if (n == 0) return;
   w.body_interactions += n;
   if (!cfg_.batch_interactions) {
     w.acc += gravity::interact(w.pos, std::span<const Source>(p, n), cfg_.eps2,
                                cfg_.method);
-    stats_.scalar_body_interactions += n;
-    if (obs_ != nullptr) c_scalar_->add(n);
+    ctx.scalar_body += n;
     return;
   }
   const std::size_t cap = std::max<std::size_t>(cfg_.tile_bodies, 1);
   while (n > 0) {
-    const std::size_t take = std::min(n, cap - body_tile_.size());
-    body_tile_.append(p, take);
+    const std::size_t take = std::min(n, cap - ctx.body_tile.size());
+    ctx.body_tile.append(p, take);
     p += take;
     n -= take;
-    if (body_tile_.size() >= cap) flush_body_tile(w);
+    if (ctx.body_tile.size() >= cap) flush_body_tile(w, ctx);
   }
 }
 
-void GravityEngine::Impl::add_cell(Walk& w, const Moments& m) {
+void GravityEngine::Impl::add_cell(Walk& w, TileCtx& ctx, const Moments& m) {
   ++w.cell_interactions;
   if (!cfg_.batch_interactions) {
     w.acc += gravity::evaluate(m, w.pos, cfg_.eps2, cfg_.method);
-    ++stats_.scalar_cell_interactions;
-    if (obs_ != nullptr) c_scalar_->add(1);
+    ++ctx.scalar_cell;
     return;
   }
-  cell_tile_.push_back(m);
-  if (cell_tile_.size() >= std::max<std::size_t>(cfg_.tile_cells, 1)) {
-    flush_cell_tile(w);
+  ctx.cell_tile.push_back(m);
+  if (ctx.cell_tile.size() >= std::max<std::size_t>(cfg_.tile_cells, 1)) {
+    flush_cell_tile(w, ctx);
   }
 }
 
-void GravityEngine::Impl::flush_body_tile(Walk& w) {
-  if (body_tile_.empty()) return;
-  w.acc += gravity::interact_bodies_batch(w.pos, body_tile_, cfg_.eps2,
-                                          cfg_.method, scratch_);
-  stats_.batched_body_interactions += body_tile_.size();
-  ++stats_.tile_flushes;
-  if (obs_ != nullptr) {
-    c_tile_flushes_->add(1);
-    c_batched_->add(body_tile_.size());
-    h_tile_->record(static_cast<double>(body_tile_.size()));
+void GravityEngine::Impl::flush_body_tile(Walk& w, TileCtx& ctx) {
+  if (ctx.body_tile.empty()) return;
+  if (cfg_.simd_kernels) {
+    w.acc += gravity::interact_bodies_simd(w.pos, ctx.body_tile, cfg_.eps2);
+  } else {
+    w.acc += gravity::interact_bodies_batch(w.pos, ctx.body_tile, cfg_.eps2,
+                                            cfg_.method, ctx.scratch);
   }
-  body_tile_.clear();
+  ctx.batched_body += ctx.body_tile.size();
+  ++ctx.flushes;
+  ctx.occupancy.push_back(static_cast<double>(ctx.body_tile.size()));
+  ctx.body_tile.clear();
 }
 
-void GravityEngine::Impl::flush_cell_tile(Walk& w) {
-  if (cell_tile_.empty()) return;
-  w.acc += gravity::interact_cells_batch(w.pos, cell_tile_, cfg_.eps2,
-                                         cfg_.method, scratch_);
-  stats_.batched_cell_interactions += cell_tile_.size();
-  ++stats_.tile_flushes;
-  if (obs_ != nullptr) {
-    c_tile_flushes_->add(1);
-    c_batched_->add(cell_tile_.size());
-    h_tile_->record(static_cast<double>(cell_tile_.size()));
+void GravityEngine::Impl::flush_cell_tile(Walk& w, TileCtx& ctx) {
+  if (ctx.cell_tile.empty()) return;
+  if (cfg_.simd_kernels) {
+    w.acc += gravity::interact_cells_simd(w.pos, ctx.cell_tile, cfg_.eps2);
+  } else {
+    w.acc += gravity::interact_cells_batch(w.pos, ctx.cell_tile, cfg_.eps2,
+                                           cfg_.method, ctx.scratch);
   }
-  cell_tile_.clear();
+  ctx.batched_cell += ctx.cell_tile.size();
+  ++ctx.flushes;
+  ctx.occupancy.push_back(static_cast<double>(ctx.cell_tile.size()));
+  ctx.cell_tile.clear();
+}
+
+void GravityEngine::Impl::drain_tile_ctx(TileCtx& ctx) {
+  stats_.batched_body_interactions += ctx.batched_body;
+  stats_.batched_cell_interactions += ctx.batched_cell;
+  stats_.scalar_body_interactions += ctx.scalar_body;
+  stats_.scalar_cell_interactions += ctx.scalar_cell;
+  stats_.tile_flushes += ctx.flushes;
+  if (obs_ != nullptr) {
+    if (ctx.scalar_body + ctx.scalar_cell > 0) {
+      c_scalar_->add(ctx.scalar_body + ctx.scalar_cell);
+    }
+    if (ctx.flushes > 0) {
+      c_tile_flushes_->add(ctx.flushes);
+      c_batched_->add(ctx.batched_body + ctx.batched_cell);
+      for (double occ : ctx.occupancy) h_tile_->record(occ);
+    }
+  }
+  ctx.batched_body = ctx.batched_cell = 0;
+  ctx.scalar_body = ctx.scalar_cell = 0;
+  ctx.flushes = 0;
+  ctx.occupancy.clear();
 }
 
 void GravityEngine::Impl::exchange_cover() {
@@ -741,7 +801,7 @@ void GravityEngine::Impl::park(Walk& w, Key k, int owner,
   }
 }
 
-void GravityEngine::Impl::direct_local_range(Walk& w, Key cell) {
+void GravityEngine::Impl::direct_local_range(Walk& w, TileCtx& ctx, Key cell) {
   const auto& keys = tree_.keys();
   const auto lo = std::lower_bound(keys.begin(), keys.end(),
                                    morton::first_descendant(cell));
@@ -749,10 +809,10 @@ void GravityEngine::Impl::direct_local_range(Walk& w, Key cell) {
                                    morton::last_descendant(cell));
   const auto first = static_cast<std::size_t>(lo - keys.begin());
   const auto count = static_cast<std::size_t>(hi - lo);
-  add_bodies(w, tree_.bodies().data() + first, count);
+  add_bodies(w, ctx, tree_.bodies().data() + first, count);
 }
 
-bool GravityEngine::Impl::advance(Walk& w) {
+bool GravityEngine::Impl::advance(Walk& w, TileCtx& ctx) {
   const auto walk_idx = static_cast<std::uint32_t>(&w - walks_.data());
   while (!w.stack.empty()) {
     const Key k = w.stack.back();
@@ -764,7 +824,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
       const TopCell& tc = it->second;
       if (tc.count == 0) continue;
       if (gravity::mac_accept(tc.mom, w.pos, cfg_.theta)) {
-        add_cell(w, tc.mom);
+        add_cell(w, ctx, tc.mom);
         continue;
       }
       ++w.cells_opened;
@@ -775,7 +835,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
       if (tc.owner == comm_.rank()) {
         if (const Cell* c = tree_.find(k)) {
           if (c->leaf) {
-            add_bodies(w, tree_.bodies().data() + c->first, c->count);
+            add_bodies(w, ctx, tree_.bodies().data() + c->first, c->count);
           } else {
             for (int o = 0; o < 8; ++o) {
               if (c->children[o] >= 0) {
@@ -786,7 +846,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
           }
         } else {
           // Bodies live in a leaf above the cover cell.
-          direct_local_range(w, k);
+          direct_local_range(w, ctx, k);
         }
         continue;
       }
@@ -804,7 +864,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
       if (!rc.expanded) {
         if (obs_ != nullptr) c_cache_misses_->add(1);
         park(w, k, rc.owner, walk_idx, first_demand);
-        flush_tiles(w);  // tiles are engine-shared; don't leak across walks
+        flush_tiles(w, ctx);  // tiles are context-shared; don't leak across walks
         return false;
       }
       if (first_demand) {
@@ -814,7 +874,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
       }
       if (obs_ != nullptr) c_cache_hits_->add(1);
       if (rc.leaf) {
-        add_bodies(w, rc.bodies.data(), rc.bodies.size());
+        add_bodies(w, ctx, rc.bodies.data(), rc.bodies.size());
       } else {
         for (Key ck : rc.children) w.stack.push_back(ck);
       }
@@ -824,11 +884,11 @@ bool GravityEngine::Impl::advance(Walk& w) {
     if (const Cell* c = tree_.find(k)) {
       if (c->count == 0) continue;
       if (c->leaf) {
-        add_bodies(w, tree_.bodies().data() + c->first, c->count);
+        add_bodies(w, ctx, tree_.bodies().data() + c->first, c->count);
         continue;
       }
       if (gravity::mac_accept(c->mom, w.pos, cfg_.theta)) {
-        add_cell(w, c->mom);
+        add_cell(w, ctx, c->mom);
         continue;
       }
       ++w.cells_opened;
@@ -848,7 +908,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
     RemoteCell& rc = rit->second;
     if (rc.count == 0) continue;
     if (gravity::mac_accept(rc.mom, w.pos, cfg_.theta)) {
-      add_cell(w, rc.mom);
+      add_cell(w, ctx, rc.mom);
       continue;
     }
     ++w.cells_opened;
@@ -857,7 +917,7 @@ bool GravityEngine::Impl::advance(Walk& w) {
     if (!rc.expanded) {
       if (obs_ != nullptr) c_cache_misses_->add(1);
       park(w, k, rc.owner, walk_idx, first_demand);
-      flush_tiles(w);  // tiles are engine-shared; don't leak across walks
+      flush_tiles(w, ctx);  // tiles are context-shared; don't leak across walks
       return false;
     }
     if (first_demand) {
@@ -866,13 +926,13 @@ bool GravityEngine::Impl::advance(Walk& w) {
     }
     if (obs_ != nullptr) c_cache_hits_->add(1);
     if (rc.leaf) {
-      add_bodies(w, rc.bodies.data(), rc.bodies.size());
+      add_bodies(w, ctx, rc.bodies.data(), rc.bodies.size());
     } else {
       for (Key ck : rc.children) w.stack.push_back(ck);
     }
   }
   // Walk complete: drain this walk's pending interaction lists.
-  flush_tiles(w);
+  flush_tiles(w, ctx);
   return true;
 }
 
@@ -951,6 +1011,47 @@ void GravityEngine::Impl::run_walks(GravityResult& out) {
   if (obs_ != nullptr) obs_->begin("gravity.traverse");
 
   const bool single = comm_.size() == 1;
+  auto& pool = support::TaskPool::global();
+  if (single && pool.size() > 1 && n > 0) {
+    // Single-rank traversal on the work-stealing pool. With one rank
+    // every key resolves locally (the rank owns every cover cell), so a
+    // walk can never park: advance() completes in one call and no ABM
+    // traffic exists to poll. Each chunk owns a TileCtx, and a walk's
+    // tiles start empty and are flushed before it returns, so every
+    // walk's result is bitwise identical to the sequential loop's no
+    // matter which thread runs which chunk. Stats/obs accounting rides
+    // in the contexts and is drained on this (the rank) thread below.
+    std::mutex merge_mu;
+    std::vector<TileCtx> done_ctxs;
+    const std::size_t grain = cfg_.pool_grain > 0 ? cfg_.pool_grain : 256;
+    pool.parallel_for(
+        n, static_cast<std::ptrdiff_t>(grain),
+        [&](std::size_t lo, std::size_t hi) {
+          TileCtx ctx;
+          ctx.body_tile.reserve(cfg_.tile_bodies);
+          ctx.cell_tile.reserve(cfg_.tile_cells);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (!advance(walks_[i], ctx)) {
+              throw std::logic_error(
+                  "hot: walk parked in single-rank pooled traversal");
+            }
+          }
+          std::lock_guard<std::mutex> lk(merge_mu);
+          done_ctxs.push_back(std::move(ctx));
+        });
+    for (TileCtx& ctx : done_ctxs) drain_tile_ctx(ctx);
+    completed = n;
+    ready_.clear();
+    // The termination protocol collapses: this rank is trivially quiet.
+    sent_quiet_ = true;
+    ++quiet_count_;
+    done_ = true;
+    if (obs_ != nullptr) {
+      obs_->end();  // gravity.traverse
+      obs_->begin("gravity.terminate");
+      in_terminate = true;
+    }
+  }
   auto walk_progress = std::chrono::steady_clock::now();
   while (!done_) {
     // Service incoming traffic first so replies unpark walks promptly.
@@ -975,7 +1076,7 @@ void GravityEngine::Impl::run_walks(GravityResult& out) {
     while (!ready_.empty() && burst < 256) {
       const std::uint32_t idx = ready_.front();
       ready_.pop_front();
-      if (advance(walks_[idx])) ++completed;
+      if (advance(walks_[idx], tiles_)) ++completed;
       ++burst;
     }
     abm_.flush();
@@ -1021,6 +1122,10 @@ void GravityEngine::Impl::run_walks(GravityResult& out) {
     }
     obs_->end();  // gravity.terminate
   }
+
+  // Fold the rank thread's tile accounting into stats_ (the pooled path
+  // drained its per-chunk contexts already; on that path this is empty).
+  drain_tile_ctx(tiles_);
 
   // Collect results and per-body work estimates (flops, the paper's
   // weighting for the next decomposition).
@@ -1126,6 +1231,19 @@ GravityResult GravityEngine::Impl::step(std::span<const Source> bodies,
   stats_.abm_batches = abm_.batches_sent() - batches0;
   if (obs_ != nullptr) {
     obs_->registry().gauge("hot.engine_steps").set(static_cast<double>(steps_));
+    if (comm_.rank() == 0) {
+      // Pool counters are process-wide (all ranks share one pool); rank 0
+      // mirrors the deltas so aggregated summaries count each task once.
+      auto& pool = support::TaskPool::global();
+      const support::TaskPool::Stats ps = pool.stats();
+      c_pool_run_->add(ps.tasks_run - pool_seen_.tasks_run);
+      c_pool_stolen_->add(ps.tasks_stolen - pool_seen_.tasks_stolen);
+      c_pool_steals_failed_->add(ps.steals_failed - pool_seen_.steals_failed);
+      obs_->registry().gauge("pool.threads").set(
+          static_cast<double>(pool.size()));
+      obs_->registry().gauge("pool.utilization").set(ps.utilization);
+      pool_seen_ = ps;
+    }
   }
   out.stats = stats_;
   return out;

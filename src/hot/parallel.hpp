@@ -34,6 +34,7 @@
 //     the request set is.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -66,6 +67,21 @@ struct ParallelConfig {
   /// parks or terminates.
   std::uint32_t tile_bodies = 2048;
   std::uint32_t tile_cells = 256;
+  /// Flush tiles through the explicit-SIMD dispatched kernels
+  /// (gravity::interact_*_simd; backend chosen at runtime, SS_SIMD
+  /// overrides) instead of the auto-vectorized batch kernels. Only
+  /// meaningful with batch_interactions; `method` is then ignored at
+  /// flush time (the SIMD path always uses the Karp-seeded rsqrt).
+  bool simd_kernels = true;
+  /// Intra-rank work-stealing pool size for tree build/sort and the
+  /// single-rank traversal. 0 = keep the process-wide default policy
+  /// (SS_POOL_THREADS env, else hardware concurrency clamped to 16).
+  /// The pool is process-global: the last engine constructed wins.
+  int pool_threads = 0;
+  /// Walks per task chunk for the pooled single-rank traversal.
+  /// 0 = auto (256). Smaller chunks steal/balance better; larger ones
+  /// amortize fork/join overhead.
+  std::size_t pool_grain = 0;
   /// Speculative prefetch (GravityEngine only): bulk-request the remote
   /// keys demanded last step before walks start. Off = every remote cell
   /// is fetched on demand, as in the stateless path.

@@ -1,10 +1,12 @@
 #include "hot/tree.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "gravity/batch.hpp"
 #include "morton/sort.hpp"
+#include "support/task_pool.hpp"
 
 namespace ss::hot {
 
@@ -32,11 +34,18 @@ void Tree::rebuild(std::span<const Source> bodies, const morton::Box& box) {
   // All containers below are resized/cleared, never reconstructed: a
   // persistent engine rebuilding at a stable particle count reuses the
   // previous step's allocations wholesale.
-  thread_local std::vector<morton::Key> raw_keys;
+  // The lambdas below must go through this automatic reference: lambdas
+  // do not capture thread_local variables, so naming the vector directly
+  // inside a pool task would resolve to the *worker's* (empty) instance.
+  thread_local std::vector<morton::Key> raw_keys_tls;
+  auto& raw_keys = raw_keys_tls;
   raw_keys.resize(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    raw_keys[i] = morton::encode(bodies[i].pos, box_);
-  }
+  auto& pool = support::TaskPool::global();
+  pool.parallel_for(n, /*grain=*/0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      raw_keys[i] = morton::encode(bodies[i].pos, box_);
+    }
+  });
   // Stable radix sort: equal keys keep input order, the tie rule the old
   // comparator sort spelled explicitly.
   {
@@ -46,10 +55,12 @@ void Tree::rebuild(std::span<const Source> bodies, const morton::Box& box) {
 
   bodies_.resize(n);
   keys_.resize(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    bodies_[i] = bodies[perm_[i]];
-    keys_[i] = raw_keys[perm_[i]];
-  }
+  pool.parallel_for(n, /*grain=*/0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      bodies_[i] = bodies[perm_[i]];
+      keys_[i] = raw_keys[perm_[i]];
+    }
+  });
 
   cells_.clear();
   cells_.reserve(n / 2 + 8);
@@ -146,79 +157,119 @@ std::vector<Accel> Tree::accelerate_all(double theta, double eps2,
                                         RsqrtMethod method,
                                         TraverseStats* stats) const {
   std::vector<Accel> out(bodies_.size());
-  for (std::size_t i = 0; i < bodies_.size(); ++i) {
-    out[i] = accelerate(bodies_[i].pos, theta, eps2, method, stats);
-  }
+  // Fork/join over the pool; per-chunk stats merge under a mutex (sums of
+  // integers, so the merge order cannot change the totals).
+  std::mutex stats_mu;
+  support::TaskPool::global().parallel_for(
+      bodies_.size(), /*grain=*/256, [&](std::size_t lo, std::size_t hi) {
+        TraverseStats local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = accelerate(bodies_[i].pos, theta, eps2, method,
+                              stats ? &local : nullptr);
+        }
+        if (stats) {
+          std::lock_guard<std::mutex> lk(stats_mu);
+          stats->body_interactions += local.body_interactions;
+          stats->cell_interactions += local.cell_interactions;
+          stats->cells_opened += local.cells_opened;
+        }
+      });
   return out;
 }
 
 std::vector<Accel> Tree::accelerate_group_all(double theta, double eps2,
                                               RsqrtMethod method,
-                                              TraverseStats* stats) const {
+                                              TraverseStats* stats,
+                                              bool use_simd) const {
   std::vector<Accel> out(bodies_.size());
   if (bodies_.empty()) return out;
 
-  // Interaction lists are transposed once per group into SoA tiles and
-  // each bucket body flushes them through the batched kernels.
-  std::vector<std::uint32_t> stack, cell_list, leaf_list;
-  gravity::SourcesSoA body_tile;
-  gravity::CellsSoA cell_tile;
-  gravity::TileScratch scratch;
-  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
-    const Cell& group = cells_[ci];
-    if (!group.leaf || group.count == 0) continue;
+  // Fork/join over the leaf groups on the pool. Each chunk owns its walk
+  // scratch and tiles; every group's result depends only on its own walk,
+  // so the output is identical however chunks land on threads. Grain 8:
+  // group costs are skewed (surface vs center buckets), so small chunks
+  // give the stealing something to balance.
+  std::mutex stats_mu;
+  support::TaskPool::global().parallel_for(
+      cells_.size(), /*grain=*/8, [&](std::size_t clo, std::size_t chi) {
+        std::vector<std::uint32_t> stack, cell_list, leaf_list;
+        gravity::SourcesSoA body_tile;
+        gravity::CellsSoA cell_tile;
+        gravity::TileScratch scratch;
+        TraverseStats local;
+        for (std::size_t ci = clo; ci < chi; ++ci) {
+          const Cell& group = cells_[ci];
+          if (!group.leaf || group.count == 0) continue;
 
-    // One walk for the whole bucket. Group MAC: the cell must be
-    // acceptable from every point of the group's bounding sphere, i.e.
-    // (d - bmax_group) * theta > bmax_cell with d the center distance.
-    cell_list.clear();
-    leaf_list.clear();
-    stack.assign(1, 0u);
-    while (!stack.empty()) {
-      const Cell& c = cells_[stack.back()];
-      stack.pop_back();
-      if (c.mom.mass == 0.0 && c.count == 0) continue;
-      if (c.leaf) {
-        leaf_list.push_back(c.first);
-        leaf_list.push_back(c.count);
-        continue;
-      }
-      const double d = (c.mom.com - group.mom.com).norm();
-      if ((d - group.mom.bmax) * theta > c.mom.bmax) {
-        cell_list.push_back(
-            static_cast<std::uint32_t>(&c - cells_.data()));
-        continue;
-      }
-      if (stats) ++stats->cells_opened;
-      for (int o = 0; o < 8; ++o) {
-        if (c.children[o] >= 0) {
-          stack.push_back(static_cast<std::uint32_t>(c.children[o]));
+          // One walk for the whole bucket. Group MAC: the cell must be
+          // acceptable from every point of the group's bounding sphere,
+          // i.e. (d - bmax_group) * theta > bmax_cell with d the center
+          // distance.
+          cell_list.clear();
+          leaf_list.clear();
+          stack.assign(1, 0u);
+          while (!stack.empty()) {
+            const Cell& c = cells_[stack.back()];
+            stack.pop_back();
+            if (c.mom.mass == 0.0 && c.count == 0) continue;
+            if (c.leaf) {
+              leaf_list.push_back(c.first);
+              leaf_list.push_back(c.count);
+              continue;
+            }
+            const double d = (c.mom.com - group.mom.com).norm();
+            if ((d - group.mom.bmax) * theta > c.mom.bmax) {
+              cell_list.push_back(
+                  static_cast<std::uint32_t>(&c - cells_.data()));
+              continue;
+            }
+            ++local.cells_opened;
+            for (int o = 0; o < 8; ++o) {
+              if (c.children[o] >= 0) {
+                stack.push_back(static_cast<std::uint32_t>(c.children[o]));
+              }
+            }
+          }
+
+          // Transpose the shared lists into SoA tiles, then flush them
+          // through the batched kernels for every body of the bucket. The
+          // bucket's own bodies are in the tile too; the kernels mask the
+          // r2 == 0 lane.
+          body_tile.clear();
+          cell_tile.clear();
+          for (std::size_t l = 0; l < leaf_list.size(); l += 2) {
+            body_tile.append(bodies_.data() + leaf_list[l], leaf_list[l + 1]);
+          }
+          for (std::uint32_t cc : cell_list) {
+            cell_tile.push_back(cells_[cc].mom);
+          }
+
+          for (std::uint32_t b = group.first; b < group.first + group.count;
+               ++b) {
+            Accel acc;
+            if (use_simd) {
+              acc = gravity::interact_bodies_simd(bodies_[b].pos, body_tile,
+                                                  eps2);
+              acc += gravity::interact_cells_simd(bodies_[b].pos, cell_tile,
+                                                  eps2);
+            } else {
+              acc = gravity::interact_bodies_batch(bodies_[b].pos, body_tile,
+                                                   eps2, method, scratch);
+              acc += gravity::interact_cells_batch(bodies_[b].pos, cell_tile,
+                                                   eps2, method, scratch);
+            }
+            local.body_interactions += body_tile.size();
+            local.cell_interactions += cell_tile.size();
+            out[b] = acc;
+          }
         }
-      }
-    }
-
-    // Transpose the shared lists into SoA tiles, then flush them through
-    // the batched kernels for every body of the bucket. The bucket's own
-    // bodies are in the tile too; the kernels mask the r2 == 0 lane.
-    body_tile.clear();
-    cell_tile.clear();
-    for (std::size_t l = 0; l < leaf_list.size(); l += 2) {
-      body_tile.append(bodies_.data() + leaf_list[l], leaf_list[l + 1]);
-    }
-    for (std::uint32_t cc : cell_list) cell_tile.push_back(cells_[cc].mom);
-
-    for (std::uint32_t b = group.first; b < group.first + group.count; ++b) {
-      Accel acc = gravity::interact_bodies_batch(bodies_[b].pos, body_tile,
-                                                 eps2, method, scratch);
-      acc += gravity::interact_cells_batch(bodies_[b].pos, cell_tile, eps2,
-                                           method, scratch);
-      if (stats) {
-        stats->body_interactions += body_tile.size();
-        stats->cell_interactions += cell_tile.size();
-      }
-      out[b] = acc;
-    }
-  }
+        if (stats) {
+          std::lock_guard<std::mutex> lk(stats_mu);
+          stats->body_interactions += local.body_interactions;
+          stats->cell_interactions += local.cell_interactions;
+          stats->cells_opened += local.cells_opened;
+        }
+      });
   return out;
 }
 

@@ -105,9 +105,12 @@ class Tree {
   /// bucket's bounding sphere — so accuracy is at least that of the
   /// per-body walk at the same theta, at the cost of somewhat more
   /// interactions.
+  /// `use_simd` flushes the tiles through the explicit-SIMD dispatched
+  /// kernels instead of the auto-vectorized batch kernels (`method` is
+  /// then ignored; the SIMD path always uses the Karp-seeded rsqrt).
   std::vector<Accel> accelerate_group_all(
       double theta, double eps2, RsqrtMethod method = RsqrtMethod::libm,
-      TraverseStats* stats = nullptr) const;
+      TraverseStats* stats = nullptr, bool use_simd = false) const;
 
   /// All bodies within distance h of `center` (via key-range pruned tree
   /// walk); returns indices into bodies(). Used by the SPH module.

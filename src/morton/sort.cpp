@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
-#include <thread>
+
+#include "support/task_pool.hpp"
 
 namespace ss::morton {
 
@@ -14,37 +15,39 @@ constexpr std::size_t kBuckets = 1u << kRadixBits;
 constexpr int kPasses = 64 / kRadixBits;
 constexpr std::uint64_t kDigitMask = kBuckets - 1;
 
-// Below this size one thread wins: per-pass thread launch/join overhead
-// (two joins per pass, eight passes) dominates the scatter itself.
+// Below this size one chunk wins: per-pass fork/join overhead (two joins
+// per pass, eight passes) dominates the scatter itself.
 constexpr std::size_t kParallelThreshold = std::size_t{1} << 15;
 
 int pick_threads(std::size_t n, int requested) {
   if (requested > 0) return requested;
   if (n < kParallelThreshold) return 1;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hw, 1u, 16u));
+  // One chunk per pool thread; the pool's size already reflects the
+  // ParallelConfig / SS_POOL_THREADS / hardware policy.
+  return support::TaskPool::global().size();
 }
 
-/// Run fn(thread_index, lo, hi) over an even chunking of [0, n). With one
-/// thread this is a plain inline call — no thread is ever spawned.
+/// Run fn(chunk_index, lo, hi) over an even chunking of [0, n) on the
+/// work-stealing pool. Chunk boundaries depend only on (n, threads) —
+/// never on which pool thread runs a chunk — so the per-chunk histogram
+/// slots and the scatter stay deterministic under stealing. With one
+/// chunk this is a plain inline call.
 template <class Fn>
 void run_chunks(int threads, std::uint32_t n, Fn&& fn) {
   if (threads <= 1 || n == 0) {
     fn(0, 0u, n);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads) - 1);
   const auto chunk = [n, threads](int t) {
     return static_cast<std::uint32_t>(
         (static_cast<std::uint64_t>(n) * static_cast<std::uint32_t>(t)) /
         static_cast<std::uint32_t>(threads));
   };
-  for (int t = 1; t < threads; ++t) {
-    pool.emplace_back([&fn, &chunk, t] { fn(t, chunk(t), chunk(t + 1)); });
-  }
-  fn(0, chunk(0), chunk(1));
-  for (auto& th : pool) th.join();
+  support::TaskPool::global().parallel_chunks(
+      static_cast<std::size_t>(threads), [&fn, &chunk](std::size_t ci) {
+        const int t = static_cast<int>(ci);
+        fn(t, chunk(t), chunk(t + 1));
+      });
 }
 
 /// One histogram + offsets + scatter pass over (ka [, ia]) into

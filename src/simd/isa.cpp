@@ -1,0 +1,171 @@
+#include "simd/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace ss::simd {
+
+namespace {
+
+// Active selection, encoded so one atomic carries both "is there a
+// force?" and the chosen ISA: -1 = not yet resolved, otherwise an Isa.
+std::atomic<int> g_active{-1};
+std::atomic<bool> g_env_rejected{false};
+
+// force()/clear_force() bookkeeping (rare; a mutex is fine).
+std::mutex g_force_mu;
+bool g_forced = false;
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // AVX2 without FMA does not exist on real parts, but the kernels use
+  // FMA intrinsics, so check both.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_neon() {
+#if defined(__aarch64__)
+  return true;  // architectural baseline
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The kernels use only foundation (F) instructions on 512-bit vectors.
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+Isa detect() {
+  if (cpu_has_avx512()) return Isa::avx512;
+  if (cpu_has_avx2()) return Isa::avx2;
+  if (cpu_has_neon()) return Isa::neon;
+  return Isa::scalar;
+}
+
+/// Resolve the SS_SIMD/CPUID policy (no force considered).
+Isa resolve_policy() {
+  const char* env = std::getenv("SS_SIMD");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    for (int i = 0; i < kIsaCount; ++i) {
+      const Isa isa = static_cast<Isa>(i);
+      if (std::strcmp(env, name(isa)) == 0) {
+        if (hardware_supports(isa)) return isa;
+        g_env_rejected.store(true, std::memory_order_relaxed);
+        return Isa::scalar;  // never select a faulting backend
+      }
+    }
+    g_env_rejected.store(true, std::memory_order_relaxed);  // unknown name
+    return Isa::scalar;
+  }
+  return detect();
+}
+
+}  // namespace
+
+const char* name(Isa isa) {
+  switch (isa) {
+    case Isa::scalar:
+      return "scalar";
+    case Isa::avx2:
+      return "avx2";
+    case Isa::neon:
+      return "neon";
+    case Isa::avx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+int lane_width(Isa isa) {
+  switch (isa) {
+    case Isa::scalar:
+      return 1;
+    case Isa::avx2:
+      return 4;
+    case Isa::neon:
+      return 2;
+    case Isa::avx512:
+      return 8;
+  }
+  return 1;
+}
+
+bool hardware_supports(Isa isa) {
+  switch (isa) {
+    case Isa::scalar:
+      return true;
+    case Isa::avx2:
+      return cpu_has_avx2();
+    case Isa::neon:
+      return cpu_has_neon();
+    case Isa::avx512:
+      return cpu_has_avx512();
+  }
+  return false;
+}
+
+Isa detected() { return detect(); }
+
+Isa active() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Isa>(v);
+  // First use: resolve the env/CPUID policy. Several threads may race
+  // here; resolve_policy() is deterministic, so last-write-wins is fine.
+  const Isa isa = resolve_policy();
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+void force(Isa isa) {
+  if (!hardware_supports(isa)) {
+    throw std::invalid_argument(std::string("simd: cannot force ") +
+                                name(isa) +
+                                ": not supported by this hardware");
+  }
+  std::lock_guard<std::mutex> lock(g_force_mu);
+  g_forced = true;
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_force() {
+  std::lock_guard<std::mutex> lock(g_force_mu);
+  g_forced = false;
+  g_active.store(static_cast<int>(resolve_policy()),
+                 std::memory_order_relaxed);
+}
+
+bool env_rejected() {
+  (void)active();  // make sure the env var has been examined
+  return g_env_rejected.load(std::memory_order_relaxed);
+}
+
+ScopedForce::ScopedForce(Isa isa) {
+  {
+    std::lock_guard<std::mutex> lock(g_force_mu);
+    had_force_ = g_forced;
+  }
+  prev_ = active();
+  force(isa);
+}
+
+ScopedForce::~ScopedForce() {
+  if (had_force_) {
+    force(prev_);
+  } else {
+    clear_force();
+  }
+}
+
+}  // namespace ss::simd

@@ -1,0 +1,81 @@
+// Runtime SIMD instruction-set selection.
+//
+// Paper Sec 5: "by hand coding our inner loop with SSE instructions, we
+// hope to be able to reach 2x higher performance with our N-body code."
+// The explicit-SIMD kernels (gravity/batch_simd.inl, sph/kernel_simd.inl)
+// are compiled once per backend — AVX-512, AVX2+FMA, NEON, and a portable
+// scalar fallback — into separate translation units with the matching
+// codegen flags. This header is the *selector*: which backend the process should
+// run, decided once at startup from CPUID (and overridable for testing).
+//
+// Selection order:
+//   1. force(isa) — tests flip backends at runtime to cross-check parity.
+//   2. The SS_SIMD environment variable ("scalar", "avx2", "neon",
+//      "auto"), read once on first use. An unsupported request falls back
+//      to scalar (never to a faulting backend) and is reported by
+//      env_rejected().
+//   3. CPUID: the widest backend both compiled into the binary and
+//      supported by the hardware.
+//
+// The selector itself knows nothing about kernels; each subsystem keeps a
+// per-backend function table and asks active() which entry to use (a
+// relaxed atomic load — cheap enough per tile flush).
+#pragma once
+
+namespace ss::simd {
+
+/// Instruction sets the explicit kernels are specialized for. `scalar`
+/// is the portable fallback (plain doubles, width 1) and is always
+/// available.
+enum class Isa { scalar = 0, avx2 = 1, neon = 2, avx512 = 3 };
+
+inline constexpr int kIsaCount = 4;
+
+/// Human-readable backend name ("scalar", "avx2", "neon", "avx512").
+const char* name(Isa isa);
+
+/// Doubles per vector register for the backend (1, 4, 2, 8).
+int lane_width(Isa isa);
+
+/// True when the *hardware* can execute the backend (CPUID on x86; NEON
+/// is architectural baseline on AArch64). Says nothing about whether the
+/// kernels were compiled in — subsystem dispatch tables check that
+/// themselves and fall back to scalar when an entry is missing.
+bool hardware_supports(Isa isa);
+
+/// The backend the process should use: the forced one if force() was
+/// called, else the SS_SIMD request, else the widest hardware-supported
+/// backend. Cached after the first call; a relaxed atomic read afterward.
+Isa active();
+
+/// What CPUID alone would pick (ignores force() and SS_SIMD).
+Isa detected();
+
+/// Test/benchmark override. Forcing an unsupported backend throws
+/// std::invalid_argument (forcing scalar always succeeds). Takes effect
+/// immediately for subsequent active() calls on any thread.
+void force(Isa isa);
+
+/// Drop a force() override, returning to the SS_SIMD/CPUID choice.
+void clear_force();
+
+/// True when SS_SIMD named a backend the hardware cannot run (the process
+/// then runs scalar). Lets CI distinguish "asked for scalar" from "asked
+/// for avx2 on a machine without it".
+bool env_rejected();
+
+/// RAII backend override for tests: forces in the constructor, restores
+/// the previous selection policy in the destructor.
+class ScopedForce {
+ public:
+  explicit ScopedForce(Isa isa);
+  ~ScopedForce();
+  ScopedForce(const ScopedForce&) = delete;
+  ScopedForce& operator=(const ScopedForce&) = delete;
+
+ private:
+  bool had_force_;
+  Isa prev_;
+};
+
+}  // namespace ss::simd

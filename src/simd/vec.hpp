@@ -1,0 +1,339 @@
+// Fixed-width double vector types — the abstraction the explicit-SIMD
+// kernels are written against.
+//
+// Each backend is a small struct with an identical static interface
+// (width, load/store, broadcast, arithmetic, fma, compares-as-masks,
+// blend, horizontal sum, and a full-precision reciprocal square root).
+// Kernels are function templates over the vector type
+// (gravity/batch_simd.inl, sph/kernel_simd.inl) and are instantiated once
+// per backend in translation units compiled with that backend's codegen
+// flags (-mavx2 -mfma for Avx2Vec; NEON is baseline on AArch64). This
+// header only *defines* a backend when the corresponding predefines are
+// present, so including it from a plain TU is safe and yields just
+// ScalarVec.
+//
+// Masks are represented as vectors (all-ones / all-zero bit patterns, the
+// native form on both AVX2 and NEON); ScalarVec uses 0.0 / bit-pattern
+// for uniformity via its own blend.
+//
+// rsqrt(): every backend uses the same decomposition — Karp-style
+// exponent halving on the IEEE bit pattern as the seed (~3.4% error, no
+// memory table, no float-range limits) and four Newton-Raphson polishes
+// to full double precision. This matches gravity::rsqrt_karp_batch
+// operation-for-operation, so the scalar backend reproduces the existing
+// auto-vectorized batch path.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define SS_SIMD_HAVE_AVX2 1
+#endif
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#define SS_SIMD_HAVE_AVX512 1
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define SS_SIMD_HAVE_NEON 1
+#endif
+
+namespace ss::simd {
+
+inline constexpr std::uint64_t kRsqrtSeedMagic = 0x5fe6eb50c7b537a9ULL;
+
+// ---------------------------------------------------------------------------
+// Portable scalar backend (width 1). The reference the wide backends are
+// tested against, and the fallback when SS_SIMD=scalar or the hardware
+// supports nothing wider.
+// ---------------------------------------------------------------------------
+
+struct ScalarVec {
+  static constexpr int kWidth = 1;
+  double v;
+
+  static ScalarVec load(const double* p) { return {*p}; }
+  static ScalarVec broadcast(double x) { return {x}; }
+  static ScalarVec zero() { return {0.0}; }
+  void store(double* p) const { *p = v; }
+
+  friend ScalarVec operator+(ScalarVec a, ScalarVec b) { return {a.v + b.v}; }
+  friend ScalarVec operator-(ScalarVec a, ScalarVec b) { return {a.v - b.v}; }
+  friend ScalarVec operator*(ScalarVec a, ScalarVec b) { return {a.v * b.v}; }
+  friend ScalarVec operator/(ScalarVec a, ScalarVec b) { return {a.v / b.v}; }
+
+  /// a*b + c.
+  static ScalarVec fma(ScalarVec a, ScalarVec b, ScalarVec c) {
+    return {a.v * b.v + c.v};
+  }
+  /// c - a*b.
+  static ScalarVec fnma(ScalarVec a, ScalarVec b, ScalarVec c) {
+    return {c.v - a.v * b.v};
+  }
+
+  /// Mask: all-ones where equal.
+  static ScalarVec cmp_eq(ScalarVec a, ScalarVec b) {
+    return {a.v == b.v ? mask_all() : 0.0};
+  }
+  static ScalarVec cmp_lt(ScalarVec a, ScalarVec b) {
+    return {a.v < b.v ? mask_all() : 0.0};
+  }
+  /// mask ? a : b (per lane).
+  static ScalarVec blend(ScalarVec mask, ScalarVec a, ScalarVec b) {
+    return {std::bit_cast<std::uint64_t>(mask.v) != 0 ? a.v : b.v};
+  }
+  static ScalarVec max(ScalarVec a, ScalarVec b) {
+    return {a.v > b.v ? a.v : b.v};
+  }
+
+  double hsum() const { return v; }
+
+  /// Full-precision reciprocal square root (positive normal inputs).
+  static ScalarVec rsqrt(ScalarVec x) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x.v);
+    double y = std::bit_cast<double>(kRsqrtSeedMagic - (bits >> 1));
+    const double h = 0.5 * x.v;
+    y = y * (1.5 - h * y * y);
+    y = y * (1.5 - h * y * y);
+    y = y * (1.5 - h * y * y);
+    y = y * (1.5 - h * y * y);
+    return {y};
+  }
+
+ private:
+  static double mask_all() {
+    return std::bit_cast<double>(~std::uint64_t{0});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA backend (width 4).
+// ---------------------------------------------------------------------------
+
+#if defined(SS_SIMD_HAVE_AVX2)
+
+struct Avx2Vec {
+  static constexpr int kWidth = 4;
+  __m256d v;
+
+  static Avx2Vec load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static Avx2Vec broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Avx2Vec zero() { return {_mm256_setzero_pd()}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  friend Avx2Vec operator+(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend Avx2Vec operator-(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend Avx2Vec operator*(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend Avx2Vec operator/(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_div_pd(a.v, b.v)};
+  }
+
+  static Avx2Vec fma(Avx2Vec a, Avx2Vec b, Avx2Vec c) {
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static Avx2Vec fnma(Avx2Vec a, Avx2Vec b, Avx2Vec c) {
+    return {_mm256_fnmadd_pd(a.v, b.v, c.v)};
+  }
+
+  static Avx2Vec cmp_eq(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_EQ_OQ)};
+  }
+  static Avx2Vec cmp_lt(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+  }
+  static Avx2Vec blend(Avx2Vec mask, Avx2Vec a, Avx2Vec b) {
+    return {_mm256_blendv_pd(b.v, a.v, mask.v)};
+  }
+  static Avx2Vec max(Avx2Vec a, Avx2Vec b) {
+    return {_mm256_max_pd(a.v, b.v)};
+  }
+
+  double hsum() const {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d s = _mm_add_pd(lo, hi);
+    return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+  }
+
+  static Avx2Vec rsqrt(Avx2Vec x) {
+    // In-register Karp seed: halve the biased exponent by shifting the
+    // whole IEEE pattern, subtract from the tuned magic.
+    const __m256i bits = _mm256_castpd_si256(x.v);
+    const __m256i magic = _mm256_set1_epi64x(
+        static_cast<long long>(kRsqrtSeedMagic));
+    __m256d y = _mm256_castsi256_pd(
+        _mm256_sub_epi64(magic, _mm256_srli_epi64(bits, 1)));
+    const __m256d h = _mm256_mul_pd(_mm256_set1_pd(0.5), x.v);
+    const __m256d c15 = _mm256_set1_pd(1.5);
+    for (int i = 0; i < 4; ++i) {
+      // y = y * (1.5 - h*y*y), the h*y product fused.
+      const __m256d hy = _mm256_mul_pd(h, y);
+      const __m256d t = _mm256_fnmadd_pd(hy, y, c15);
+      y = _mm256_mul_pd(y, t);
+    }
+    return {y};
+  }
+};
+
+#endif  // SS_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// AVX-512 backend (width 8). Foundation instructions only; native compares
+// produce __mmask8, expanded back to an all-ones/zero vector so the mask
+// model matches the other backends.
+// ---------------------------------------------------------------------------
+
+#if defined(SS_SIMD_HAVE_AVX512)
+
+struct Avx512Vec {
+  static constexpr int kWidth = 8;
+  __m512d v;
+
+  static Avx512Vec load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  static Avx512Vec broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static Avx512Vec zero() { return {_mm512_setzero_pd()}; }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+
+  friend Avx512Vec operator+(Avx512Vec a, Avx512Vec b) {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  friend Avx512Vec operator-(Avx512Vec a, Avx512Vec b) {
+    return {_mm512_sub_pd(a.v, b.v)};
+  }
+  friend Avx512Vec operator*(Avx512Vec a, Avx512Vec b) {
+    return {_mm512_mul_pd(a.v, b.v)};
+  }
+  friend Avx512Vec operator/(Avx512Vec a, Avx512Vec b) {
+    return {_mm512_div_pd(a.v, b.v)};
+  }
+
+  static Avx512Vec fma(Avx512Vec a, Avx512Vec b, Avx512Vec c) {
+    return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static Avx512Vec fnma(Avx512Vec a, Avx512Vec b, Avx512Vec c) {
+    return {_mm512_fnmadd_pd(a.v, b.v, c.v)};
+  }
+
+  static Avx512Vec cmp_eq(Avx512Vec a, Avx512Vec b) {
+    return from_mask(_mm512_cmp_pd_mask(a.v, b.v, _CMP_EQ_OQ));
+  }
+  static Avx512Vec cmp_lt(Avx512Vec a, Avx512Vec b) {
+    return from_mask(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ));
+  }
+  static Avx512Vec blend(Avx512Vec mask, Avx512Vec a, Avx512Vec b) {
+    // Bitwise select (mask ? a : b): ternary logic A?B:C is imm 0xCA.
+    return {_mm512_castsi512_pd(_mm512_ternarylogic_epi64(
+        _mm512_castpd_si512(mask.v), _mm512_castpd_si512(a.v),
+        _mm512_castpd_si512(b.v), 0xCA))};
+  }
+  static Avx512Vec max(Avx512Vec a, Avx512Vec b) {
+    return {_mm512_max_pd(a.v, b.v)};
+  }
+
+  double hsum() const { return _mm512_reduce_add_pd(v); }
+
+  static Avx512Vec rsqrt(Avx512Vec x) {
+    const __m512i bits = _mm512_castpd_si512(x.v);
+    const __m512i magic = _mm512_set1_epi64(
+        static_cast<long long>(kRsqrtSeedMagic));
+    __m512d y = _mm512_castsi512_pd(
+        _mm512_sub_epi64(magic, _mm512_srli_epi64(bits, 1)));
+    const __m512d h = _mm512_mul_pd(_mm512_set1_pd(0.5), x.v);
+    const __m512d c15 = _mm512_set1_pd(1.5);
+    for (int i = 0; i < 4; ++i) {
+      const __m512d hy = _mm512_mul_pd(h, y);
+      const __m512d t = _mm512_fnmadd_pd(hy, y, c15);
+      y = _mm512_mul_pd(y, t);
+    }
+    return {y};
+  }
+
+ private:
+  static Avx512Vec from_mask(__mmask8 k) {
+    return {_mm512_castsi512_pd(
+        _mm512_maskz_set1_epi64(k, static_cast<long long>(~0ULL)))};
+  }
+};
+
+#endif  // SS_SIMD_HAVE_AVX512
+
+// ---------------------------------------------------------------------------
+// NEON backend (width 2, AArch64).
+// ---------------------------------------------------------------------------
+
+#if defined(SS_SIMD_HAVE_NEON)
+
+struct NeonVec {
+  static constexpr int kWidth = 2;
+  float64x2_t v;
+
+  static NeonVec load(const double* p) { return {vld1q_f64(p)}; }
+  static NeonVec broadcast(double x) { return {vdupq_n_f64(x)}; }
+  static NeonVec zero() { return {vdupq_n_f64(0.0)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+
+  friend NeonVec operator+(NeonVec a, NeonVec b) {
+    return {vaddq_f64(a.v, b.v)};
+  }
+  friend NeonVec operator-(NeonVec a, NeonVec b) {
+    return {vsubq_f64(a.v, b.v)};
+  }
+  friend NeonVec operator*(NeonVec a, NeonVec b) {
+    return {vmulq_f64(a.v, b.v)};
+  }
+  friend NeonVec operator/(NeonVec a, NeonVec b) {
+    return {vdivq_f64(a.v, b.v)};
+  }
+
+  static NeonVec fma(NeonVec a, NeonVec b, NeonVec c) {
+    return {vfmaq_f64(c.v, a.v, b.v)};
+  }
+  static NeonVec fnma(NeonVec a, NeonVec b, NeonVec c) {
+    return {vfmsq_f64(c.v, a.v, b.v)};
+  }
+
+  static NeonVec cmp_eq(NeonVec a, NeonVec b) {
+    return {vreinterpretq_f64_u64(vceqq_f64(a.v, b.v))};
+  }
+  static NeonVec cmp_lt(NeonVec a, NeonVec b) {
+    return {vreinterpretq_f64_u64(vcltq_f64(a.v, b.v))};
+  }
+  static NeonVec blend(NeonVec mask, NeonVec a, NeonVec b) {
+    return {vbslq_f64(vreinterpretq_u64_f64(mask.v), a.v, b.v)};
+  }
+  static NeonVec max(NeonVec a, NeonVec b) {
+    return {vmaxq_f64(a.v, b.v)};
+  }
+
+  double hsum() const { return vaddvq_f64(v); }
+
+  static NeonVec rsqrt(NeonVec x) {
+    const uint64x2_t bits = vreinterpretq_u64_f64(x.v);
+    const uint64x2_t magic = vdupq_n_u64(kRsqrtSeedMagic);
+    float64x2_t y = vreinterpretq_f64_u64(
+        vsubq_u64(magic, vshrq_n_u64(bits, 1)));
+    const float64x2_t h = vmulq_f64(vdupq_n_f64(0.5), x.v);
+    const float64x2_t c15 = vdupq_n_f64(1.5);
+    for (int i = 0; i < 4; ++i) {
+      const float64x2_t hy = vmulq_f64(h, y);
+      const float64x2_t t = vfmsq_f64(c15, hy, y);
+      y = vmulq_f64(y, t);
+    }
+    return {y};
+  }
+};
+
+#endif  // SS_SIMD_HAVE_NEON
+
+}  // namespace ss::simd

@@ -3,6 +3,8 @@
 // described above for N-body studies" (Sec 4.4).
 #pragma once
 
+#include <cstddef>
+
 #include "support/vec3.hpp"
 
 namespace ss::sph {
@@ -17,5 +19,17 @@ double kernel_grad(double r, double h);
 
 /// Support radius: the kernel vanishes beyond this.
 inline double kernel_support(double h) { return 2.0 * h; }
+
+/// Explicit-SIMD batch evaluation: w[i] = W(r[i], h[i]). Backend chosen
+/// by simd::active() (SS_SIMD / simd::force() override as usual); both
+/// spline branches are evaluated and blended per lane with the scalar
+/// expressions' exact operation order, so results match the scalar
+/// functions (bitwise on hardware whose scalar code is uncontracted).
+void kernel_batch(const double* r, const double* h, double* w,
+                  std::size_t n);
+
+/// gw[i] = dW/dr (r[i], h[i]); same contract as kernel_batch.
+void kernel_grad_batch(const double* r, const double* h, double* gw,
+                       std::size_t n);
 
 }  // namespace ss::sph

@@ -1,0 +1,35 @@
+// Avx2Vec instantiation of the explicit-SIMD SPH kernels. Compiled with
+// the backend's target flags when available; otherwise the guard leaves
+// this TU empty and the accessor reports the backend as absent.
+#include "sph/kernel.hpp"
+#include "sph/kernel_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_AVX2)
+
+#include <cstddef>
+#include <numbers>
+
+#include "sph/kernel_simd.inl"
+
+namespace ss::sph::detail {
+
+const SphKernelTable* sph_kernels_avx2() {
+  static const SphKernelTable table{
+      &vec_kernels::kernel_batch<simd::Avx2Vec>,
+      &vec_kernels::kernel_grad_batch<simd::Avx2Vec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::sph::detail
+
+#else  // !SS_SIMD_HAVE_AVX2
+
+namespace ss::sph::detail {
+
+const SphKernelTable* sph_kernels_avx2() { return nullptr; }
+
+}  // namespace ss::sph::detail
+
+#endif

@@ -1,0 +1,29 @@
+// Internal dispatch table for the explicit-SIMD SPH kernels; same
+// per-backend-TU pattern as gravity/batch_dispatch.hpp. Accessors return
+// nullptr for backends not compiled into the binary; resolution against
+// simd::active() happens in kernel_simd.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "simd/isa.hpp"
+
+namespace ss::sph::detail {
+
+struct SphKernelTable {
+  void (*kernel)(const double* r, const double* h, double* w,
+                 std::size_t n) = nullptr;
+  void (*kernel_grad)(const double* r, const double* h, double* gw,
+                      std::size_t n) = nullptr;
+};
+
+const SphKernelTable* sph_kernels_scalar();  // always non-null
+const SphKernelTable* sph_kernels_avx2();
+const SphKernelTable* sph_kernels_neon();
+const SphKernelTable* sph_kernels_avx512();
+
+const SphKernelTable* sph_kernels_for(simd::Isa isa);
+/// Active-ISA table with scalar fallback; never nullptr.
+const SphKernelTable& sph_kernels_active();
+
+}  // namespace ss::sph::detail

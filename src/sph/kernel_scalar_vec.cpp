@@ -1,0 +1,22 @@
+// ScalarVec instantiation of the explicit-SIMD SPH kernels — the portable
+// width-1 backend and the bit-stable reference.
+#include "sph/kernel.hpp"
+#include "sph/kernel_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#include <cstddef>
+#include <numbers>
+
+#include "sph/kernel_simd.inl"
+
+namespace ss::sph::detail {
+
+const SphKernelTable* sph_kernels_scalar() {
+  static const SphKernelTable table{
+      &vec_kernels::kernel_batch<simd::ScalarVec>,
+      &vec_kernels::kernel_grad_batch<simd::ScalarVec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::sph::detail

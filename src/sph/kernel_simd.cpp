@@ -1,0 +1,41 @@
+// Runtime dispatch front end for the explicit-SIMD SPH kernels.
+#include "sph/kernel.hpp"
+#include "sph/kernel_dispatch.hpp"
+
+namespace ss::sph {
+
+namespace detail {
+
+const SphKernelTable* sph_kernels_for(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::scalar:
+      return sph_kernels_scalar();
+    case simd::Isa::avx2:
+      return sph_kernels_avx2();
+    case simd::Isa::neon:
+      return sph_kernels_neon();
+    case simd::Isa::avx512:
+      return sph_kernels_avx512();
+  }
+  return nullptr;
+}
+
+const SphKernelTable& sph_kernels_active() {
+  const SphKernelTable* t = sph_kernels_for(simd::active());
+  if (t == nullptr) t = sph_kernels_scalar();
+  return *t;
+}
+
+}  // namespace detail
+
+void kernel_batch(const double* r, const double* h, double* w,
+                  std::size_t n) {
+  detail::sph_kernels_active().kernel(r, h, w, n);
+}
+
+void kernel_grad_batch(const double* r, const double* h, double* gw,
+                       std::size_t n) {
+  detail::sph_kernels_active().kernel_grad(r, h, gw, n);
+}
+
+}  // namespace ss::sph

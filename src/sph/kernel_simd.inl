@@ -1,0 +1,78 @@
+// Explicit-SIMD cubic-spline kernel evaluation, templated over a
+// simd::*Vec backend. Included from one translation unit per backend
+// (kernel_scalar_vec.cpp, kernel_avx2.cpp, kernel_avx512.cpp,
+// kernel_neon.cpp).
+//
+// The vector code evaluates BOTH spline branches for every lane and
+// blends on the q < 1 / q < 2 masks. Operation order inside each branch
+// replicates the scalar kernel()/kernel_grad() expressions exactly, using
+// only plain IEEE mul/add/sub/div (no FMA contraction — the backend TUs
+// compile with -ffp-contract=off), so on hardware without contracted
+// scalar code the batch results are bit-identical to the scalar loop and
+// the SPH tier-1 results are unchanged by the rewiring. The tail runs the
+// scalar functions themselves.
+//
+// Not a standalone header — include after sph/kernel.hpp and
+// simd/vec.hpp inside namespace ss::sph.
+
+namespace ss::sph::vec_kernels {
+
+/// w[i] = W(r[i], h[i]).
+template <class V>
+void kernel_batch(const double* __restrict r, const double* __restrict h,
+                  double* __restrict w, std::size_t n) {
+  const V one = V::broadcast(1.0);
+  const V two = V::broadcast(2.0);
+  const V pi = V::broadcast(std::numbers::pi);
+  const V c15 = V::broadcast(1.5);
+  const V c075 = V::broadcast(0.75);
+  const V c025 = V::broadcast(0.25);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const V hv = V::load(h + i);
+    const V q = V::load(r + i) / hv;
+    // sigma = 1 / (pi h^3), with the scalar's ((pi*h)*h)*h grouping.
+    const V s = one / (pi * hv * hv * hv);
+    // q < 1: s * ((1 - (1.5*q)*q) + ((0.75*q)*q)*q)
+    const V inner =
+        s * ((one - (c15 * q) * q) + ((c075 * q) * q) * q);
+    // 1 <= q < 2: ((s*0.25)*t)*t)*t with t = 2 - q
+    const V t = two - q;
+    const V outer = ((s * c025) * t) * t * t;
+    V res = V::blend(V::cmp_lt(q, one), inner, outer);
+    res = V::blend(V::cmp_lt(q, two), res, V::zero());
+    res.store(w + i);
+  }
+  for (; i < n; ++i) w[i] = kernel(r[i], h[i]);
+}
+
+/// gw[i] = dW/dr (r[i], h[i]).
+template <class V>
+void kernel_grad_batch(const double* __restrict r,
+                       const double* __restrict h, double* __restrict gw,
+                       std::size_t n) {
+  const V one = V::broadcast(1.0);
+  const V two = V::broadcast(2.0);
+  const V pi = V::broadcast(std::numbers::pi);
+  const V c3 = V::broadcast(-3.0);
+  const V c225 = V::broadcast(2.25);
+  const V c075 = V::broadcast(-0.75);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const V hv = V::load(h + i);
+    const V q = V::load(r + i) / hv;
+    // s = sigma(h)/h = (1/((pi*h)*h)*h)) / h, scalar grouping.
+    const V s = (one / (pi * hv * hv * hv)) / hv;
+    // q < 1: s * ((-3*q) + (2.25*q)*q)
+    const V inner = s * ((c3 * q) + (c225 * q) * q);
+    // 1 <= q < 2: s * ((-0.75*t)*t) with t = 2 - q
+    const V t = two - q;
+    const V outer = s * ((c075 * t) * t);
+    V res = V::blend(V::cmp_lt(q, one), inner, outer);
+    res = V::blend(V::cmp_lt(q, two), res, V::zero());
+    res.store(gw + i);
+  }
+  for (; i < n; ++i) gw[i] = kernel_grad(r[i], h[i]);
+}
+
+}  // namespace ss::sph::vec_kernels

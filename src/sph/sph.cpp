@@ -46,6 +46,8 @@ void SphSim::find_pairs() {
   }
 
   // Gather-scatter symmetric pair list (i < j) with h_ij = (h_i + h_j)/2.
+  // Kernel values are filled in afterward by the batched (explicit-SIMD)
+  // evaluators over the whole pair list at once.
   pairs_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const Particle& pi = particles_[i];
@@ -59,21 +61,28 @@ void SphSim::find_pairs() {
       const double r = (pi.pos - pj.pos).norm();
       if (r >= kernel_support(hij)) continue;
       pairs_.push_back({static_cast<std::uint32_t>(i),
-                        static_cast<std::uint32_t>(j), r,
-                        kernel_grad(r, hij)});
+                        static_cast<std::uint32_t>(j), r, 0.0});
     }
   }
+
+  // SoA streams for the batch kernels: per-pair distance and h_ij.
+  const std::size_t np = pairs_.size();
+  std::vector<double> pr_r(np), pr_h(np), pr_w(np);
+  for (std::size_t k = 0; k < np; ++k) {
+    pr_r[k] = pairs_[k].distance;
+    pr_h[k] = 0.5 * (particles_[pairs_[k].i].h + particles_[pairs_[k].j].h);
+  }
+  kernel_grad_batch(pr_r.data(), pr_h.data(), pr_w.data(), np);
+  for (std::size_t k = 0; k < np; ++k) pairs_[k].grad_w = pr_w[k];
 
   // Density summation (self term + pairs).
   for (auto& p : particles_) {
     p.rho = p.mass * kernel(0.0, p.h);
   }
-  for (const Pair& pr : pairs_) {
-    const double hij =
-        0.5 * (particles_[pr.i].h + particles_[pr.j].h);
-    const double w = kernel(pr.distance, hij);
-    particles_[pr.i].rho += particles_[pr.j].mass * w;
-    particles_[pr.j].rho += particles_[pr.i].mass * w;
+  kernel_batch(pr_r.data(), pr_h.data(), pr_w.data(), np);
+  for (std::size_t k = 0; k < np; ++k) {
+    particles_[pairs_[k].i].rho += particles_[pairs_[k].j].mass * pr_w[k];
+    particles_[pairs_[k].j].rho += particles_[pairs_[k].i].mass * pr_w[k];
   }
   for (auto& p : particles_) {
     const auto r = eos_(p.rho, p.u);

@@ -1,0 +1,282 @@
+#include "support/task_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ss::support {
+
+namespace {
+
+// Which worker deque (if any) the current thread owns, so nested
+// parallel_for from inside a task pushes to its own deque and the owner
+// pops LIFO. kNotWorker marks external (rank) threads.
+constexpr std::size_t kNotWorker = static_cast<std::size_t>(-1);
+
+struct TlsSlot {
+  const TaskPool* pool = nullptr;
+  std::size_t index = kNotWorker;
+};
+thread_local TlsSlot t_worker;
+
+std::size_t worker_index_in(const TaskPool* pool) {
+  return t_worker.pool == pool ? t_worker.index : kNotWorker;
+}
+
+}  // namespace
+
+TaskPool::TaskPool(int threads) : start_(std::chrono::steady_clock::now()) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskPool::parallel_for(
+    std::size_t n, std::ptrdiff_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t g = grain > 0 ? static_cast<std::size_t>(grain) : 0;
+  if (g == 0) {
+    // Default grain: one chunk per thread, floor 1.
+    g = (n + static_cast<std::size_t>(size()) - 1) /
+        static_cast<std::size_t>(size());
+    if (g == 0) g = 1;
+  }
+  const std::size_t nchunks = (n + g - 1) / g;
+  ForOp op;
+  op.run = [&fn, g, n](std::size_t ci) {
+    const std::size_t lo = ci * g;
+    const std::size_t hi = std::min(n, lo + g);
+    fn(lo, hi);
+  };
+  run_op(op, nchunks);
+}
+
+void TaskPool::parallel_chunks(std::size_t nchunks,
+                               const std::function<void(std::size_t)>& fn) {
+  if (nchunks == 0) return;
+  ForOp op;
+  op.run = fn;
+  run_op(op, nchunks);
+}
+
+void TaskPool::run_op(ForOp& op, std::size_t nchunks) {
+  if (workers_.empty() || nchunks == 1) {
+    // Inline fast path: no queues, no atomics per chunk; exceptions
+    // propagate naturally.
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      op.run(ci);
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  op.pending.store(nchunks, std::memory_order_relaxed);
+
+  // Distribute chunks round-robin over the worker deques, starting at a
+  // rotating offset so repeated small ops don't all land on worker 0. A
+  // nested caller (itself a worker) pushes to its own deque instead —
+  // LIFO keeps the subtask tree cache-warm and guarantees the owner can
+  // always make progress on its own op.
+  const std::size_t self = worker_index_in(this);
+  if (self != kNotWorker) {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      w.deque.push_back(Task{&op, ci});
+    }
+  } else {
+    const std::size_t start =
+        next_victim_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      Worker& w = *workers_[(start + ci) % workers_.size()];
+      std::lock_guard<std::mutex> lk(w.mu);
+      w.deque.push_back(Task{&op, ci});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    ++work_epoch_;
+  }
+  sleep_cv_.notify_all();
+
+  help_until_done(op);
+
+  if (op.ex) std::rethrow_exception(op.ex);
+}
+
+void TaskPool::execute(const Task& t, bool stolen) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    t.op->run(t.ci);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(t.op->mu);
+    if (!t.op->ex) t.op->ex = std::current_exception();
+  }
+  busy_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // The decrement happens under op.mu: a joiner that observes
+    // pending == 0 re-acquires op.mu before returning, so it cannot
+    // destroy the (stack-allocated) op while this thread is still
+    // between the decrement and the notify. Also pairs with the
+    // predicate check in help_until_done so the wake cannot be missed.
+    std::lock_guard<std::mutex> lk(t.op->mu);
+    if (t.op->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      t.op->done_cv.notify_all();
+    }
+  }
+}
+
+bool TaskPool::try_pop_local(std::size_t w, Task& out) {
+  Worker& worker = *workers_[w];
+  std::lock_guard<std::mutex> lk(worker.mu);
+  if (worker.deque.empty()) return false;
+  out = worker.deque.back();
+  worker.deque.pop_back();
+  return true;
+}
+
+bool TaskPool::try_steal(std::size_t avoid, Task& out) {
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    if (k == avoid) continue;
+    Worker& worker = *workers_[k];
+    std::lock_guard<std::mutex> lk(worker.mu);
+    if (worker.deque.empty()) continue;
+    out = worker.deque.front();
+    worker.deque.pop_front();
+    return true;
+  }
+  steals_failed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TaskPool::help_until_done(ForOp& op) {
+  const std::size_t self = worker_index_in(this);
+  while (op.pending.load(std::memory_order_acquire) > 0) {
+    Task t;
+    if (self != kNotWorker && try_pop_local(self, t)) {
+      execute(t, false);
+      continue;
+    }
+    if (try_steal(self, t)) {
+      execute(t, self != kNotWorker);
+      continue;
+    }
+    // Nothing queued anywhere: the remaining chunks are running on other
+    // threads. Sleep until the op completes.
+    std::unique_lock<std::mutex> lk(op.mu);
+    op.done_cv.wait(lk, [&] {
+      return op.pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // The last executor decremented pending while holding op.mu. Taking it
+  // once more means that thread has released the lock and will never
+  // touch the op again — only then may the caller pop op off its stack.
+  std::lock_guard<std::mutex> lk(op.mu);
+}
+
+void TaskPool::worker_main(std::size_t w) {
+  t_worker = TlsSlot{this, w};
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task t;
+    if (try_pop_local(w, t)) {
+      execute(t, false);
+      continue;
+    }
+    if (try_steal(w, t)) {
+      execute(t, true);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_) return;
+    if (work_epoch_ != seen_epoch) {
+      // Work arrived between our failed scan and taking the lock; rescan.
+      seen_epoch = work_epoch_;
+      continue;
+    }
+    sleep_cv_.wait(lk, [&] { return stop_ || work_epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = work_epoch_;
+  }
+}
+
+TaskPool::Stats TaskPool::stats() const {
+  Stats s;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.steals_failed = steals_failed_.load(std::memory_order_relaxed);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  if (wall > 0.0) {
+    const double busy =
+        static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    s.utilization = std::min(1.0, busy / (wall * size()));
+  }
+  return s;
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<TaskPool> g_global;  // guarded by g_global_mu
+int g_configured = 0;                // <= 0: default policy
+
+/// Default policy with no configure_global() override: SS_POOL_THREADS,
+/// else clamp(hardware_concurrency, 1, 16).
+int policy_default() {
+  if (const char* env = std::getenv("SS_POOL_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+}  // namespace
+
+int TaskPool::default_threads() {
+  {
+    std::lock_guard<std::mutex> lk(g_global_mu);
+    if (g_configured > 0) return g_configured;
+  }
+  return policy_default();
+}
+
+TaskPool& TaskPool::global() {
+  const int want = default_threads();
+  std::lock_guard<std::mutex> lk(g_global_mu);
+  if (!g_global) g_global = std::make_unique<TaskPool>(want);
+  return *g_global;
+}
+
+void TaskPool::configure_global(int threads) {
+  const int want = threads > 0 ? threads : policy_default();
+  std::lock_guard<std::mutex> lk(g_global_mu);
+  g_configured = threads;
+  if (g_global && g_global->size() != want) g_global.reset();
+}
+
+}  // namespace ss::support

@@ -1,0 +1,172 @@
+// Intra-rank work-stealing task pool.
+//
+// Before this existed every parallel phase (tree build, radix sort,
+// traversal) spawned and joined its own std::thread batch — thread
+// creation on the critical path, one thread per uniform chunk, and no
+// load balancing when chunks are skewed. The pool is persistent: worker
+// threads are created once per process (or per test), parked on a
+// condition variable when idle, and fed through per-worker deques in the
+// Chase-Lev style — an owner pushes and pops at the *back* of its own
+// deque (LIFO, cache-warm), thieves take from the *front* (FIFO, the
+// biggest remaining chunks first). The deques here are mutex-guarded
+// rather than lock-free: tasks are coarse (a grain of thousands of
+// bodies), so the queue-op cost is noise, and the mutex keeps the
+// invariants simple enough to sanitize.
+//
+// Joining callers *help*: while a fork/join op is outstanding the caller
+// runs queued tasks itself instead of blocking, so nested parallel_for
+// from inside a task cannot deadlock and a pool of size 1 degenerates to
+// plain inline loops (the configuration on a single-core host — zero
+// threads are spawned, zero atomics touched per element).
+//
+// Determinism: parallel_for/parallel_chunks fix the chunk boundaries from
+// (n, grain) alone — stealing moves *which thread* runs a chunk, never
+// the chunk's range. parallel_reduce merges per-chunk partials in chunk
+// order, so reductions are bit-identical regardless of interleaving.
+//
+// Observability: the pool keeps its own atomic counters (obs::Counter is
+// rank-thread-local by design and must not be touched from workers);
+// callers mirror Stats into the obs registry from the rank thread (see
+// hot/parallel.cpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ss::support {
+
+class TaskPool {
+ public:
+  /// `threads` is the total parallelism: the joining caller plus
+  /// (threads - 1) worker threads. TaskPool(1) spawns nothing and runs
+  /// every op inline.
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total parallelism (workers + caller); >= 1.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(lo, hi) over [0, n) in chunks of at most `grain` elements
+  /// (grain <= 0 picks one chunk per thread). Blocks until every chunk
+  /// has finished; the caller executes chunks too. The first exception
+  /// thrown by any chunk is rethrown here (remaining chunks still run).
+  void parallel_for(std::size_t n, std::ptrdiff_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Run fn(ci) for ci in [0, nchunks): the caller owns the index ->
+  /// range arithmetic. This is the primitive the radix sort uses — its
+  /// histogram slots are keyed by chunk index, so boundaries must be
+  /// exactly the caller's, not the pool's.
+  void parallel_chunks(std::size_t nchunks,
+                       const std::function<void(std::size_t)>& fn);
+
+  /// Deterministic map-reduce: partials[ci] = map(lo, hi) per fixed
+  /// chunk, merged in ascending chunk order on the calling thread.
+  template <class T, class Map, class Reduce>
+  T parallel_reduce(std::size_t n, std::ptrdiff_t grain, T init, Map&& map,
+                    Reduce&& reduce) {
+    const std::size_t nchunks = chunk_count(n, grain);
+    if (nchunks == 0) return init;
+    std::vector<T> partials(nchunks, init);
+    const std::size_t step = (n + nchunks - 1) / nchunks;
+    parallel_chunks(nchunks, [&](std::size_t ci) {
+      const std::size_t lo = ci * step;
+      const std::size_t hi = std::min(n, lo + step);
+      partials[ci] = map(lo, hi);
+    });
+    T acc = init;
+    for (std::size_t ci = 0; ci < nchunks; ++ci) {
+      acc = reduce(acc, partials[ci]);
+    }
+    return acc;
+  }
+
+  /// Monotonic totals since construction. tasks_run counts every chunk
+  /// executed (including inline and caller-helped ones); tasks_stolen the
+  /// subset taken from another thread's deque; steals_failed the idle
+  /// scans that found every deque empty.
+  struct Stats {
+    std::uint64_t tasks_run = 0;
+    std::uint64_t tasks_stolen = 0;
+    std::uint64_t steals_failed = 0;
+    double utilization = 0.0;  ///< busy time / (wall time * size), [0, 1]
+  };
+  Stats stats() const;
+
+  /// The per-process pool. First use constructs it with (in priority
+  /// order) the configure_global() size, the SS_POOL_THREADS environment
+  /// variable, or clamp(hardware_concurrency, 1, 16).
+  static TaskPool& global();
+
+  /// Set (or change) the global pool size. Rebuilds the pool if it was
+  /// already constructed with a different size; must not be called while
+  /// ops are in flight on it. threads <= 0 resets to the default policy.
+  static void configure_global(int threads);
+
+  /// The size global() would use if constructed now.
+  static int default_threads();
+
+ private:
+  struct ForOp {
+    std::function<void(std::size_t)> run;  // chunk index -> work
+    std::atomic<std::size_t> pending{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr ex;  // first failure, guarded by mu
+  };
+
+  struct Task {
+    ForOp* op = nullptr;
+    std::size_t ci = 0;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;  // owner: back; thieves: front
+  };
+
+  static std::size_t chunk_count(std::size_t n, std::ptrdiff_t grain) {
+    if (n == 0) return 0;
+    std::size_t g = grain > 0 ? static_cast<std::size_t>(grain) : 0;
+    if (g == 0) return 1;  // resolved by callers; see parallel_for
+    return (n + g - 1) / g;
+  }
+
+  void run_op(ForOp& op, std::size_t nchunks);
+  void worker_main(std::size_t w);
+  void execute(const Task& t, bool stolen);
+  bool try_pop_local(std::size_t w, Task& out);
+  bool try_steal(std::size_t avoid, Task& out);
+  void help_until_done(ForOp& op);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::uint64_t work_epoch_ = 0;  // guarded by sleep_mu_
+  bool stop_ = false;             // guarded by sleep_mu_
+
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+  std::atomic<std::uint64_t> steals_failed_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::size_t> next_victim_{0};  // round-robin push target
+};
+
+}  // namespace ss::support

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "gravity/batch.hpp"
 #include "gravity/kernels.hpp"
 #include "gravity/multipole.hpp"
+#include "simd/isa.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -329,6 +331,157 @@ TEST(BatchKernels, MultiTargetInteractBatchMatchesScalar) {
   for (int i = 0; i < 16; ++i) targets.push_back(src[i * 7].pos);
   std::vector<Accel> acc(targets.size());
   interact_batch(targets, soa, 1e-6, RsqrtMethod::karp, acc);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    expect_accel_near(acc[i],
+                      interact<RsqrtMethod::karp>(targets[i], src, 1e-6),
+                      1e-12);
+  }
+}
+
+// --- explicit-SIMD dispatched kernels ---------------------------------------
+
+namespace simd = ss::simd;
+
+/// Backends whose kernels are both compiled into this binary and runnable
+/// on this hardware. Always contains at least Isa::scalar.
+std::vector<simd::Isa> reachable_backends() {
+  std::vector<simd::Isa> out;
+  for (int i = 0; i < simd::kIsaCount; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd_backend_compiled(isa) && simd::hardware_supports(isa)) {
+      out.push_back(isa);
+    }
+  }
+  return out;
+}
+
+TEST(SimdKernels, ScalarBackendAlwaysReachable) {
+  EXPECT_TRUE(simd_backend_compiled(simd::Isa::scalar));
+  EXPECT_TRUE(simd::hardware_supports(simd::Isa::scalar));
+  EXPECT_GE(reachable_backends().size(), 1u);
+}
+
+TEST(SimdKernels, RsqrtParityOnEveryReachableBackend) {
+  Rng rng(31);
+  std::vector<double> x, out;
+  for (int i = 0; i < 4099; ++i) {  // odd size: exercises every tail length
+    x.push_back(std::exp(rng.uniform(-60.0, 60.0)));
+  }
+  out.resize(x.size());
+  for (const auto isa : reachable_backends()) {
+    simd::ScopedForce forced(isa);
+    rsqrt_simd_batch(x.data(), out.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(out[i] * std::sqrt(x[i]), 1.0, 1e-12)
+          << simd::name(isa) << " x=" << x[i];
+    }
+  }
+}
+
+TEST(SimdKernels, BodiesParityOnEveryReachableBackend) {
+  Rng rng(32);
+  // Larger than several vector widths, with a remainder for the tail.
+  const auto src = random_cluster(rng, 1501, {0.2, -0.1, 0.3}, 1.0);
+  const auto soa = SourcesSoA::from(src);
+  const Vec3 targets[] = {{0, 0, 0}, {0.5, 0.5, 0.5}, {3, -2, 1}};
+  for (const auto isa : reachable_backends()) {
+    simd::ScopedForce forced(isa);
+    for (const Vec3& t : targets) {
+      const auto ref = interact<RsqrtMethod::karp>(t, src, 1e-6);
+      const auto got = interact_bodies_simd(t, soa, 1e-6);
+      SCOPED_TRACE(simd::name(isa));
+      expect_accel_near(got, ref, 1e-12);
+    }
+  }
+}
+
+TEST(SimdKernels, CellsParityOnEveryReachableBackend) {
+  Rng rng(33);
+  CellsSoA tile;
+  std::vector<Moments> moms;
+  for (int c = 0; c < 37; ++c) {
+    const auto src = random_cluster(
+        rng, 20, {rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)},
+        0.4);
+    moms.push_back(Moments::of_particles(src));
+    tile.push_back(moms.back());
+  }
+  const Vec3 target{0.05, -0.02, 0.07};
+  Accel ref;
+  for (const auto& mom : moms) {
+    ref += evaluate(mom, target, 1e-6, RsqrtMethod::karp);
+  }
+  for (const auto isa : reachable_backends()) {
+    simd::ScopedForce forced(isa);
+    const auto got = interact_cells_simd(target, tile, 1e-6);
+    SCOPED_TRACE(simd::name(isa));
+    expect_accel_near(got, ref, 1e-12);
+  }
+}
+
+TEST(SimdKernels, CoincidentBodyUnsoftened) {
+  // eps2 = 0 with the target exactly on a source: the self lane must be
+  // masked on every backend — no NaN/Inf, scalar-oracle agreement.
+  Rng rng(34);
+  auto src = random_cluster(rng, 259, {0, 0, 0}, 0.8);
+  const Vec3 target = src[100].pos;
+  const auto soa = SourcesSoA::from(src);
+  const auto ref = interact<RsqrtMethod::karp>(target, src, 0.0);
+  for (const auto isa : reachable_backends()) {
+    simd::ScopedForce forced(isa);
+    const auto got = interact_bodies_simd(target, soa, 0.0);
+    SCOPED_TRACE(simd::name(isa));
+    EXPECT_TRUE(std::isfinite(got.phi));
+    EXPECT_TRUE(std::isfinite(got.a.x));
+    expect_accel_near(got, ref, 1e-12);
+  }
+}
+
+TEST(SimdKernels, CoincidentBodySoftenedSelfPotential) {
+  // eps2 > 0: the scalar kernel counts the softened self-potential; the
+  // SIMD kernels' fix-up must reproduce it on every backend.
+  const std::vector<Source> src = {{{1, 2, 3}, 2.5}, {{0, 0, 0}, 1.0}};
+  const auto soa = SourcesSoA::from(src);
+  const auto ref = interact<RsqrtMethod::karp>({1, 2, 3}, src, 1e-4);
+  for (const auto isa : reachable_backends()) {
+    simd::ScopedForce forced(isa);
+    const auto got = interact_bodies_simd({1, 2, 3}, soa, 1e-4);
+    SCOPED_TRACE(simd::name(isa));
+    expect_accel_near(got, ref, 1e-12);
+  }
+}
+
+TEST(SimdKernels, ForcedScalarOverrideTakesEffect) {
+  // The forced-scalar override is CI's portability floor: dispatch must
+  // resolve to the scalar table regardless of what CPUID found.
+  simd::ScopedForce forced(simd::Isa::scalar);
+  EXPECT_EQ(simd::active(), simd::Isa::scalar);
+  Rng rng(35);
+  const auto src = random_cluster(rng, 300, {0, 0, 0}, 1.0);
+  const auto soa = SourcesSoA::from(src);
+  const auto ref = interact<RsqrtMethod::karp>({0.1, 0.2, 0.3}, src, 1e-6);
+  expect_accel_near(interact_bodies_simd({0.1, 0.2, 0.3}, soa, 1e-6), ref,
+                    1e-12);
+}
+
+TEST(SimdKernels, ForcingUnsupportedBackendThrows) {
+  for (int i = 0; i < simd::kIsaCount; ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (!simd::hardware_supports(isa)) {
+      EXPECT_THROW(simd::force(isa), std::invalid_argument) << simd::name(isa);
+    }
+  }
+  simd::clear_force();
+}
+
+TEST(SimdKernels, MultiTargetDispatchMatchesScalar) {
+  Rng rng(36);
+  const auto src = random_cluster(rng, 600, {0, 0, 0}, 1.2);
+  const auto soa = SourcesSoA::from(src);
+  std::vector<Vec3> targets;
+  for (int i = 0; i < 16; ++i) targets.push_back(src[i * 7].pos);
+  std::vector<Accel> acc(targets.size());
+  interact_batch_simd(targets, soa, 1e-6, acc);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     expect_accel_near(acc[i],
                       interact<RsqrtMethod::karp>(targets[i], src, 1e-6),

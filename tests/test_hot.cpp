@@ -9,6 +9,7 @@
 #include "hot/hash_table.hpp"
 #include "hot/tree.hpp"
 #include "support/rng.hpp"
+#include "support/task_pool.hpp"
 
 namespace {
 
@@ -355,6 +356,35 @@ TEST(Neighbors, MatchesBruteForce) {
 TEST(Neighbors, EmptyTreeReturnsNothing) {
   Tree t(std::vector<Source>{});
   EXPECT_TRUE(t.neighbors_within({0, 0, 0}, 1.0).empty());
+}
+
+TEST(Tree, BuildAndAccelerateOnMultiThreadPool) {
+  // Regression: on hosts whose default pool is one thread, every pool
+  // lambda runs inline on the caller and cross-thread bugs (e.g. naming
+  // a caller-side thread_local inside a worker-executed lambda) go
+  // unnoticed. Force a 4-thread pool, exceed the radix sort's parallel
+  // threshold so every pooled stage really fans out, and require the
+  // result to match a single-thread build exactly.
+  Rng rng(29);
+  const auto b = plummer_like(rng, 40000);
+
+  ss::support::TaskPool::configure_global(1);
+  Tree ref(b, TreeConfig{16});
+  const auto want = ref.accelerate_all(0.6, 1e-6);
+
+  ss::support::TaskPool::configure_global(4);
+  std::vector<Accel> got;
+  for (int rep = 0; rep < 3; ++rep) {
+    Tree t(b, TreeConfig{16});
+    ASSERT_EQ(t.bodies().size(), b.size());
+    got = t.accelerate_all(0.6, 1e-6);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].a.x, want[i].a.x) << "body " << i;
+      ASSERT_EQ(got[i].phi, want[i].phi) << "body " << i;
+    }
+  }
+  ss::support::TaskPool::configure_global(0);  // restore default policy
 }
 
 }  // namespace

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "sph/collapse.hpp"
 #include "sph/eos.hpp"
 #include "sph/fld.hpp"
 #include "sph/kernel.hpp"
+#include "simd/isa.hpp"
 #include "sph/sph.hpp"
 #include "support/rng.hpp"
 
@@ -50,6 +52,42 @@ TEST(Kernel, GradientMatchesFiniteDifference) {
 }
 
 // --- EOS -----------------------------------------------------------------------
+
+TEST(Kernel, BatchMatchesScalarOnEveryReachableBackend) {
+  namespace simd = ss::simd;
+  // Radii spanning both spline branches (q < 1, 1 <= q < 2), the exact
+  // branch boundaries, and the zero tail beyond 2h; odd count exercises
+  // every vector-width tail.
+  Rng rng(40);
+  std::vector<double> r, h;
+  for (int i = 0; i < 1037; ++i) {
+    const double hh = rng.uniform(0.2, 2.0);
+    h.push_back(hh);
+    switch (i % 5) {
+      case 0: r.push_back(rng.uniform(0.0, 1.0) * hh); break;       // inner
+      case 1: r.push_back(rng.uniform(1.0, 2.0) * hh); break;       // outer
+      case 2: r.push_back(hh); break;                               // q == 1
+      case 3: r.push_back(2.0 * hh); break;                         // q == 2
+      default: r.push_back(rng.uniform(2.0, 3.0) * hh); break;      // beyond
+    }
+  }
+  std::vector<double> w(r.size()), gw(r.size());
+  for (int b = 0; b < simd::kIsaCount; ++b) {
+    const auto isa = static_cast<simd::Isa>(b);
+    if (!simd::hardware_supports(isa)) continue;
+    simd::ScopedForce forced(isa);
+    kernel_batch(r.data(), h.data(), w.data(), r.size());
+    kernel_grad_batch(r.data(), h.data(), gw.data(), r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const double wr = kernel(r[i], h[i]);
+      const double gr = kernel_grad(r[i], h[i]);
+      EXPECT_NEAR(w[i], wr, 1e-12 * std::max(std::abs(wr), 1.0))
+          << simd::name(isa) << " r=" << r[i] << " h=" << h[i];
+      EXPECT_NEAR(gw[i], gr, 1e-12 * std::max(std::abs(gr), 1.0))
+          << simd::name(isa) << " r=" << r[i] << " h=" << h[i];
+    }
+  }
+}
 
 TEST(Eos, GammaLawBasics) {
   const auto r = eos_gamma_law(2.0, 3.0, 5.0 / 3.0);
