@@ -32,7 +32,8 @@ Sample run_once(const std::vector<ss::nbody::Body>& bodies, double theta,
   ss::hot::Tree tree(src, ss::hot::TreeConfig{bucket});
   ss::hot::TraverseStats st;
   ss::support::WallTimer timer;
-  const auto acc = tree.accelerate_all(theta, 1e-6, method, &st);
+  const auto acc = tree.accelerate_all(
+      {.theta = theta, .eps2 = 1e-6, .method = method}, &st);
   Sample s;
   s.seconds = timer.seconds();
   s.flops_per_body = static_cast<double>(st.flops()) / bodies.size();
@@ -96,12 +97,11 @@ int main() {
     for (int grouped = 0; grouped < 2; ++grouped) {
       ss::hot::TraverseStats st;
       ss::support::WallTimer timer;
-      const auto acc =
-          grouped ? tree.accelerate_group_all(0.6, 1e-6,
-                                              ss::gravity::RsqrtMethod::libm,
-                                              &st)
-                  : tree.accelerate_all(0.6, 1e-6,
-                                        ss::gravity::RsqrtMethod::libm, &st);
+      const ss::hot::AccelParams params{
+          .theta = 0.6, .eps2 = 1e-6,
+          .method = ss::gravity::RsqrtMethod::libm};
+      const auto acc = grouped ? tree.accelerate_group_all(params, &st)
+                               : tree.accelerate_all(params, &st);
       const double ms = timer.seconds() * 1000.0;
       double err = 0.0;
       for (std::size_t i = 0; i < acc.size(); ++i) {

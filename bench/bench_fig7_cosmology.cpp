@@ -261,7 +261,9 @@ int main(int argc, char** argv) {
     auto sources = ss::nbody::sources_of(bodies);
     ss::hot::Tree tree(sources, ss::hot::TreeConfig{16});
     ss::hot::TraverseStats st;
-    (void)tree.accelerate_all(0.6, 1e-6, ss::gravity::RsqrtMethod::libm, &st);
+    (void)tree.accelerate_all({.theta = 0.6, .eps2 = 1e-6,
+                               .method = ss::gravity::RsqrtMethod::libm},
+                              &st);
     const double per = static_cast<double>(st.flops()) / n / 1000.0;
     cost.row({std::to_string(n), Table::fixed(per, 1)});
     lnN.push_back(std::log(static_cast<double>(n)));

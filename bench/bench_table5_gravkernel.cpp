@@ -178,6 +178,19 @@ int main(int argc, char** argv) {
   }
   std::cout << h;
 
+  // The auto_select resolution the production paths will use on this
+  // host — the fix for the Table 5 anomaly where scalar karp loses to
+  // scalar libm while batched karp wins, so no hard-coded default is
+  // right for both flavors.
+  const RsqrtMethod auto_scalar = rsqrt_auto_choice(RsqrtFlavor::scalar);
+  const RsqrtMethod auto_batch = rsqrt_auto_choice(RsqrtFlavor::batch);
+  const auto method_name = [](RsqrtMethod m) {
+    return m == RsqrtMethod::karp ? "karp" : "libm";
+  };
+  std::cout << "\nauto_select resolution on this host: scalar -> "
+            << method_name(auto_scalar) << ", batch -> "
+            << method_name(auto_batch) << "\n";
+
   const double speedup = variants[3].ips / host_libm;
   const double simd_speedup = simd_ips / host_libm;
   std::cout << "\nShape check vs paper: Karp's adds-and-multiplies rsqrt wins\n"
@@ -229,6 +242,8 @@ int main(int argc, char** argv) {
     w.kv("speedup_batch_karp_vs_scalar_libm", speedup);
     w.kv("speedup_batch_simd_vs_scalar_libm", simd_speedup);
     w.kv("simd_isa", ss::simd::name(active));
+    w.kv("rsqrt_auto_scalar", method_name(auto_scalar));
+    w.kv("rsqrt_auto_batch", method_name(auto_batch));
     w.end_object();
     w.end_object();
     os << "\n";

@@ -14,6 +14,11 @@
 #      reliable transport (cross-thread frame queues, retransmit timers).
 #   3. bench smoke: bench_table5_gravkernel --json must run and emit
 #      parseable JSON with the measured host kernel variants,
+#      bench_table6_treecode --json must show the FMM beating the
+#      treecode wall-clock at the largest sweep N (512k) with RMS force
+#      error <= 1e-6 and a recorded crossover (the long pole of the
+#      script: the 16k-512k far-field sweep runs ~10 min on a 1-core
+#      host),
 #      bench_ablation_parallel --json must show the multi-step engine's
 #      communication-avoidance trajectory (warm steps park <= 70% of the
 #      cold step's walks, send fewer messages, forces match stateless to
@@ -68,16 +73,17 @@ echo "=== multi-thread pool: tree/gravity suites on a forced 3-thread pool ==="
 SS_POOL_THREADS=3 ./build/tests/test_hot --gtest_brief=1
 SS_POOL_THREADS=3 ./build/tests/test_hot_parallel --gtest_brief=1
 SS_POOL_THREADS=3 ./build/tests/test_task_pool --gtest_brief=1
+SS_POOL_THREADS=3 ./build/tests/test_fmm --gtest_brief=1
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_hot_parallel / test_engine / test_io / test_net / test_task_pool ==="
+  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_fmm / test_hot_parallel / test_engine / test_io / test_net / test_task_pool ==="
   cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
-    --target test_gravity test_morton test_hot_parallel test_engine test_io \
-    test_net test_task_pool
-  for t in test_gravity test_morton test_hot_parallel test_engine test_io \
-      test_net test_task_pool; do
+    --target test_gravity test_morton test_fmm test_hot_parallel test_engine \
+    test_io test_net test_task_pool
+  for t in test_gravity test_morton test_fmm test_hot_parallel test_engine \
+      test_io test_net test_task_pool; do
     bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
     echo "--- $t ---"
     "$bin"
@@ -111,6 +117,31 @@ assert simd_row["interactions_per_sec"] >= 0.95 * karp_ips, (
     f" lost to batch karp {karp_ips/1e6:.0f} Minter/s")
 print(f"BENCH_table5.json ok: batch-karp speedup {s:.2f}x, batch-simd"
       f" ({isa}) {simd:.2f}x vs scalar libm")
+PY
+
+t6_json="build/BENCH_table6.json"
+./build/bench/bench_table6_treecode --json "${t6_json}" >/dev/null
+python3 - "${t6_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "table6_treecode"
+sweep = d["far_field_sweep"]
+rows = sweep["rows"]
+ns = [r["n"] for r in rows]
+assert ns == sorted(ns) and ns[0] <= 16384 and ns[-1] >= 524288, ns
+largest = rows[-1]
+# The asymptotic gate: at the largest sweep N the O(N) FMM must beat the
+# treecode wall-clock while holding the tentpole's accuracy bar.
+assert largest["fmm_rms"] <= 1e-6, (
+    f"FMM RMS {largest['fmm_rms']:.2e} at N={largest['n']} exceeds 1e-6")
+assert sweep["speedup_fmm_vs_treecode"] > 1.0, (
+    f"FMM lost to the treecode at N={largest['n']}:"
+    f" {sweep['speedup_fmm_vs_treecode']:.2f}x")
+assert sweep["crossover_n"] > 0, "no crossover recorded"
+print(f"BENCH_table6.json ok: fmm {sweep['speedup_fmm_vs_treecode']:.2f}x"
+      f" treecode at N={largest['n']} (rms {largest['fmm_rms']:.1e},"
+      f" crossover N<={sweep['crossover_n']})")
 PY
 
 abl_json="build/BENCH_ablation_parallel.json"

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -245,7 +246,7 @@ template Accel interact_bodies_batch<RsqrtMethod::karp>(const Vec3&,
 Accel interact_bodies_batch(const Vec3& target, const SourcesSoA& tile,
                             double eps2, RsqrtMethod method,
                             TileScratch& scratch) {
-  return method == RsqrtMethod::libm
+  return resolve_rsqrt(method, RsqrtFlavor::batch) == RsqrtMethod::libm
              ? interact_bodies_batch<RsqrtMethod::libm>(target, tile, eps2,
                                                         scratch)
              : interact_bodies_batch<RsqrtMethod::karp>(target, tile, eps2,
@@ -324,7 +325,7 @@ template Accel interact_cells_batch<RsqrtMethod::karp>(const Vec3&,
 Accel interact_cells_batch(const Vec3& target, const CellsSoA& tile,
                            double eps2, RsqrtMethod method,
                            TileScratch& scratch) {
-  return method == RsqrtMethod::libm
+  return resolve_rsqrt(method, RsqrtFlavor::batch) == RsqrtMethod::libm
              ? interact_cells_batch<RsqrtMethod::libm>(target, tile, eps2,
                                                        scratch)
              : interact_cells_batch<RsqrtMethod::karp>(target, tile, eps2,
@@ -341,6 +342,7 @@ void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
     throw std::invalid_argument("interact_batch: output size mismatch");
   }
   thread_local TileScratch scratch;
+  method = resolve_rsqrt(method, RsqrtFlavor::batch);
   for (std::size_t t = 0; t < targets.size(); ++t) {
     out[t] = method == RsqrtMethod::libm
                  ? interact_bodies_batch<RsqrtMethod::libm>(
@@ -354,5 +356,45 @@ void interact_batch(std::span<const Vec3> targets, const SourcesSoA& sources,
                     double eps2, std::span<Accel> out) {
   interact_batch(targets, sources, eps2, RsqrtMethod::libm, out);
 }
+
+// ---------------------------------------------------------------------------
+// Benchmark probe for RsqrtMethod::auto_select: this TU is compiled with
+// the host-tuned kernel flags, so both timed loops here carry the exact
+// codegen the resolved choice will govern (the libm loop auto-vectorizes
+// under -march=native; under default flags it would not, which is why
+// the scalar flavor is measured separately in kernels.cpp).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+bool karp_wins_batch() {
+  constexpr std::size_t kN = 4096;
+  constexpr int kTrials = 5;
+  static double x[kN], out[kN];
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < kN; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    x[i] = 0.25 + static_cast<double>(s >> 40) * (1.0 / (1 << 20));
+  }
+  (void)karp_table();  // seed table built outside the timed region
+  volatile double sink = 0.0;
+  double best_libm = 1e300, best_karp = 1e300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto t0 = std::chrono::steady_clock::now();
+    rsqrt_batch<RsqrtMethod::libm>(x, out, kN);
+    auto t1 = std::chrono::steady_clock::now();
+    sink = sink + out[kN - 1];
+    rsqrt_batch<RsqrtMethod::karp>(x, out, kN);
+    auto t2 = std::chrono::steady_clock::now();
+    sink = sink + out[kN - 1];
+    best_libm = std::min(best_libm,
+                         std::chrono::duration<double>(t1 - t0).count());
+    best_karp = std::min(best_karp,
+                         std::chrono::duration<double>(t2 - t1).count());
+  }
+  return best_karp < best_libm;
+}
+
+}  // namespace detail
 
 }  // namespace ss::gravity

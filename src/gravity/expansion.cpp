@@ -1,0 +1,207 @@
+#include "gravity/expansion.hpp"
+
+#include <cmath>
+
+namespace ss::gravity {
+
+namespace fmm_tables {
+namespace {
+
+Tables make_tables() {
+  Tables t{};
+
+  // Multi-index components and total order, by flat index.
+  for (int n = 0; n <= kFmmMaxTensorOrder; ++n) {
+    for (int i = n; i >= 0; --i) {
+      for (int j = n - i; j >= 0; --j) {
+        const int k = n - i - j;
+        const int c = coef_index(i, j, k);
+        t.ix[c] = static_cast<std::uint8_t>(i);
+        t.iy[c] = static_cast<std::uint8_t>(j);
+        t.iz[c] = static_cast<std::uint8_t>(k);
+        t.order[c] = static_cast<std::uint8_t>(n);
+      }
+    }
+  }
+
+  const auto idx_or = [](int i, int j, int k) -> std::int16_t {
+    if (i < 0 || j < 0 || k < 0) return -1;
+    return static_cast<std::int16_t>(coef_index(i, j, k));
+  };
+
+  // Recurrence metadata: for every coefficient of order >= 1, derive it
+  // along the first axis with a positive component.
+  for (int c = 1; c < kFmmTensorMax; ++c) {
+    int a[3] = {t.ix[c], t.iy[c], t.iz[c]};
+    const int dir = a[0] > 0 ? 0 : (a[1] > 0 ? 1 : 2);
+    a[dir] -= 1;  // a is now alpha'
+    TensorStep& s = t.step[c];
+    s.dir = static_cast<std::uint8_t>(dir);
+    s.base = idx_or(a[0], a[1], a[2]);
+    int am[3] = {a[0], a[1], a[2]};
+    am[dir] -= 1;
+    s.base_mdir = idx_or(am[0], am[1], am[2]);
+    s.c_base_mdir = static_cast<double>(a[dir]);
+    for (int j = 0; j < 3; ++j) {
+      int b1[3] = {a[0], a[1], a[2]};
+      b1[dir] += 1;
+      b1[j] -= 1;
+      int b2[3] = {b1[0], b1[1], b1[2]};
+      b2[j] -= 1;
+      s.sub1[j] = a[j] > 0 ? idx_or(b1[0], b1[1], b1[2]) : std::int16_t{-1};
+      s.sub2[j] = a[j] > 1 ? idx_or(b2[0], b2[1], b2[2]) : std::int16_t{-1};
+      s.c_sub1[j] = 2.0 * a[j];
+      s.c_sub2[j] = static_cast<double>(a[j]) * (a[j] - 1);
+    }
+  }
+
+  // Pairwise index sums over the expansion range (orders sum to <= 2p_max,
+  // always within the tensor bound).
+  for (int b = 0; b < kFmmCoefMax; ++b) {
+    for (int g = 0; g < kFmmCoefMax; ++g) {
+      t.sum[b * kFmmCoefMax + g] = static_cast<std::uint16_t>(coef_index(
+          t.ix[b] + t.ix[g], t.iy[b] + t.iy[g], t.iz[b] + t.iz[g]));
+    }
+  }
+
+  // Gradient shifts alpha -> alpha + e_axis.
+  for (int c = 0; c < kFmmCoefMax; ++c) {
+    t.shift[0][c] =
+        static_cast<std::uint16_t>(coef_index(t.ix[c] + 1, t.iy[c], t.iz[c]));
+    t.shift[1][c] =
+        static_cast<std::uint16_t>(coef_index(t.ix[c], t.iy[c] + 1, t.iz[c]));
+    t.shift[2][c] =
+        static_cast<std::uint16_t>(coef_index(t.ix[c], t.iy[c], t.iz[c] + 1));
+  }
+
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = make_tables();
+  return t;
+}
+
+}  // namespace fmm_tables
+
+namespace {
+
+/// Separable normalized power table: pw[c] = v^alpha / alpha! for every
+/// coefficient up to order p. `pw` holds coef_count(p) doubles.
+void power_table(const Vec3& v, int p, double* pw) {
+  const fmm_tables::Tables& t = fmm_tables::tables();
+  double px[kFmmMaxOrder + 1], py[kFmmMaxOrder + 1], pz[kFmmMaxOrder + 1];
+  px[0] = py[0] = pz[0] = 1.0;
+  for (int n = 1; n <= p; ++n) {
+    const double inv = 1.0 / n;
+    px[n] = px[n - 1] * v.x * inv;
+    py[n] = py[n - 1] * v.y * inv;
+    pz[n] = pz[n - 1] * v.z * inv;
+  }
+  const int np = coef_count(p);
+  for (int c = 0; c < np; ++c) {
+    pw[c] = px[t.ix[c]] * py[t.iy[c]] * pz[t.iz[c]];
+  }
+}
+
+}  // namespace
+
+void kernel_tensors(const Vec3& r, double eps2, int p_tensor, double* T) {
+  const fmm_tables::Tables& t = fmm_tables::tables();
+  const double u = r.norm2() + eps2;
+  const double uinv = 1.0 / u;
+  const double x[3] = {r.x, r.y, r.z};
+  T[0] = 1.0 / std::sqrt(u);
+  const int nt = coef_count(p_tensor);
+  for (int c = 1; c < nt; ++c) {
+    const fmm_tables::TensorStep& s = t.step[c];
+    double acc = x[s.dir] * T[s.base];
+    if (s.base_mdir >= 0) acc += s.c_base_mdir * T[s.base_mdir];
+    for (int j = 0; j < 3; ++j) {
+      if (s.sub1[j] >= 0) acc += s.c_sub1[j] * x[j] * T[s.sub1[j]];
+      if (s.sub2[j] >= 0) acc += s.c_sub2[j] * T[s.sub2[j]];
+    }
+    T[c] = -acc * uinv;
+  }
+}
+
+void p2m(std::span<const Source> parts, const Vec3& center, int p, double* M) {
+  double pw[kFmmCoefMax];
+  const int np = coef_count(p);
+  for (const Source& s : parts) {
+    power_table(center - s.pos, p, pw);
+    for (int c = 0; c < np; ++c) M[c] += s.mass * pw[c];
+  }
+}
+
+void m2m(const double* mc, const Vec3& zc, const Vec3& zp, int p, double* mp) {
+  const fmm_tables::Tables& t = fmm_tables::tables();
+  double pw[kFmmCoefMax];
+  power_table(zp - zc, p, pw);
+  const int np = coef_count(p);
+  for (int c1 = 0; c1 < np; ++c1) {
+    if (mc[c1] == 0.0) continue;
+    const int rem = p - t.order[c1];
+    const int nd = coef_count(rem);
+    const std::uint16_t* row = t.sum.data() + c1 * kFmmCoefMax;
+    for (int c2 = 0; c2 < nd; ++c2) {
+      mp[row[c2]] += mc[c1] * pw[c2];
+    }
+  }
+}
+
+void m2l_scalar(const double* M, const Vec3& zb, const Vec3& za, double eps2,
+                int p, double* L) {
+  const fmm_tables::Tables& t = fmm_tables::tables();
+  double T[kFmmTensorMax];
+  kernel_tensors(za - zb, eps2, m2l_tensor_order(p), T);
+  const int np = coef_count(p);
+  for (int g = 0; g < np; ++g) {
+    const std::uint16_t* row = t.sum.data() + g * kFmmCoefMax;
+    const int nb = coef_count(m2l_source_order(p, t.order[g]));
+    double acc = 0.0;
+    for (int b = 0; b < nb; ++b) {
+      acc += M[b] * T[row[b]];
+    }
+    L[g] += acc;
+  }
+}
+
+void l2l(const double* lp, const Vec3& zp, const Vec3& zc, int p, double* lc) {
+  const fmm_tables::Tables& t = fmm_tables::tables();
+  double pw[kFmmCoefMax];
+  power_table(zc - zp, p, pw);
+  const int np = coef_count(p);
+  for (int c1 = 0; c1 < np; ++c1) {
+    const int rem = p - t.order[c1];
+    const int nd = coef_count(rem);
+    const std::uint16_t* row = t.sum.data() + c1 * kFmmCoefMax;
+    double acc = 0.0;
+    for (int c2 = 0; c2 < nd; ++c2) {
+      acc += lp[row[c2]] * pw[c2];
+    }
+    lc[c1] += acc;
+  }
+}
+
+Accel l2p_scalar(const double* L, const Vec3& center, const Vec3& pos, int p) {
+  const fmm_tables::Tables& t = fmm_tables::tables();
+  double pw[kFmmCoefMax];
+  power_table(pos - center, p, pw);
+  double psi = 0.0, ax = 0.0, ay = 0.0, az = 0.0;
+  const int np = coef_count(p);
+  const int ng = coef_count(p - 1);
+  for (int c = 0; c < np; ++c) psi += L[c] * pw[c];
+  // The gradient's multinomial weights cancel: d/dx sum L_g s^g/g! =
+  // sum L_{g+e_x} s^g/g! over |g| <= p-1.
+  for (int c = 0; c < ng; ++c) {
+    ax += L[t.shift[0][c]] * pw[c];
+    ay += L[t.shift[1][c]] * pw[c];
+    az += L[t.shift[2][c]] * pw[c];
+  }
+  return Accel{{ax, ay, az}, -psi};
+}
+
+}  // namespace ss::gravity

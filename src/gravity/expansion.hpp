@@ -1,0 +1,190 @@
+// Cartesian Taylor expansions — the operator algebra behind the FMM far
+// field (P2M, M2M, M2L, L2L, L2P).
+//
+// Everything is built on the softened kernel g(r) = (|r|^2 + eps^2)^{-1/2},
+// the same Plummer form the particle kernels integrate, so the far field
+// converges to the *softened* direct sum, not the bare 1/r one. A cell's
+// multipole coefficients about its expansion center z are
+//
+//   M_beta = sum_q m_q (z - x_q)^beta / beta!            (P2M)
+//
+// and the local expansion of a well-separated source cell B at a target
+// cell A's center is the contraction
+//
+//   Lambda_gamma += sum_beta M_beta T_{beta+gamma}(z_A - z_B)   (M2L)
+//
+// with T_alpha = D^alpha g the derivative tensors of the kernel. T is
+// generated to order 2p by a recurrence obtained from differentiating the
+// identity u * d_i g + x_i * g = 0 (u = r^2 + eps^2) with Leibniz:
+//
+//   u T_{a+e_i} = -( x_i T_a + a_i T_{a-e_i}
+//                    + sum_j 2 a_j x_j T_{a+e_i-e_j}
+//                    + sum_j a_j (a_j - 1) T_{a+e_i-2e_j} )
+//
+// which needs one reciprocal square root (T_0) and one division per
+// displacement — every subsequent coefficient is adds and multiplies, the
+// same property the Karp rsqrt gives the particle kernels. Translations
+// (M2M up, L2L down) are exact truncated-polynomial convolutions with
+// t^delta / delta!; L2P evaluates Lambda and its gradient at a body.
+//
+// Multi-indices are flattened by total order n = i+j+k, then by i
+// descending / j descending — coef_index() below is the closed form. All
+// operator loops are driven by small static metadata tables so the SIMD
+// instantiations (fmm_simd.inl) share the exact traversal order with the
+// scalar oracles here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "gravity/kernels.hpp"
+#include "support/vec3.hpp"
+
+namespace ss::gravity {
+
+/// Runtime bounds of the FMM accuracy dial (expansion order p).
+inline constexpr int kFmmMinOrder = 2;
+inline constexpr int kFmmMaxOrder = 6;
+/// Tensor bound: M2L contracts trimmed pairs |beta|+|gamma| <= p+2 (see
+/// m2l_tensor_order below), but the operator *unit tests* exercise the
+/// full-box contraction too, so the tables still span order 2p.
+inline constexpr int kFmmMaxTensorOrder = 2 * kFmmMaxOrder;
+
+/// Number of coefficients in a Cartesian expansion truncated at total
+/// order p: C(p+3, 3).
+constexpr int coef_count(int p) { return (p + 1) * (p + 2) * (p + 3) / 6; }
+
+/// Flat index of multi-index (i, j, k): groups by total order n = i+j+k,
+/// within a group i descends, then j descends.
+constexpr int coef_index(int i, int j, int k) {
+  const int n = i + j + k;
+  const int a = n - i;  // 0..n
+  return n * (n + 1) * (n + 2) / 6 + a * (a + 1) / 2 + k;
+}
+
+inline constexpr int kFmmCoefMax = coef_count(kFmmMaxOrder);          // 84
+inline constexpr int kFmmTensorMax = coef_count(kFmmMaxTensorOrder);  // 455
+
+namespace fmm_tables {
+
+/// One step of the derivative-tensor recurrence: produces the coefficient
+/// of multi-index alpha = alpha' + e_dir from already-computed lower
+/// entries. Index fields are -1 when the corresponding multi-index has a
+/// negative component (term absent).
+struct TensorStep {
+  std::int16_t base;       ///< coef_index(alpha')
+  std::int16_t base_mdir;  ///< coef_index(alpha' - e_dir) or -1
+  std::int16_t sub1[3];    ///< coef_index(alpha' + e_dir - e_j) or -1
+  std::int16_t sub2[3];    ///< coef_index(alpha' + e_dir - 2 e_j) or -1
+  double c_base_mdir;      ///< alpha'_dir
+  double c_sub1[3];        ///< 2 alpha'_j
+  double c_sub2[3];        ///< alpha'_j (alpha'_j - 1)
+  std::uint8_t dir;        ///< differentiation axis i
+};
+
+struct Tables {
+  /// Multi-index components of every coefficient up to the tensor bound.
+  std::array<std::uint8_t, kFmmTensorMax> ix, iy, iz;
+  /// Total order i+j+k of every coefficient.
+  std::array<std::uint8_t, kFmmTensorMax> order;
+  /// Recurrence metadata; entry 0 is unused (T_0 is the kernel itself).
+  std::array<TensorStep, kFmmTensorMax> step;
+  /// sum[b * kFmmCoefMax + g] = coef_index(beta + gamma) for expansion
+  /// coefficients b, g (always <= 2 * kFmmMaxOrder, so always valid).
+  std::array<std::uint16_t, kFmmCoefMax * kFmmCoefMax> sum;
+  /// coef_index(alpha + e_axis); valid while |alpha| < kFmmMaxTensorOrder.
+  std::array<std::uint16_t, kFmmCoefMax> shift[3];
+};
+
+/// The process-wide metadata tables (built on first use, immutable after).
+const Tables& tables();
+
+}  // namespace fmm_tables
+
+/// Derivative tensors of the softened kernel: T[c] = D^alpha g(r) for all
+/// |alpha| <= p_tensor, with u = |r|^2 + eps2 strictly positive. T must
+/// hold coef_count(p_tensor) doubles.
+void kernel_tensors(const Vec3& r, double eps2, int p_tensor, double* T);
+
+/// P2M: accumulate the multipoles of `parts` about `center` into M
+/// (coef_count(p) doubles, caller-zeroed).
+void p2m(std::span<const Source> parts, const Vec3& center, int p, double* M);
+
+/// M2M: accumulate a child expansion (about zc) into its parent (about
+/// zp). Exact for truncated expansions.
+void m2m(const double* mc, const Vec3& zc, const Vec3& zp, int p, double* mp);
+
+/// M2L truncation: the full box |beta| <= p, |gamma| <= p would contract
+/// against tensors up to order 2p, but every pair with |beta|+|gamma| >
+/// p+2 contributes O(rho^{p+3}) — far below the O(rho^{p+1}) corner
+/// truncation error that dominates the translation — so M2L keeps only
+/// |beta|+|gamma| <= p+2. That caps the tensor recurrence at order p+2
+/// (84 tensors at p=4 instead of 165) and turns the per-gamma source sum
+/// into a prefix of the order-sorted coefficient array.
+constexpr int m2l_tensor_order(int p) { return p + 2 < 2 * p ? p + 2 : 2 * p; }
+/// Highest source order contracted for a target coefficient of order og.
+constexpr int m2l_source_order(int p, int og) {
+  const int rem = m2l_tensor_order(p) - og;
+  return rem < p ? rem : p;
+}
+
+/// M2L scalar oracle: accumulate into L (about za) the local coefficients
+/// of source multipoles M (about zb). Requires za != zb or eps2 > 0.
+void m2l_scalar(const double* M, const Vec3& zb, const Vec3& za, double eps2,
+                int p, double* L);
+
+/// L2L: accumulate a parent local expansion (about zp) into a child's
+/// (about zc). Exact: re-centering a degree-p polynomial loses nothing.
+void l2l(const double* lp, const Vec3& zp, const Vec3& zc, int p, double* lc);
+
+/// L2P scalar oracle: field of the local expansion (about `center`) at
+/// `pos`, in the sign convention of the particle kernels (phi negative
+/// for attracting masses, a pointing toward them).
+Accel l2p_scalar(const double* L, const Vec3& center, const Vec3& pos, int p);
+
+// ---------------------------------------------------------------------------
+// Explicit-SIMD operator kernels (runtime ISA dispatch, fmm_dispatch.hpp).
+// One call processes exactly fmm_simd_width() lanes; callers pad the last
+// group — a zero-mass multipole at unit displacement is an exact no-op
+// for m2l, surplus l2p lanes are discarded.
+// ---------------------------------------------------------------------------
+
+/// Lane width of the active explicit-SIMD FMM backend (1 for scalar).
+int fmm_simd_width();
+
+/// Batched M2L: accumulate into L (coef_count(p) doubles) the local
+/// contributions of fmm_simd_width() source cells. msoa holds the source
+/// multipoles laid out [coef][lane]; dx/dy/dz the per-lane displacements
+/// z_target - z_source.
+void m2l_simd(const double* msoa, const double* dx, const double* dy,
+              const double* dz, double eps2, int p, double* L);
+
+/// Batched L2P: evaluate a local expansion at fmm_simd_width() body
+/// offsets s from the expansion center, writing per-lane accelerations
+/// and *positive* potential psi (negate once to match Accel::phi).
+void l2p_simd(const double* L, const double* sx, const double* sy,
+              const double* sz, int p, double* ax, double* ay, double* az,
+              double* psi);
+
+/// Flops charged per operator application at order p, in the spirit of
+/// the Warren-Salmon per-interaction accounting: the M2L figure covers
+/// the tensor recurrence plus the coefficient contraction; translations
+/// are pure convolutions; L2P is per body.
+inline std::uint64_t fmm_flops_m2l(int p) {
+  std::uint64_t pairs = 0;
+  for (int og = 0; og <= p; ++og) {
+    const std::uint64_t targets = static_cast<std::uint64_t>(og + 1) * (og + 2) / 2;
+    pairs += targets * static_cast<std::uint64_t>(coef_count(m2l_source_order(p, og)));
+  }
+  return static_cast<std::uint64_t>(9 * coef_count(m2l_tensor_order(p))) +
+         2 * pairs;
+}
+inline std::uint64_t fmm_flops_translate(int p) {
+  return static_cast<std::uint64_t>(2 * coef_count(p)) * coef_count(p);
+}
+inline std::uint64_t fmm_flops_l2p(int p) {
+  return static_cast<std::uint64_t>(8 * coef_count(p));
+}
+
+}  // namespace ss::gravity

@@ -1,0 +1,32 @@
+// AVX2+FMA instantiation of the explicit-SIMD FMM operators. Compiled
+// with -mavx2 -mfma where available (see CMakeLists.txt); otherwise the
+// guard leaves the TU empty and the accessor reports the backend absent.
+#include "gravity/fmm_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_AVX2)
+
+#include "gravity/fmm_simd.inl"
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_avx2() {
+  static const FmmKernelTable table{
+      simd::Avx2Vec::kWidth,
+      &vec_kernels::fmm_m2l<simd::Avx2Vec>,
+      &vec_kernels::fmm_l2p<simd::Avx2Vec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail
+
+#else  // !SS_SIMD_HAVE_AVX2
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_avx2() { return nullptr; }
+
+}  // namespace ss::gravity::detail
+
+#endif

@@ -1,0 +1,31 @@
+// AVX-512F instantiation of the explicit-SIMD FMM operators. Compiled
+// with -mavx512f where available; empty otherwise.
+#include "gravity/fmm_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_AVX512)
+
+#include "gravity/fmm_simd.inl"
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_avx512() {
+  static const FmmKernelTable table{
+      simd::Avx512Vec::kWidth,
+      &vec_kernels::fmm_m2l<simd::Avx512Vec>,
+      &vec_kernels::fmm_l2p<simd::Avx512Vec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail
+
+#else  // !SS_SIMD_HAVE_AVX512
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_avx512() { return nullptr; }
+
+}  // namespace ss::gravity::detail
+
+#endif

@@ -1,0 +1,52 @@
+// Internal dispatch table for the explicit-SIMD FMM operator kernels.
+//
+// Mirrors batch_dispatch.hpp: each backend translation unit
+// (fmm_scalar_vec.cpp, fmm_avx2.cpp, fmm_avx512.cpp, fmm_neon.cpp)
+// instantiates the templated operators from fmm_simd.inl for its vector
+// type and exposes them through one of the accessors below; a backend not
+// compiled into this binary returns nullptr. Resolution against the
+// runtime ISA selection happens in fmm_simd.cpp.
+//
+// Unlike the particle-tile kernels, these operate on fixed-width lane
+// groups: one call processes exactly `width` source cells (m2l) or
+// `width` bodies (l2p); the caller pads the last group (zero-mass
+// multipoles at unit displacement are exact no-ops for m2l, surplus l2p
+// lanes are simply discarded).
+#pragma once
+
+#include <cstddef>
+
+#include "gravity/expansion.hpp"
+#include "simd/isa.hpp"
+
+namespace ss::gravity::detail {
+
+struct FmmKernelTable {
+  int width = 1;
+  /// Accumulate into L (coef_count(p) doubles) the local-expansion
+  /// contributions of `width` source cells: multipoles in msoa laid out
+  /// [coef][lane], displacements d = z_target - z_source per lane.
+  void (*m2l)(const double* msoa, const double* dx, const double* dy,
+              const double* dz, double eps2, int p, double* L) = nullptr;
+  /// Evaluate the local expansion at `width` body offsets s from the
+  /// expansion center: per-lane acceleration and *positive* potential
+  /// (the caller negates once, matching the scalar oracle's convention).
+  void (*l2p)(const double* L, const double* sx, const double* sy,
+              const double* sz, int p, double* ax, double* ay, double* az,
+              double* psi) = nullptr;
+};
+
+/// Always available.
+const FmmKernelTable* fmm_kernels_scalar();
+/// nullptr unless this binary carries the backend.
+const FmmKernelTable* fmm_kernels_avx2();
+const FmmKernelTable* fmm_kernels_neon();
+const FmmKernelTable* fmm_kernels_avx512();
+
+/// Table for an explicit ISA, or nullptr if not compiled in.
+const FmmKernelTable* fmm_kernels_for(simd::Isa isa);
+
+/// Table for the active ISA, falling back to scalar. Never nullptr.
+const FmmKernelTable& fmm_kernels_active();
+
+}  // namespace ss::gravity::detail

@@ -1,0 +1,31 @@
+// NEON (AArch64) instantiation of the explicit-SIMD FMM operators. NEON
+// is baseline on AArch64, so no special flags; empty elsewhere.
+#include "gravity/fmm_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#if defined(SS_SIMD_HAVE_NEON)
+
+#include "gravity/fmm_simd.inl"
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_neon() {
+  static const FmmKernelTable table{
+      simd::NeonVec::kWidth,
+      &vec_kernels::fmm_m2l<simd::NeonVec>,
+      &vec_kernels::fmm_l2p<simd::NeonVec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail
+
+#else  // !SS_SIMD_HAVE_NEON
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_neon() { return nullptr; }
+
+}  // namespace ss::gravity::detail
+
+#endif

@@ -1,0 +1,20 @@
+// Scalar (width-1) instantiation of the explicit-SIMD FMM operators —
+// always compiled, the dispatch fallback and the parity reference for
+// the wide backends.
+#include "gravity/fmm_dispatch.hpp"
+#include "simd/vec.hpp"
+
+#include "gravity/fmm_simd.inl"
+
+namespace ss::gravity::detail {
+
+const FmmKernelTable* fmm_kernels_scalar() {
+  static const FmmKernelTable table{
+      simd::ScalarVec::kWidth,
+      &vec_kernels::fmm_m2l<simd::ScalarVec>,
+      &vec_kernels::fmm_l2p<simd::ScalarVec>,
+  };
+  return &table;
+}
+
+}  // namespace ss::gravity::detail

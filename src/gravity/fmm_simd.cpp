@@ -1,0 +1,45 @@
+// Runtime dispatch front end for the explicit-SIMD FMM operator kernels,
+// following batch_simd.cpp: simd::active() picks the ISA once, mapped
+// here to the per-backend table with a scalar fallback.
+#include "gravity/fmm_dispatch.hpp"
+
+namespace ss::gravity {
+
+namespace detail {
+
+const FmmKernelTable* fmm_kernels_for(simd::Isa isa) {
+  switch (isa) {
+    case simd::Isa::scalar:
+      return fmm_kernels_scalar();
+    case simd::Isa::avx2:
+      return fmm_kernels_avx2();
+    case simd::Isa::neon:
+      return fmm_kernels_neon();
+    case simd::Isa::avx512:
+      return fmm_kernels_avx512();
+  }
+  return nullptr;
+}
+
+const FmmKernelTable& fmm_kernels_active() {
+  const FmmKernelTable* t = fmm_kernels_for(simd::active());
+  if (t == nullptr) t = fmm_kernels_scalar();
+  return *t;
+}
+
+}  // namespace detail
+
+int fmm_simd_width() { return detail::fmm_kernels_active().width; }
+
+void m2l_simd(const double* msoa, const double* dx, const double* dy,
+              const double* dz, double eps2, int p, double* L) {
+  detail::fmm_kernels_active().m2l(msoa, dx, dy, dz, eps2, p, L);
+}
+
+void l2p_simd(const double* L, const double* sx, const double* sy,
+              const double* sz, int p, double* ax, double* ay, double* az,
+              double* psi) {
+  detail::fmm_kernels_active().l2p(L, sx, sy, sz, p, ax, ay, az, psi);
+}
+
+}  // namespace ss::gravity

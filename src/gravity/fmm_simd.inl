@@ -1,0 +1,109 @@
+// Explicit-SIMD FMM operator kernels, templated over a simd::*Vec
+// backend — the vectorized counterparts of the scalar oracles in
+// expansion.cpp.
+//
+// The lane dimension is the *fan-out* of the dual-tree traversal: m2l
+// translates kWidth source cells into one target cell's local expansion
+// at once (the derivative-tensor recurrence runs on vectors of
+// displacements, then the coefficient contraction reduces each lane group
+// with one horizontal sum per output coefficient), and l2p evaluates one
+// cell's expansion at kWidth bodies at once. Both walk the exact static
+// metadata tables the scalar oracles use, so lane order — and therefore
+// the bitwise result for a fixed interaction list — is identical on every
+// backend width for identical inputs, and agreement with the oracles is
+// pinned at <= 1e-12 by tests.
+//
+// Not a standalone header — include after gravity/expansion.hpp and
+// simd/vec.hpp inside namespace ss::gravity.
+
+namespace ss::gravity::vec_kernels {
+
+template <class V>
+void fmm_m2l(const double* __restrict msoa, const double* __restrict dx,
+             const double* __restrict dy, const double* __restrict dz,
+             double eps2, int p, double* __restrict L) {
+  const fmm_tables::Tables& tb = fmm_tables::tables();
+  const V x = V::load(dx), y = V::load(dy), z = V::load(dz);
+  const V u = V::fma(x, x, V::fma(y, y, z * z)) + V::broadcast(eps2);
+  const V uinv = V::broadcast(1.0) / u;
+  const V xs[3] = {x, y, z};
+
+  // Derivative tensors to the trimmed M2L order (p+2), one vector of
+  // displacements at a time.
+  V T[kFmmTensorMax];
+  T[0] = V::rsqrt(u);
+  const int nt = coef_count(m2l_tensor_order(p));
+  for (int c = 1; c < nt; ++c) {
+    const fmm_tables::TensorStep& s = tb.step[c];
+    V acc = xs[s.dir] * T[s.base];
+    if (s.base_mdir >= 0) {
+      acc = V::fma(V::broadcast(s.c_base_mdir), T[s.base_mdir], acc);
+    }
+    for (int j = 0; j < 3; ++j) {
+      if (s.sub1[j] >= 0) {
+        acc = V::fma(V::broadcast(s.c_sub1[j]) * xs[j], T[s.sub1[j]], acc);
+      }
+      if (s.sub2[j] >= 0) {
+        acc = V::fma(V::broadcast(s.c_sub2[j]), T[s.sub2[j]], acc);
+      }
+    }
+    T[c] = V::fnma(acc, uinv, V::zero());
+  }
+
+  // Contraction: Lambda_g += sum_b M_b T_{b+g} over the trimmed pair set
+  // |beta|+|gamma| <= p+2 (an order-sorted prefix per gamma), reduced
+  // across lanes.
+  const int np = coef_count(p);
+  for (int g = 0; g < np; ++g) {
+    const std::uint16_t* row = tb.sum.data() + g * kFmmCoefMax;
+    const int nb = coef_count(m2l_source_order(p, tb.order[g]));
+    V acc = V::zero();
+    for (int b = 0; b < nb; ++b) {
+      acc = V::fma(V::load(msoa + b * V::kWidth), T[row[b]], acc);
+    }
+    L[g] += acc.hsum();
+  }
+}
+
+template <class V>
+void fmm_l2p(const double* __restrict L, const double* __restrict sx,
+             const double* __restrict sy, const double* __restrict sz, int p,
+             double* __restrict ax, double* __restrict ay,
+             double* __restrict az, double* __restrict psi) {
+  const fmm_tables::Tables& tb = fmm_tables::tables();
+  const V x = V::load(sx), y = V::load(sy), z = V::load(sz);
+
+  // Normalized powers s^alpha / alpha! per lane, separable per axis.
+  V px[kFmmMaxOrder + 1], py[kFmmMaxOrder + 1], pz[kFmmMaxOrder + 1];
+  px[0] = py[0] = pz[0] = V::broadcast(1.0);
+  for (int n = 1; n <= p; ++n) {
+    const V inv = V::broadcast(1.0 / n);
+    px[n] = px[n - 1] * x * inv;
+    py[n] = py[n - 1] * y * inv;
+    pz[n] = pz[n - 1] * z * inv;
+  }
+  V pw[kFmmCoefMax];
+  const int np = coef_count(p);
+  for (int c = 0; c < np; ++c) {
+    pw[c] = px[tb.ix[c]] * py[tb.iy[c]] * pz[tb.iz[c]];
+  }
+
+  V vpsi = V::zero(), vax = V::zero(), vay = V::zero(), vaz = V::zero();
+  for (int c = 0; c < np; ++c) {
+    vpsi = V::fma(V::broadcast(L[c]), pw[c], vpsi);
+  }
+  // Gradient: the multinomial weights cancel against the shifted
+  // factorials, so it is the same weighted sum over shifted coefficients.
+  const int ng = coef_count(p - 1);
+  for (int c = 0; c < ng; ++c) {
+    vax = V::fma(V::broadcast(L[tb.shift[0][c]]), pw[c], vax);
+    vay = V::fma(V::broadcast(L[tb.shift[1][c]]), pw[c], vay);
+    vaz = V::fma(V::broadcast(L[tb.shift[2][c]]), pw[c], vaz);
+  }
+  vax.store(ax);
+  vay.store(ay);
+  vaz.store(az);
+  vpsi.store(psi);
+}
+
+}  // namespace ss::gravity::vec_kernels

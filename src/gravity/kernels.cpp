@@ -1,7 +1,9 @@
 #include "gravity/kernels.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cmath>
 
 namespace ss::gravity {
@@ -128,9 +130,64 @@ template Accel interact<RsqrtMethod::karp>(const Vec3&, std::span<const Source>,
 
 Accel interact(const Vec3& target, std::span<const Source> sources, double eps2,
                RsqrtMethod method) {
-  return method == RsqrtMethod::libm
+  return resolve_rsqrt(method, RsqrtFlavor::scalar) == RsqrtMethod::libm
              ? interact<RsqrtMethod::libm>(target, sources, eps2)
              : interact<RsqrtMethod::karp>(target, sources, eps2);
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark-driven auto_select resolution.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+namespace {
+
+/// Deterministic positive normals spanning several octaves — the shape of
+/// softened squared distances.
+void fill_bench_input(double* x, std::size_t n) {
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    x[i] = 0.25 + static_cast<double>(s >> 40) * (1.0 / (1 << 20));
+  }
+}
+
+}  // namespace
+
+bool karp_wins_scalar() {
+  constexpr std::size_t kN = 4096;
+  constexpr int kTrials = 5;
+  static double x[kN];
+  fill_bench_input(x, kN);
+  (void)karp_table();  // build the seed table outside the timed region
+  volatile double sink = 0.0;
+  double best_libm = 1e300, best_karp = 1e300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto t0 = std::chrono::steady_clock::now();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kN; ++i) acc += rsqrt_libm(x[i]);
+    auto t1 = std::chrono::steady_clock::now();
+    sink = sink + acc;
+    acc = 0.0;
+    for (std::size_t i = 0; i < kN; ++i) acc += rsqrt_karp(x[i]);
+    auto t2 = std::chrono::steady_clock::now();
+    sink = sink + acc;
+    best_libm = std::min(best_libm,
+                         std::chrono::duration<double>(t1 - t0).count());
+    best_karp = std::min(best_karp,
+                         std::chrono::duration<double>(t2 - t1).count());
+  }
+  return best_karp < best_libm;
+}
+
+}  // namespace detail
+
+RsqrtMethod rsqrt_auto_choice(RsqrtFlavor flavor) {
+  static const RsqrtMethod scalar_choice =
+      detail::karp_wins_scalar() ? RsqrtMethod::karp : RsqrtMethod::libm;
+  static const RsqrtMethod batch_choice =
+      detail::karp_wins_batch() ? RsqrtMethod::karp : RsqrtMethod::libm;
+  return flavor == RsqrtFlavor::scalar ? scalar_choice : batch_choice;
 }
 
 }  // namespace ss::gravity

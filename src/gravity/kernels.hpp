@@ -67,7 +67,41 @@ inline constexpr double kRsqrt2 = 0.70710678118654752440;
 
 }  // namespace detail
 
-enum class RsqrtMethod { libm, karp };
+enum class RsqrtMethod {
+  libm,
+  karp,
+  /// Resolve to whichever of the two wins a cached startup microbenchmark
+  /// on this host (measured separately for the scalar and the batched
+  /// kernel forms — the compiler may vectorize one and not the other, so
+  /// a single winner would be wrong for somebody). Table 5 on some hosts
+  /// shows scalar karp *losing* to scalar libm by >2x while batched karp
+  /// wins; hard-coding either direction leaves performance behind.
+  auto_select,
+};
+
+/// Which kernel form a resolved rsqrt choice will feed: the scalar
+/// per-interaction loops (kernels.cpp / multipole.cpp, default codegen
+/// flags) or the batched tile loops (batch.cpp, host-tuned flags).
+enum class RsqrtFlavor { scalar, batch };
+
+/// The benchmark-driven winner for `auto_select`, measured once per
+/// process per flavor on first use and cached (a few microseconds of
+/// timed loops over a deterministic input set).
+RsqrtMethod rsqrt_auto_choice(RsqrtFlavor flavor);
+
+/// Resolve a possibly-auto method for a given kernel form; `libm` and
+/// `karp` pass through untouched.
+inline RsqrtMethod resolve_rsqrt(RsqrtMethod m, RsqrtFlavor flavor) {
+  return m == RsqrtMethod::auto_select ? rsqrt_auto_choice(flavor) : m;
+}
+
+namespace detail {
+/// True when the Karp form beats the libm form in this TU's codegen;
+/// karp_wins_batch lives in batch.cpp so the measurement runs under the
+/// same tuned flags as the kernels the choice governs.
+bool karp_wins_scalar();
+bool karp_wins_batch();
+}  // namespace detail
 
 /// Accumulate the softened gravitational interaction of `sources` on the
 /// point `target`: a += -G*m*(d)/(r^2+eps^2)^{3/2}, phi += -G*m/sqrt(r2+eps2)

@@ -63,8 +63,10 @@ Accel evaluate(const Moments& m, const Vec3& target, double eps2,
                RsqrtMethod method) {
   const Vec3 r = target - m.com;  // from expansion center to target
   const double r2 = r.norm2() + eps2;
-  const double rinv = method == RsqrtMethod::libm ? rsqrt_libm(r2)
-                                                  : rsqrt_karp(r2);
+  const double rinv = resolve_rsqrt(method, RsqrtFlavor::scalar) ==
+                              RsqrtMethod::libm
+                          ? rsqrt_libm(r2)
+                          : rsqrt_karp(r2);
   const double rinv2 = rinv * rinv;
   const double rinv3 = rinv * rinv2;
   const double rinv5 = rinv3 * rinv2;

@@ -1,0 +1,448 @@
+// Dual-tree fast multipole evaluation over the hashed oct-tree — the
+// O(N) far-field backend behind Tree::accelerate_fmm_all.
+//
+// Three passes:
+//
+//   1. Upward: every leaf seeds Cartesian multipoles about its center of
+//      mass (P2M), parents accumulate shifted child moments (M2M). The
+//      expansion center is the com, so the dipole vanishes identically.
+//
+//   2. Traversal: a pair queue over (target cell, source queue) applying
+//      a *symmetric* MAC — a pair (A, B) is well-separated when the
+//      opening test passes viewed from both bounding spheres:
+//        (d - bmax_A) * kFmmMacScale * theta > bmax_B   and
+//        (d - bmax_B) * kFmmMacScale * theta > bmax_A
+//      (see kFmmMacScale in tree.hpp for the calibration).
+//      Accepted pairs emit M2L into A's local expansion; leaf-leaf pairs
+//      flush through the batched P2P tile kernels; mixed pairs split the
+//      larger cell (by bmax). Splitting the *source* appends its children
+//      to the current task's queue; splitting the *target* hands the
+//      offending sources to one new task per child — so each tree cell is
+//      the target of exactly one task, tasks own disjoint target
+//      subtrees, and every accumulation order is a function of the tree
+//      alone. That is what makes the pooled run bitwise-reproducible
+//      across pool sizes: the breadth-first sequential prologue expands
+//      the task frontier to a fixed fan-out (never a function of the pool
+//      width), and the pool then runs whole subtree tasks depth-first
+//      with single-writer output slots.
+//
+//   3. Downward: locals shift parent-to-child (L2L, exact for truncated
+//      expansions) down to the leaves, where L2P evaluates the far field
+//      at every body and adds it to the near-field P2P sums.
+//
+// The treecode walks stay untouched; accelerate_all routes here when
+// AccelParams::far_field == FarField::fmm.
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "gravity/batch.hpp"
+#include "gravity/expansion.hpp"
+#include "hot/tree.hpp"
+#include "support/task_pool.hpp"
+
+namespace ss::hot {
+
+namespace {
+
+/// Sequential prologue fan-out for both the upward/downward subtree
+/// frontier and the traversal task frontier. A constant (not derived
+/// from the pool width) so the work decomposition — and therefore every
+/// accumulation order — is identical on every pool size.
+constexpr std::size_t kFrontierTarget = 64;
+
+struct PairTask {
+  std::uint32_t target = 0;
+  std::vector<std::uint32_t> sources;
+};
+
+/// Per-chunk working set: tiles, lane buffers and local stats. One per
+/// pool chunk, merged (integer sums) under a mutex at the end.
+struct FmmScratch {
+  gravity::SourcesSoA body_tile;
+  gravity::TileScratch tile_scratch;
+  std::vector<std::uint32_t> queue, m2l_list, p2p_list, handoff;
+  std::vector<double> msoa, dxl, dyl, dzl;            // m2l lane group
+  std::vector<double> sxl, syl, szl, axl, ayl, azl, psil;  // l2p lane group
+  FmmStats stats;
+};
+
+}  // namespace
+
+std::vector<Accel> Tree::accelerate_fmm_all(const AccelParams& params,
+                                            FmmStats* stats,
+                                            std::vector<double>* work) const {
+  const std::size_t n = bodies_.size();
+  std::vector<Accel> out(n);
+  if (work) work->assign(n, 0.0);
+  if (n == 0) return out;
+
+  const int p = std::clamp(params.p_order, gravity::kFmmMinOrder,
+                           gravity::kFmmMaxOrder);
+  const int np = gravity::coef_count(p);
+  const double theta = params.theta;
+  const double eps2 = params.eps2;
+  const bool use_simd = params.use_simd;
+  const int width = use_simd ? gravity::fmm_simd_width() : 1;
+  auto& pool = support::TaskPool::global();
+
+  // Cell-indexed coefficient arenas. Reused across calls on a persistent
+  // tree would be nicer, but the evaluation is const; the two resizes are
+  // a small fraction of a step.
+  thread_local std::vector<double> mpole_tls, local_tls;
+  auto& mpole = mpole_tls;
+  auto& local = local_tls;
+  mpole.assign(cells_.size() * static_cast<std::size_t>(np), 0.0);
+  local.assign(cells_.size() * static_cast<std::size_t>(np), 0.0);
+
+  std::mutex stats_mu;
+  FmmStats total;
+
+  // -------------------------------------------------------------------
+  // Subtree frontier for the upward/downward passes: expand whole levels
+  // until there is enough fan-out. `ancestors` collects the expanded
+  // internal cells top-down; processing them in reverse order visits
+  // children before parents.
+  // -------------------------------------------------------------------
+  std::vector<std::uint32_t> frontier{0};
+  std::vector<std::uint32_t> ancestors;
+  while (frontier.size() < kFrontierTarget) {
+    std::vector<std::uint32_t> next;
+    bool any = false;
+    for (std::uint32_t ci : frontier) {
+      const Cell& c = cells_[ci];
+      if (c.leaf) {
+        next.push_back(ci);
+        continue;
+      }
+      any = true;
+      ancestors.push_back(ci);
+      for (int o = 0; o < 8; ++o) {
+        if (c.children[o] >= 0) {
+          next.push_back(static_cast<std::uint32_t>(c.children[o]));
+        }
+      }
+    }
+    frontier.swap(next);
+    if (!any) break;
+  }
+
+  // -------------------------------------------------------------------
+  // Upward pass: P2M at leaves, M2M into parents, subtrees on the pool.
+  // -------------------------------------------------------------------
+  {
+    // Recursive subtree accumulation; children occupy higher indices, so
+    // a parent's m2m reads fully-built child coefficients.
+    auto upward_cell = [&](auto&& self, std::uint32_t ci,
+                           FmmStats& st) -> void {
+      const Cell& c = cells_[ci];
+      double* m = mpole.data() + ci * static_cast<std::size_t>(np);
+      if (c.leaf) {
+        gravity::p2m(
+            std::span<const Source>(bodies_.data() + c.first, c.count),
+            c.mom.com, p, m);
+        return;
+      }
+      for (int o = 0; o < 8; ++o) {
+        if (c.children[o] < 0) continue;
+        const auto ch = static_cast<std::uint32_t>(c.children[o]);
+        self(self, ch, st);
+        gravity::m2m(mpole.data() + ch * static_cast<std::size_t>(np),
+                     cells_[ch].mom.com, c.mom.com, p, m);
+        ++st.m2m;
+      }
+    };
+    pool.parallel_for(frontier.size(), /*grain=*/1,
+                      [&](std::size_t lo, std::size_t hi) {
+                        FmmStats st;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          upward_cell(upward_cell, frontier[i], st);
+                        }
+                        std::lock_guard<std::mutex> lk(stats_mu);
+                        total += st;
+                      });
+    // Ancestor cells sequentially, children-first.
+    for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it) {
+      const Cell& c = cells_[*it];
+      double* m = mpole.data() + *it * static_cast<std::size_t>(np);
+      for (int o = 0; o < 8; ++o) {
+        if (c.children[o] < 0) continue;
+        const auto ch = static_cast<std::uint32_t>(c.children[o]);
+        gravity::m2m(mpole.data() + ch * static_cast<std::size_t>(np),
+                     cells_[ch].mom.com, c.mom.com, p, m);
+        ++total.m2m;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Dual-tree traversal.
+  // -------------------------------------------------------------------
+
+  // Symmetric MAC: well-separated viewed from either bounding sphere,
+  // with the per-side opening ratio calibrated to kFmmMacScale * theta.
+  // The translation error of an accepted pair scales as rho^{p+1} with
+  // rho the larger of bmax_B/(d - bmax_A) and bmax_A/(d - bmax_B), so the
+  // ratio cap — not the order — sets the accuracy floor; kFmmMacScale
+  // pins the dial so theta keeps its treecode meaning as an accuracy
+  // knob while the FMM lands in the absolute-error regime the gates ask
+  // for: theta = 0.5 at p = 4 delivers <= 1e-6 RMS force error on the
+  // 10k Plummer reference (measured ~6e-7; each +1 in p buys roughly
+  // another decade at fixed theta). Geometric pair counts are
+  // p-independent, so the traversal shape — and the bitwise-determinism
+  // guarantee — does not depend on the order dial.
+  const double ratio_cap = kFmmMacScale * theta;
+  const auto mac_pair = [&](const Cell& a, const Cell& b) {
+    const double d = (a.mom.com - b.mom.com).norm();
+    return (d - a.mom.bmax) * ratio_cap > b.mom.bmax &&
+           (d - b.mom.bmax) * ratio_cap > a.mom.bmax;
+  };
+
+  // Drain one task: test every queued source against the fixed target,
+  // growing the queue in place on source splits. Flushes the target's
+  // M2L batch and (for leaf targets) its P2P tile; returns the sources
+  // to hand to the target's children, empty for leaf targets.
+  const auto process_target = [&](PairTask& t, FmmScratch& s) {
+    const Cell& a = cells_[t.target];
+    s.queue.assign(t.sources.begin(), t.sources.end());
+    s.m2l_list.clear();
+    s.p2p_list.clear();
+    s.handoff.clear();
+    for (std::size_t cur = 0; cur < s.queue.size(); ++cur) {
+      const Cell& b = cells_[s.queue[cur]];
+      if (b.count == 0) continue;
+      if (mac_pair(a, b)) {
+        s.m2l_list.push_back(s.queue[cur]);
+        continue;
+      }
+      if (a.leaf && b.leaf) {
+        s.p2p_list.push_back(s.queue[cur]);
+        continue;
+      }
+      // Split the larger side; a leaf can only split its counterpart.
+      const bool split_source =
+          a.leaf || (!b.leaf && b.mom.bmax > a.mom.bmax);
+      ++s.stats.pair_splits;
+      if (split_source) {
+        for (int o = 0; o < 8; ++o) {
+          if (b.children[o] >= 0) {
+            s.queue.push_back(static_cast<std::uint32_t>(b.children[o]));
+          }
+        }
+      } else {
+        s.handoff.push_back(s.queue[cur]);
+      }
+    }
+
+    // M2L flush into the target's local expansion (single writer: each
+    // cell is the target of exactly one task).
+    double* lam = local.data() + t.target * static_cast<std::size_t>(np);
+    s.stats.m2l += s.m2l_list.size();
+    if (use_simd && !s.m2l_list.empty()) {
+      const std::size_t w = static_cast<std::size_t>(width);
+      s.msoa.resize(static_cast<std::size_t>(np) * w);
+      s.dxl.resize(w);
+      s.dyl.resize(w);
+      s.dzl.resize(w);
+      for (std::size_t g = 0; g < s.m2l_list.size(); g += w) {
+        const std::size_t lanes = std::min(w, s.m2l_list.size() - g);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const std::uint32_t src = s.m2l_list[g + l];
+          const double* m =
+              mpole.data() + src * static_cast<std::size_t>(np);
+          for (int c = 0; c < np; ++c) s.msoa[c * w + l] = m[c];
+          const Vec3 d = a.mom.com - cells_[src].mom.com;
+          s.dxl[l] = d.x;
+          s.dyl[l] = d.y;
+          s.dzl[l] = d.z;
+        }
+        for (std::size_t l = lanes; l < w; ++l) {
+          // Zero-mass multipole at unit displacement: exact no-op.
+          for (int c = 0; c < np; ++c) s.msoa[c * w + l] = 0.0;
+          s.dxl[l] = 1.0;
+          s.dyl[l] = 0.0;
+          s.dzl[l] = 0.0;
+        }
+        gravity::m2l_simd(s.msoa.data(), s.dxl.data(), s.dyl.data(),
+                          s.dzl.data(), eps2, p, lam);
+      }
+    } else {
+      for (std::uint32_t src : s.m2l_list) {
+        gravity::m2l_scalar(mpole.data() + src * static_cast<std::size_t>(np),
+                            cells_[src].mom.com, a.mom.com, eps2, p, lam);
+      }
+    }
+
+    // Near field of a leaf target: one shared tile for the whole bucket,
+    // flushed per body (the kernels mask the r2 == 0 self lane).
+    if (a.leaf && !s.p2p_list.empty()) {
+      s.body_tile.clear();
+      for (std::uint32_t src : s.p2p_list) {
+        const Cell& b = cells_[src];
+        s.body_tile.append(bodies_.data() + b.first, b.count);
+      }
+      const double tile_work =
+          static_cast<double>(s.body_tile.size()) *
+          static_cast<double>(gravity::kFlopsPerInteraction);
+      for (std::uint32_t i = a.first; i < a.first + a.count; ++i) {
+        out[i] = use_simd
+                     ? gravity::interact_bodies_simd(bodies_[i].pos,
+                                                     s.body_tile, eps2)
+                     : gravity::interact_bodies_batch(
+                           bodies_[i].pos, s.body_tile, eps2, params.method,
+                           s.tile_scratch);
+        if (work) (*work)[i] += tile_work;
+      }
+      s.stats.p2p +=
+          static_cast<std::uint64_t>(a.count) * s.body_tile.size();
+    }
+  };
+
+  // Breadth-first sequential prologue: expand tasks until the frontier
+  // has pool-independent fan-out, then run whole target subtrees on the
+  // pool, depth-first within each task.
+  {
+    FmmScratch seq;
+    std::vector<PairTask> pending;
+    std::vector<PairTask> parallel_tasks;
+    pending.push_back(PairTask{0, {0}});
+    std::size_t head = 0;
+    while (head < pending.size() &&
+           (pending.size() - head) + parallel_tasks.size() <
+               kFrontierTarget) {
+      PairTask t = std::move(pending[head++]);
+      if (cells_[t.target].leaf) {
+        parallel_tasks.push_back(std::move(t));
+        continue;
+      }
+      process_target(t, seq);
+      for (int o = 0; o < 8; ++o) {
+        if (cells_[t.target].children[o] >= 0) {
+          pending.push_back(
+              PairTask{static_cast<std::uint32_t>(cells_[t.target].children[o]),
+                       seq.handoff});
+        }
+      }
+    }
+    for (; head < pending.size(); ++head) {
+      parallel_tasks.push_back(std::move(pending[head]));
+    }
+    total += seq.stats;
+    seq.stats = FmmStats{};
+
+    pool.parallel_for(
+        parallel_tasks.size(), /*grain=*/1,
+        [&](std::size_t lo, std::size_t hi) {
+          FmmScratch s;
+          auto run = [&](auto&& self, PairTask& t) -> void {
+            process_target(t, s);
+            if (s.handoff.empty()) return;
+            std::vector<std::uint32_t> handoff = s.handoff;
+            const Cell& a = cells_[t.target];
+            for (int o = 0; o < 8; ++o) {
+              if (a.children[o] < 0) continue;
+              PairTask child{static_cast<std::uint32_t>(a.children[o]),
+                             handoff};
+              self(self, child);
+            }
+          };
+          for (std::size_t i = lo; i < hi; ++i) {
+            run(run, parallel_tasks[i]);
+          }
+          std::lock_guard<std::mutex> lk(stats_mu);
+          total += s.stats;
+        });
+  }
+
+  // -------------------------------------------------------------------
+  // Downward pass: L2L down to the leaves, L2P at every body. Reuses the
+  // upward frontier: ancestors sequentially (parents before children),
+  // then disjoint subtrees on the pool.
+  // -------------------------------------------------------------------
+  {
+    const auto push_children = [&](std::uint32_t ci, FmmStats& st) {
+      const Cell& c = cells_[ci];
+      const double* lam = local.data() + ci * static_cast<std::size_t>(np);
+      for (int o = 0; o < 8; ++o) {
+        if (c.children[o] < 0) continue;
+        const auto ch = static_cast<std::uint32_t>(c.children[o]);
+        gravity::l2l(lam, c.mom.com, cells_[ch].mom.com, p,
+                     local.data() + ch * static_cast<std::size_t>(np));
+        ++st.l2l;
+      }
+    };
+    for (std::uint32_t ci : ancestors) push_children(ci, total);
+
+    const double l2p_work = static_cast<double>(gravity::fmm_flops_l2p(p));
+    pool.parallel_for(
+        frontier.size(), /*grain=*/1, [&](std::size_t lo, std::size_t hi) {
+          FmmScratch s;
+          auto down = [&](auto&& self, std::uint32_t ci) -> void {
+            const Cell& c = cells_[ci];
+            if (!c.leaf) {
+              push_children(ci, s.stats);
+              for (int o = 0; o < 8; ++o) {
+                if (c.children[o] >= 0) {
+                  self(self, static_cast<std::uint32_t>(c.children[o]));
+                }
+              }
+              return;
+            }
+            if (c.count == 0) return;
+            const double* lam =
+                local.data() + ci * static_cast<std::size_t>(np);
+            if (use_simd) {
+              const std::size_t w = static_cast<std::size_t>(width);
+              s.sxl.resize(w);
+              s.syl.resize(w);
+              s.szl.resize(w);
+              s.axl.resize(w);
+              s.ayl.resize(w);
+              s.azl.resize(w);
+              s.psil.resize(w);
+              for (std::uint32_t b0 = c.first; b0 < c.first + c.count;
+                   b0 += static_cast<std::uint32_t>(w)) {
+                const std::size_t lanes =
+                    std::min<std::size_t>(w, c.first + c.count - b0);
+                for (std::size_t l = 0; l < lanes; ++l) {
+                  const Vec3 d = bodies_[b0 + l].pos - c.mom.com;
+                  s.sxl[l] = d.x;
+                  s.syl[l] = d.y;
+                  s.szl[l] = d.z;
+                }
+                for (std::size_t l = lanes; l < w; ++l) {
+                  s.sxl[l] = s.syl[l] = s.szl[l] = 0.0;  // discarded
+                }
+                gravity::l2p_simd(lam, s.sxl.data(), s.syl.data(),
+                                  s.szl.data(), p, s.axl.data(),
+                                  s.ayl.data(), s.azl.data(), s.psil.data());
+                for (std::size_t l = 0; l < lanes; ++l) {
+                  Accel& acc = out[b0 + l];
+                  acc.a += Vec3{s.axl[l], s.ayl[l], s.azl[l]};
+                  acc.phi -= s.psil[l];
+                }
+              }
+            } else {
+              for (std::uint32_t i = c.first; i < c.first + c.count; ++i) {
+                out[i] += gravity::l2p_scalar(lam, c.mom.com, bodies_[i].pos,
+                                              p);
+              }
+            }
+            s.stats.l2p += c.count;
+            if (work) {
+              for (std::uint32_t i = c.first; i < c.first + c.count; ++i) {
+                (*work)[i] += l2p_work;
+              }
+            }
+          };
+          for (std::size_t i = lo; i < hi; ++i) down(down, frontier[i]);
+          std::lock_guard<std::mutex> lk(stats_mu);
+          total += s.stats;
+        });
+  }
+
+  if (stats) *stats += total;
+  return out;
+}
+
+}  // namespace ss::hot

@@ -177,6 +177,11 @@ struct GravityEngine::Impl {
       c_pool_run_ = &reg.counter("pool.tasks_run");
       c_pool_stolen_ = &reg.counter("pool.tasks_stolen");
       c_pool_steals_failed_ = &reg.counter("pool.steals_failed");
+      c_fmm_p2p_ = &reg.counter("fmm.p2p");
+      c_fmm_m2l_ = &reg.counter("fmm.m2l");
+      c_fmm_l2l_ = &reg.counter("fmm.l2l");
+      c_fmm_l2p_ = &reg.counter("fmm.l2p");
+      c_fmm_splits_ = &reg.counter("fmm.pair_splits");
     }
     // The work-stealing pool is process-global (tree build, Morton sort
     // and the pooled traversal all share it); a non-zero pool_threads
@@ -333,6 +338,11 @@ struct GravityEngine::Impl {
   obs::Counter* c_pool_run_ = nullptr;
   obs::Counter* c_pool_stolen_ = nullptr;
   obs::Counter* c_pool_steals_failed_ = nullptr;
+  obs::Counter* c_fmm_p2p_ = nullptr;
+  obs::Counter* c_fmm_m2l_ = nullptr;
+  obs::Counter* c_fmm_l2l_ = nullptr;
+  obs::Counter* c_fmm_l2p_ = nullptr;
+  obs::Counter* c_fmm_splits_ = nullptr;
   // Last-mirrored pool totals: the pool's counters are process-wide and
   // monotone, the obs counters per rank recorder — each step() adds the
   // delta on rank 0 only, so an aggregated summary is not multiplied by
@@ -984,6 +994,57 @@ void GravityEngine::Impl::prefetch() {
 
 void GravityEngine::Impl::run_walks(GravityResult& out) {
   const auto n = tree_.bodies().size();
+
+  // Dual-tree FMM backend (single-rank only; multi-rank falls through to
+  // the treecode walks — see ParallelConfig::far_field). The prefetch
+  // ledger machinery is moot here: everything resolves locally.
+  if (cfg_.far_field == FarField::fmm && comm_.size() == 1) {
+    if (obs_ != nullptr) obs_->begin("gravity.traverse");
+    AccelParams params;
+    params.theta = cfg_.theta;
+    params.eps2 = cfg_.eps2;
+    params.method = cfg_.method;
+    params.far_field = FarField::fmm;
+    params.p_order = cfg_.p_order;
+    params.use_simd = cfg_.batch_interactions && cfg_.simd_kernels;
+    FmmStats fs;
+    out.accel = tree_.accelerate_fmm_all(params, &fs, &out.work);
+    const int p = std::clamp(params.p_order, gravity::kFmmMinOrder,
+                             gravity::kFmmMaxOrder);
+    const std::uint64_t flops = fs.flops(p);
+    stats_.traverse.body_interactions += fs.p2p;
+    stats_.traverse.cell_interactions += fs.m2l;
+    stats_.traverse.cells_opened += fs.pair_splits;
+    if (params.use_simd) {
+      stats_.batched_body_interactions += fs.p2p;
+      stats_.batched_cell_interactions += fs.m2l;
+    } else {
+      stats_.scalar_body_interactions += fs.p2p;
+      stats_.scalar_cell_interactions += fs.m2l;
+    }
+    if (cfg_.charge_compute) comm_.compute_work(flops, 0);
+    // Trivially quiet: no remote traffic exists on one rank.
+    sent_quiet_ = true;
+    done_ = true;
+    if (obs_ != nullptr) {
+      c_fmm_p2p_->add(fs.p2p);
+      c_fmm_m2l_->add(fs.m2l);
+      c_fmm_l2l_->add(fs.l2l);
+      c_fmm_l2p_->add(fs.l2p);
+      c_fmm_splits_->add(fs.pair_splits);
+      obs_->registry().gauge("fmm.p_order").set(static_cast<double>(p));
+      obs_->end();  // gravity.traverse
+      obs_->begin("gravity.terminate");
+      obs_->end();
+      obs_->registry()
+          .gauge("gravity.work_flops")
+          .set(static_cast<double>(flops));
+      obs_->registry()
+          .gauge("gravity.local_bodies")
+          .set(static_cast<double>(n));
+    }
+    return;
+  }
   walks_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     walks_[i].body = static_cast<std::uint32_t>(i);
@@ -1243,6 +1304,23 @@ GravityResult GravityEngine::Impl::step(std::span<const Source> bodies,
           static_cast<double>(pool.size()));
       obs_->registry().gauge("pool.utilization").set(ps.utilization);
       pool_seen_ = ps;
+      // Host kernel calibration (cached per process, so the first step
+      // pays the microbenchmark once): 1.0 = the Karp-seeded rsqrt beat
+      // libm for that kernel flavor on this host, 0.0 = libm won. The
+      // Table 5 anomaly is precisely a host where the two flavors
+      // disagree, so both are recorded.
+      obs_->registry()
+          .gauge("gravity.rsqrt_auto_scalar")
+          .set(gravity::rsqrt_auto_choice(gravity::RsqrtFlavor::scalar) ==
+                       RsqrtMethod::karp
+                   ? 1.0
+                   : 0.0);
+      obs_->registry()
+          .gauge("gravity.rsqrt_auto_batch")
+          .set(gravity::rsqrt_auto_choice(gravity::RsqrtFlavor::batch) ==
+                       RsqrtMethod::karp
+                   ? 1.0
+                   : 0.0);
     }
   }
   out.stats = stats_;

@@ -52,6 +52,15 @@ struct ParallelConfig {
   double theta = 0.6;
   double eps2 = 0.0;
   RsqrtMethod method = RsqrtMethod::libm;
+  /// Far-field backend for the single-rank traversal: the classic
+  /// treecode walks, or the dual-tree FMM (Cartesian local expansions,
+  /// O(N)). Multi-rank runs always use the treecode walks — the FMM's
+  /// local expansions would need remote M2L partners, which the
+  /// latency-hiding machinery does not ship yet — so `fmm` silently
+  /// falls back there.
+  FarField far_field = FarField::treecode;
+  /// FMM expansion order (see AccelParams::p_order).
+  int p_order = 4;
   TreeConfig tree;
   DecompConfig decomp;
   Abm::Config abm;

@@ -153,9 +153,21 @@ Accel Tree::accelerate(const Vec3& target, double theta, double eps2,
   return out;
 }
 
-std::vector<Accel> Tree::accelerate_all(double theta, double eps2,
-                                        RsqrtMethod method,
+std::vector<Accel> Tree::accelerate_all(const AccelParams& params,
                                         TraverseStats* stats) const {
+  if (params.far_field == FarField::fmm) {
+    FmmStats fs;
+    std::vector<Accel> out = accelerate_fmm_all(params, stats ? &fs : nullptr);
+    if (stats) {
+      stats->body_interactions += fs.p2p;
+      stats->cell_interactions += fs.m2l;
+      stats->cells_opened += fs.pair_splits;
+    }
+    return out;
+  }
+  const double theta = params.theta;
+  const double eps2 = params.eps2;
+  const RsqrtMethod method = params.method;
   std::vector<Accel> out(bodies_.size());
   // Fork/join over the pool; per-chunk stats merge under a mutex (sums of
   // integers, so the merge order cannot change the totals).
@@ -177,10 +189,12 @@ std::vector<Accel> Tree::accelerate_all(double theta, double eps2,
   return out;
 }
 
-std::vector<Accel> Tree::accelerate_group_all(double theta, double eps2,
-                                              RsqrtMethod method,
-                                              TraverseStats* stats,
-                                              bool use_simd) const {
+std::vector<Accel> Tree::accelerate_group_all(const AccelParams& params,
+                                              TraverseStats* stats) const {
+  const double theta = params.theta;
+  const double eps2 = params.eps2;
+  const RsqrtMethod method = params.method;
+  const bool use_simd = params.use_simd;
   std::vector<Accel> out(bodies_.size());
   if (bodies_.empty()) return out;
 

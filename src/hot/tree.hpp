@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "gravity/expansion.hpp"
 #include "gravity/kernels.hpp"
 #include "gravity/multipole.hpp"
 #include "hot/hash_table.hpp"
@@ -50,6 +51,76 @@ struct TraverseStats {
   std::uint64_t flops() const {
     return body_interactions * gravity::kFlopsPerInteraction +
            cell_interactions * gravity::kFlopsPerCellInteraction;
+  }
+};
+
+/// Which far-field method accelerate_all uses: per-body/group tree walks
+/// (the classic treecode, O(N log N)) or the dual-tree fast multipole
+/// backend (M2L into local expansions pushed down the tree, O(N)).
+enum class FarField { treecode, fmm };
+
+/// Calibration of the FMM's symmetric MAC: a pair is accepted when both
+/// per-side opening ratios bmax_X / (d - bmax_other) stay below
+/// kFmmMacScale * theta. The treecode tolerates ratios near theta itself
+/// because it re-expands per target body; a cell-cell translation's error
+/// (~rho^{p+1}) must instead carry a whole target cell, so the FMM runs
+/// ~8x stricter per side. (A sum-form MAC gating on
+/// (bmax_A + bmax_B) / d was measured and rejected: point-vs-fat pairs
+/// dominate the error budget, and admitting them closer in exchange for
+/// stricter equal-size pairs costs ~10x the RMS error at equal pair
+/// counts — the per-side form already allocates the error budget the way
+/// the measured pair population spends it.) The constant is calibrated on
+/// the 10k Plummer reference so theta = 0.5, p = 4 lands at <= 1e-6 RMS
+/// force error.
+inline constexpr double kFmmMacScale = 0.13;
+
+/// Force-evaluation parameters, shared by the treecode and FMM paths.
+/// Replaces the loose theta/eps2/method positional arguments that had
+/// started to drift between call sites.
+struct AccelParams {
+  double theta = 0.6;  ///< Opening angle of the MAC.
+  double eps2 = 0.0;   ///< Plummer softening, squared.
+  /// rsqrt strategy for the scalar/batch kernels (the explicit-SIMD tile
+  /// kernels always use the Karp-seeded form). auto_select resolves to
+  /// the benchmark winner per kernel flavor on first use.
+  RsqrtMethod method = RsqrtMethod::auto_select;
+  FarField far_field = FarField::treecode;
+  /// FMM local-expansion order, clamped to [kFmmMinOrder, kFmmMaxOrder].
+  /// p = 4 at theta = 0.5 gives ~1e-6 RMS force error on centrally
+  /// concentrated distributions; each +1 buys roughly an order of
+  /// magnitude at ~2x the M2L cost.
+  int p_order = 4;
+  /// Flush interaction tiles / operator batches through the explicit-SIMD
+  /// dispatched kernels instead of the auto-vectorized (treecode) or
+  /// scalar-oracle (FMM) paths.
+  bool use_simd = false;
+};
+
+/// Operator counts of one dual-tree FMM evaluation.
+struct FmmStats {
+  std::uint64_t p2p = 0;          ///< Body-body interactions (leaf pairs).
+  std::uint64_t m2l = 0;          ///< Cell-cell local translations.
+  std::uint64_t l2l = 0;          ///< Parent-to-child local shifts.
+  std::uint64_t l2p = 0;          ///< Bodies evaluated from locals.
+  std::uint64_t m2m = 0;          ///< Child-to-parent moment shifts.
+  std::uint64_t pair_splits = 0;  ///< Traversal pairs split (MAC failed).
+
+  FmmStats& operator+=(const FmmStats& o) {
+    p2p += o.p2p;
+    m2l += o.m2l;
+    l2l += o.l2l;
+    l2p += o.l2p;
+    m2m += o.m2m;
+    pair_splits += o.pair_splits;
+    return *this;
+  }
+
+  /// Flops under the operator accounting in gravity/expansion.hpp.
+  std::uint64_t flops(int p_order) const {
+    return p2p * gravity::kFlopsPerInteraction +
+           m2l * gravity::fmm_flops_m2l(p_order) +
+           (l2l + m2m) * gravity::fmm_flops_translate(p_order) +
+           l2p * gravity::fmm_flops_l2p(p_order);
   }
 };
 
@@ -93,9 +164,11 @@ class Tree {
                    RsqrtMethod method = RsqrtMethod::libm,
                    TraverseStats* stats = nullptr) const;
 
-  /// Field at every body (skipping self-force), in bodies() order.
-  std::vector<Accel> accelerate_all(double theta, double eps2,
-                                    RsqrtMethod method = RsqrtMethod::libm,
+  /// Field at every body (skipping self-force), in bodies() order. With
+  /// params.far_field == FarField::fmm this routes through the dual-tree
+  /// backend (accelerate_fmm_all); stats then reports the FMM's P2P count
+  /// as body_interactions and its M2L count as cell_interactions.
+  std::vector<Accel> accelerate_all(const AccelParams& params,
                                     TraverseStats* stats = nullptr) const;
 
   /// Group-walk variant (the Warren-Salmon optimization): one traversal
@@ -105,12 +178,29 @@ class Tree {
   /// bucket's bounding sphere — so accuracy is at least that of the
   /// per-body walk at the same theta, at the cost of somewhat more
   /// interactions.
-  /// `use_simd` flushes the tiles through the explicit-SIMD dispatched
-  /// kernels instead of the auto-vectorized batch kernels (`method` is
-  /// then ignored; the SIMD path always uses the Karp-seeded rsqrt).
+  /// `params.use_simd` flushes the tiles through the explicit-SIMD
+  /// dispatched kernels instead of the auto-vectorized batch kernels
+  /// (`params.method` is then ignored; the SIMD path always uses the
+  /// Karp-seeded rsqrt). params.far_field is ignored: this entry point is
+  /// always the treecode.
   std::vector<Accel> accelerate_group_all(
-      double theta, double eps2, RsqrtMethod method = RsqrtMethod::libm,
-      TraverseStats* stats = nullptr, bool use_simd = false) const;
+      const AccelParams& params, TraverseStats* stats = nullptr) const;
+
+  /// Dual-tree fast multipole evaluation: one upward pass (P2M/M2M into
+  /// Cartesian multipoles of order params.p_order), a pair-queue
+  /// traversal with a symmetric MAC (well-separated pairs emit M2L into
+  /// per-cell local expansions, leaf-leaf pairs flush through the batched
+  /// P2P tile kernels, mixed pairs split the larger cell), and a pooled
+  /// downward pass (L2L, then L2P at every body). O(N) in the body count
+  /// at fixed accuracy. Forces are bitwise-reproducible across pool
+  /// sizes: the traversal forks only on disjoint target subtrees, so
+  /// every accumulation order is fixed by the tree, not the schedule.
+  /// If `work` is non-null it receives a per-body work estimate (flops),
+  /// in bodies() order — the decomposition weight hook.
+  std::vector<Accel> accelerate_fmm_all(const AccelParams& params,
+                                        FmmStats* stats = nullptr,
+                                        std::vector<double>* work =
+                                            nullptr) const;
 
   /// All bodies within distance h of `center` (via key-range pruned tree
   /// walk); returns indices into bodies(). Used by the SPH module.

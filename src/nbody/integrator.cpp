@@ -20,8 +20,13 @@ void tree_forces(const std::vector<Body>& bodies, const TreeForceConfig& cfg,
                  std::vector<Accel>& acc, hot::TraverseStats* stats) {
   const auto src = sources_of(bodies);
   hot::Tree tree(src, cfg.tree);
-  const auto sorted = tree.accelerate_all(cfg.theta, cfg.eps2, cfg.method,
-                                          stats);
+  hot::AccelParams params;
+  params.theta = cfg.theta;
+  params.eps2 = cfg.eps2;
+  params.method = cfg.method;
+  params.far_field = cfg.far_field;
+  params.p_order = cfg.p_order;
+  const auto sorted = tree.accelerate_all(params, stats);
   acc.resize(bodies.size());
   for (std::size_t i = 0; i < sorted.size(); ++i) {
     acc[tree.original_index()[i]] = sorted[i];

@@ -26,6 +26,9 @@ struct TreeForceConfig {
   double theta = 0.6;
   double eps2 = 1e-6;
   gravity::RsqrtMethod method = gravity::RsqrtMethod::libm;
+  /// treecode (default) or the dual-tree FMM backend.
+  hot::FarField far_field = hot::FarField::treecode;
+  int p_order = 4;  ///< FMM expansion order (ignored by the treecode).
   hot::TreeConfig tree;
 };
 

@@ -1,0 +1,435 @@
+// Tests for the dual-tree FMM far field: the Cartesian expansion operator
+// algebra (P2M/M2M/M2L/L2L/L2P) against the direct-sum oracle, scalar vs
+// explicit-SIMD operator parity across backends, p-convergence on the 10k
+// Plummer problem, parity with the treecode walks, bitwise reproducibility
+// across pool sizes, degenerate geometry (coincident bodies, zero
+// softening), and the engine routing with its fmm.* observability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "gravity/expansion.hpp"
+#include "gravity/kernels.hpp"
+#include "hot/parallel.hpp"
+#include "hot/tree.hpp"
+#include "nbody/ic.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "simd/isa.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/task_pool.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+using ss::gravity::Accel;
+using ss::gravity::coef_count;
+using ss::gravity::RsqrtMethod;
+using ss::gravity::Source;
+using ss::hot::AccelParams;
+using ss::hot::FarField;
+using ss::hot::Tree;
+using ss::hot::TreeConfig;
+using ss::support::Rng;
+using ss::support::Vec3;
+namespace json = ss::support::json;
+
+std::vector<Source> cluster(Rng& rng, const Vec3& center, double radius,
+                            int n) {
+  std::vector<Source> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back({center + Vec3{rng.uniform(-radius, radius),
+                                 rng.uniform(-radius, radius),
+                                 rng.uniform(-radius, radius)},
+                   rng.uniform(0.5, 1.5)});
+  }
+  return out;
+}
+
+double rel_err(const Accel& got, const Accel& want) {
+  return (got.a - want.a).norm() / (want.a.norm() + 1e-30);
+}
+
+// --- operator units against the direct sum --------------------------------------
+
+TEST(FmmOperators, ChainConvergesToDirectSum) {
+  Rng rng(101);
+  const Vec3 zb{0.0, 0.0, 0.0}, za{6.0, 2.0, -3.0};
+  const auto src = cluster(rng, zb, 0.4, 64);
+  const double eps2 = 1e-6;
+
+  double prev = 1e9;
+  for (int p = ss::gravity::kFmmMinOrder; p <= ss::gravity::kFmmMaxOrder;
+       ++p) {
+    std::vector<double> M(static_cast<std::size_t>(coef_count(p)), 0.0);
+    std::vector<double> L(static_cast<std::size_t>(coef_count(p)), 0.0);
+    ss::gravity::p2m(src, zb, p, M.data());
+    ss::gravity::m2l_scalar(M.data(), zb, za, eps2, p, L.data());
+
+    double err = 0.0, perr = 0.0;
+    for (int t = 0; t < 20; ++t) {
+      const Vec3 pos = za + Vec3{rng.uniform(-0.3, 0.3),
+                                 rng.uniform(-0.3, 0.3),
+                                 rng.uniform(-0.3, 0.3)};
+      const Accel got = ss::gravity::l2p_scalar(L.data(), za, pos, p);
+      const Accel want =
+          ss::gravity::interact(pos, src, eps2, RsqrtMethod::libm);
+      err = std::max(err, rel_err(got, want));
+      perr = std::max(perr,
+                      std::abs(got.phi - want.phi) / std::abs(want.phi));
+    }
+    EXPECT_LT(err, prev) << "force error not monotone at p=" << p;
+    EXPECT_LT(perr, prev) << "potential error not monotone at p=" << p;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-6);  // p = 6 on a well-separated pair
+}
+
+TEST(FmmOperators, M2MGivesTheParentExpansionExactly) {
+  Rng rng(102);
+  const Vec3 zc1{-0.5, 0.2, 0.0}, zc2{0.6, -0.1, 0.3}, zp{0.0, 0.0, 0.1};
+  const auto c1 = cluster(rng, zc1, 0.3, 40);
+  const auto c2 = cluster(rng, zc2, 0.3, 40);
+  std::vector<Source> all(c1);
+  all.insert(all.end(), c2.begin(), c2.end());
+
+  const int p = 5;
+  const auto np = static_cast<std::size_t>(coef_count(p));
+  std::vector<double> m1(np, 0.0), m2(np, 0.0), via(np, 0.0), direct(np, 0.0);
+  ss::gravity::p2m(c1, zc1, p, m1.data());
+  ss::gravity::p2m(c2, zc2, p, m2.data());
+  ss::gravity::m2m(m1.data(), zc1, zp, p, via.data());
+  ss::gravity::m2m(m2.data(), zc2, zp, p, via.data());
+  ss::gravity::p2m(all, zp, p, direct.data());
+  for (std::size_t c = 0; c < np; ++c) {
+    EXPECT_NEAR(via[c], direct[c], 1e-12) << "coefficient " << c;
+  }
+}
+
+TEST(FmmOperators, L2LReCentersWithoutLoss) {
+  Rng rng(103);
+  const Vec3 zb{0.0, 0.0, 0.0}, zp{3.0, 2.0, -1.0}, zc{3.2, 1.9, -0.8};
+  const auto src = cluster(rng, zb, 0.5, 32);
+
+  const int p = 4;
+  const auto np = static_cast<std::size_t>(coef_count(p));
+  std::vector<double> M(np, 0.0), lp(np, 0.0), lc(np, 0.0);
+  ss::gravity::p2m(src, zb, p, M.data());
+  ss::gravity::m2l_scalar(M.data(), zb, zp, 0.0, p, lp.data());
+  ss::gravity::l2l(lp.data(), zp, zc, p, lc.data());
+
+  // Re-centering a truncated polynomial is exact: both expansions are the
+  // same polynomial, so they agree at any point to roundoff.
+  for (int t = 0; t < 10; ++t) {
+    const Vec3 pos = zc + Vec3{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                               rng.uniform(-0.2, 0.2)};
+    const Accel from_parent = ss::gravity::l2p_scalar(lp.data(), zp, pos, p);
+    const Accel from_child = ss::gravity::l2p_scalar(lc.data(), zc, pos, p);
+    EXPECT_NEAR((from_parent.a - from_child.a).norm(), 0.0, 1e-13);
+    EXPECT_NEAR(from_parent.phi, from_child.phi, 1e-13);
+  }
+}
+
+// --- scalar vs SIMD operator parity --------------------------------------------
+
+TEST(FmmSimd, M2LAndL2PMatchScalarOnEveryBackend) {
+  Rng rng(104);
+  for (const ss::simd::Isa isa :
+       {ss::simd::Isa::scalar, ss::simd::Isa::avx2, ss::simd::Isa::neon,
+        ss::simd::Isa::avx512}) {
+    if (!ss::simd::hardware_supports(isa)) continue;
+    ss::simd::ScopedForce force(isa);
+    const auto w = static_cast<std::size_t>(ss::gravity::fmm_simd_width());
+    for (int p = ss::gravity::kFmmMinOrder; p <= ss::gravity::kFmmMaxOrder;
+         ++p) {
+      const auto np = static_cast<std::size_t>(coef_count(p));
+
+      // M2L: `w` random source cells against one target.
+      std::vector<double> msoa(np * w), dx(w), dy(w), dz(w);
+      std::vector<double> l_simd(np, 0.0), l_ref(np, 0.0);
+      for (std::size_t l = 0; l < w; ++l) {
+        for (std::size_t c = 0; c < np; ++c) {
+          msoa[c * w + l] = rng.uniform(-1.0, 1.0);
+        }
+        double ux, uy, uz;
+        rng.unit_vector(ux, uy, uz);
+        const double d = rng.uniform(2.0, 4.0);
+        dx[l] = ux * d;
+        dy[l] = uy * d;
+        dz[l] = uz * d;
+      }
+      const double eps2 = 1e-4;
+      ss::gravity::m2l_simd(msoa.data(), dx.data(), dy.data(), dz.data(),
+                            eps2, p, l_simd.data());
+      for (std::size_t l = 0; l < w; ++l) {
+        std::vector<double> m(np);
+        for (std::size_t c = 0; c < np; ++c) m[c] = msoa[c * w + l];
+        // za - zb must equal the lane displacement.
+        ss::gravity::m2l_scalar(m.data(), Vec3{0, 0, 0},
+                                Vec3{dx[l], dy[l], dz[l]}, eps2, p,
+                                l_ref.data());
+      }
+      for (std::size_t c = 0; c < np; ++c) {
+        EXPECT_NEAR(l_simd[c], l_ref[c],
+                    1e-10 * (1.0 + std::abs(l_ref[c])))
+            << ss::simd::name(isa) << " p=" << p << " coef " << c;
+      }
+
+      // L2P: `w` bodies against one local expansion.
+      std::vector<double> L(np), sx(w), sy(w), sz(w);
+      std::vector<double> ax(w), ay(w), az(w), psi(w);
+      for (std::size_t c = 0; c < np; ++c) L[c] = rng.uniform(-1.0, 1.0);
+      for (std::size_t l = 0; l < w; ++l) {
+        sx[l] = rng.uniform(-0.5, 0.5);
+        sy[l] = rng.uniform(-0.5, 0.5);
+        sz[l] = rng.uniform(-0.5, 0.5);
+      }
+      ss::gravity::l2p_simd(L.data(), sx.data(), sy.data(), sz.data(), p,
+                            ax.data(), ay.data(), az.data(), psi.data());
+      for (std::size_t l = 0; l < w; ++l) {
+        const Accel want = ss::gravity::l2p_scalar(
+            L.data(), Vec3{0, 0, 0}, Vec3{sx[l], sy[l], sz[l]}, p);
+        EXPECT_NEAR(ax[l], want.a.x, 1e-12) << ss::simd::name(isa);
+        EXPECT_NEAR(ay[l], want.a.y, 1e-12) << ss::simd::name(isa);
+        EXPECT_NEAR(az[l], want.a.z, 1e-12) << ss::simd::name(isa);
+        EXPECT_NEAR(-psi[l], want.phi, 1e-12) << ss::simd::name(isa);
+      }
+    }
+  }
+}
+
+// --- whole-tree accuracy ---------------------------------------------------------
+
+TEST(FmmTree, PConvergenceOnPlummerSphere) {
+  Rng rng(105);
+  const auto bodies = ss::nbody::plummer_sphere(10000, rng);
+  const auto src = ss::nbody::sources_of(bodies);
+  Tree tree(src, TreeConfig{16});
+  const double eps2 = 1e-6;
+
+  // Sampled direct-sum reference (the full N^2 would dominate the test).
+  std::vector<std::size_t> sample;
+  for (std::size_t i = 0; i < tree.bodies().size(); i += 39) {
+    sample.push_back(i);
+  }
+  std::vector<Accel> exact(sample.size());
+  for (std::size_t s = 0; s < sample.size(); ++s) {
+    exact[s] = ss::gravity::interact(tree.bodies()[sample[s]].pos, src, eps2,
+                                     RsqrtMethod::libm);
+  }
+
+  double prev = 1e9;
+  for (int p = ss::gravity::kFmmMinOrder; p <= ss::gravity::kFmmMaxOrder;
+       ++p) {
+    AccelParams params{.theta = 0.5, .eps2 = eps2,
+                       .method = RsqrtMethod::libm,
+                       .far_field = FarField::fmm, .p_order = p,
+                       .use_simd = true};
+    ss::hot::FmmStats fs;
+    const auto acc = tree.accelerate_fmm_all(params, &fs);
+    EXPECT_GT(fs.p2p, 0u);
+    EXPECT_GT(fs.m2l, 0u);
+    EXPECT_GT(fs.l2p, 0u);
+
+    double rms = 0.0;
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+      rms += std::pow(rel_err(acc[sample[s]], exact[s]), 2);
+    }
+    rms = std::sqrt(rms / static_cast<double>(sample.size()));
+    EXPECT_LT(rms, prev) << "RMS error not monotone at p=" << p;
+    if (p == 4) {
+      EXPECT_LE(rms, 1e-6) << "p=4 theta=0.5 must reach 1e-6 RMS";
+    }
+    prev = rms;
+  }
+}
+
+TEST(FmmTree, MatchesTreecodeWithinCombinedTolerance) {
+  Rng rng(106);
+  const auto bodies = ss::nbody::plummer_sphere(4096, rng);
+  const auto src = ss::nbody::sources_of(bodies);
+  Tree tree(src, TreeConfig{16});
+  const AccelParams base{.theta = 0.5, .eps2 = 1e-6,
+                         .method = RsqrtMethod::libm};
+
+  AccelParams fmm = base;
+  fmm.far_field = FarField::fmm;
+  fmm.p_order = 4;
+  const auto a_fmm = tree.accelerate_fmm_all(fmm);
+  const auto a_tree = tree.accelerate_all(base);
+
+  // Both approximate the same direct sum; the treecode's monopole error
+  // at theta = 0.5 (~1e-3) dominates the difference.
+  double rms = 0.0, worst = 0.0;
+  for (std::size_t i = 0; i < a_fmm.size(); ++i) {
+    const double rel = rel_err(a_fmm[i], a_tree[i]);
+    rms += rel * rel;
+    worst = std::max(worst, rel);
+  }
+  rms = std::sqrt(rms / static_cast<double>(a_fmm.size()));
+  EXPECT_LT(rms, 1e-2);
+  EXPECT_LT(worst, 0.1);
+}
+
+TEST(FmmTree, RoutedThroughAccelerateAllWithStats) {
+  Rng rng(107);
+  const auto bodies = ss::nbody::plummer_sphere(2048, rng);
+  const auto src = ss::nbody::sources_of(bodies);
+  Tree tree(src, TreeConfig{16});
+  const AccelParams params{.theta = 0.5, .eps2 = 1e-6,
+                           .method = RsqrtMethod::libm,
+                           .far_field = FarField::fmm, .p_order = 3};
+
+  ss::hot::TraverseStats st;
+  const auto routed = tree.accelerate_all(params, &st);
+  const auto direct = tree.accelerate_fmm_all(params);
+  ASSERT_EQ(routed.size(), direct.size());
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    ASSERT_EQ(routed[i].a.x, direct[i].a.x);
+    ASSERT_EQ(routed[i].phi, direct[i].phi);
+  }
+  EXPECT_GT(st.body_interactions, 0u);  // fmm.p2p
+  EXPECT_GT(st.cell_interactions, 0u);  // fmm.m2l
+  EXPECT_GT(st.cells_opened, 0u);       // fmm.pair_splits
+}
+
+// --- determinism -----------------------------------------------------------------
+
+TEST(FmmTree, BitwiseReproducibleAcrossPoolSizes) {
+  Rng rng(108);
+  const auto bodies = ss::nbody::plummer_sphere(20000, rng);
+  const auto src = ss::nbody::sources_of(bodies);
+  const AccelParams params{.theta = 0.5, .eps2 = 1e-6,
+                           .method = RsqrtMethod::libm,
+                           .far_field = FarField::fmm, .p_order = 4,
+                           .use_simd = true};
+
+  ss::support::TaskPool::configure_global(1);
+  Tree ref(src, TreeConfig{16});
+  std::vector<double> ref_work;
+  const auto want = ref.accelerate_fmm_all(params, nullptr, &ref_work);
+
+  ss::support::TaskPool::configure_global(4);
+  for (int rep = 0; rep < 2; ++rep) {
+    Tree t(src, TreeConfig{16});
+    std::vector<double> work;
+    const auto got = t.accelerate_fmm_all(params, nullptr, &work);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].a.x, want[i].a.x) << "body " << i;
+      ASSERT_EQ(got[i].a.y, want[i].a.y) << "body " << i;
+      ASSERT_EQ(got[i].a.z, want[i].a.z) << "body " << i;
+      ASSERT_EQ(got[i].phi, want[i].phi) << "body " << i;
+      ASSERT_EQ(work[i], ref_work[i]) << "work " << i;
+    }
+  }
+  ss::support::TaskPool::configure_global(0);  // restore default policy
+}
+
+// --- degenerate geometry ---------------------------------------------------------
+
+TEST(FmmTree, CoincidentBodiesWithZeroSoftening) {
+  // Two point-clusters of exactly coincident bodies, eps2 = 0: in-cluster
+  // pairs are masked (r2 == 0), the cross-cluster field is a pure
+  // monopole (all higher moments of a coincident cluster vanish) so the
+  // FMM is exact to roundoff.
+  std::vector<Source> src;
+  for (int i = 0; i < 20; ++i) src.push_back({{0.1, 0.2, 0.3}, 1.0});
+  for (int i = 0; i < 20; ++i) src.push_back({{5.0, 5.0, 5.0}, 2.0});
+  Tree tree(src, TreeConfig{8});
+  const AccelParams params{.theta = 0.5, .eps2 = 0.0,
+                           .method = RsqrtMethod::libm,
+                           .far_field = FarField::fmm, .p_order = 4};
+  const auto acc = tree.accelerate_fmm_all(params);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const Accel want = ss::gravity::interact(tree.bodies()[i].pos, src, 0.0,
+                                             RsqrtMethod::libm);
+    EXPECT_TRUE(std::isfinite(acc[i].a.norm()));
+    EXPECT_NEAR((acc[i].a - want.a).norm(), 0.0, 1e-12) << "body " << i;
+    EXPECT_NEAR(acc[i].phi, want.phi, 1e-12) << "body " << i;
+  }
+}
+
+TEST(FmmTree, EmptyAndTinyTrees) {
+  const AccelParams params{.far_field = FarField::fmm};
+  Tree empty(std::vector<Source>{});
+  EXPECT_TRUE(empty.accelerate_fmm_all(params).empty());
+
+  const std::vector<Source> two = {{{0, 0, 0}, 1.0}, {{1, 0, 0}, 1.0}};
+  Tree t(two);
+  AccelParams exact = params;
+  exact.eps2 = 0.0;
+  const auto acc = t.accelerate_fmm_all(exact);
+  EXPECT_NEAR(acc[0].a.x, 1.0, 1e-12);
+  EXPECT_NEAR(acc[1].a.x, -1.0, 1e-12);
+}
+
+// --- engine routing + observability ---------------------------------------------
+
+TEST(FmmEngine, SingleRankRoutingEmitsCountersAndSummary) {
+  ss::vmpi::Runtime rt(1);
+  ss::obs::Session session(1);
+  rt.attach_observer(&session);
+
+  std::vector<Accel> engine_acc;
+  std::vector<Source> engine_bodies;
+  rt.run([&](ss::vmpi::Comm& c) {
+    ss::support::Rng rng(109);
+    const auto bodies = ss::nbody::plummer_sphere(4096, rng);
+    ss::hot::ParallelConfig cfg;
+    cfg.theta = 0.5;
+    cfg.eps2 = 1e-6;
+    cfg.far_field = ss::hot::FarField::fmm;
+    cfg.p_order = 3;
+    auto res = parallel_gravity(c, ss::nbody::sources_of(bodies), {}, cfg);
+    engine_acc = std::move(res.accel);
+    engine_bodies = std::move(res.bodies);
+    EXPECT_GT(res.stats.traverse.body_interactions, 0u);
+    EXPECT_GT(res.stats.traverse.cell_interactions, 0u);
+    // Work weights feed the next decomposition; every body must get one.
+    for (double w : res.work) EXPECT_GT(w, 0.0);
+  });
+
+  const auto& reg = session.rank(0).registry();
+  EXPECT_GT(reg.counter_value("fmm.p2p"), 0u);
+  EXPECT_GT(reg.counter_value("fmm.m2l"), 0u);
+  EXPECT_GT(reg.counter_value("fmm.l2l"), 0u);
+  EXPECT_GT(reg.counter_value("fmm.l2p"), 0u);
+  EXPECT_GT(reg.counter_value("fmm.pair_splits"), 0u);
+  EXPECT_EQ(reg.gauge_value("fmm.p_order"), 3.0);
+
+  // The forces the engine hands back match the serial FMM on the same
+  // (Morton-ordered) bodies bit for bit.
+  Tree tree(engine_bodies, TreeConfig{});
+  const auto want = tree.accelerate_fmm_all(
+      {.theta = 0.5, .eps2 = 1e-6, .method = RsqrtMethod::libm,
+       .far_field = FarField::fmm, .p_order = 3, .use_simd = true});
+  ASSERT_EQ(engine_acc.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(engine_acc[i].a.x, want[i].a.x) << "body " << i;
+    ASSERT_EQ(engine_acc[i].phi, want[i].phi) << "body " << i;
+  }
+
+  // The summary export carries the fmm.* counters and the p-order gauge.
+  std::ostringstream os;
+  write_summary(session, os);
+  const json::Value summary = json::parse(os.str());
+  const auto has = [](const json::Value& obj, std::string_view key) {
+    for (const auto& [k, v] : obj.object) {
+      if (k == key) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(summary.at("counters"), "fmm.m2l"));
+  EXPECT_TRUE(has(summary.at("counters"), "fmm.p2p"));
+  EXPECT_TRUE(has(summary.at("counters"), "fmm.l2l"));
+  EXPECT_TRUE(has(summary.at("counters"), "fmm.l2p"));
+  EXPECT_TRUE(has(summary.at("counters"), "fmm.pair_splits"));
+  EXPECT_TRUE(has(summary.at("gauges"), "fmm.p_order"));
+}
+
+}  // namespace

@@ -252,7 +252,8 @@ TEST(TreeAccuracy, StatsCountInteractions) {
   const auto b = plummer_like(rng, 500);
   Tree t(b, TreeConfig{8});
   TraverseStats st;
-  (void)t.accelerate_all(0.6, 1e-6, RsqrtMethod::libm, &st);
+  (void)t.accelerate_all({.theta = 0.6, .eps2 = 1e-6,
+                          .method = RsqrtMethod::libm}, &st);
   EXPECT_GT(st.body_interactions, 0u);
   EXPECT_GT(st.cell_interactions, 0u);
   EXPECT_GT(st.flops(), st.body_interactions * 38);
@@ -265,7 +266,9 @@ TEST(TreeAccuracy, AccelerateAllSkipsSelfForce) {
   // Two bodies: each must feel exactly the other.
   const std::vector<Source> b = {{{0, 0, 0}, 1.0}, {{1, 0, 0}, 1.0}};
   Tree t(b);
-  const auto acc = t.accelerate_all(0.6, 0.0);
+  const auto acc =
+      t.accelerate_all({.theta = 0.6, .eps2 = 0.0,
+                        .method = RsqrtMethod::libm});
   EXPECT_NEAR(acc[0].a.x, 1.0, 1e-12);
   EXPECT_NEAR(acc[1].a.x, -1.0, 1e-12);
 }
@@ -276,7 +279,9 @@ TEST(TreeAccuracy, MomentumConservedByMutualForces) {
   Rng rng(12);
   const auto b = plummer_like(rng, 600);
   Tree t(b, TreeConfig{8});
-  const auto acc = t.accelerate_all(0.5, 1e-6);
+  const auto acc =
+      t.accelerate_all({.theta = 0.5, .eps2 = 1e-6,
+                        .method = RsqrtMethod::libm});
   Vec3 net;
   double atot = 0.0;
   for (std::size_t i = 0; i < b.size(); ++i) {
@@ -293,8 +298,10 @@ TEST(GroupWalk, AtLeastAsAccurateAsPerBodyWalk) {
   const auto b = plummer_like(rng, 1500);
   Tree t(b, TreeConfig{16});
   const double theta = 0.6, eps2 = 1e-6;
-  const auto per_body = t.accelerate_all(theta, eps2);
-  const auto grouped = t.accelerate_group_all(theta, eps2);
+  const ss::hot::AccelParams params{.theta = theta, .eps2 = eps2,
+                                    .method = RsqrtMethod::libm};
+  const auto per_body = t.accelerate_all(params);
+  const auto grouped = t.accelerate_group_all(params);
 
   double rms_pb = 0.0, rms_gr = 0.0;
   for (int i = 0; i < 150; ++i) {
@@ -318,8 +325,10 @@ TEST(GroupWalk, CostsMoreInteractionsButFewerOpens) {
   const auto b = plummer_like(rng, 2000);
   Tree t(b, TreeConfig{16});
   TraverseStats per_body, grouped;
-  (void)t.accelerate_all(0.6, 1e-6, RsqrtMethod::libm, &per_body);
-  (void)t.accelerate_group_all(0.6, 1e-6, RsqrtMethod::libm, &grouped);
+  const ss::hot::AccelParams params{.theta = 0.6, .eps2 = 1e-6,
+                                    .method = RsqrtMethod::libm};
+  (void)t.accelerate_all(params, &per_body);
+  (void)t.accelerate_group_all(params, &grouped);
   EXPECT_GE(grouped.body_interactions, per_body.body_interactions);
   // Tree-walk overhead is amortized: far fewer cell opens in total.
   EXPECT_LT(grouped.cells_opened, per_body.cells_opened / 4);
@@ -328,7 +337,9 @@ TEST(GroupWalk, CostsMoreInteractionsButFewerOpens) {
 TEST(GroupWalk, ExactForTinySystems) {
   const std::vector<Source> b = {{{0, 0, 0}, 1.0}, {{1, 0, 0}, 1.0}};
   Tree t(b);
-  const auto acc = t.accelerate_group_all(0.6, 0.0);
+  const auto acc =
+      t.accelerate_group_all({.theta = 0.6, .eps2 = 0.0,
+                              .method = RsqrtMethod::libm});
   EXPECT_NEAR(acc[0].a.x, 1.0, 1e-12);
   EXPECT_NEAR(acc[1].a.x, -1.0, 1e-12);
 }
@@ -370,14 +381,16 @@ TEST(Tree, BuildAndAccelerateOnMultiThreadPool) {
 
   ss::support::TaskPool::configure_global(1);
   Tree ref(b, TreeConfig{16});
-  const auto want = ref.accelerate_all(0.6, 1e-6);
+  const ss::hot::AccelParams params{.theta = 0.6, .eps2 = 1e-6,
+                                    .method = RsqrtMethod::libm};
+  const auto want = ref.accelerate_all(params);
 
   ss::support::TaskPool::configure_global(4);
   std::vector<Accel> got;
   for (int rep = 0; rep < 3; ++rep) {
     Tree t(b, TreeConfig{16});
     ASSERT_EQ(t.bodies().size(), b.size());
-    got = t.accelerate_all(0.6, 1e-6);
+    got = t.accelerate_all(params);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i) {
       ASSERT_EQ(got[i].a.x, want[i].a.x) << "body " << i;

@@ -168,7 +168,9 @@ TEST_P(TreeBuckets, ForcesIndependentOfBucketSize) {
   const auto src = ss::nbody::sources_of(bodies);
   // theta = 0 opens everything: any bucket size must give the direct sum.
   ss::hot::Tree tree(src, ss::hot::TreeConfig{GetParam()});
-  const auto acc = tree.accelerate_all(0.0, 1e-6);
+  const auto acc = tree.accelerate_all(
+      {.theta = 0.0, .eps2 = 1e-6,
+       .method = ss::gravity::RsqrtMethod::libm});
   const auto exact = ss::gravity::interact<ss::gravity::RsqrtMethod::libm>(
       tree.bodies()[17].pos, src, 1e-6);
   EXPECT_NEAR((acc[17].a - exact.a).norm(), 0.0, 1e-10);
@@ -180,8 +182,10 @@ TEST(TreeDeterminism, SameInputSameOutput) {
   const auto src = ss::nbody::sources_of(bodies);
   ss::hot::Tree t1(src, ss::hot::TreeConfig{8});
   ss::hot::Tree t2(src, ss::hot::TreeConfig{8});
-  const auto a1 = t1.accelerate_all(0.6, 1e-6);
-  const auto a2 = t2.accelerate_all(0.6, 1e-6);
+  const ss::hot::AccelParams params{.theta = 0.6, .eps2 = 1e-6,
+                                    .method = ss::gravity::RsqrtMethod::libm};
+  const auto a1 = t1.accelerate_all(params);
+  const auto a2 = t2.accelerate_all(params);
   for (std::size_t i = 0; i < a1.size(); ++i) {
     EXPECT_EQ(a1[i].a, a2[i].a);  // bitwise: serial build is deterministic
   }
