@@ -1,0 +1,261 @@
+// Ensemble campaign on the shared virtual cluster (Sec 4 workloads).
+//
+// The Space Simulator was a shared resource: cosmology sweeps (Fig 7),
+// supernova progenitor grids (Fig 8) and benchmark batches (NPB,
+// Linpack) queued against one 294-node fabric. This bench drives the
+// sched::ClusterService through three campaigns and reports, per job,
+// the queue wait / wall / traffic the space-sharing schedule produced:
+//
+//   mixed    - the acceptance campaign: >= 8 jobs across 4 workload
+//              kinds, with one fault-injected node kill mid-run. The
+//              killed gang requeues onto a fresh partition and restores
+//              from its checkpoint.
+//   tenancy  - two identical traffic tenants co-resident on a tight
+//              inter-chassis trunk vs one running solo: the co-run wall
+//              quantifies cross-tenant contention.
+//
+// `--json [PATH]` writes the numbers as machine-readable JSON (default
+// BENCH_campaign.json); `--mini` shrinks both campaigns for CI.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "io/fault.hpp"
+#include "sched/job.hpp"
+#include "sched/service.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ss::sched::Campaign;
+using ss::sched::CampaignResult;
+using ss::sched::ClusterService;
+using ss::sched::JobRecord;
+using ss::sched::JobState;
+using ss::sched::ServiceConfig;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ss_bench_campaign_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+enum class Scale { full, mini, smoke };
+
+Campaign mixed_campaign(Scale scale) {
+  const bool mini = scale != Scale::full;
+  Campaign c;
+  c.name = "mixed";
+  const std::uint64_t steps = mini ? 4 : 6;
+  for (int i = 0; i < (mini ? 2 : 3); ++i) {
+    auto j = ss::sched::fig7_job(i, /*gang=*/4, steps);
+    // Top priority: the first wave is then fig7#0 on ranks 1..4 and
+    // fig7#1 on ranks 5..8, so the scripted node-5 kill at step 3
+    // deterministically hits fig7#1 after its step-2 checkpoint.
+    j.priority = 3;
+    c.add(j);
+  }
+  c.add(ss::sched::npb_job("cg", 4));
+  if (scale == Scale::smoke) return c;  // the CI gate's 3-job campaign
+  c.add(ss::sched::fig8_job(0, /*gang=*/2, mini ? 3 : 4));
+  c.add(ss::sched::fig8_job(1, /*gang=*/2, mini ? 3 : 4));
+  c.add(ss::sched::npb_job("is", 2));
+  c.add(ss::sched::linpack_job(mini ? 48 : 64, 2));
+  if (!mini) c.add(ss::sched::npb_job("ft", 4));
+  return c;
+}
+
+ServiceConfig small_cluster() {
+  ServiceConfig cfg;
+  cfg.workers = 8;
+  cfg.topo.nodes = 16;
+  cfg.topo.ports_per_module = 4;
+  cfg.topo.chassis0_ports = 8;
+  return cfg;
+}
+
+void print_jobs(const CampaignResult& res) {
+  using ss::support::Table;
+  Table t;
+  t.header({"job", "kind", "gang", "state", "attempts", "queue_wait_s",
+            "wall_s", "messages", "MB", "metric"});
+  for (const JobRecord& j : res.jobs) {
+    t.row({j.name, ss::sched::to_string(j.kind), std::to_string(j.gang),
+           ss::sched::to_string(j.state), std::to_string(j.attempts),
+           Table::fixed(j.queue_wait, 3), Table::fixed(j.wall, 3),
+           std::to_string(j.messages),
+           Table::fixed(static_cast<double>(j.bytes) / 1e6, 2),
+           Table::num(j.metric, 4)});
+  }
+  t.print(std::cout);
+}
+
+void json_jobs(ss::support::json::Writer& w, const CampaignResult& res) {
+  w.key("jobs");
+  w.begin_array();
+  for (const JobRecord& j : res.jobs) {
+    w.begin_object();
+    w.kv("id", static_cast<std::int64_t>(j.id));
+    w.kv("name", j.name);
+    w.kv("kind", ss::sched::to_string(j.kind));
+    w.kv("gang", static_cast<std::int64_t>(j.gang));
+    w.kv("state", ss::sched::to_string(j.state));
+    w.kv("attempts", static_cast<std::int64_t>(j.attempts));
+    w.kv("requeues", static_cast<std::int64_t>(j.requeues));
+    w.kv("queue_wait_seconds", j.queue_wait);
+    w.kv("wall_seconds", j.wall);
+    w.kv("messages", j.messages);
+    w.kv("bytes", j.bytes);
+    w.kv("metric", j.metric);
+    w.kv("restored", j.restored);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> json_path;
+  Scale scale = Scale::full;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                      ? std::string(argv[++i])
+                      : std::string("BENCH_campaign.json");
+    } else if (std::strcmp(argv[i], "--mini") == 0) {
+      scale = Scale::mini;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      scale = Scale::smoke;  // the CI gate: 3 jobs, one node kill
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--json [PATH]] [--mini | --smoke]\n";
+      return 2;
+    }
+  }
+  const bool mini = scale != Scale::full;
+
+  // -- mixed campaign with one injected node kill ---------------------------
+  // The lowest-priority nbody job lands on the last gang of the first
+  // wave (ranks 5..8 = nodes 5..8 under the packed map); node 5 dies a
+  // few steps in, the gang requeues and restores from checkpoint.
+  TempDir mixed_dir("mixed");
+  const Campaign mc = mixed_campaign(scale);
+  ss::io::FaultInjector fault({{/*rank=*/5, /*step=*/3}});
+  ServiceConfig cfg = small_cluster();
+  cfg.fault = &fault;
+  cfg.node_cooldown_seconds = 1.0;
+  // Stable path so CI can gate the per-job rollups after the run.
+  cfg.summary_path = json_path ? *json_path + ".summary.json"
+                               : (mixed_dir.path / "summary.json").string();
+  ClusterService mixed(mixed_dir.path / "store", mc, cfg);
+  const CampaignResult mres = mixed.run();
+
+  std::cout << "== mixed campaign (" << mc.jobs.size() << " jobs, 8 workers, "
+            << "1 injected node kill) ==\n";
+  print_jobs(mres);
+  std::cout << "makespan " << ss::support::Table::fixed(mres.makespan, 3)
+            << " s  requeues " << mres.requeues << "  node_kills "
+            << mres.node_kills << "  backfills " << mres.backfills << "\n\n";
+
+  // -- tenancy: solo vs co-resident traffic on a tight trunk ----------------
+  auto traffic = [&](int index) {
+    return ss::sched::traffic_job(index, /*gang=*/4, mini ? 3 : 6,
+                                  /*chunks=*/8, /*chunk_bytes=*/1u << 18);
+  };
+  ServiceConfig tcfg = small_cluster();
+  tcfg.striped = true;
+  tcfg.topo.trunk_bps = 1.2e9;
+
+  TempDir solo_dir("solo");
+  Campaign solo;
+  solo.name = "solo";
+  solo.add(traffic(0));
+  ClusterService ssolo(solo_dir.path / "store", solo, tcfg);
+  const CampaignResult rsolo = ssolo.run();
+
+  TempDir duo_dir("duo");
+  Campaign duo;
+  duo.name = "duo";
+  duo.add(traffic(0));
+  duo.add(traffic(1));
+  ClusterService sduo(duo_dir.path / "store", duo, tcfg);
+  const CampaignResult rduo = sduo.run();
+
+  // Which tenant absorbs the trunk queueing depends on interleaving;
+  // the slower one is the contention signal (the trunk is 2x
+  // oversubscribed, so somebody always pays).
+  const double solo_wall = rsolo.jobs[0].wall;
+  const double co_wall =
+      std::max(rduo.jobs[0].wall, rduo.jobs[1].wall);
+  const double slowdown = solo_wall > 0.0 ? co_wall / solo_wall : 0.0;
+  using ss::support::Table;
+  std::cout << "== tenancy (two gang-4 traffic tenants, striped across a "
+            << "1.2 Gbit/s trunk) ==\n"
+            << "solo wall " << Table::fixed(solo_wall, 3)
+            << " s   co-resident wall " << Table::fixed(co_wall, 3)
+            << " s   slowdown x" << Table::fixed(slowdown, 2) << "\n"
+            << "solo bw " << Table::fixed(rsolo.jobs[0].metric / 1e6, 1)
+            << " Mbit/s  co-resident bw "
+            << Table::fixed(
+                   std::min(rduo.jobs[0].metric, rduo.jobs[1].metric) / 1e6, 1)
+            << " Mbit/s\n";
+
+  if (json_path) {
+    std::ofstream os(*json_path);
+    if (!os) {
+      std::cerr << "cannot open " << *json_path << "\n";
+      return 1;
+    }
+    ss::support::json::Writer w(os);
+    w.begin_object();
+    w.kv("bench", "campaign");
+    w.kv("scale", scale == Scale::full   ? "full"
+                  : scale == Scale::mini ? "mini"
+                                         : "smoke");
+    w.key("mixed");
+    w.begin_object();
+    w.kv("workers", static_cast<std::int64_t>(cfg.workers));
+    w.kv("njobs", static_cast<std::uint64_t>(mres.jobs.size()));
+    w.kv("all_done", mres.all_done());
+    w.kv("makespan_seconds", mres.makespan);
+    w.kv("requeues", static_cast<std::int64_t>(mres.requeues));
+    w.kv("node_kills", static_cast<std::int64_t>(mres.node_kills));
+    w.kv("backfills", static_cast<std::int64_t>(mres.backfills));
+    w.kv("faults_fired", static_cast<std::uint64_t>(fault.fired()));
+    w.kv("summary_path", cfg.summary_path);
+    json_jobs(w, mres);
+    w.end_object();
+    w.key("tenancy");
+    w.begin_object();
+    w.kv("solo_wall_seconds", solo_wall);
+    w.kv("co_wall_seconds", co_wall);
+    w.kv("slowdown", slowdown);
+    w.kv("solo_bps", rsolo.jobs[0].metric);
+    w.kv("co_bps", std::min(rduo.jobs[0].metric, rduo.jobs[1].metric));
+    w.end_object();
+    w.end_object();
+    std::cout << "\nmachine-readable results: " << *json_path << "\n";
+  }
+
+  const bool ok = mres.all_done() && mres.requeues >= 1 &&
+                  rsolo.all_done() && rduo.all_done();
+  return ok ? 0 : 1;
+}

@@ -246,4 +246,49 @@ python3 scripts/obs_diff.py bench/baselines/ablation_parallel.summary.json \
   --gtest_filter='NetEngine.DrainWatchdogStallWritesPostmortem' \
   --gtest_brief=1
 
+echo "=== Stage 5: campaign smoke: 3-job mixed campaign with a node kill ==="
+
+# A fig7-mini pair plus one NPB job share the virtual cluster; a scripted
+# node kill takes one gang down mid-run. Gate: every job reaches done,
+# the killed job was requeued (and restored from its checkpoint), and the
+# per-job `job.<id>.*` rollups landed in the ss.obs.summary.v1 summary.
+campaign_json="build/BENCH_campaign_smoke.json"
+./build/bench/bench_campaign --smoke --json "${campaign_json}" >/dev/null
+python3 - "${campaign_json}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["bench"] == "campaign" and d["scale"] == "smoke"
+m = d["mixed"]
+assert m["njobs"] == 3, m["njobs"]
+assert m["all_done"], "campaign did not drain: " + json.dumps(m["jobs"])
+assert m["node_kills"] >= 1 and m["faults_fired"] >= 1, (
+    "the scripted node kill never fired")
+assert m["requeues"] >= 1, "killed gang was not requeued"
+requeued = [j for j in m["jobs"] if j["requeues"] >= 1]
+assert requeued and all(j["state"] == "done" for j in requeued)
+assert any(j["restored"] for j in requeued), (
+    "requeued nbody job did not restore from its checkpoint")
+kinds = {j["kind"] for j in m["jobs"]}
+assert {"nbody", "npb"} <= kinds, kinds
+t = d["tenancy"]
+assert t["co_wall_seconds"] > 1.05 * t["solo_wall_seconds"], (
+    "co-resident tenants showed no trunk contention: "
+    f"solo {t['solo_wall_seconds']:.3f}s co {t['co_wall_seconds']:.3f}s")
+with open(sys.argv[1] + ".summary.json") as f:
+    s = json.load(f)
+assert s["schema"] == "ss.obs.summary.v1", s.get("schema")
+text = json.dumps(s)
+for jid in (j["id"] for j in m["jobs"]):
+    for key in ("attempts", "wall_seconds", "metric"):
+        assert f"job.{jid}.{key}" in text, f"missing rollup job.{jid}.{key}"
+for key in ("campaign.jobs_done", "campaign.requeues",
+            "campaign.makespan_seconds"):
+    assert key in text, f"missing rollup {key}"
+print(f"BENCH_campaign_smoke.json ok: {m['njobs']} jobs done,"
+      f" {m['requeues']} requeue(s) after {m['node_kills']} node kill(s),"
+      f" makespan {m['makespan_seconds']:.3f}s, tenancy slowdown"
+      f" x{t['slowdown']:.2f}, rollups present")
+PY
+
 echo "=== CI green ==="

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "io/postmortem.hpp"
@@ -155,6 +156,16 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
   RecoveryResult out;
   out.bodies.assign(static_cast<std::size_t>(cfg.ranks), {});
   const std::size_t n = initial.size();
+
+  // Statistical injection: one MTBF-drawn schedule shared by every
+  // restart, so retried runs sail past already-fired failures.
+  std::optional<io::FaultInjector> drawn;
+  if (fault == nullptr && cfg.mtbf_hours > 0.0) {
+    drawn = io::FaultInjector::from_mtbf(cfg.mtbf_hours, cfg.step_hours,
+                                         cfg.ranks, cfg.steps,
+                                         cfg.mtbf_seed);
+    fault = &*drawn;
+  }
 
   int attempts = 0;
   for (;;) {

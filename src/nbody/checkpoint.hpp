@@ -90,6 +90,14 @@ struct RecoveryConfig {
   /// dumps the attempt's flight-recorder rings here as an SSBLOCK1
   /// postmortem (io/postmortem.hpp) before restarting / rethrowing.
   std::string postmortem_path;
+  /// Statistical fault injection: when > 0 (and no explicit injector is
+  /// passed to run_with_recovery), the supervisor builds one
+  /// io::FaultInjector::from_mtbf(mtbf_hours, step_hours, ranks, steps,
+  /// mtbf_seed) that lives across all restarts — each drawn kill fires
+  /// once, like the hardware failures it models.
+  double mtbf_hours = 0.0;
+  double step_hours = 1.0;  ///< Virtual wall hours one step represents.
+  std::uint64_t mtbf_seed = 0x5eedfau;
 };
 
 struct RecoveryResult {

@@ -1,0 +1,177 @@
+#include "sched/adapters.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "hpl/parallel_lu.hpp"
+#include "io/checkpoint.hpp"
+#include "nbody/checkpoint.hpp"
+#include "nbody/ic.hpp"
+#include "nbody/integrator.hpp"
+#include "npb/cg.hpp"
+#include "npb/ft.hpp"
+#include "npb/is.hpp"
+#include "npb/mg.hpp"
+#include "support/rng.hpp"
+
+namespace ss::sched {
+
+void JobContext::heartbeat(std::uint64_t step) {
+  int dead = -1;
+  if (fault != nullptr) {
+    try {
+      fault->tick(node, step);
+    } catch (const io::RankFailure&) {
+      dead = node;
+    }
+  }
+  // Even with no injector attached the allreduce keeps the gang step-
+  // synchronized, which is what a real gang scheduler's heartbeat does.
+  const int victim = sub->allreduce_value(
+      dead, [](int a, int b) { return std::max(a, b); });
+  if (victim >= 0) throw JobKilled{spec->id, step, victim};
+}
+
+namespace {
+
+JobOutcome run_nbody(JobContext& ctx) {
+  const JobSpec& spec = *ctx.spec;
+  vmpi::Comm& c = *ctx.sub;
+  JobOutcome out;
+
+  io::CheckpointStore::Config sc;
+  sc.dir = ctx.job_dir / "ckpt";
+  sc.async = false;  // synchronous stripes: simplest semantics per job
+  io::CheckpointStore store(c, sc);
+
+  hot::ParallelConfig pc;
+  pc.eps2 = 1e-6;
+
+  std::uint64_t start_step = 0;
+  std::unique_ptr<nbody::ParallelLeapfrog> leap;
+  auto restored = nbody::restore_checkpoint(store, c);
+  if (restored) {
+    start_step = restored->step;
+    out.restored = true;
+    out.restored_step = start_step;
+    leap = std::make_unique<nbody::ParallelLeapfrog>(
+        c, std::move(restored->state), pc);
+  } else {
+    // Every rank draws the full deterministic IC and takes its slice.
+    support::Rng rng(spec.seed);
+    const auto all = nbody::plummer_sphere(spec.bodies, rng);
+    const std::size_t n = all.size();
+    const auto r = static_cast<std::size_t>(c.rank());
+    const auto p = static_cast<std::size_t>(c.size());
+    std::vector<nbody::Body> share(all.begin() + static_cast<std::ptrdiff_t>(
+                                       n * r / p),
+                                   all.begin() + static_cast<std::ptrdiff_t>(
+                                       n * (r + 1) / p));
+    leap = std::make_unique<nbody::ParallelLeapfrog>(c, std::move(share), pc);
+    // Base generation: a kill in the first interval restores to step 0
+    // instead of regenerating ICs (mirrors run_with_recovery).
+    nbody::save_checkpoint(store, 0, *leap);
+  }
+
+  for (std::uint64_t step = start_step + 1; step <= spec.steps; ++step) {
+    ctx.heartbeat(step);
+    leap->step(spec.dt);
+    if (spec.checkpoint_every != 0 && step % spec.checkpoint_every == 0) {
+      nbody::save_checkpoint(store, step, *leap);
+    }
+  }
+  store.finalize();
+  out.steps_done = spec.steps - start_step;
+  out.metric = c.allreduce_sum(leap->current_energies().total());
+  return out;
+}
+
+JobOutcome run_npb(JobContext& ctx) {
+  const JobSpec& spec = *ctx.spec;
+  vmpi::Comm& c = *ctx.sub;
+  ctx.heartbeat(0);
+  npb::Result r;
+  if (spec.npb_kernel == "cg") {
+    r = npb::run_cg_modeled(c, npb::Class::S);
+  } else if (spec.npb_kernel == "mg") {
+    r = npb::run_mg_modeled(c, npb::Class::S);
+  } else if (spec.npb_kernel == "ft") {
+    r = npb::run_ft_modeled(c, npb::Class::S);
+  } else if (spec.npb_kernel == "is") {
+    r = npb::run_is_modeled(c, npb::Class::S);
+  } else {
+    throw std::invalid_argument("sched: unknown NPB kernel '" +
+                                spec.npb_kernel + "'");
+  }
+  ctx.heartbeat(1);
+  JobOutcome out;
+  out.steps_done = 1;
+  out.metric = r.mops_per_second();
+  return out;
+}
+
+JobOutcome run_hpl(JobContext& ctx) {
+  const JobSpec& spec = *ctx.spec;
+  vmpi::Comm& c = *ctx.sub;
+  ctx.heartbeat(0);
+  const auto r = hpl::run_parallel_lu(c, spec.hpl_n, 16, spec.seed);
+  ctx.heartbeat(1);
+  JobOutcome out;
+  out.steps_done = 1;
+  out.metric = r.residual;
+  return out;
+}
+
+JobOutcome run_traffic(JobContext& ctx) {
+  const JobSpec& spec = *ctx.spec;
+  vmpi::Comm& c = *ctx.sub;
+  const int r = c.rank();
+  const int g = c.size();
+  // Even-odd pairing: rank 2k exchanges with 2k+1. Under the striped
+  // node map a pair straddles the inter-chassis trunk, so co-resident
+  // traffic jobs contend for it — the cross-tenant interference probe.
+  const int partner = (r % 2 == 0) ? (r + 1 < g ? r + 1 : -1) : r - 1;
+  const double t0 = c.barrier_max_time();
+  for (std::uint64_t it = 1; it <= spec.traffic_iters; ++it) {
+    ctx.heartbeat(it);
+    if (partner >= 0) {
+      for (std::uint64_t k = 0; k < spec.traffic_chunks; ++k) {
+        c.send_placeholder(partner, 1, spec.traffic_chunk_bytes);
+      }
+      for (std::uint64_t k = 0; k < spec.traffic_chunks; ++k) {
+        (void)c.recv_msg(partner, 1);
+      }
+    }
+  }
+  const double t1 = c.barrier_max_time();
+  const std::uint64_t senders = static_cast<std::uint64_t>(g - (g % 2));
+  const double payload_bits =
+      8.0 * static_cast<double>(senders * spec.traffic_iters *
+                                spec.traffic_chunks *
+                                spec.traffic_chunk_bytes);
+  JobOutcome out;
+  out.steps_done = spec.traffic_iters;
+  out.metric = t1 > t0 ? payload_bits / (t1 - t0) : 0.0;  // delivered bps
+  return out;
+}
+
+}  // namespace
+
+JobOutcome run_job(JobContext& ctx) {
+  switch (ctx.spec->kind) {
+    case JobKind::nbody:
+      return run_nbody(ctx);
+    case JobKind::npb:
+      return run_npb(ctx);
+    case JobKind::hpl:
+      return run_hpl(ctx);
+    case JobKind::traffic:
+      return run_traffic(ctx);
+  }
+  throw std::logic_error("sched: unknown job kind");
+}
+
+}  // namespace ss::sched

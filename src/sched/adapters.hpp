@@ -1,0 +1,55 @@
+// Workload adapters: run one JobSpec on a gang's sub-communicator.
+//
+// Each adapter runs SPMD on every rank of the job's partition, with the
+// Comm already switched to gang-local coordinates. Adapters call
+// JobContext::heartbeat(step) at every step boundary; the heartbeat
+// ticks the shared FaultInjector with this rank's *fabric node* and, via
+// a gang allreduce, converts a single injected node death into a
+// synchronized JobKilled throw on every member — the job tears down as a
+// unit (gang semantics) while co-resident tenants keep running.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "io/fault.hpp"
+#include "sched/job.hpp"
+#include "vmpi/comm.hpp"
+
+namespace ss::sched {
+
+/// Thrown (on every gang rank) when a fault kills a member node. Caught
+/// by the worker loop, which reports the kill to the head for
+/// restore-or-requeue; unlike io::RankFailure it never reaches
+/// Runtime::run, so the shared fabric is not torn down.
+struct JobKilled {
+  int job = -1;
+  std::uint64_t step = 0;
+  int node = -1;  ///< The fabric node that died.
+};
+
+struct JobOutcome {
+  std::uint64_t steps_done = 0;
+  double metric = 0.0;
+  bool restored = false;  ///< Resumed from a checkpoint (nbody only).
+  std::uint64_t restored_step = 0;
+};
+
+/// Everything an adapter needs on one gang rank.
+struct JobContext {
+  const JobSpec* spec = nullptr;
+  vmpi::Comm* sub = nullptr;  ///< Gang-local coordinates (rank 0 = root).
+  std::filesystem::path job_dir;
+  io::FaultInjector* fault = nullptr;  ///< Shared; null = no injection.
+  int node = 0;  ///< Fabric node this rank is placed on.
+
+  /// Collective over the gang: tick the injector and, if any member's
+  /// node died this step, throw JobKilled everywhere.
+  void heartbeat(std::uint64_t step);
+};
+
+/// Dispatch on spec->kind. Collective over the gang; throws JobKilled on
+/// an injected member death.
+JobOutcome run_job(JobContext& ctx);
+
+}  // namespace ss::sched

@@ -1,0 +1,92 @@
+#include "sched/job.hpp"
+
+namespace ss::sched {
+
+const char* to_string(JobKind k) {
+  switch (k) {
+    case JobKind::nbody:
+      return "nbody";
+    case JobKind::npb:
+      return "npb";
+    case JobKind::hpl:
+      return "hpl";
+    case JobKind::traffic:
+      return "traffic";
+  }
+  return "?";
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::pending:
+      return "pending";
+    case JobState::done:
+      return "done";
+    case JobState::failed:
+      return "failed";
+    case JobState::skipped_done:
+      return "skipped_done";
+  }
+  return "?";
+}
+
+JobSpec fig7_job(int index, int gang, std::uint64_t steps) {
+  JobSpec j;
+  j.name = "fig7-" + std::to_string(index);
+  j.kind = JobKind::nbody;
+  j.gang = gang;
+  j.priority = 0;
+  j.seed = 1000 + static_cast<std::uint64_t>(index);
+  j.bodies = 96;
+  j.steps = steps;
+  j.checkpoint_every = 2;
+  return j;
+}
+
+JobSpec fig8_job(int index, int gang, std::uint64_t steps) {
+  JobSpec j;
+  j.name = "fig8-" + std::to_string(index);
+  j.kind = JobKind::nbody;
+  j.gang = gang;
+  j.priority = 2;
+  j.seed = 2000 + static_cast<std::uint64_t>(index);
+  j.bodies = 64;
+  j.steps = steps;
+  j.checkpoint_every = 1;
+  return j;
+}
+
+JobSpec npb_job(const std::string& kernel, int gang) {
+  JobSpec j;
+  j.name = "npb-" + kernel;
+  j.kind = JobKind::npb;
+  j.gang = gang;
+  j.priority = 1;
+  j.npb_kernel = kernel;
+  return j;
+}
+
+JobSpec linpack_job(std::uint64_t n, int gang) {
+  JobSpec j;
+  j.name = "linpack-" + std::to_string(n);
+  j.kind = JobKind::hpl;
+  j.gang = gang;
+  j.priority = 1;
+  j.hpl_n = n;
+  return j;
+}
+
+JobSpec traffic_job(int index, int gang, std::uint64_t iters,
+                    std::uint64_t chunks, std::uint64_t chunk_bytes) {
+  JobSpec j;
+  j.name = "traffic-" + std::to_string(index);
+  j.kind = JobKind::traffic;
+  j.gang = gang;
+  j.priority = 0;
+  j.traffic_iters = iters;
+  j.traffic_chunks = chunks;
+  j.traffic_chunk_bytes = chunk_bytes;
+  return j;
+}
+
+}  // namespace ss::sched

@@ -1,0 +1,115 @@
+// Job and campaign model for the ensemble scheduler.
+//
+// The Space Simulator was operated as a shared resource: cosmology
+// parameter sweeps (paper Fig 7), supernova progenitor grids (Fig 8) and
+// benchmark batches (NPB, Linpack) queued against one 294-node fabric.
+// A JobSpec describes one such job — what to run, how many ranks it
+// gangs together, and how urgent it is; a Campaign is the ordered batch
+// a ClusterService drains onto the shared virtual cluster.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ss::sched {
+
+/// Workload families the scheduler knows how to launch on a partition.
+enum class JobKind : int {
+  nbody = 0,    ///< Distributed treecode integration (fig7/fig8 proxies).
+  npb = 1,      ///< One NPB kernel (cg/mg/ft/is), modeled class S.
+  hpl = 2,      ///< Parallel LU solve (Linpack-style).
+  traffic = 3,  ///< Pairwise bandwidth probe (pure fabric load).
+};
+
+const char* to_string(JobKind k);
+
+struct JobSpec {
+  int id = -1;  ///< Assigned by Campaign::add; stable across service runs.
+  std::string name;
+  JobKind kind = JobKind::nbody;
+  int gang = 4;      ///< Ranks requested (one contiguous partition).
+  int priority = 0;  ///< Larger = placed earlier; ties broken by id.
+  std::uint64_t seed = 42;
+
+  // nbody
+  int bodies = 96;
+  std::uint64_t steps = 4;
+  double dt = 1e-3;
+  std::uint64_t checkpoint_every = 2;  ///< 0: only the base generation.
+
+  // npb
+  std::string npb_kernel = "cg";  ///< cg | mg | ft | is
+
+  // hpl
+  std::uint64_t hpl_n = 64;
+
+  // traffic
+  std::uint64_t traffic_iters = 4;
+  std::uint64_t traffic_chunks = 8;
+  std::uint64_t traffic_chunk_bytes = 1u << 18;
+};
+
+/// A named batch of jobs. Job ids are dense indices into `jobs`.
+struct Campaign {
+  std::string name = "campaign";
+  std::vector<JobSpec> jobs;
+
+  /// Append a job; returns its id.
+  int add(JobSpec spec) {
+    spec.id = static_cast<int>(jobs.size());
+    jobs.push_back(std::move(spec));
+    return jobs.back().id;
+  }
+};
+
+enum class JobState : int {
+  pending = 0,       ///< Still queued when the service stopped.
+  done = 1,          ///< Completed this service run (result committed).
+  failed = 2,        ///< Exhausted max_attempts.
+  skipped_done = 3,  ///< Valid result found on disk; not rerun.
+};
+
+const char* to_string(JobState s);
+
+/// Per-job outcome as the head saw it (merged into CampaignResult and
+/// mirrored into the `job.<id>.*` obs rollups).
+struct JobRecord {
+  int id = -1;
+  std::string name;
+  JobKind kind = JobKind::nbody;
+  int gang = 0;
+  JobState state = JobState::pending;
+  int attempts = 0;  ///< Assignments this service run.
+  int requeues = 0;  ///< Kill-triggered re-assignments this run.
+  int base = -1;     ///< World-rank base of the last partition.
+  double queue_wait = 0.0;  ///< Virtual seconds from submit to first gang.
+  double wall = 0.0;        ///< Virtual seconds of the completing attempt.
+  std::uint64_t messages = 0;  ///< Gang messages during the job (collectives
+  std::uint64_t bytes = 0;     ///< included), summed over members.
+  double metric = 0.0;  ///< Adapter figure: energy (nbody), Mop/s (npb),
+                        ///< residual (hpl), delivered bps (traffic).
+  std::uint64_t steps_done = 0;
+  bool restored = false;  ///< Resumed from a checkpoint generation.
+  std::uint64_t restored_step = 0;
+};
+
+// -- campaign factories ------------------------------------------------------
+
+/// One member of the Fig 7 cosmology sweep: a small self-gravitating
+/// sphere whose seed varies across the grid.
+JobSpec fig7_job(int index, int gang = 4, std::uint64_t steps = 4);
+
+/// One member of the Fig 8 progenitor grid: denser core, shorter runs,
+/// higher priority (the paper's supernova jobs were the interactive
+/// workload between cosmology sweeps).
+JobSpec fig8_job(int index, int gang = 2, std::uint64_t steps = 3);
+
+JobSpec npb_job(const std::string& kernel, int gang = 4);
+JobSpec linpack_job(std::uint64_t n, int gang = 4);
+JobSpec traffic_job(int index, int gang = 4, std::uint64_t iters = 4,
+                    std::uint64_t chunks = 8,
+                    std::uint64_t chunk_bytes = 1u << 18);
+
+}  // namespace ss::sched

@@ -1,0 +1,497 @@
+#include "sched/service.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/report.hpp"
+#include "sched/adapters.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/timemodel.hpp"
+
+namespace ss::sched {
+
+namespace {
+
+// Root-level application tags of the head <-> worker control plane.
+constexpr int kTagCtrl = 1;
+constexpr int kTagDone = 2;
+
+constexpr int kOpAssign = 1;
+constexpr int kOpShutdown = 2;
+
+struct CtrlMsg {
+  int op = 0;
+  int job = -1;
+  int base = 0;  ///< World-rank base of the gang partition.
+  int gang = 0;
+  int ctx = 0;  ///< Sub-communicator tag context for this attempt.
+  int attempt = 0;
+};
+
+struct DoneMsg {
+  int job = -1;
+  int ok = 0;  ///< 1 = completed (result committed), 0 = killed.
+  int attempt = 0;
+  int victim_node = -1;
+  std::uint64_t killed_step = 0;
+  double t0 = 0.0;  ///< Gang-aligned start / end virtual times.
+  double t1 = 0.0;
+  std::uint64_t messages = 0;  ///< Summed over the gang, this job only.
+  std::uint64_t bytes = 0;
+  std::uint64_t steps_done = 0;
+  double metric = 0.0;
+  int restored = 0;
+  std::uint64_t restored_step = 0;
+};
+
+struct TrafficDelta {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Maps world ranks onto fabric nodes before delegating to the shared
+/// cluster model, so one Topology serves head + workers under any
+/// placement (packed, striped) without the fabric knowing about jobs.
+class PartitionedModel final : public vmpi::TimeModel {
+ public:
+  PartitionedModel(std::shared_ptr<vmpi::ClusterTimeModel> inner,
+                   std::vector<int> node_of)
+      : inner_(std::move(inner)), node_of_(std::move(node_of)) {}
+
+  double arrival(int src, int dst, std::size_t bytes,
+                 double depart) override {
+    return inner_->arrival(node_of_[static_cast<std::size_t>(src)],
+                           node_of_[static_cast<std::size_t>(dst)], bytes,
+                           depart);
+  }
+  double compute_seconds(std::uint64_t flops,
+                         std::uint64_t bytes) const override {
+    return inner_->compute_seconds(flops, bytes);
+  }
+
+ private:
+  std::shared_ptr<vmpi::ClusterTimeModel> inner_;
+  std::vector<int> node_of_;
+};
+
+void worker_loop(vmpi::Comm& c, const Campaign& campaign,
+                 CampaignStore& store, const ServiceConfig& cfg,
+                 const std::vector<int>& node_of) {
+  obs::Rank* rec = obs::tls();
+  for (;;) {
+    if (rec != nullptr) rec->begin("sched.idle");
+    const CtrlMsg m = c.recv_value<CtrlMsg>(0, kTagCtrl);
+    if (rec != nullptr) rec->end();
+    if (m.op == kOpShutdown) return;
+
+    const JobSpec& spec = campaign.jobs[static_cast<std::size_t>(m.job)];
+    const std::uint64_t msgs0 = c.sent_messages();
+    const std::uint64_t bytes0 = c.sent_bytes();
+    bool killed = false;
+    JobKilled kinfo{};
+    JobOutcome oc{};
+    DoneMsg rep{};
+    {
+      auto gang = c.partition(m.base, m.gang, m.ctx);
+      JobContext jc;
+      jc.spec = &spec;
+      jc.sub = &c;
+      jc.job_dir = store.job_dir(spec.id);
+      jc.fault = cfg.fault;
+      jc.node = node_of[static_cast<std::size_t>(c.world_rank())];
+      rep.t0 = c.barrier_max_time();
+      if (rec != nullptr) {
+        rec->begin("job." + std::to_string(spec.id) + ".run");
+      }
+      try {
+        oc = run_job(jc);
+      } catch (const JobKilled& k) {
+        killed = true;
+        kinfo = k;
+      }
+      if (rec != nullptr) rec->end();
+      if (killed) {
+        // Align the gang: exiting this barrier implies every member has
+        // executed all its pre-kill sends (delivery is synchronous), so
+        // the purge below cannot race a straggler's last message.
+        c.barrier();
+      }
+      rep.t1 = c.barrier_max_time();
+      const TrafficDelta mine{c.sent_messages() - msgs0,
+                              c.sent_bytes() - bytes0};
+      const auto all =
+          c.gather(std::span<const TrafficDelta>(&mine, 1), 0);
+      if (c.rank() == 0) {
+        for (const TrafficDelta& d : all) {
+          rep.messages += d.messages;
+          rep.bytes += d.bytes;
+        }
+        rep.job = spec.id;
+        rep.ok = killed ? 0 : 1;
+        rep.attempt = m.attempt;
+        rep.victim_node = kinfo.node;
+        rep.killed_step = kinfo.step;
+        rep.steps_done = oc.steps_done;
+        rep.metric = oc.metric;
+        rep.restored = oc.restored ? 1 : 0;
+        rep.restored_step = oc.restored_step;
+        if (!killed) {
+          // Commit the durable completion marker before telling the
+          // head: "done" in the head's books implies "result on disk".
+          JobResult res;
+          res.id = spec.id;
+          res.attempt = m.attempt;
+          res.wall = rep.t1 - rep.t0;
+          res.metric = oc.metric;
+          res.messages = rep.messages;
+          res.bytes = rep.bytes;
+          res.steps_done = oc.steps_done;
+          res.restored = oc.restored;
+          res.restored_step = oc.restored_step;
+          store.commit_result(res);
+        }
+      }
+    }
+    if (killed) (void)c.purge_context(m.ctx);
+    if (c.world_rank() == m.base) c.send_value(0, kTagDone, rep);
+  }
+}
+
+struct HeadState {
+  CampaignResult* result = nullptr;
+  const Campaign* campaign = nullptr;
+  const ServiceConfig* cfg = nullptr;
+  const std::vector<int>* node_of = nullptr;
+};
+
+void rollup_job(const JobRecord& rec) {
+  obs::Rank* r = obs::tls();
+  if (r == nullptr) return;
+  auto& reg = r->registry();
+  const std::string pre = "job." + std::to_string(rec.id) + ".";
+  reg.counter(pre + "attempts").add(static_cast<std::uint64_t>(rec.attempts));
+  reg.counter(pre + "requeues").add(static_cast<std::uint64_t>(rec.requeues));
+  reg.counter(pre + "messages").add(rec.messages);
+  reg.counter(pre + "bytes").add(rec.bytes);
+  reg.counter(pre + "steps_done").add(rec.steps_done);
+  reg.gauge(pre + "wall_seconds").set(rec.wall);
+  reg.gauge(pre + "queue_wait_seconds").set(rec.queue_wait);
+  reg.gauge(pre + "metric").set(rec.metric);
+  reg.gauge(pre + "done").set(rec.state == JobState::done ||
+                                      rec.state == JobState::skipped_done
+                                  ? 1.0
+                                  : 0.0);
+}
+
+void head_loop(vmpi::Comm& c, const HeadState& hs) {
+  CampaignResult& result = *hs.result;
+  const Campaign& campaign = *hs.campaign;
+  const ServiceConfig& cfg = *hs.cfg;
+  const std::vector<int>& node_of = *hs.node_of;
+  const int nranks = c.size();
+
+  // Queue in (priority desc, id asc) order; done-on-disk jobs excluded.
+  auto before = [&](int a, int b) {
+    const int pa = campaign.jobs[static_cast<std::size_t>(a)].priority;
+    const int pb = campaign.jobs[static_cast<std::size_t>(b)].priority;
+    return pa != pb ? pa > pb : a < b;
+  };
+  std::vector<int> queue;
+  for (const JobRecord& rec : result.jobs) {
+    if (rec.state == JobState::pending) queue.push_back(rec.id);
+  }
+  std::sort(queue.begin(), queue.end(), before);
+
+  std::vector<char> busy(static_cast<std::size_t>(nranks), 0);
+  busy[0] = 1;  // the head never hosts gangs
+  std::vector<double> node_free_at;
+  for (int r = 0; r < nranks; ++r) {
+    node_free_at.resize(
+        std::max(node_free_at.size(),
+                 static_cast<std::size_t>(node_of[static_cast<std::size_t>(
+                     r)]) + 1),
+        0.0);
+  }
+
+  struct Active {
+    int base = 0;
+    int gang = 0;
+    int attempt = 0;
+  };
+  std::map<int, Active> active;
+  int completions = 0;
+  bool stopping = false;
+
+  auto usable = [&](int r) {
+    return busy[static_cast<std::size_t>(r)] == 0 &&
+           node_free_at[static_cast<std::size_t>(
+               node_of[static_cast<std::size_t>(r)])] <= c.time();
+  };
+  auto find_slot = [&](int gang) {
+    for (int b = 1; b + gang <= nranks + 1; ++b) {
+      if (b + gang > nranks) return -1;
+      bool ok = true;
+      for (int r = b; r < b + gang; ++r) {
+        if (!usable(r)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return b;
+    }
+    return -1;
+  };
+
+  auto place = [&] {
+    if (stopping) return;
+    bool blocked = false;
+    for (auto it = queue.begin(); it != queue.end();) {
+      const JobSpec& spec = campaign.jobs[static_cast<std::size_t>(*it)];
+      const int base = find_slot(spec.gang);
+      if (base < 0) {
+        blocked = true;
+        ++it;
+        continue;
+      }
+      if (blocked) ++result.backfills;  // placed past a waiting job
+      JobRecord& rec = result.jobs[static_cast<std::size_t>(*it)];
+      if (rec.attempts == 0) rec.queue_wait = c.time();
+      const int attempt = rec.attempts++;
+      // A fresh tag context per attempt: attempt k+1 can never match
+      // stale traffic of attempt k (killed attempts also purge theirs).
+      const int ctx = spec.id * cfg.max_attempts + attempt;
+      CtrlMsg m;
+      m.op = kOpAssign;
+      m.job = spec.id;
+      m.base = base;
+      m.gang = spec.gang;
+      m.ctx = ctx;
+      m.attempt = attempt;
+      for (int r = base; r < base + spec.gang; ++r) {
+        busy[static_cast<std::size_t>(r)] = 1;
+        c.send_value(r, kTagCtrl, m);
+      }
+      rec.base = base;
+      active[spec.id] = Active{base, spec.gang, attempt};
+      it = queue.erase(it);
+    }
+  };
+
+  place();
+  while (!active.empty() || (!queue.empty() && !stopping)) {
+    if (active.empty()) {
+      // Everything queued is blocked on node cooldowns: advance the head
+      // clock to the earliest release and retry.
+      double next = std::numeric_limits<double>::infinity();
+      for (const double t : node_free_at) {
+        if (t > c.time()) next = std::min(next, t);
+      }
+      if (!std::isfinite(next)) {
+        throw std::logic_error(
+            "sched: queue stuck with no active jobs or pending cooldowns");
+      }
+      c.compute(next - c.time());
+      place();
+      continue;
+    }
+
+    const DoneMsg d = c.recv_value<DoneMsg>(vmpi::kAnySource, kTagDone);
+    const auto it = active.find(d.job);
+    if (it == active.end()) {
+      throw std::logic_error("sched: completion for a job not active");
+    }
+    const Active act = it->second;
+    active.erase(it);
+    for (int r = act.base; r < act.base + act.gang; ++r) {
+      busy[static_cast<std::size_t>(r)] = 0;
+    }
+
+    JobRecord& rec = result.jobs[static_cast<std::size_t>(d.job)];
+    rec.messages = d.messages;
+    rec.bytes = d.bytes;
+    rec.metric = d.metric;
+    rec.steps_done = d.steps_done;
+    rec.restored = d.restored != 0;
+    rec.restored_step = d.restored_step;
+    if (d.ok != 0) {
+      rec.state = JobState::done;
+      rec.wall = d.t1 - d.t0;
+      rollup_job(rec);
+      ++completions;
+      if (cfg.stop_after_jobs > 0 && completions >= cfg.stop_after_jobs) {
+        stopping = true;
+      }
+    } else {
+      ++result.node_kills;
+      if (d.victim_node >= 0 &&
+          static_cast<std::size_t>(d.victim_node) < node_free_at.size()) {
+        node_free_at[static_cast<std::size_t>(d.victim_node)] =
+            c.time() + cfg.node_cooldown_seconds;
+      }
+      ++rec.requeues;
+      ++result.requeues;
+      if (rec.attempts >= cfg.max_attempts) {
+        rec.state = JobState::failed;
+        rollup_job(rec);
+      } else {
+        queue.insert(std::upper_bound(queue.begin(), queue.end(), d.job,
+                                      before),
+                     d.job);
+      }
+    }
+    place();
+  }
+
+  for (int r = 1; r < nranks; ++r) {
+    CtrlMsg m;
+    m.op = kOpShutdown;
+    c.send_value(r, kTagCtrl, m);
+  }
+
+  // Jobs never completed (stop_after_jobs or exhausted attempts) still
+  // get their rollups so the summary reflects the whole campaign.
+  for (const JobRecord& rec : result.jobs) {
+    if (rec.state == JobState::pending) rollup_job(rec);
+  }
+  obs::Rank* r = obs::tls();
+  if (r != nullptr) {
+    auto& reg = r->registry();
+    reg.counter("campaign.jobs")
+        .add(static_cast<std::uint64_t>(result.jobs.size()));
+    reg.counter("campaign.jobs_done")
+        .add(static_cast<std::uint64_t>(completions));
+    reg.counter("campaign.jobs_skipped_done")
+        .add(static_cast<std::uint64_t>(result.skipped_done));
+    reg.counter("campaign.requeues")
+        .add(static_cast<std::uint64_t>(result.requeues));
+    reg.counter("campaign.node_kills")
+        .add(static_cast<std::uint64_t>(result.node_kills));
+    reg.counter("campaign.backfills")
+        .add(static_cast<std::uint64_t>(result.backfills));
+    reg.gauge("campaign.makespan_seconds").set(c.time());
+  }
+}
+
+std::vector<int> build_node_map(const simnet::TopologyConfig& topo,
+                                int nranks, bool striped) {
+  std::vector<int> node_of;
+  node_of.reserve(static_cast<std::size_t>(nranks));
+  if (!striped) {
+    for (int r = 0; r < nranks; ++r) node_of.push_back(r);
+    return node_of;
+  }
+  // Head on node 0; workers alternate between the two chassis so every
+  // gang of >= 2 spans the inter-chassis trunk.
+  const int c0 = std::min(topo.chassis0_ports, topo.nodes);
+  std::vector<int> a, b;
+  for (int n = 1; n < c0; ++n) a.push_back(n);
+  for (int n = c0; n < topo.nodes; ++n) b.push_back(n);
+  node_of.push_back(0);
+  std::size_t ia = 0, ib = 0;
+  for (int r = 1; r < nranks; ++r) {
+    const bool pick_a = (r % 2 == 1) ? ia < a.size() : ib >= b.size();
+    if (pick_a) {
+      node_of.push_back(a[ia++]);
+    } else {
+      node_of.push_back(b[ib++]);
+    }
+  }
+  return node_of;
+}
+
+}  // namespace
+
+ClusterService::ClusterService(std::filesystem::path dir, Campaign campaign,
+                               ServiceConfig cfg)
+    : campaign_(std::move(campaign)),
+      cfg_(std::move(cfg)),
+      store_(std::move(dir), campaign_) {
+  if (cfg_.workers < 1) {
+    throw std::invalid_argument("sched: need at least one worker");
+  }
+  for (const JobSpec& j : campaign_.jobs) {
+    if (j.gang < 1 || j.gang > cfg_.workers) {
+      throw std::invalid_argument("sched: job '" + j.name +
+                                  "' gang does not fit the cluster");
+    }
+  }
+  const int nranks = cfg_.workers + 1;
+  if (cfg_.topo.nodes < nranks) cfg_.topo.nodes = nranks;
+  node_of_ = build_node_map(cfg_.topo, nranks, cfg_.striped);
+}
+
+int ClusterService::node_of(int rank) const {
+  return node_of_.at(static_cast<std::size_t>(rank));
+}
+
+CampaignResult ClusterService::run() {
+  const int nranks = cfg_.workers + 1;
+
+  CampaignResult result;
+  result.jobs.resize(campaign_.jobs.size());
+  for (const JobSpec& spec : campaign_.jobs) {
+    JobRecord& rec = result.jobs[static_cast<std::size_t>(spec.id)];
+    rec.id = spec.id;
+    rec.name = spec.name;
+    rec.kind = spec.kind;
+    rec.gang = spec.gang;
+    // Resume: a valid committed result means this job is already done.
+    if (auto prior = store_.load_result(spec.id)) {
+      rec.state = JobState::skipped_done;
+      rec.wall = prior->wall;
+      rec.metric = prior->metric;
+      rec.messages = prior->messages;
+      rec.bytes = prior->bytes;
+      rec.steps_done = prior->steps_done;
+      rec.restored = prior->restored;
+      rec.restored_step = prior->restored_step;
+      ++result.skipped_done;
+    }
+  }
+
+  session_ = std::make_unique<obs::Session>(nranks, cfg_.event_capacity);
+  auto inner = std::make_shared<vmpi::ClusterTimeModel>(
+      simnet::Topology(cfg_.topo),
+      cfg_.profile != nullptr ? *cfg_.profile : simnet::lam_homogeneous(),
+      cfg_.flops_per_second, cfg_.bytes_per_second);
+  auto model = std::make_shared<PartitionedModel>(inner, node_of_);
+  vmpi::Runtime rt(nranks, model);
+  rt.attach_observer(session_.get());
+
+  HeadState hs;
+  hs.result = &result;
+  hs.campaign = &campaign_;
+  hs.cfg = &cfg_;
+  hs.node_of = &node_of_;
+  rt.run([&](vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      head_loop(c, hs);
+    } else {
+      worker_loop(c, campaign_, store_, cfg_, node_of_);
+    }
+  });
+  result.makespan = rt.elapsed_vtime();
+
+  // Rollups for skipped jobs live with this run's summary too.
+  for (const JobRecord& rec : result.jobs) {
+    if (rec.state == JobState::skipped_done) {
+      obs::Rank& head = session_->rank(0);
+      auto& reg = head.registry();
+      const std::string pre = "job." + std::to_string(rec.id) + ".";
+      reg.gauge(pre + "done").set(1.0);
+      reg.gauge(pre + "wall_seconds").set(rec.wall);
+      reg.gauge(pre + "metric").set(rec.metric);
+    }
+  }
+  if (!cfg_.summary_path.empty()) {
+    obs::write_summary_file(*session_, cfg_.summary_path);
+  }
+  return result;
+}
+
+}  // namespace ss::sched

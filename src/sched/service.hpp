@@ -1,0 +1,114 @@
+// ClusterService: multi-tenant campaign execution on one shared fabric.
+//
+// One vmpi::Runtime hosts the whole cluster: rank 0 is the dedicated
+// head node (scheduler), ranks 1..P are workers, and every rank is
+// mapped to a node of one simnet::Topology through a shared
+// ClusterTimeModel — so co-resident jobs genuinely contend for ports,
+// module backplanes and the inter-chassis trunk, in virtual time.
+//
+// The head drains a priority queue with aggressive backfill: jobs are
+// considered in (priority desc, id asc) order and any job that fits a
+// contiguous free rank range is placed, even if a bigger, more urgent
+// job is still waiting (classic space-sharing backfill). A placed job
+// becomes a gang: its workers enter a vmpi sub-communicator over the
+// partition (a fresh tag context per attempt) and run the workload
+// adapter. Fault-injected node kills take the whole gang down as a unit
+// (JobKilled), the head requeues the job — onto any fresh partition,
+// while the victim node sits out a cooldown — and the job's next attempt
+// restores from its per-job checkpoint store where the workload
+// supports it.
+//
+// Completion is durable: the gang root commits `result.ssb` atomically
+// before the head ever marks the job done, so a killed service reopened
+// on the same directory skips exactly the jobs whose results validate.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/fault.hpp"
+#include "obs/obs.hpp"
+#include "sched/job.hpp"
+#include "sched/store.hpp"
+#include "simnet/profile.hpp"
+#include "simnet/topology.hpp"
+
+namespace ss::sched {
+
+struct ServiceConfig {
+  int workers = 8;  ///< Worker ranks (the runtime adds the head rank).
+  /// Fabric shape; nodes is raised to workers + 1 when smaller. The head
+  /// occupies node 0.
+  simnet::TopologyConfig topo;
+  /// MPI library profile for the fabric (null: lam_homogeneous()).
+  const simnet::LibraryProfile* profile = nullptr;
+  double flops_per_second = 650e6;
+  double bytes_per_second = 1.2e9;
+  /// Node map: false = packed (worker r on node r), true = striped across
+  /// the two chassis, so every gang of >= 2 spans the inter-chassis trunk
+  /// (the configuration contention experiments use).
+  bool striped = false;
+  /// Shared fault injector, ticked with (node, job-step). Entries fire
+  /// once; node 0 (the head) never ticks. Null = no faults.
+  io::FaultInjector* fault = nullptr;
+  int max_attempts = 4;  ///< Assignments per job before it is failed.
+  /// Virtual seconds a killed node sits out before hosting gangs again.
+  double node_cooldown_seconds = 30.0;
+  /// Stop assigning after this many completions this run (0 = drain the
+  /// whole queue). Used by drain-stop and crash-resume tests.
+  int stop_after_jobs = 0;
+  /// When non-empty, the session summary (schema ss.obs.summary.v1, with
+  /// the per-job `job.<id>.*` and `campaign.*` rollups) is written here.
+  std::string summary_path;
+  std::size_t event_capacity = 1 << 12;  ///< Per-rank trace ring size.
+};
+
+struct CampaignResult {
+  std::vector<JobRecord> jobs;  ///< Indexed by job id.
+  double makespan = 0.0;        ///< Head's final virtual time.
+  int requeues = 0;             ///< Kill-triggered re-assignments.
+  int node_kills = 0;
+  int backfills = 0;     ///< Placements past a blocked higher-prio job.
+  int skipped_done = 0;  ///< Jobs already committed by a previous run.
+
+  bool all_done() const {
+    for (const JobRecord& j : jobs) {
+      if (j.state != JobState::done && j.state != JobState::skipped_done) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class ClusterService {
+ public:
+  /// Opens (or resumes) the campaign store under `dir`. Throws
+  /// std::invalid_argument when any job's gang exceeds `cfg.workers`,
+  /// io::FormatError when `dir` holds a different campaign's manifest.
+  ClusterService(std::filesystem::path dir, Campaign campaign,
+                 ServiceConfig cfg);
+
+  /// Drain the queue (or stop after cfg.stop_after_jobs completions).
+  /// Runs the whole virtual cluster; returns when every worker shut down.
+  CampaignResult run();
+
+  const Campaign& campaign() const { return campaign_; }
+  /// The observer session of the last run() (rollups live in rank 0's
+  /// registry). Valid until the next run().
+  obs::Session* observer() { return session_.get(); }
+  /// Fabric node hosting world rank r under this config's node map.
+  int node_of(int rank) const;
+
+ private:
+  Campaign campaign_;
+  ServiceConfig cfg_;
+  CampaignStore store_;
+  std::vector<int> node_of_;  ///< rank -> node (index 0 = head).
+  std::unique_ptr<obs::Session> session_;
+};
+
+}  // namespace ss::sched

@@ -1,0 +1,129 @@
+#include "sched/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "io/blockfile.hpp"
+
+namespace ss::sched {
+
+namespace {
+
+constexpr char kManifestName[] = "manifest.ssb";
+
+std::string join_names(const Campaign& c) {
+  std::string out;
+  for (const JobSpec& j : c.jobs) {
+    out += j.name;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::byte> manifest_image(const Campaign& c) {
+  io::BlockBuilder b;
+  const std::size_t n = c.jobs.size();
+  std::vector<std::uint64_t> kinds(n), gangs(n);
+  std::vector<std::int64_t> prios(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kinds[i] = static_cast<std::uint64_t>(c.jobs[i].kind);
+    gangs[i] = static_cast<std::uint64_t>(c.jobs[i].gang);
+    prios[i] = c.jobs[i].priority;
+  }
+  b.add_scalar("njobs", static_cast<std::uint64_t>(n));
+  b.add<std::uint64_t>("kinds", kinds);
+  b.add<std::uint64_t>("gangs", gangs);
+  b.add<std::int64_t>("priorities", prios);
+  const std::string names = join_names(c);
+  b.add<char>("names", std::span<const char>(names.data(), names.size()));
+  return b.finish();
+}
+
+}  // namespace
+
+CampaignStore::CampaignStore(std::filesystem::path dir,
+                             const Campaign& campaign)
+    : dir_(std::move(dir)), njobs_(static_cast<int>(campaign.jobs.size())) {
+  std::filesystem::create_directories(dir_ / "jobs");
+  const auto path = dir_ / kManifestName;
+  const auto fresh = manifest_image(campaign);
+  if (!std::filesystem::exists(path)) {
+    io::write_file_atomic(path, fresh);
+    return;
+  }
+  // Reopen: the on-disk manifest must describe this exact campaign.
+  io::BlockReader have(path);
+  have.verify_all();
+  io::BlockReader want(fresh, "<campaign>");
+  for (const char* block : {"njobs", "kinds", "gangs", "names"}) {
+    const auto a = have.payload_checked(have.info(block));
+    const auto b = want.payload_checked(want.info(block));
+    if (a.size() != b.size() ||
+        !std::equal(a.begin(), a.end(), b.begin())) {
+      throw io::FormatError(dir_.string() +
+                            ": campaign does not match on-disk manifest "
+                            "(block '" +
+                            block + "' differs)");
+    }
+  }
+}
+
+std::filesystem::path CampaignStore::job_dir(int id) const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "job_%04d", id);
+  auto p = dir_ / "jobs" / buf;
+  std::filesystem::create_directories(p);
+  return p;
+}
+
+std::filesystem::path CampaignStore::result_path(int id) const {
+  return job_dir(id) / "result.ssb";
+}
+
+void CampaignStore::commit_result(const JobResult& r) {
+  io::BlockBuilder b;
+  b.add_scalar("job_id", static_cast<std::uint64_t>(r.id));
+  b.add_scalar("attempt", static_cast<std::uint64_t>(r.attempt));
+  b.add_scalar("wall_seconds", r.wall);
+  b.add_scalar("metric", r.metric);
+  b.add_scalar("messages", r.messages);
+  b.add_scalar("bytes", r.bytes);
+  b.add_scalar("steps_done", r.steps_done);
+  b.add_scalar("restored", static_cast<std::uint64_t>(r.restored ? 1 : 0));
+  b.add_scalar("restored_step", r.restored_step);
+  io::write_file_atomic(result_path(r.id), b.finish());
+}
+
+std::optional<JobResult> CampaignStore::load_result(int id) const {
+  const auto path = result_path(id);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  try {
+    io::BlockReader r(path);
+    r.verify_all();
+    JobResult out;
+    out.id = static_cast<int>(r.read_u64("job_id"));
+    if (out.id != id) return std::nullopt;
+    out.attempt = static_cast<int>(r.read_u64("attempt"));
+    out.wall = r.read_f64("wall_seconds");
+    out.metric = r.read_f64("metric");
+    out.messages = r.read_u64("messages");
+    out.bytes = r.read_u64("bytes");
+    out.steps_done = r.read_u64("steps_done");
+    out.restored = r.read_u64("restored") != 0;
+    out.restored_step = r.read_u64("restored_step");
+    return out;
+  } catch (const io::IoError&) {
+    return std::nullopt;  // damaged marker: the job is not done
+  }
+}
+
+std::vector<int> CampaignStore::completed() const {
+  std::vector<int> out;
+  for (int id = 0; id < njobs_; ++id) {
+    if (load_result(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ss::sched

@@ -1,0 +1,71 @@
+// Campaign manifest + per-job results on disk (SSBLOCK1).
+//
+// Layout under the campaign directory:
+//
+//   manifest.ssb            campaign identity: job ids/kinds/gangs/names.
+//                           Written atomically once; a reopening service
+//                           validates its campaign against it, so a
+//                           resumed queue cannot silently run different
+//                           jobs under old results.
+//   jobs/job_NNNN/          one directory per job:
+//     ckpt/                 the job's CheckpointStore (nbody restore).
+//     result.ssb            the commit marker. Written atomically by the
+//                           gang root when (and only when) the job
+//                           completes; a job is "done" exactly when this
+//                           file exists and validates (CRCs + id match).
+//
+// A killed service therefore resumes by scanning result files: finished
+// jobs are skipped, half-written results (no file, stray .tmp, damaged
+// blocks) are rerun.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace ss::sched {
+
+/// Result payload committed per job (subset of JobRecord that the gang
+/// root knows; queue-side fields like queue_wait live with the head).
+struct JobResult {
+  int id = -1;
+  int attempt = 0;  ///< Attempt (within its service run) that finished.
+  double wall = 0.0;
+  double metric = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t steps_done = 0;
+  bool restored = false;
+  std::uint64_t restored_step = 0;
+};
+
+class CampaignStore {
+ public:
+  /// Open (creating directories as needed). Writes the manifest if
+  /// absent; otherwise validates `campaign` against it and throws
+  /// io::FormatError on any mismatch.
+  CampaignStore(std::filesystem::path dir, const Campaign& campaign);
+
+  const std::filesystem::path& dir() const { return dir_; }
+  std::filesystem::path job_dir(int id) const;      ///< Created on demand.
+  std::filesystem::path result_path(int id) const;  ///< job_dir/result.ssb
+
+  /// Atomically commit a job's result (the completion marker).
+  void commit_result(const JobResult& r);
+
+  /// The committed result for `id`, if one exists and validates (all
+  /// payload CRCs good, id matches). Damaged or foreign files: nullopt.
+  std::optional<JobResult> load_result(int id) const;
+
+  /// Ids of all jobs with a valid committed result.
+  std::vector<int> completed() const;
+
+ private:
+  std::filesystem::path dir_;
+  int njobs_;
+};
+
+}  // namespace ss::sched

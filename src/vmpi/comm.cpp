@@ -1,13 +1,121 @@
 #include "vmpi/comm.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <exception>
+#include <limits>
 #include <thread>
 
 namespace ss::vmpi {
 
-int Comm::size() const { return rt_->nranks_; }
+int Comm::size() const {
+  return groups_.empty() ? rt_->nranks_
+                         : static_cast<int>(groups_.back().members.size());
+}
+
+int Comm::world_size() const { return rt_->nranks_; }
+
+int Comm::to_world(int r) const {
+  if (r < 0 || r >= size()) {
+    throw std::out_of_range("vmpi: rank outside communicator");
+  }
+  return groups_.empty() ? r
+                         : groups_.back().members[static_cast<std::size_t>(r)];
+}
+
+int Comm::local_of_world(int w) const {
+  if (groups_.empty()) return w;
+  const auto& m = groups_.back().members;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] == w) return static_cast<int>(i);
+  }
+  throw std::logic_error("vmpi: message from outside the active group");
+}
+
+int Comm::wire_tag(int tag) const {
+  if (groups_.empty()) return tag;
+  const int base = groups_.back().tag_base;
+  if (tag >= 0 && tag < detail::kGroupAppSpan) return base + tag;
+  if (tag >= detail::kCollectiveTagBase &&
+      tag < detail::kCollectiveTagBase + detail::kCollectiveTagSpan) {
+    return base + detail::kGroupAppSpan + (tag - detail::kCollectiveTagBase);
+  }
+  throw std::invalid_argument("vmpi: tag out of range for grouped comm");
+}
+
+int Comm::app_tag(int wire) const {
+  if (groups_.empty()) return wire;
+  const int base = groups_.back().tag_base;
+  const int off = wire - base;
+  if (off < 0 || off >= detail::kGroupTagSpan) return wire;
+  if (off < detail::kGroupAppSpan) return off;
+  return detail::kCollectiveTagBase + (off - detail::kGroupAppSpan);
+}
+
+Comm::GroupGuard::~GroupGuard() {
+  if (comm_ == nullptr) return;
+  assert(comm_->groups_.size() == depth_ &&
+         "vmpi: group frames must pop in LIFO order");
+  comm_->groups_.pop_back();
+}
+
+Comm::GroupGuard Comm::partition(int base, int count, int ctx) {
+  if (count < 1 || base < 0 || base + count > size()) {
+    throw std::invalid_argument("vmpi partition: range outside communicator");
+  }
+  if (ctx < 0) throw std::invalid_argument("vmpi partition: ctx must be >= 0");
+  const int me = rank();
+  if (me < base || me >= base + count) {
+    throw std::invalid_argument(
+        "vmpi partition: calling rank outside the partition");
+  }
+  GroupFrame f;
+  f.members.reserve(static_cast<std::size_t>(count));
+  for (int r = base; r < base + count; ++r) f.members.push_back(to_world(r));
+  f.local = me - base;
+  f.tag_base = tag_base_of(ctx);
+  groups_.push_back(std::move(f));
+  return GroupGuard(this, groups_.size());
+}
+
+Comm::GroupGuard Comm::split(int color, int key, int ctx) {
+  struct Item {
+    int color;
+    int key;
+  };
+  const Item mine{color, key};
+  // Ring allgather returns blocks in group-rank order, so every member
+  // derives the same membership list.
+  const std::vector<Item> all = allgather_value(mine);
+  if (ctx < 0) {
+    ctx = groups_.empty() ? split_seq_++ : groups_.back().split_seq++;
+  }
+  if (color < 0) return GroupGuard(nullptr, 0);
+  GroupFrame f;
+  std::vector<std::pair<int, int>> order;  // (key, group rank), my color only
+  for (int r = 0; r < static_cast<int>(all.size()); ++r) {
+    if (all[static_cast<std::size_t>(r)].color == color) {
+      order.emplace_back(all[static_cast<std::size_t>(r)].key, r);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  const int me = rank();
+  f.members.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    f.members.push_back(to_world(order[i].second));
+    if (order[i].second == me) f.local = static_cast<int>(i);
+  }
+  // Distinct colors get distinct contexts (same split, disjoint windows).
+  f.tag_base = tag_base_of(ctx * 31 + color);
+  groups_.push_back(std::move(f));
+  return GroupGuard(this, groups_.size());
+}
+
+std::size_t Comm::purge_context(int ctx) {
+  const int lo = tag_base_of(ctx);
+  return rt_->purge_tags(rank_, lo, lo + detail::kGroupTagSpan);
+}
 
 void Comm::bind_observer(obs::Rank* rec) {
   obs_ = rec;
@@ -33,9 +141,10 @@ void Comm::compute_work(std::uint64_t flops, std::uint64_t bytes) {
 }
 
 int Comm::coll_tag() {
-  const int tag = detail::kCollectiveTagBase +
-                  (coll_seq_ % detail::kCollectiveTagSpan);
-  ++coll_seq_;
+  int& seq = groups_.empty() ? coll_seq_ : groups_.back().coll_seq;
+  const int tag =
+      detail::kCollectiveTagBase + (seq % detail::kCollectiveTagSpan);
+  ++seq;
   return tag;
 }
 
@@ -47,21 +156,23 @@ void Comm::send_bytes(int dst, int tag, std::span<const std::byte> bytes) {
 }
 
 void Comm::send_bytes_move(int dst, int tag, std::vector<std::byte>&& bytes) {
-  if (dst < 0 || dst >= rt_->nranks_) {
+  if (dst < 0 || dst >= size()) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
+  const int wdst = to_world(dst);
+  const int wtag = wire_tag(tag);
   const std::size_t n = bytes.size();
   std::uint64_t flow = 0;
   if (obs_ != nullptr) {
-    flow = next_flow(dst);
+    flow = next_flow(wdst);
     obs_->flow_begin("vmpi.msg", flow);
-    obs_->flight(obs::FlightKind::kSend, dst, flow, static_cast<double>(n));
+    obs_->flight(obs::FlightKind::kSend, wdst, flow, static_cast<double>(n));
   }
   if (rt_->transport_ != nullptr) {
-    rt_->transport_->send(*this, dst, tag, std::move(bytes), n,
+    rt_->transport_->send(*this, wdst, wtag, std::move(bytes), n,
                           static_cast<std::uint32_t>(flow));
   } else {
-    rt_->deliver(rank_, dst, tag, std::move(bytes), vtime_, n, flow);
+    rt_->deliver(rank_, wdst, wtag, std::move(bytes), vtime_, n, flow);
   }
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
@@ -70,21 +181,23 @@ void Comm::send_bytes_move(int dst, int tag, std::vector<std::byte>&& bytes) {
 }
 
 void Comm::send_placeholder(int dst, int tag, std::size_t modeled_bytes) {
-  if (dst < 0 || dst >= rt_->nranks_) {
+  if (dst < 0 || dst >= size()) {
     throw std::out_of_range("vmpi send: bad destination rank");
   }
+  const int wdst = to_world(dst);
+  const int wtag = wire_tag(tag);
   std::uint64_t flow = 0;
   if (obs_ != nullptr) {
-    flow = next_flow(dst);
+    flow = next_flow(wdst);
     obs_->flow_begin("vmpi.msg", flow);
-    obs_->flight(obs::FlightKind::kSend, dst, flow,
+    obs_->flight(obs::FlightKind::kSend, wdst, flow,
                  static_cast<double>(modeled_bytes));
   }
   if (rt_->transport_ != nullptr) {
-    rt_->transport_->send(*this, dst, tag, {}, modeled_bytes,
+    rt_->transport_->send(*this, wdst, wtag, {}, modeled_bytes,
                           static_cast<std::uint32_t>(flow));
   } else {
-    rt_->deliver(rank_, dst, tag, {}, vtime_, modeled_bytes, flow);
+    rt_->deliver(rank_, wdst, wtag, {}, vtime_, modeled_bytes, flow);
   }
   if (obs_ != nullptr) {
     obs_msgs_->add(1);
@@ -111,21 +224,43 @@ std::uint64_t Comm::sent_bytes() const {
 
 Message Comm::recv_msg(int src, int tag) {
   const double before = vtime_;
+  const int wsrc = src == kAnySource ? kAnySource : to_world(src);
+  const int wtag = tag == kAnyTag ? kAnyTag : wire_tag(tag);
+  // Wildcard receives are confined to the active group's tag window so a
+  // sub-communicator can never steal a co-tenant's (or the root's) traffic.
+  const int lo =
+      groups_.empty() ? std::numeric_limits<int>::min() : groups_.back().tag_base;
+  const int hi = groups_.empty() ? std::numeric_limits<int>::max()
+                                 : groups_.back().tag_base + detail::kGroupTagSpan;
   Message m = rt_->transport_ != nullptr
-                  ? rt_->wait_match_pumped(*this, src, tag)
-                  : rt_->wait_match(rank_, src, tag);
+                  ? rt_->wait_match_pumped(*this, wsrc, wtag, lo, hi)
+                  : rt_->wait_match(rank_, wsrc, wtag, lo, hi);
   vtime_ = std::max(vtime_, m.arrival);
   if (obs_ != nullptr) note_recv(m, vtime_ - before);
+  if (!groups_.empty()) {
+    m.src = local_of_world(m.src);
+    m.tag = app_tag(m.tag);
+  }
   return m;
 }
 
 std::optional<Message> Comm::try_recv(int src, int tag) {
   const double before = vtime_;
+  const int wsrc = src == kAnySource ? kAnySource : to_world(src);
+  const int wtag = tag == kAnyTag ? kAnyTag : wire_tag(tag);
+  const int lo =
+      groups_.empty() ? std::numeric_limits<int>::min() : groups_.back().tag_base;
+  const int hi = groups_.empty() ? std::numeric_limits<int>::max()
+                                 : groups_.back().tag_base + detail::kGroupTagSpan;
   if (rt_->transport_ != nullptr) rt_->transport_->pump(*this);
-  auto m = rt_->poll_match(rank_, src, tag);
+  auto m = rt_->poll_match(rank_, wsrc, wtag, lo, hi);
   if (m) {
     vtime_ = std::max(vtime_, m->arrival);
     if (obs_ != nullptr) note_recv(*m, vtime_ - before);
+    if (!groups_.empty()) {
+      m->src = local_of_world(m->src);
+      m->tag = app_tag(m->tag);
+    }
   }
   return m;
 }
@@ -138,11 +273,12 @@ void Comm::barrier() {
   quiesce();
   // Dissemination barrier: ceil(log2 p) rounds of shifted exchanges.
   const int p = size();
+  const int me = rank();
   const int tag = coll_tag();
   const std::byte token{0};
   for (int step = 1; step < p; step <<= 1) {
-    send_bytes((rank_ + step) % p, tag, {&token, 1});
-    (void)recv_msg((rank_ - step + p) % p, tag);
+    send_bytes((me + step) % p, tag, {&token, 1});
+    (void)recv_msg((me - step + p) % p, tag);
   }
 }
 
@@ -361,17 +497,20 @@ void Runtime::enqueue(int dst, Message&& m) {
   box.cv.notify_all();
 }
 
-bool Runtime::matches(const Message& m, int src, int tag) {
-  return (src == kAnySource || m.src == src) &&
-         (tag == kAnyTag || m.tag == tag);
+bool Runtime::matches(const Message& m, int src, int tag, int tag_lo,
+                      int tag_hi) {
+  if (src != kAnySource && m.src != src) return false;
+  if (tag == kAnyTag) return m.tag >= tag_lo && m.tag < tag_hi;
+  return m.tag == tag;
 }
 
-Message Runtime::wait_match(int self, int src, int tag) {
+Message Runtime::wait_match(int self, int src, int tag, int tag_lo,
+                            int tag_hi) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, src, tag)) {
+      if (matches(*it, src, tag, tag_lo, tag_hi)) {
         Message m = std::move(*it);
         box.queue.erase(it);
         return m;
@@ -381,7 +520,7 @@ Message Runtime::wait_match(int self, int src, int tag) {
     box.cv.wait(lock, [&] {
       if (aborted_.load()) return true;
       for (const auto& m : box.queue) {
-        if (matches(m, src, tag)) return true;
+        if (matches(m, src, tag, tag_lo, tag_hi)) return true;
       }
       return false;
     });
@@ -389,15 +528,16 @@ Message Runtime::wait_match(int self, int src, int tag) {
   }
 }
 
-Message Runtime::wait_match_pumped(Comm& c, int src, int tag) {
-  const int self = c.rank();
+Message Runtime::wait_match_pumped(Comm& c, int src, int tag, int tag_lo,
+                                   int tag_hi) {
+  const int self = c.rank_;
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   for (;;) {
     transport_->pump(c);
     {
       std::unique_lock<std::mutex> lock(box.mu);
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-        if (matches(*it, src, tag)) {
+        if (matches(*it, src, tag, tag_lo, tag_hi)) {
           Message m = std::move(*it);
           box.queue.erase(it);
           return m;
@@ -413,18 +553,29 @@ Message Runtime::wait_match_pumped(Comm& c, int src, int tag) {
   }
 }
 
-std::optional<Message> Runtime::poll_match(int self, int src, int tag) {
+std::optional<Message> Runtime::poll_match(int self, int src, int tag,
+                                           int tag_lo, int tag_hi) {
   if (aborted_.load()) throw Aborted{};
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::lock_guard<std::mutex> lock(box.mu);
   for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (matches(*it, src, tag)) {
+    if (matches(*it, src, tag, tag_lo, tag_hi)) {
       Message m = std::move(*it);
       box.queue.erase(it);
       return m;
     }
   }
   return std::nullopt;
+}
+
+std::size_t Runtime::purge_tags(int self, int tag_lo, int tag_hi) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  const std::size_t before = box.queue.size();
+  std::erase_if(box.queue, [&](const Message& m) {
+    return m.tag >= tag_lo && m.tag < tag_hi;
+  });
+  return before - box.queue.size();
 }
 
 }  // namespace ss::vmpi

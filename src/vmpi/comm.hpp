@@ -96,11 +96,43 @@ struct Message {
 
 class Runtime;
 
+namespace detail {
+
+/// Sub-communicator wire-tag contexts. Each live group maps its traffic
+/// into a private window of the tag space so that two groups — or two
+/// successive incarnations of the same partition — can never match each
+/// other's messages: application tags [0, kGroupAppSpan) land at
+/// [base, base + kGroupAppSpan) and collective tags fill the rest of the
+/// window, with base = kGroupTagBase + (ctx % kGroupContexts) *
+/// kGroupTagSpan. Ungrouped communicators translate nothing, so root-level
+/// traffic is bit-for-bit what it was before groups existed.
+inline constexpr int kGroupTagBase = 1 << 26;
+inline constexpr int kGroupTagSpan = 1 << 21;
+inline constexpr int kGroupAppSpan = 1 << 20;
+inline constexpr int kGroupContexts =
+    (0x7fffffff - kGroupTagBase) / kGroupTagSpan;
+
+}  // namespace detail
+
 /// Per-rank communicator handle. Only the owning rank thread may use it.
+///
+/// A Comm can temporarily act as a *sub-communicator*: split() and
+/// partition() push a group frame, after which rank()/size() and every
+/// send/recv/collective operate in group-local coordinates over the
+/// member subset, with traffic confined to the group's tag context.
+/// Frames nest LIFO (the returned guard pops on destruction); internals
+/// (mailboxes, clocks, transport, traffic slots) always use the world
+/// rank, so the fabric model keeps seeing the true topology.
 class Comm {
  public:
-  int rank() const { return rank_; }
+  int rank() const { return groups_.empty() ? rank_ : groups_.back().local; }
   int size() const;
+
+  /// Identity in the owning Runtime, regardless of active group frames.
+  int world_rank() const { return rank_; }
+  int world_size() const;
+  /// True while a sub-communicator frame is active.
+  bool grouped() const { return !groups_.empty(); }
 
   /// Current virtual time of this rank.
   double time() const { return vtime_; }
@@ -272,6 +304,52 @@ class Comm {
   /// postmortem file before they throw.
   obs::Session* observer() const;
 
+  // -- sub-communicators ---------------------------------------------------
+
+  /// RAII handle for one group frame. Move-only; popping out of LIFO
+  /// order is a programming error (asserted). A guard obtained from a
+  /// split() where this rank passed color < 0 holds no frame
+  /// (member() == false) and pops nothing.
+  class GroupGuard {
+   public:
+    GroupGuard(GroupGuard&& o) noexcept : comm_(o.comm_), depth_(o.depth_) {
+      o.comm_ = nullptr;
+    }
+    GroupGuard(const GroupGuard&) = delete;
+    GroupGuard& operator=(const GroupGuard&) = delete;
+    GroupGuard& operator=(GroupGuard&&) = delete;
+    ~GroupGuard();
+    /// False when this rank is not a member of the group (split color < 0).
+    bool member() const { return comm_ != nullptr; }
+
+   private:
+    friend class Comm;
+    GroupGuard(Comm* c, std::size_t depth) : comm_(c), depth_(depth) {}
+    Comm* comm_;         // null: non-member or moved-from
+    std::size_t depth_;  // expected groups_.size() at pop time
+  };
+
+  /// Push a group over the contiguous rank range [base, base + count) of
+  /// the *current* frame, with tag context `ctx`. Non-collective: only the
+  /// member ranks call it (this rank must be inside the range), but every
+  /// member must use the same (base, count, ctx) triple. Group rank =
+  /// offset within the range.
+  GroupGuard partition(int base, int count, int ctx);
+
+  /// MPI_Comm_split over the current frame: collective on *all* ranks.
+  /// Members with equal `color` form a group, ordered by (key, rank);
+  /// color < 0 opts out (returns a non-member guard). `ctx` must agree
+  /// across ranks; ctx < 0 derives one from a per-frame split counter
+  /// (fine when groups are never re-created after a fault — schedulers
+  /// that reuse partitions should pass an explicit fresh context).
+  GroupGuard split(int color, int key, int ctx = -1);
+
+  /// Drop every undelivered message in this rank's mailbox whose wire tag
+  /// belongs to context `ctx`'s window. Call after abandoning a group
+  /// (e.g. a killed job) before its context could be reused. Returns the
+  /// number of messages discarded.
+  std::size_t purge_context(int ctx);
+
  private:
   friend class Runtime;
   friend class Transport;
@@ -301,10 +379,35 @@ class Comm {
     }
   }
 
+  /// One active sub-communicator frame. All bookkeeping is group-local;
+  /// `members` maps group rank -> world rank.
+  struct GroupFrame {
+    std::vector<int> members;
+    int local = 0;     ///< This rank's position in members.
+    int tag_base = 0;  ///< Wire-tag window base (from the context id).
+    int coll_seq = 0;  ///< Group-local collective tag counter.
+    int split_seq = 0; ///< Derives default contexts for nested splits.
+  };
+
+  /// Group rank -> world rank under the current frame (identity at root).
+  int to_world(int r) const;
+  /// World rank -> group rank; throws if `w` is not a member.
+  int local_of_world(int w) const;
+  /// Application/collective tag -> wire tag under the current frame.
+  int wire_tag(int tag) const;
+  /// Inverse of wire_tag for delivered messages.
+  int app_tag(int wire) const;
+  static int tag_base_of(int ctx) {
+    return detail::kGroupTagBase +
+           (ctx % detail::kGroupContexts) * detail::kGroupTagSpan;
+  }
+
   Runtime* rt_;
   int rank_;
   double vtime_ = 0.0;
   int coll_seq_ = 0;
+  int split_seq_ = 0;  ///< Root-frame default-context counter.
+  std::vector<GroupFrame> groups_;
 
   // Observability (null when tracing is disabled).
   obs::Rank* obs_ = nullptr;
@@ -399,14 +502,23 @@ class Runtime {
   void deliver(int src, int dst, int tag, std::vector<std::byte>&& bytes,
                double depart, std::size_t modeled_bytes,
                std::uint64_t flow = 0);
-  Message wait_match(int self, int src, int tag);
+  /// Blocking receive. `tag == kAnyTag` matches only wire tags inside
+  /// [tag_lo, tag_hi) — the caller's group window, or the full range at
+  /// root — so a wildcard receive inside a group never steals another
+  /// tenant's traffic.
+  Message wait_match(int self, int src, int tag, int tag_lo, int tag_hi);
   /// Transport-aware blocking receive: alternates protocol pumping with
   /// bounded waits, because frames land in the transport inbox and only
   /// reach the mailbox when the owning rank pumps.
-  Message wait_match_pumped(Comm& c, int src, int tag);
-  std::optional<Message> poll_match(int self, int src, int tag);
-  static bool matches(const Message& m, int src, int tag);
+  Message wait_match_pumped(Comm& c, int src, int tag, int tag_lo,
+                            int tag_hi);
+  std::optional<Message> poll_match(int self, int src, int tag, int tag_lo,
+                                    int tag_hi);
+  static bool matches(const Message& m, int src, int tag, int tag_lo,
+                      int tag_hi);
   void enqueue(int dst, Message&& m);
+  /// Erase queued messages whose wire tag lies in [tag_lo, tag_hi).
+  std::size_t purge_tags(int self, int tag_lo, int tag_hi);
 
   /// Raw-mode per-source fault state (fate keys and the one-deep reorder
   /// hold slot per destination). Touched only by the owning sender

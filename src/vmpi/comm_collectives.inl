@@ -26,7 +26,7 @@ void Comm::bcast(std::vector<T>& data, int root) {
   // Binomial tree rooted at `root`: relative rank rel = (rank - root) mod p.
   // A node receives from rel - mask where mask is its lowest set bit, then
   // forwards to rel + m for every m below that bit (classic MPICH scheme).
-  const int rel = (rank_ - root + p) % p;
+  const int rel = (rank() - root + p) % p;
   int mask = 1;
   while (mask < p) {
     if ((rel & mask) != 0) {
@@ -61,7 +61,7 @@ std::vector<T> Comm::reduce(std::span<const T> local, Op op, int root) {
   std::vector<T> acc(local.begin(), local.end());
   if (p == 1) return acc;
   // Binomial tree combine toward root (relative rank 0).
-  const int rel = (rank_ - root + p) % p;
+  const int rel = (rank() - root + p) % p;
   for (int step = 1; step < p; step <<= 1) {
     if ((rel & step) != 0) {
       const int parent = ((rel - step) + root) % p;
@@ -85,7 +85,7 @@ std::vector<T> Comm::reduce(std::span<const T> local, Op op, int root) {
 template <typename T, typename Op>
 std::vector<T> Comm::allreduce(std::span<const T> local, Op op) {
   std::vector<T> result = reduce(local, op, 0);
-  if (rank_ != 0) result.resize(local.size());
+  if (rank() != 0) result.resize(local.size());
   bcast(result, 0);
   return result;
 }
@@ -104,9 +104,9 @@ T Comm::scan(T v, Op op) {
   // Hillis-Steele inclusive scan: log p rounds.
   T acc = v;
   for (int step = 1; step < p; step <<= 1) {
-    if (rank_ + step < p) send_value<T>(rank_ + step, tag, acc);
-    if (rank_ - step >= 0) {
-      T in = recv_value<T>(rank_ - step, tag);
+    if (rank() + step < p) send_value<T>(rank() + step, tag, acc);
+    if (rank() - step >= 0) {
+      T in = recv_value<T>(rank() - step, tag);
       acc = op(in, acc);
     }
   }
@@ -118,7 +118,7 @@ std::vector<T> Comm::gather(std::span<const T> local, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = size();
   const int tag = coll_tag();
-  if (rank_ != root) {
+  if (rank() != root) {
     send<T>(root, tag, local);
     return {};
   }
@@ -144,10 +144,10 @@ std::vector<T> Comm::allgather(std::span<const T> local) {
   // received. Blocks may have differing sizes (allgatherv semantics), so
   // every block is sent with its origin encoded by arrival order.
   std::vector<std::vector<T>> blocks(p);
-  blocks[rank_].assign(local.begin(), local.end());
-  const int next = (rank_ + 1) % p;
-  const int prev = (rank_ - 1 + p) % p;
-  int have = rank_;  // block we most recently obtained
+  blocks[rank()].assign(local.begin(), local.end());
+  const int next = (rank() + 1) % p;
+  const int prev = (rank() - 1 + p) % p;
+  int have = rank();  // block we most recently obtained
   for (int step = 0; step < p - 1; ++step) {
     send<T>(next, tag,
             std::span<const T>(blocks[have].data(), blocks[have].size()));
@@ -177,7 +177,7 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& per_dest) {
   const int tag = coll_tag();
   std::vector<std::vector<T>> received(p);
   // Self short-circuit: the local block never touches a mailbox.
-  received[rank_] = per_dest[rank_];
+  received[rank()] = per_dest[rank()];
   // Post only the non-empty non-self blocks. Each message carries a
   // 64-bit element-count header, so "block absent" (no message) and
   // "block empty" (never posted) are the same observable fact and a
@@ -185,7 +185,7 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& per_dest) {
   // (a few heavy partners out of P) thus cost O(partners) messages, not
   // O(P).
   for (int k = 1; k < p; ++k) {
-    const int dst = (rank_ + k) % p;
+    const int dst = (rank() + k) % p;
     const auto& block = per_dest[static_cast<std::size_t>(dst)];
     if (block.empty()) continue;
     std::vector<std::byte> buf(sizeof(std::uint64_t) +
@@ -235,13 +235,13 @@ std::vector<T> Comm::alltoallv_dense(
   }
   const int tag = coll_tag();
   std::vector<std::vector<T>> received(p);
-  received[rank_] = per_dest[rank_];
+  received[rank()] = per_dest[rank()];
   // Pairwise exchange: at step k talk to rank^k (power of two) or the
   // rotated partner otherwise.
   const bool pow2 = std::has_single_bit(static_cast<unsigned>(p));
   for (int k = 1; k < p; ++k) {
-    const int sendto = pow2 ? (rank_ ^ k) : (rank_ + k) % p;
-    const int recvfrom = pow2 ? (rank_ ^ k) : (rank_ - k + p) % p;
+    const int sendto = pow2 ? (rank() ^ k) : (rank() + k) % p;
+    const int recvfrom = pow2 ? (rank() ^ k) : (rank() - k + p) % p;
     send<T>(sendto, tag,
             std::span<const T>(per_dest[sendto].data(), per_dest[sendto].size()));
     received[recvfrom] = recv_msg(recvfrom, tag).template as<T>();
@@ -264,9 +264,9 @@ std::vector<T> Comm::reduce_scatter_block(std::span<const T> local, Op op) {
   const std::size_t n = local.size() / static_cast<std::size_t>(p);
   // Start from this rank's own contribution to its own block.
   std::vector<T> acc(local.begin() + static_cast<std::ptrdiff_t>(
-                                         n * static_cast<std::size_t>(rank_)),
+                                         n * static_cast<std::size_t>(rank())),
                      local.begin() + static_cast<std::ptrdiff_t>(
-                                         n * static_cast<std::size_t>(rank_) +
+                                         n * static_cast<std::size_t>(rank()) +
                                          n));
   if (p == 1) return acc;
   const int tag = coll_tag();
@@ -275,8 +275,8 @@ std::vector<T> Comm::reduce_scatter_block(std::span<const T> local, Op op) {
   // moves (P-1) blocks of n elements — O(local.size()) data total, versus
   // the O(P * local.size()) of allreduce-then-slice.
   for (int k = 1; k < p; ++k) {
-    const int to = (rank_ + k) % p;
-    const int from = (rank_ - k + p) % p;
+    const int to = (rank() + k) % p;
+    const int from = (rank() - k + p) % p;
     send<T>(to, tag,
             local.subspan(n * static_cast<std::size_t>(to), n));
     auto got = recv_msg(from, tag).template as<T>();

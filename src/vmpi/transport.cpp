@@ -97,7 +97,7 @@ void Transport::bind_obs(RankNet& net) {
 
 void Transport::send(Comm& c, int dst, int tag, std::vector<std::byte>&& payload,
                      std::size_t modeled_bytes, std::uint32_t flow_seq) {
-  const int src = c.rank();
+  const int src = c.world_rank();
   RankNet& net = *nets_[static_cast<std::size_t>(src)];
   bind_obs(net);
   TxFlow& flow = net.tx[static_cast<std::size_t>(dst)];
@@ -127,7 +127,7 @@ void Transport::transmit(Comm& c, RankNet& net, int dst, std::uint32_t kind,
                          std::span<const std::byte> payload,
                          std::size_t modeled_bytes, std::uint64_t fate_key,
                          std::uint32_t flow_seq) {
-  const int src = c.rank();
+  const int src = c.world_rank();
 
   FrameHeader hdr;
   hdr.magic = kMagic;
@@ -246,7 +246,7 @@ void Transport::enqueue_frame(int dst, PhysFrame&& frame) {
 }
 
 bool Transport::pump(Comm& c) {
-  const int rank = c.rank();
+  const int rank = c.world_rank();
   RankNet& net = *nets_[static_cast<std::size_t>(rank)];
   bind_obs(net);
 
@@ -370,7 +370,7 @@ void Transport::process_ack(Comm& c, RankNet& net, int peer,
 }
 
 void Transport::deliver_in_order(Comm& c, RankNet& net, int peer) {
-  const int rank = c.rank();
+  const int rank = c.world_rank();
   RxFlow& rx = net.rx[static_cast<std::size_t>(peer)];
   Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(rank)];
   bool delivered = false;
@@ -482,7 +482,7 @@ void Transport::update_health(RankNet& net, int dst, TxFlow& flow,
 }
 
 void Transport::quiesce(Comm& c) {
-  const int rank = c.rank();
+  const int rank = c.world_rank();
   RankNet& net = *nets_[static_cast<std::size_t>(rank)];
   Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(rank)];
   for (;;) {
@@ -502,7 +502,7 @@ void Transport::quiesce(Comm& c) {
 }
 
 void Transport::drain(Comm& c) {
-  const int rank = c.rank();
+  const int rank = c.world_rank();
   RankNet& net = *nets_[static_cast<std::size_t>(rank)];
   Runtime::Mailbox& box = *rt_.boxes_[static_cast<std::size_t>(rank)];
   const auto start = std::chrono::steady_clock::now();

@@ -636,6 +636,48 @@ TEST(EndToEnd, SurvivesMtbfDrivenFailures) {
   EXPECT_EQ(total, initial.size());
 }
 
+TEST(EndToEnd, MtbfConfigDrivesBuiltInInjector) {
+  // mtbf_hours > 0 in the config (no explicit injector) makes the
+  // supervisor draw its own from_mtbf schedule — and the run must still
+  // land bit-for-bit on the uninterrupted answer.
+  TempDir base("mtbf_cfg_base");
+  TempDir faulty("mtbf_cfg");
+  Rng rng(707);
+  const auto initial = ss::nbody::plummer_sphere(160, rng);
+
+  ss::nbody::RecoveryConfig rc;
+  rc.ranks = 3;
+  rc.steps = 8;
+  rc.checkpoint_every = 2;
+  rc.dt = 1e-3;
+  rc.engine = deterministic_cfg();
+  rc.max_restarts = 16;
+
+  rc.store.dir = base.path;
+  const auto clean = ss::nbody::run_with_recovery(rc, initial, nullptr);
+  EXPECT_EQ(clean.restarts, 0);
+
+  rc.store.dir = faulty.path;
+  rc.mtbf_hours = 3.0;
+  rc.step_hours = 1.0;
+  rc.mtbf_seed = 7;
+  // The supervisor's injector is private; a reference with identical
+  // parameters predicts what it drew.
+  const auto ref = ss::io::FaultInjector::from_mtbf(
+      rc.mtbf_hours, rc.step_hours, rc.ranks, rc.steps, rc.mtbf_seed);
+  ASSERT_GT(ref.scheduled(), 0u);
+
+  const auto res = ss::nbody::run_with_recovery(rc, initial, nullptr);
+  EXPECT_EQ(res.steps_completed, 8u);
+  EXPECT_GT(res.restarts, 0);
+  ASSERT_EQ(clean.bodies.size(), res.bodies.size());
+  for (std::size_t r = 0; r < clean.bodies.size(); ++r) {
+    EXPECT_TRUE(bitwise_equal(clean.bodies[r], res.bodies[r]))
+        << "rank " << r << " diverged under MTBF-config injection";
+  }
+  EXPECT_DOUBLE_EQ(clean.time, res.time);
+}
+
 // ---------------------------------------------------------------------------
 // Interval analysis & reliability link.
 // ---------------------------------------------------------------------------

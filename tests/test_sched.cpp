@@ -1,0 +1,434 @@
+// Campaign scheduler: gang placement, multi-tenant contention, fault
+// requeue, durable resume.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/blockfile.hpp"
+#include "io/fault.hpp"
+#include "sched/job.hpp"
+#include "sched/service.hpp"
+#include "sched/store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ss::sched::Campaign;
+using ss::sched::CampaignStore;
+using ss::sched::ClusterService;
+using ss::sched::JobKind;
+using ss::sched::JobRecord;
+using ss::sched::JobSpec;
+using ss::sched::JobState;
+using ss::sched::ServiceConfig;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ss_sched_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The acceptance campaign: >= 8 jobs across >= 2 workload kinds.
+Campaign mixed_campaign() {
+  Campaign c;
+  c.name = "mixed";
+  c.add(ss::sched::fig7_job(0, /*gang=*/4));
+  c.add(ss::sched::fig7_job(1, 2));
+  c.add(ss::sched::fig8_job(0, 2));
+  c.add(ss::sched::fig8_job(1, 2));
+  c.add(ss::sched::npb_job("cg", 4));
+  c.add(ss::sched::npb_job("is", 2));
+  c.add(ss::sched::linpack_job(48, 2));
+  c.add(ss::sched::traffic_job(0, /*gang=*/2, /*iters=*/2, /*chunks=*/2,
+                               /*chunk_bytes=*/1u << 14));
+  return c;
+}
+
+ServiceConfig small_cluster() {
+  ServiceConfig cfg;
+  cfg.workers = 8;
+  cfg.topo.nodes = 16;
+  cfg.topo.ports_per_module = 4;
+  cfg.topo.chassis0_ports = 8;
+  return cfg;
+}
+
+TEST(Campaign, MixedJobsAllCompleteWithRollups) {
+  TempDir tmp("mixed");
+  ServiceConfig cfg = small_cluster();
+  cfg.summary_path = (tmp.path / "summary.json").string();
+  ClusterService svc(tmp.path / "store", mixed_campaign(), cfg);
+  const auto res = svc.run();
+
+  ASSERT_EQ(res.jobs.size(), 8u);
+  EXPECT_TRUE(res.all_done());
+  EXPECT_EQ(res.node_kills, 0);
+  EXPECT_GT(res.makespan, 0.0);
+  for (const JobRecord& j : res.jobs) {
+    EXPECT_EQ(j.state, JobState::done) << j.name;
+    EXPECT_EQ(j.attempts, 1) << j.name;
+    EXPECT_GT(j.wall, 0.0) << j.name;
+    EXPECT_GT(j.messages, 0u) << j.name;
+  }
+
+  // Per-job rollups and the campaign summary land in ss.obs.summary.v1.
+  const std::string summary = slurp(cfg.summary_path);
+  EXPECT_NE(summary.find("ss.obs.summary.v1"), std::string::npos);
+  for (const JobRecord& j : res.jobs) {
+    const std::string pre = "job." + std::to_string(j.id) + ".";
+    EXPECT_NE(summary.find(pre + "wall_seconds"), std::string::npos) << pre;
+    EXPECT_NE(summary.find(pre + "attempts"), std::string::npos) << pre;
+  }
+  EXPECT_NE(summary.find("campaign.jobs_done"), std::string::npos);
+  EXPECT_NE(summary.find("campaign.makespan_seconds"), std::string::npos);
+}
+
+TEST(Campaign, AcceptanceEightJobsContentionAndKillInOneRun) {
+  // The headline scenario in one campaign: 8 jobs over 4 workload kinds
+  // gang-scheduled onto one striped fabric, two traffic tenants
+  // co-resident on a tight trunk, and a scripted node kill that the
+  // victim job survives via requeue + checkpoint restore — while the
+  // per-job rollups land in ss.obs.summary.v1.
+  ServiceConfig cfg;
+  cfg.workers = 12;  // three gang-4 jobs co-resident in the first wave
+  cfg.topo.nodes = 16;
+  cfg.topo.ports_per_module = 4;
+  cfg.topo.chassis0_ports = 8;
+  cfg.topo.trunk_bps = 1.2e9;
+  cfg.striped = true;
+  cfg.node_cooldown_seconds = 1.0;
+
+  auto traffic = [](int index, int prio) {
+    auto j = ss::sched::traffic_job(index, /*gang=*/4, /*iters=*/4,
+                                    /*chunks=*/8, /*chunk_bytes=*/1u << 18);
+    j.priority = prio;
+    return j;
+  };
+
+  // Solo reference for the contention claim: the same traffic spec on an
+  // otherwise idle cluster.
+  TempDir tsolo("acc_solo");
+  Campaign solo;
+  solo.name = "acceptance-solo";
+  solo.add(traffic(0, 0));
+  ClusterService ssolo(tsolo.path / "store", solo, cfg);
+  const auto rsolo = ssolo.run();
+  ASSERT_TRUE(rsolo.all_done());
+
+  Campaign c;
+  c.name = "acceptance";
+  auto fig7 = ss::sched::fig7_job(0, /*gang=*/4, /*steps=*/6);
+  fig7.checkpoint_every = 2;
+  fig7.priority = 10;  // first wave, ranks 1..4
+  c.add(fig7);
+  c.add(traffic(0, 9));  // first wave, ranks 5..8
+  c.add(traffic(1, 8));  // first wave, ranks 9..12: co-resident tenants
+  c.add(ss::sched::fig8_job(0, 2));
+  c.add(ss::sched::fig8_job(1, 2));
+  c.add(ss::sched::npb_job("cg", 4));
+  c.add(ss::sched::npb_job("is", 2));
+  c.add(ss::sched::linpack_job(48, 2));
+
+  // Under the striped map rank 1 sits on node 1; only the fig7 gang
+  // heartbeats step 3 there (traffic gangs hold ranks 5..12, later jobs
+  // heartbeat steps 0..1 or land elsewhere), after its step-2 ckpt.
+  ss::io::FaultInjector fault({{/*rank=*/1, /*step=*/3}});
+  cfg.fault = &fault;
+  TempDir tmp("acceptance");
+  cfg.summary_path = (tmp.path / "summary.json").string();
+  ClusterService svc(tmp.path / "store", c, cfg);
+  const auto res = svc.run();
+
+  // Everything reaches done despite the kill.
+  ASSERT_EQ(res.jobs.size(), 8u);
+  EXPECT_TRUE(res.all_done());
+  EXPECT_EQ(res.node_kills, 1);
+  EXPECT_GE(res.requeues, 1);
+  EXPECT_EQ(fault.fired(), 1u);
+  const JobRecord& victim = res.jobs[0];
+  EXPECT_EQ(victim.attempts, 2);
+  EXPECT_TRUE(victim.restored);
+  EXPECT_EQ(victim.restored_step, 2u);
+
+  // Cross-tenant trunk contention: the slower co-resident tenant's wall
+  // clearly exceeds the solo wall of the identical spec.
+  const double solo_wall = rsolo.jobs[0].wall;
+  const double co_wall = std::max(res.jobs[1].wall, res.jobs[2].wall);
+  EXPECT_GT(co_wall, 1.1 * solo_wall)
+      << "solo=" << solo_wall << " co=" << co_wall;
+
+  // Rollups for every job, plus the campaign summary.
+  const std::string summary = slurp(cfg.summary_path);
+  EXPECT_NE(summary.find("ss.obs.summary.v1"), std::string::npos);
+  for (const JobRecord& j : res.jobs) {
+    const std::string pre = "job." + std::to_string(j.id) + ".";
+    EXPECT_NE(summary.find(pre + "wall_seconds"), std::string::npos) << pre;
+    EXPECT_NE(summary.find(pre + "metric"), std::string::npos) << pre;
+  }
+  EXPECT_NE(summary.find("campaign.node_kills"), std::string::npos);
+  EXPECT_NE(summary.find("campaign.requeues"), std::string::npos);
+}
+
+TEST(Campaign, PriorityOrderAndBackfill) {
+  // One gang-8 high-priority job fills the cluster; a gang-2 job with
+  // lower priority must wait, then a later gang-2 job backfills... with
+  // an all-free start the first wave places strictly by priority.
+  Campaign c;
+  c.name = "prio";
+  JobSpec big = ss::sched::npb_job("cg", 8);
+  big.priority = 5;
+  c.add(big);
+  c.add(ss::sched::traffic_job(0, /*gang=*/8, 2, 2, 1u << 14));  // waits
+  c.add(ss::sched::npb_job("is", 8));                // prio 1, waits too
+
+  TempDir tmp("prio");
+  ClusterService svc(tmp.path / "store", c, small_cluster());
+  const auto res = svc.run();
+  EXPECT_TRUE(res.all_done());
+  // Gang-8 jobs serialize on an 8-worker cluster: queue waits are ordered
+  // by priority (big first, then is, then traffic).
+  EXPECT_LE(res.jobs[0].queue_wait, res.jobs[2].queue_wait);
+  EXPECT_LE(res.jobs[2].queue_wait, res.jobs[1].queue_wait);
+}
+
+TEST(Campaign, CoResidentTenantsContendOnTrunk) {
+  // Two gang-4 traffic tenants striped across the chassis trunk: the
+  // co-run must be measurably slower than a solo run of the same job.
+  auto traffic = [](int index) {
+    return ss::sched::traffic_job(index, /*gang=*/4, /*iters=*/4,
+                                  /*chunks=*/8, /*chunk_bytes=*/1u << 18);
+  };
+  ServiceConfig cfg = small_cluster();
+  cfg.striped = true;
+  cfg.topo.trunk_bps = 1.2e9;  // tight trunk: make sharing visible
+
+  Campaign solo;
+  solo.name = "solo";
+  solo.add(traffic(0));
+  TempDir tsolo("solo");
+  ClusterService ssolo(tsolo.path / "store", solo, cfg);
+  const auto rsolo = ssolo.run();
+  ASSERT_TRUE(rsolo.all_done());
+
+  Campaign duo;
+  duo.name = "duo";
+  duo.add(traffic(0));
+  duo.add(traffic(1));
+  TempDir tduo("duo");
+  ClusterService sduo(tduo.path / "store", duo, cfg);
+  const auto rduo = sduo.run();
+  ASSERT_TRUE(rduo.all_done());
+  // Both placed at t=0 (8 workers, two gang-4 jobs).
+  EXPECT_LT(rduo.jobs[0].queue_wait, 1e-9);
+  EXPECT_LT(rduo.jobs[1].queue_wait, 1e-9);
+
+  // The leaky-bucket fabric charges flows in call order, so which tenant
+  // absorbs the queueing depends on thread interleaving — but the trunk
+  // is oversubscribed 2x, so the slower tenant always pays.
+  const double solo_wall = rsolo.jobs[0].wall;
+  const double co_wall = std::max(rduo.jobs[0].wall, rduo.jobs[1].wall);
+  EXPECT_GT(co_wall, 1.1 * solo_wall)
+      << "solo=" << solo_wall << " co=" << co_wall;
+  // Delivered bandwidth drops for that tenant accordingly.
+  EXPECT_LT(std::min(rduo.jobs[0].metric, rduo.jobs[1].metric),
+            rsolo.jobs[0].metric);
+}
+
+TEST(Campaign, NodeKillRequeuesOntoFreshPartitionAndRestores) {
+  // Kill a node inside the nbody gang at step 3 (after the step-2
+  // checkpoint commits). The gang dies as a unit, the job requeues, and
+  // the retry restores from step 2 instead of rerunning from scratch.
+  Campaign c;
+  c.name = "faulty";
+  JobSpec j = ss::sched::fig7_job(0, 4);
+  j.steps = 6;
+  j.checkpoint_every = 2;
+  c.add(j);
+  c.add(ss::sched::npb_job("cg", 2));
+  c.add(ss::sched::npb_job("is", 2));
+
+  // Queue order is priority desc -> npb jobs (prio 1) place first on
+  // ranks 1..4, the nbody job (prio 0) on ranks 5..8 = nodes 5..8.
+  ss::io::FaultInjector fault({{/*rank=*/5, /*step=*/3}});
+  ServiceConfig cfg = small_cluster();
+  cfg.fault = &fault;
+  cfg.node_cooldown_seconds = 1.0;
+
+  TempDir tmp("kill");
+  ClusterService svc(tmp.path / "store", c, cfg);
+  const auto res = svc.run();
+
+  EXPECT_EQ(fault.fired(), 1u);
+  EXPECT_EQ(res.node_kills, 1);
+  EXPECT_GE(res.requeues, 1);
+  EXPECT_TRUE(res.all_done());
+  const JobRecord& nb = res.jobs[0];
+  EXPECT_EQ(nb.state, JobState::done);
+  EXPECT_EQ(nb.attempts, 2);
+  EXPECT_TRUE(nb.restored);
+  EXPECT_EQ(nb.restored_step, 2u);
+  EXPECT_EQ(nb.steps_done, 4u);  // 6 total - 2 already banked
+}
+
+TEST(Campaign, ExhaustedAttemptsFailTheJobOthersFinish) {
+  Campaign c;
+  c.name = "doomed";
+  JobSpec j = ss::sched::npb_job("cg", 2);
+  c.add(j);
+  c.add(ss::sched::npb_job("is", 2));
+
+  // Kill step 0 of the cg job on every attempt: it runs on ranks 1..2
+  // first, then after cooldown on whatever frees — kill both plausible
+  // partitions often enough to exhaust two attempts.
+  std::vector<ss::io::FaultInjector::Kill> kills;
+  for (int node = 1; node <= 8; ++node) {
+    kills.push_back({node, 0});
+    kills.push_back({node, 0});
+  }
+  ss::io::FaultInjector fault(kills);
+  ServiceConfig cfg = small_cluster();
+  cfg.fault = &fault;
+  cfg.max_attempts = 2;
+  cfg.node_cooldown_seconds = 0.5;
+
+  TempDir tmp("doomed");
+  ClusterService svc(tmp.path / "store", c, cfg);
+  const auto res = svc.run();
+  EXPECT_FALSE(res.all_done());
+  EXPECT_EQ(res.jobs[0].state, JobState::failed);
+  EXPECT_EQ(res.jobs[0].attempts, 2);
+}
+
+TEST(CampaignStoreTest, CrashResumeSkipsCommittedJobsAndResultsVerify) {
+  TempDir tmp("resume");
+  const Campaign c = mixed_campaign();
+
+  // First incarnation "crashes" after 3 completions (drain-stop models
+  // the kill: assignments cease, whatever is mid-flight finishes).
+  ServiceConfig cfg = small_cluster();
+  cfg.stop_after_jobs = 3;
+  int first_done = 0;
+  {
+    ClusterService svc(tmp.path / "store", c, cfg);
+    const auto res = svc.run();
+    EXPECT_FALSE(res.all_done());
+    for (const JobRecord& j : res.jobs) {
+      if (j.state == JobState::done) ++first_done;
+    }
+    EXPECT_GE(first_done, 3);
+    EXPECT_LT(first_done, static_cast<int>(res.jobs.size()));
+  }
+
+  // Every committed result must pass full CRC verification.
+  CampaignStore store(tmp.path / "store", c);
+  const auto committed = store.completed();
+  EXPECT_EQ(static_cast<int>(committed.size()), first_done);
+  for (const int id : committed) {
+    ss::io::BlockReader r(store.result_path(id));
+    EXPECT_NO_THROW(r.verify_all()) << id;
+  }
+
+  // Second incarnation resumes: committed jobs are skipped, the rest run.
+  cfg.stop_after_jobs = 0;
+  ClusterService svc(tmp.path / "store", c, cfg);
+  const auto res = svc.run();
+  EXPECT_TRUE(res.all_done());
+  EXPECT_EQ(res.skipped_done, first_done);
+  int reran = 0;
+  for (const JobRecord& j : res.jobs) {
+    if (j.state == JobState::done) ++reran;
+    if (j.state == JobState::skipped_done) {
+      EXPECT_EQ(j.attempts, 0);
+    }
+  }
+  EXPECT_EQ(reran + res.skipped_done, static_cast<int>(res.jobs.size()));
+}
+
+TEST(CampaignStoreTest, ManifestMismatchIsRejected) {
+  TempDir tmp("mismatch");
+  Campaign a;
+  a.name = "a";
+  a.add(ss::sched::npb_job("cg", 2));
+  { CampaignStore store(tmp.path, a); }
+
+  Campaign b;
+  b.name = "b";
+  b.add(ss::sched::npb_job("cg", 4));  // different gang
+  EXPECT_THROW(CampaignStore(tmp.path, b), ss::io::FormatError);
+  // The identical campaign reopens fine.
+  EXPECT_NO_THROW(CampaignStore(tmp.path, a));
+}
+
+TEST(CampaignStoreTest, DamagedResultMarkerReadsAsNotDone) {
+  TempDir tmp("damaged");
+  Campaign c;
+  c.name = "dmg";
+  c.add(ss::sched::npb_job("cg", 2));
+  CampaignStore store(tmp.path, c);
+
+  ss::sched::JobResult r;
+  r.id = 0;
+  r.wall = 1.5;
+  store.commit_result(r);
+  ASSERT_TRUE(store.load_result(0).has_value());
+
+  // Flip a payload byte: CRC verification must reject the marker.
+  auto path = store.result_path(0);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-1, std::ios::end);
+  f.put('\x5a');
+  f.close();
+  EXPECT_FALSE(store.load_result(0).has_value());
+  EXPECT_TRUE(store.completed().empty());
+}
+
+TEST(ClusterServiceTest, RejectsGangsLargerThanCluster) {
+  Campaign c;
+  c.name = "big";
+  c.add(ss::sched::npb_job("cg", 16));
+  ServiceConfig cfg = small_cluster();  // 8 workers
+  TempDir tmp("toobig");
+  EXPECT_THROW(ClusterService(tmp.path, c, cfg), std::invalid_argument);
+}
+
+TEST(ClusterServiceTest, StripedMapAlternatesChassis) {
+  Campaign c;
+  c.name = "map";
+  c.add(ss::sched::npb_job("cg", 2));
+  ServiceConfig cfg = small_cluster();
+  cfg.striped = true;
+  TempDir tmp("map");
+  ClusterService svc(tmp.path, c, cfg);
+  EXPECT_EQ(svc.node_of(0), 0);  // head
+  // chassis0 holds nodes [0, 8): consecutive workers alternate sides.
+  int flips = 0;
+  for (int r = 1; r + 1 <= cfg.workers; ++r) {
+    const bool a = svc.node_of(r) < cfg.topo.chassis0_ports;
+    const bool b = svc.node_of(r + 1) < cfg.topo.chassis0_ports;
+    if (a != b) ++flips;
+  }
+  EXPECT_GE(flips, cfg.workers - 2);
+}
+
+}  // namespace

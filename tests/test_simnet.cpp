@@ -154,6 +154,32 @@ TEST(FairShare, BottleneckedFlowsFreeCapacityForOthers) {
   EXPECT_LT(r.rate_bps.front(), t.config().port_bps * 0.5);
 }
 
+TEST(FairShare, CoResidentTenantsSplitTheTrunkEvenly) {
+  // Two tenants (disjoint gangs, as placed by the campaign scheduler)
+  // each drive 16 cross-chassis flows: max-min fairness hands every flow
+  // the same rate, so each tenant's aggregate is half the trunk — the
+  // space-sharing contract co-scheduled jobs rely on.
+  const Topology t = space_simulator_topology();
+  std::vector<Flow> flows;
+  for (int i = 0; i < 16; ++i) flows.push_back({i, 240 + i});        // A
+  for (int i = 0; i < 16; ++i) flows.push_back({64 + i, 260 + i});   // B
+  const auto r = fair_share(t, flows);
+  double a = 0.0, b = 0.0;
+  for (int i = 0; i < 16; ++i) a += r.rate_bps[static_cast<std::size_t>(i)];
+  for (int i = 16; i < 32; ++i) b += r.rate_bps[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(a, t.config().trunk_bps / 2, t.config().trunk_bps * 0.01);
+  EXPECT_NEAR(b, t.config().trunk_bps / 2, t.config().trunk_bps * 0.01);
+  EXPECT_NEAR(r.min_bps, r.max_bps, 1.0);
+  // A solo tenant on an otherwise idle trunk gets roughly double.
+  std::vector<Flow> solo(flows.begin(), flows.begin() + 16);
+  const auto rs = fair_share(t, solo);
+  double a_solo = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    a_solo += rs.rate_bps[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(a_solo, 1.8 * a);
+}
+
 TEST(FairShare, HypercubePairsLowDimensionStayInModule) {
   // dim<4 partners are within the same 16-port module: full bandwidth.
   const Topology t = space_simulator_topology();

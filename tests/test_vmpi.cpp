@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -436,6 +437,183 @@ TEST(VirtualTime, CongestionSlowsConcurrentSenders) {
   // Aggregate: 16 MB through a 6.2 Gbit/s uplink takes >= 21 ms.
   const double total_bits = 16.0 * 8.0 * static_cast<double>(bytes);
   EXPECT_GT(rt.elapsed_vtime(), 0.8 * total_bits / 6.2e9);
+}
+
+// ---------------------------------------------------------------------------
+// Sub-communicators (split / partition).
+// ---------------------------------------------------------------------------
+
+TEST(SubComm, PartitionRenumbersAndConfinesTraffic) {
+  // Two disjoint partitions of 8 world ranks. Inside each, ranks are
+  // renumbered 0..3 and a ring exchange plus collectives behave exactly
+  // as they would on a standalone 4-rank runtime.
+  Runtime rt(8);
+  rt.run([&](Comm& c) {
+    const int half = c.rank() / 4;
+    auto g = c.partition(half * 4, 4, /*ctx=*/half);
+    ASSERT_TRUE(g.member());
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_EQ(c.rank(), c.world_rank() % 4);
+    EXPECT_EQ(c.world_size(), 8);
+
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() - 1 + c.size()) % c.size();
+    c.send_value<int>(next, 7, c.world_rank());
+    const int got = c.recv_value<int>(prev, 7);
+    EXPECT_EQ(got, half * 4 + prev);  // sender's world rank
+
+    // Group collectives: sums stay within the partition.
+    const int sum = static_cast<int>(c.allreduce_sum(1.0));
+    EXPECT_EQ(sum, 4);
+    const auto all = c.allgather_value(c.world_rank());
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)],
+                                          half * 4 + i);
+  });
+}
+
+TEST(SubComm, SplitOracleOrdersByKeyThenRank) {
+  // split(color = rank % 2, key = -rank): odd/even groups, each ordered
+  // by descending world rank (key ascending). Oracle: group rank of world
+  // rank r among {r' : r' % 2 == r % 2} sorted by -r'.
+  const int p = 7;
+  Runtime rt(p);
+  rt.run([&](Comm& c) {
+    const int w = c.rank();
+    auto g = c.split(w % 2, -w);
+    ASSERT_TRUE(g.member());
+    std::vector<int> same;
+    for (int r = p - 1; r >= 0; --r) {
+      if (r % 2 == w % 2) same.push_back(r);
+    }
+    EXPECT_EQ(c.size(), static_cast<int>(same.size()));
+    const auto it = std::find(same.begin(), same.end(), w);
+    EXPECT_EQ(c.rank(), static_cast<int>(it - same.begin()));
+    const auto members = c.allgather_value(c.world_rank());
+    EXPECT_EQ(members, same);
+  });
+}
+
+TEST(SubComm, SplitNonMemberOptsOut) {
+  Runtime rt(6);
+  rt.run([&](Comm& c) {
+    // Ranks 0..3 form a group; 4 and 5 opt out and keep world coords.
+    auto g = c.split(c.rank() < 4 ? 1 : -1, c.rank());
+    if (c.rank() < 4) {
+      ASSERT_TRUE(g.member());
+      EXPECT_EQ(c.size(), 4);
+      EXPECT_EQ(static_cast<int>(c.allreduce_sum(1.0)), 4);
+    } else {
+      EXPECT_FALSE(g.member());
+      EXPECT_EQ(c.size(), 6);
+      EXPECT_EQ(c.rank(), c.world_rank());
+    }
+  });
+}
+
+TEST(SubComm, NestedPartitionsComposeLifo) {
+  Runtime rt(8);
+  rt.run([&](Comm& c) {
+    auto outer = c.partition(0, 8, /*ctx=*/1);
+    {
+      const int q = c.rank() / 2;  // pairs within the outer group
+      auto inner = c.partition(q * 2, 2, /*ctx=*/10 + q);
+      EXPECT_EQ(c.size(), 2);
+      const int partner_world = c.allreduce_value(
+          c.rank() == 0 ? 0 : c.world_rank(),
+          [](int a, int b) { return a + b; });
+      if (c.rank() == 0) EXPECT_EQ(partner_world, c.world_rank() + 1);
+    }
+    EXPECT_EQ(c.size(), 8);
+    c.barrier();
+  });
+}
+
+TEST(SubComm, WildcardRecvStaysInsideGroupWindow) {
+  // A root-level message posted before the group forms must be invisible
+  // to wildcard receives inside the group, and still receivable after.
+  Runtime rt(4);
+  rt.run([&](Comm& c) {
+    if (c.rank() == 0) c.send_value<int>(1, 5, 99);
+    c.barrier();
+    {
+      // No group traffic at all while rank 1 probes: any match would have
+      // to be the stale root-level message leaking into the window.
+      auto g = c.partition(0, 4, /*ctx=*/3);
+      if (c.rank() == 1) {
+        EXPECT_FALSE(c.try_recv(kAnySource, kAnyTag).has_value());
+      }
+    }
+    if (c.rank() == 1) {
+      auto m = c.try_recv(kAnySource, kAnyTag);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->tag, 5);
+      EXPECT_EQ(m->as<int>().at(0), 99);
+    }
+  });
+}
+
+TEST(SubComm, PurgeContextDropsAbandonedTraffic) {
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    {
+      auto g = c.partition(0, 2, /*ctx=*/8);
+      // Both ranks post to each other, nobody receives (an abandoned job).
+      c.send_value<int>(1 - c.rank(), 2, 41);
+      c.barrier_max_time();
+    }
+    EXPECT_EQ(c.purge_context(8), 1u);
+    // A second purge finds nothing, and the root mailbox is clean apart
+    // from collective traffic already consumed.
+    EXPECT_EQ(c.purge_context(8), 0u);
+    EXPECT_FALSE(c.try_recv(kAnySource, kAnyTag).has_value());
+  });
+}
+
+TEST(SubComm, DistinctContextsIsolateSuccessiveIncarnations) {
+  // The same partition range used twice with different contexts: stale
+  // messages from incarnation A can never match incarnation B's receives.
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    {
+      auto a = c.partition(0, 2, /*ctx=*/20);
+      if (c.rank() == 0) c.send_value<int>(1, 4, 1111);  // never received
+    }
+    c.barrier();  // the stale send is in rank 1's mailbox by now
+    {
+      auto b = c.partition(0, 2, /*ctx=*/21);
+      if (c.rank() == 1) {
+        // Same source, same app tag — but incarnation A's wire tag lives
+        // in context 20's window, invisible here.
+        EXPECT_FALSE(c.try_recv(0, 4).has_value());
+        c.send_value<int>(0, 4, 2222);
+      } else {
+        EXPECT_EQ(c.recv_value<int>(1, 4), 2222);
+      }
+    }
+    const std::size_t purged = c.purge_context(20);
+    EXPECT_EQ(purged, c.rank() == 1 ? 1u : 0u);
+  });
+}
+
+TEST(SubComm, GroupCollectivesUnderReliableTransport) {
+  // Sub-communicator collectives ride the lossy-fabric transport like any
+  // other traffic: wire tags are just tags to the protocol layer.
+  FaultRates rates;
+  rates.drop = 0.05;
+  rates.duplicate = 0.05;
+  auto faults = std::make_shared<LinkFaultModel>(4, 0xfeedULL, rates);
+  Runtime rt(4);
+  rt.set_fault_model(faults);
+  rt.run([&](Comm& c) {
+    auto g = c.partition((c.rank() / 2) * 2, 2, /*ctx=*/c.rank() / 2);
+    for (int i = 0; i < 4; ++i) {
+      const auto sum = c.allreduce_sum(static_cast<double>(c.world_rank()));
+      const int base = (c.world_rank() / 2) * 2;
+      EXPECT_DOUBLE_EQ(sum, static_cast<double>(base + base + 1));
+    }
+  });
+  rt.set_fault_model(nullptr);
 }
 
 }  // namespace
