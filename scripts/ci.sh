@@ -10,8 +10,9 @@
 #   2. sanitizers: ASan+UBSan build of the kernel/sort/traversal tests —
 #      the suites that exercise the batched SoA kernels, the
 #      multi-threaded radix sort, the interaction-list traversal, the
-#      checkpoint/snapshot I/O subsystem (async writer threads) and the
-#      reliable transport (cross-thread frame queues, retransmit timers).
+#      checkpoint/snapshot I/O subsystem (async writer threads), the
+#      reliable transport (cross-thread frame queues, retransmit timers)
+#      and the integrity layer (guard shadows, injector mutex, audits).
 #   3. bench smoke: bench_table5_gravkernel --json must run and emit
 #      parseable JSON with the measured host kernel variants,
 #      bench_table6_treecode --json must show the FMM beating the
@@ -54,6 +55,18 @@ echo "=== lossy-fabric smoke: reliable transport under drop/corrupt/reorder ==="
   --gtest_filter='NetEngine.ForcesOnLossyFabricMatchCleanRun:NetEndToEnd.*' \
   --gtest_brief=1
 
+echo "=== integrity smoke: injected bit flips detected + healed bit-for-bit ==="
+# Seeded memory bit flips during a 4-rank ParallelLeapfrog run. The gtests
+# assert injected == detected, per-tier attribution (slab repair / force
+# recompute / checkpoint rollback), a CRC-valid SSBLOCK1 postmortem on the
+# rollback path, and that the healed final state matches the clean run bit
+# for bit (the <= 1e-12 parity bar is earned, not assumed). The zero-fault
+# suite asserts integrity-on with no injected faults is byte-identical to
+# integrity-off and every integrity counter stays zero.
+./build/tests/test_integrity \
+  --gtest_filter='Recovery.*:Sched.CorruptedResultRequeuesWithoutCooldown' \
+  --gtest_brief=1
+
 echo "=== SIMD dispatch parity: forced-scalar + native backends ==="
 # The parity gtests loop over every backend reachable on this host
 # (scalar always; AVX2/AVX-512/NEON as compiled+supported). Run them
@@ -76,14 +89,14 @@ SS_POOL_THREADS=3 ./build/tests/test_task_pool --gtest_brief=1
 SS_POOL_THREADS=3 ./build/tests/test_fmm --gtest_brief=1
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_fmm / test_hot_parallel / test_engine / test_io / test_net / test_task_pool ==="
+  echo "=== [2/3] sanitizers: ASan+UBSan on test_gravity / test_morton / test_fmm / test_hot_parallel / test_engine / test_io / test_net / test_task_pool / test_integrity ==="
   cmake -B build-asan -S . -DSS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j "${JOBS}" \
     --target test_gravity test_morton test_fmm test_hot_parallel test_engine \
-    test_io test_net test_task_pool
+    test_io test_net test_task_pool test_integrity
   for t in test_gravity test_morton test_fmm test_hot_parallel test_engine \
-      test_io test_net test_task_pool; do
+      test_io test_net test_task_pool test_integrity; do
     bin="$(find build-asan -name "$t" -type f -perm -u+x | head -1)"
     echo "--- $t ---"
     "$bin"

@@ -1,7 +1,9 @@
 #include "hot/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -153,6 +155,27 @@ struct Walk {
 struct GravityEngine::Impl {
   Impl(ss::vmpi::Comm& comm, const ParallelConfig& cfg)
       : comm_(comm), cfg_(cfg), tree_(cfg.tree), abm_(comm, cfg.abm) {
+    // A requested option that cannot take effect is surfaced here, once,
+    // instead of degrading silently deep in the traversal.
+    if (cfg.far_field == FarField::fmm && comm.size() > 1) {
+      if (cfg.strict_config) {
+        throw ConfigError(
+            "far_field = fmm requires a single-rank comm (the FMM's M2L "
+            "partners are not shipped remotely); refusing the treecode "
+            "fallback because strict_config is set");
+      }
+      if (obs::Counter* c = obs::counter("integrity.config_fallbacks")) {
+        c->add(1);
+      }
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "[hot] warning: far_field = fmm is single-rank only; "
+                     "falling back to treecode walks on %d ranks "
+                     "(set strict_config to make this an error)\n",
+                     comm.size());
+      }
+    }
     // Observability: resolve the rank recorder (if any) and its counters
     // once; the traversal hot loop then pays one pointer test per event.
     obs_ = obs::tls();
@@ -1344,6 +1367,10 @@ GravityResult GravityEngine::step(std::span<const Source> bodies,
 }
 
 std::uint64_t GravityEngine::steps_completed() const { return impl_->steps_; }
+
+Tree& GravityEngine::tree() { return impl_->tree_; }
+
+const Tree& GravityEngine::tree() const { return impl_->tree_; }
 
 std::size_t GravityEngine::ledger_size() const { return impl_->ledger_.size(); }
 

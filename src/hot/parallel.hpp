@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,16 @@
 
 namespace ss::hot {
 
+/// A requested configuration cannot take effect on this run (e.g.
+/// far_field = fmm on a multi-rank engine). Thrown at engine
+/// construction when ParallelConfig::strict_config is set; otherwise the
+/// engine degrades with a one-shot warning and an
+/// integrity.config_fallbacks count.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct ParallelConfig {
   double theta = 0.6;
   double eps2 = 0.0;
@@ -56,9 +67,15 @@ struct ParallelConfig {
   /// treecode walks, or the dual-tree FMM (Cartesian local expansions,
   /// O(N)). Multi-rank runs always use the treecode walks — the FMM's
   /// local expansions would need remote M2L partners, which the
-  /// latency-hiding machinery does not ship yet — so `fmm` silently
-  /// falls back there.
+  /// latency-hiding machinery does not ship yet — so `fmm` falls back
+  /// there: loudly (one-shot stderr warning + an
+  /// integrity.config_fallbacks count), or as a ConfigError when
+  /// strict_config is set.
   FarField far_field = FarField::treecode;
+  /// Refuse degraded configurations instead of falling back: engine
+  /// construction throws hot::ConfigError when a requested option cannot
+  /// take effect (currently: far_field = fmm on a multi-rank comm).
+  bool strict_config = false;
   /// FMM expansion order (see AccelParams::p_order).
   int p_order = 4;
   TreeConfig tree;
@@ -222,6 +239,13 @@ class GravityEngine {
   /// here; ownership changes are re-checked at prefetch time, so a stale
   /// seed is safe — at worst the speculation misses.
   void seed_ledger(std::span<const morton::Key> keys);
+
+  /// The engine's local tree (rebuilt in place every step; arenas
+  /// persist). Integrity hook: the structural audit walks it and the
+  /// fault injector registers its cell arena as a corruption target.
+  /// Valid after the first step() call, until the next one.
+  Tree& tree();
+  const Tree& tree() const;
 
  private:
   struct Impl;

@@ -154,6 +154,11 @@ class Tree {
   const Cell& cell(std::uint32_t i) const { return cells_[i]; }
   const Cell& root() const { return cells_[0]; }
 
+  /// Mutable view of the cell arena. Integrity hook only: the fault
+  /// injector registers it as a corruption target and tests damage it
+  /// deliberately; the tree itself never mutates cells after build.
+  std::span<Cell> cells_mutable() { return cells_; }
+
   /// Cell for a key, or nullptr if no such cell exists in this tree.
   const Cell* find(morton::Key k) const;
 

@@ -1,0 +1,223 @@
+#include "integrity/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace ss::integrity {
+
+const char* to_string(AuditKind k) {
+  switch (k) {
+    case AuditKind::key_order:
+      return "key_order";
+    case AuditKind::bad_link:
+      return "bad_link";
+    case AuditKind::bad_range:
+      return "bad_range";
+    case AuditKind::mass_closure:
+      return "mass_closure";
+    case AuditKind::com_closure:
+      return "com_closure";
+    case AuditKind::com_bounds:
+      return "com_bounds";
+    case AuditKind::bmax_bounds:
+      return "bmax_bounds";
+    case AuditKind::non_finite:
+      return "non_finite";
+    case AuditKind::empty_cell:
+      return "empty_cell";
+  }
+  return "?";
+}
+
+std::size_t TreeAuditReport::distinct_cells() const {
+  std::set<std::uint32_t> cells;
+  for (const AuditFinding& f : findings) cells.insert(f.cell);
+  return cells.size();
+}
+
+std::string TreeAuditReport::summary(std::size_t max_items) const {
+  std::ostringstream os;
+  os << findings.size() << " finding(s) in " << distinct_cells()
+     << " cell(s)";
+  for (std::size_t i = 0; i < findings.size() && i < max_items; ++i) {
+    const AuditFinding& f = findings[i];
+    os << "; " << to_string(f.kind) << "@cell" << f.cell << ": " << f.detail;
+  }
+  if (findings.size() > max_items) os << "; ...";
+  return os.str();
+}
+
+namespace {
+
+bool finite3(const support::Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+void add(TreeAuditReport& rep, std::uint32_t cell, AuditKind kind,
+         std::string detail) {
+  rep.findings.push_back({cell, kind, std::move(detail)});
+}
+
+}  // namespace
+
+TreeAuditReport audit_tree(const hot::Tree& tree, double rel_tol) {
+  TreeAuditReport rep;
+  const std::size_t ncells = tree.cell_count();
+  if (ncells == 0) return rep;
+  rep.cells_checked = ncells;
+  const morton::Box& box = tree.box();
+  const auto& bodies = tree.bodies();
+  const auto& keys = tree.keys();
+  const double com_tol = rel_tol * std::max(box.size, 1e-300);
+
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] < keys[i - 1]) {
+      add(rep, static_cast<std::uint32_t>(i), AuditKind::key_order,
+          "sorted body keys not monotone");
+    }
+  }
+
+  for (std::uint32_t ci = 0; ci < ncells; ++ci) {
+    const hot::Cell& c = tree.cell(ci);
+    if (c.count == 0) {
+      add(rep, ci, AuditKind::empty_cell, "cell holds no bodies");
+      continue;
+    }
+    if (!std::isfinite(c.mom.mass) || !finite3(c.mom.com) ||
+        !std::isfinite(c.mom.bmax)) {
+      add(rep, ci, AuditKind::non_finite, "mass/com/bmax not finite");
+      continue;  // arithmetic below would cascade
+    }
+
+    const double size = morton::cell_size(c.key, box);
+    const support::Vec3 center = morton::cell_center(c.key, box);
+    const double slack = 1e-9 * box.size;
+    const double half = 0.5 * size + slack;
+    if (std::abs(c.mom.com.x - center.x) > half ||
+        std::abs(c.mom.com.y - center.y) > half ||
+        std::abs(c.mom.com.z - center.z) > half) {
+      add(rep, ci, AuditKind::com_bounds, "com outside the cell box");
+    }
+    if (c.mom.bmax < 0.0 ||
+        c.mom.bmax > std::sqrt(3.0) * size + slack) {
+      add(rep, ci, AuditKind::bmax_bounds, "bmax beyond the cell diagonal");
+    }
+
+    if (c.leaf) {
+      double mass = 0.0;
+      support::Vec3 com{};
+      const std::size_t lo = c.first;
+      const std::size_t hi = std::min<std::size_t>(lo + c.count,
+                                                   bodies.size());
+      if (hi - lo != c.count) {
+        add(rep, ci, AuditKind::bad_range, "body range beyond the array");
+        continue;
+      }
+      for (std::size_t b = lo; b < hi; ++b) {
+        mass += bodies[b].mass;
+        com += bodies[b].mass * bodies[b].pos;
+      }
+      const double scale =
+          std::max({std::abs(mass), std::abs(c.mom.mass), 1e-300});
+      if (std::abs(mass - c.mom.mass) > rel_tol * scale) {
+        add(rep, ci, AuditKind::mass_closure,
+            "leaf mass disagrees with its bodies");
+      } else if (mass > 0.0) {
+        com = (1.0 / mass) * com;
+        if ((com - c.mom.com).norm() > com_tol) {
+          add(rep, ci, AuditKind::com_closure,
+              "leaf com disagrees with its bodies");
+        }
+      }
+      continue;
+    }
+
+    // Internal cell: link consistency, range partition, moment closure.
+    bool links_ok = true;
+    double mass = 0.0;
+    support::Vec3 com{};
+    std::uint64_t range_cursor = c.first;
+    bool range_ok = true;
+    int nchildren = 0;
+    for (int o = 0; o < 8; ++o) {
+      const std::int32_t idx = c.children[o];
+      if (idx < 0) {
+        if (idx != -1) {
+          add(rep, ci, AuditKind::bad_link, "negative child index");
+          links_ok = false;
+        }
+        continue;
+      }
+      if (static_cast<std::size_t>(idx) >= ncells) {
+        add(rep, ci, AuditKind::bad_link, "child index out of range");
+        links_ok = false;
+        continue;
+      }
+      const hot::Cell& ch = tree.cell(static_cast<std::uint32_t>(idx));
+      if (ch.key != morton::child(c.key, o)) {
+        add(rep, ci, AuditKind::bad_link,
+            "child key disagrees with its octant slot");
+        links_ok = false;
+        continue;
+      }
+      ++nchildren;
+      if (ch.first != range_cursor) range_ok = false;
+      range_cursor += ch.count;
+      mass += ch.mom.mass;
+      com += ch.mom.mass * ch.mom.com;
+    }
+    if (nchildren == 0) {
+      add(rep, ci, AuditKind::bad_range, "internal cell with no children");
+      continue;
+    }
+    if (links_ok && (!range_ok || range_cursor != c.first + c.count)) {
+      add(rep, ci, AuditKind::bad_range,
+          "children do not partition the parent's body range");
+    }
+    if (links_ok) {
+      const double scale =
+          std::max({std::abs(mass), std::abs(c.mom.mass), 1e-300});
+      if (std::abs(mass - c.mom.mass) > rel_tol * scale) {
+        add(rep, ci, AuditKind::mass_closure,
+            "cell mass disagrees with its children");
+      } else if (mass > 0.0) {
+        com = (1.0 / mass) * com;
+        if ((com - c.mom.com).norm() > com_tol) {
+          add(rep, ci, AuditKind::com_closure,
+              "cell com disagrees with its children");
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+SentinelResult sentinel_recompute(const hot::Tree& tree,
+                                  std::span<const gravity::Accel> committed,
+                                  const hot::AccelParams& params,
+                                  std::size_t stride, double rel_tol) {
+  SentinelResult out;
+  if (stride == 0) stride = 1;
+  const auto& bodies = tree.bodies();
+  const std::size_t n = std::min(bodies.size(), committed.size());
+  for (std::size_t i = 0; i < n; i += stride) {
+    const gravity::Accel fresh = tree.accelerate(
+        bodies[i].pos, params.theta, params.eps2, params.method);
+    ++out.checked;
+    const double ref = std::max(
+        {fresh.a.norm(), committed[i].a.norm(), 1e-300});
+    const double rel = (fresh.a - committed[i].a).norm() / ref;
+    if (rel > out.worst_rel) out.worst_rel = rel;
+    if (rel > rel_tol) {
+      if (out.mismatches == 0) {
+        out.first_body = static_cast<std::uint32_t>(i);
+      }
+      ++out.mismatches;
+    }
+  }
+  return out;
+}
+
+}  // namespace ss::integrity

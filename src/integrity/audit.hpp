@@ -1,0 +1,95 @@
+// Structural audit of a hot::Tree, and the strided force sentinel —
+// semantic detectors for corruption the byte-level guard does not cover
+// (the tree's cell arena is rebuilt every step, so shadow-copying it
+// would checksum data that is about to be discarded; auditing its
+// *invariants* instead localizes damage to a cell).
+//
+// audit_tree checks, per cell:
+//   - mass / com / bmax are finite and count > 0;
+//   - Morton link consistency: children[o] is a valid index whose key is
+//     morton::child(parent key, o);
+//   - the children's body ranges exactly partition the parent's
+//     [first, first + count);
+//   - mass closure: an internal cell's mass equals the sum of its
+//     children's (a leaf's the sum of its bodies'), and its com is the
+//     mass-weighted combination, to a relative tolerance;
+//   - geometry: com lies inside the cell's box and bmax within its
+//     diagonal (plus epsilon slack);
+// plus global Morton-order monotonicity of the sorted key array. A
+// single flipped exponent bit in any mass/com/child field violates at
+// least one invariant at the damaged cell, so findings localize faults;
+// on a clean tree every check passes to well above accumulated rounding.
+//
+// sentinel_recompute re-derives the force on every stride-th body with
+// an independent per-body tree walk and compares against the committed
+// values. The walk's interaction set differs from the batched group walk
+// (its MAC is per-body, the group MAC is conservative), so agreement is
+// only to the force-error level — the sentinel is a coarse screen for
+// exponent-scale corruption of committed forces, not a bitwise check
+// (that is the guard's job). Honest only where the tree holds every
+// source, i.e. single-rank evaluations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hot/tree.hpp"
+
+namespace ss::integrity {
+
+enum class AuditKind {
+  key_order,     ///< Sorted body keys not monotone.
+  bad_link,      ///< Child index invalid, wrong key, or wrong octant slot.
+  bad_range,     ///< Children do not partition the parent's body range.
+  mass_closure,  ///< Cell mass != sum of children / bodies.
+  com_closure,   ///< Cell com != mass-weighted combination.
+  com_bounds,    ///< com outside the cell's geometric box.
+  bmax_bounds,   ///< bmax negative or beyond the cell diagonal.
+  non_finite,    ///< NaN/Inf in mass, com or bmax.
+  empty_cell,    ///< count == 0.
+};
+
+const char* to_string(AuditKind k);
+
+struct AuditFinding {
+  std::uint32_t cell = 0;  ///< Cell index (body index for key_order).
+  AuditKind kind = AuditKind::mass_closure;
+  std::string detail;
+};
+
+struct TreeAuditReport {
+  std::vector<AuditFinding> findings;
+  std::size_t cells_checked = 0;
+
+  bool ok() const { return findings.empty(); }
+  /// Distinct cells with findings (the localization count).
+  std::size_t distinct_cells() const;
+  /// "kind@cell: detail; ..." — postmortem attribution line.
+  std::string summary(std::size_t max_items = 4) const;
+};
+
+/// Audit every cell of `tree`. `rel_tol` bounds the closure checks
+/// (relative for mass, scaled by the box size for com); the default
+/// clears accumulated build rounding by orders of magnitude while any
+/// exponent-bit flip lands far outside it.
+TreeAuditReport audit_tree(const hot::Tree& tree, double rel_tol = 1e-8);
+
+struct SentinelResult {
+  std::size_t checked = 0;
+  std::size_t mismatches = 0;
+  std::uint32_t first_body = 0;  ///< First mismatching body (tree order).
+  double worst_rel = 0.0;        ///< Largest relative deviation seen.
+};
+
+/// Recompute the field at every stride-th body of `tree` and compare to
+/// `committed` (in tree.bodies() order). A deviation beyond `rel_tol`
+/// (relative to the committed magnitude) counts as a mismatch.
+SentinelResult sentinel_recompute(const hot::Tree& tree,
+                                  std::span<const gravity::Accel> committed,
+                                  const hot::AccelParams& params,
+                                  std::size_t stride = 16,
+                                  double rel_tol = 0.05);
+
+}  // namespace ss::integrity

@@ -1,0 +1,103 @@
+// Shared configuration and accounting for the integrity subsystem: the
+// knobs the recovery supervisor reads, the summary it reports, and the
+// error the self-healing ladder throws when only a checkpoint rollback
+// can restore a consistent state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "integrity/memfault.hpp"
+
+namespace ss::integrity {
+
+/// Thrown by the per-step integrity protocol when tier 1 (localized
+/// repair) and tier 2 (step retry / force recompute) cannot restore a
+/// consistent state. Thrown BEFORE any collective so the supervisor can
+/// tear the attempt down like a rank failure and restart from the last
+/// checkpoint. Carries the attribution the postmortem records.
+class CorruptionError : public std::runtime_error {
+ public:
+  CorruptionError(int rank, std::uint64_t step, std::string region,
+                  const std::string& what_detail)
+      : std::runtime_error(format(rank, step, region, what_detail)),
+        rank_(rank),
+        step_(step),
+        region_(std::move(region)) {}
+
+  int rank() const { return rank_; }
+  std::uint64_t step() const { return step_; }
+  const std::string& region() const { return region_; }
+
+ private:
+  static std::string format(int rank, std::uint64_t step,
+                            const std::string& region,
+                            const std::string& detail) {
+    std::ostringstream os;
+    os << "unrecoverable corruption in region '" << region << "' on rank "
+       << rank << " at step " << step << ": " << detail;
+    return os.str();
+  }
+
+  int rank_;
+  std::uint64_t step_;
+  std::string region_;
+};
+
+/// Integrity knobs threaded through RecoveryConfig. Default-constructed,
+/// the subsystem is fully disabled: no injector, no guard, no audits —
+/// the integration loop takes the exact pre-integrity path.
+struct Config {
+  /// Seeded bit-flip injector, shared so tests can inspect its records
+  /// after the run. Null: nothing is ever injected.
+  std::shared_ptr<MemFaultInjector> mem_faults;
+
+  /// Slab-CRC shadow guard over bodies/acc/work (capture + scan every
+  /// step boundary).
+  bool guard = false;
+  std::size_t guard_slab_bytes = 4096;
+
+  /// Structural tree audit cadence in steps (0: never). The tree is
+  /// rebuilt from bodies every evaluation, so only audit_tree_every == 1
+  /// observes every boundary; coarser cadences trade detection of
+  /// benign-but-real arena corruption for audit cost.
+  std::uint64_t audit_tree_every = 0;
+
+  /// Strided force sentinel cadence in steps (0: never). Single-rank
+  /// evaluations only — the local tree must hold every source.
+  std::uint64_t sentinel_every = 0;
+  std::size_t sentinel_stride = 16;
+  double sentinel_rel_tol = 0.05;
+
+  /// Relative per-step energy-drift gate (0: off). Trips the step-retry
+  /// tier; the trip decision is computed from allreduced sums, so every
+  /// rank takes the same branch.
+  double energy_rel_gate = 0.0;
+  int max_step_retries = 1;
+
+  bool enabled() const {
+    return mem_faults != nullptr || guard || audit_tree_every != 0 ||
+           sentinel_every != 0 || energy_rel_gate != 0.0;
+  }
+};
+
+/// What the ladder did over one run_with_recovery call (all ranks'
+/// events, summed on the supervisor side where noted).
+struct Summary {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_detected = 0;      ///< Detection events (slabs + audits).
+  std::uint64_t repairs_local = 0;        ///< Tier 1: shadow -> live memcpy.
+  std::uint64_t shadow_refreshed = 0;     ///< Guard healing its own shadow.
+  std::uint64_t repairs_recompute = 0;    ///< Tier 2: force field recomputed.
+  std::uint64_t step_retries = 0;         ///< Tier 2: step redone from snapshot.
+  std::uint64_t rollbacks = 0;            ///< Tier 3: checkpoint restarts.
+  std::uint64_t tree_audit_findings = 0;
+  std::uint64_t sentinel_mismatches = 0;
+  std::uint64_t invariant_trips = 0;
+  std::uint64_t unrecoverable_slabs = 0;  ///< Both live and shadow damaged.
+};
+
+}  // namespace ss::integrity

@@ -1,0 +1,100 @@
+#include "integrity/guard.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/crc32.hpp"
+
+namespace ss::integrity {
+
+namespace {
+
+std::size_t slab_count(std::size_t bytes, std::size_t slab) {
+  return (bytes + slab - 1) / slab;
+}
+
+}  // namespace
+
+void StateGuard::capture(std::string_view region,
+                         std::span<const std::byte> live) {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    it = regions_.emplace(std::string(region), Region{}).first;
+  }
+  Region& r = it->second;
+  r.shadow.assign(live.begin(), live.end());
+  const std::size_t n = slab_count(live.size(), slab_bytes_);
+  r.crcs.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t lo = s * slab_bytes_;
+    const std::size_t len = std::min(slab_bytes_, live.size() - lo);
+    r.crcs[s] = io::crc32(live.subspan(lo, len));
+  }
+}
+
+ScanResult StateGuard::scan(std::string_view region,
+                            std::span<const std::byte> live) const {
+  ScanResult out;
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) return out;
+  const Region& r = it->second;
+  if (r.shadow.size() != live.size()) {
+    out.size_changed = true;
+    return out;
+  }
+  const std::size_t n = r.crcs.size();
+  out.slabs_scanned = n;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t lo = s * slab_bytes_;
+    const std::size_t len = std::min(slab_bytes_, live.size() - lo);
+    if (io::crc32(live.subspan(lo, len)) != r.crcs[s]) {
+      ++out.faults_detected;
+      out.flagged.push_back(s);
+    }
+  }
+  return out;
+}
+
+ScanResult StateGuard::scan_and_repair(std::string_view region,
+                                       std::span<std::byte> live) {
+  ScanResult out;
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) return out;
+  Region& r = it->second;
+  if (r.shadow.size() != live.size()) {
+    out.size_changed = true;
+    return out;
+  }
+  const std::size_t n = r.crcs.size();
+  out.slabs_scanned = n;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t lo = s * slab_bytes_;
+    const std::size_t len = std::min(slab_bytes_, live.size() - lo);
+    const bool live_ok =
+        io::crc32(live.subspan(lo, len)) == r.crcs[s];
+    const bool shadow_ok =
+        io::crc32(std::span<const std::byte>(r.shadow).subspan(lo, len)) ==
+        r.crcs[s];
+    if (live_ok && shadow_ok) continue;
+    ++out.faults_detected;
+    out.flagged.push_back(s);
+    if (!live_ok && shadow_ok) {
+      std::memcpy(live.data() + lo, r.shadow.data() + lo, len);
+      ++out.repaired;
+    } else if (live_ok) {
+      std::memcpy(r.shadow.data() + lo, live.data() + lo, len);
+      ++out.shadow_refreshed;
+    } else {
+      ++out.unrecoverable;
+    }
+  }
+  return out;
+}
+
+std::span<std::byte> StateGuard::shadow(std::string_view region) {
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) return {};
+  return std::span<std::byte>(it->second.shadow);
+}
+
+}  // namespace ss::integrity

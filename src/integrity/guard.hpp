@@ -1,0 +1,83 @@
+// Inter-step block checksums over quiescent state slabs — the exact
+// detector (and tier-1 repairer) of the integrity ladder.
+//
+// At every step boundary the integration loop captures each protected
+// region: a shadow byte copy plus one io::crc32 per fixed-size slab,
+// computed while the state is quiescent (between the closing kick of one
+// step and the opening kick of the next). At the next boundary,
+// scan_and_repair() re-CRCs both sides per slab:
+//
+//   live ok,  shadow ok   -> clean
+//   live bad, shadow ok   -> live corrupted: memcpy shadow -> live
+//                            (bitwise repair; the run continues as if
+//                            the flip never happened)
+//   live ok,  shadow bad  -> the *shadow* took the hit: refresh it from
+//                            the still-good live bytes
+//   both bad              -> unrecoverable at this tier; the caller
+//                            escalates (force recompute or checkpoint
+//                            rollback)
+//
+// Because capture and scan both happen at step boundaries, a mismatch can
+// only come from corruption, never from legitimate dynamics — which is
+// what makes the repair safe to apply bitwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss::integrity {
+
+struct ScanResult {
+  std::uint64_t slabs_scanned = 0;
+  std::uint64_t faults_detected = 0;    ///< Slabs where either side mismatched.
+  std::uint64_t repaired = 0;           ///< Live slabs restored from shadow.
+  std::uint64_t shadow_refreshed = 0;   ///< Shadow slabs refreshed from live.
+  std::uint64_t unrecoverable = 0;      ///< Both sides damaged.
+  bool size_changed = false;  ///< Live size != captured size: recapture needed.
+  std::vector<std::uint64_t> flagged;   ///< Indices of mismatching slabs.
+};
+
+class StateGuard {
+ public:
+  explicit StateGuard(std::size_t slab_bytes = 4096)
+      : slab_bytes_(slab_bytes == 0 ? 4096 : slab_bytes) {}
+
+  /// Snapshot `live` (trusted at this boundary) as the region's shadow
+  /// and per-slab CRCs, replacing any previous capture.
+  void capture(std::string_view region, std::span<const std::byte> live);
+
+  /// Detect-only: per-slab CRC of `live` vs the capture. No repair, no
+  /// shadow refresh. Unknown region or size change: zero result.
+  ScanResult scan(std::string_view region,
+                  std::span<const std::byte> live) const;
+
+  /// Detect and repair per the table above. Unknown region: zero result.
+  /// Size change (the region legitimately grew/shrank since capture):
+  /// nothing is scanned, size_changed is set, caller should recapture.
+  ScanResult scan_and_repair(std::string_view region,
+                             std::span<std::byte> live);
+
+  /// The region's shadow bytes (empty span if never captured). Exposed
+  /// so the fault injector can target the shadow itself — the
+  /// both-sides-damaged escalation path is testable, and the guard's own
+  /// memory is not silently assumed immune.
+  std::span<std::byte> shadow(std::string_view region);
+
+  void reset() { regions_.clear(); }
+
+ private:
+  struct Region {
+    std::vector<std::byte> shadow;
+    std::vector<std::uint32_t> crcs;  ///< One per slab_bytes_ slab.
+  };
+
+  std::size_t slab_bytes_;
+  std::map<std::string, Region, std::less<>> regions_;
+};
+
+}  // namespace ss::integrity

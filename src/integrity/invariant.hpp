@@ -1,0 +1,69 @@
+// Physics invariant monitor: a per-step energy-drift gate for the
+// step-retry tier of the self-healing ladder.
+//
+// The caller feeds the *globally reduced* total energy after each step
+// (every rank must pass the same value, e.g. out of allreduce_sum over
+// local kinetic/potential contributions); the trip decision is then a
+// pure function of that value, so all ranks take the same branch with no
+// extra collective. A trip leaves the baseline at the last accepted
+// energy: retrying the step and feeding the new total re-checks against
+// the same pre-step reference.
+//
+// The gate is a coarse screen. Leapfrog conserves energy to O(dt^2) per
+// step, so `rel_gate` must sit well above the integrator's own drift for
+// the chosen dt (1e-3..1e-2 is typical at bench time steps) — it catches
+// corruption that slipped past the byte-level detectors and landed in
+// the dynamics at exponent scale, not rounding-level damage.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ss::integrity {
+
+class InvariantMonitor {
+ public:
+  /// rel_gate <= 0 disables the gate (check always accepts).
+  explicit InvariantMonitor(double rel_gate) : gate_(rel_gate) {}
+
+  /// Feed the post-step global total energy. Returns true if the step is
+  /// accepted (drift within the gate, or first sample, or gate off); the
+  /// accepted value becomes the new baseline. Returns false on a trip —
+  /// the baseline is NOT advanced, so a retried step is judged against
+  /// the same pre-step energy.
+  bool check(double total_energy) {
+    if (gate_ <= 0.0) return true;
+    if (!std::isfinite(total_energy)) {
+      ++trips_;
+      return false;
+    }
+    if (!have_baseline_) {
+      baseline_ = total_energy;
+      have_baseline_ = true;
+      return true;
+    }
+    const double scale = std::abs(baseline_) > 1e-300 ? std::abs(baseline_)
+                                                      : 1.0;
+    if (std::abs(total_energy - baseline_) > gate_ * scale) {
+      ++trips_;
+      return false;
+    }
+    baseline_ = total_energy;
+    return true;
+  }
+
+  /// Forget the baseline (after a checkpoint rollback the dynamics
+  /// legitimately jump back in time).
+  void reset() { have_baseline_ = false; }
+
+  std::uint64_t trips() const { return trips_; }
+  double baseline() const { return baseline_; }
+
+ private:
+  double gate_;
+  double baseline_ = 0.0;
+  bool have_baseline_ = false;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace ss::integrity

@@ -1,0 +1,132 @@
+#include "integrity/memfault.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "support/rng.hpp"
+
+namespace ss::integrity {
+
+namespace {
+
+/// FNV-1a over the region name: folds the region identity into the
+/// stochastic fate hash without any per-call allocation.
+std::uint64_t name_hash(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+MemFaultInjector::MemFaultInjector(std::vector<ScheduledFlip> schedule)
+    : schedule_(std::move(schedule)),
+      fired_(schedule_.size(), false) {}
+
+MemFaultInjector MemFaultInjector::from_rate(double flip_rate,
+                                             std::uint64_t seed) {
+  // Prvalue return: constructed in place (the mutex member makes the
+  // injector immovable).
+  return MemFaultInjector(flip_rate, seed);
+}
+
+void MemFaultInjector::set_region(int rank, std::string_view name,
+                                  std::span<std::byte> live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& regs = regions_[rank];
+  for (Region& r : regs) {
+    if (r.name == name) {
+      r.live = live;
+      return;
+    }
+  }
+  regs.push_back(Region{std::string(name), live});
+}
+
+void MemFaultInjector::clear_regions(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  regions_.erase(rank);
+}
+
+void MemFaultInjector::flip(int rank, std::uint64_t step,
+                            const std::string& region,
+                            std::span<std::byte> live, std::uint64_t offset,
+                            int bit) {
+  // Caller holds mu_.
+  const std::uint64_t at = offset % live.size();
+  const auto before =
+      static_cast<unsigned char>(live[static_cast<std::size_t>(at)]);
+  const auto after =
+      static_cast<unsigned char>(before ^ (1u << (bit & 7)));
+  live[static_cast<std::size_t>(at)] = static_cast<std::byte>(after);
+  records_.push_back({rank, step, region, at, bit & 7, before, after});
+  ++injected_;
+  if (obs::Counter* c = obs::counter("integrity.faults_injected")) c->add(1);
+}
+
+void MemFaultInjector::tick(int rank, std::uint64_t step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return;
+  const auto it = regions_.find(rank);
+  if (it == regions_.end()) return;
+
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    if (fired_[i]) continue;
+    const ScheduledFlip& f = schedule_[i];
+    if (f.rank != rank || f.step != step) continue;
+    for (Region& r : it->second) {
+      if (r.name == f.region && !r.live.empty()) {
+        flip(rank, step, r.name, r.live, f.offset, f.bit);
+        fired_[i] = true;
+        break;
+      }
+    }
+  }
+
+  if (rate_ > 0.0) {
+    for (Region& r : it->second) {
+      if (r.live.empty()) continue;
+      // Stateless fate: a pure function of (seed, rank, step, region), so
+      // the pattern replays under any interleaving — the LinkFaultModel
+      // discipline.
+      support::SplitMix64 h(
+          seed_ ^ (0xa0761d6478bd642fULL * static_cast<std::uint64_t>(
+                                               rank + 1)) ^
+          (0xe7037ed1a0b428dbULL * (step + 1)) ^ name_hash(r.name));
+      const double u =
+          static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+      if (u < rate_) {
+        const std::uint64_t offset = h.next();
+        const int bit = static_cast<int>(h.next() & 7);
+        flip(rank, step, r.name, r.live, offset, bit);
+      }
+    }
+  }
+}
+
+void MemFaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  rate_ = 0.0;
+  fired_.assign(schedule_.size(), true);
+}
+
+std::size_t MemFaultInjector::scheduled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_.size();
+}
+
+std::uint64_t MemFaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+std::vector<FlipRecord> MemFaultInjector::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace ss::integrity

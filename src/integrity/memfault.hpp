@@ -1,0 +1,112 @@
+// Deterministic in-memory fault injection: the silent-data-corruption
+// analogue of io::FaultInjector (process death) and vmpi::LinkFaultModel
+// (frame loss).
+//
+// The integration loop registers its live memory regions — particle SoA
+// arrays, the hot::Tree cell arena, checkpoint staging buffers — under
+// stable names at every step boundary (vectors move and resize as bodies
+// redistribute, so spans are refreshed rather than cached). tick(rank,
+// step) then flips scheduled bits in place, byte-exact and replayable:
+//
+//  - an explicit schedule of (rank, step, region, offset, bit) points
+//    (tests, CI gates), each firing at most once per injector lifetime
+//    so restarted attempts sail past already-consumed flips, exactly
+//    like FaultInjector's kill schedule; or
+//  - a stochastic mode (from_rate) where each (rank, step, region)
+//    decision is a pure SplitMix64 hash of the seed — the same
+//    stateless-fate discipline as vmpi::LinkFaultModel::decide, so a
+//    flip pattern replays identically under any thread interleaving.
+//
+// The injector only *creates* corruption (and bumps
+// integrity.faults_injected); detection and repair live in guard.hpp /
+// audit.hpp and the recovery ladder of nbody::run_with_recovery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss::integrity {
+
+/// One scheduled bit flip. `offset` is reduced modulo the live region
+/// size at fire time, so schedules stay valid as regions grow or shrink.
+struct ScheduledFlip {
+  int rank = 0;
+  std::uint64_t step = 0;
+  std::string region;
+  std::uint64_t offset = 0;
+  int bit = 0;  ///< 0..7 within the byte.
+};
+
+/// What actually happened, for attribution and replay checks.
+struct FlipRecord {
+  int rank = 0;
+  std::uint64_t step = 0;
+  std::string region;
+  std::uint64_t offset = 0;  ///< Resolved (post-modulo) byte offset.
+  int bit = 0;
+  unsigned char before = 0;
+  unsigned char after = 0;
+};
+
+class MemFaultInjector {
+ public:
+  MemFaultInjector() = default;  ///< Empty schedule: never fires.
+
+  /// Deterministic schedule; each entry fires at most once.
+  explicit MemFaultInjector(std::vector<ScheduledFlip> schedule);
+
+  /// Stochastic mode: at every tick, each registered region of the
+  /// ticking rank independently suffers one bit flip with probability
+  /// `flip_rate` (per region per step). The fate, offset and bit of a
+  /// given (rank, step, region) are pure functions of `seed`, so a run
+  /// replays bit-for-bit from the seed alone.
+  static MemFaultInjector from_rate(double flip_rate, std::uint64_t seed);
+
+  /// (Re)register a live region for `rank`. Call every step boundary,
+  /// before tick(): spans into std::vector storage go stale whenever the
+  /// simulation resizes or reallocates.
+  void set_region(int rank, std::string_view name, std::span<std::byte> live);
+  void clear_regions(int rank);
+
+  /// Apply every flip due at (rank, step) to that rank's registered
+  /// regions. A scheduled flip naming an unregistered region stays
+  /// pending (it may fire at a later step once the region appears).
+  void tick(int rank, std::uint64_t step);
+
+  /// Defuse everything that has not fired yet.
+  void disarm();
+
+  std::size_t scheduled() const;
+  std::uint64_t injected() const;
+  std::vector<FlipRecord> records() const;
+
+ private:
+  MemFaultInjector(double rate, std::uint64_t seed)
+      : rate_(rate), seed_(seed) {}
+
+  void flip(int rank, std::uint64_t step, const std::string& region,
+            std::span<std::byte> live, std::uint64_t offset, int bit);
+
+  struct Region {
+    std::string name;
+    std::span<std::byte> live;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<ScheduledFlip> schedule_;
+  std::vector<bool> fired_;  // parallel to schedule_
+  double rate_ = 0.0;
+  std::uint64_t seed_ = 0;
+  bool armed_ = true;
+  std::map<int, std::vector<Region>> regions_;
+  std::vector<FlipRecord> records_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace ss::integrity

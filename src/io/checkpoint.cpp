@@ -171,6 +171,53 @@ std::optional<RestoredGeneration> CheckpointStore::restore_latest() {
   return std::nullopt;
 }
 
+ScrubReport CheckpointStore::scrub_dir(const std::filesystem::path& dir,
+                                       const std::string& name) {
+  ScrubReport rep;
+  for (std::uint64_t gen : list_generations(dir)) {
+    ++rep.generations_scanned;
+    const auto gdir = generation_dir(dir, gen);
+    try {
+      auto m = read_manifest(gdir, name);
+      if (!m) {
+        ++rep.uncommitted;  // no marker: never claimed restorable
+        continue;
+      }
+      const auto stripes = read_stripes(gdir, name, *m);
+      for (const BlockReader& r : stripes) r.verify_all();
+      ++rep.generations_ok;
+    } catch (const IoError&) {
+      ++rep.errors;
+      rep.damaged.push_back(gen);
+      if (obs::Counter* c = obs::counter("io.scrub_errors")) c->add(1);
+    }
+  }
+  return rep;
+}
+
+ScrubReport CheckpointStore::scrub() {
+  obs::ScopedPhase phase("io.scrub");
+  // One authoritative scan on rank 0 (concurrent scans would race the
+  // pruner), then broadcast so every rank agrees on the damage list.
+  std::vector<std::uint64_t> wire;
+  if (comm_.rank() == 0) {
+    const ScrubReport rep = scrub_dir(cfg_.dir, cfg_.name);
+    wire = {static_cast<std::uint64_t>(rep.generations_scanned),
+            static_cast<std::uint64_t>(rep.generations_ok),
+            static_cast<std::uint64_t>(rep.uncommitted),
+            static_cast<std::uint64_t>(rep.errors)};
+    wire.insert(wire.end(), rep.damaged.begin(), rep.damaged.end());
+  }
+  comm_.bcast(wire, 0);
+  ScrubReport rep;
+  rep.generations_scanned = static_cast<int>(wire[0]);
+  rep.generations_ok = static_cast<int>(wire[1]);
+  rep.uncommitted = static_cast<int>(wire[2]);
+  rep.errors = static_cast<int>(wire[3]);
+  rep.damaged.assign(wire.begin() + 4, wire.end());
+  return rep;
+}
+
 // ---------------------------------------------------------------------------
 // Interval analysis.
 // ---------------------------------------------------------------------------

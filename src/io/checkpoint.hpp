@@ -46,6 +46,17 @@ struct RestoredGeneration {
   int fallbacks = 0;  ///< Newer generations skipped as invalid/damaged.
 };
 
+/// Result of one on-disk scrub pass over a checkpoint directory.
+struct ScrubReport {
+  int generations_scanned = 0;
+  int generations_ok = 0;   ///< Committed and fully CRC-valid.
+  int uncommitted = 0;      ///< Stripes without a manifest (benign debris).
+  int errors = 0;           ///< Committed generations with damage.
+  /// Generation ids of the damaged ones (each also bumps
+  /// io.scrub_errors).
+  std::vector<std::uint64_t> damaged;
+};
+
 class CheckpointStore {
  public:
   struct Config {
@@ -81,6 +92,17 @@ class CheckpointStore {
   /// corrupt or uncommitted ones (every skip is agreed by all ranks).
   /// nullopt when no generation validates.
   std::optional<RestoredGeneration> restore_latest();
+
+  /// Collective. Proactive media-rot sweep: rank 0 re-reads every
+  /// generation on disk and re-verifies every stripe's payload CRCs
+  /// (what restore_latest would only discover lazily, at restart time),
+  /// then broadcasts the report. Each damaged committed generation bumps
+  /// io.scrub_errors.
+  ScrubReport scrub();
+
+  /// The scan itself (single-process; what rank 0 of scrub() runs).
+  static ScrubReport scrub_dir(const std::filesystem::path& dir,
+                               const std::string& name = "ckpt");
 
   /// Committed + pending generation ids, ascending (filesystem scan).
   static std::vector<std::uint64_t> list_generations(

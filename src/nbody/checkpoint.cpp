@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <utility>
 
+#include "integrity/audit.hpp"
+#include "integrity/guard.hpp"
+#include "integrity/invariant.hpp"
 #include "io/postmortem.hpp"
 #include "obs/obs.hpp"
 #include "vmpi/comm.hpp"
@@ -150,12 +154,38 @@ std::optional<RestoredState> restore_checkpoint(io::CheckpointStore& store,
   return out;
 }
 
+namespace {
+
+/// One counter bump through the obs free helpers (no-op when no session
+/// is bound to this thread).
+void bump(const char* name, std::uint64_t by) {
+  if (by == 0) return;
+  if (obs::Counter* c = obs::counter(name)) c->add(by);
+}
+
+/// Flight-record one corruption event on this rank (tier 1/2/3).
+void flight_corruption(int rank, std::uint64_t id, int tier) {
+  if (obs::Rank* r = obs::tls()) {
+    r->flight(obs::FlightKind::kCorruption, rank, id,
+              static_cast<double>(tier));
+  }
+}
+
+}  // namespace
+
 RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
                                  const std::vector<Body>& initial,
                                  io::FaultInjector* fault) {
   RecoveryResult out;
   out.bodies.assign(static_cast<std::size_t>(cfg.ranks), {});
   const std::size_t n = initial.size();
+
+  const bool integ = cfg.integrity.enabled();
+  integrity::MemFaultInjector* mem = cfg.integrity.mem_faults.get();
+  // Per-rank event accounting, accumulated across attempts (each rank
+  // thread writes only its own slot; summed after the loop).
+  std::vector<integrity::Summary> rank_sums(
+      static_cast<std::size_t>(cfg.ranks));
 
   // Statistical injection: one MTBF-drawn schedule shared by every
   // restart, so retried runs sail past already-fired failures.
@@ -201,9 +231,193 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
           save_checkpoint(store, 0, *leap);
         }
 
+        // -- integrity machinery (all dormant when cfg.integrity is
+        // default-constructed: the loop below takes the exact legacy
+        // path, no captures, no scans, no extra collectives) -----------
+        integrity::StateGuard guard(cfg.integrity.guard_slab_bytes);
+        integrity::InvariantMonitor invariant(cfg.integrity.energy_rel_gate);
+        integrity::Summary& isum =
+            rank_sums[static_cast<std::size_t>(rank)];
+        const bool gate = integ && cfg.integrity.energy_rel_gate > 0.0;
+
+        // Spans into the integrator's vectors go stale on every step /
+        // force refresh (bodies redistribute, vectors reallocate), so
+        // regions are re-taken at each boundary.
+        auto register_regions = [&] {
+          if (mem == nullptr) return;
+          mem->set_region(rank, "bodies", leap->bodies_bytes());
+          mem->set_region(rank, "acc", leap->acc_bytes());
+          mem->set_region(rank, "work", leap->work_bytes());
+          mem->set_region(rank, "tree.cells",
+                          std::as_writable_bytes(
+                              leap->engine().tree().cells_mutable()));
+        };
+        // Capture runs at the quiescent end of a boundary (post-repair /
+        // post-step), so the next boundary's scan compares quiescent
+        // state to quiescent state and any mismatch is corruption.
+        auto capture_all = [&] {
+          if (!cfg.integrity.guard) return;
+          guard.capture("bodies", leap->bodies_bytes());
+          guard.capture("acc", leap->acc_bytes());
+          guard.capture("work", leap->work_bytes());
+        };
+        if (integ) capture_all();
+        if (gate) {
+          // Seed the energy baseline so step 1 is judged against the
+          // starting state, not against itself.
+          invariant.check(comm.allreduce_sum(leap->current_energies().total()));
+        }
+
         for (std::uint64_t step = start_step + 1; step <= cfg.steps; ++step) {
+          if (integ) {
+            // 1. Inject: flips land in the post-step state, after the
+            //    previous boundary's capture — so the guard can tell
+            //    corruption from dynamics.
+            register_regions();
+            if (mem != nullptr) mem->tick(rank, step);
+
+            // 2. Detect + tier-1 repair: per-slab CRC against the shadow.
+            int local_action = 0;  // 0 none, 1 recompute forces, 2 rollback
+            std::string_view bad_region;
+            if (cfg.integrity.guard) {
+              const std::pair<std::string_view, std::span<std::byte>>
+                  regions[] = {{"bodies", leap->bodies_bytes()},
+                               {"acc", leap->acc_bytes()},
+                               {"work", leap->work_bytes()}};
+              for (const auto& [name, bytes] : regions) {
+                integrity::ScanResult r = guard.scan_and_repair(name, bytes);
+                isum.faults_detected += r.faults_detected;
+                isum.repairs_local += r.repaired;
+                isum.shadow_refreshed += r.shadow_refreshed;
+                isum.unrecoverable_slabs += r.unrecoverable;
+                bump("integrity.faults_detected", r.faults_detected);
+                bump("integrity.repairs_local", r.repaired);
+                bump("integrity.shadow_refreshed", r.shadow_refreshed);
+                bump("integrity.unrecoverable_slabs", r.unrecoverable);
+                for (std::uint64_t slab : r.flagged) {
+                  flight_corruption(rank, slab, r.unrecoverable != 0 ? 3 : 1);
+                }
+                if (r.unrecoverable != 0) {
+                  bad_region = name;
+                  // Phase space is the irreplaceable state; forces and
+                  // work weights can be re-derived from positions.
+                  local_action =
+                      name == "bodies" ? 2 : std::max(local_action, 1);
+                }
+                if (r.size_changed) guard.capture(name, bytes);
+              }
+            }
+
+            // 3. Structural tree audit. The cell arena is rebuilt from
+            //    bodies every evaluation, so arena damage never reaches
+            //    the next step's forces — the audit's job is to *see* it
+            //    (and localize it) before the rebuild erases it.
+            if (cfg.integrity.audit_tree_every != 0 &&
+                step % cfg.integrity.audit_tree_every == 0) {
+              const integrity::TreeAuditReport rep =
+                  integrity::audit_tree(leap->engine().tree());
+              if (!rep.ok()) {
+                isum.faults_detected += 1;  // one event per audit alarm
+                isum.tree_audit_findings += rep.findings.size();
+                bump("integrity.faults_detected", 1);
+                bump("integrity.tree_audit_findings", rep.findings.size());
+                flight_corruption(rank, rep.findings.front().cell, 1);
+              }
+            }
+
+            // 4. Strided force sentinel (single-rank evaluations only:
+            //    the local tree must hold every source).
+            if (size == 1 && cfg.integrity.sentinel_every != 0 &&
+                step % cfg.integrity.sentinel_every == 0) {
+              const hot::Tree& tree = leap->engine().tree();
+              if (!tree.bodies().empty() &&
+                  tree.bodies().size() == leap->accel().size()) {
+                hot::AccelParams params;
+                params.theta = cfg.engine.theta;
+                params.eps2 = cfg.engine.eps2;
+                params.method = cfg.engine.method;
+                const integrity::SentinelResult s =
+                    integrity::sentinel_recompute(
+                        tree, leap->accel(), params,
+                        cfg.integrity.sentinel_stride,
+                        cfg.integrity.sentinel_rel_tol);
+                isum.sentinel_mismatches += s.mismatches;
+                bump("integrity.sentinel_mismatches", s.mismatches);
+                if (s.mismatches != 0) {
+                  isum.faults_detected += 1;
+                  bump("integrity.faults_detected", 1);
+                  flight_corruption(rank, s.first_body, 2);
+                  bad_region = "acc";
+                  local_action = std::max(local_action, 1);
+                }
+              }
+            }
+
+            // 5. Escalate. Tier 3 throws BEFORE any collective — one
+            //    rank's throw tears the whole attempt down exactly like
+            //    a rank kill, and the supervisor rolls back. Tier 2 is
+            //    agreed by one max-allreduce so the force refresh (a
+            //    collective) runs on every rank or none.
+            if (local_action == 2) {
+              flight_corruption(rank, 0, 3);
+              throw integrity::CorruptionError(
+                  rank, step, std::string(bad_region),
+                  "live and shadow slabs both damaged; rolling back to "
+                  "the last checkpoint");
+            }
+            int action = local_action;
+            if (size > 1) {
+              action = comm.allreduce_value<int>(
+                  local_action, [](int a, int b) { return a > b ? a : b; });
+            }
+            if (action == 1) {
+              leap->refresh_forces();
+              isum.repairs_recompute += 1;
+              bump("integrity.repairs_recompute", 1);
+            }
+          }
+
           if (fault != nullptr) fault->tick(rank, step);
+
+          std::optional<ParallelLeapfrog::State> pre;
+          if (gate) pre = leap->checkpoint_state();
           leap->step(cfg.dt);
+
+          // 6. Physics invariant gate: per-step energy drift, computed
+          //    from allreduced sums so every rank takes the same branch.
+          //    A trip retries the step from the pre-step snapshot (the
+          //    restore constructor sees matching forces, so rebuilding
+          //    runs no collectives and replays bit-exactly); a persistent
+          //    trip escalates to rollback.
+          if (gate) {
+            int retries = 0;
+            for (;;) {
+              const double total =
+                  comm.allreduce_sum(leap->current_energies().total());
+              if (invariant.check(total)) break;
+              isum.invariant_trips += 1;
+              bump("integrity.invariant_trips", 1);
+              flight_corruption(rank, step, 2);
+              if (retries >= cfg.integrity.max_step_retries) {
+                throw integrity::CorruptionError(
+                    rank, step, "dynamics",
+                    "energy gate still tripped after " +
+                        std::to_string(retries) +
+                        " retry(ies); rolling back to the last checkpoint");
+              }
+              ++retries;
+              isum.step_retries += 1;
+              bump("integrity.step_retries", 1);
+              leap = std::make_unique<ParallelLeapfrog>(
+                  comm, ParallelLeapfrog::State(*pre), cfg.engine);
+              leap->step(cfg.dt);
+            }
+          }
+
+          // 7. The post-step state is now trusted: it becomes the next
+          //    boundary's baseline.
+          if (integ) capture_all();
+
           if (cfg.checkpoint_every != 0 && step % cfg.checkpoint_every == 0) {
             save_checkpoint(store, step, *leap);
           }
@@ -226,6 +440,21 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
       if (++attempts > cfg.max_restarts) throw;
       out.restarts = attempts;
       if (obs::Counter* c = obs::counter("io.restarts")) c->add(1);
+    } catch (const integrity::CorruptionError& ce) {
+      // Tier 3 of the self-healing ladder: corruption the in-step tiers
+      // could not repair. The attempt tore down like a rank kill; roll
+      // back to the last committed generation (already-fired injections
+      // stay consumed, so the retried run sails past them).
+      if (!cfg.postmortem_path.empty()) {
+        io::write_postmortem(
+            cfg.postmortem_path, cfg.observer,
+            {"memory corruption (rollback to checkpoint)", ce.what()});
+      }
+      if (++attempts > cfg.max_restarts) throw;
+      out.restarts = attempts;
+      out.integrity.rollbacks += 1;
+      if (obs::Counter* c = obs::counter("integrity.rollbacks")) c->add(1);
+      if (obs::Counter* c = obs::counter("io.restarts")) c->add(1);
     } catch (const std::exception& e) {
       // Not a rank kill — a watchdog stall, a transport drain failure, a
       // corrupted store. Not restartable, but still worth a black box.
@@ -236,6 +465,19 @@ RecoveryResult run_with_recovery(const RecoveryConfig& cfg,
       throw;
     }
   }
+
+  for (const integrity::Summary& s : rank_sums) {
+    out.integrity.faults_detected += s.faults_detected;
+    out.integrity.repairs_local += s.repairs_local;
+    out.integrity.shadow_refreshed += s.shadow_refreshed;
+    out.integrity.repairs_recompute += s.repairs_recompute;
+    out.integrity.step_retries += s.step_retries;
+    out.integrity.tree_audit_findings += s.tree_audit_findings;
+    out.integrity.sentinel_mismatches += s.sentinel_mismatches;
+    out.integrity.invariant_trips += s.invariant_trips;
+    out.integrity.unrecoverable_slabs += s.unrecoverable_slabs;
+  }
+  if (mem != nullptr) out.integrity.faults_injected = mem->injected();
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "integrity/config.hpp"
 #include "io/checkpoint.hpp"
 #include "io/fault.hpp"
 #include "nbody/integrator.hpp"
@@ -98,6 +99,11 @@ struct RecoveryConfig {
   double mtbf_hours = 0.0;
   double step_hours = 1.0;  ///< Virtual wall hours one step represents.
   std::uint64_t mtbf_seed = 0x5eedfau;
+  /// Silent-data-corruption defense (integrity/): fault injection,
+  /// boundary detection (slab-CRC guard, tree audit, force sentinel,
+  /// energy gate) and the tiered self-healing ladder. Default-constructed
+  /// = fully off: the loop takes the exact pre-integrity path.
+  integrity::Config integrity;
 };
 
 struct RecoveryResult {
@@ -107,6 +113,10 @@ struct RecoveryResult {
   std::vector<std::vector<Body>> bodies; ///< Final per-rank bodies.
   io::AsyncWriter::Stats io_stats;       ///< Rank 0's writer stats.
   int restore_fallbacks = 0;             ///< From the last restart's restore.
+  /// Summed over all ranks and all attempts (failed ones included);
+  /// faults_injected comes from the injector itself, rollbacks from the
+  /// supervisor's CorruptionError catches.
+  integrity::Summary integrity;
 };
 
 /// Run the whole job under the supervisor. `initial` is the global body

@@ -2,7 +2,9 @@
 // direct O(N^2) force baseline and the hashed oct-tree solver.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "hot/parallel.hpp"
@@ -122,6 +124,29 @@ class ParallelLeapfrog {
   /// Snapshot everything needed to resume exactly here (copies; call
   /// between step() calls, i.e. after a closing kick).
   State checkpoint_state() const;
+
+  /// Raw byte views of the live state arrays — the integrity subsystem's
+  /// registration targets (fault injection, slab-CRC guarding). Spans go
+  /// stale on any step() or refresh_forces() call: bodies redistribute
+  /// and the vectors may reallocate, so re-take them every boundary.
+  std::span<std::byte> bodies_bytes() {
+    return std::as_writable_bytes(std::span<Body>(bodies_));
+  }
+  std::span<std::byte> acc_bytes() {
+    return std::as_writable_bytes(std::span<Accel>(acc_));
+  }
+  std::span<std::byte> work_bytes() {
+    return std::as_writable_bytes(std::span<double>(work_));
+  }
+
+  /// The underlying engine (integrity hook: its tree is audited and its
+  /// cell arena registered as a corruption target).
+  hot::GravityEngine& engine() { return engine_; }
+
+  /// Re-derive forces from the current positions (one engine evaluation;
+  /// collective — every rank must call). Tier-2 repair: a corrupted
+  /// acc/work array is recomputable state, unlike the phase space.
+  void refresh_forces() { evaluate(); }
 
  private:
   void evaluate();

@@ -218,6 +218,10 @@ enum class FlightKind : std::uint32_t {
   kPark = 5,        ///< peer = owner rank, id = tree key, value = 0.
   kUnpark = 6,      ///< peer = -1, id = tree key, value = park seconds.
   kStall = 7,       ///< peer = rank, id = 0, value = watchdog seconds.
+  /// Silent-data-corruption event on this rank: peer = rank, id = the
+  /// flagged slab / cell index, value = repair tier taken (1 = localized
+  /// repair, 2 = recompute/retry, 3 = checkpoint rollback).
+  kCorruption = 8,
 };
 
 /// One compact flight record. Trivially copyable: postmortem files store

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hpl/parallel_lu.hpp"
+#include "integrity/guard.hpp"
 #include "io/checkpoint.hpp"
 #include "nbody/checkpoint.hpp"
 #include "nbody/ic.hpp"
@@ -15,6 +16,7 @@
 #include "npb/ft.hpp"
 #include "npb/is.hpp"
 #include "npb/mg.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 
 namespace ss::sched {
@@ -76,9 +78,41 @@ JobOutcome run_nbody(JobContext& ctx) {
     nbody::save_checkpoint(store, 0, *leap);
   }
 
+  // Detect-only integrity scan over the particle slabs: the adapter does
+  // not repair (that is run_with_recovery's job); it only refuses to
+  // commit a corrupted result. Kept armed whenever a drill is scheduled.
+  const bool sdc = spec.sdc_corrupt_step != 0;
+  integrity::StateGuard guard;
+  if (sdc) guard.capture("bodies", leap->bodies_bytes());
+
   for (std::uint64_t step = start_step + 1; step <= spec.steps; ++step) {
     ctx.heartbeat(step);
+    if (sdc) {
+      if (ctx.attempt == 0 && step == spec.sdc_corrupt_step &&
+          c.rank() == 0 && !leap->bodies_bytes().empty()) {
+        // The drill itself: one flipped byte in rank 0's live particle
+        // array, exactly what a DRAM upset would leave behind.
+        auto bytes = leap->bodies_bytes();
+        bytes[bytes.size() / 2] ^= std::byte{0x10};
+        if (obs::Counter* ic = obs::counter("integrity.faults_injected")) {
+          ic->add(1);
+        }
+      }
+      const auto scan = guard.scan("bodies", leap->bodies_bytes());
+      int bad = scan.faults_detected > 0 ? c.rank() : -1;
+      if (bad >= 0) {
+        if (obs::Counter* dc = obs::counter("integrity.faults_detected")) {
+          dc->add(scan.faults_detected);
+        }
+      }
+      // Gang agreement, like the heartbeat: one rank's corruption tears
+      // the whole job down so no rank commits a tainted partial result.
+      const int victim = c.allreduce_value(
+          bad, [](int a, int b) { return std::max(a, b); });
+      if (victim >= 0) throw JobCorrupted{spec.id, step, victim};
+    }
     leap->step(spec.dt);
+    if (sdc) guard.capture("bodies", leap->bodies_bytes());
     if (spec.checkpoint_every != 0 && step % spec.checkpoint_every == 0) {
       nbody::save_checkpoint(store, step, *leap);
     }

@@ -28,6 +28,17 @@ struct JobKilled {
   int node = -1;  ///< The fabric node that died.
 };
 
+/// Thrown (on every gang rank, agreed by allreduce) when the adapter's
+/// integrity scan finds corrupted job state. The worker loop reports it
+/// to the head, which requeues the job like a node kill — but with no
+/// victim node (and so no node cooldown): the result is untrustworthy,
+/// the hardware placement is not implicated.
+struct JobCorrupted {
+  int job = -1;
+  std::uint64_t step = 0;
+  int rank = -1;  ///< Gang rank whose state scanned bad.
+};
+
 struct JobOutcome {
   std::uint64_t steps_done = 0;
   double metric = 0.0;
@@ -42,6 +53,7 @@ struct JobContext {
   std::filesystem::path job_dir;
   io::FaultInjector* fault = nullptr;  ///< Shared; null = no injection.
   int node = 0;  ///< Fabric node this rank is placed on.
+  int attempt = 0;  ///< Head-assigned attempt index (0 = first try).
 
   /// Collective over the gang: tick the injector and, if any member's
   /// node died this step, throw JobKilled everywhere.

@@ -38,6 +38,12 @@ struct JobSpec {
   std::uint64_t steps = 4;
   double dt = 1e-3;
   std::uint64_t checkpoint_every = 2;  ///< 0: only the base generation.
+  /// Silent-data-corruption drill (0 = off): on the job's FIRST attempt,
+  /// flip one byte of gang rank 0's particle array at this step. The
+  /// adapter's detect-only integrity scan flags it, the gang throws
+  /// JobCorrupted, and the head requeues the job like a node kill (minus
+  /// the node cooldown — the memory, not the node, is suspect).
+  std::uint64_t sdc_corrupt_step = 0;
 
   // npb
   std::string npb_kernel = "cg";  ///< cg | mg | ft | is

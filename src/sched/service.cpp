@@ -35,9 +35,10 @@ struct CtrlMsg {
 
 struct DoneMsg {
   int job = -1;
-  int ok = 0;  ///< 1 = completed (result committed), 0 = killed.
+  int ok = 0;  ///< 1 = completed (result committed), 0 = killed/corrupted.
+  int corrupt = 0;  ///< 1 = integrity scan flagged the state (SDC drill).
   int attempt = 0;
-  int victim_node = -1;
+  int victim_node = -1;  ///< Node kills only; -1 for corruption (no cooldown).
   std::uint64_t killed_step = 0;
   double t0 = 0.0;  ///< Gang-aligned start / end virtual times.
   double t1 = 0.0;
@@ -93,7 +94,9 @@ void worker_loop(vmpi::Comm& c, const Campaign& campaign,
     const std::uint64_t msgs0 = c.sent_messages();
     const std::uint64_t bytes0 = c.sent_bytes();
     bool killed = false;
+    bool corrupted = false;
     JobKilled kinfo{};
+    JobCorrupted cinfo{};
     JobOutcome oc{};
     DoneMsg rep{};
     {
@@ -104,6 +107,7 @@ void worker_loop(vmpi::Comm& c, const Campaign& campaign,
       jc.job_dir = store.job_dir(spec.id);
       jc.fault = cfg.fault;
       jc.node = node_of[static_cast<std::size_t>(c.world_rank())];
+      jc.attempt = m.attempt;
       rep.t0 = c.barrier_max_time();
       if (rec != nullptr) {
         rec->begin("job." + std::to_string(spec.id) + ".run");
@@ -113,9 +117,12 @@ void worker_loop(vmpi::Comm& c, const Campaign& campaign,
       } catch (const JobKilled& k) {
         killed = true;
         kinfo = k;
+      } catch (const JobCorrupted& k) {
+        corrupted = true;
+        cinfo = k;
       }
       if (rec != nullptr) rec->end();
-      if (killed) {
+      if (killed || corrupted) {
         // Align the gang: exiting this barrier implies every member has
         // executed all its pre-kill sends (delivery is synchronous), so
         // the purge below cannot race a straggler's last message.
@@ -132,15 +139,16 @@ void worker_loop(vmpi::Comm& c, const Campaign& campaign,
           rep.bytes += d.bytes;
         }
         rep.job = spec.id;
-        rep.ok = killed ? 0 : 1;
+        rep.ok = killed || corrupted ? 0 : 1;
+        rep.corrupt = corrupted ? 1 : 0;
         rep.attempt = m.attempt;
-        rep.victim_node = kinfo.node;
-        rep.killed_step = kinfo.step;
+        rep.victim_node = kinfo.node;  // -1 when corrupted: no cooldown
+        rep.killed_step = killed ? kinfo.step : cinfo.step;
         rep.steps_done = oc.steps_done;
         rep.metric = oc.metric;
         rep.restored = oc.restored ? 1 : 0;
         rep.restored_step = oc.restored_step;
-        if (!killed) {
+        if (!killed && !corrupted) {
           // Commit the durable completion marker before telling the
           // head: "done" in the head's books implies "result on disk".
           JobResult res;
@@ -157,7 +165,7 @@ void worker_loop(vmpi::Comm& c, const Campaign& campaign,
         }
       }
     }
-    if (killed) (void)c.purge_context(m.ctx);
+    if (killed || corrupted) (void)c.purge_context(m.ctx);
     if (c.world_rank() == m.base) c.send_value(0, kTagDone, rep);
   }
 }
@@ -327,7 +335,14 @@ void head_loop(vmpi::Comm& c, const HeadState& hs) {
         stopping = true;
       }
     } else {
-      ++result.node_kills;
+      if (d.corrupt != 0) {
+        // The result was untrustworthy, not the placement: requeue the
+        // job like a kill but leave every node eligible (no cooldown —
+        // victim_node is -1 by construction).
+        ++result.sdc_requeues;
+      } else {
+        ++result.node_kills;
+      }
       if (d.victim_node >= 0 &&
           static_cast<std::size_t>(d.victim_node) < node_free_at.size()) {
         node_free_at[static_cast<std::size_t>(d.victim_node)] =
@@ -371,6 +386,8 @@ void head_loop(vmpi::Comm& c, const HeadState& hs) {
         .add(static_cast<std::uint64_t>(result.requeues));
     reg.counter("campaign.node_kills")
         .add(static_cast<std::uint64_t>(result.node_kills));
+    reg.counter("campaign.sdc_requeues")
+        .add(static_cast<std::uint64_t>(result.sdc_requeues));
     reg.counter("campaign.backfills")
         .add(static_cast<std::uint64_t>(result.backfills));
     reg.gauge("campaign.makespan_seconds").set(c.time());

@@ -69,8 +69,9 @@ struct ServiceConfig {
 struct CampaignResult {
   std::vector<JobRecord> jobs;  ///< Indexed by job id.
   double makespan = 0.0;        ///< Head's final virtual time.
-  int requeues = 0;             ///< Kill-triggered re-assignments.
+  int requeues = 0;             ///< Kill/corruption re-assignments.
   int node_kills = 0;
+  int sdc_requeues = 0;  ///< Requeues from corrupted-result detection.
   int backfills = 0;     ///< Placements past a blocked higher-prio job.
   int skipped_done = 0;  ///< Jobs already committed by a previous run.
 

@@ -1,0 +1,644 @@
+// Tests for the silent-data-corruption defense: the seeded memory fault
+// injector, the slab-CRC shadow guard, the structural tree audit, the
+// force sentinel, the energy-drift gate, and the tiered self-healing
+// ladder wired into nbody::run_with_recovery — plus the loud FMM
+// fallback, the checkpoint scrubber, and the scheduler's corrupted-
+// result requeue.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hot/parallel.hpp"
+#include "hot/tree.hpp"
+#include "integrity/audit.hpp"
+#include "integrity/config.hpp"
+#include "integrity/guard.hpp"
+#include "integrity/invariant.hpp"
+#include "integrity/memfault.hpp"
+#include "io/checkpoint.hpp"
+#include "io/postmortem.hpp"
+#include "io/snapshot.hpp"
+#include "nbody/checkpoint.hpp"
+#include "nbody/ic.hpp"
+#include "sched/job.hpp"
+#include "sched/service.hpp"
+#include "support/rng.hpp"
+#include "vmpi/comm.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ss::integrity::MemFaultInjector;
+using ss::integrity::ScheduledFlip;
+using ss::integrity::StateGuard;
+using ss::nbody::Body;
+using ss::support::Rng;
+using ss::vmpi::Comm;
+using ss::vmpi::Runtime;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("ss_integ_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::vector<ss::hot::Source> plummer_like(Rng& rng, int n) {
+  std::vector<ss::hot::Source> b;
+  b.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double x, y, z;
+    rng.unit_vector(x, y, z);
+    const double r = rng.uniform() * rng.uniform();
+    b.push_back({{x * r, y * r, z * r}, 1.0 / n});
+  }
+  return b;
+}
+
+/// Deterministic engine configuration (scalar interaction path): required
+/// for the bit-for-bit healed-run comparisons, same as test_io.
+ss::hot::ParallelConfig deterministic_cfg() {
+  ss::hot::ParallelConfig cfg;
+  cfg.batch_interactions = false;
+  return cfg;
+}
+
+bool bitwise_equal(const std::vector<Body>& a, const std::vector<Body>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Body)) == 0);
+}
+
+/// XOR one bit into a double in place (exponent bits make the damage
+/// exponent-scale — the classic single-event-upset signature).
+void flip_double_bit(double* d, int bit) {
+  std::uint64_t u;
+  std::memcpy(&u, d, sizeof(u));
+  u ^= std::uint64_t{1} << bit;
+  std::memcpy(d, &u, sizeof(u));
+}
+
+// ---------------------------------------------------------------------------
+// MemFaultInjector.
+// ---------------------------------------------------------------------------
+
+TEST(MemFault, ScheduledFlipsFireOnceWithAttribution) {
+  std::vector<std::byte> buf(64, std::byte{0});
+  MemFaultInjector inj(std::vector<ScheduledFlip>{
+      {0, 3, "bodies", 10, 4}, {1, 3, "bodies", 2, 0}});
+  EXPECT_EQ(inj.scheduled(), 2u);
+  inj.set_region(0, "bodies", buf);
+
+  inj.tick(0, 2);  // wrong step: nothing fires
+  EXPECT_EQ(inj.injected(), 0u);
+
+  inj.tick(0, 3);
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_EQ(buf[10], std::byte{0x10});
+  const auto rec = inj.records();
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec[0].rank, 0);
+  EXPECT_EQ(rec[0].step, 3u);
+  EXPECT_EQ(rec[0].region, "bodies");
+  EXPECT_EQ(rec[0].offset, 10u);
+  EXPECT_EQ(rec[0].bit, 4);
+  EXPECT_EQ(rec[0].before, 0u);
+  EXPECT_EQ(rec[0].after, 0x10u);
+
+  inj.tick(0, 3);  // consumed: the retried attempt sails past
+  EXPECT_EQ(inj.injected(), 1u);
+
+  inj.tick(1, 3);  // rank 1 never registered a region: stays pending
+  EXPECT_EQ(inj.injected(), 1u);
+  std::vector<std::byte> other(8, std::byte{0xff});
+  inj.set_region(1, "bodies", other);
+  inj.tick(1, 3);  // region appeared: the pending flip now lands
+  EXPECT_EQ(inj.injected(), 2u);
+  EXPECT_EQ(other[2], std::byte{0xfe});
+
+  // Offsets reduce modulo the live size, so schedules survive resizes.
+  MemFaultInjector wrap(std::vector<ScheduledFlip>{{0, 1, "r", 100, 0}});
+  std::vector<std::byte> tiny(8, std::byte{0});
+  wrap.set_region(0, "r", tiny);
+  wrap.tick(0, 1);
+  EXPECT_EQ(tiny[100 % 8], std::byte{0x01});
+}
+
+TEST(MemFault, StochasticModeReplaysFromSeedAndDisarms) {
+  std::vector<std::byte> a(512), b(512);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = b[i] = static_cast<std::byte>(i * 37u);
+  }
+  auto run = [](std::vector<std::byte>& buf, std::uint64_t seed) {
+    MemFaultInjector inj = MemFaultInjector::from_rate(0.25, seed);
+    inj.set_region(0, "bodies", buf);
+    for (std::uint64_t s = 1; s <= 40; ++s) inj.tick(0, s);
+    return inj.records();
+  };
+  const auto ra = run(a, 42);
+  const auto rb = run(b, 42);
+  ASSERT_GT(ra.size(), 0u);  // ~10 expected flips in 40 steps at 25%
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].step, rb[i].step);
+    EXPECT_EQ(ra[i].offset, rb[i].offset);
+    EXPECT_EQ(ra[i].bit, rb[i].bit);
+    EXPECT_EQ(ra[i].after, rb[i].after);
+  }
+  EXPECT_EQ(a, b);  // identical damage pattern
+
+  std::vector<std::byte> c(512, std::byte{0});
+  const auto rc = run(c, 43);
+  bool differs = rc.size() != ra.size();
+  for (std::size_t i = 0; !differs && i < ra.size(); ++i) {
+    differs = ra[i].step != rc[i].step || ra[i].offset != rc[i].offset;
+  }
+  EXPECT_TRUE(differs);
+
+  MemFaultInjector inj = MemFaultInjector::from_rate(1.0, 7);
+  std::vector<std::byte> d(64, std::byte{0});
+  inj.set_region(0, "r", d);
+  inj.disarm();
+  inj.tick(0, 1);
+  EXPECT_EQ(inj.injected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// StateGuard.
+// ---------------------------------------------------------------------------
+
+TEST(StateGuard, RepairTruthTable) {
+  std::vector<std::byte> live(4096);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i] = static_cast<std::byte>(i * 131u);
+  }
+  const std::vector<std::byte> orig = live;
+  StateGuard g(512);  // 8 slabs
+  g.capture("r", live);
+
+  // live bad, shadow ok -> bitwise repair.
+  live[100] ^= std::byte{0x40};
+  auto r = g.scan_and_repair("r", live);
+  EXPECT_EQ(r.slabs_scanned, 8u);
+  EXPECT_EQ(r.faults_detected, 1u);
+  EXPECT_EQ(r.repaired, 1u);
+  EXPECT_EQ(r.unrecoverable, 0u);
+  ASSERT_EQ(r.flagged.size(), 1u);
+  EXPECT_EQ(r.flagged[0], 0u);
+  EXPECT_EQ(live, orig);
+
+  // live ok, shadow bad -> the shadow itself took the hit: refresh it.
+  g.shadow("r")[600] ^= std::byte{0x01};
+  r = g.scan_and_repair("r", live);
+  EXPECT_EQ(r.faults_detected, 1u);
+  EXPECT_EQ(r.shadow_refreshed, 1u);
+  EXPECT_EQ(r.repaired, 0u);
+  r = g.scan_and_repair("r", live);  // healed: next boundary is clean
+  EXPECT_EQ(r.faults_detected, 0u);
+
+  // both sides damaged in one slab -> unrecoverable at this tier.
+  live[40] ^= std::byte{0x02};
+  g.shadow("r")[41] ^= std::byte{0x04};
+  r = g.scan_and_repair("r", live);
+  EXPECT_EQ(r.unrecoverable, 1u);
+  EXPECT_EQ(r.repaired, 0u);
+
+  // Size change: nothing scanned, the caller recaptures.
+  live.resize(1024);
+  r = g.scan_and_repair("r", live);
+  EXPECT_TRUE(r.size_changed);
+  EXPECT_EQ(r.slabs_scanned, 0u);
+}
+
+TEST(StateGuard, DetectOnlyScanDoesNotModify) {
+  std::vector<std::byte> live(1000, std::byte{0x5a});
+  StateGuard g(256);
+  g.capture("r", live);
+  live[700] ^= std::byte{0x80};
+  const std::vector<std::byte> damaged = live;
+  const auto r = g.scan("r", live);
+  EXPECT_EQ(r.faults_detected, 1u);
+  EXPECT_EQ(r.repaired, 0u);
+  EXPECT_EQ(live, damaged);  // scan() never touches the bytes
+  EXPECT_EQ(g.scan("missing", live).slabs_scanned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tree audit.
+// ---------------------------------------------------------------------------
+
+TEST(TreeAudit, CleanTreesHaveNoFindingsAcross20Seeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const auto b = plummer_like(rng, 200);
+    ss::hot::Tree t(b, ss::hot::TreeConfig{8});
+    const auto rep = ss::integrity::audit_tree(t);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << ": " << rep.summary();
+    EXPECT_GT(rep.cells_checked, 0u);
+  }
+}
+
+TEST(TreeAudit, LocalizesMassComAndChildCorruption) {
+  Rng rng(99);
+  const auto b = plummer_like(rng, 400);
+
+  auto internal_cell = [](ss::hot::Tree& t) {
+    const auto cells = t.cells_mutable();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!cells[i].leaf) return i;
+    }
+    return std::size_t{0};
+  };
+  auto flags_cell = [](const ss::integrity::TreeAuditReport& rep,
+                       std::size_t cell) {
+    return std::any_of(rep.findings.begin(), rep.findings.end(),
+                       [&](const ss::integrity::AuditFinding& f) {
+                         return f.cell == cell;
+                       });
+  };
+
+  {  // mass exponent flip -> mass closure (or non-finite) at the cell
+    ss::hot::Tree t(b, ss::hot::TreeConfig{8});
+    const std::size_t k = internal_cell(t);
+    flip_double_bit(&t.cells_mutable()[k].mom.mass, 62);
+    const auto rep = ss::integrity::audit_tree(t);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_TRUE(flags_cell(rep, k)) << rep.summary();
+  }
+  {  // com component flip -> com closure / bounds at the cell
+    ss::hot::Tree t(b, ss::hot::TreeConfig{8});
+    const std::size_t k = internal_cell(t);
+    flip_double_bit(&t.cells_mutable()[k].mom.com.x, 62);
+    const auto rep = ss::integrity::audit_tree(t);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_TRUE(flags_cell(rep, k)) << rep.summary();
+  }
+  {  // child link flip -> bad_link at the cell
+    ss::hot::Tree t(b, ss::hot::TreeConfig{8});
+    const std::size_t k = internal_cell(t);
+    auto& c = t.cells_mutable()[k];
+    for (int o = 0; o < 8; ++o) {
+      if (c.children[o] >= 0) {
+        c.children[o] ^= 1 << 20;  // a flipped bit in the index
+        break;
+      }
+    }
+    const auto rep = ss::integrity::audit_tree(t);
+    ASSERT_FALSE(rep.ok());
+    EXPECT_TRUE(flags_cell(rep, k)) << rep.summary();
+    bool bad_link = false;
+    for (const auto& f : rep.findings) {
+      bad_link |= f.kind == ss::integrity::AuditKind::bad_link ||
+                  f.kind == ss::integrity::AuditKind::bad_range;
+    }
+    EXPECT_TRUE(bad_link) << rep.summary();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Force sentinel & invariant gate.
+// ---------------------------------------------------------------------------
+
+TEST(Sentinel, FlagsExponentScaleForceCorruption) {
+  Rng rng(7);
+  const auto b = plummer_like(rng, 300);
+  ss::hot::Tree t(b, ss::hot::TreeConfig{16});
+  ss::hot::AccelParams p;
+  p.theta = 0.6;
+  p.eps2 = 1e-6;
+  auto committed = t.accelerate_all(p);
+
+  const auto clean = ss::integrity::sentinel_recompute(t, committed, p, 1);
+  EXPECT_EQ(clean.checked, committed.size());
+  EXPECT_EQ(clean.mismatches, 0u);
+
+  committed[5].a.x *= 1e6;
+  const auto hit = ss::integrity::sentinel_recompute(t, committed, p, 1);
+  EXPECT_GE(hit.mismatches, 1u);
+  EXPECT_EQ(hit.first_body, 5u);
+  EXPECT_GT(hit.worst_rel, 0.05);  // far beyond the 5% screen
+}
+
+TEST(Invariant, GateTripsWithoutAdvancingBaseline) {
+  ss::integrity::InvariantMonitor m(0.01);
+  EXPECT_TRUE(m.check(100.0));  // first sample seeds the baseline
+  EXPECT_TRUE(m.check(100.5));  // within 1%: accepted, baseline advances
+  EXPECT_FALSE(m.check(150.0));  // trip: baseline stays at 100.5
+  EXPECT_EQ(m.trips(), 1u);
+  EXPECT_DOUBLE_EQ(m.baseline(), 100.5);
+  EXPECT_TRUE(m.check(100.6));  // the retried step is judged vs 100.5
+  EXPECT_FALSE(m.check(std::nan("")));
+  m.reset();
+  EXPECT_TRUE(m.check(42.0));  // post-rollback reseed
+
+  ss::integrity::InvariantMonitor off(0.0);
+  EXPECT_TRUE(off.check(1.0));
+  EXPECT_TRUE(off.check(1e300));
+}
+
+// ---------------------------------------------------------------------------
+// FMM fallback (satellite 1).
+// ---------------------------------------------------------------------------
+
+TEST(FmmFallback, StrictConfigRefusesMultiRankFmm) {
+  ss::hot::ParallelConfig cfg;
+  cfg.far_field = ss::hot::FarField::fmm;
+  cfg.strict_config = true;
+  cfg.charge_compute = false;
+  Runtime rt(2);
+  EXPECT_THROW(rt.run([&](Comm& c) { ss::hot::GravityEngine e(c, cfg); }),
+               ss::hot::ConfigError);
+}
+
+TEST(FmmFallback, LooseConfigDegradesAndStillComputes) {
+  ss::hot::ParallelConfig cfg;
+  cfg.far_field = ss::hot::FarField::fmm;
+  cfg.eps2 = 1e-6;
+  cfg.charge_compute = false;
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    ss::hot::GravityEngine e(c, cfg);  // one-shot warning, then treecode
+    Rng rng(static_cast<std::uint64_t>(11 + c.rank()));
+    const auto bodies = plummer_like(rng, 64);
+    std::vector<double> work;
+    const auto r = e.step(bodies, work);
+    EXPECT_EQ(r.accel.size(), r.bodies.size());
+    EXPECT_GT(r.bodies.size(), 0u);
+  });
+  // Single rank honors the request — no throw even under strict.
+  ss::hot::ParallelConfig strict = cfg;
+  strict.strict_config = true;
+  Runtime solo(1);
+  solo.run([&](Comm& c) { ss::hot::GravityEngine e(c, strict); });
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint scrub (satellite 2).
+// ---------------------------------------------------------------------------
+
+TEST(Scrub, FindsMediaRotAndAgreesAcrossRanks) {
+  TempDir tmp("scrub");
+  ss::io::CheckpointStore::Config sc;
+  sc.dir = tmp.path;
+  sc.async = false;
+  {
+    Runtime rt(1);
+    rt.run([&](Comm& c) {
+      ss::io::CheckpointStore store(c, sc);
+      auto fill = [](ss::io::BlockBuilder& b) {
+        const std::vector<double> xs(256, 1.5);
+        b.add<double>("xs", xs);
+      };
+      store.save(10, 1.0, 256, fill);
+      store.save(20, 2.0, 256, fill);
+      store.finalize();
+    });
+  }
+  // Flip one payload byte of generation 20's stripe: media rot.
+  const fs::path gdir = ss::io::CheckpointStore::generation_dir(tmp.path, 20);
+  fs::path stripe;
+  for (const auto& e : fs::directory_iterator(gdir)) {
+    if (e.path().filename().string().find("manifest") == std::string::npos) {
+      stripe = e.path();
+    }
+  }
+  ASSERT_FALSE(stripe.empty());
+  {
+    std::fstream f(stripe, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(stripe) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.write(&byte, 1);
+  }
+  // Debris: a generation directory with no manifest is benign.
+  fs::create_directories(
+      ss::io::CheckpointStore::generation_dir(tmp.path, 30));
+
+  const auto rep = ss::io::CheckpointStore::scrub_dir(tmp.path, "ckpt");
+  EXPECT_EQ(rep.generations_scanned, 3);
+  EXPECT_EQ(rep.generations_ok, 1);
+  EXPECT_EQ(rep.uncommitted, 1);
+  EXPECT_EQ(rep.errors, 1);
+  ASSERT_EQ(rep.damaged.size(), 1u);
+  EXPECT_EQ(rep.damaged[0], 20u);
+
+  // The collective form broadcasts rank 0's scan: all ranks agree.
+  Runtime rt(2);
+  rt.run([&](Comm& c) {
+    ss::io::CheckpointStore store(c, sc);
+    const auto r = store.scrub();
+    EXPECT_EQ(r.errors, 1);
+    ASSERT_EQ(r.damaged.size(), 1u);
+    EXPECT_EQ(r.damaged[0], 20u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end self-healing (the tentpole acceptance).
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, HealsInjectedFlipsBitForBit) {
+  TempDir base("heal_base");
+  TempDir faulty("heal_fault");
+  Rng rng(909);
+  const auto initial = ss::nbody::plummer_sphere(260, rng);
+
+  ss::nbody::RecoveryConfig rc;
+  rc.ranks = 4;
+  rc.steps = 8;
+  rc.checkpoint_every = 2;
+  rc.dt = 1e-3;
+  rc.engine = deterministic_cfg();
+
+  rc.store.dir = base.path;
+  const auto clean = ss::nbody::run_with_recovery(rc, initial, nullptr);
+  ASSERT_EQ(clean.restarts, 0);
+
+  // Four seeded upsets: particle phase space, committed forces, work
+  // weights, and the tree's cell arena — one per rank, different steps.
+  // The arena flip lands in the root cell's mass exponent byte so the
+  // structural audit has something it must localize.
+  const std::uint64_t root_mass_msb =
+      offsetof(ss::hot::Cell, mom) + offsetof(ss::gravity::Moments, mass) + 7;
+  auto mem = std::make_shared<MemFaultInjector>(std::vector<ScheduledFlip>{
+      {1, 3, "bodies", 123, 6},
+      {2, 4, "acc", 77, 5},
+      {3, 6, "work", 31, 3},
+      {0, 5, "tree.cells", root_mass_msb, 6},
+  });
+  rc.store.dir = faulty.path;
+  rc.integrity.mem_faults = mem;
+  rc.integrity.guard = true;
+  rc.integrity.audit_tree_every = 1;
+  const auto healed = ss::nbody::run_with_recovery(rc, initial, nullptr);
+
+  // Every scheduled flip fired, every one was detected at the very next
+  // boundary, and the guarded regions were repaired in place — no
+  // rollback, no retries, and the final state is bit-for-bit the clean
+  // run's.
+  EXPECT_EQ(mem->injected(), 4u);
+  EXPECT_EQ(healed.integrity.faults_injected, 4u);
+  EXPECT_EQ(healed.integrity.faults_detected, 4u);
+  EXPECT_EQ(healed.integrity.repairs_local, 3u);  // bodies, acc, work
+  EXPECT_GE(healed.integrity.tree_audit_findings, 1u);
+  EXPECT_EQ(healed.integrity.unrecoverable_slabs, 0u);
+  EXPECT_EQ(healed.integrity.rollbacks, 0u);
+  EXPECT_EQ(healed.restarts, 0);
+  EXPECT_EQ(healed.steps_completed, 8u);
+
+  ASSERT_EQ(clean.bodies.size(), healed.bodies.size());
+  for (std::size_t r = 0; r < clean.bodies.size(); ++r) {
+    EXPECT_TRUE(bitwise_equal(clean.bodies[r], healed.bodies[r]))
+        << "rank " << r << " diverged across injected flips";
+  }
+  EXPECT_DOUBLE_EQ(clean.time, healed.time);
+
+  // Attribution: the flip records name region, rank, step, byte and bit.
+  const auto recs = mem->records();
+  ASSERT_EQ(recs.size(), 4u);
+  for (const auto& f : recs) {
+    EXPECT_FALSE(f.region.empty());
+    EXPECT_NE(f.before, f.after);
+  }
+}
+
+TEST(Recovery, EnergyGateEscalatesToRollbackWithPostmortem) {
+  TempDir base("gate_base");
+  TempDir faulty("gate_fault");
+  Rng rng(606);
+  const auto initial = ss::nbody::plummer_sphere(160, rng);
+
+  ss::nbody::RecoveryConfig rc;
+  rc.ranks = 2;
+  rc.steps = 8;
+  rc.checkpoint_every = 2;
+  rc.dt = 1e-3;
+  rc.engine = deterministic_cfg();
+
+  rc.store.dir = base.path;
+  const auto clean = ss::nbody::run_with_recovery(rc, initial, nullptr);
+
+  // One exponent flip in rank 0's phase space with the byte guard OFF:
+  // nothing repairs it, the dynamics blow up, the energy gate trips, the
+  // step retry replays the same corrupted snapshot and trips again, and
+  // the ladder escalates to a checkpoint rollback. The retried attempt
+  // restores generation 4 (the flip is consumed) and must land
+  // bit-for-bit on the clean answer.
+  auto mem = std::make_shared<MemFaultInjector>(
+      std::vector<ScheduledFlip>{{0, 5, "bodies", 7, 6}});
+  rc.store.dir = faulty.path;
+  rc.integrity.mem_faults = mem;
+  rc.integrity.energy_rel_gate = 1e-3;
+  rc.integrity.max_step_retries = 1;
+  const std::string pm = (faulty.path / "postmortem.ssb").string();
+  rc.postmortem_path = pm;
+  const auto healed = ss::nbody::run_with_recovery(rc, initial, nullptr);
+
+  EXPECT_EQ(mem->injected(), 1u);
+  EXPECT_EQ(healed.integrity.rollbacks, 1u);
+  EXPECT_EQ(healed.restarts, 1);
+  EXPECT_GE(healed.integrity.invariant_trips, 2u);  // trip + retried trip
+  EXPECT_GE(healed.integrity.step_retries, 1u);
+  EXPECT_EQ(healed.steps_completed, 8u);
+
+  ASSERT_EQ(clean.bodies.size(), healed.bodies.size());
+  for (std::size_t r = 0; r < clean.bodies.size(); ++r) {
+    EXPECT_TRUE(bitwise_equal(clean.bodies[r], healed.bodies[r]))
+        << "rank " << r << " diverged across rollback";
+  }
+  EXPECT_DOUBLE_EQ(clean.time, healed.time);
+
+  // The rollback left a CRC-valid postmortem attributing the corruption.
+  const auto post = ss::io::read_postmortem(pm);
+  EXPECT_EQ(post.reason, "memory corruption (rollback to checkpoint)");
+  EXPECT_NE(post.detail.find("dynamics"), std::string::npos);
+}
+
+TEST(Recovery, IntegrityOnWithNoFaultsIsByteIdenticalAndSilent) {
+  TempDir base("quiet_base");
+  TempDir armed("quiet_armed");
+  Rng rng(303);
+  const auto initial = ss::nbody::plummer_sphere(160, rng);
+
+  ss::nbody::RecoveryConfig rc;
+  rc.ranks = 2;
+  rc.steps = 6;
+  rc.checkpoint_every = 2;
+  rc.dt = 1e-3;
+  rc.engine = deterministic_cfg();
+
+  rc.store.dir = base.path;
+  const auto off = ss::nbody::run_with_recovery(rc, initial, nullptr);
+
+  rc.store.dir = armed.path;
+  rc.integrity.mem_faults = std::make_shared<MemFaultInjector>();  // empty
+  rc.integrity.guard = true;
+  rc.integrity.audit_tree_every = 1;
+  rc.integrity.energy_rel_gate = 1e-3;
+  const auto on = ss::nbody::run_with_recovery(rc, initial, nullptr);
+
+  EXPECT_EQ(on.integrity.faults_injected, 0u);
+  EXPECT_EQ(on.integrity.faults_detected, 0u);
+  EXPECT_EQ(on.integrity.repairs_local, 0u);
+  EXPECT_EQ(on.integrity.repairs_recompute, 0u);
+  EXPECT_EQ(on.integrity.step_retries, 0u);
+  EXPECT_EQ(on.integrity.rollbacks, 0u);
+  EXPECT_EQ(on.integrity.invariant_trips, 0u);
+  EXPECT_EQ(on.restarts, 0);
+  ASSERT_EQ(off.bodies.size(), on.bodies.size());
+  for (std::size_t r = 0; r < off.bodies.size(); ++r) {
+    EXPECT_TRUE(bitwise_equal(off.bodies[r], on.bodies[r]))
+        << "rank " << r << ": detection-only pass perturbed the dynamics";
+  }
+  EXPECT_DOUBLE_EQ(off.time, on.time);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler corrupted-result requeue (satellite: sched::).
+// ---------------------------------------------------------------------------
+
+TEST(Sched, CorruptedResultRequeuesWithoutCooldown) {
+  TempDir tmp("sdc");
+  ss::sched::Campaign c;
+  auto job = ss::sched::fig7_job(0, /*gang=*/2);
+  job.sdc_corrupt_step = 2;  // first attempt suffers the drill
+  c.add(job);
+
+  ss::sched::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.topo.nodes = 8;
+  cfg.topo.ports_per_module = 4;
+  cfg.topo.chassis0_ports = 8;
+  ss::sched::ClusterService svc(tmp.path / "store", c, cfg);
+  const auto res = svc.run();
+
+  ASSERT_EQ(res.jobs.size(), 1u);
+  const ss::sched::JobRecord& rec = res.jobs[0];
+  EXPECT_EQ(rec.state, ss::sched::JobState::done);
+  EXPECT_EQ(rec.attempts, 2);  // corrupted attempt + clean retry
+  EXPECT_EQ(rec.requeues, 1);
+  EXPECT_EQ(res.sdc_requeues, 1);
+  EXPECT_EQ(res.node_kills, 0);  // memory was suspect, not a node
+  EXPECT_EQ(res.requeues, 1);
+  EXPECT_TRUE(rec.restored);  // retry resumed from the base generation
+}
+
+}  // namespace
